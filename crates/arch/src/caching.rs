@@ -1,0 +1,186 @@
+//! Application-specific caching (Fig. 7, §7.2): a `Cache` junction
+//! memoizes calls to a pure function computed by a `Fun` instance.
+//! Cache policy (size, eviction) is host-side, outside the DSL's scope;
+//! the architecture only routes: classify → look up → (on miss) call →
+//! update.
+
+use csaw_core::builder::*;
+use csaw_core::decl::Decl;
+use csaw_core::expr::{Arg, Expr, Terminator};
+use csaw_core::formula::Formula;
+use csaw_core::names::JRef;
+use csaw_core::program::{InstanceType, JunctionDef, Program};
+
+/// Parameters of the caching architecture.
+#[derive(Clone, Debug)]
+pub struct CachingSpec {
+    /// Host hook classifying the request (`⌊CheckCacheable⌉{Cacheable}`).
+    pub check_hook: String,
+    /// Host hook performing the lookup (`⌊LookupCache⌉{Cached}`).
+    pub lookup_hook: String,
+    /// Host hook updating the cache (`⌊UpdateCache⌉`).
+    pub update_hook: String,
+    /// The memoized function (`⌊F⌉`).
+    pub fun_hook: String,
+    /// Cache instance name.
+    pub cache: String,
+    /// Function instance name.
+    pub fun: String,
+}
+
+impl Default for CachingSpec {
+    fn default() -> Self {
+        CachingSpec {
+            check_hook: "CheckCacheable".into(),
+            lookup_hook: "LookupCache".into(),
+            update_hook: "UpdateCache".into(),
+            fun_hook: "F".into(),
+            cache: "Cache".into(),
+            fun: "Fun".into(),
+        }
+    }
+}
+
+/// Build the Fig. 7 program.
+pub fn caching(spec: &CachingSpec) -> Program {
+    let cache = InstanceType::new(
+        "tCache",
+        vec![JunctionDef::new(
+            "junction",
+            vec![p_timeout("t")],
+            vec![
+                Decl::prop_false("Work"),
+                Decl::prop_false("Cacheable"),
+                Decl::prop_false("Cached"),
+                Decl::prop_false("NewValue"),
+                Decl::data("n"),
+                Decl::data("m"),
+            ],
+            seq([
+                // Reset per-request propositions (the Fig. 4 `Retried`
+                // pattern: ensure a clean slate on each scheduling).
+                retract_local("Cacheable"),
+                retract_local("Cached"),
+                retract_local("NewValue"),
+                // ➊ determine whether the response could be cached.
+                host_w(&spec.check_hook, ["Cacheable"]),
+                case(
+                    vec![
+                        // ➋/➌/➍ look up, then fall through.
+                        arm(
+                            Formula::prop("Cacheable"),
+                            host_w(&spec.lookup_hook, ["Cached"]),
+                            Terminator::Next,
+                        ),
+                        // ➎ call the function on a miss or uncacheable.
+                        arm(
+                            Formula::prop("Cacheable").not().or(
+                                Formula::prop("Cacheable")
+                                    .and(Formula::prop("Cached").not()),
+                            ),
+                            seq([
+                                save("n"),
+                                otherwise(
+                                    scope(seq([
+                                        write("n", JRef::instance(&spec.fun)),
+                                        assert_at(JRef::instance(&spec.fun), "Work"),
+                                        wait(["m"], Formula::prop("Work").not()),
+                                        restore("m"),
+                                        assert_local("NewValue"),
+                                    ])),
+                                    "t",
+                                    call("complain", vec![]),
+                                ),
+                            ]),
+                            Terminator::Next,
+                        ),
+                        // ➏ update the cache with a fresh value.
+                        arm(
+                            Formula::prop("Cacheable").and(Formula::prop("NewValue")),
+                            host(&spec.update_hook),
+                            Terminator::Break,
+                        ),
+                    ],
+                    Expr::Skip,
+                ),
+            ]),
+        )],
+    );
+
+    // τFun largely reuses τAuditing (Fig. 7 caption).
+    let fun = InstanceType::new(
+        "tFun",
+        vec![JunctionDef::new(
+            "junction",
+            vec![p_timeout("t")],
+            vec![
+                Decl::prop_false("Work"),
+                Decl::prop_false("Retried"),
+                Decl::data("n"),
+                Decl::data("m"),
+                Decl::guard(Formula::prop("Work")),
+            ],
+            seq([
+                restore("n"),
+                host(&spec.fun_hook),
+                retract_local("Retried"),
+                case(
+                    vec![arm(
+                        Formula::prop("Work"),
+                        otherwise(
+                            scope(seq([
+                                save("m"),
+                                write("m", JRef::instance(&spec.cache)),
+                                retract_at(JRef::instance(&spec.cache), "Work"),
+                            ])),
+                            "t",
+                            if_then_else(
+                                Formula::prop("Retried").not(),
+                                assert_local("Retried"),
+                                call("complain", vec![]),
+                            ),
+                        ),
+                        Terminator::Reconsider,
+                    )],
+                    Expr::Skip,
+                ),
+            ]),
+        )],
+    );
+
+    ProgramBuilder::new()
+        .ty(cache)
+        .ty(fun)
+        .instance(&spec.cache, "tCache")
+        .instance(&spec.fun, "tFun")
+        .func(complain_func())
+        .main(
+            vec![p_timeout("t")],
+            par([
+                start(&spec.cache, vec![Arg::name("t")]),
+                start(&spec.fun, vec![Arg::name("t")]),
+            ]),
+        )
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csaw_core::program::LoadConfig;
+
+    #[test]
+    fn compiles() {
+        let cp = csaw_core::compile(caching(&CachingSpec::default()), &LoadConfig::new()).unwrap();
+        assert_eq!(cp.instances.len(), 2);
+        let c = cp.instance("Cache").unwrap().junction("junction").unwrap();
+        // Three case arms as in Fig. 7.
+        let mut arms = 0;
+        c.body.walk(&mut |e| {
+            if let Expr::Case { arms: a, .. } = e {
+                arms = a.len();
+            }
+        });
+        assert_eq!(arms, 3);
+    }
+}

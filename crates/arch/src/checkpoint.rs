@@ -1,0 +1,173 @@
+//! Periodic checkpointing with crash recovery (§10.1's "Checkpointing"
+//! feature for Redis and Suricata).
+//!
+//! "An architecture-level approach to providing this feature involves
+//! on-demand checkpointing — the architecture would serialize state from
+//! across an instance — and resuming from a checkpoint" (§2). The
+//! architecture composes two uses of the remote-snapshot pattern
+//! (Fig. 4), one in each direction:
+//!
+//! * `Primary::checkpoint` periodically `save`s the application state and
+//!   pushes it to `Store::keep`;
+//! * after a crash+restart, `Primary::recover` asks `Store::give` for the
+//!   latest checkpoint and `restore`s it.
+
+use csaw_core::builder::*;
+use csaw_core::decl::Decl;
+use csaw_core::expr::Arg;
+use csaw_core::formula::Formula;
+use csaw_core::names::JRef;
+use csaw_core::program::{InstanceType, JunctionDef, Program};
+
+/// Parameters of the checkpoint architecture.
+#[derive(Clone, Debug)]
+pub struct CheckpointSpec {
+    /// Primary (application) instance name.
+    pub primary: String,
+    /// Checkpoint-store instance name.
+    pub store: String,
+}
+
+impl Default for CheckpointSpec {
+    fn default() -> Self {
+        CheckpointSpec { primary: "Prim".into(), store: "Store".into() }
+    }
+}
+
+/// Build the checkpoint program.
+///
+/// Host contract: the primary's app must `save("state")` (serialize its
+/// full state) and `restore("state", …)`; the store's app keeps the
+/// latest blob on `restore("state", …)` and returns it on
+/// `save("state")`.
+pub fn checkpoint(spec: &CheckpointSpec) -> Program {
+    let primary = InstanceType::new(
+        "tPrimary",
+        vec![
+            // Scheduled periodically by the runtime (Policy::Periodic).
+            JunctionDef::new(
+                "checkpoint",
+                vec![p_timeout("t")],
+                // `Fresh` is declared locally too: a remote assert writes
+                // both the local and remote table (Fig. 20 semantics).
+                vec![Decl::data("state"), Decl::prop_false("Fresh")],
+                seq([
+                    save("state"),
+                    otherwise(
+                        scope(seq([
+                            write("state", JRef::qualified(&spec.store, "keep")),
+                            assert_at(JRef::qualified(&spec.store, "keep"), "Fresh"),
+                        ])),
+                        "t",
+                        call("complain", vec![]),
+                    ),
+                ]),
+            ),
+            // Scheduled on demand after a restart.
+            JunctionDef::new(
+                "recover",
+                vec![p_timeout("t")],
+                vec![
+                    Decl::data("state"),
+                    Decl::prop_false("NeedState"),
+                    Decl::prop_false("HaveState"),
+                    Decl::prop_false("Want"),
+                    Decl::guard(Formula::prop("NeedState")),
+                ],
+                seq([
+                    retract_local("NeedState"),
+                    otherwise(
+                        scope(seq([
+                            assert_at(JRef::qualified(&spec.store, "give"), "Want"),
+                            wait(["state"], Formula::prop("HaveState")),
+                            restore("state"),
+                            retract_local("HaveState"),
+                        ])),
+                        "t",
+                        call("complain", vec![]),
+                    ),
+                ]),
+            ),
+        ],
+    );
+
+    let store = InstanceType::new(
+        "tStore",
+        vec![
+            JunctionDef::new(
+                "keep",
+                vec![],
+                vec![
+                    Decl::data("state"),
+                    Decl::prop_false("Fresh"),
+                    Decl::guard(Formula::prop("Fresh")),
+                ],
+                seq([restore("state"), retract_local("Fresh")]),
+            ),
+            JunctionDef::new(
+                "give",
+                vec![p_timeout("t")],
+                vec![
+                    Decl::data("state"),
+                    Decl::prop_false("Want"),
+                    Decl::prop_false("HaveState"),
+                    Decl::guard(Formula::prop("Want")),
+                ],
+                seq([
+                    retract_local("Want"),
+                    save("state"),
+                    otherwise(
+                        scope(seq([
+                            write("state", JRef::qualified(&spec.primary, "recover")),
+                            assert_at(
+                                JRef::qualified(&spec.primary, "recover"),
+                                "HaveState",
+                            ),
+                        ])),
+                        "t",
+                        call("complain", vec![]),
+                    ),
+                ]),
+            ),
+        ],
+    );
+
+    ProgramBuilder::new()
+        .ty(primary)
+        .ty(store)
+        .instance(&spec.primary, "tPrimary")
+        .instance(&spec.store, "tStore")
+        .func(complain_func())
+        .main(
+            vec![p_timeout("t")],
+            par([
+                start_junctions(
+                    &spec.primary,
+                    vec![("checkpoint", vec![Arg::name("t")]), ("recover", vec![Arg::name("t")])],
+                ),
+                start_junctions(
+                    &spec.store,
+                    vec![("keep", vec![]), ("give", vec![Arg::name("t")])],
+                ),
+            ]),
+        )
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csaw_core::program::LoadConfig;
+
+    #[test]
+    fn compiles() {
+        let cp = csaw_core::compile(checkpoint(&CheckpointSpec::default()), &LoadConfig::new())
+            .unwrap();
+        let prim = cp.instance("Prim").unwrap();
+        assert!(prim.junction("checkpoint").is_some());
+        assert!(prim.junction("recover").is_some());
+        let store = cp.instance("Store").unwrap();
+        assert!(store.junction("keep").unwrap().guard().is_some());
+        assert!(store.junction("give").unwrap().guard().is_some());
+    }
+}

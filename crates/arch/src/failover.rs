@@ -1,0 +1,604 @@
+//! Warm-replica fail-over (§7.3, Figs. 10–14).
+//!
+//! The application is typified into a single front-end (`τf`, junctions
+//! `b` back-end-facing and `c` client-facing) and N ≥ 2 back-ends (`τb`,
+//! junctions `startup`, `serve`, `reactivate`). Back-ends register with
+//! `f::b`, which initializes them with the canonical state; client
+//! requests dispatch through `f::c` to *all* registered back-ends in
+//! parallel (warm replication); losing a back-end demotes it
+//! (`retract [] Backend[b̃]`) and the system continues while at least one
+//! back-end survives. After a period of inactivity a back-end
+//! re-registers itself (`reactivate` → `startup`), resynchronizing its
+//! state — the paper's recovery path (Fig. 9/11).
+//!
+//! Host contract: the front-end app implements `H1` (turn the client
+//! request into `req`), `H3` (emit the response), `save("state")`/
+//! `restore("state")` (canonical state), `save("req")`, and
+//! `restore("preresp")`; the back-end app implements `H2` (serve `req`,
+//! producing `preresp`) plus `save`/`restore` of `state`, `req`,
+//! `preresp`.
+//!
+//! Documented deviation: the `Starting` branch begins with
+//! `save(state)` so the canonical state exists before the first
+//! `Initialize` (the figure leaves initial state provenance implicit).
+
+use csaw_core::builder::*;
+use csaw_core::decl::Decl;
+use csaw_core::expr::{Arg, Expr, ForOp, Terminator};
+use csaw_core::formula::Formula;
+use csaw_core::names::{JRef, NameRef, PropRef, SetElem, SetRef};
+use csaw_core::program::{FuncDef, InstanceType, JunctionDef, Program};
+
+/// Parameters of the fail-over architecture.
+#[derive(Clone, Debug)]
+pub struct FailoverSpec {
+    /// Number of back-end replicas (≥ 2 for fail-over capacity).
+    pub n_backends: usize,
+    /// Front-end instance name.
+    pub front: String,
+    /// Back-end name prefix.
+    pub backend_prefix: String,
+    /// Host hook: ingest client request (`H1`).
+    pub ingest_hook: String,
+    /// Host hook: serve a request on a back-end (`H2`).
+    pub serve_hook: String,
+    /// Host hook: emit the response (`H3`).
+    pub egress_hook: String,
+}
+
+impl Default for FailoverSpec {
+    fn default() -> Self {
+        FailoverSpec {
+            n_backends: 2,
+            front: "f".into(),
+            backend_prefix: "b".into(),
+            ingest_hook: "H1".into(),
+            serve_hook: "H2".into(),
+            egress_hook: "H3".into(),
+        }
+    }
+}
+
+impl FailoverSpec {
+    /// Generated back-end instance names.
+    pub fn backend_names(&self) -> Vec<String> {
+        (1..=self.n_backends)
+            .map(|i| format!("{}{i}", self.backend_prefix))
+            .collect()
+    }
+
+    /// The `{b1::serve, …}` set passed to the front-end junctions.
+    pub fn backend_set(&self) -> Vec<SetElem> {
+        self.backend_names()
+            .into_iter()
+            .map(|b| SetElem::Junction(b, "serve".into()))
+            .collect()
+    }
+}
+
+fn f_b(spec: &FailoverSpec) -> JRef {
+    JRef::qualified(&spec.front, "b")
+}
+fn f_c(spec: &FailoverSpec) -> JRef {
+    JRef::qualified(&spec.front, "c")
+}
+
+/// `Initialize(tgt)` (Fig. 12): push canonical state to a newly
+/// registered back-end and publish it to `f::c`.
+fn initialize_func(spec: &FailoverSpec) -> FuncDef {
+    let tgt = NameRef::var("tgt");
+    FuncDef::new(
+        "Initialize",
+        vec![p_junction("tgt")],
+        vec![],
+        seq([
+            verify(
+                Formula::prop("Activating")
+                    .not()
+                    .and(Formula::prop("Active").not()),
+            ),
+            write("state", JRef::Bare(tgt.clone())),
+            Expr::Assert {
+                at: Some(JRef::Bare(tgt.clone())),
+                prop: PropRef::plain("Activating"),
+            },
+            wait(Vec::<String>::new(), Formula::prop("Activating").not()),
+            Expr::Assert {
+                at: Some(JRef::Bare(tgt.clone())),
+                prop: PropRef::plain("Active"),
+            },
+            Expr::Assert {
+                at: Some(f_c(spec)),
+                prop: PropRef::indexed("Backend", tgt.clone()),
+            },
+            retract_local("Active"),
+        ]),
+    )
+}
+
+/// The back-end-facing front-end junction `τf::b` (Fig. 10).
+fn junction_f_b(spec: &FailoverSpec) -> JunctionDef {
+    let backends = SetRef::Named(NameRef::var("backends"));
+    let b = NameRef::var("b");
+
+    let starting_branch = seq([
+        // Deviation: materialize the canonical state first.
+        save("state"),
+        // Wait (bounded) for each back-end's registration, in parallel.
+        for_each(
+            "b",
+            backends.clone(),
+            ForOp::Par,
+            otherwise(
+                scope(Expr::Wait {
+                    data: vec![],
+                    formula: Formula::Prop(PropRef::indexed("InitBackend", b.clone())),
+                }),
+                "t",
+                skip(),
+            ),
+        ),
+        retract_local("HaveAtLeastOne"),
+        for_each(
+            "b",
+            backends.clone(),
+            ForOp::Seq,
+            if_then(
+                Formula::Prop(PropRef::indexed("InitBackend", b.clone())),
+                seq([
+                    otherwise(
+                        transaction(seq([
+                            call("Initialize", vec![Arg::name("b")]),
+                            // Relies on idempotence (Fig. 10 comment).
+                            assert_local("HaveAtLeastOne"),
+                        ])),
+                        "t",
+                        skip(),
+                    ),
+                    Expr::Retract {
+                        at: None,
+                        prop: PropRef::indexed("InitBackend", b.clone()),
+                    },
+                ]),
+            ),
+        ),
+        if_then(
+            Formula::prop("HaveAtLeastOne").not(),
+            call("complain", vec![]),
+        ),
+        retract_local("Retried"),
+        case(
+            vec![arm(
+                Formula::prop("Starting"),
+                otherwise(
+                    // Progress f::c beyond Starting.
+                    retract_at(f_c(spec), "Starting"),
+                    "t",
+                    if_then_else(
+                        Formula::prop("Retried").not(),
+                        assert_local("Retried"),
+                        call("complain", vec![]),
+                    ),
+                ),
+                Terminator::Reconsider,
+            )],
+            skip(),
+        ),
+    ]);
+
+    let serving_branch = case(
+        vec![
+            arm(
+                Formula::prop("Call"),
+                seq([
+                    // Deviation from Fig. 10 as printed: `retract [] Call`
+                    // moves from arm end to arm entry. At arm end it races
+                    // pipelined clients — the *next* request's Call assert
+                    // can arrive during this arm's `wait` and be shadowed
+                    // by the final local retraction ("local updates have
+                    // priority", §8), losing the request. Retracting at
+                    // entry makes the ordering causal: any later Call
+                    // assert is provoked by our own Active signal and so
+                    // always sequences after the retraction.
+                    retract_local("Call"),
+                    otherwise(
+                        scope(seq([
+                            verify(Formula::prop("Active").not()),
+                            write("state", f_c(spec)),
+                            assert_at(f_c(spec), "Active"),
+                            wait(["state"], Formula::prop("Active").not()),
+                        ])),
+                        "t",
+                        call("complain", vec![]),
+                    ),
+                ]),
+                Terminator::Break,
+            ),
+            arm_for(
+                "b",
+                backends.clone(),
+                Formula::prop("Call")
+                    .not()
+                    .and(Formula::Prop(PropRef::indexed("InitBackend", b.clone()))),
+                seq([
+                    // Deviation from Fig. 10 as printed: the re-init is
+                    // transactional, like the Starting branch's. Without
+                    // rollback, a timed-out `wait ¬Activating` (racing
+                    // the reactivate watchdog) leaves the local
+                    // `Activating` stuck true and every future
+                    // Initialize verify-fails — the retry path the
+                    // Fig. 14 comment relies on never recovers.
+                    otherwise(
+                        transaction(call("Initialize", vec![Arg::name("b")])),
+                        "t",
+                        skip(),
+                    ),
+                    Expr::Retract {
+                        at: None,
+                        prop: PropRef::indexed("InitBackend", b.clone()),
+                    },
+                ]),
+                Terminator::Break,
+            ),
+        ],
+        skip(),
+    );
+
+    JunctionDef::new(
+        "b",
+        vec![p_set("backends"), p_timeout("t")],
+        vec![
+            Decl::data("state"),
+            Decl::prop_true("Starting"),
+            Decl::prop_false("Active"),
+            Decl::prop_false("Activating"),
+            Decl::prop_false("Retried"),
+            Decl::prop_false("Call"),
+            Decl::prop_false("HaveAtLeastOne"),
+            Decl::for_props("x", backends.clone(), "Backend", false),
+            Decl::for_props("x", backends.clone(), "InitBackend", false),
+            Decl::guard(
+                Formula::prop("Starting")
+                    .or(Formula::prop("Call"))
+                    .or(Formula::For {
+                        var: "x".into(),
+                        set: backends.clone(),
+                        conj: false,
+                        body: Box::new(Formula::Prop(PropRef::indexed(
+                            "InitBackend",
+                            NameRef::var("x"),
+                        ))),
+                    }),
+            ),
+        ],
+        if_then_else(Formula::prop("Starting"), starting_branch, serving_branch),
+    )
+}
+
+/// The client-facing front-end junction `τf::c` (Fig. 13).
+fn junction_f_c(spec: &FailoverSpec) -> JunctionDef {
+    let backends = SetRef::Named(NameRef::var("backends"));
+    let b = NameRef::var("b");
+
+    let fanout_arm = if_then(
+        Formula::Prop(PropRef::indexed("Backend", b.clone())),
+        otherwise(
+            transaction(seq([
+                // verify S(b̃) → b̃@Active ∧ ¬b̃@Running[b̃]
+                verify(Formula::Live(b.clone()).implies(
+                    Formula::at(JRef::Bare(b.clone()), Formula::prop("Active")).and(
+                        Formula::at(
+                            JRef::Bare(b.clone()),
+                            Formula::Prop(PropRef::indexed("Running", b.clone())),
+                        )
+                        .not(),
+                    ),
+                )),
+                Expr::Write { data: NameRef::lit("req"), to: JRef::Bare(b.clone()) },
+                Expr::Assert {
+                    at: Some(JRef::Bare(b.clone())),
+                    prop: PropRef::indexed("Running", b.clone()),
+                },
+                Expr::Wait {
+                    data: vec![NameRef::lit("preresp")],
+                    formula: Formula::Prop(PropRef::indexed("Running", b.clone())).not(),
+                },
+                assert_local("HaveAtLeastOne"),
+            ])),
+            "t",
+            Expr::Retract {
+                at: None,
+                prop: PropRef::indexed("Backend", b.clone()),
+            },
+        ),
+    );
+
+    JunctionDef::new(
+        "c",
+        vec![p_set("backends"), p_timeout("t")],
+        vec![
+            Decl::prop_true("Starting"),
+            Decl::prop_false("Active"),
+            Decl::prop_false("Req"),
+            Decl::prop_false("Call"),
+            Decl::prop_false("HaveAtLeastOne"),
+            Decl::data("state"),
+            Decl::data("req"),
+            Decl::data("preresp"),
+            Decl::for_props("x", backends.clone(), "Backend", false),
+            Decl::for_props("x", backends.clone(), "Running", false),
+            // Req is asserted externally to process a client request.
+            Decl::guard(Formula::prop("Starting").not().and(Formula::prop("Req"))),
+        ],
+        seq([
+            retract_local("Req"),
+            verify(Formula::prop("Call").not()),
+            assert_at(f_b(spec), "Call"),
+            wait(["state"], Formula::prop("Active")),
+            restore("state"),
+            retract_local("Call"),
+            host(&spec.ingest_hook),
+            save("req"),
+            retract_local("HaveAtLeastOne"),
+            for_each("b", backends.clone(), ForOp::Par, fanout_arm),
+            if_then(
+                Formula::prop("HaveAtLeastOne").not(),
+                call("complain", vec![]),
+            ),
+            verify(Formula::prop("HaveAtLeastOne")),
+            restore("preresp"),
+            save("state"),
+            write("state", f_b(spec)),
+            host(&spec.egress_hook),
+            retract_at(f_b(spec), "Active"),
+        ]),
+    )
+}
+
+/// The back-end type `τb` (Fig. 14).
+fn backend_type(spec: &FailoverSpec) -> InstanceType {
+    let selfp = NameRef::var("self");
+    let serve = JunctionDef::new(
+        "serve",
+        vec![p_junction("fb"), p_junction("fc"), p_timeout("t"), p_prop("self")],
+        vec![
+            Decl::prop_false("Active"),
+            Decl::prop_false("Activating"),
+            Decl::prop_false("RecentlyActive"),
+            Decl::data("preresp"),
+            Decl::data("state"),
+            Decl::data("req"),
+            Decl::Prop { prop: PropRef::indexed("Running", selfp.clone()), init: false },
+            Decl::guard(Formula::prop("Activating").or(Formula::prop("Active").and(
+                Formula::Prop(PropRef::indexed("Running", selfp.clone())),
+            ))),
+        ],
+        case(
+            vec![arm(
+                Formula::prop("Activating"),
+                seq([
+                    restore("state"),
+                    // If the remote retraction fails, b::reactivate will
+                    // eventually retry the startup (Fig. 14 comment).
+                    otherwise(
+                        Expr::Retract {
+                            at: Some(JRef::var("fb")),
+                            prop: PropRef::plain("Activating"),
+                        },
+                        "t",
+                        retract_local("Activating"),
+                    ),
+                ]),
+                Terminator::Break,
+            )],
+            seq([
+                Expr::Assert {
+                    at: Some(JRef::Sibling("reactivate".into())),
+                    prop: PropRef::plain("RecentlyActive"),
+                },
+                restore("req"),
+                host(&spec.serve_hook),
+                save("preresp"),
+                otherwise(
+                    scope(seq([
+                        Expr::Write { data: NameRef::lit("preresp"), to: JRef::var("fc") },
+                        Expr::Retract {
+                            at: Some(JRef::var("fc")),
+                            prop: PropRef::indexed("Running", selfp.clone()),
+                        },
+                    ])),
+                    "t",
+                    retract_local("Active"),
+                ),
+            ]),
+        ),
+    );
+
+    let startup = JunctionDef::new(
+        "startup",
+        vec![p_junction("fb"), p_timeout("t"), p_prop("self")],
+        vec![
+            Decl::Prop {
+                prop: PropRef::indexed("InitBackend", NameRef::var("self")),
+                init: false,
+            },
+            Decl::guard(
+                Formula::at(JRef::Sibling("serve".into()), Formula::prop("Active")).not(),
+            ),
+        ],
+        otherwise(
+            Expr::Assert {
+                at: Some(JRef::var("fb")),
+                prop: PropRef::indexed("InitBackend", NameRef::var("self")),
+            },
+            "t",
+            skip(),
+        ),
+    );
+
+    let reactivate = JunctionDef::new(
+        "reactivate",
+        vec![p_timeout("t")],
+        vec![
+            Decl::prop_false("RecentlyActive"),
+            Decl::prop_false("Active"),
+            Decl::prop_false("Activating"),
+        ],
+        seq([
+            retract_local("RecentlyActive"),
+            otherwise(
+                scope(wait(
+                    Vec::<String>::new(),
+                    Formula::prop("RecentlyActive"),
+                )),
+                "t",
+                scope(seq([
+                    Expr::Retract {
+                        at: Some(JRef::Sibling("serve".into())),
+                        prop: PropRef::plain("Active"),
+                    },
+                    Expr::Retract {
+                        at: Some(JRef::Sibling("serve".into())),
+                        prop: PropRef::plain("Activating"),
+                    },
+                ])),
+            ),
+        ]),
+    );
+
+    InstanceType::new("tBackend", vec![startup, serve, reactivate])
+}
+
+/// Build the §7.3 fail-over program.
+pub fn failover(spec: &FailoverSpec) -> Program {
+    let backend_set = spec.backend_set();
+    let front = InstanceType::new("tFront", vec![junction_f_b(spec), junction_f_c(spec)]);
+    let mut builder = ProgramBuilder::new()
+        .ty(front)
+        .ty(backend_type(spec))
+        .instance(&spec.front, "tFront")
+        .func(initialize_func(spec))
+        .func(complain_func());
+    for bname in spec.backend_names() {
+        builder = builder.instance(&bname, "tBackend");
+    }
+    // main(t): start b_i startup(t) serve(t) reactivate(⌊3∗t⌉) + … + start f.
+    let mut starts: Vec<Expr> = spec
+        .backend_names()
+        .iter()
+        .map(|bname| {
+            start_junctions(
+                bname,
+                vec![
+                    (
+                        "startup",
+                        vec![
+                            Arg::Junction(f_b(spec)),
+                            Arg::name("t"),
+                            Arg::Prop(format!("{bname}::serve")),
+                        ],
+                    ),
+                    (
+                        "serve",
+                        vec![
+                            Arg::Junction(f_b(spec)),
+                            Arg::Junction(f_c(spec)),
+                            Arg::name("t"),
+                            Arg::Prop(format!("{bname}::serve")),
+                        ],
+                    ),
+                    (
+                        "reactivate",
+                        vec![Arg::ScaledTimeout {
+                            base: NameRef::var("t"),
+                            num: 3,
+                            den: 1,
+                        }],
+                    ),
+                ],
+            )
+        })
+        .collect();
+    starts.push(start_junctions(
+        &spec.front,
+        vec![
+            (
+                "b",
+                vec![Arg::SetLit(backend_set.clone()), Arg::name("t")],
+            ),
+            ("c", vec![Arg::SetLit(backend_set), Arg::name("t")]),
+        ],
+    ));
+    builder.main(vec![p_timeout("t")], par(starts)).build()
+}
+
+/// Configure the runtime policies the fail-over architecture expects:
+/// `startup` probes periodically (guard permitting) and `reactivate`
+/// fires on the 3·t inactivity window of Fig. 8/14.
+pub fn configure_policies(
+    rt: &csaw_runtime::Runtime,
+    spec: &FailoverSpec,
+    t: std::time::Duration,
+) {
+    use csaw_runtime::runtime::Policy;
+    for b in spec.backend_names() {
+        rt.set_policy(&b, "startup", Policy::Periodic(t));
+        rt.set_policy(&b, "reactivate", Policy::Periodic(3 * t));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csaw_core::program::LoadConfig;
+
+    #[test]
+    fn compiles_two_backends() {
+        let cp = csaw_core::compile(failover(&FailoverSpec::default()), &LoadConfig::new())
+            .unwrap();
+        assert_eq!(cp.instances.len(), 3);
+        let fb = cp.instance("f").unwrap().junction("b").unwrap();
+        // The InitBackend/Backend families unrolled over both serves.
+        let keys: Vec<String> = fb
+            .decls
+            .iter()
+            .filter_map(|d| match d {
+                Decl::Prop { prop, .. } => prop.as_key(),
+                _ => None,
+            })
+            .collect();
+        assert!(keys.contains(&"Backend[b1::serve]".to_string()));
+        assert!(keys.contains(&"InitBackend[b2::serve]".to_string()));
+        // The Initialize template was inlined away.
+        let mut calls = 0;
+        fb.body.walk(&mut |e| {
+            if matches!(e, Expr::Call { .. }) {
+                calls += 1;
+            }
+        });
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn scales_to_three_backends() {
+        let spec = FailoverSpec { n_backends: 3, ..Default::default() };
+        let cp = csaw_core::compile(failover(&spec), &LoadConfig::new()).unwrap();
+        assert_eq!(cp.instances.len(), 4);
+        let fc = cp.instance("f").unwrap().junction("c").unwrap();
+        let mut par_width = 0;
+        fc.body.walk(&mut |e| {
+            if let Expr::Par(v) = e {
+                par_width = par_width.max(v.len());
+            }
+        });
+        assert_eq!(par_width, 3);
+    }
+
+    #[test]
+    fn backend_guards_reference_sibling_state() {
+        let cp = csaw_core::compile(failover(&FailoverSpec::default()), &LoadConfig::new())
+            .unwrap();
+        let startup = cp.instance("b1").unwrap().junction("startup").unwrap();
+        assert!(matches!(startup.guard(), Some(Formula::Not(_))));
+    }
+}

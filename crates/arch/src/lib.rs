@@ -1,0 +1,39 @@
+//! # csaw-arch — the reusable architecture catalogue (§5, §7)
+//!
+//! "One benefit of using the DSL is that architecture specifications are
+//! more reusable since they are decoupled from application-specific
+//! logic" — this crate is that library. Every architecture from the
+//! paper's examples is provided as a *generic* C-Saw program builder,
+//! parameterized only by host-hook names and instance counts; the same
+//! descriptions drive mini-redis, mini-curl and mini-suricata (the
+//! reusability claim of §10.2 is reproduced in the Table-2 harness).
+//!
+//! | module | paper source | feature |
+//! |--------|--------------|---------|
+//! | [`snapshot`] | Fig. 4 (§5.1) | one-time & continuous remote snapshots |
+//! | [`sharding`] | Fig. 5 (§5.2) | N-ary sharding through an `idx` choice |
+//! | [`parallel_sharding`] | Fig. 6 (§7.1) | fan-out to a run-time subset of back-ends |
+//! | [`caching`] | Fig. 7 (§7.2) | memoizing cache in front of a function |
+//! | [`failover`] | Figs. 10–14 (§7.3) | warm-replica fail-over, multi-stage |
+//! | [`watched`] | Figs. 16–17 (§7.4) | watchdog-arbitrated fail-over |
+//! | [`checkpoint`] | §10.1 | periodic checkpoint + crash recovery |
+
+pub mod caching;
+pub mod checkpoint;
+pub mod failover;
+pub mod parallel_sharding;
+pub mod sharding;
+pub mod snapshot;
+pub mod watched;
+
+/// Names of host hooks shared by several architectures.
+pub mod hooks {
+    /// Conventional ingest hook (the paper's `H1`).
+    pub const H1: &str = "H1";
+    /// Conventional work hook (the paper's `H2`).
+    pub const H2: &str = "H2";
+    /// Conventional egress hook (the paper's `H3`).
+    pub const H3: &str = "H3";
+    /// Diagnostic hook.
+    pub const COMPLAIN: &str = "complain";
+}

@@ -1,0 +1,226 @@
+//! Parallel sharding to a set of back-ends (Fig. 6, §7.1): the host's
+//! `Choose()` populates a run-time **subset** of the back-end set, the
+//! front-end fans out to the subset in parallel (`+`), failed back-ends
+//! are demoted (`retract [] ActiveBackend[b̃]`), and the operator is
+//! alerted when no viable back-end remains (`HaveAtLeastOne`).
+//!
+//! Per-backend coordination uses the `Work[tgt]` indexed-proposition
+//! refinement that §7.1 describes ("making Work into a set indexed by
+//! tgt"), so the parallel arms do not interfere.
+//!
+//! Deviation from Fig. 6 as printed: `ActiveBackend[·]` initializes to
+//! *true* (the figure initializes it false and relies on an unshown
+//! registration step; without one the fan-out would be vacuous).
+
+use csaw_core::builder::*;
+use csaw_core::decl::Decl;
+use csaw_core::expr::{Arg, Expr, ForOp};
+use csaw_core::formula::Formula;
+use csaw_core::names::{JRef, NameRef, PropRef, SetElem, SetRef};
+use csaw_core::program::{InstanceType, JunctionDef, Program};
+
+/// Parameters of the parallel-sharding architecture.
+#[derive(Clone, Debug)]
+pub struct ParallelShardingSpec {
+    /// Number of back-ends in `Backs`.
+    pub n_backends: usize,
+    /// Host hook populating the `tgt` subset.
+    pub choose_hook: String,
+    /// Host hook run by each back-end.
+    pub handle_hook: String,
+    /// Front-end instance name.
+    pub front: String,
+    /// Back-end name prefix.
+    pub backend_prefix: String,
+}
+
+impl Default for ParallelShardingSpec {
+    fn default() -> Self {
+        ParallelShardingSpec {
+            n_backends: 4,
+            choose_hook: "Choose".into(),
+            handle_hook: "Handle".into(),
+            front: "Fnt".into(),
+            backend_prefix: "Bck".into(),
+        }
+    }
+}
+
+impl ParallelShardingSpec {
+    /// Generated back-end names.
+    pub fn backend_names(&self) -> Vec<String> {
+        (1..=self.n_backends)
+            .map(|i| format!("{}{i}", self.backend_prefix))
+            .collect()
+    }
+}
+
+/// Build the Fig. 6 program.
+pub fn parallel_sharding(spec: &ParallelShardingSpec) -> Program {
+    let backends = spec.backend_names();
+    let backs: Vec<SetElem> = backends
+        .iter()
+        .map(|b| SetElem::Instance(b.clone()))
+        .collect();
+
+    // Per-arm body: if ActiveBackend[b̃] then
+    //   ⟨| write(n,b̃); assert [b̃] Work[b̃]; wait [] ¬Work[b̃];
+    //      assert [] HaveAtLeastOne |⟩ otherwise[t] retract [] ActiveBackend[b̃]
+    let b = NameRef::var("b");
+    let arm_body = if_then(
+        Formula::Prop(PropRef::indexed("ActiveBackend", b.clone())),
+        otherwise(
+            transaction(seq([
+                Expr::Write { data: NameRef::lit("n"), to: JRef::Bare(b.clone()) },
+                Expr::Assert {
+                    at: Some(JRef::Bare(b.clone())),
+                    prop: PropRef::indexed("Work", b.clone()),
+                },
+                Expr::Wait {
+                    data: vec![],
+                    formula: Formula::Prop(PropRef::indexed("Work", b.clone())).not(),
+                },
+                assert_local("HaveAtLeastOne"),
+            ])),
+            "t",
+            Expr::Retract {
+                at: None,
+                prop: PropRef::indexed("ActiveBackend", b.clone()),
+            },
+        ),
+    );
+
+    let front = InstanceType::new(
+        "tFront",
+        vec![JunctionDef::new(
+            "junction",
+            vec![p_timeout("t")],
+            vec![
+                Decl::data("n"),
+                Decl::Set { name: "Backs".into(), elems: Some(backs.clone()) },
+                Decl::for_props("x", SetRef::Named(NameRef::lit("Backs")), "Work", false),
+                // Deviation: active-by-default (see module docs).
+                Decl::for_props(
+                    "x",
+                    SetRef::Named(NameRef::lit("Backs")),
+                    "ActiveBackend",
+                    true,
+                ),
+                Decl::subset("tgt", SetRef::Named(NameRef::lit("Backs"))),
+                Decl::prop_false("HaveAtLeastOne"),
+            ],
+            seq([
+                host_w(&spec.choose_hook, ["tgt"]),
+                save("n"),
+                retract_local("HaveAtLeastOne"),
+                for_each("b", SetRef::Named(NameRef::var("tgt")), ForOp::Par, arm_body),
+                if_then(
+                    Formula::prop("HaveAtLeastOne").not(),
+                    call("complain", vec![]),
+                ),
+            ]),
+        )],
+    );
+
+    // Back-end: guard on its own Work[self]; `self` binds at start.
+    let selfref = NameRef::var("self");
+    let back = InstanceType::new(
+        "tBack",
+        vec![JunctionDef::new(
+            "junction",
+            vec![p_junction("f"), p_timeout("t"), p_prop("self")],
+            vec![
+                Decl::Prop {
+                    prop: PropRef::indexed("Work", selfref.clone()),
+                    init: false,
+                },
+                Decl::data("n"),
+                Decl::Guard(Formula::Prop(PropRef::indexed("Work", selfref.clone()))),
+            ],
+            seq([
+                restore("n"),
+                host(&spec.handle_hook),
+                otherwise(
+                    Expr::Retract {
+                        at: Some(JRef::var("f")),
+                        prop: PropRef::indexed("Work", selfref.clone()),
+                    },
+                    "t",
+                    seq([
+                        Expr::Retract {
+                            at: None,
+                            prop: PropRef::indexed("Work", selfref.clone()),
+                        },
+                        call("complain", vec![]),
+                    ]),
+                ),
+            ]),
+        )],
+    );
+
+    let mut builder = ProgramBuilder::new()
+        .ty(front)
+        .ty(back)
+        .instance(&spec.front, "tFront")
+        .func(complain_func());
+    for bname in &backends {
+        builder = builder.instance(bname, "tBack");
+    }
+    let mut starts: Vec<Expr> = backends
+        .iter()
+        .map(|bname| {
+            start(
+                bname,
+                vec![
+                    Arg::Junction(JRef::qualified(&spec.front, "junction")),
+                    Arg::name("t"),
+                    Arg::Prop(bname.clone()),
+                ],
+            )
+        })
+        .collect();
+    starts.push(start(&spec.front, vec![Arg::name("t")]));
+    builder.main(vec![p_timeout("t")], par(starts)).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csaw_core::program::LoadConfig;
+
+    #[test]
+    fn compiles_and_unrolls_subset_fanout() {
+        let spec = ParallelShardingSpec::default();
+        let cp = csaw_core::compile(parallel_sharding(&spec), &LoadConfig::new()).unwrap();
+        let f = cp.instance("Fnt").unwrap().junction("junction").unwrap();
+        // The for-loop over the subset unrolled to a 4-way Par guarded by
+        // membership tests.
+        let mut par_width = 0;
+        f.body.walk(&mut |e| {
+            if let Expr::Par(v) = e {
+                par_width = par_width.max(v.len());
+            }
+        });
+        assert_eq!(par_width, 4);
+        let mut membership_guards = 0;
+        f.body.walk(&mut |e| {
+            if let Expr::If { cond, .. } = e {
+                if matches!(cond, Formula::InSubset { .. }) {
+                    membership_guards += 1;
+                }
+            }
+        });
+        assert_eq!(membership_guards, 4);
+        // Work[·] and ActiveBackend[·] families expanded per element.
+        let keys: Vec<String> = f
+            .decls
+            .iter()
+            .filter_map(|d| match d {
+                Decl::Prop { prop, .. } => prop.as_key(),
+                _ => None,
+            })
+            .collect();
+        assert!(keys.contains(&"Work[Bck1]".to_string()));
+        assert!(keys.contains(&"ActiveBackend[Bck4]".to_string()));
+    }
+}

@@ -1,0 +1,200 @@
+//! N-ary sharding (Fig. 5, §5.2): a front-end routes each query to one of
+//! N back-ends; the *choice function* lives in the host language
+//! (`⌊Choose()⌉{tgt}` populating an `idx`), so the same architecture
+//! implements key-hash sharding, object-size sharding (the paper's Redis
+//! extension quantizing 0–4KB / 4–64KB / >64KB), and Suricata's 5-tuple
+//! packet steering — only the host hook changes.
+//!
+//! Relative to Fig. 5 the back-ends also return a response datum `m` to
+//! the front-end (the Fig. 7 `τFun` pattern), which storage/lookup
+//! workloads need.
+
+use csaw_core::builder::*;
+use csaw_core::decl::Decl;
+use csaw_core::expr::{Arg, Expr, Terminator};
+use csaw_core::formula::Formula;
+use csaw_core::names::{JRef, NameRef, SetElem, SetRef};
+use csaw_core::program::{InstanceType, JunctionDef, Program};
+
+/// Parameters of the sharding architecture.
+#[derive(Clone, Debug)]
+pub struct ShardingSpec {
+    /// Number of back-end shards.
+    pub n_backends: usize,
+    /// Host hook that inspects the pending request and sets the `tgt`
+    /// idx (the paper's `Choose()`).
+    pub choose_hook: String,
+    /// Host hook executed by a back-end on the routed request.
+    pub handle_hook: String,
+    /// Front-end instance name.
+    pub front: String,
+    /// Back-end name prefix (`Bck` → `Bck1`, `Bck2`, …).
+    pub backend_prefix: String,
+}
+
+impl Default for ShardingSpec {
+    fn default() -> Self {
+        ShardingSpec {
+            n_backends: 4,
+            choose_hook: "Choose".into(),
+            handle_hook: "Handle".into(),
+            front: "Fnt".into(),
+            backend_prefix: "Bck".into(),
+        }
+    }
+}
+
+impl ShardingSpec {
+    /// The generated back-end instance names.
+    pub fn backend_names(&self) -> Vec<String> {
+        (1..=self.n_backends)
+            .map(|i| format!("{}{i}", self.backend_prefix))
+            .collect()
+    }
+}
+
+/// Build the Fig. 5 program.
+pub fn sharding(spec: &ShardingSpec) -> Program {
+    let backends = spec.backend_names();
+    let backend_set: Vec<SetElem> = backends
+        .iter()
+        .map(|b| SetElem::Instance(b.clone()))
+        .collect();
+
+    let front = InstanceType::new(
+        "tFront",
+        vec![JunctionDef::new(
+            "junction",
+            vec![p_timeout("t")],
+            vec![
+                Decl::prop_false("Work"),
+                Decl::data("n"),
+                Decl::data("m"),
+                Decl::idx("tgt", SetRef::Lit(backend_set)),
+            ],
+            seq([
+                host_w(&spec.choose_hook, ["tgt"]),
+                save("n"),
+                otherwise(
+                    scope(seq([
+                        Expr::Write {
+                            data: NameRef::lit("n"),
+                            to: JRef::var("tgt"),
+                        },
+                        Expr::Assert {
+                            at: Some(JRef::var("tgt")),
+                            prop: csaw_core::names::PropRef::plain("Work"),
+                        },
+                        wait(["m"], Formula::prop("Work").not()),
+                        restore("m"),
+                    ])),
+                    "t",
+                    call("complain", vec![]),
+                ),
+            ]),
+        )],
+    );
+
+    // τBack "closely follows τAuditing" (Fig. 5 caption) with the added
+    // response write.
+    let back = InstanceType::new(
+        "tBack",
+        vec![JunctionDef::new(
+            "junction",
+            vec![p_junction("f"), p_timeout("t")],
+            vec![
+                Decl::prop_false("Work"),
+                Decl::prop_false("Retried"),
+                Decl::data("n"),
+                Decl::data("m"),
+                Decl::guard(Formula::prop("Work")),
+            ],
+            seq([
+                restore("n"),
+                host(&spec.handle_hook),
+                retract_local("Retried"),
+                case(
+                    vec![arm(
+                        Formula::prop("Work"),
+                        otherwise(
+                            scope(seq([
+                                save("m"),
+                                Expr::Write {
+                                    data: NameRef::lit("m"),
+                                    to: JRef::var("f"),
+                                },
+                                Expr::Retract {
+                                    at: Some(JRef::var("f")),
+                                    prop: csaw_core::names::PropRef::plain("Work"),
+                                },
+                            ])),
+                            "t",
+                            if_then_else(
+                                Formula::prop("Retried").not(),
+                                assert_local("Retried"),
+                                call("complain", vec![]),
+                            ),
+                        ),
+                        Terminator::Reconsider,
+                    )],
+                    Expr::Skip,
+                ),
+            ]),
+        )],
+    );
+
+    let mut builder = ProgramBuilder::new()
+        .ty(front)
+        .ty(back)
+        .instance(&spec.front, "tFront")
+        .func(complain_func());
+    for b in &backends {
+        builder = builder.instance(b, "tBack");
+    }
+    // main(t): start all back-ends, then the front-end.
+    let mut starts: Vec<Expr> = backends
+        .iter()
+        .map(|b| {
+            start(
+                b,
+                vec![
+                    Arg::Junction(JRef::qualified(&spec.front, "junction")),
+                    Arg::name("t"),
+                ],
+            )
+        })
+        .collect();
+    starts.push(start(&spec.front, vec![Arg::name("t")]));
+    builder.main(vec![p_timeout("t")], par(starts)).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csaw_core::program::LoadConfig;
+
+    #[test]
+    fn compiles_with_four_backends() {
+        let spec = ShardingSpec::default();
+        let p = sharding(&spec);
+        let cp = csaw_core::compile(p, &LoadConfig::new()).unwrap();
+        assert_eq!(cp.instances.len(), 5);
+        assert!(cp.instance("Bck3").is_some());
+        // The front-end's idx ranges over all four backends.
+        let f = cp.instance("Fnt").unwrap().junction("junction").unwrap();
+        let idx_base = f.decls.iter().find_map(|d| match d {
+            Decl::Idx { name, of: SetRef::Lit(e) } if name == "tgt" => Some(e.len()),
+            _ => None,
+        });
+        assert_eq!(idx_base, Some(4));
+    }
+
+    #[test]
+    fn scales_to_other_backend_counts() {
+        for n in [1, 2, 8] {
+            let spec = ShardingSpec { n_backends: n, ..Default::default() };
+            let p = sharding(&spec);
+            csaw_core::compile(p, &LoadConfig::new()).unwrap();
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Remote snapshots (Fig. 4, §5.1): an *actual* instance captures select
+//! state at a key point of an invocation and logs it to a remote
+//! *auditing* instance, with timeout-based failure awareness and one
+//! retry (the `Retried` pattern).
+//!
+//! Continuous snapshots (use-case ③) are the same architecture invoked
+//! repeatedly — drive the `Act` junction with
+//! [`csaw_runtime::runtime::Policy::Periodic`] or repeated
+//! `Runtime::invoke`.
+
+use csaw_core::builder::*;
+use csaw_core::decl::Decl;
+use csaw_core::expr::{Arg, Expr, Terminator};
+use csaw_core::formula::Formula;
+use csaw_core::names::JRef;
+use csaw_core::program::{InstanceType, JunctionDef, Program};
+
+/// Parameters of the remote-snapshot architecture.
+#[derive(Clone, Debug)]
+pub struct SnapshotSpec {
+    /// Host hook run before the snapshot is captured (the paper's `H1`;
+    /// for cURL this is the transfer step being audited).
+    pub work_hook: String,
+    /// Host hook run by the auditor after restoring the snapshot (`H2`;
+    /// e.g. "append to audit log").
+    pub audit_hook: String,
+    /// Name of the actual instance.
+    pub actual: String,
+    /// Name of the auditing instance.
+    pub auditor: String,
+}
+
+impl Default for SnapshotSpec {
+    fn default() -> Self {
+        SnapshotSpec {
+            work_hook: "H1".into(),
+            audit_hook: "H2".into(),
+            actual: "Act".into(),
+            auditor: "Aud".into(),
+        }
+    }
+}
+
+/// Build the Fig. 4 program.
+pub fn snapshot(spec: &SnapshotSpec) -> Program {
+    let act = InstanceType::new(
+        "tActual",
+        vec![JunctionDef::new(
+            "junction",
+            vec![p_timeout("t")],
+            vec![Decl::prop_false("Work"), Decl::data("n")],
+            seq([
+                host(&spec.work_hook),
+                save("n"),
+                otherwise(
+                    scope(seq([
+                        write("n", JRef::instance(&spec.auditor)),
+                        assert_at(JRef::instance(&spec.auditor), "Work"),
+                        wait(Vec::<String>::new(), Formula::prop("Work").not()),
+                    ])),
+                    "t",
+                    call("complain", vec![]),
+                ),
+            ]),
+        )],
+    );
+    let aud = InstanceType::new(
+        "tAuditing",
+        vec![JunctionDef::new(
+            "junction",
+            vec![p_timeout("t")],
+            vec![
+                Decl::prop_false("Work"),
+                Decl::prop_false("Retried"),
+                Decl::data("n"),
+                Decl::guard(Formula::prop("Work")),
+            ],
+            seq([
+                restore("n"),
+                host(&spec.audit_hook),
+                retract_local("Retried"),
+                case(
+                    vec![arm(
+                        Formula::prop("Work"),
+                        otherwise(
+                            retract_at(JRef::instance(&spec.actual), "Work"),
+                            "t",
+                            if_then_else(
+                                Formula::prop("Retried").not(),
+                                assert_local("Retried"),
+                                call("complain", vec![]),
+                            ),
+                        ),
+                        Terminator::Reconsider,
+                    )],
+                    Expr::Skip,
+                ),
+            ]),
+        )],
+    );
+    ProgramBuilder::new()
+        .ty(act)
+        .ty(aud)
+        .instance(&spec.actual, "tActual")
+        .instance(&spec.auditor, "tAuditing")
+        .func(complain_func())
+        .main(
+            vec![p_timeout("t")],
+            par([
+                start(&spec.actual, vec![Arg::name("t")]),
+                start(&spec.auditor, vec![Arg::name("t")]),
+            ]),
+        )
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csaw_core::program::LoadConfig;
+
+    #[test]
+    fn compiles() {
+        let p = snapshot(&SnapshotSpec::default());
+        let cp = csaw_core::compile(p, &LoadConfig::new()).unwrap();
+        assert_eq!(cp.instances.len(), 2);
+        let aud = cp.instance("Aud").unwrap().junction("junction").unwrap();
+        assert!(aud.guard().is_some());
+    }
+
+    #[test]
+    fn custom_names_flow_through() {
+        let spec = SnapshotSpec {
+            actual: "curl".into(),
+            auditor: "logger".into(),
+            work_hook: "transfer".into(),
+            audit_hook: "append_log".into(),
+        };
+        let p = snapshot(&spec);
+        let cp = csaw_core::compile(p, &LoadConfig::new()).unwrap();
+        assert!(cp.instance("curl").is_some());
+        assert!(cp.instance("logger").is_some());
+        let rendered = csaw_core::pretty::print_program(&cp.program);
+        assert!(rendered.contains("transfer"));
+    }
+}

@@ -1,0 +1,426 @@
+//! Watched fail-over (§7.4, Figs. 16–17): two back-ends `o` (preferred)
+//! and `s` (spare), arbitrated by a watchdog `w` whose junctions fire on
+//! liveness conditions (`S(·)`), plus a front-end `f` that focuses on a
+//! single back-end at a time. "The front-end focuses on engaging with
+//! only one of the two back-ends — unlike the other design which involved
+//! engaging with all backends."
+//!
+//! Documented deviation: `reply`'s second safety condition is weakened
+//! from `verify ¬Reply@other` to `verify S(other) → ¬Reply@other`; under
+//! the paper's ternary logic the unconditional form errors whenever the
+//! peer is down — which is precisely the fail-over situation in which
+//! the spare must reply.
+
+use csaw_core::builder::*;
+use csaw_core::decl::Decl;
+use csaw_core::expr::{Arg, Expr, Terminator};
+use csaw_core::formula::Formula;
+use csaw_core::names::{JRef, NameRef, PropRef, SetElem, SetRef};
+use csaw_core::program::{FuncDef, InstanceType, JunctionDef, Program};
+
+/// Parameters of the watched fail-over architecture.
+#[derive(Clone, Debug)]
+pub struct WatchedSpec {
+    /// Front-end name.
+    pub front: String,
+    /// Watchdog name.
+    pub watchdog: String,
+    /// Preferred back-end name.
+    pub preferred: String,
+    /// Spare back-end name.
+    pub spare: String,
+    /// Host hooks: ingest, serve, egress.
+    pub ingest_hook: String,
+    /// Back-end work hook.
+    pub serve_hook: String,
+    /// Response-emission hook.
+    pub egress_hook: String,
+}
+
+impl Default for WatchedSpec {
+    fn default() -> Self {
+        WatchedSpec {
+            front: "f".into(),
+            watchdog: "w".into(),
+            preferred: "o".into(),
+            spare: "s".into(),
+            ingest_hook: "H1".into(),
+            serve_hook: "H2".into(),
+            egress_hook: "H3".into(),
+        }
+    }
+}
+
+/// `RunBackend(n, t, tgt)` (Fig. 16).
+fn run_backend_func() -> FuncDef {
+    let tgt = NameRef::var("tgt");
+    FuncDef::new(
+        "RunBackend",
+        vec![p_junction("tgt")],
+        vec![],
+        otherwise(
+            transaction(seq([
+                write("n", JRef::Bare(tgt.clone())),
+                Expr::Assert {
+                    at: Some(JRef::Bare(tgt.clone())),
+                    prop: PropRef::indexed("Run", tgt.clone()),
+                },
+            ])),
+            "t",
+            call("complain", vec![]),
+        ),
+    )
+}
+
+/// `Watch(tgt, prop)` (Fig. 16): raise `prop` at the chosen back-end and
+/// at the front-end. The proposition name is a compile-time template
+/// parameter.
+fn watch_func(spec: &WatchedSpec) -> FuncDef {
+    let tgt = NameRef::var("tgt");
+    FuncDef::new(
+        "Watch",
+        vec![p_junction("tgt"), p_prop("prop")],
+        vec![],
+        otherwise_nodeadline(
+            transaction(seq([
+                Expr::Assert {
+                    at: Some(JRef::Bare(tgt.clone())),
+                    prop: PropRef { name: NameRef::var("prop"), index: None },
+                },
+                Expr::Assert {
+                    at: Some(JRef::instance(&spec.front)),
+                    prop: PropRef { name: NameRef::var("prop"), index: None },
+                },
+            ])),
+            call("complain", vec![]),
+        ),
+    )
+}
+
+/// `reply(t, other)` (Fig. 17) with the weakened second verify.
+fn reply_func(spec: &WatchedSpec) -> FuncDef {
+    let other = NameRef::var("other");
+    FuncDef::new(
+        "reply",
+        vec![p_junction("other")],
+        vec![],
+        seq([
+            verify(
+                Formula::at(JRef::instance(&spec.front), Formula::prop("Reply")).not(),
+            ),
+            verify(Formula::Live(other.clone()).implies(
+                Formula::at(JRef::Bare(other.clone()), Formula::prop("Reply")).not(),
+            )),
+            otherwise(
+                scope(seq([
+                    save("m"),
+                    write("m", JRef::instance(&spec.front)),
+                    assert_at(JRef::instance(&spec.front), "Reply"),
+                ])),
+                "t",
+                call("complain", vec![]),
+            ),
+        ]),
+    )
+}
+
+fn two_set(spec: &WatchedSpec) -> Vec<SetElem> {
+    vec![
+        SetElem::Instance(spec.preferred.clone()),
+        SetElem::Instance(spec.spare.clone()),
+    ]
+}
+
+/// `τf` (Fig. 16).
+fn front_type(spec: &WatchedSpec) -> InstanceType {
+    let set = SetRef::Lit(two_set(spec));
+    let o = &spec.preferred;
+    let s = &spec.spare;
+    InstanceType::new(
+        "tF",
+        vec![JunctionDef::new(
+            "junction",
+            vec![p_timeout("t")],
+            vec![
+                Decl::prop_false("Reply"),
+                Decl::for_props("x", set, "Run", false),
+                Decl::prop_false("failover"),
+                Decl::prop_false("nofailover"),
+                Decl::data("n"),
+                Decl::data("m"),
+                // Junction won't be scheduled until ¬Reply.
+                Decl::guard(Formula::prop("Reply").not()),
+            ],
+            seq([
+                host(&spec.ingest_hook),
+                save("n"),
+                verify(
+                    Formula::prop_at("Run", NameRef::lit(o.clone()))
+                        .not()
+                        .and(Formula::prop_at("Run", NameRef::lit(s.clone())).not())
+                        .and(Formula::prop("Reply").not()),
+                ),
+                verify(
+                    Formula::prop("failover")
+                        .and(Formula::prop("nofailover"))
+                        .not(),
+                ),
+                case(
+                    vec![
+                        arm(
+                            Formula::prop("failover")
+                                .and(Formula::prop("nofailover").not()),
+                            call("RunBackend", vec![Arg::Junction(JRef::instance(s))]),
+                            Terminator::Break,
+                        ),
+                        arm(
+                            Formula::prop("failover")
+                                .not()
+                                .and(Formula::prop("nofailover")),
+                            call("RunBackend", vec![Arg::Junction(JRef::instance(o))]),
+                            Terminator::Break,
+                        ),
+                    ],
+                    otherwise(
+                        scope(par([
+                            call("RunBackend", vec![Arg::Junction(JRef::instance(o))]),
+                            call("RunBackend", vec![Arg::Junction(JRef::instance(s))]),
+                        ])),
+                        "t",
+                        call("complain", vec![]),
+                    ),
+                ),
+                // Don't wait too long for completion; prioritize
+                // throughput (Fig. 16 comment).
+                otherwise(
+                    scope(wait(["m"], Formula::prop("Reply"))),
+                    "t",
+                    Expr::Return,
+                ),
+                retract_local("Reply"),
+                restore("m"),
+                host(&spec.egress_hook),
+            ]),
+        )],
+    )
+}
+
+/// A back-end type; `cases_on_failover` distinguishes τs from τo.
+fn backend_type(
+    spec: &WatchedSpec,
+    name: &str,
+    me: &str,
+    other: &str,
+    is_spare: bool,
+) -> InstanceType {
+    let run_me = PropRef::indexed("Run", NameRef::lit(me.to_string()));
+    let body_tail: Expr = if is_spare {
+        // τs replies only in fail-over mode (Fig. 17).
+        case(
+            vec![arm(
+                Formula::prop("failover"),
+                seq([
+                    call("reply", vec![Arg::Junction(JRef::instance(other))]),
+                    retract_local("Reply"),
+                ]),
+                Terminator::Break,
+            )],
+            skip(),
+        )
+    } else {
+        seq([
+            call("reply", vec![Arg::Junction(JRef::instance(other))]),
+            retract_local("Reply"),
+        ])
+    };
+    InstanceType::new(
+        name,
+        vec![JunctionDef::new(
+            "junction",
+            vec![p_timeout("t")],
+            vec![
+                Decl::Prop { prop: run_me.clone(), init: false },
+                Decl::prop_false("Reply"),
+                Decl::prop_false("failover"),
+                Decl::prop_false("nofailover"),
+                Decl::data("n"),
+                Decl::data("m"),
+                Decl::guard(Formula::Prop(run_me.clone())),
+            ],
+            seq([
+                verify(Formula::prop("Reply").not()),
+                restore("n"),
+                host(&spec.serve_hook),
+                otherwise(
+                    Expr::Retract {
+                        at: Some(JRef::instance(&spec.front)),
+                        prop: run_me.clone(),
+                    },
+                    "t",
+                    call("complain", vec![]),
+                ),
+                body_tail,
+            ]),
+        )],
+    )
+}
+
+/// `τw` (Fig. 16): three guard-driven junctions.
+fn watchdog_type(spec: &WatchedSpec) -> InstanceType {
+    let o = &spec.preferred;
+    let s = &spec.spare;
+    let f = &spec.front;
+    let co = JunctionDef::new(
+        "co",
+        vec![],
+        vec![
+            Decl::prop_false("nofailover"),
+            Decl::guard(
+                Formula::live(s.clone())
+                    .not()
+                    .and(Formula::live(o.clone()))
+                    .and(Formula::live(f.clone())),
+            ),
+        ],
+        call(
+            "Watch",
+            vec![
+                Arg::Junction(JRef::instance(o)),
+                Arg::Prop("nofailover".into()),
+            ],
+        ),
+    );
+    let cs = JunctionDef::new(
+        "cs",
+        vec![],
+        vec![
+            Decl::prop_false("failover"),
+            Decl::guard(
+                Formula::live(o.clone())
+                    .not()
+                    .and(Formula::live(s.clone()))
+                    .and(Formula::live(f.clone())),
+            ),
+        ],
+        call(
+            "Watch",
+            vec![
+                Arg::Junction(JRef::instance(s)),
+                Arg::Prop("failover".into()),
+            ],
+        ),
+    );
+    let cunrecov = JunctionDef::new(
+        "cunrecov",
+        vec![],
+        vec![Decl::guard(
+            Formula::live(s.clone())
+                .not()
+                .and(Formula::live(o.clone()).not())
+                .or(Formula::live(f.clone()).not()),
+        )],
+        call("complain", vec![]),
+    );
+    InstanceType::new("tW", vec![co, cs, cunrecov])
+}
+
+/// Build the §7.4 program.
+pub fn watched_failover(spec: &WatchedSpec) -> Program {
+    ProgramBuilder::new()
+        .ty(front_type(spec))
+        .ty(backend_type(spec, "tO", &spec.preferred, &spec.spare, false))
+        .ty(backend_type(spec, "tS", &spec.spare, &spec.preferred, true))
+        .ty(watchdog_type(spec))
+        .instance(&spec.front, "tF")
+        .instance(&spec.preferred, "tO")
+        .instance(&spec.spare, "tS")
+        .instance(&spec.watchdog, "tW")
+        .func(run_backend_func())
+        .func(watch_func(spec))
+        .func(reply_func(spec))
+        .func(complain_func())
+        .main(
+            vec![p_timeout("t")],
+            seq([
+                par([
+                    start_junctions(
+                        &spec.watchdog,
+                        vec![("co", vec![]), ("cs", vec![]), ("cunrecov", vec![])],
+                    ),
+                    start(&spec.preferred, vec![Arg::name("t")]),
+                    start(&spec.spare, vec![Arg::name("t")]),
+                ]),
+                start(&spec.front, vec![Arg::name("t")]),
+            ]),
+        )
+        .build()
+}
+
+/// Configure runtime policies: the front-end junction is request-driven
+/// (invoke per client request — "scheduled by the instance's application
+/// logic"), and the watchdog junctions poll liveness periodically.
+pub fn configure_policies(
+    rt: &csaw_runtime::Runtime,
+    spec: &WatchedSpec,
+    watch_interval: std::time::Duration,
+) {
+    use csaw_runtime::runtime::Policy;
+    rt.set_policy(&spec.front, "junction", Policy::OnDemand);
+    for j in ["co", "cs", "cunrecov"] {
+        rt.set_policy(&spec.watchdog, j, Policy::Periodic(watch_interval));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csaw_core::program::LoadConfig;
+
+    #[test]
+    fn compiles() {
+        let cp =
+            csaw_core::compile(watched_failover(&WatchedSpec::default()), &LoadConfig::new())
+                .unwrap();
+        assert_eq!(cp.instances.len(), 4);
+        let w = cp.instance("w").unwrap();
+        assert_eq!(w.junctions.len(), 3);
+        // Watchdog guards are liveness formulas.
+        for j in &w.junctions {
+            assert!(j.guard().is_some());
+        }
+        // Watch's prop parameter resolved at compile time.
+        let co = w.junction("co").unwrap();
+        let rendered = {
+            let mut s = String::new();
+            csaw_core::pretty::print_junction("tW", co, &mut s);
+            s
+        };
+        assert!(rendered.contains("nofailover"), "{rendered}");
+    }
+
+    #[test]
+    fn spare_only_replies_in_failover_mode() {
+        let cp =
+            csaw_core::compile(watched_failover(&WatchedSpec::default()), &LoadConfig::new())
+                .unwrap();
+        let s = cp.instance("s").unwrap().junction("junction").unwrap();
+        let mut has_failover_case = false;
+        s.body.walk(&mut |e| {
+            if let Expr::Case { arms, .. } = e {
+                if arms.len() == 1 {
+                    has_failover_case = true;
+                }
+            }
+        });
+        assert!(has_failover_case);
+        // The preferred back-end has no case — it always replies.
+        let o = cp.instance("o").unwrap().junction("junction").unwrap();
+        let mut o_cases = 0;
+        o.body.walk(&mut |e| {
+            if matches!(e, Expr::Case { .. }) {
+                o_cases += 1;
+            }
+        });
+        assert_eq!(o_cases, 0);
+    }
+}

@@ -1,0 +1,8 @@
+//! Runs the DESIGN.md ablations: transports, serializer depth cap,
+//! fail-over designs, parallel-vs-sequential fan-out.
+fn main() {
+    csaw_bench::ablations::transports(2000).finish();
+    csaw_bench::ablations::serializer_depth().finish();
+    csaw_bench::ablations::failover_designs(30).finish();
+    csaw_bench::ablations::fanout(6, 30, 10).finish();
+}

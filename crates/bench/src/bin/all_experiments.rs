@@ -1,0 +1,18 @@
+//! Runs every table/figure regenerator in sequence (the paper's full
+//! evaluation). Durations scale with CSAW_EXP_SECONDS.
+fn main() {
+    let secs = csaw_bench::exp_seconds(8.0);
+    let reps = csaw_bench::exp_reps(3);
+    csaw_bench::exp_redis::fig23a(secs).finish();
+    csaw_bench::exp_redis::fig23b(secs).finish();
+    csaw_bench::exp_redis::fig23c(secs).finish();
+    csaw_bench::exp_suricata::fig24a(secs).finish();
+    csaw_bench::exp_suricata::fig24b(secs).finish();
+    csaw_bench::exp_suricata::fig24c(secs).finish();
+    csaw_bench::exp_curl::fig25ab(reps).finish();
+    csaw_bench::exp_redis::fig25c(1500).finish();
+    csaw_bench::exp_curl::fig26a(reps, false).finish();
+    csaw_bench::exp_redis::fig26b(1500).finish();
+    csaw_bench::exp_redis::fig26c(secs).finish();
+    csaw_bench::exp_loc::table2().finish();
+}

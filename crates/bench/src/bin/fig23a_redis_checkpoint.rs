@@ -1,0 +1,5 @@
+//! Regenerates Fig. 23a: response of Redis query rate to checkpoints.
+fn main() {
+    let secs = csaw_bench::exp_seconds(10.0);
+    csaw_bench::exp_redis::fig23a(secs).finish();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 23b: cumulative requests sharded by key.
+fn main() {
+    let secs = csaw_bench::exp_seconds(8.0);
+    csaw_bench::exp_redis::fig23b(secs).finish();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 23c: effect of caching on query rate.
+fn main() {
+    let secs = csaw_bench::exp_seconds(8.0);
+    csaw_bench::exp_redis::fig23c(secs).finish();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 24a: response of Suricata packet rate to checkpoints.
+fn main() {
+    let secs = csaw_bench::exp_seconds(10.0);
+    csaw_bench::exp_suricata::fig24a(secs).finish();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 24b: cumulative packets sharded by 5-tuple.
+fn main() {
+    let secs = csaw_bench::exp_seconds(8.0);
+    csaw_bench::exp_suricata::fig24b(secs).finish();
+}

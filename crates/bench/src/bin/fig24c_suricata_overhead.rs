@@ -1,0 +1,5 @@
+//! Regenerates Fig. 24c: normalized checkpointing overhead.
+fn main() {
+    let secs = csaw_bench::exp_seconds(8.0);
+    csaw_bench::exp_suricata::fig24c(secs).finish();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figs. 25a/25b: cURL small-file download time & overhead.
+fn main() {
+    let reps = csaw_bench::exp_reps(5);
+    csaw_bench::exp_curl::fig25ab(reps).finish();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 25c: Redis GET latency CDFs.
+fn main() {
+    let ops = csaw_bench::exp_reps(2000);
+    csaw_bench::exp_redis::fig25c(ops).finish();
+}

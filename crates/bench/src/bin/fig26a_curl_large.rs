@@ -1,0 +1,6 @@
+//! Regenerates Fig. 26a: cURL large-file download time.
+fn main() {
+    let reps = csaw_bench::exp_reps(3);
+    let full = std::env::args().any(|a| a == "--full");
+    csaw_bench::exp_curl::fig26a(reps, full).finish();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 26b: Redis SET latency CDFs.
+fn main() {
+    let ops = csaw_bench::exp_reps(2000);
+    csaw_bench::exp_redis::fig26b(ops).finish();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 26c: cumulative requests sharded by object size.
+fn main() {
+    let secs = csaw_bench::exp_seconds(8.0);
+    csaw_bench::exp_redis::fig26c(secs).finish();
+}

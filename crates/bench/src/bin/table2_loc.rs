@@ -1,0 +1,4 @@
+//! Regenerates Table 2: the effort (LoC) study.
+fn main() {
+    csaw_bench::exp_loc::table2().finish();
+}

@@ -1,0 +1,133 @@
+//! Result emission: human-readable tables + JSON under `results/`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// A generic experiment result: named series of (x, y) points plus
+/// free-form annotations (crash times, checkpoint times, totals…).
+#[derive(Debug, Default, Serialize)]
+pub struct Report {
+    /// Experiment id (e.g. `fig23a`).
+    pub id: String,
+    /// What the paper's version shows.
+    pub title: String,
+    /// Named series.
+    pub series: Vec<Series>,
+    /// Scalar annotations.
+    pub notes: Vec<(String, f64)>,
+    /// Free-form remarks.
+    pub remarks: Vec<String>,
+}
+
+/// One named series.
+#[derive(Debug, Serialize)]
+pub struct Series {
+    /// Label (e.g. `Shard 1`).
+    pub name: String,
+    /// X-axis label.
+    pub x: String,
+    /// Y-axis label.
+    pub y: String,
+    /// Points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Report {
+    /// New report.
+    pub fn new(id: &str, title: &str) -> Report {
+        Report {
+            id: id.to_string(),
+            title: title.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Add a series.
+    pub fn series(
+        &mut self,
+        name: &str,
+        x: &str,
+        y: &str,
+        points: Vec<(f64, f64)>,
+    ) -> &mut Self {
+        self.series.push(Series {
+            name: name.to_string(),
+            x: x.to_string(),
+            y: y.to_string(),
+            points,
+        });
+        self
+    }
+
+    /// Add a scalar note.
+    pub fn note(&mut self, key: &str, value: f64) -> &mut Self {
+        self.notes.push((key.to_string(), value));
+        self
+    }
+
+    /// Add a remark.
+    pub fn remark(&mut self, text: impl Into<String>) -> &mut Self {
+        self.remarks.push(text.into());
+        self
+    }
+
+    /// Print a compact human-readable rendering.
+    pub fn print(&self) {
+        println!("== {} — {} ==", self.id, self.title);
+        for s in &self.series {
+            println!("-- {} ({} vs {}) --", s.name, s.y, s.x);
+            let n = s.points.len();
+            // Print up to 24 evenly-spaced points per series.
+            let step = (n / 24).max(1);
+            for (i, (x, y)) in s.points.iter().enumerate() {
+                if i % step == 0 || i == n - 1 {
+                    println!("  {x:>12.3}  {y:>14.3}");
+                }
+            }
+        }
+        for (k, v) in &self.notes {
+            println!("note: {k} = {v:.3}");
+        }
+        for r in &self.remarks {
+            println!("remark: {r}");
+        }
+    }
+
+    /// Write JSON under `results/<id>.json` (repo root if run from
+    /// there; otherwise relative to the current directory).
+    pub fn write_json(&self) -> std::io::Result<PathBuf> {
+        let dir = PathBuf::from("results");
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        fs::write(&path, serde_json::to_vec_pretty(self).expect("serialize report"))?;
+        Ok(path)
+    }
+
+    /// Print and persist.
+    pub fn finish(&self) {
+        self.print();
+        match self.write_json() {
+            Ok(p) => println!("[written {}]", p.display()),
+            Err(e) => eprintln!("[could not write results: {e}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accumulates() {
+        let mut r = Report::new("figX", "test");
+        r.series("s1", "t", "qps", vec![(0.0, 1.0), (1.0, 2.0)])
+            .note("total", 3.0)
+            .remark("hello");
+        assert_eq!(r.series.len(), 1);
+        assert_eq!(r.notes.len(), 1);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("figX"));
+    }
+}

@@ -1,0 +1,486 @@
+//! Ergonomic constructors for building C-Saw programs from Rust.
+//!
+//! These free functions mirror the paper's concrete syntax closely enough
+//! that the examples of §5/§7 transliterate line-by-line; see `csaw-arch`
+//! for the full catalogue.
+
+use crate::decl::{Param, ParamKind};
+use crate::expr::{Arg, CaseArm, CaseGuard, Expr, ForOp, Terminator};
+use crate::formula::Formula;
+use crate::names::{Ident, JRef, NameRef, PropRef, SetRef};
+use crate::program::{FuncDef, InstanceType, JunctionDef, MainDef, Program};
+
+/// `⌊name⌉` — host code with no writable junction state.
+pub fn host(name: impl Into<String>) -> Expr {
+    Expr::Host {
+        name: name.into(),
+        writes: vec![],
+    }
+}
+
+/// `⌊name⌉{writes…}` — host code that may write the listed symbols.
+pub fn host_w<I, S>(name: impl Into<String>, writes: I) -> Expr
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    Expr::Host {
+        name: name.into(),
+        writes: writes.into_iter().map(Into::into).collect(),
+    }
+}
+
+/// `⟨E⟩` — fate scope.
+pub fn scope(e: Expr) -> Expr {
+    Expr::Scope(Box::new(e))
+}
+
+/// `⟨|E|⟩` — transaction block with rollback on failure.
+pub fn transaction(e: Expr) -> Expr {
+    Expr::Transaction(Box::new(e))
+}
+
+/// `write(data, to)`.
+pub fn write(data: impl Into<String>, to: JRef) -> Expr {
+    Expr::Write {
+        data: NameRef::lit(data),
+        to,
+    }
+}
+
+/// `write` with a variable datum name (function-template parameter).
+pub fn write_var(data: impl Into<String>, to: JRef) -> Expr {
+    Expr::Write {
+        data: NameRef::var(data),
+        to,
+    }
+}
+
+/// `wait [data…] formula`.
+pub fn wait<I, S>(data: I, formula: Formula) -> Expr
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    Expr::Wait {
+        data: data.into_iter().map(|d| NameRef::lit(d)).collect(),
+        formula,
+    }
+}
+
+/// `save(…, data)`.
+pub fn save(data: impl Into<String>) -> Expr {
+    Expr::Save {
+        data: NameRef::lit(data),
+    }
+}
+
+/// `restore(data, …)`.
+pub fn restore(data: impl Into<String>) -> Expr {
+    Expr::Restore {
+        data: NameRef::lit(data),
+    }
+}
+
+/// `E1; E2; …`.
+pub fn seq<I: IntoIterator<Item = Expr>>(es: I) -> Expr {
+    Expr::Seq(es.into_iter().collect())
+}
+
+/// `E1 + E2 + …`.
+pub fn par<I: IntoIterator<Item = Expr>>(es: I) -> Expr {
+    Expr::Par(es.into_iter().collect())
+}
+
+/// `∥n E`.
+pub fn rep(n: u32, body: Expr) -> Expr {
+    Expr::Rep {
+        n,
+        body: Box::new(body),
+    }
+}
+
+/// `body otherwise[t] handler` with `t` a timeout parameter name.
+pub fn otherwise(body: Expr, t: impl Into<String>, handler: Expr) -> Expr {
+    body.otherwise(Some(NameRef::var(t)), handler)
+}
+
+/// `body otherwise handler` (no deadline; handler runs on failure only).
+pub fn otherwise_nodeadline(body: Expr, handler: Expr) -> Expr {
+    body.otherwise(None, handler)
+}
+
+/// `start ι(args…)` for a single-junction instance.
+pub fn start(instance: impl Into<String>, args: Vec<Arg>) -> Expr {
+    Expr::Start {
+        instance: NameRef::lit(instance),
+        junction_args: vec![(None, args)],
+    }
+}
+
+/// `start ι γ1(…) γ2(…) …` with per-junction argument lists.
+pub fn start_junctions(
+    instance: impl Into<String>,
+    junction_args: Vec<(&str, Vec<Arg>)>,
+) -> Expr {
+    Expr::Start {
+        instance: NameRef::lit(instance),
+        junction_args: junction_args
+            .into_iter()
+            .map(|(j, a)| (Some(j.to_string()), a))
+            .collect(),
+    }
+}
+
+/// `stop ι`.
+pub fn stop(instance: impl Into<String>) -> Expr {
+    Expr::Stop(NameRef::lit(instance))
+}
+
+/// `assert [] P` — local assertion.
+pub fn assert_local(prop: impl Into<String>) -> Expr {
+    Expr::Assert {
+        at: None,
+        prop: PropRef::plain(prop),
+    }
+}
+
+/// `assert [γ] P`.
+pub fn assert_at(at: JRef, prop: impl Into<String>) -> Expr {
+    Expr::Assert {
+        at: Some(at),
+        prop: PropRef::plain(prop),
+    }
+}
+
+/// `assert [γ] P[ix]` with an indexed proposition.
+pub fn assert_at_ix(at: JRef, prop: impl Into<String>, ix: NameRef) -> Expr {
+    Expr::Assert {
+        at: Some(at),
+        prop: PropRef::indexed(prop, ix),
+    }
+}
+
+/// `assert [] P[ix]`.
+pub fn assert_local_ix(prop: impl Into<String>, ix: NameRef) -> Expr {
+    Expr::Assert {
+        at: None,
+        prop: PropRef::indexed(prop, ix),
+    }
+}
+
+/// `retract [] P`.
+pub fn retract_local(prop: impl Into<String>) -> Expr {
+    Expr::Retract {
+        at: None,
+        prop: PropRef::plain(prop),
+    }
+}
+
+/// `retract [γ] P`.
+pub fn retract_at(at: JRef, prop: impl Into<String>) -> Expr {
+    Expr::Retract {
+        at: Some(at),
+        prop: PropRef::plain(prop),
+    }
+}
+
+/// `retract [γ] P[ix]`.
+pub fn retract_at_ix(at: JRef, prop: impl Into<String>, ix: NameRef) -> Expr {
+    Expr::Retract {
+        at: Some(at),
+        prop: PropRef::indexed(prop, ix),
+    }
+}
+
+/// `retract [] P[ix]`.
+pub fn retract_local_ix(prop: impl Into<String>, ix: NameRef) -> Expr {
+    Expr::Retract {
+        at: None,
+        prop: PropRef::indexed(prop, ix),
+    }
+}
+
+/// `f(args…)` — call a function template.
+pub fn call(func: impl Into<String>, args: Vec<Arg>) -> Expr {
+    Expr::Call {
+        func: func.into(),
+        args,
+    }
+}
+
+/// `verify G`.
+pub fn verify(f: Formula) -> Expr {
+    Expr::Verify(f)
+}
+
+/// `skip`.
+pub fn skip() -> Expr {
+    Expr::Skip
+}
+
+/// `retry`.
+pub fn retry() -> Expr {
+    Expr::Retry
+}
+
+/// `keep` for the given keys.
+pub fn keep<I, S>(keys: I) -> Expr
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    Expr::Keep {
+        keys: keys.into_iter().map(|k| NameRef::lit(k)).collect(),
+    }
+}
+
+/// A `case` arm.
+pub fn arm(guard: Formula, body: Expr, terminator: Terminator) -> CaseArm {
+    CaseArm {
+        guard: CaseGuard::Plain(guard),
+        body,
+        terminator,
+    }
+}
+
+/// A `for`-quantified case arm (Fig. 10).
+pub fn arm_for(
+    var: impl Into<String>,
+    set: SetRef,
+    guard: Formula,
+    body: Expr,
+    terminator: Terminator,
+) -> CaseArm {
+    CaseArm {
+        guard: CaseGuard::For {
+            var: var.into(),
+            set,
+            formula: guard,
+        },
+        body,
+        terminator,
+    }
+}
+
+/// `case { arms… otherwise ⇒ other }`.
+pub fn case(arms: Vec<CaseArm>, other: Expr) -> Expr {
+    Expr::Case {
+        arms,
+        otherwise: Box::new(other),
+    }
+}
+
+/// `if cond then e`.
+pub fn if_then(cond: Formula, then: Expr) -> Expr {
+    Expr::If {
+        cond,
+        then: Box::new(then),
+        els: None,
+    }
+}
+
+/// `if cond then e1 else e2`.
+pub fn if_then_else(cond: Formula, then: Expr, els: Expr) -> Expr {
+    Expr::If {
+        cond,
+        then: Box::new(then),
+        els: Some(Box::new(els)),
+    }
+}
+
+/// `for var ∈ set op body`.
+pub fn for_each(var: impl Into<String>, set: SetRef, op: ForOp, body: Expr) -> Expr {
+    Expr::For {
+        var: var.into(),
+        set,
+        op,
+        body: Box::new(body),
+    }
+}
+
+/// Timeout parameter declaration.
+pub fn p_timeout(name: impl Into<String>) -> Param {
+    Param::new(name, ParamKind::Timeout)
+}
+/// Junction-target parameter declaration.
+pub fn p_junction(name: impl Into<String>) -> Param {
+    Param::new(name, ParamKind::Junction)
+}
+/// Set parameter declaration.
+pub fn p_set(name: impl Into<String>) -> Param {
+    Param::new(name, ParamKind::Set)
+}
+/// Proposition-name parameter declaration.
+pub fn p_prop(name: impl Into<String>) -> Param {
+    Param::new(name, ParamKind::Prop)
+}
+
+/// Fluent builder for whole programs.
+#[derive(Default)]
+pub struct ProgramBuilder {
+    types: Vec<InstanceType>,
+    instances: Vec<(Ident, Ident)>,
+    functions: Vec<FuncDef>,
+    main: Option<MainDef>,
+}
+
+impl ProgramBuilder {
+    /// Fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an instance type.
+    pub fn ty(mut self, t: InstanceType) -> Self {
+        self.types.push(t);
+        self
+    }
+
+    /// Declare an instance of a type.
+    pub fn instance(mut self, name: impl Into<String>, ty: impl Into<String>) -> Self {
+        self.instances.push((name.into(), ty.into()));
+        self
+    }
+
+    /// Declare several instances of the same type (`Bck1 … BckN`).
+    pub fn instances_of(mut self, ty: &str, names: &[&str]) -> Self {
+        for n in names {
+            self.instances.push((n.to_string(), ty.to_string()));
+        }
+        self
+    }
+
+    /// Add a function template.
+    pub fn func(mut self, f: FuncDef) -> Self {
+        self.functions.push(f);
+        self
+    }
+
+    /// Set `main`.
+    pub fn main(mut self, params: Vec<Param>, body: Expr) -> Self {
+        self.main = Some(MainDef { params, body });
+        self
+    }
+
+    /// Finish. Panics if `main` was never provided (programmer error, not
+    /// input error — every paper program has a `main`).
+    pub fn build(self) -> Program {
+        Program {
+            types: self.types,
+            instances: self.instances,
+            functions: self.functions,
+            main: self.main.expect("ProgramBuilder: main is required"),
+        }
+    }
+}
+
+/// Shorthand for the ubiquitous `def complain() ◀ ⌊…⌉` template.
+pub fn complain_func() -> FuncDef {
+    FuncDef::new("complain", vec![], vec![], host("complain"))
+}
+
+/// Build the `H1;H2` example from Fig. 3 of the paper: instances `f : τf`
+/// and `g : τg` coordinating via the `Work` proposition. Useful as a
+/// canonical test program; its event-structure semantics are checked in
+/// `csaw-semantics` against Fig. 18.
+pub fn fig3_program() -> Program {
+    use crate::decl::Decl;
+
+    let tau_f = InstanceType::new(
+        "tau_f",
+        vec![JunctionDef::new(
+            "junction",
+            vec![p_junction("g")],
+            vec![Decl::prop_false("Work"), Decl::data("n")],
+            seq([
+                host("H1"),
+                save("n"),
+                Expr::Write {
+                    data: NameRef::lit("n"),
+                    to: JRef::var("g"),
+                },
+                Expr::Assert {
+                    at: Some(JRef::var("g")),
+                    prop: PropRef::plain("Work"),
+                },
+                wait(Vec::<String>::new(), Formula::prop("Work").not()),
+            ]),
+        )],
+    );
+    let tau_g = InstanceType::new(
+        "tau_g",
+        vec![JunctionDef::new(
+            "junction",
+            vec![p_junction("f")],
+            vec![
+                Decl::prop_false("Work"),
+                Decl::data("n"),
+                Decl::guard(Formula::prop("Work")),
+            ],
+            seq([
+                restore("n"),
+                host("H2"),
+                Expr::Retract {
+                    at: Some(JRef::var("f")),
+                    prop: PropRef::plain("Work"),
+                },
+            ]),
+        )],
+    );
+    ProgramBuilder::new()
+        .ty(tau_f)
+        .ty(tau_g)
+        .instance("f", "tau_f")
+        .instance("g", "tau_g")
+        .main(
+            vec![],
+            par([
+                start("f", vec![Arg::Junction(JRef::instance("g"))]),
+                start("g", vec![Arg::Junction(JRef::instance("f"))]),
+            ]),
+        )
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_shape() {
+        let p = fig3_program();
+        assert_eq!(p.types.len(), 2);
+        assert_eq!(p.instances.len(), 2);
+        let tf = p.get_type("tau_f").unwrap();
+        let j = tf.junction("junction").unwrap();
+        assert_eq!(j.params.len(), 1);
+        assert!(j.guard().is_none());
+        let tg = p.get_type("tau_g").unwrap();
+        assert!(tg.junction("junction").unwrap().guard().is_some());
+    }
+
+    #[test]
+    fn builders_produce_expected_nodes() {
+        assert!(matches!(host("H1"), Expr::Host { writes, .. } if writes.is_empty()));
+        assert!(matches!(
+            host_w("Choose", ["tgt"]),
+            Expr::Host { writes, .. } if writes == vec!["tgt".to_string()]
+        ));
+        assert!(matches!(transaction(skip()), Expr::Transaction(_)));
+        assert!(matches!(
+            otherwise(skip(), "t", retry()),
+            Expr::Otherwise { timeout: Some(_), .. }
+        ));
+        assert!(matches!(
+            otherwise_nodeadline(skip(), retry()),
+            Expr::Otherwise { timeout: None, .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "main is required")]
+    fn builder_requires_main() {
+        ProgramBuilder::new().build();
+    }
+}

@@ -1,0 +1,206 @@
+//! Junction declarations (`| init prop …`, `| guard …`, `| set …`, …) and
+//! definition parameters.
+
+use crate::formula::Formula;
+use crate::names::{Ident, NameRef, PropRef, SetElem, SetRef};
+
+/// Kinds of definition parameter. "Propositions, named data, sets, and
+/// host-language data are all legal parameters" (§6); junction targets and
+/// timeouts appear throughout the examples.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParamKind {
+    /// A timeout (e.g. the `t` threaded through every example).
+    Timeout,
+    /// A junction/instance target (Fig. 3's `junction(g)`).
+    Junction,
+    /// A proposition name (Fig. 16's `Watch(tgt, prop)` — compile-time).
+    Prop,
+    /// A named datum.
+    Data,
+    /// A set (Fig. 12's `b({b1::serve, b2::serve}, t)`).
+    Set,
+    /// An index over a set (§7.3 mentions indices passed by parameter).
+    Idx,
+    /// Opaque host-language data.
+    Host,
+}
+
+/// A named, typed definition parameter. Parameters are constant variables:
+/// readable, never assignable (§6).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: Ident,
+    /// Parameter kind.
+    pub kind: ParamKind,
+}
+
+impl Param {
+    /// Construct a parameter.
+    pub fn new(name: impl Into<String>, kind: ParamKind) -> Param {
+        Param { name: name.into(), kind }
+    }
+}
+
+/// A declaration at the head of a junction or function definition.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Decl {
+    /// `init prop P` / `init prop ¬P`: declare a proposition with its
+    /// initial value (`¬P` initializes to false).
+    Prop {
+        /// The proposition (index must be a literal or `for`-bound var).
+        prop: PropRef,
+        /// Initial value.
+        init: bool,
+    },
+    /// `init data n`: declare a datum, initialized to `undef`.
+    Data {
+        /// Datum name.
+        name: Ident,
+    },
+    /// `guard F`: the junction may only be scheduled while `F` holds.
+    Guard(Formula),
+    /// `set S` (load-time value) or a literal set assignment
+    /// (Fig. 6's `set Backs # Assigned to {Bck1, …, BckN}`).
+    Set {
+        /// Set name.
+        name: Ident,
+        /// Literal elements, or `None` when provided at load time.
+        elems: Option<Vec<SetElem>>,
+    },
+    /// `subset s of S`: a run-time subset of `S`, populated by host code;
+    /// initialized to `undef`.
+    Subset {
+        /// Subset name.
+        name: Ident,
+        /// The superset.
+        of: SetRef,
+    },
+    /// `idx i of S`: a host-provided choice function (cursor) over `S`;
+    /// initialized to `undef`.
+    Idx {
+        /// Index name.
+        name: Ident,
+        /// The indexed set.
+        of: SetRef,
+    },
+    /// `for x̃ ∈ S init prop ¬P[x̃]`: declare one proposition per element
+    /// (Fig. 6's `ActiveBackend`, Fig. 10's `Backend`). Unrolled at
+    /// compile time.
+    ForProps {
+        /// Bound symbol.
+        var: Ident,
+        /// Iterated set.
+        set: SetRef,
+        /// The proposition family (index mentions `var`).
+        prop: PropRef,
+        /// Initial value for each member.
+        init: bool,
+    },
+}
+
+impl Decl {
+    /// `init prop ¬name` (false-initialized plain proposition).
+    pub fn prop_false(name: impl Into<String>) -> Decl {
+        Decl::Prop {
+            prop: PropRef::plain(name),
+            init: false,
+        }
+    }
+    /// `init prop name` (true-initialized plain proposition — e.g.
+    /// `Starting` in Fig. 10/13).
+    pub fn prop_true(name: impl Into<String>) -> Decl {
+        Decl::Prop {
+            prop: PropRef::plain(name),
+            init: true,
+        }
+    }
+    /// `init data name`.
+    pub fn data(name: impl Into<String>) -> Decl {
+        Decl::Data { name: name.into() }
+    }
+    /// `guard F`.
+    pub fn guard(f: Formula) -> Decl {
+        Decl::Guard(f)
+    }
+    /// `idx name of set`.
+    pub fn idx(name: impl Into<String>, of: SetRef) -> Decl {
+        Decl::Idx { name: name.into(), of }
+    }
+    /// `subset name of set`.
+    pub fn subset(name: impl Into<String>, of: SetRef) -> Decl {
+        Decl::Subset { name: name.into(), of }
+    }
+    /// `for var ∈ set init prop ¬family[var]`.
+    pub fn for_props(
+        var: impl Into<String>,
+        set: SetRef,
+        family: impl Into<String>,
+        init: bool,
+    ) -> Decl {
+        let var = var.into();
+        Decl::ForProps {
+            prop: PropRef::indexed(family, NameRef::var(var.clone())),
+            var,
+            set,
+            init,
+        }
+    }
+
+    /// The name this declaration introduces, if any (`Guard` introduces
+    /// none; `ForProps` introduces the family name).
+    pub fn declared_name(&self) -> Option<&str> {
+        match self {
+            Decl::Prop { prop, .. } => prop.name.as_lit(),
+            Decl::Data { name }
+            | Decl::Set { name, .. }
+            | Decl::Subset { name, .. }
+            | Decl::Idx { name, .. } => Some(name),
+            Decl::ForProps { prop, .. } => prop.name.as_lit(),
+            Decl::Guard(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        match Decl::prop_false("Work") {
+            Decl::Prop { prop, init } => {
+                assert_eq!(prop.as_key().unwrap(), "Work");
+                assert!(!init);
+            }
+            _ => unreachable!(),
+        }
+        match Decl::prop_true("Starting") {
+            Decl::Prop { init, .. } => assert!(init),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn for_props_binds_var_in_index() {
+        let d = Decl::for_props("tgt", SetRef::instances(["b1", "b2"]), "Backend", false);
+        match d {
+            Decl::ForProps { var, prop, .. } => {
+                assert_eq!(var, "tgt");
+                assert_eq!(prop.index.unwrap(), NameRef::var("tgt"));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn declared_names() {
+        assert_eq!(Decl::prop_false("Work").declared_name(), Some("Work"));
+        assert_eq!(Decl::data("n").declared_name(), Some("n"));
+        assert_eq!(Decl::guard(Formula::True).declared_name(), None);
+        assert_eq!(
+            Decl::for_props("x", SetRef::Lit(vec![]), "Fam", false).declared_name(),
+            Some("Fam")
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Errors produced by validation and expansion.
+
+use std::fmt;
+
+/// Result alias for core operations.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+/// A static (compile-time) error in a C-Saw program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoreError {
+    /// A name was used without being declared, or declared twice.
+    Scope { context: String, name: String, detail: String },
+    /// A `case` expression violated the paper's validity constraints
+    /// (§6, *More on branching*).
+    InvalidCase(String),
+    /// A function call had the wrong arity or argument kinds, or a
+    /// function was not defined.
+    BadCall { func: String, detail: String },
+    /// (Mutual) recursion between function templates: templates expand at
+    /// compile time and must therefore be non-recursive.
+    RecursiveTemplate(String),
+    /// A `set` declaration with no literal value was not provided at load
+    /// time ("`set` must be specified at load time", §6).
+    MissingSet(String),
+    /// Sets cannot contain sets.
+    NestedSet(String),
+    /// Host code `⌊·⌉` is not allowed inside transaction blocks `⟨|·|⟩`
+    /// since roll-back is undefined for it (§6, *Functions and brackets*).
+    HostInTransaction(String),
+    /// A junction attempted to communicate with itself (`write`/`assert`
+    /// to `me::junction` — §6, *Communication to self*).
+    SelfCommunication(String),
+    /// Structural error: unknown instance/type/junction, duplicate names…
+    Structure(String),
+    /// `retry`/`break`/`next`/`reconsider` used outside a legal context.
+    BadControl(String),
+    /// Expansion exceeded its budget (runaway unrolling).
+    ExpansionBudget(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Scope { context, name, detail } => {
+                write!(f, "scope error in {context}: `{name}`: {detail}")
+            }
+            CoreError::InvalidCase(d) => write!(f, "invalid case expression: {d}"),
+            CoreError::BadCall { func, detail } => write!(f, "bad call to `{func}`: {detail}"),
+            CoreError::RecursiveTemplate(d) => write!(f, "recursive function template: {d}"),
+            CoreError::MissingSet(s) => write!(f, "set `{s}` not provided at load time"),
+            CoreError::NestedSet(s) => write!(f, "set `{s}` contains a set (sets may not nest)"),
+            CoreError::HostInTransaction(d) => {
+                write!(f, "host code inside transaction block: {d}")
+            }
+            CoreError::SelfCommunication(d) => write!(f, "junction communicates with itself: {d}"),
+            CoreError::Structure(d) => write!(f, "structural error: {d}"),
+            CoreError::BadControl(d) => write!(f, "control-flow error: {d}"),
+            CoreError::ExpansionBudget(d) => write!(f, "expansion budget exceeded: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::Scope {
+            context: "junction f::b".into(),
+            name: "Work".into(),
+            detail: "proposition not declared".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("f::b") && s.contains("Work"));
+        assert!(CoreError::MissingSet("Backs".into()).to_string().contains("Backs"));
+    }
+}

@@ -1,0 +1,1057 @@
+//! Compile-time template expansion.
+//!
+//! C-Saw has no run-time recursion: functions are templates inlined at
+//! their call sites, and `for` loops unroll over compile-time sets (§6,
+//! *Template-based Recursion*). This module performs both, producing a
+//! [`CompiledProgram`] in which every remaining construct is directly
+//! interpretable.
+//!
+//! Expansion is **per-instance**: two instances of the same type may be
+//! started with different compile-time sets (the fail-over front-end's
+//! `backends` parameter, Fig. 12), so each instance gets its own expanded
+//! copy of its type's junctions.
+//!
+//! `for` over a **run-time subset** (Fig. 6's `for b̃ ∈ tgt +`) unrolls
+//! over the subset's compile-time *superset*, guarding each unrolled body
+//! with a membership test ([`Formula::InSubset`]) that the runtime
+//! evaluates against the subset's current value.
+
+use std::collections::HashMap;
+
+use crate::decl::{Decl, ParamKind};
+use crate::error::{CoreError, CoreResult};
+use crate::expr::{Arg, CaseArm, CaseGuard, Expr, ForOp};
+use crate::formula::Formula;
+use crate::names::{Ident, JRef, NameRef, PropRef, SetElem, SetRef};
+use crate::program::{
+    CompiledInstance, CompiledProgram, JunctionDef, LoadConfig, MainDef, Program,
+};
+
+/// Upper bound on total expanded AST nodes, to stop runaway unrolling.
+const NODE_BUDGET: usize = 2_000_000;
+/// Maximum function-inlining depth (templates may call templates).
+const INLINE_DEPTH: usize = 32;
+
+/// What a substituted variable stands for.
+#[derive(Clone, Debug)]
+enum SubstVal {
+    /// A function-call argument.
+    Arg(Arg),
+    /// A `for`-bound set element.
+    Elem(SetElem),
+}
+
+/// Expansion context for one junction of one instance.
+struct Ctx<'a> {
+    program: &'a Program,
+    /// Compile-time known sets in scope: name → elements.
+    sets: HashMap<Ident, Vec<SetElem>>,
+    /// Names that are run-time subsets (unrolling guards with membership).
+    subsets: HashMap<Ident, Vec<SetElem>>,
+    /// Active substitution (function params + `for`-bound symbols).
+    subst: HashMap<Ident, SubstVal>,
+    /// Declarations hoisted from inlined function templates (cf. `Watch`
+    /// in Fig. 16, which declares propositions of its own).
+    hoisted: Vec<Decl>,
+    /// Inlining depth.
+    depth: usize,
+    /// Node budget counter.
+    nodes: usize,
+    /// Diagnostic location.
+    location: String,
+}
+
+impl<'a> Ctx<'a> {
+    fn spend(&mut self, n: usize) -> CoreResult<()> {
+        self.nodes += n;
+        if self.nodes > NODE_BUDGET {
+            return Err(CoreError::ExpansionBudget(self.location.clone()));
+        }
+        Ok(())
+    }
+
+    fn lookup_subst(&self, name: &str) -> Option<&SubstVal> {
+        self.subst.get(name)
+    }
+
+    /// Resolve a set reference to compile-time elements, or report whether
+    /// it names a run-time subset (returning its superset elements).
+    fn resolve_set(&self, set: &SetRef) -> CoreResult<(Vec<SetElem>, Option<Ident>)> {
+        match set {
+            SetRef::Lit(elems) => Ok((elems.clone(), None)),
+            SetRef::Named(n) => {
+                let raw = match self.lookup_subst(n.raw()) {
+                    Some(SubstVal::Arg(Arg::SetLit(elems))) => return Ok((elems.clone(), None)),
+                    Some(SubstVal::Arg(Arg::Name(inner))) => inner.raw().to_string(),
+                    Some(SubstVal::Elem(e)) => {
+                        return Err(CoreError::Scope {
+                            context: self.location.clone(),
+                            name: e.key(),
+                            detail: "for-bound element used as a set".into(),
+                        })
+                    }
+                    Some(SubstVal::Arg(other)) => {
+                        return Err(CoreError::BadCall {
+                            func: self.location.clone(),
+                            detail: format!("argument {other:?} is not a set"),
+                        })
+                    }
+                    None => n.raw().to_string(),
+                };
+                if let Some(elems) = self.sets.get(&raw) {
+                    return Ok((elems.clone(), None));
+                }
+                if let Some(sup) = self.subsets.get(&raw) {
+                    return Ok((sup.clone(), Some(raw)));
+                }
+                Err(CoreError::MissingSet(format!("{} (in {})", raw, self.location)))
+            }
+        }
+    }
+}
+
+/// Expand a validated program against a load configuration.
+pub fn expand(program: Program, config: &LoadConfig) -> CoreResult<CompiledProgram> {
+    // Collect compile-time set bindings for (instance, junction, param)
+    // from literal `start` arguments anywhere in the program.
+    let start_sets = collect_start_sets(&program);
+
+    let mut instances = Vec::with_capacity(program.instances.len());
+    for (iname, tname) in &program.instances {
+        let ty = program.get_type(tname).ok_or_else(|| {
+            CoreError::Structure(format!("instance {iname} has unknown type {tname}"))
+        })?;
+        let mut junctions = Vec::with_capacity(ty.junctions.len());
+        for j in &ty.junctions {
+            junctions.push(expand_junction(&program, config, &start_sets, iname, tname, j)?);
+        }
+        instances.push(CompiledInstance {
+            name: iname.clone(),
+            type_name: tname.clone(),
+            junctions,
+        });
+    }
+
+    // Expand `main` (it may call templates and use `for` over literals).
+    let mut main_ctx = Ctx {
+        program: &program,
+        sets: config
+            .sets
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect(),
+        subsets: HashMap::new(),
+        subst: HashMap::new(),
+        hoisted: Vec::new(),
+        depth: 0,
+        nodes: 0,
+        location: "main".into(),
+    };
+    let main_body = expand_expr(&mut main_ctx, &program.main.body)?;
+    let main = MainDef {
+        params: program.main.params.clone(),
+        body: main_body,
+    };
+
+    let expanded_program = Program {
+        types: program.types.clone(),
+        instances: program.instances.clone(),
+        functions: vec![],
+        main,
+    };
+    Ok(CompiledProgram {
+        program: expanded_program,
+        instances,
+        retry_limit: config.retry_limit,
+    })
+}
+
+/// Map `(instance, junction, param)` → literal set bound at a `start`.
+type StartSets = HashMap<(Ident, Ident, Ident), Vec<SetElem>>;
+
+fn collect_start_sets(program: &Program) -> StartSets {
+    let mut out = StartSets::new();
+    let mut record = |e: &Expr| {
+        let Expr::Start { instance, junction_args } = e else {
+            return;
+        };
+        let Some(iname) = instance.as_lit() else { return };
+        let Some(ty) = program.type_of(iname) else { return };
+        for (jname, args) in junction_args {
+            let jdef = match jname {
+                Some(j) => ty.junction(j),
+                None if ty.junctions.len() == 1 => Some(&ty.junctions[0]),
+                None => None,
+            };
+            let Some(jdef) = jdef else { continue };
+            for (param, arg) in jdef.params.iter().zip(args.iter()) {
+                if param.kind == ParamKind::Set {
+                    if let Arg::SetLit(elems) = arg {
+                        out.insert(
+                            (iname.to_string(), jdef.name.clone(), param.name.clone()),
+                            elems.clone(),
+                        );
+                    }
+                }
+            }
+        }
+    };
+    program.main.body.walk(&mut record);
+    for ty in &program.types {
+        for j in &ty.junctions {
+            j.body.walk(&mut record);
+        }
+    }
+    for f in &program.functions {
+        f.body.walk(&mut record);
+    }
+    out
+}
+
+fn expand_junction(
+    program: &Program,
+    config: &LoadConfig,
+    start_sets: &StartSets,
+    iname: &str,
+    tname: &str,
+    j: &JunctionDef,
+) -> CoreResult<JunctionDef> {
+    let location = format!("{iname}::{}", j.name);
+    let mut sets = HashMap::new();
+    let mut subsets = HashMap::new();
+
+    // Seed known sets: declared literals, load-config values, set params
+    // bound by literal `start` arguments (with load-config override).
+    for d in &j.decls {
+        match d {
+            Decl::Set { name, elems: Some(e) } => {
+                sets.insert(name.clone(), e.clone());
+            }
+            Decl::Set { name, elems: None } => {
+                let scope = format!("{iname}::{}", j.name);
+                let v = config
+                    .set(&scope, name)
+                    .or_else(|| config.set(&format!("{tname}::{}", j.name), name))
+                    .ok_or_else(|| CoreError::MissingSet(format!("{name} (in {location})")))?;
+                sets.insert(name.clone(), v.clone());
+            }
+            _ => {}
+        }
+    }
+    for p in j.params.iter().filter(|p| p.kind == ParamKind::Set) {
+        let scope = format!("{iname}::{}", j.name);
+        if let Some(v) = config.set(&scope, &p.name) {
+            sets.insert(p.name.clone(), v.clone());
+        } else if let Some(v) =
+            start_sets.get(&(iname.to_string(), j.name.clone(), p.name.clone()))
+        {
+            sets.insert(p.name.clone(), v.clone());
+        }
+    }
+    // Subsets reference a previously-known superset.
+    for d in &j.decls {
+        if let Decl::Subset { name, of } = d {
+            let sup = match of {
+                SetRef::Lit(e) => e.clone(),
+                SetRef::Named(n) => sets
+                    .get(n.raw())
+                    .cloned()
+                    .ok_or_else(|| CoreError::MissingSet(format!("{} (in {location})", n.raw())))?,
+            };
+            subsets.insert(name.clone(), sup);
+        }
+    }
+
+    let mut ctx = Ctx {
+        program,
+        sets,
+        subsets,
+        subst: HashMap::new(),
+        hoisted: Vec::new(),
+        depth: 0,
+        nodes: 0,
+        location,
+    };
+
+    // Expand declarations (ForProps unrolling; Set resolution to literals).
+    let mut decls = Vec::new();
+    for d in &j.decls {
+        expand_decl(&mut ctx, d, &mut decls)?;
+    }
+    let body = expand_expr(&mut ctx, &j.body)?;
+    // Hoisted declarations from inlined function templates.
+    for d in std::mem::take(&mut ctx.hoisted) {
+        if !decls.contains(&d) {
+            decls.push(d);
+        }
+    }
+    // Guards may contain `for`-formulas; expand them.
+    for d in decls.iter_mut() {
+        if let Decl::Guard(f) = d {
+            *f = expand_formula(&mut ctx, f)?;
+        }
+    }
+
+    Ok(JunctionDef {
+        name: j.name.clone(),
+        params: j.params.clone(),
+        decls,
+        body,
+    })
+}
+
+fn expand_decl(ctx: &mut Ctx<'_>, d: &Decl, out: &mut Vec<Decl>) -> CoreResult<()> {
+    ctx.spend(1)?;
+    match d {
+        Decl::ForProps { var, set, prop, init } => {
+            let (elems, subset) = ctx.resolve_set(set)?;
+            if subset.is_some() {
+                return Err(CoreError::Structure(format!(
+                    "for-declaration over run-time subset in {}",
+                    ctx.location
+                )));
+            }
+            for e in elems {
+                let mut p = prop.clone();
+                if let Some(ix) = &mut p.index {
+                    if ix.as_var() == Some(var.as_str()) {
+                        *ix = NameRef::lit(e.key());
+                    }
+                }
+                out.push(Decl::Prop { prop: p, init: *init });
+            }
+        }
+        Decl::Set { name, .. } => {
+            let elems = ctx.sets.get(name).cloned().unwrap_or_default();
+            out.push(Decl::Set {
+                name: name.clone(),
+                elems: Some(elems),
+            });
+        }
+        // Resolve subset/idx base sets to literal element lists so the
+        // runtime can enforce the §6 host-language contract.
+        Decl::Subset { name, of } => {
+            let (elems, _) = ctx.resolve_set(of)?;
+            out.push(Decl::Subset {
+                name: name.clone(),
+                of: SetRef::Lit(elems),
+            });
+        }
+        Decl::Idx { name, of } => {
+            let (elems, _) = ctx.resolve_set(of)?;
+            out.push(Decl::Idx {
+                name: name.clone(),
+                of: SetRef::Lit(elems),
+            });
+        }
+        other => out.push(other.clone()),
+    }
+    Ok(())
+}
+
+fn subst_name(ctx: &Ctx<'_>, n: &NameRef) -> NameRef {
+    match n {
+        NameRef::Var(v) => match ctx.lookup_subst(v) {
+            Some(SubstVal::Elem(e)) => NameRef::lit(e.key()),
+            Some(SubstVal::Arg(Arg::Name(inner))) => inner.clone(),
+            Some(SubstVal::Arg(Arg::Prop(p))) => NameRef::lit(p.clone()),
+            Some(SubstVal::Arg(Arg::Junction(JRef::Bare(inner)))) => inner.clone(),
+            Some(SubstVal::Arg(Arg::Junction(j))) => NameRef::lit(j.to_string()),
+            _ => n.clone(),
+        },
+        lit => lit.clone(),
+    }
+}
+
+fn subst_jref(ctx: &Ctx<'_>, j: &JRef) -> JRef {
+    match j {
+        JRef::Bare(NameRef::Var(v)) => match ctx.lookup_subst(v) {
+            Some(SubstVal::Elem(SetElem::Instance(i))) => JRef::Bare(NameRef::lit(i.clone())),
+            Some(SubstVal::Elem(SetElem::Junction(i, jn))) => JRef::Qualified {
+                instance: NameRef::lit(i.clone()),
+                junction: jn.clone(),
+            },
+            Some(SubstVal::Arg(Arg::Junction(inner))) => inner.clone(),
+            Some(SubstVal::Arg(Arg::Name(inner))) => JRef::Bare(inner.clone()),
+            _ => j.clone(),
+        },
+        JRef::Qualified { instance, junction } => JRef::Qualified {
+            instance: subst_name(ctx, instance),
+            junction: junction.clone(),
+        },
+        other => other.clone(),
+    }
+}
+
+fn subst_prop(ctx: &Ctx<'_>, p: &PropRef) -> PropRef {
+    PropRef {
+        name: subst_name(ctx, &p.name),
+        index: p.index.as_ref().map(|ix| subst_name(ctx, ix)),
+    }
+}
+
+fn expand_formula(ctx: &mut Ctx<'_>, f: &Formula) -> CoreResult<Formula> {
+    ctx.spend(1)?;
+    Ok(match f {
+        Formula::False => Formula::False,
+        Formula::True => Formula::True,
+        Formula::Prop(p) => Formula::Prop(subst_prop(ctx, p)),
+        Formula::Not(inner) => Formula::Not(Box::new(expand_formula(ctx, inner)?)),
+        Formula::And(a, b) => Formula::And(
+            Box::new(expand_formula(ctx, a)?),
+            Box::new(expand_formula(ctx, b)?),
+        ),
+        Formula::Or(a, b) => Formula::Or(
+            Box::new(expand_formula(ctx, a)?),
+            Box::new(expand_formula(ctx, b)?),
+        ),
+        Formula::Implies(a, b) => Formula::Implies(
+            Box::new(expand_formula(ctx, a)?),
+            Box::new(expand_formula(ctx, b)?),
+        ),
+        Formula::At(j, inner) => {
+            Formula::At(subst_jref(ctx, j), Box::new(expand_formula(ctx, inner)?))
+        }
+        Formula::Live(n) => Formula::Live(subst_name(ctx, n)),
+        Formula::InSubset { elem, subset } => Formula::InSubset {
+            elem: subst_name(ctx, elem),
+            subset: subst_name(ctx, subset),
+        },
+        Formula::For { var, set, conj, body } => {
+            let (elems, subset) = ctx.resolve_set(set)?;
+            let mut parts = Vec::with_capacity(elems.len());
+            for e in &elems {
+                let prev = ctx.subst.insert(var.clone(), SubstVal::Elem(e.clone()));
+                let mut inst = expand_formula(ctx, body)?;
+                if let Some(sub) = &subset {
+                    inst = Formula::InSubset {
+                        elem: NameRef::lit(e.key()),
+                        subset: NameRef::lit(sub.clone()),
+                    }
+                    .and(inst);
+                }
+                restore_subst(ctx, var, prev);
+                parts.push(inst);
+            }
+            fold_formula(parts, *conj)
+        }
+    })
+}
+
+fn restore_subst(ctx: &mut Ctx<'_>, var: &str, prev: Option<SubstVal>) {
+    match prev {
+        Some(v) => {
+            ctx.subst.insert(var.to_string(), v);
+        }
+        None => {
+            ctx.subst.remove(var);
+        }
+    }
+}
+
+fn fold_formula(parts: Vec<Formula>, conj: bool) -> Formula {
+    if parts.is_empty() {
+        // "for p̃ ∈ {} ∨ E = false; for p̃ ∈ {} ∧ E = ¬false" (§6)
+        return if conj { Formula::True } else { Formula::False };
+    }
+    let mut it = parts.into_iter().rev();
+    let mut acc = it.next().unwrap();
+    for p in it {
+        acc = if conj { p.and(acc) } else { p.or(acc) };
+    }
+    acc
+}
+
+fn subst_arg(ctx: &Ctx<'_>, a: &Arg) -> Arg {
+    match a {
+        Arg::Name(n) => match n {
+            NameRef::Var(v) => match ctx.lookup_subst(v) {
+                Some(SubstVal::Arg(inner)) => inner.clone(),
+                Some(SubstVal::Elem(e)) => Arg::Name(NameRef::lit(e.key())),
+                None => a.clone(),
+            },
+            lit => Arg::Name(lit.clone()),
+        },
+        Arg::Junction(j) => Arg::Junction(subst_jref(ctx, j)),
+        Arg::ScaledTimeout { base, num, den } => Arg::ScaledTimeout {
+            base: subst_name(ctx, base),
+            num: *num,
+            den: *den,
+        },
+        other => other.clone(),
+    }
+}
+
+fn expand_expr(ctx: &mut Ctx<'_>, e: &Expr) -> CoreResult<Expr> {
+    ctx.spend(1)?;
+    Ok(match e {
+        Expr::Host { name, writes } => Expr::Host {
+            name: name.clone(),
+            writes: writes
+                .iter()
+                .map(|w| subst_name(ctx, &NameRef::var(w.clone())).raw().to_string())
+                .collect(),
+        },
+        Expr::Scope(inner) => Expr::Scope(Box::new(expand_expr(ctx, inner)?)),
+        Expr::Transaction(inner) => Expr::Transaction(Box::new(expand_expr(ctx, inner)?)),
+        Expr::Return | Expr::Skip | Expr::Retry | Expr::Break | Expr::Next | Expr::Reconsider => {
+            e.clone()
+        }
+        Expr::Write { data, to } => Expr::Write {
+            data: subst_name(ctx, data),
+            to: subst_jref(ctx, to),
+        },
+        Expr::Wait { data, formula } => Expr::Wait {
+            data: data.iter().map(|d| subst_name(ctx, d)).collect(),
+            formula: expand_formula(ctx, formula)?,
+        },
+        Expr::Save { data } => Expr::Save {
+            data: subst_name(ctx, data),
+        },
+        Expr::Restore { data } => Expr::Restore {
+            data: subst_name(ctx, data),
+        },
+        Expr::Seq(es) => Expr::Seq(
+            es.iter()
+                .map(|x| expand_expr(ctx, x))
+                .collect::<CoreResult<_>>()?,
+        ),
+        Expr::Par(es) => Expr::Par(
+            es.iter()
+                .map(|x| expand_expr(ctx, x))
+                .collect::<CoreResult<_>>()?,
+        ),
+        Expr::Rep { n, body } => Expr::Rep {
+            n: *n,
+            body: Box::new(expand_expr(ctx, body)?),
+        },
+        Expr::Otherwise { body, timeout, handler } => Expr::Otherwise {
+            body: Box::new(expand_expr(ctx, body)?),
+            timeout: timeout.as_ref().map(|t| subst_name(ctx, t)),
+            handler: Box::new(expand_expr(ctx, handler)?),
+        },
+        Expr::Stop(n) => Expr::Stop(subst_name(ctx, n)),
+        Expr::Start { instance, junction_args } => Expr::Start {
+            instance: subst_name(ctx, instance),
+            junction_args: junction_args
+                .iter()
+                .map(|(j, args)| (j.clone(), args.iter().map(|a| subst_arg(ctx, a)).collect()))
+                .collect(),
+        },
+        Expr::Assert { at, prop } => Expr::Assert {
+            at: at.as_ref().map(|j| subst_jref(ctx, j)),
+            prop: subst_prop(ctx, prop),
+        },
+        Expr::Retract { at, prop } => Expr::Retract {
+            at: at.as_ref().map(|j| subst_jref(ctx, j)),
+            prop: subst_prop(ctx, prop),
+        },
+        Expr::Verify(f) => Expr::Verify(expand_formula(ctx, f)?),
+        Expr::Keep { keys } => Expr::Keep {
+            keys: keys.iter().map(|k| subst_name(ctx, k)).collect(),
+        },
+        Expr::If { cond, then, els } => Expr::If {
+            cond: expand_formula(ctx, cond)?,
+            then: Box::new(expand_expr(ctx, then)?),
+            els: match els {
+                Some(x) => Some(Box::new(expand_expr(ctx, x)?)),
+                None => None,
+            },
+        },
+        Expr::LoopScope(inner) => Expr::LoopScope(Box::new(expand_expr(ctx, inner)?)),
+        Expr::Call { func, args } => {
+            if ctx.depth >= INLINE_DEPTH {
+                return Err(CoreError::RecursiveTemplate(format!(
+                    "{func} (inlining depth {INLINE_DEPTH} exceeded in {})",
+                    ctx.location
+                )));
+            }
+            let fdef = ctx
+                .program
+                .function(func)
+                .ok_or_else(|| CoreError::BadCall {
+                    func: func.clone(),
+                    detail: "function not defined".into(),
+                })?
+                .clone();
+            if fdef.params.len() != args.len() {
+                return Err(CoreError::BadCall {
+                    func: func.clone(),
+                    detail: format!(
+                        "arity mismatch: expected {}, got {}",
+                        fdef.params.len(),
+                        args.len()
+                    ),
+                });
+            }
+            // Build the callee substitution in the caller's context.
+            let resolved: Vec<Arg> = args.iter().map(|a| subst_arg(ctx, a)).collect();
+            let saved_subst = ctx.subst.clone();
+            ctx.subst.clear();
+            for (p, a) in fdef.params.iter().zip(resolved.into_iter()) {
+                if matches!(a, Arg::Value(_)) {
+                    ctx.subst = saved_subst;
+                    return Err(CoreError::BadCall {
+                        func: func.clone(),
+                        detail: format!(
+                            "literal value bound to template parameter `{}` — template \
+                             arguments must be names, junctions, props or set literals",
+                            p.name
+                        ),
+                    });
+                }
+                ctx.subst.insert(p.name.clone(), SubstVal::Arg(a));
+            }
+            ctx.depth += 1;
+            // Hoist the template's declarations (substituted) into the
+            // enclosing junction (Fig. 16's `Watch` declares propositions).
+            let mut hoist_err = None;
+            let mut hoisted = Vec::new();
+            for d in &fdef.decls {
+                if let Err(e) = expand_decl(ctx, d, &mut hoisted) {
+                    hoist_err = Some(e);
+                    break;
+                }
+            }
+            let body = if let Some(e) = hoist_err {
+                Err(e)
+            } else {
+                expand_expr(ctx, &fdef.body)
+            };
+            ctx.depth -= 1;
+            ctx.subst = saved_subst;
+            for d in hoisted {
+                if !ctx.hoisted.contains(&d) {
+                    ctx.hoisted.push(d);
+                }
+            }
+            // `return` inside a function leaves the junction, not the
+            // function (§6) — the interpreter treats Return as
+            // junction-exit, so plain inlining is faithful here.
+            Expr::Scope(Box::new(body?))
+        }
+        Expr::Case { arms, otherwise } => {
+            let mut new_arms = Vec::new();
+            for arm in arms {
+                match &arm.guard {
+                    CaseGuard::Plain(f) => new_arms.push(CaseArm {
+                        guard: CaseGuard::Plain(expand_formula(ctx, f)?),
+                        body: expand_expr(ctx, &arm.body)?,
+                        terminator: arm.terminator,
+                    }),
+                    CaseGuard::For { var, set, formula } => {
+                        let (elems, subset) = ctx.resolve_set(set)?;
+                        for e in &elems {
+                            let prev =
+                                ctx.subst.insert(var.clone(), SubstVal::Elem(e.clone()));
+                            let mut g = expand_formula(ctx, formula)?;
+                            if let Some(sub) = &subset {
+                                g = Formula::InSubset {
+                                    elem: NameRef::lit(e.key()),
+                                    subset: NameRef::lit(sub.clone()),
+                                }
+                                .and(g);
+                            }
+                            let b = expand_expr(ctx, &arm.body)?;
+                            restore_subst(ctx, var, prev);
+                            new_arms.push(CaseArm {
+                                guard: CaseGuard::Plain(g),
+                                body: b,
+                                terminator: arm.terminator,
+                            });
+                        }
+                    }
+                }
+            }
+            Expr::Case {
+                arms: new_arms,
+                otherwise: Box::new(expand_expr(ctx, otherwise)?),
+            }
+        }
+        Expr::For { var, set, op, body } => {
+            let (elems, subset) = ctx.resolve_set(set)?;
+            let mut parts = Vec::with_capacity(elems.len());
+            for e in &elems {
+                let prev = ctx.subst.insert(var.clone(), SubstVal::Elem(e.clone()));
+                let mut inst = expand_expr(ctx, body)?;
+                if let Some(sub) = &subset {
+                    inst = Expr::If {
+                        cond: Formula::InSubset {
+                            elem: NameRef::lit(e.key()),
+                            subset: NameRef::lit(sub.clone()),
+                        },
+                        then: Box::new(inst),
+                        els: None,
+                    };
+                }
+                restore_subst(ctx, var, prev);
+                parts.push(inst);
+            }
+            fold_for(parts, op, ctx)?
+        }
+    })
+}
+
+/// Fold unrolled loop bodies with the loop's operator, matching the
+/// paper's right-associated expansion (`E[E1] op ⟨E[E2] op E[E3]⟩`).
+fn fold_for(parts: Vec<Expr>, op: &ForOp, ctx: &Ctx<'_>) -> CoreResult<Expr> {
+    if parts.is_empty() {
+        // "for p̃ ∈ {} op E[p̃] = skip" for statement operators (§6).
+        return Ok(Expr::Skip);
+    }
+    Ok(match op {
+        ForOp::Seq => {
+            // Right-associated with fate scopes (`E[E1]; ⟨E[E2]; …⟩`),
+            // wrapped in a LoopScope so `break` exits the loop early.
+            let mut it = parts.into_iter().rev();
+            let mut acc = it.next().unwrap();
+            for p in it {
+                acc = Expr::Seq(vec![p, Expr::Scope(Box::new(acc))]);
+            }
+            Expr::LoopScope(Box::new(acc))
+        }
+        ForOp::Par => Expr::Par(parts),
+        ForOp::Rep => Expr::Par(parts),
+        ForOp::Otherwise(t) => {
+            let t = t.as_ref().map(|n| subst_name(ctx, n));
+            let mut it = parts.into_iter().rev();
+            let mut acc = it.next().unwrap();
+            for p in it {
+                acc = Expr::Otherwise {
+                    body: Box::new(p),
+                    timeout: t.clone(),
+                    handler: Box::new(Expr::Scope(Box::new(acc))),
+                };
+            }
+            acc
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::decl::Param;
+    use crate::program::{FuncDef, InstanceType};
+
+    fn one_junction_program(decls: Vec<Decl>, body: Expr) -> Program {
+        ProgramBuilder::new()
+            .ty(InstanceType::new(
+                "T",
+                vec![JunctionDef::new("j", vec![], decls, body)],
+            ))
+            .instance("a", "T")
+            .main(vec![], start("a", vec![]))
+            .build()
+    }
+
+    fn expand_one(p: Program) -> CompiledProgram {
+        expand(p, &LoadConfig::new()).expect("expansion failed")
+    }
+
+    #[test]
+    fn for_seq_unrolls_with_loop_scope() {
+        let body = for_each(
+            "x",
+            SetRef::instances(["b1", "b2", "b3"]),
+            ForOp::Seq,
+            assert_local_ix("P", NameRef::var("x")),
+        );
+        let cp = expand_one(one_junction_program(
+            vec![Decl::for_props("x", SetRef::instances(["b1", "b2", "b3"]), "P", false)],
+            body,
+        ));
+        let j = cp.instance("a").unwrap().junction("j").unwrap();
+        // 3 unrolled prop declarations
+        let props: Vec<_> = j
+            .decls
+            .iter()
+            .filter_map(|d| match d {
+                Decl::Prop { prop, .. } => prop.as_key(),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(props, vec!["P[b1]", "P[b2]", "P[b3]"]);
+        // body: LoopScope(Seq [assert P[b1], Scope(Seq [assert P[b2], Scope(assert P[b3])])])
+        match &j.body {
+            Expr::LoopScope(inner) => match &**inner {
+                Expr::Seq(v) => {
+                    assert!(matches!(&v[0], Expr::Assert { prop, .. } if prop.as_key().unwrap() == "P[b1]"));
+                    assert!(matches!(&v[1], Expr::Scope(_)));
+                }
+                other => panic!("expected Seq, got {other:?}"),
+            },
+            other => panic!("expected LoopScope, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn for_par_unrolls_flat() {
+        let body = for_each(
+            "x",
+            SetRef::instances(["b1", "b2"]),
+            ForOp::Par,
+            Expr::Skip,
+        );
+        let cp = expand_one(one_junction_program(vec![], body));
+        let j = cp.instance("a").unwrap().junction("j").unwrap();
+        assert!(matches!(&j.body, Expr::Par(v) if v.len() == 2));
+    }
+
+    #[test]
+    fn for_empty_set_is_skip() {
+        let body = for_each("x", SetRef::Lit(vec![]), ForOp::Seq, Expr::Retry);
+        let cp = expand_one(one_junction_program(vec![], body));
+        assert_eq!(cp.instance("a").unwrap().junction("j").unwrap().body, Expr::Skip);
+    }
+
+    #[test]
+    fn for_singleton_is_single_instantiation() {
+        let body = for_each(
+            "x",
+            SetRef::instances(["only"]),
+            ForOp::Otherwise(None),
+            assert_local_ix("P", NameRef::var("x")),
+        );
+        let p = one_junction_program(
+            vec![Decl::for_props("x", SetRef::instances(["only"]), "P", false)],
+            body,
+        );
+        let cp = expand_one(p);
+        let j = cp.instance("a").unwrap().junction("j").unwrap();
+        assert!(matches!(&j.body, Expr::Assert { prop, .. } if prop.as_key().unwrap() == "P[only]"));
+    }
+
+    #[test]
+    fn for_otherwise_right_associates() {
+        let body = for_each(
+            "x",
+            SetRef::instances(["e1", "e2", "e3"]),
+            ForOp::Otherwise(None),
+            Expr::Skip,
+        );
+        let cp = expand_one(one_junction_program(vec![], body));
+        let j = cp.instance("a").unwrap().junction("j").unwrap();
+        // E1 otherwise ⟨E2 otherwise E3⟩
+        match &j.body {
+            Expr::Otherwise { handler, .. } => match &**handler {
+                Expr::Scope(inner) => assert!(matches!(&**inner, Expr::Otherwise { .. })),
+                other => panic!("expected Scope, got {other:?}"),
+            },
+            other => panic!("expected Otherwise, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn formula_for_empty_sets() {
+        let p = one_junction_program(
+            vec![Decl::guard(Formula::For {
+                var: "x".into(),
+                set: SetRef::Lit(vec![]),
+                conj: false,
+                body: Box::new(Formula::prop("Q")),
+            })],
+            Expr::Skip,
+        );
+        let cp = expand_one(p);
+        let j = cp.instance("a").unwrap().junction("j").unwrap();
+        assert_eq!(j.guard(), Some(&Formula::False));
+    }
+
+    #[test]
+    fn function_inlining_substitutes_args() {
+        let f = FuncDef::new(
+            "Initialize",
+            vec![p_junction("tgt")],
+            vec![],
+            seq([
+                write_var("state", JRef::var("tgt")),
+                Expr::Assert {
+                    at: Some(JRef::var("tgt")),
+                    prop: PropRef::plain("Activating"),
+                },
+            ]),
+        );
+        let p = ProgramBuilder::new()
+            .ty(InstanceType::new(
+                "T",
+                vec![JunctionDef::new(
+                    "j",
+                    vec![],
+                    vec![Decl::data("state"), Decl::prop_false("Activating")],
+                    call("Initialize", vec![Arg::Junction(JRef::instance("b1"))]),
+                )],
+            ))
+            .instance("a", "T")
+            .instance("b1", "T")
+            .func(f)
+            .main(vec![], start("a", vec![]))
+            .build();
+        let cp = expand_one(p);
+        let j = cp.instance("a").unwrap().junction("j").unwrap();
+        match &j.body {
+            Expr::Scope(inner) => match &**inner {
+                Expr::Seq(v) => {
+                    assert!(
+                        matches!(&v[0], Expr::Write { to: JRef::Bare(n), .. } if n.as_lit() == Some("b1"))
+                    );
+                }
+                other => panic!("expected Seq, got {other:?}"),
+            },
+            other => panic!("expected Scope, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recursive_template_rejected() {
+        let f = FuncDef::new("loopy", vec![], vec![], call("loopy", vec![]));
+        let p = ProgramBuilder::new()
+            .ty(InstanceType::new(
+                "T",
+                vec![JunctionDef::new("j", vec![], vec![], call("loopy", vec![]))],
+            ))
+            .instance("a", "T")
+            .func(f)
+            .main(vec![], start("a", vec![]))
+            .build();
+        let err = expand(p, &LoadConfig::new()).unwrap_err();
+        assert!(matches!(err, CoreError::RecursiveTemplate(_)));
+    }
+
+    #[test]
+    fn undefined_function_rejected() {
+        let p = one_junction_program(vec![], call("nope", vec![]));
+        let err = expand(p, &LoadConfig::new()).unwrap_err();
+        assert!(matches!(err, CoreError::BadCall { .. }));
+    }
+
+    #[test]
+    fn set_param_resolved_from_start_args() {
+        // Front-end junction takes `backends` as a set param and loops
+        // over it; `main` passes a literal set (Fig. 12 shape).
+        let p = ProgramBuilder::new()
+            .ty(InstanceType::new(
+                "F",
+                vec![JunctionDef::new(
+                    "b",
+                    vec![p_set("backends")],
+                    vec![Decl::for_props(
+                        "t",
+                        SetRef::Named(NameRef::var("backends")),
+                        "Backend",
+                        false,
+                    )],
+                    for_each(
+                        "x",
+                        SetRef::Named(NameRef::var("backends")),
+                        ForOp::Par,
+                        assert_local_ix("Backend", NameRef::var("x")),
+                    ),
+                )],
+            ))
+            .ty(InstanceType::new(
+                "B",
+                vec![JunctionDef::new("serve", vec![], vec![], Expr::Skip)],
+            ))
+            .instance("f", "F")
+            .instances_of("B", &["b1", "b2"])
+            .main(
+                vec![],
+                start_junctions(
+                    "f",
+                    vec![(
+                        "b",
+                        vec![Arg::SetLit(vec![
+                            SetElem::Junction("b1".into(), "serve".into()),
+                            SetElem::Junction("b2".into(), "serve".into()),
+                        ])],
+                    )],
+                ),
+            )
+            .build();
+        let cp = expand_one(p);
+        let j = cp.instance("f").unwrap().junction("b").unwrap();
+        let props: Vec<_> = j
+            .decls
+            .iter()
+            .filter_map(|d| match d {
+                Decl::Prop { prop, .. } => prop.as_key(),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(props, vec!["Backend[b1::serve]", "Backend[b2::serve]"]);
+        assert!(matches!(&j.body, Expr::Par(v) if v.len() == 2));
+    }
+
+    #[test]
+    fn subset_unrolls_with_membership_guard() {
+        let p = ProgramBuilder::new()
+            .ty(InstanceType::new(
+                "T",
+                vec![JunctionDef::new(
+                    "j",
+                    vec![],
+                    vec![
+                        Decl::Set {
+                            name: "Backs".into(),
+                            elems: Some(vec![
+                                SetElem::Instance("b1".into()),
+                                SetElem::Instance("b2".into()),
+                            ]),
+                        },
+                        Decl::subset("tgt", SetRef::Named(NameRef::lit("Backs"))),
+                    ],
+                    for_each("b", SetRef::Named(NameRef::var("tgt")), ForOp::Par, Expr::Skip),
+                )],
+            ))
+            .instance("a", "T")
+            .main(vec![], start("a", vec![]))
+            .build();
+        let cp = expand_one(p);
+        let j = cp.instance("a").unwrap().junction("j").unwrap();
+        match &j.body {
+            Expr::Par(v) => {
+                assert_eq!(v.len(), 2);
+                for (i, part) in v.iter().enumerate() {
+                    match part {
+                        Expr::If { cond, .. } => match cond {
+                            Formula::InSubset { elem, subset } => {
+                                assert_eq!(elem.raw(), format!("b{}", i + 1));
+                                assert_eq!(subset.raw(), "tgt");
+                            }
+                            other => panic!("expected InSubset, got {other:?}"),
+                        },
+                        other => panic!("expected If, got {other:?}"),
+                    }
+                }
+            }
+            other => panic!("expected Par, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_set_errors() {
+        let p = one_junction_program(
+            vec![Decl::Set { name: "S".into(), elems: None }],
+            Expr::Skip,
+        );
+        let err = expand(p, &LoadConfig::new()).unwrap_err();
+        assert!(matches!(err, CoreError::MissingSet(_)));
+    }
+
+    #[test]
+    fn load_config_provides_sets() {
+        let p = one_junction_program(
+            vec![Decl::Set { name: "S".into(), elems: None }],
+            for_each("x", SetRef::Named(NameRef::lit("S")), ForOp::Seq, Expr::Skip),
+        );
+        let cfg = LoadConfig::new().with_set(
+            "S",
+            vec![SetElem::Instance("i1".into()), SetElem::Instance("i2".into())],
+        );
+        let cp = expand(p, &cfg).unwrap();
+        let j = cp.instance("a").unwrap().junction("j").unwrap();
+        assert!(matches!(&j.body, Expr::LoopScope(_)));
+    }
+}

@@ -1,0 +1,373 @@
+//! The expression language `E` (Table 1) plus terminators `T`.
+
+use std::time::Duration;
+
+use crate::formula::Formula;
+use crate::names::{Ident, JRef, NameRef, PropRef, SetElem, SetRef};
+use crate::value::Value;
+
+/// A terminator for a `case` arm: `break` leaves the case, `next` retries
+/// the case matching only after the arm that succeeded, `reconsider`
+/// re-matches the case and fails if the match is unchanged (§6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Terminator {
+    /// Leave the case expression.
+    Break,
+    /// Retry the case, matching only arms after the one that succeeded.
+    Next,
+    /// Re-match the case; fail if no different match is possible.
+    Reconsider,
+}
+
+/// The operator threaded through a `for` loop's unrolling
+/// (`op ∈ {∨, ∧, ;, +, ∥, otherwise[t]}` — §6, *Template-based recursion*).
+/// The formula operators ∨/∧ live on [`Formula::For`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ForOp {
+    /// Sequential composition `;`.
+    Seq,
+    /// Parallel composition `+`.
+    Par,
+    /// Replicated parallel composition `∥`.
+    Rep,
+    /// Failure-handling composition `otherwise[t]`; the optional timeout is
+    /// a reference to a timeout parameter.
+    Otherwise(Option<NameRef>),
+}
+
+/// An argument to a function call, `start`, or `main`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Arg {
+    /// Reference to a name in scope (parameter, set, idx, prop, data…).
+    Name(NameRef),
+    /// A junction reference.
+    Junction(JRef),
+    /// A literal set (e.g. `{b1::serve, b2::serve}` in Fig. 12).
+    SetLit(Vec<SetElem>),
+    /// A literal proposition name (passed to templates, cf. `Watch`).
+    Prop(Ident),
+    /// A literal host value (timeouts in `main`, scalar config).
+    Value(Value),
+    /// `⌊k * t⌉`: host-computed scaling of a timeout parameter, the only
+    /// host-expression argument form the paper uses (Fig. 12's
+    /// `reactivate(⌊3 ∗ t⌉)`).
+    ScaledTimeout {
+        /// Timeout parameter being scaled.
+        base: NameRef,
+        /// Numerator of the scale factor.
+        num: u32,
+        /// Denominator of the scale factor.
+        den: u32,
+    },
+}
+
+impl Arg {
+    /// Literal duration argument.
+    pub fn duration(d: Duration) -> Arg {
+        Arg::Value(Value::Duration(d))
+    }
+    /// Reference to a parameter in the caller's scope.
+    pub fn name(n: impl Into<String>) -> Arg {
+        Arg::Name(NameRef::var(n))
+    }
+}
+
+/// One arm of a `case` expression.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CaseArm {
+    /// The arm's guard formula, possibly `for`-quantified (Fig. 10 uses
+    /// `for b̃ ∈ backends ¬Call ∧ InitBackend[b̃] ⇒ …`, which expands to one
+    /// arm per set element).
+    pub guard: CaseGuard,
+    /// The arm body.
+    pub body: Expr,
+    /// How the arm terminates.
+    pub terminator: Terminator,
+}
+
+/// Guard of a case arm.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CaseGuard {
+    /// Ordinary formula guard.
+    Plain(Formula),
+    /// `for x̃ ∈ S F[x̃] ⇒ E[x̃]`: expands into one arm per element.
+    For {
+        /// Bound symbol.
+        var: Ident,
+        /// Iterated set.
+        set: SetRef,
+        /// Guard with `var` free.
+        formula: Formula,
+    },
+}
+
+/// A C-Saw expression (Table 1).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// `⌊H⌉{V⃗}`: invoke host-language code registered under `name`.
+    /// Only the symbols in `writes` may be written by the host (§4).
+    Host {
+        /// Registered host-function name.
+        name: Ident,
+        /// Writable junction-state symbols (`{V⃗}`).
+        writes: Vec<Ident>,
+    },
+    /// `⟨E⟩`: fate scope — if part of the expression fails, the whole
+    /// scope fails unless handled (§6).
+    Scope(Box<Expr>),
+    /// `⟨|E|⟩`: transaction — on failure the KV table rolls back to the
+    /// state at entry. Host code is not allowed inside.
+    Transaction(Box<Expr>),
+    /// `return`: terminate the junction activation successfully. It
+    /// "leaves a fate scope" (§6), and because functions are inlined
+    /// templates it leaves the *junction* even when written inside a
+    /// function body.
+    Return,
+    /// `write(n, γ)`: push named datum `n` to junction γ's table.
+    Write {
+        /// Name of the datum (must be `save`d, i.e. *named data*).
+        data: NameRef,
+        /// Destination junction.
+        to: JRef,
+    },
+    /// `wait [n⃗] F`: block until `F` holds, admitting external updates to
+    /// the propositions of `F` and the listed data keys while blocked.
+    Wait {
+        /// Data keys whose updates are admitted while waiting.
+        data: Vec<NameRef>,
+        /// The awaited formula.
+        formula: Formula,
+    },
+    /// `save(…, n)`: serialize host state into table entry `n`.
+    Save {
+        /// Destination datum.
+        data: NameRef,
+    },
+    /// `restore(n, …)`: deserialize table entry `n` back into host state.
+    /// Restoring `undef` is an error.
+    Restore {
+        /// Source datum.
+        data: NameRef,
+    },
+    /// `E1; E2; …`: sequential composition.
+    Seq(Vec<Expr>),
+    /// `E1 + E2 + …`: parallel composition.
+    Par(Vec<Expr>),
+    /// `∥n E`: replicated parallel composition (n concurrent copies).
+    Rep {
+        /// Replication factor.
+        n: u32,
+        /// Replicated body.
+        body: Box<Expr>,
+    },
+    /// `E1 otherwise[t] E2`: run `E1` with deadline `t`; on failure or
+    /// timeout run `E2`. With no `t`, `E2` handles failures only.
+    Otherwise {
+        /// Attempted expression.
+        body: Box<Expr>,
+        /// Optional timeout parameter.
+        timeout: Option<NameRef>,
+        /// Failure handler.
+        handler: Box<Expr>,
+    },
+    /// `stop ι`: stop a running instance (fails if not running).
+    Stop(NameRef),
+    /// `start ι γ1(p⃗) …`: start an instance, binding arguments to its
+    /// junctions' parameters (fails if already running).
+    Start {
+        /// Instance to start.
+        instance: NameRef,
+        /// Per-junction argument lists. A `None` junction name binds the
+        /// type's sole junction (Fig. 3's `start f (g)`).
+        junction_args: Vec<(Option<Ident>, Vec<Arg>)>,
+    },
+    /// `assert [γ] P`: set proposition P true at γ (empty `[]` = locally).
+    Assert {
+        /// Destination junction; `None` = local.
+        at: Option<JRef>,
+        /// The proposition.
+        prop: PropRef,
+    },
+    /// `retract [γ] P`: set proposition P false at γ.
+    Retract {
+        /// Destination junction; `None` = local.
+        at: Option<JRef>,
+        /// The proposition.
+        prop: PropRef,
+    },
+    /// `f(p⃗)`: call a function template (inlined at compile time).
+    Call {
+        /// Function name.
+        func: Ident,
+        /// Arguments.
+        args: Vec<Arg>,
+    },
+    /// `verify G`: assert a (possibly junction-relative) safety condition;
+    /// errors if it evaluates false *or unknown* (ternary logic, §6).
+    Verify(Formula),
+    /// No-op; can only succeed.
+    Skip,
+    /// Branch back to the beginning of the junction; bounded per
+    /// scheduling.
+    Retry,
+    /// `keep`: discard pending parallel KV updates for the given keys
+    /// (idempotent; props and data).
+    Keep {
+        /// Keys whose pending updates to drop.
+        keys: Vec<NameRef>,
+    },
+    /// `case { F1 ⇒ E1; T1 … otherwise ⇒ En }`.
+    Case {
+        /// The guarded arms, tried top-down.
+        arms: Vec<CaseArm>,
+        /// The mandatory `otherwise` arm.
+        otherwise: Box<Expr>,
+    },
+    /// `if F then E [else E]` — sugar used pervasively in the paper's
+    /// examples (Figs. 4, 6, 10); desugars to a two-arm case.
+    If {
+        /// Condition.
+        cond: Formula,
+        /// Then-branch.
+        then: Box<Expr>,
+        /// Optional else-branch.
+        els: Option<Box<Expr>>,
+    },
+    /// `for x̃ ∈ S op E[x̃]`: template recursion, unrolled at compile time.
+    For {
+        /// Bound symbol.
+        var: Ident,
+        /// Iterated set.
+        set: SetRef,
+        /// Composition operator.
+        op: ForOp,
+        /// Body with `var` free.
+        body: Box<Expr>,
+    },
+    /// Marker inserted by expansion around unrolled `;`-loops so that
+    /// `break` exits the loop early (§6: "Using break we can exit the
+    /// loop early").
+    LoopScope(Box<Expr>),
+    /// `break` in statement position (loop exit).
+    Break,
+    /// `next` in statement position (only valid as an arm terminator; kept
+    /// in the AST for pretty-printing fidelity).
+    Next,
+    /// `reconsider` in statement position (valid inside a case arm body,
+    /// cf. Fig. 4 line ➎).
+    Reconsider,
+}
+
+impl Expr {
+    /// `self; other`
+    pub fn then(self, other: Expr) -> Expr {
+        match self {
+            Expr::Seq(mut v) => {
+                v.push(other);
+                Expr::Seq(v)
+            }
+            first => Expr::Seq(vec![first, other]),
+        }
+    }
+
+    /// `self otherwise[t] handler`
+    pub fn otherwise(self, timeout: Option<NameRef>, handler: Expr) -> Expr {
+        Expr::Otherwise {
+            body: Box::new(self),
+            timeout,
+            handler: Box::new(handler),
+        }
+    }
+
+    /// Visit every sub-expression (including `self`), pre-order.
+    pub fn walk<'a>(&'a self, f: &mut dyn FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Scope(e)
+            | Expr::Transaction(e)
+            | Expr::Rep { body: e, .. }
+            | Expr::For { body: e, .. }
+            | Expr::LoopScope(e) => e.walk(f),
+            Expr::Seq(es) | Expr::Par(es) => {
+                for e in es {
+                    e.walk(f);
+                }
+            }
+            Expr::Otherwise { body, handler, .. } => {
+                body.walk(f);
+                handler.walk(f);
+            }
+            Expr::Case { arms, otherwise } => {
+                for arm in arms {
+                    arm.body.walk(f);
+                }
+                otherwise.walk(f);
+            }
+            Expr::If { then, els, .. } => {
+                then.walk(f);
+                if let Some(e) = els {
+                    e.walk(f);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Count of AST nodes (used in tests and the LoC study).
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.walk(&mut |_| n += 1);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn then_flattens_sequences() {
+        let e = Expr::Skip.then(Expr::Return).then(Expr::Break);
+        match e {
+            Expr::Seq(v) => assert_eq!(v.len(), 3),
+            other => panic!("expected Seq, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn walk_visits_all_nodes() {
+        let e = Expr::Seq(vec![
+            Expr::Skip,
+            Expr::Case {
+                arms: vec![CaseArm {
+                    guard: CaseGuard::Plain(Formula::prop("Work")),
+                    body: Expr::Retry,
+                    terminator: Terminator::Break,
+                }],
+                otherwise: Box::new(Expr::Skip),
+            },
+        ]);
+        let mut count = 0;
+        e.walk(&mut |_| count += 1);
+        // Seq, Skip, Case, Retry, Skip(otherwise)
+        assert_eq!(count, 5);
+        assert_eq!(e.size(), 5);
+    }
+
+    #[test]
+    fn otherwise_structure() {
+        let e = Expr::Otherwise {
+            body: Box::new(Expr::Skip),
+            timeout: Some(NameRef::var("t")),
+            handler: Box::new(Expr::Call {
+                func: "complain".into(),
+                args: vec![],
+            }),
+        };
+        if let Expr::Otherwise { timeout, .. } = &e {
+            assert_eq!(timeout.as_ref().unwrap().raw(), "t");
+        } else {
+            unreachable!()
+        }
+    }
+}

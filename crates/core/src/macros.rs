@@ -1,0 +1,201 @@
+//! Macro front-end for the DSL's formula sub-language.
+//!
+//! The builder API constructs formulas with method chains; these macros
+//! let guards and `wait`/`verify` conditions read like the paper:
+//!
+//! ```
+//! use csaw_core::formula;
+//! use csaw_core::formula::Formula;
+//!
+//! // guard ¬Starting ∧ Req           (Fig. 13)
+//! let g = formula!(!Starting && Req);
+//! // Backend[tgt] indexed propositions
+//! let b = formula!(Backend[tgt]);
+//! // S(o) — liveness (Fig. 16)
+//! let l = formula!(S(o));
+//! assert_eq!(g, Formula::prop("Starting").not().and(Formula::prop("Req")));
+//! ```
+//!
+//! Grammar (binary operators associate right; mixed operators need
+//! parentheses, matching how the paper parenthesizes):
+//!
+//! ```text
+//! F ::= atom | !F | (F) | F && F | F || F | F -> F
+//! atom ::= ident | ident[ident] | S(ident) | false | true
+//! ```
+
+/// Build a [`crate::formula::Formula`] from paper-like syntax. See the
+/// module docs of [`crate::macros`].
+#[macro_export]
+macro_rules! formula {
+    // Parenthesized
+    ( ( $($inner:tt)+ ) ) => { $crate::formula!($($inner)+) };
+    // Negation of an atom/group followed by a binary operator: negation
+    // binds tighter than the connectives.
+    ( ! $p:ident && $($rest:tt)+ ) => {
+        $crate::formula::Formula::prop(stringify!($p)).not().and($crate::formula!($($rest)+))
+    };
+    ( ! $p:ident || $($rest:tt)+ ) => {
+        $crate::formula::Formula::prop(stringify!($p)).not().or($crate::formula!($($rest)+))
+    };
+    ( ! $p:ident -> $($rest:tt)+ ) => {
+        $crate::formula::Formula::prop(stringify!($p)).not().implies($crate::formula!($($rest)+))
+    };
+    ( ! $p:ident [ $ix:ident ] && $($rest:tt)+ ) => {
+        $crate::formula::Formula::prop_at(stringify!($p), $crate::names::NameRef::var(stringify!($ix)))
+            .not().and($crate::formula!($($rest)+))
+    };
+    ( ! $p:ident [ $ix:ident ] || $($rest:tt)+ ) => {
+        $crate::formula::Formula::prop_at(stringify!($p), $crate::names::NameRef::var(stringify!($ix)))
+            .not().or($crate::formula!($($rest)+))
+    };
+    ( ! ( $($inner:tt)+ ) && $($rest:tt)+ ) => {
+        $crate::formula!($($inner)+).not().and($crate::formula!($($rest)+))
+    };
+    ( ! ( $($inner:tt)+ ) || $($rest:tt)+ ) => {
+        $crate::formula!($($inner)+).not().or($crate::formula!($($rest)+))
+    };
+    ( ! ( $($inner:tt)+ ) -> $($rest:tt)+ ) => {
+        $crate::formula!($($inner)+).not().implies($crate::formula!($($rest)+))
+    };
+    // Negation of the whole remainder (atom or group in tail position).
+    ( ! $($rest:tt)+ ) => { $crate::formula!($($rest)+).not() };
+    // Constants
+    ( false ) => { $crate::formula::Formula::False };
+    ( true ) => { $crate::formula::Formula::True };
+    // Liveness S(ι)
+    ( S ( $i:ident ) ) => {
+        $crate::formula::Formula::live(stringify!($i))
+    };
+    ( S ( $i:ident ) && $($rest:tt)+ ) => {
+        $crate::formula::Formula::live(stringify!($i)).and($crate::formula!($($rest)+))
+    };
+    ( S ( $i:ident ) || $($rest:tt)+ ) => {
+        $crate::formula::Formula::live(stringify!($i)).or($crate::formula!($($rest)+))
+    };
+    ( S ( $i:ident ) -> $($rest:tt)+ ) => {
+        $crate::formula::Formula::live(stringify!($i)).implies($crate::formula!($($rest)+))
+    };
+    // Indexed proposition, then operator
+    ( $p:ident [ $ix:ident ] && $($rest:tt)+ ) => {
+        $crate::formula::Formula::prop_at(
+            stringify!($p),
+            $crate::names::NameRef::var(stringify!($ix)),
+        ).and($crate::formula!($($rest)+))
+    };
+    ( $p:ident [ $ix:ident ] || $($rest:tt)+ ) => {
+        $crate::formula::Formula::prop_at(
+            stringify!($p),
+            $crate::names::NameRef::var(stringify!($ix)),
+        ).or($crate::formula!($($rest)+))
+    };
+    ( $p:ident [ $ix:ident ] -> $($rest:tt)+ ) => {
+        $crate::formula::Formula::prop_at(
+            stringify!($p),
+            $crate::names::NameRef::var(stringify!($ix)),
+        ).implies($crate::formula!($($rest)+))
+    };
+    ( $p:ident [ $ix:ident ] ) => {
+        $crate::formula::Formula::prop_at(
+            stringify!($p),
+            $crate::names::NameRef::var(stringify!($ix)),
+        )
+    };
+    // Plain proposition, then operator
+    ( $p:ident && $($rest:tt)+ ) => {
+        $crate::formula::Formula::prop(stringify!($p)).and($crate::formula!($($rest)+))
+    };
+    ( $p:ident || $($rest:tt)+ ) => {
+        $crate::formula::Formula::prop(stringify!($p)).or($crate::formula!($($rest)+))
+    };
+    ( $p:ident -> $($rest:tt)+ ) => {
+        $crate::formula::Formula::prop(stringify!($p)).implies($crate::formula!($($rest)+))
+    };
+    ( $p:ident ) => { $crate::formula::Formula::prop(stringify!($p)) };
+    // Parenthesized left operand
+    ( ( $($l:tt)+ ) && $($rest:tt)+ ) => {
+        $crate::formula!($($l)+).and($crate::formula!($($rest)+))
+    };
+    ( ( $($l:tt)+ ) || $($rest:tt)+ ) => {
+        $crate::formula!($($l)+).or($crate::formula!($($rest)+))
+    };
+    ( ( $($l:tt)+ ) -> $($rest:tt)+ ) => {
+        $crate::formula!($($l)+).implies($crate::formula!($($rest)+))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::formula::Formula;
+    use crate::names::NameRef;
+
+    #[test]
+    fn atoms() {
+        assert_eq!(formula!(Work), Formula::prop("Work"));
+        assert_eq!(formula!(false), Formula::False);
+        assert_eq!(formula!(true), Formula::True);
+        assert_eq!(formula!(S(o)), Formula::live("o"));
+        assert_eq!(
+            formula!(Backend[tgt]),
+            Formula::prop_at("Backend", NameRef::var("tgt"))
+        );
+    }
+
+    #[test]
+    fn negation_and_connectives() {
+        assert_eq!(formula!(!Work), Formula::prop("Work").not());
+        assert_eq!(
+            formula!(!Starting && Req),
+            Formula::prop("Starting").not().and(Formula::prop("Req"))
+        );
+        assert_eq!(
+            formula!(A || B),
+            Formula::prop("A").or(Formula::prop("B"))
+        );
+        assert_eq!(
+            formula!(A -> B),
+            Formula::prop("A").implies(Formula::prop("B"))
+        );
+    }
+
+    #[test]
+    fn paper_guards() {
+        // Fig. 14's serve guard: Activating ∨ (Active ∧ Running[self])
+        let g = formula!(Activating || (Active && Running[me]));
+        assert_eq!(
+            g,
+            Formula::prop("Activating").or(
+                Formula::prop("Active")
+                    .and(Formula::prop_at("Running", NameRef::var("me")))
+            )
+        );
+        // Fig. 16's cs guard: ¬S(o) ∧ S(s) ∧ S(f) — right associated.
+        let w = formula!(!(S(o)) && S(s) && S(f));
+        assert_eq!(
+            w,
+            Formula::live("o")
+                .not()
+                .and(Formula::live("s").and(Formula::live("f")))
+        );
+    }
+
+    #[test]
+    fn parenthesized_left_operands() {
+        let f = formula!((A && B) -> C);
+        assert_eq!(
+            f,
+            Formula::prop("A")
+                .and(Formula::prop("B"))
+                .implies(Formula::prop("C"))
+        );
+    }
+
+    #[test]
+    fn nested_negation() {
+        assert_eq!(formula!(!!A), Formula::prop("A").not().not());
+        assert_eq!(
+            formula!(!(A || B)),
+            Formula::prop("A").or(Formula::prop("B")).not()
+        );
+    }
+}

@@ -1,0 +1,329 @@
+//! Pretty-printer: renders programs in an ASCII rendition of the paper's
+//! concrete syntax.
+//!
+//! Besides readability and debugging, the printer backs the Table-2
+//! lines-of-code study: [`loc_of_program`] counts the printed lines of an
+//! architecture description the same way the paper counts DSL LoC.
+
+use std::fmt::Write as _;
+
+use crate::decl::Decl;
+use crate::expr::{Arg, CaseGuard, Expr, ForOp, Terminator};
+use crate::names::SetRef;
+use crate::program::{CompiledProgram, FuncDef, JunctionDef, Program};
+
+/// Render a whole program.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "InstanceTypes = {{{}}}",
+        p.types.iter().map(|t| t.name.as_str()).collect::<Vec<_>>().join(", ")
+    );
+    let _ = writeln!(
+        out,
+        "Instances = {{{}}}",
+        p.instances
+            .iter()
+            .map(|(i, t)| format!("{i} : {t}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(
+        out,
+        "def main({}) <| ",
+        p.main.params.iter().map(|x| x.name.as_str()).collect::<Vec<_>>().join(", ")
+    );
+    print_expr(&p.main.body, 1, &mut out);
+    for f in &p.functions {
+        print_func(f, &mut out);
+    }
+    for t in &p.types {
+        for j in &t.junctions {
+            print_junction(&t.name, j, &mut out);
+        }
+    }
+    out
+}
+
+/// Render one junction definition.
+pub fn print_junction(type_name: &str, j: &JunctionDef, out: &mut String) {
+    let params = j.params.iter().map(|p| p.name.as_str()).collect::<Vec<_>>().join(", ");
+    let _ = writeln!(out, "def {type_name}::{}({params}) <|", j.name);
+    for d in &j.decls {
+        let _ = writeln!(out, "| {}", print_decl(d));
+    }
+    print_expr(&j.body, 1, out);
+}
+
+fn print_func(f: &FuncDef, out: &mut String) {
+    let params = f.params.iter().map(|p| p.name.as_str()).collect::<Vec<_>>().join(", ");
+    let _ = writeln!(out, "def {}({params}) <|", f.name);
+    for d in &f.decls {
+        let _ = writeln!(out, "| {}", print_decl(d));
+    }
+    print_expr(&f.body, 1, out);
+}
+
+/// Render a declaration.
+pub fn print_decl(d: &Decl) -> String {
+    match d {
+        Decl::Prop { prop, init } => {
+            if *init {
+                format!("init prop {prop}")
+            } else {
+                format!("init prop !{prop}")
+            }
+        }
+        Decl::Data { name } => format!("init data {name}"),
+        Decl::Guard(f) => format!("guard {f}"),
+        Decl::Set { name, elems } => match elems {
+            Some(e) => format!("set {name} = {}", SetRef::Lit(e.clone())),
+            None => format!("set {name}"),
+        },
+        Decl::Subset { name, of } => format!("subset {name} of {of}"),
+        Decl::Idx { name, of } => format!("idx {name} of {of}"),
+        Decl::ForProps { var, set, prop, init } => {
+            let neg = if *init { "" } else { "!" };
+            format!("for {var} in {set} init prop {neg}{prop}")
+        }
+    }
+}
+
+fn indent(n: usize, out: &mut String) {
+    for _ in 0..n {
+        out.push_str("  ");
+    }
+}
+
+fn line(n: usize, s: &str, out: &mut String) {
+    indent(n, out);
+    out.push_str(s);
+    out.push('\n');
+}
+
+fn print_arg(a: &Arg) -> String {
+    match a {
+        Arg::Name(n) => n.to_string(),
+        Arg::Junction(j) => j.to_string(),
+        Arg::SetLit(e) => SetRef::Lit(e.clone()).to_string(),
+        Arg::Prop(p) => p.clone(),
+        Arg::Value(v) => v.to_string(),
+        Arg::ScaledTimeout { base, num, den } => {
+            if *den == 1 {
+                format!("|_{num} * {base}_|")
+            } else {
+                format!("|_{num}/{den} * {base}_|")
+            }
+        }
+    }
+}
+
+/// Render an expression at the given indentation depth.
+pub fn print_expr(e: &Expr, depth: usize, out: &mut String) {
+    match e {
+        Expr::Host { name, writes } => {
+            if writes.is_empty() {
+                line(depth, &format!("|_{name}_|;"), out);
+            } else {
+                line(depth, &format!("|_{name}_|{{{}}};", writes.join(", ")), out);
+            }
+        }
+        Expr::Scope(inner) => {
+            line(depth, "<", out);
+            print_expr(inner, depth + 1, out);
+            line(depth, ">", out);
+        }
+        Expr::Transaction(inner) => {
+            line(depth, "<|", out);
+            print_expr(inner, depth + 1, out);
+            line(depth, "|>", out);
+        }
+        Expr::LoopScope(inner) => print_expr(inner, depth, out),
+        Expr::Return => line(depth, "return;", out),
+        Expr::Write { data, to } => line(depth, &format!("write({data}, {to});"), out),
+        Expr::Wait { data, formula } => {
+            let d = data.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(", ");
+            line(depth, &format!("wait [{d}] {formula};"), out);
+        }
+        Expr::Save { data } => line(depth, &format!("save(..., {data});"), out),
+        Expr::Restore { data } => line(depth, &format!("restore({data}, ...);"), out),
+        Expr::Seq(es) => {
+            for x in es {
+                print_expr(x, depth, out);
+            }
+        }
+        Expr::Par(es) => {
+            for (i, x) in es.iter().enumerate() {
+                if i > 0 {
+                    line(depth, "+", out);
+                }
+                print_expr(x, depth, out);
+            }
+        }
+        Expr::Rep { n, body } => {
+            line(depth, &format!("||{n}"), out);
+            print_expr(body, depth + 1, out);
+        }
+        Expr::Otherwise { body, timeout, handler } => {
+            print_expr(body, depth, out);
+            match timeout {
+                Some(t) => line(depth, &format!("otherwise[{t}]"), out),
+                None => line(depth, "otherwise", out),
+            }
+            print_expr(handler, depth + 1, out);
+        }
+        Expr::Stop(i) => line(depth, &format!("stop {i};"), out),
+        Expr::Start { instance, junction_args } => {
+            let mut s = format!("start {instance}");
+            for (j, args) in junction_args {
+                let a = args.iter().map(print_arg).collect::<Vec<_>>().join(", ");
+                match j {
+                    Some(name) => {
+                        let _ = write!(s, " {name}({a})");
+                    }
+                    None => {
+                        let _ = write!(s, "({a})");
+                    }
+                }
+            }
+            s.push(';');
+            line(depth, &s, out);
+        }
+        Expr::Assert { at, prop } => match at {
+            Some(j) => line(depth, &format!("assert [{j}] {prop};"), out),
+            None => line(depth, &format!("assert [] {prop};"), out),
+        },
+        Expr::Retract { at, prop } => match at {
+            Some(j) => line(depth, &format!("retract [{j}] {prop};"), out),
+            None => line(depth, &format!("retract [] {prop};"), out),
+        },
+        Expr::Call { func, args } => {
+            let a = args.iter().map(print_arg).collect::<Vec<_>>().join(", ");
+            line(depth, &format!("{func}({a});"), out);
+        }
+        Expr::Verify(f) => line(depth, &format!("verify {f};"), out),
+        Expr::Skip => line(depth, "skip;", out),
+        Expr::Retry => line(depth, "retry;", out),
+        Expr::Keep { keys } => {
+            let k = keys.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(", ");
+            line(depth, &format!("keep [{k}];"), out);
+        }
+        Expr::Case { arms, otherwise } => {
+            line(depth, "case {", out);
+            for a in arms {
+                match &a.guard {
+                    CaseGuard::Plain(f) => line(depth + 1, &format!("{f} =>"), out),
+                    CaseGuard::For { var, set, formula } => {
+                        line(depth + 1, &format!("for {var} in {set} {formula} =>"), out)
+                    }
+                }
+                print_expr(&a.body, depth + 2, out);
+                let term = match a.terminator {
+                    Terminator::Break => "break",
+                    Terminator::Next => "next",
+                    Terminator::Reconsider => "reconsider",
+                };
+                line(depth + 2, term, out);
+            }
+            line(depth + 1, "otherwise =>", out);
+            print_expr(otherwise, depth + 2, out);
+            line(depth, "}", out);
+        }
+        Expr::If { cond, then, els } => {
+            line(depth, &format!("if {cond} then"), out);
+            print_expr(then, depth + 1, out);
+            if let Some(x) = els {
+                line(depth, "else", out);
+                print_expr(x, depth + 1, out);
+            }
+        }
+        Expr::For { var, set, op, body } => {
+            let op_s = match op {
+                ForOp::Seq => ";".to_string(),
+                ForOp::Par => "+".to_string(),
+                ForOp::Rep => "||".to_string(),
+                ForOp::Otherwise(Some(t)) => format!("otherwise[{t}]"),
+                ForOp::Otherwise(None) => "otherwise".to_string(),
+            };
+            line(depth, &format!("for {var} in {set} {op_s}"), out);
+            print_expr(body, depth + 1, out);
+        }
+        Expr::Break => line(depth, "break;", out),
+        Expr::Next => line(depth, "next;", out),
+        Expr::Reconsider => line(depth, "reconsider;", out),
+    }
+}
+
+/// Lines of code of a rendered program — the DSL-side metric of the
+/// paper's Table 2 ("we give each LoC of DSL code the same weight as a
+/// LoC of C code"). Blank lines are not counted.
+pub fn loc_of_program(p: &Program) -> usize {
+    print_program(p).lines().filter(|l| !l.trim().is_empty()).count()
+}
+
+/// Lines of code of a single junction definition.
+pub fn loc_of_junction(type_name: &str, j: &JunctionDef) -> usize {
+    let mut s = String::new();
+    print_junction(type_name, j, &mut s);
+    s.lines().filter(|l| !l.trim().is_empty()).count()
+}
+
+/// Lines of code of a compiled program (post-expansion; used by the
+/// "DSL in C" analog column, which counts the generated/decoupled form).
+pub fn loc_of_compiled(cp: &CompiledProgram) -> usize {
+    let mut total = 0;
+    for inst in &cp.instances {
+        for j in &inst.junctions {
+            total += loc_of_junction(&inst.type_name, j);
+        }
+    }
+    let mut s = String::new();
+    print_expr(&cp.program.main.body, 0, &mut s);
+    total + s.lines().filter(|l| !l.trim().is_empty()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    #[test]
+    fn fig3_prints_and_counts() {
+        let p = fig3_program();
+        let s = print_program(&p);
+        assert!(s.contains("InstanceTypes = {tau_f, tau_g}"));
+        assert!(s.contains("def tau_f::junction(g) <|"));
+        assert!(s.contains("| init prop !Work"));
+        assert!(s.contains("wait [] !Work;"));
+        let loc = loc_of_program(&p);
+        assert!(loc > 10 && loc < 40, "unexpected LoC: {loc}");
+    }
+
+    #[test]
+    fn case_prints_terminators() {
+        let e = case(
+            vec![arm(Formula::prop("Work"), skip(), Terminator::Reconsider)],
+            skip(),
+        );
+        let mut s = String::new();
+        print_expr(&e, 0, &mut s);
+        assert!(s.contains("Work =>"));
+        assert!(s.contains("reconsider"));
+        assert!(s.contains("otherwise =>"));
+    }
+
+    #[test]
+    fn scaled_timeout_prints() {
+        assert_eq!(
+            print_arg(&Arg::ScaledTimeout {
+                base: crate::names::NameRef::var("t"),
+                num: 3,
+                den: 1
+            }),
+            "|_3 * t_|"
+        );
+    }
+
+    use crate::formula::Formula;
+}

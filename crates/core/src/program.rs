@@ -1,0 +1,263 @@
+//! Whole-program structure: junction definitions, instance types,
+//! instances, function templates, `main`, and the load-time configuration.
+
+use std::collections::BTreeMap;
+
+use crate::decl::{Decl, Param};
+use crate::expr::Expr;
+use crate::names::{Ident, SetElem};
+
+/// A junction definition: `def τ::name(params) ◀ decls… body`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JunctionDef {
+    /// Junction name (the paper's single-junction types use `junction` or
+    /// the empty name, written here as `"junction"`).
+    pub name: Ident,
+    /// Definition parameters, bound at `start`.
+    pub params: Vec<Param>,
+    /// Declarations (`| …`).
+    pub decls: Vec<Decl>,
+    /// The junction body.
+    pub body: Expr,
+}
+
+impl JunctionDef {
+    /// Construct a junction definition.
+    pub fn new(name: impl Into<String>, params: Vec<Param>, decls: Vec<Decl>, body: Expr) -> Self {
+        JunctionDef {
+            name: name.into(),
+            params,
+            decls,
+            body,
+        }
+    }
+
+    /// The junction's `guard` formula, if declared.
+    pub fn guard(&self) -> Option<&crate::formula::Formula> {
+        self.decls.iter().find_map(|d| match d {
+            Decl::Guard(f) => Some(f),
+            _ => None,
+        })
+    }
+}
+
+/// An instance type: a named set of junction definitions. "Instance types
+/// are like classes and instances are like objects, but C-Saw does not
+/// support an inheritance hierarchy" (§3).
+#[derive(Clone, Debug, PartialEq)]
+pub struct InstanceType {
+    /// Type name (e.g. `τFront`).
+    pub name: Ident,
+    /// The type's junctions.
+    pub junctions: Vec<JunctionDef>,
+}
+
+impl InstanceType {
+    /// Construct an instance type.
+    pub fn new(name: impl Into<String>, junctions: Vec<JunctionDef>) -> Self {
+        InstanceType {
+            name: name.into(),
+            junctions,
+        }
+    }
+
+    /// Look up a junction by name.
+    pub fn junction(&self, name: &str) -> Option<&JunctionDef> {
+        self.junctions.iter().find(|j| j.name == name)
+    }
+}
+
+/// A function template: `def f(p⃗) ◀ decls… body`. Functions are "templates
+/// that are expanded at compile time" (§6); their declarations merge into
+/// the enclosing junction on expansion (cf. `Watch` in Fig. 16).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FuncDef {
+    /// Function name.
+    pub name: Ident,
+    /// Parameters (must be compile-time resolvable at call sites inside
+    /// other templates).
+    pub params: Vec<Param>,
+    /// Declarations hoisted into the caller.
+    pub decls: Vec<Decl>,
+    /// Body inlined at each call site.
+    pub body: Expr,
+}
+
+impl FuncDef {
+    /// Construct a function template.
+    pub fn new(name: impl Into<String>, params: Vec<Param>, decls: Vec<Decl>, body: Expr) -> Self {
+        FuncDef {
+            name: name.into(),
+            params,
+            decls,
+            body,
+        }
+    }
+}
+
+/// The distinguished `main` definition that boots the architecture.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MainDef {
+    /// `main` may take an arbitrary number of parameters, usually
+    /// distributed among the instances it starts (§6).
+    pub params: Vec<Param>,
+    /// The body (typically parallel `start`s).
+    pub body: Expr,
+}
+
+/// A complete C-Saw architecture description.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Program {
+    /// `InstanceTypes = {…}`.
+    pub types: Vec<InstanceType>,
+    /// `Instances = {name : type, …}`.
+    pub instances: Vec<(Ident, Ident)>,
+    /// Function templates.
+    pub functions: Vec<FuncDef>,
+    /// The `main` definition.
+    pub main: MainDef,
+}
+
+impl Program {
+    /// Look up an instance's type.
+    pub fn type_of(&self, instance: &str) -> Option<&InstanceType> {
+        let ty = self
+            .instances
+            .iter()
+            .find(|(n, _)| n == instance)
+            .map(|(_, t)| t)?;
+        self.types.iter().find(|t| &t.name == ty)
+    }
+
+    /// Look up a type by name.
+    pub fn get_type(&self, name: &str) -> Option<&InstanceType> {
+        self.types.iter().find(|t| t.name == name)
+    }
+
+    /// Look up a function template by name.
+    pub fn function(&self, name: &str) -> Option<&FuncDef> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// All instance names.
+    pub fn instance_names(&self) -> Vec<&str> {
+        self.instances.iter().map(|(n, _)| n.as_str()).collect()
+    }
+}
+
+/// Load-time configuration: values for `set` declarations without a
+/// literal assignment ("`set` must be specified at load time", §6), keyed
+/// by `instance::junction::setname` with fallbacks to `setname`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LoadConfig {
+    /// Set assignments.
+    pub sets: BTreeMap<Ident, Vec<SetElem>>,
+    /// Maximum `retry` invocations within a single scheduling of a
+    /// junction (§6: "can only be invoked a fixed number of times").
+    pub retry_limit: u32,
+}
+
+impl LoadConfig {
+    /// Empty configuration with the default retry limit.
+    pub fn new() -> LoadConfig {
+        LoadConfig {
+            sets: BTreeMap::new(),
+            retry_limit: 3,
+        }
+    }
+
+    /// Assign a set value.
+    pub fn with_set(mut self, name: impl Into<String>, elems: Vec<SetElem>) -> LoadConfig {
+        self.sets.insert(name.into(), elems);
+        self
+    }
+
+    /// Resolve a set by name, trying the junction-scoped key first.
+    pub fn set(&self, scope: &str, name: &str) -> Option<&Vec<SetElem>> {
+        self.sets
+            .get(&format!("{scope}::{name}"))
+            .or_else(|| self.sets.get(name))
+    }
+}
+
+/// A single instance's expanded junctions. Expansion is per-instance
+/// because two instances of the same type may receive different
+/// compile-time sets (e.g. the front-end's `backends` parameter).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompiledInstance {
+    /// Instance name.
+    pub name: Ident,
+    /// Its type's name.
+    pub type_name: Ident,
+    /// Fully-expanded junction definitions.
+    pub junctions: Vec<JunctionDef>,
+}
+
+impl CompiledInstance {
+    /// Look up an expanded junction by name.
+    pub fn junction(&self, name: &str) -> Option<&JunctionDef> {
+        self.junctions.iter().find(|j| j.name == name)
+    }
+}
+
+/// A validated, fully-expanded program: no `Call`, no `For` (in
+/// expressions, formulas, declarations or case guards), all `set`
+/// declarations resolved to literal element lists.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompiledProgram {
+    /// The original program with `main` expanded (kept for topology
+    /// derivation and pretty-printing).
+    pub program: Program,
+    /// Per-instance expanded junctions.
+    pub instances: Vec<CompiledInstance>,
+    /// The retry limit carried from the load configuration.
+    pub retry_limit: u32,
+}
+
+impl CompiledProgram {
+    /// Look up a compiled instance by name.
+    pub fn instance(&self, name: &str) -> Option<&CompiledInstance> {
+        self.instances.iter().find(|i| i.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    fn tiny() -> Program {
+        Program {
+            types: vec![InstanceType::new(
+                "T",
+                vec![JunctionDef::new("junction", vec![], vec![], Expr::Skip)],
+            )],
+            instances: vec![("a".into(), "T".into()), ("b".into(), "T".into())],
+            functions: vec![FuncDef::new("complain", vec![], vec![], Expr::Skip)],
+            main: MainDef {
+                params: vec![],
+                body: Expr::Skip,
+            },
+        }
+    }
+
+    #[test]
+    fn lookups() {
+        let p = tiny();
+        assert_eq!(p.type_of("a").unwrap().name, "T");
+        assert!(p.type_of("zz").is_none());
+        assert!(p.get_type("T").unwrap().junction("junction").is_some());
+        assert!(p.function("complain").is_some());
+        assert_eq!(p.instance_names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn load_config_scoping() {
+        let cfg = LoadConfig::new()
+            .with_set("Backs", vec![SetElem::Instance("b1".into())])
+            .with_set("f::b::Backs", vec![SetElem::Instance("b2".into())]);
+        assert_eq!(cfg.set("f::b", "Backs").unwrap()[0].key(), "b2");
+        assert_eq!(cfg.set("g::c", "Backs").unwrap()[0].key(), "b1");
+        assert!(cfg.set("g::c", "Other").is_none());
+    }
+}

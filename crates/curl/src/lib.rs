@@ -1,0 +1,26 @@
+//! # mini-curl — the transfer-client substrate
+//!
+//! The paper re-architects **cURL** for remote auditing (§2, use-cases ②
+//! and ③): program state is captured at key points of an invocation (or
+//! continuously) and logged to a remote instance to protect its
+//! integrity — the BYOD compliance scenario. The evaluation (§10.3)
+//! measures download time for files from 1KB to 1.2GB in three
+//! configurations: original, audited with both binaries in the same VM,
+//! and audited across VMs over 1GbE.
+//!
+//! This crate provides:
+//!
+//! * [`transfer::Client`] — a chunked downloader over a modelled link
+//!   (configurable latency/bandwidth, standing in for the paper's
+//!   dedicated testbed; see DESIGN.md substitutions), with progress
+//!   state and audit hooks at chunk boundaries;
+//! * [`transfer::TransferState`] — the audited program state, serialized
+//!   through `csaw-serial`;
+//! * [`apps`] — `InstanceApp` adapters plugging the client into the
+//!   `csaw-arch` remote-snapshot architecture (one-time and continuous
+//!   audit).
+
+pub mod apps;
+pub mod transfer;
+
+pub use transfer::{Client, LinkModel, TransferState};

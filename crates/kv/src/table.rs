@@ -1,0 +1,656 @@
+//! One junction's key-value table.
+
+use std::collections::{HashMap, VecDeque};
+
+use csaw_core::names::SetElem;
+use csaw_core::value::Value;
+
+/// The kind of a pushed update.
+#[derive(Clone, Debug, PartialEq)]
+pub enum UpdateKind {
+    /// `assert [γ] P` — set a proposition true.
+    Assert,
+    /// `retract [γ] P` — set a proposition false.
+    Retract,
+    /// `write(n, γ)` — push a named datum.
+    Data(Value),
+}
+
+/// A pushed update from another junction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Update {
+    /// Target key (proposition key or datum name).
+    pub key: String,
+    /// What to do.
+    pub kind: UpdateKind,
+    /// Fully-qualified sender junction (diagnostics only).
+    pub from: String,
+}
+
+impl Update {
+    /// Convenience constructor for an assertion.
+    pub fn assert(key: impl Into<String>, from: impl Into<String>) -> Update {
+        Update { key: key.into(), kind: UpdateKind::Assert, from: from.into() }
+    }
+    /// Convenience constructor for a retraction.
+    pub fn retract(key: impl Into<String>, from: impl Into<String>) -> Update {
+        Update { key: key.into(), kind: UpdateKind::Retract, from: from.into() }
+    }
+    /// Convenience constructor for a data write.
+    pub fn data(key: impl Into<String>, value: Value, from: impl Into<String>) -> Update {
+        Update { key: key.into(), kind: UpdateKind::Data(value), from: from.into() }
+    }
+}
+
+/// Errors raised by table operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TableError {
+    /// The key does not exist in this table.
+    NoSuchKey(String),
+    /// Attempt to read (`restore`) or transmit (`write`) `undef` (§6).
+    Undef(String),
+    /// A subset/idx value was not valid relative to its base set — the
+    /// "contract with the host language" of §6.
+    InvalidIndex { name: String, value: String },
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::NoSuchKey(k) => write!(f, "no such key `{k}`"),
+            TableError::Undef(k) => write!(f, "`{k}` is undef"),
+            TableError::InvalidIndex { name, value } => {
+                write!(f, "`{value}` is not a valid value for index/subset `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// Outcome of delivering an update to a table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Delivery {
+    /// Applied immediately (junction idle is *not* immediate — this only
+    /// happens inside an open `wait` window).
+    AppliedNow,
+    /// Queued; will apply at the next scheduling.
+    Queued,
+}
+
+/// A point-in-time copy of the visible table state, used by transaction
+/// blocks `⟨|E|⟩` for rollback.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Snapshot {
+    props: HashMap<String, bool>,
+    data: HashMap<String, Value>,
+    subsets: HashMap<String, Option<Vec<SetElem>>>,
+    idxs: HashMap<String, Option<String>>,
+}
+
+#[derive(Clone, Debug)]
+struct Pending {
+    update: Update,
+    /// Whether the junction was executing when it arrived.
+    during_run: bool,
+    /// Global operation sequence number at arrival, for ordering against
+    /// local writes within an activation.
+    seq: u64,
+}
+
+/// One junction's key-value table.
+///
+/// All mutation of *visible* state goes through `set_*_local` (local
+/// operations: `save`, local `assert`/`retract`) or [`Table::deliver`]
+/// (remote pushes). The runtime brackets junction activations with
+/// [`Table::begin_activation`] / [`Table::end_activation`].
+#[derive(Debug)]
+pub struct Table {
+    props: HashMap<String, bool>,
+    data: HashMap<String, Value>,
+    subsets: HashMap<String, Option<Vec<SetElem>>>,
+    subset_bases: HashMap<String, Vec<SetElem>>,
+    idxs: HashMap<String, Option<String>>,
+    idx_bases: HashMap<String, Vec<SetElem>>,
+    pending: VecDeque<Pending>,
+    epoch: u64,
+    running: bool,
+    /// key → (epoch, op-sequence) of the most recent local write.
+    locally_written: HashMap<String, (u64, u64)>,
+    /// Monotonic operation counter ordering local writes vs deliveries.
+    op_seq: u64,
+    /// Keys currently admitted by active `wait`s. Multiple windows may be
+    /// open at once: parallel composition can run several `wait`s in one
+    /// activation (Fig. 13's back-end fan-out).
+    windows: Vec<(u64, Vec<String>)>,
+    next_window: u64,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new() -> Table {
+        Table {
+            props: HashMap::new(),
+            data: HashMap::new(),
+            subsets: HashMap::new(),
+            subset_bases: HashMap::new(),
+            idxs: HashMap::new(),
+            idx_bases: HashMap::new(),
+            pending: VecDeque::new(),
+            epoch: 0,
+            running: false,
+            locally_written: HashMap::new(),
+            op_seq: 0,
+            windows: Vec::new(),
+            next_window: 0,
+        }
+    }
+
+    /// Declare a proposition with its initial value.
+    pub fn declare_prop(&mut self, key: impl Into<String>, init: bool) {
+        self.props.insert(key.into(), init);
+    }
+
+    /// Declare a datum (initialized to `undef`).
+    pub fn declare_data(&mut self, key: impl Into<String>) {
+        self.data.insert(key.into(), Value::Undef);
+    }
+
+    /// Declare a subset over the given base set (initialized to `undef`).
+    pub fn declare_subset(&mut self, name: impl Into<String>, base: Vec<SetElem>) {
+        let name = name.into();
+        self.subsets.insert(name.clone(), None);
+        self.subset_bases.insert(name, base);
+    }
+
+    /// Declare an index over the given base set (initialized to `undef`).
+    pub fn declare_idx(&mut self, name: impl Into<String>, base: Vec<SetElem>) {
+        let name = name.into();
+        self.idxs.insert(name.clone(), None);
+        self.idx_bases.insert(name, base);
+    }
+
+    /// Current epoch (activation counter).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether the junction is currently executing.
+    pub fn is_running(&self) -> bool {
+        self.running
+    }
+
+    /// Start an activation: apply pending updates ("updates are not made
+    /// to the table until the junction is next scheduled"), then mark the
+    /// junction running under a fresh epoch.
+    pub fn begin_activation(&mut self) {
+        self.flush_pending();
+        self.epoch += 1;
+        self.running = true;
+    }
+
+    /// End the activation.
+    pub fn end_activation(&mut self) {
+        self.running = false;
+        self.windows.clear();
+    }
+
+    /// Apply all eligible pending updates. An update that arrived at a
+    /// running junction and was *followed* by a local write to the same
+    /// key is dropped ("local updates have priority", §8) — the op
+    /// sequence orders the local write against the arrival, so a remote
+    /// reply that arrived after our last local write still applies.
+    pub fn flush_pending(&mut self) {
+        let pending = std::mem::take(&mut self.pending);
+        for p in pending {
+            let shadowed = p.during_run
+                && self
+                    .locally_written
+                    .get(&p.update.key)
+                    .is_some_and(|&(_, s)| s > p.seq);
+            if !shadowed {
+                self.apply(&p.update);
+            }
+        }
+    }
+
+    fn apply(&mut self, u: &Update) {
+        match &u.kind {
+            UpdateKind::Assert => {
+                self.props.insert(u.key.clone(), true);
+            }
+            UpdateKind::Retract => {
+                self.props.insert(u.key.clone(), false);
+            }
+            UpdateKind::Data(v) => {
+                self.data.insert(u.key.clone(), v.clone());
+            }
+        }
+    }
+
+    /// Deliver a remote update. Applies immediately only when the key is
+    /// admitted by an open `wait` window; otherwise queues.
+    pub fn deliver(&mut self, update: Update) -> Delivery {
+        if self
+            .windows
+            .iter()
+            .any(|(_, keys)| keys.iter().any(|k| k == &update.key))
+        {
+            self.apply(&update);
+            return Delivery::AppliedNow;
+        }
+        self.op_seq += 1;
+        self.pending.push_back(Pending {
+            update,
+            during_run: self.running,
+            seq: self.op_seq,
+        });
+        Delivery::Queued
+    }
+
+    /// Open a `wait` window admitting the given keys; returns a token for
+    /// [`Table::close_window`].
+    ///
+    /// Pending updates to the window's keys that arrived *after* the most
+    /// recent local write to that key are applied retroactively: `wait`
+    /// "allows for specific records in the KV table to be updated by
+    /// another instance" even when the reply raced ahead of the `wait`
+    /// itself (the remote peer can only have reacted to our local write,
+    /// so such updates are causally newer).
+    pub fn open_window(&mut self, keys: Vec<String>) -> u64 {
+        let token = self.next_window;
+        self.next_window += 1;
+        let mut keep = std::collections::VecDeque::with_capacity(self.pending.len());
+        let pending = std::mem::take(&mut self.pending);
+        for p in pending {
+            let in_window = keys.iter().any(|k| k == &p.update.key);
+            let newer_than_local = self
+                .locally_written
+                .get(&p.update.key)
+                .map_or(true, |&(_, s)| p.seq > s);
+            if in_window && newer_than_local {
+                self.apply(&p.update);
+            } else {
+                keep.push_back(p);
+            }
+        }
+        self.pending = keep;
+        self.windows.push((token, keys));
+        token
+    }
+
+    /// Close one `wait` window.
+    pub fn close_window(&mut self, token: u64) {
+        self.windows.retain(|(t, _)| *t != token);
+    }
+
+    /// `keep`: discard pending updates for the given keys. Idempotent.
+    pub fn keep(&mut self, keys: &[String]) {
+        self.pending.retain(|p| !keys.iter().any(|k| k == &p.update.key));
+    }
+
+    /// Read a proposition.
+    pub fn prop(&self, key: &str) -> Option<bool> {
+        self.props.get(key).copied()
+    }
+
+    /// Locally set a proposition (`assert []`/`retract []`). Local writes
+    /// are visible immediately and shadow pending remote updates.
+    pub fn set_prop_local(&mut self, key: &str, value: bool) -> Result<(), TableError> {
+        if !self.props.contains_key(key) {
+            return Err(TableError::NoSuchKey(key.to_string()));
+        }
+        self.props.insert(key.to_string(), value);
+        self.op_seq += 1;
+        self.locally_written
+            .insert(key.to_string(), (self.epoch, self.op_seq));
+        Ok(())
+    }
+
+    /// Read a datum.
+    pub fn data(&self, key: &str) -> Option<&Value> {
+        self.data.get(key)
+    }
+
+    /// Read a datum for `restore`/`write`: errors on missing or `undef`.
+    pub fn data_defined(&self, key: &str) -> Result<&Value, TableError> {
+        match self.data.get(key) {
+            None => Err(TableError::NoSuchKey(key.to_string())),
+            Some(Value::Undef) => Err(TableError::Undef(key.to_string())),
+            Some(v) => Ok(v),
+        }
+    }
+
+    /// Locally set a datum (`save`).
+    pub fn set_data_local(&mut self, key: &str, value: Value) -> Result<(), TableError> {
+        if !self.data.contains_key(key) {
+            return Err(TableError::NoSuchKey(key.to_string()));
+        }
+        self.data.insert(key.to_string(), value);
+        self.op_seq += 1;
+        self.locally_written
+            .insert(key.to_string(), (self.epoch, self.op_seq));
+        Ok(())
+    }
+
+    /// Set a subset's value; each element must belong to the base set
+    /// (the §6 host-language contract).
+    pub fn set_subset(&mut self, name: &str, elems: Vec<SetElem>) -> Result<(), TableError> {
+        let base = self
+            .subset_bases
+            .get(name)
+            .ok_or_else(|| TableError::NoSuchKey(name.to_string()))?;
+        for e in &elems {
+            if !base.contains(e) {
+                return Err(TableError::InvalidIndex {
+                    name: name.to_string(),
+                    value: e.key(),
+                });
+            }
+        }
+        self.subsets.insert(name.to_string(), Some(elems));
+        Ok(())
+    }
+
+    /// Membership test; `None` while the subset is `undef`.
+    pub fn subset_contains(&self, name: &str, elem_key: &str) -> Option<bool> {
+        self.subsets
+            .get(name)?
+            .as_ref()
+            .map(|elems| elems.iter().any(|e| e.key() == elem_key))
+    }
+
+    /// Set an index's value; must belong to the base set.
+    pub fn set_idx(&mut self, name: &str, elem_key: &str) -> Result<(), TableError> {
+        let base = self
+            .idx_bases
+            .get(name)
+            .ok_or_else(|| TableError::NoSuchKey(name.to_string()))?;
+        if !base.iter().any(|e| e.key() == elem_key) {
+            return Err(TableError::InvalidIndex {
+                name: name.to_string(),
+                value: elem_key.to_string(),
+            });
+        }
+        self.idxs.insert(name.to_string(), Some(elem_key.to_string()));
+        Ok(())
+    }
+
+    /// Read an index's current value (element key), if defined.
+    pub fn idx(&self, name: &str) -> Option<&str> {
+        self.idxs.get(name)?.as_deref()
+    }
+
+    /// Base set of a declared index.
+    pub fn idx_base(&self, name: &str) -> Option<&[SetElem]> {
+        self.idx_bases.get(name).map(|v| v.as_slice())
+    }
+
+    /// Base set of a declared subset.
+    pub fn subset_base(&self, name: &str) -> Option<&[SetElem]> {
+        self.subset_bases.get(name).map(|v| v.as_slice())
+    }
+
+    /// Whether a key names a declared proposition.
+    pub fn has_prop(&self, key: &str) -> bool {
+        self.props.contains_key(key)
+    }
+
+    /// Whether a key names a declared datum.
+    pub fn has_data(&self, key: &str) -> bool {
+        self.data.contains_key(key)
+    }
+
+    /// Number of queued (pending) updates.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// All propositions and their current values, sorted by key. Used by
+    /// `reconsider` to detect whether anything changed since an arm was
+    /// selected.
+    pub fn props_fingerprint(&self) -> Vec<(String, bool)> {
+        let mut v: Vec<_> = self.props.iter().map(|(k, b)| (k.clone(), *b)).collect();
+        v.sort();
+        v
+    }
+
+    /// Snapshot the visible state (not the pending queue).
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            props: self.props.clone(),
+            data: self.data.clone(),
+            subsets: self.subsets.clone(),
+            idxs: self.idxs.clone(),
+        }
+    }
+
+    /// Roll back the visible state to a snapshot ("a failure results in a
+    /// clean rollback of the KV table", §6).
+    pub fn rollback(&mut self, snap: Snapshot) {
+        self.props = snap.props;
+        self.data = snap.data;
+        self.subsets = snap.subsets;
+        self.idxs = snap.idxs;
+    }
+}
+
+impl Default for Table {
+    fn default() -> Self {
+        Table::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::new();
+        t.declare_prop("Work", false);
+        t.declare_prop("Retried", false);
+        t.declare_data("n");
+        t
+    }
+
+    #[test]
+    fn declarations_and_reads() {
+        let t = table();
+        assert_eq!(t.prop("Work"), Some(false));
+        assert_eq!(t.prop("Ghost"), None);
+        assert_eq!(t.data("n"), Some(&Value::Undef));
+        assert!(t.has_prop("Work") && !t.has_prop("n"));
+        assert!(t.has_data("n") && !t.has_data("Work"));
+    }
+
+    #[test]
+    fn undef_data_cannot_be_read_for_write() {
+        let t = table();
+        assert_eq!(t.data_defined("n"), Err(TableError::Undef("n".into())));
+    }
+
+    #[test]
+    fn local_writes_require_declaration() {
+        let mut t = table();
+        assert!(t.set_prop_local("Ghost", true).is_err());
+        assert!(t.set_data_local("ghost", Value::Int(1)).is_err());
+        t.set_prop_local("Work", true).unwrap();
+        assert_eq!(t.prop("Work"), Some(true));
+    }
+
+    #[test]
+    fn updates_queue_until_next_activation() {
+        let mut t = table();
+        t.deliver(Update::assert("Work", "f::j"));
+        // Not yet applied.
+        assert_eq!(t.prop("Work"), Some(false));
+        assert_eq!(t.pending_len(), 1);
+        t.begin_activation();
+        assert_eq!(t.prop("Work"), Some(true));
+        assert_eq!(t.pending_len(), 0);
+    }
+
+    #[test]
+    fn updates_apply_in_arrival_order() {
+        let mut t = table();
+        t.deliver(Update::assert("Work", "a"));
+        t.deliver(Update::retract("Work", "b"));
+        t.deliver(Update::data("n", Value::Int(1), "a"));
+        t.deliver(Update::data("n", Value::Int(2), "b"));
+        t.begin_activation();
+        assert_eq!(t.prop("Work"), Some(false));
+        assert_eq!(t.data("n"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn local_priority_shadows_pending() {
+        let mut t = table();
+        t.begin_activation();
+        // Remote update arrives mid-run…
+        t.deliver(Update::assert("Work", "f::j"));
+        // …and the junction locally writes the same key.
+        t.set_prop_local("Work", false).unwrap();
+        t.end_activation();
+        t.begin_activation();
+        // The pending remote update was ignored.
+        assert_eq!(t.prop("Work"), Some(false));
+    }
+
+    #[test]
+    fn local_priority_is_per_epoch() {
+        let mut t = table();
+        // Local write in activation 1.
+        t.begin_activation();
+        t.set_prop_local("Work", false).unwrap();
+        t.end_activation();
+        // Remote update arrives while idle — must apply.
+        t.deliver(Update::assert("Work", "f::j"));
+        t.begin_activation();
+        assert_eq!(t.prop("Work"), Some(true));
+    }
+
+    #[test]
+    fn wait_window_applies_immediately() {
+        let mut t = table();
+        t.begin_activation();
+        let tok = t.open_window(vec!["Work".to_string(), "n".to_string()]);
+        assert_eq!(t.deliver(Update::assert("Work", "g::j")), Delivery::AppliedNow);
+        assert_eq!(t.prop("Work"), Some(true));
+        assert_eq!(
+            t.deliver(Update::data("n", Value::Int(9), "g::j")),
+            Delivery::AppliedNow
+        );
+        assert_eq!(t.data("n"), Some(&Value::Int(9)));
+        // Keys outside the window still queue.
+        assert_eq!(t.deliver(Update::assert("Retried", "g::j")), Delivery::Queued);
+        t.close_window(tok);
+        assert_eq!(t.deliver(Update::retract("Work", "g::j")), Delivery::Queued);
+    }
+
+    #[test]
+    fn concurrent_windows_are_independent() {
+        let mut t = table();
+        t.begin_activation();
+        let w1 = t.open_window(vec!["Work".to_string()]);
+        let w2 = t.open_window(vec!["Retried".to_string()]);
+        assert_eq!(t.deliver(Update::assert("Work", "a")), Delivery::AppliedNow);
+        assert_eq!(t.deliver(Update::assert("Retried", "a")), Delivery::AppliedNow);
+        t.close_window(w1);
+        // w2 still admits Retried but Work now queues.
+        assert_eq!(t.deliver(Update::retract("Work", "a")), Delivery::Queued);
+        assert_eq!(t.deliver(Update::retract("Retried", "a")), Delivery::AppliedNow);
+        t.close_window(w2);
+        assert_eq!(t.deliver(Update::assert("Retried", "a")), Delivery::Queued);
+    }
+
+    #[test]
+    fn window_closes_at_end_of_activation() {
+        let mut t = table();
+        t.begin_activation();
+        t.open_window(vec!["Work".to_string()]);
+        t.end_activation();
+        assert_eq!(t.deliver(Update::assert("Work", "g")), Delivery::Queued);
+    }
+
+    #[test]
+    fn keep_discards_pending() {
+        let mut t = table();
+        t.deliver(Update::assert("Work", "a"));
+        t.deliver(Update::data("n", Value::Int(5), "a"));
+        t.keep(&["Work".to_string()]);
+        assert_eq!(t.pending_len(), 1);
+        // Idempotent.
+        t.keep(&["Work".to_string()]);
+        assert_eq!(t.pending_len(), 1);
+        t.begin_activation();
+        assert_eq!(t.prop("Work"), Some(false));
+        assert_eq!(t.data("n"), Some(&Value::Int(5)));
+    }
+
+    #[test]
+    fn snapshot_rollback() {
+        let mut t = table();
+        t.begin_activation();
+        let snap = t.snapshot();
+        t.set_prop_local("Work", true).unwrap();
+        t.set_data_local("n", Value::Int(7)).unwrap();
+        t.rollback(snap);
+        assert_eq!(t.prop("Work"), Some(false));
+        assert_eq!(t.data("n"), Some(&Value::Undef));
+    }
+
+    #[test]
+    fn rollback_does_not_restore_pending() {
+        let mut t = table();
+        let snap = t.snapshot();
+        t.deliver(Update::assert("Work", "a"));
+        t.rollback(snap);
+        assert_eq!(t.pending_len(), 1);
+    }
+
+    #[test]
+    fn subsets_validate_membership() {
+        let mut t = table();
+        t.declare_subset(
+            "tgt",
+            vec![SetElem::Instance("b1".into()), SetElem::Instance("b2".into())],
+        );
+        // Undef until set.
+        assert_eq!(t.subset_contains("tgt", "b1"), None);
+        t.set_subset("tgt", vec![SetElem::Instance("b1".into())]).unwrap();
+        assert_eq!(t.subset_contains("tgt", "b1"), Some(true));
+        assert_eq!(t.subset_contains("tgt", "b2"), Some(false));
+        // Violating the host contract is an error.
+        let err = t.set_subset("tgt", vec![SetElem::Instance("zz".into())]);
+        assert!(matches!(err, Err(TableError::InvalidIndex { .. })));
+    }
+
+    #[test]
+    fn idx_validates_membership() {
+        let mut t = table();
+        t.declare_idx(
+            "tgt",
+            vec![SetElem::Instance("b1".into()), SetElem::Instance("b2".into())],
+        );
+        assert_eq!(t.idx("tgt"), None);
+        t.set_idx("tgt", "b2").unwrap();
+        assert_eq!(t.idx("tgt"), Some("b2"));
+        assert!(matches!(
+            t.set_idx("tgt", "zz"),
+            Err(TableError::InvalidIndex { .. })
+        ));
+        assert_eq!(t.idx_base("tgt").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn epochs_advance_per_activation() {
+        let mut t = table();
+        assert_eq!(t.epoch(), 0);
+        t.begin_activation();
+        assert_eq!(t.epoch(), 1);
+        assert!(t.is_running());
+        t.end_activation();
+        t.begin_activation();
+        assert_eq!(t.epoch(), 2);
+    }
+}

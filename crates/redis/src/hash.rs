@@ -1,0 +1,71 @@
+//! Hash functions for sharding: the paper hashes keys "using the djb2
+//! hashing algorithm" (§10.1, citing Yigit's collection).
+
+/// The classic djb2 string hash.
+pub fn djb2(key: &str) -> u64 {
+    let mut h: u64 = 5381;
+    for b in key.bytes() {
+        h = h.wrapping_mul(33).wrapping_add(b as u64);
+    }
+    h
+}
+
+/// Shard index for a key: `djb2(key) mod n`.
+pub fn shard_of(key: &str, n: usize) -> usize {
+    (djb2(key) % n as u64) as usize
+}
+
+/// Quantize an object size into the paper's classes: "0-4KB, 4KB-64KB,
+/// and >64KB" (§5.2). Returns 0, 1 or 2.
+pub fn size_class(bytes: usize) -> usize {
+    if bytes <= 4 * 1024 {
+        0
+    } else if bytes <= 64 * 1024 {
+        1
+    } else {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn djb2_reference_values() {
+        // djb2("") = 5381; djb2("a") = 5381*33 + 97.
+        assert_eq!(djb2(""), 5381);
+        assert_eq!(djb2("a"), 5381 * 33 + 97);
+        assert_ne!(djb2("foo"), djb2("bar"));
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_bounded() {
+        for key in ["a", "user:1", "x:999", ""] {
+            let s = shard_of(key, 4);
+            assert!(s < 4);
+            assert_eq!(s, shard_of(key, 4));
+        }
+    }
+
+    #[test]
+    fn shards_spread_reasonably() {
+        let mut counts = [0usize; 4];
+        for i in 0..4000 {
+            counts[shard_of(&format!("key:{i}"), 4)] += 1;
+        }
+        for c in counts {
+            assert!(c > 500, "degenerate distribution: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn size_classes_match_paper_boundaries() {
+        assert_eq!(size_class(0), 0);
+        assert_eq!(size_class(4096), 0);
+        assert_eq!(size_class(4097), 1);
+        assert_eq!(size_class(65536), 1);
+        assert_eq!(size_class(65537), 2);
+        assert_eq!(size_class(10 << 20), 2);
+    }
+}

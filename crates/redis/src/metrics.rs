@@ -1,0 +1,276 @@
+//! Throughput and latency recorders producing the series the paper's
+//! figures plot: query rate over time (Figs. 23a/23c), cumulative
+//! requests per shard (Figs. 23b/26c), and latency CDFs (Figs. 25c/26b,
+//! "obtained directly from redis-benchmark").
+
+use std::time::{Duration, Instant};
+
+/// Windowed throughput: events are bucketed into fixed windows from a
+/// start instant; `series()` yields (window-start-seconds, events/sec).
+#[derive(Clone, Debug)]
+pub struct Throughput {
+    window: Duration,
+    start: Instant,
+    buckets: Vec<u64>,
+}
+
+impl Throughput {
+    /// Start recording with the given window size.
+    pub fn start(window: Duration) -> Throughput {
+        Throughput {
+            window,
+            start: Instant::now(),
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Record one event now.
+    pub fn hit(&mut self) {
+        self.hit_at(Instant::now());
+    }
+
+    /// Record one event at a given instant.
+    pub fn hit_at(&mut self, at: Instant) {
+        let idx = (at.saturating_duration_since(self.start).as_nanos()
+            / self.window.as_nanos().max(1)) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+    }
+
+    /// (seconds-since-start, events-per-second) per window.
+    pub fn series(&self) -> Vec<(f64, f64)> {
+        let w = self.window.as_secs_f64();
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as f64 * w, c as f64 / w))
+            .collect()
+    }
+
+    /// Total events.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+}
+
+/// Cumulative per-class counters over time (the sharding figures).
+#[derive(Clone, Debug)]
+pub struct CumulativeByClass {
+    window: Duration,
+    start: Instant,
+    classes: usize,
+    /// buckets[class][window] = count
+    buckets: Vec<Vec<u64>>,
+}
+
+impl CumulativeByClass {
+    /// Start recording `classes` series.
+    pub fn start(classes: usize, window: Duration) -> CumulativeByClass {
+        CumulativeByClass {
+            window,
+            start: Instant::now(),
+            classes,
+            buckets: vec![Vec::new(); classes],
+        }
+    }
+
+    /// Record one event for `class` now.
+    pub fn hit(&mut self, class: usize) {
+        assert!(class < self.classes);
+        let idx = (Instant::now()
+            .saturating_duration_since(self.start)
+            .as_nanos()
+            / self.window.as_nanos().max(1)) as usize;
+        let b = &mut self.buckets[class];
+        if idx >= b.len() {
+            b.resize(idx + 1, 0);
+        }
+        b[idx] += 1;
+    }
+
+    /// Cumulative series per class: (seconds, running-total).
+    pub fn series(&self) -> Vec<Vec<(f64, u64)>> {
+        let w = self.window.as_secs_f64();
+        self.buckets
+            .iter()
+            .map(|b| {
+                let mut total = 0;
+                b.iter()
+                    .enumerate()
+                    .map(|(i, &c)| {
+                        total += c;
+                        (i as f64 * w, total)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Final totals per class.
+    pub fn totals(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.iter().sum()).collect()
+    }
+}
+
+/// Latency recorder with percentile/CDF extraction.
+#[derive(Clone, Debug, Default)]
+pub struct Latencies {
+    samples: Vec<Duration>,
+}
+
+impl Latencies {
+    /// Empty recorder.
+    pub fn new() -> Latencies {
+        Latencies::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, d: Duration) {
+        self.samples.push(d);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True iff no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The q-quantile (0.0–1.0) of the recorded latencies.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut v = self.samples.clone();
+        v.sort();
+        let idx = ((v.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(v[idx])
+    }
+
+    /// Mean latency.
+    pub fn mean(&self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let total: Duration = self.samples.iter().sum();
+        Some(total / self.samples.len() as u32)
+    }
+
+    /// CDF points `(latency_ms, cumulative_probability)` at `n` steps —
+    /// the Figs. 25c/26b series.
+    pub fn cdf(&self, n: usize) -> Vec<(f64, f64)> {
+        if self.samples.is_empty() {
+            return Vec::new();
+        }
+        let mut v = self.samples.clone();
+        v.sort();
+        (0..=n)
+            .map(|i| {
+                let q = i as f64 / n as f64;
+                let idx = ((v.len() - 1) as f64 * q).round() as usize;
+                (v[idx].as_secs_f64() * 1e3, q)
+            })
+            .collect()
+    }
+}
+
+/// Mean and standard deviation of a sample of f64s (the "repeated 20
+/// times and averaged and reported with their standard deviation"
+/// treatment of §10).
+pub fn mean_std(samples: &[f64]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    if samples.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+        / (samples.len() - 1) as f64;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_buckets_by_window() {
+        let mut t = Throughput::start(Duration::from_millis(10));
+        let t0 = t.start;
+        for i in 0..30 {
+            t.hit_at(t0 + Duration::from_millis(i));
+        }
+        let s = t.series();
+        assert_eq!(s.len(), 3);
+        assert_eq!(t.total(), 30);
+        // 10 events per 10ms window → 1000/s.
+        assert!((s[0].1 - 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn cumulative_series_monotone() {
+        let mut c = CumulativeByClass::start(2, Duration::from_millis(5));
+        for _ in 0..10 {
+            c.hit(0);
+        }
+        c.hit(1);
+        let series = c.series();
+        assert_eq!(series.len(), 2);
+        let s0 = &series[0];
+        assert!(s0.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(c.totals(), vec![10, 1]);
+    }
+
+    #[test]
+    fn latency_quantiles() {
+        let mut l = Latencies::new();
+        for ms in 1..=100 {
+            l.record(Duration::from_millis(ms));
+        }
+        assert_eq!(l.len(), 100);
+        assert_eq!(l.quantile(0.0), Some(Duration::from_millis(1)));
+        assert_eq!(l.quantile(1.0), Some(Duration::from_millis(100)));
+        let p50 = l.quantile(0.5).unwrap();
+        assert!((49..=52).contains(&(p50.as_millis() as u64)));
+        let mean = l.mean().unwrap();
+        assert!((50..=51).contains(&(mean.as_millis() as u64)));
+    }
+
+    #[test]
+    fn cdf_shape() {
+        let mut l = Latencies::new();
+        for ms in [1u64, 1, 1, 1, 10] {
+            l.record(Duration::from_millis(ms));
+        }
+        let cdf = l.cdf(4);
+        assert_eq!(cdf.len(), 5);
+        assert_eq!(cdf[0].1, 0.0);
+        assert_eq!(cdf[4].1, 1.0);
+        // Probabilities non-decreasing, latencies non-decreasing.
+        assert!(cdf.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn empty_recorders() {
+        let l = Latencies::new();
+        assert!(l.is_empty());
+        assert_eq!(l.quantile(0.5), None);
+        assert_eq!(l.mean(), None);
+        assert!(l.cdf(10).is_empty());
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-9);
+        assert!((s - 2.138089935).abs() < 1e-6);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+        assert_eq!(mean_std(&[3.0]), (3.0, 0.0));
+    }
+}

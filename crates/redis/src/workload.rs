@@ -1,0 +1,263 @@
+//! redis-benchmark analog: workload generation.
+//!
+//! The paper "generated workloads by using redis-benchmark using its
+//! default parameters" (§10.1) and, for caching, "a read-heavy workload …
+//! 90% of requests are directed at 10% of the entries". Object-size
+//! sharding uses values quantized into the 0–4KB / 4–64KB / >64KB
+//! classes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::command::Command;
+
+/// Key distribution shapes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum KeyDist {
+    /// Uniform over the keyspace (redis-benchmark default-ish).
+    Uniform,
+    /// A fraction `hot` of keys receives a fraction `p` of requests
+    /// (the paper's 90/10 skew is `hot=0.1, p=0.9`).
+    Hotspot {
+        /// Fraction of the keyspace that is hot.
+        hot: f64,
+        /// Probability a request targets the hot set.
+        p: f64,
+    },
+    /// Keys deliberately spread across the three object-size classes
+    /// (for object-size sharding); the class is encoded in the key.
+    SizeClassed,
+    /// Deliberately uneven across shards: shard `i` of `n` gets weight
+    /// `i+1` (the paper's "uneven workloads place different pressure on
+    /// different back-ends").
+    Skewed {
+        /// Number of shards the skew targets.
+        shards: usize,
+    },
+}
+
+/// Workload parameters.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Number of distinct keys.
+    pub keyspace: usize,
+    /// Fraction of GETs (rest are SETs).
+    pub read_ratio: f64,
+    /// Value size for SETs (bytes), ignored by `SizeClassed`.
+    pub value_size: usize,
+    /// Key distribution.
+    pub dist: KeyDist,
+    /// RNG seed (reproducibility).
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            keyspace: 10_000,
+            read_ratio: 0.5,
+            value_size: 64,
+            dist: KeyDist::Uniform,
+            seed: 42,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// The paper's caching workload: "90% of requests are directed at
+    /// 10% of the entries", read-heavy.
+    pub fn hotspot_90_10() -> WorkloadSpec {
+        WorkloadSpec {
+            read_ratio: 0.9,
+            dist: KeyDist::Hotspot { hot: 0.1, p: 0.9 },
+            ..Default::default()
+        }
+    }
+}
+
+/// A deterministic request generator.
+pub struct Workload {
+    spec: WorkloadSpec,
+    rng: StdRng,
+}
+
+impl Workload {
+    /// Build a generator.
+    pub fn new(spec: WorkloadSpec) -> Workload {
+        let rng = StdRng::seed_from_u64(spec.seed);
+        Workload { spec, rng }
+    }
+
+    /// Key for request index under the configured distribution.
+    fn next_key(&mut self) -> String {
+        match self.spec.dist {
+            KeyDist::Uniform => format!("key:{}", self.rng.gen_range(0..self.spec.keyspace)),
+            KeyDist::Hotspot { hot, p } => {
+                let hot_keys = ((self.spec.keyspace as f64) * hot).max(1.0) as usize;
+                if self.rng.gen_bool(p) {
+                    format!("key:{}", self.rng.gen_range(0..hot_keys))
+                } else {
+                    format!(
+                        "key:{}",
+                        self.rng.gen_range(hot_keys..self.spec.keyspace.max(hot_keys + 1))
+                    )
+                }
+            }
+            KeyDist::SizeClassed => {
+                let class = self.rng.gen_range(0..3);
+                format!("sz{class}:{}", self.rng.gen_range(0..self.spec.keyspace))
+            }
+            KeyDist::Skewed { shards } => {
+                // Weight shard i by (i+1): sample a shard, then a key that
+                // djb2-hashes into it (search by probing).
+                let total: usize = (1..=shards).sum();
+                let mut pick = self.rng.gen_range(0..total);
+                let mut shard = 0;
+                for i in 0..shards {
+                    if pick < i + 1 {
+                        shard = i;
+                        break;
+                    }
+                    pick -= i + 1;
+                }
+                // Probe for a key landing in `shard`.
+                loop {
+                    let k = format!("key:{}", self.rng.gen_range(0..self.spec.keyspace));
+                    if crate::hash::shard_of(&k, shards) == shard {
+                        return k;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Value payload for a key.
+    fn value_for(&mut self, key: &str) -> Vec<u8> {
+        let size = if let KeyDist::SizeClassed = self.spec.dist {
+            match key.as_bytes()[2] - b'0' {
+                0 => 1024,    // 0–4KB class
+                1 => 16_384,  // 4–64KB class
+                _ => 128_000, // >64KB class
+            }
+        } else {
+            self.spec.value_size
+        };
+        vec![0xAB; size]
+    }
+
+    /// Produce the next command.
+    pub fn next(&mut self) -> Command {
+        let key = self.next_key();
+        if self.rng.gen_bool(self.spec.read_ratio) {
+            Command::Get(key)
+        } else {
+            let v = self.value_for(&key);
+            Command::Set(key, v)
+        }
+    }
+
+    /// Produce a batch.
+    pub fn batch(&mut self, n: usize) -> Vec<Command> {
+        (0..n).map(|_| self.next()).collect()
+    }
+
+    /// Pre-populate commands: one SET per key (warming the store so GETs
+    /// hit).
+    pub fn preload(&mut self) -> Vec<Command> {
+        (0..self.spec.keyspace)
+            .map(|i| {
+                let key = match self.spec.dist {
+                    KeyDist::SizeClassed => format!("sz{}:{i}", i % 3),
+                    _ => format!("key:{i}"),
+                };
+                let v = self.value_for(&key);
+                Command::Set(key, v)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Workload::new(WorkloadSpec::default());
+        let mut b = Workload::new(WorkloadSpec::default());
+        assert_eq!(a.batch(100), b.batch(100));
+    }
+
+    #[test]
+    fn read_ratio_respected() {
+        let mut w = Workload::new(WorkloadSpec {
+            read_ratio: 0.9,
+            ..Default::default()
+        });
+        let reads = w.batch(2000).iter().filter(|c| !c.is_write()).count();
+        assert!((1650..=1950).contains(&reads), "reads = {reads}");
+    }
+
+    #[test]
+    fn hotspot_concentrates_requests() {
+        let mut w = Workload::new(WorkloadSpec::hotspot_90_10());
+        let hot_keys = 1000; // 10% of 10_000
+        let mut hot = 0;
+        for c in w.batch(5000) {
+            let k = c.key().unwrap();
+            let idx: usize = k[4..].parse().unwrap();
+            if idx < hot_keys {
+                hot += 1;
+            }
+        }
+        assert!(hot > 4000, "hot share too low: {hot}/5000");
+    }
+
+    #[test]
+    fn size_classed_spreads_classes() {
+        let mut w = Workload::new(WorkloadSpec {
+            dist: KeyDist::SizeClassed,
+            read_ratio: 0.0,
+            ..Default::default()
+        });
+        let mut sizes = [0usize; 3];
+        for c in w.batch(300) {
+            if let Command::Set(k, v) = c {
+                let class = (k.as_bytes()[2] - b'0') as usize;
+                sizes[class] += 1;
+                let expect = [1024, 16_384, 128_000][class];
+                assert_eq!(v.len(), expect);
+            }
+        }
+        for s in sizes {
+            assert!(s > 50, "class starved: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_is_uneven_in_shard_ratio() {
+        let mut w = Workload::new(WorkloadSpec {
+            dist: KeyDist::Skewed { shards: 4 },
+            read_ratio: 1.0,
+            ..Default::default()
+        });
+        let mut counts = [0usize; 4];
+        for c in w.batch(4000) {
+            counts[crate::hash::shard_of(c.key().unwrap(), 4)] += 1;
+        }
+        // Expected ratio ~1:2:3:4.
+        assert!(counts[3] > counts[0] * 2, "not skewed: {counts:?}");
+        assert!(counts[2] > counts[0], "not monotone: {counts:?}");
+    }
+
+    #[test]
+    fn preload_covers_keyspace() {
+        let mut w = Workload::new(WorkloadSpec {
+            keyspace: 50,
+            ..Default::default()
+        });
+        let cmds = w.preload();
+        assert_eq!(cmds.len(), 50);
+        assert!(cmds.iter().all(|c| c.is_write()));
+    }
+}

@@ -1,0 +1,224 @@
+//! mini-redis running under the C-Saw architectures end-to-end: the
+//! §10.1 features (sharding by key and by size, caching, checkpointing,
+//! fail-over) exercised against the real store.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use csaw_arch::caching::{caching, CachingSpec};
+use csaw_arch::checkpoint::{checkpoint, CheckpointSpec};
+use csaw_arch::failover::{self, failover, FailoverSpec};
+use csaw_arch::sharding::{sharding, ShardingSpec};
+use csaw_core::program::LoadConfig;
+use csaw_core::value::Value;
+use csaw_kv::Update;
+use csaw_runtime::runtime::Policy;
+use csaw_runtime::{Runtime, RuntimeConfig};
+use mini_redis::apps::{
+    CacheApp, CheckpointStoreApp, FailoverFrontApp, ServerApp, ShardFrontApp, ShardMode,
+};
+use mini_redis::hash::shard_of;
+use mini_redis::{Command, Reply};
+
+fn wait_until(timeout: Duration, mut f: impl FnMut() -> bool) -> bool {
+    let deadline = std::time::Instant::now() + timeout;
+    while std::time::Instant::now() < deadline {
+        if f() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    false
+}
+
+#[test]
+fn redis_sharded_by_key_end_to_end() {
+    let spec = ShardingSpec::default();
+    let cp = csaw_core::compile(sharding(&spec), &LoadConfig::new()).unwrap();
+    let rt = Runtime::new(&cp, RuntimeConfig::default());
+    let front = ShardFrontApp::new(ShardMode::ByKey, 4);
+    let requests = Arc::clone(&front.requests);
+    let replies = Arc::clone(&front.replies);
+    rt.bind_app("Fnt", Box::new(front));
+    let mut stores = Vec::new();
+    for i in 1..=4 {
+        let app = ServerApp::new();
+        stores.push(Arc::clone(&app.store));
+        rt.bind_app(&format!("Bck{i}"), Box::new(app));
+    }
+    rt.set_policy("Fnt", "junction", Policy::OnDemand);
+    rt.run_main(vec![Value::Duration(Duration::from_secs(2))]).unwrap();
+
+    // SET then GET 20 keys through the architecture.
+    for i in 0..20 {
+        requests
+            .lock()
+            .push_back(Command::Set(format!("k{i}"), format!("v{i}").into_bytes()));
+        rt.invoke("Fnt", "junction").unwrap();
+    }
+    for i in 0..20 {
+        requests.lock().push_back(Command::Get(format!("k{i}")));
+        rt.invoke("Fnt", "junction").unwrap();
+    }
+    assert!(wait_until(Duration::from_secs(5), || replies.lock().len() == 40));
+    // GET replies (the second half) return the stored values.
+    let all: Vec<Reply> = replies.lock().drain(..).collect();
+    for (i, r) in all[20..].iter().enumerate() {
+        assert_eq!(r, &Reply::Bulk(format!("v{i}").into_bytes()));
+    }
+    // Keys are partitioned by djb2: each key lives only on its shard.
+    for i in 0..20 {
+        let key = format!("k{i}");
+        let home = shard_of(&key, 4);
+        for (s, store) in stores.iter().enumerate() {
+            assert_eq!(store.lock().exists(&key), s == home, "key {key} shard {s}");
+        }
+    }
+    rt.shutdown();
+}
+
+#[test]
+fn redis_sharded_by_object_size() {
+    let spec = ShardingSpec { n_backends: 3, ..Default::default() };
+    let cp = csaw_core::compile(sharding(&spec), &LoadConfig::new()).unwrap();
+    let rt = Runtime::new(&cp, RuntimeConfig::default());
+    let front = ShardFrontApp::new(ShardMode::BySize, 3);
+    let requests = Arc::clone(&front.requests);
+    let replies = Arc::clone(&front.replies);
+    rt.bind_app("Fnt", Box::new(front));
+    let mut stores = Vec::new();
+    for i in 1..=3 {
+        let app = ServerApp::new();
+        stores.push(Arc::clone(&app.store));
+        rt.bind_app(&format!("Bck{i}"), Box::new(app));
+    }
+    rt.set_policy("Fnt", "junction", Policy::OnDemand);
+    rt.run_main(vec![Value::Duration(Duration::from_secs(2))]).unwrap();
+
+    // One object per size class: ≤4KB, ≤64KB, >64KB.
+    let sizes = [1024usize, 16_384, 128_000];
+    for (i, size) in sizes.iter().enumerate() {
+        requests
+            .lock()
+            .push_back(Command::Set(format!("obj{i}"), vec![0xCD; *size]));
+        rt.invoke("Fnt", "junction").unwrap();
+    }
+    assert!(wait_until(Duration::from_secs(5), || replies.lock().len() == 3));
+    // Each object landed on the shard of its size class.
+    for (i, store) in stores.iter().enumerate() {
+        assert!(store.lock().exists(&format!("obj{i}")), "class {i}");
+        assert_eq!(store.lock().len(), 1);
+    }
+    rt.shutdown();
+}
+
+#[test]
+fn redis_caching_serves_hot_reads_from_cache() {
+    let spec = CachingSpec::default();
+    let cp = csaw_core::compile(caching(&spec), &LoadConfig::new()).unwrap();
+    let rt = Runtime::new(&cp, RuntimeConfig::default());
+    let cache = CacheApp::new(1024);
+    let requests = Arc::clone(&cache.requests);
+    let replies = Arc::clone(&cache.replies);
+    let hits = Arc::clone(&cache.hits);
+    rt.bind_app("Cache", Box::new(cache));
+    let fun = ServerApp::new();
+    let handled = Arc::clone(&fun.handled);
+    let store = Arc::clone(&fun.store);
+    rt.bind_app("Fun", Box::new(fun));
+    rt.set_policy("Cache", "junction", Policy::OnDemand);
+    rt.run_main(vec![Value::Duration(Duration::from_secs(2))]).unwrap();
+
+    store.lock().set("hot", b"value".to_vec());
+    // 1 write-through + 5 reads of the same key.
+    for _ in 0..5 {
+        requests.lock().push_back(Command::Get("hot".into()));
+        rt.invoke("Cache", "junction").unwrap();
+    }
+    assert!(wait_until(Duration::from_secs(5), || replies.lock().len() == 5));
+    // First read missed (hit the Fun instance); the rest were cache hits.
+    assert_eq!(handled.load(Ordering::Relaxed), 1);
+    assert_eq!(hits.load(Ordering::Relaxed), 4);
+    for r in replies.lock().iter() {
+        assert_eq!(r, &Reply::Bulk(b"value".to_vec()));
+    }
+    rt.shutdown();
+}
+
+#[test]
+fn redis_checkpoint_restores_store_after_crash() {
+    let spec = CheckpointSpec::default();
+    let cp = csaw_core::compile(checkpoint(&spec), &LoadConfig::new()).unwrap();
+    let rt = Runtime::new(&cp, RuntimeConfig::default());
+    let prim = ServerApp::new();
+    let store = Arc::clone(&prim.store);
+    rt.bind_app("Prim", Box::new(prim));
+    let ckpt = CheckpointStoreApp::new();
+    let latest = Arc::clone(&ckpt.latest);
+    rt.bind_app("Store", Box::new(ckpt));
+    rt.set_policy("Prim", "checkpoint", Policy::Periodic(Duration::from_millis(30)));
+    rt.run_main(vec![Value::Duration(Duration::from_secs(2))]).unwrap();
+
+    for i in 0..25 {
+        store.lock().set(&format!("k{i}"), vec![i as u8; 100]);
+    }
+    let filled = store.lock().checkpoint().unwrap();
+    assert!(wait_until(Duration::from_secs(5), || {
+        latest.lock().as_ref().is_some_and(|b| b.len() >= filled.len())
+    }));
+
+    // Crash: the store's contents are lost.
+    rt.crash("Prim");
+    store.lock().flush();
+    rt.set_policy("Prim", "checkpoint", Policy::OnDemand);
+    rt.restart("Prim").unwrap();
+    rt.deliver_for_test("Prim", "recover", Update::assert("NeedState", "driver"));
+    assert!(wait_until(Duration::from_secs(5), || store.lock().len() == 25));
+    assert_eq!(store.lock().get("k7"), Some(&vec![7u8; 100][..]));
+    rt.shutdown();
+}
+
+#[test]
+fn redis_failover_replicates_and_survives_crash() {
+    let spec = FailoverSpec::default();
+    let cp = csaw_core::compile(failover(&spec), &LoadConfig::new()).unwrap();
+    let rt = Runtime::new(&cp, RuntimeConfig::default());
+    let front = FailoverFrontApp::new();
+    let requests = Arc::clone(&front.requests);
+    let replies = Arc::clone(&front.replies);
+    rt.bind_app("f", Box::new(front));
+    let mut stores = Vec::new();
+    for name in ["b1", "b2"] {
+        let app = ServerApp::new();
+        stores.push(Arc::clone(&app.store));
+        rt.bind_app(name, Box::new(app));
+    }
+    let t = Duration::from_millis(400);
+    failover::configure_policies(&rt, &spec, t);
+    rt.run_main(vec![Value::Duration(t)]).unwrap();
+    assert!(wait_until(Duration::from_secs(5), || {
+        rt.peek_prop("f", "c", "Starting") == Some(false)
+    }));
+
+    let request = |cmd: Command| {
+        requests.lock().push_back(cmd);
+        rt.deliver_for_test("f", "c", Update::assert("Req", "client"));
+    };
+    request(Command::Set("x".into(), b"1".to_vec()));
+    assert!(wait_until(Duration::from_secs(5), || replies.lock().len() == 1));
+    // Warm replication: both back-ends applied the write.
+    assert!(wait_until(Duration::from_secs(2), || {
+        stores[0].lock().exists("x") && stores[1].lock().exists("x")
+    }));
+
+    // Crash b1 mid-flight; the system keeps serving via b2.
+    rt.crash("b1");
+    request(Command::Get("x".into()));
+    assert!(wait_until(Duration::from_secs(10), || replies.lock().len() == 2));
+    assert_eq!(
+        replies.lock().back().cloned(),
+        Some(Reply::Bulk(b"1".to_vec()))
+    );
+    rt.shutdown();
+}

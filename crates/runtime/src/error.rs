@@ -1,0 +1,141 @@
+//! Run-time failures.
+//!
+//! "Code blocks differ in what happens if a failure is encountered"
+//! (§6) — every DSL primitive may fail, and failures propagate outward
+//! through fate scopes until an `otherwise` handles them (or the junction
+//! activation fails).
+
+use csaw_kv::TableError;
+
+/// Result alias for interpreter operations.
+pub type RtResult<T> = Result<T, Failure>;
+
+/// A DSL-level failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Failure {
+    /// A deadline imposed by `otherwise[t]` expired.
+    Timeout {
+        /// What was being attempted.
+        context: String,
+    },
+    /// Communication targeted an instance that is not running.
+    TargetDown {
+        /// The dead target.
+        target: String,
+    },
+    /// A `verify` condition evaluated false — or *unknown*, per the
+    /// ternary-logic rule of §6.
+    Verify {
+        /// Rendered formula.
+        formula: String,
+        /// Whether it was unknown (vs definitely false).
+        unknown: bool,
+    },
+    /// KV-table error (undef read, missing key, invalid index).
+    Table(TableError),
+    /// Host code reported an error.
+    Host {
+        /// Host function name.
+        func: String,
+        /// Host-provided message.
+        message: String,
+    },
+    /// `start` of a running instance, or `stop` of a stopped one.
+    StartStop(String),
+    /// `reconsider` could not find a different match (§6).
+    ReconsiderFailed,
+    /// `retry` exceeded the configured per-scheduling budget.
+    RetryExhausted,
+    /// A name (parameter, idx, junction…) failed to resolve at run time.
+    Unresolved(String),
+    /// Configuration/programming error surfaced at run time.
+    Internal(String),
+}
+
+impl Failure {
+    /// Short classification label, used by event logs and tests.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Failure::Timeout { .. } => "timeout",
+            Failure::TargetDown { .. } => "target-down",
+            Failure::Verify { .. } => "verify",
+            Failure::Table(_) => "table",
+            Failure::Host { .. } => "host",
+            Failure::StartStop(_) => "start-stop",
+            Failure::ReconsiderFailed => "reconsider",
+            Failure::RetryExhausted => "retry",
+            Failure::Unresolved(_) => "unresolved",
+            Failure::Internal(_) => "internal",
+        }
+    }
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Failure::Timeout { context } => write!(f, "timeout: {context}"),
+            Failure::TargetDown { target } => write!(f, "target down: {target}"),
+            Failure::Verify { formula, unknown } => {
+                if *unknown {
+                    write!(f, "verify unknown: {formula}")
+                } else {
+                    write!(f, "verify failed: {formula}")
+                }
+            }
+            Failure::Table(e) => write!(f, "table: {e}"),
+            Failure::Host { func, message } => write!(f, "host `{func}`: {message}"),
+            Failure::StartStop(s) => write!(f, "start/stop: {s}"),
+            Failure::ReconsiderFailed => write!(f, "reconsider found no different match"),
+            Failure::RetryExhausted => write!(f, "retry budget exhausted"),
+            Failure::Unresolved(s) => write!(f, "unresolved name: {s}"),
+            Failure::Internal(s) => write!(f, "internal: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for Failure {}
+
+impl From<TableError> for Failure {
+    fn from(e: TableError) -> Self {
+        Failure::Table(e)
+    }
+}
+
+/// How an expression finished, when it didn't fail: normally, or with a
+/// control signal that an enclosing construct must catch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Flow {
+    /// Normal completion.
+    Ok,
+    /// `break` — caught by `case` and unrolled loops.
+    Break,
+    /// `next` — caught by `case`.
+    Next,
+    /// `reconsider` — caught by `case`.
+    Reconsider,
+    /// `retry` — caught by the junction activation.
+    Retry,
+    /// `return` — terminates the junction activation successfully.
+    Return,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_display() {
+        let f = Failure::Timeout { context: "wait".into() };
+        assert_eq!(f.kind(), "timeout");
+        assert!(f.to_string().contains("wait"));
+        assert_eq!(Failure::ReconsiderFailed.kind(), "reconsider");
+        let v = Failure::Verify { formula: "S(o)".into(), unknown: true };
+        assert!(v.to_string().contains("unknown"));
+    }
+
+    #[test]
+    fn table_error_converts() {
+        let f: Failure = TableError::Undef("n".into()).into();
+        assert_eq!(f.kind(), "table");
+    }
+}

@@ -1,0 +1,40 @@
+//! # csaw-runtime — the libcompart-analog distributed runtime + interpreter
+//!
+//! The C-Saw prototype runs on libcompart, "a lightweight, portable
+//! runtime that provides channel abstractions for communication between
+//! instances … wrap\[ping\] OS-provided IPC, including TCP sockets and
+//! pipes" (§3). This crate reproduces that runtime for the Rust
+//! reproduction and adds the DSL interpreter that executes compiled
+//! junction programs.
+//!
+//! Architecture:
+//!
+//! * [`cell::Cell`] — one junction's state: its `csaw-kv` table, its
+//!   parameter environment, and a condition variable that `wait` blocks
+//!   on and remote deliveries signal.
+//! * [`transport`] — channels between instances: direct in-process,
+//!   TCP-loopback (real sockets), and a simulated link with configurable
+//!   latency/bandwidth (the testbed stand-in for the cURL experiments).
+//! * [`interp`] — a tree-walking interpreter for compiled C-Saw
+//!   expressions implementing the paper's semantics: fate scopes,
+//!   transactional rollback, `otherwise` deadlines, `retry`/`reconsider`/
+//!   `next`/`break`, parallel composition on scoped threads, `verify`
+//!   under ternary logic, and the KV-table update rules of §8.
+//! * [`runtime::Runtime`] — the facade: builds cells from a
+//!   [`csaw_core::CompiledProgram`], binds [`app::InstanceApp`]
+//!   implementations (the host-language side), runs `main`, schedules
+//!   guarded junctions, exposes synchronous [`runtime::Runtime::invoke`]
+//!   for request-driven junctions, and injects faults
+//!   ([`runtime::Runtime::crash`]) for the availability experiments.
+
+pub mod app;
+pub mod cell;
+pub mod error;
+pub mod interp;
+pub mod runtime;
+pub mod transport;
+
+pub use app::{HostCtx, InstanceApp, NoopApp};
+pub use error::{Failure, RtResult};
+pub use runtime::{InstanceStatus, Runtime, RuntimeConfig};
+pub use transport::LinkKind;

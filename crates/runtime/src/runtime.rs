@@ -1,0 +1,872 @@
+//! The runtime facade: instances, scheduling, start/stop, faults.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use csaw_core::expr::Arg;
+use csaw_core::formula::Ternary;
+use csaw_core::names::{JRef, NameRef};
+use csaw_core::program::{CompiledProgram, JunctionDef, MainDef};
+use csaw_core::value::Value;
+use csaw_kv::{Table, Update};
+use parking_lot::{Condvar, Mutex};
+
+use crate::app::{InstanceApp, NoopApp};
+use crate::cell::{Cell, JunctionId};
+use crate::error::Failure;
+use crate::interp::ExecCtx;
+use crate::transport::{DeliverFn, LinkKind, Network};
+
+/// Lifecycle state of an instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum InstanceStatus {
+    /// Declared but never started.
+    NotStarted = 0,
+    /// Running.
+    Running = 1,
+    /// Stopped via `stop`.
+    Stopped = 2,
+    /// Crashed (fault injection) — sends to it fail, like `Stopped`, but
+    /// distinguishable for diagnostics.
+    Crashed = 3,
+}
+
+impl InstanceStatus {
+    fn from_u8(v: u8) -> InstanceStatus {
+        match v {
+            1 => InstanceStatus::Running,
+            2 => InstanceStatus::Stopped,
+            3 => InstanceStatus::Crashed,
+            _ => InstanceStatus::NotStarted,
+        }
+    }
+}
+
+/// When a junction gets scheduled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Policy {
+    /// Run once when the instance starts (then on demand). The default
+    /// for guard-less junctions (Fig. 3's τf, Fig. 4's Act).
+    Startup,
+    /// Run whenever the guard holds. The default for guarded junctions
+    /// (Fig. 3's τg: `guard Work`).
+    Auto,
+    /// Run only via [`Runtime::invoke`] (request-driven junctions).
+    OnDemand,
+    /// Run at most once per interval, guard permitting (watchdog
+    /// junctions like τb::reactivate, Fig. 14).
+    Periodic(Duration),
+}
+
+/// A diagnostic event (junction failure, complain, lifecycle change).
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// When.
+    pub at: Instant,
+    /// Which instance.
+    pub instance: String,
+    /// Which junction ("-" for lifecycle events).
+    pub junction: String,
+    /// Event class: "failure", "complain", "start", "stop", "crash"…
+    pub kind: String,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+/// Runtime tuning knobs.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Default link kind between instances.
+    pub default_link: LinkKind,
+    /// Scheduler poll interval (upper bound on guard-recheck latency).
+    pub tick: Duration,
+    /// Upper bound on an un-deadlined `wait` (prevents silent hangs; the
+    /// paper's examples always bound waits with `otherwise[t]`).
+    pub max_wait: Duration,
+    /// Default deadline for [`Runtime::invoke`] guard waits.
+    pub invoke_timeout: Duration,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            default_link: LinkKind::Direct,
+            tick: Duration::from_millis(2),
+            max_wait: Duration::from_secs(30),
+            invoke_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Per-junction runtime record.
+pub(crate) struct JunctionRt {
+    pub(crate) def: JunctionDef,
+    pub(crate) cell: Arc<Cell>,
+    pub(crate) policy: Mutex<Policy>,
+    pub(crate) needs_initial: AtomicBool,
+    pub(crate) last_run: Mutex<Option<Instant>>,
+}
+
+/// Per-instance runtime record.
+pub(crate) struct InstanceState {
+    pub(crate) name: String,
+    #[allow(dead_code)]
+    pub(crate) type_name: String,
+    pub(crate) status: AtomicU8,
+    pub(crate) junctions: Vec<Arc<JunctionRt>>,
+    pub(crate) app: Arc<Mutex<Box<dyn InstanceApp>>>,
+    wake_seq: Mutex<u64>,
+    wake_cond: Condvar,
+    /// Activations run (observability).
+    pub(crate) activations: AtomicU64,
+}
+
+impl InstanceState {
+    pub(crate) fn status(&self) -> InstanceStatus {
+        InstanceStatus::from_u8(self.status.load(Ordering::SeqCst))
+    }
+
+    pub(crate) fn wake(&self) {
+        *self.wake_seq.lock() += 1;
+        self.wake_cond.notify_all();
+    }
+
+    fn wait_for_wake(&self, timeout: Duration) {
+        let mut seq = self.wake_seq.lock();
+        self.wake_cond.wait_for(&mut seq, timeout);
+    }
+
+    pub(crate) fn junction(&self, name: &str) -> Option<&Arc<JunctionRt>> {
+        self.junctions.iter().find(|j| j.def.name == name)
+    }
+}
+
+/// Shared runtime internals.
+pub(crate) struct RuntimeInner {
+    pub(crate) instances: HashMap<String, Arc<InstanceState>>,
+    pub(crate) network: Network,
+    pub(crate) config: RuntimeConfig,
+    pub(crate) retry_limit: u32,
+    pub(crate) events: Mutex<Vec<Event>>,
+    pub(crate) shutdown: AtomicBool,
+    /// True while `main` is executing: schedulers hold off so that the
+    /// instances started by `main`'s parallel composition come up as a
+    /// group ("when an instance is started, its junctions are started
+    /// concurrently", §6 — and Fig. 3's f must not message g before g's
+    /// `start` lands).
+    pub(crate) booting: AtomicBool,
+    main: MainDef,
+}
+
+impl RuntimeInner {
+    pub(crate) fn instance(&self, name: &str) -> Result<&Arc<InstanceState>, Failure> {
+        self.instances
+            .get(name)
+            .ok_or_else(|| Failure::Unresolved(format!("instance `{name}`")))
+    }
+
+    pub(crate) fn record_event(
+        &self,
+        instance: &str,
+        junction: &str,
+        kind: &str,
+        detail: String,
+    ) {
+        self.events.lock().push(Event {
+            at: Instant::now(),
+            instance: instance.to_string(),
+            junction: junction.to_string(),
+            kind: kind.to_string(),
+            detail,
+        });
+    }
+
+    /// Liveness, the `S(ι)` predicate.
+    pub(crate) fn is_live(&self, instance: &str) -> bool {
+        self.instances
+            .get(instance)
+            .is_some_and(|i| i.status() == InstanceStatus::Running)
+    }
+
+    /// Read a remote proposition (used by `verify γ@P` and guards). This
+    /// is an observer-only path: junction code cannot *read* remote
+    /// tables, but safety checks may (§6, ternary logic).
+    pub(crate) fn remote_prop(&self, id: &JunctionId, key: &str) -> Ternary {
+        let Some(inst) = self.instances.get(&id.instance) else {
+            return Ternary::Unknown;
+        };
+        if inst.status() != InstanceStatus::Running {
+            return Ternary::Unknown;
+        }
+        let Some(jrt) = inst.junction(&id.junction) else {
+            return Ternary::Unknown;
+        };
+        let mut table = jrt.cell.table();
+        // Observers see the state as of the junction's next scheduling:
+        // when it is idle, pending updates are already destined to apply.
+        if !table.is_running() {
+            table.flush_pending();
+        }
+        match table.prop(key) {
+            Some(b) => Ternary::from_bool(b),
+            None => Ternary::Unknown,
+        }
+    }
+
+    /// Send an update to a junction, checking target liveness.
+    pub(crate) fn send(
+        &self,
+        from_instance: &str,
+        to: &JunctionId,
+        update: Update,
+    ) -> Result<(), Failure> {
+        if !self.is_live(&to.instance) {
+            return Err(Failure::TargetDown { target: to.qualified() });
+        }
+        self.network
+            .send(from_instance, to, update)
+            .map_err(|e| Failure::Internal(format!("send: {}", e.0)))
+    }
+
+    /// Resolve a bare target string (`"b1"` or `"b1::serve"`) to a
+    /// junction id. A bare instance name resolves to its sole junction.
+    pub(crate) fn resolve_target(&self, s: &str) -> Result<JunctionId, Failure> {
+        if let Some((inst, junc)) = s.split_once("::") {
+            return Ok(JunctionId::new(inst, junc));
+        }
+        let inst = self.instance(s)?;
+        if inst.junctions.len() == 1 {
+            Ok(JunctionId::new(s, inst.junctions[0].def.name.clone()))
+        } else {
+            Err(Failure::Unresolved(format!(
+                "`{s}` names an instance with {} junctions; qualify the junction",
+                inst.junctions.len()
+            )))
+        }
+    }
+
+    /// Evaluate a junction's guard (flushing pending updates first, since
+    /// updates apply at scheduling). Remote atoms are resolved before the
+    /// local table lock is taken, so cross-junction guards cannot
+    /// deadlock (see `interp`).
+    pub(crate) fn guard_ready(&self, inst: &InstanceState, jrt: &JunctionRt) -> bool {
+        let Some(guard) = jrt.def.guard() else {
+            return true;
+        };
+        jrt.cell.table().flush_pending();
+        crate::interp::guard_truth(self, inst, jrt, guard) == Ternary::True
+    }
+
+    /// Start an instance: bind junction parameters, flip status, wake.
+    pub(crate) fn start_instance(
+        &self,
+        name: &str,
+        junction_args: &[(Option<String>, Vec<Arg>)],
+        env: &HashMap<String, Value>,
+    ) -> Result<(), Failure> {
+        let inst = self.instance(name)?;
+        let prev = inst.status();
+        if prev == InstanceStatus::Running {
+            return Err(Failure::StartStop(format!("instance `{name}` already running")));
+        }
+        // Bind parameter environments per junction.
+        for (jname, args) in junction_args {
+            let jrt = match jname {
+                Some(j) => inst.junction(j).ok_or_else(|| {
+                    Failure::Unresolved(format!("junction `{name}::{j}`"))
+                })?,
+                None => {
+                    if inst.junctions.len() == 1 {
+                        &inst.junctions[0]
+                    } else {
+                        return Err(Failure::Unresolved(format!(
+                            "start {name}: junction name required"
+                        )));
+                    }
+                }
+            };
+            if jrt.def.params.len() != args.len() {
+                return Err(Failure::Internal(format!(
+                    "start {name} {}: arity mismatch",
+                    jrt.def.name
+                )));
+            }
+            let mut bound = HashMap::new();
+            for (p, a) in jrt.def.params.iter().zip(args.iter()) {
+                bound.insert(p.name.clone(), self.eval_arg(a, env)?);
+            }
+            jrt.cell.bind_env(bound.clone());
+            // Declare propositions whose name or index is a parameter
+            // (e.g. `init prop ¬Running[me::junction]` passed as a
+            // `self` parameter, or Fig. 16's `Watch(tgt, prop)`): their
+            // table keys only become known once the environment binds.
+            {
+                let mut table = jrt.cell.table();
+                for d in &jrt.def.decls {
+                    if let csaw_core::decl::Decl::Prop { prop, init } = d {
+                        if prop.as_key().is_some() {
+                            continue; // statically declared at build time
+                        }
+                        let resolve = |n: &csaw_core::names::NameRef| -> Option<String> {
+                            match n {
+                                csaw_core::names::NameRef::Lit(s) => Some(s.clone()),
+                                csaw_core::names::NameRef::Var(v) => {
+                                    bound.get(v).map(|val| match val {
+                                        Value::Target(t) => t.clone(),
+                                        Value::Str(s) => s.clone(),
+                                        other => other.to_string(),
+                                    })
+                                }
+                            }
+                        };
+                        let Some(name) = resolve(&prop.name) else { continue };
+                        let key = match &prop.index {
+                            None => name,
+                            Some(ix) => match resolve(ix) {
+                                Some(i) => format!("{name}[{i}]"),
+                                None => continue,
+                            },
+                        };
+                        if !table.has_prop(&key) {
+                            table.declare_prop(key, *init);
+                        }
+                    }
+                }
+            }
+        }
+        for jrt in &inst.junctions {
+            jrt.needs_initial.store(true, Ordering::SeqCst);
+            *jrt.last_run.lock() = None;
+        }
+        inst.status.store(InstanceStatus::Running as u8, Ordering::SeqCst);
+        inst.app.lock().on_start();
+        self.record_event(name, "-", "start", String::new());
+        self.wake_all();
+        Ok(())
+    }
+
+    /// Stop a running instance.
+    pub(crate) fn stop_instance(&self, name: &str) -> Result<(), Failure> {
+        let inst = self.instance(name)?;
+        if inst.status() != InstanceStatus::Running {
+            return Err(Failure::StartStop(format!("instance `{name}` is not running")));
+        }
+        inst.status.store(InstanceStatus::Stopped as u8, Ordering::SeqCst);
+        inst.app.lock().on_stop();
+        self.record_event(name, "-", "stop", String::new());
+        self.wake_all();
+        Ok(())
+    }
+
+    pub(crate) fn wake_all(&self) {
+        for inst in self.instances.values() {
+            inst.wake();
+            for jrt in &inst.junctions {
+                jrt.cell.nudge();
+            }
+        }
+    }
+
+    /// Evaluate a `start`/call argument against an environment.
+    pub(crate) fn eval_arg(
+        &self,
+        arg: &Arg,
+        env: &HashMap<String, Value>,
+    ) -> Result<Value, Failure> {
+        Ok(match arg {
+            Arg::Value(v) => v.clone(),
+            Arg::Name(n) => match n {
+                NameRef::Var(v) | NameRef::Lit(v) => match env.get(v) {
+                    Some(val) => val.clone(),
+                    None if self.instances.contains_key(v) => Value::Target(v.clone()),
+                    None => return Err(Failure::Unresolved(format!("argument `{v}`"))),
+                },
+            },
+            Arg::Junction(j) => Value::Target(match j {
+                JRef::Qualified { instance, junction } => {
+                    let i = match instance.as_lit() {
+                        Some(s) => s.to_string(),
+                        None => match env.get(instance.raw()) {
+                            Some(Value::Target(t)) => t.clone(),
+                            _ => {
+                                return Err(Failure::Unresolved(format!(
+                                    "instance variable `{}`",
+                                    instance.raw()
+                                )))
+                            }
+                        },
+                    };
+                    format!("{i}::{junction}")
+                }
+                JRef::Bare(n) => match n.as_lit() {
+                    Some(s) => s.to_string(),
+                    None => match env.get(n.raw()) {
+                        Some(Value::Target(t)) => t.clone(),
+                        _ => {
+                            return Err(Failure::Unresolved(format!(
+                                "junction variable `{}`",
+                                n.raw()
+                            )))
+                        }
+                    },
+                },
+                other => {
+                    return Err(Failure::Unresolved(format!(
+                        "junction argument `{other}` needs an enclosing junction"
+                    )))
+                }
+            }),
+            Arg::SetLit(elems) => Value::Set(elems.clone()),
+            Arg::Prop(p) => Value::Str(p.clone()),
+            Arg::ScaledTimeout { base, num, den } => {
+                let d = env
+                    .get(base.raw())
+                    .and_then(|v| v.as_duration())
+                    .ok_or_else(|| {
+                        Failure::Unresolved(format!("timeout parameter `{}`", base.raw()))
+                    })?;
+                Value::Duration(d * *num / (*den).max(1))
+            }
+        })
+    }
+
+    /// Run one activation of a junction (guard already verified by the
+    /// caller, re-verified under the activation lock).
+    pub(crate) fn run_activation(
+        self: &Arc<Self>,
+        inst: &Arc<InstanceState>,
+        jrt: &Arc<JunctionRt>,
+    ) -> Result<bool, Failure> {
+        let _act = jrt.cell.lock_activation();
+        if inst.status() != InstanceStatus::Running {
+            return Ok(false);
+        }
+        if !self.guard_ready(inst, jrt) {
+            return Ok(false);
+        }
+        jrt.cell.table().begin_activation();
+        inst.activations.fetch_add(1, Ordering::Relaxed);
+        let result = {
+            let mut retries = 0u32;
+            loop {
+                let mut ctx = ExecCtx::new(self, inst, jrt);
+                match ctx.eval(&jrt.def.body) {
+                    Ok(crate::error::Flow::Retry) => {
+                        if retries < self.retry_limit {
+                            retries += 1;
+                            continue;
+                        }
+                        break Err(Failure::RetryExhausted);
+                    }
+                    Ok(_) => break Ok(()),
+                    Err(f) => break Err(f),
+                }
+            }
+        };
+        {
+            let mut table = jrt.cell.table();
+            table.end_activation();
+        }
+        *jrt.last_run.lock() = Some(Instant::now());
+        jrt.cell.nudge();
+        inst.wake();
+        match result {
+            Ok(()) => Ok(true),
+            Err(f) => {
+                self.record_event(
+                    &inst.name,
+                    &jrt.def.name,
+                    "failure",
+                    f.to_string(),
+                );
+                Err(f)
+            }
+        }
+    }
+
+    /// One scheduler pass over one junction: run it if due. Returns
+    /// whether it ran. "When an instance is started, its junctions are
+    /// started concurrently" (§6) — each junction has its own scheduler
+    /// thread so a blocked `wait` in one junction (e.g. a watchdog's
+    /// inactivity window) never starves its siblings.
+    fn scheduler_pass(self: &Arc<Self>, inst: &Arc<InstanceState>, jrt: &Arc<JunctionRt>) -> bool {
+        let due = {
+            let policy = *jrt.policy.lock();
+            match policy {
+                Policy::Startup => jrt.needs_initial.load(Ordering::SeqCst),
+                Policy::Auto => {
+                    jrt.needs_initial.load(Ordering::SeqCst) || self.guard_ready(inst, jrt)
+                }
+                Policy::OnDemand => false,
+                Policy::Periodic(iv) => {
+                    jrt.needs_initial.load(Ordering::SeqCst)
+                        || jrt.last_run.lock().map_or(true, |t| t.elapsed() >= iv)
+                }
+            }
+        };
+        if !due || !self.guard_ready(inst, jrt) {
+            return false;
+        }
+        jrt.needs_initial.store(false, Ordering::SeqCst);
+        // Failures of autonomous activations are recorded as events; the
+        // scheduler keeps going (a failed activation does not kill the
+        // instance).
+        self.run_activation(inst, jrt).unwrap_or(false)
+    }
+
+    fn scheduler_loop(self: Arc<Self>, inst: Arc<InstanceState>, jrt: Arc<JunctionRt>) {
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            if inst.status() != InstanceStatus::Running
+                || self.booting.load(Ordering::SeqCst)
+            {
+                inst.wait_for_wake(Duration::from_millis(20));
+                continue;
+            }
+            let progressed = self.scheduler_pass(&inst, &jrt);
+            if !progressed {
+                inst.wait_for_wake(self.config.tick);
+            }
+        }
+    }
+}
+
+/// The C-Saw runtime: build from a compiled program, bind apps, run.
+pub struct Runtime {
+    inner: Arc<RuntimeInner>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Runtime {
+    /// Build a runtime from a compiled program with default apps
+    /// ([`NoopApp`]) everywhere. Scheduler threads start parked.
+    pub fn new(compiled: &CompiledProgram, config: RuntimeConfig) -> Runtime {
+        // Build instances & cells.
+        let mut instances = HashMap::new();
+        for ci in &compiled.instances {
+            let mut junctions = Vec::new();
+            for jd in &ci.junctions {
+                let mut table = Table::new();
+                init_table(&mut table, jd);
+                let cell = Cell::new(JunctionId::new(ci.name.clone(), jd.name.clone()), table);
+                let policy = if jd.guard().is_some() {
+                    Policy::Auto
+                } else {
+                    Policy::Startup
+                };
+                junctions.push(Arc::new(JunctionRt {
+                    def: jd.clone(),
+                    cell,
+                    policy: Mutex::new(policy),
+                    needs_initial: AtomicBool::new(false),
+                    last_run: Mutex::new(None),
+                }));
+            }
+            instances.insert(
+                ci.name.clone(),
+                Arc::new(InstanceState {
+                    name: ci.name.clone(),
+                    type_name: ci.type_name.clone(),
+                    status: AtomicU8::new(InstanceStatus::NotStarted as u8),
+                    junctions,
+                    app: Arc::new(Mutex::new(Box::new(NoopApp) as Box<dyn InstanceApp>)),
+                    wake_seq: Mutex::new(0),
+                    wake_cond: Condvar::new(),
+                    activations: AtomicU64::new(0),
+                }),
+            );
+        }
+
+        // The network delivers into cells through a registry shared with
+        // the closure (built before RuntimeInner exists).
+        let registry: Arc<HashMap<String, Arc<InstanceState>>> = Arc::new(instances);
+        let reg2 = Arc::clone(&registry);
+        let deliver: DeliverFn = Arc::new(move |to: &JunctionId, update: Update| {
+            if let Some(inst) = reg2.get(&to.instance) {
+                if inst.status() == InstanceStatus::Running {
+                    if let Some(jrt) = inst.junction(&to.junction) {
+                        jrt.cell.deliver(update);
+                        inst.wake();
+                    }
+                }
+            }
+        });
+        let mut network = Network::new(deliver);
+        network.set_default_link(config.default_link);
+
+        let inner = Arc::new(RuntimeInner {
+            instances: (*registry).clone(),
+            network,
+            config,
+            retry_limit: compiled.retry_limit,
+            events: Mutex::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+            booting: AtomicBool::new(false),
+            main: compiled.program.main.clone(),
+        });
+
+        // Spawn one scheduler thread per junction: the junctions of an
+        // instance execute concurrently (§6).
+        let mut threads = Vec::new();
+        for inst in inner.instances.values() {
+            for jrt in &inst.junctions {
+                let rt = Arc::clone(&inner);
+                let i = Arc::clone(inst);
+                let j = Arc::clone(jrt);
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("csaw-{}-{}", inst.name, jrt.def.name))
+                        .spawn(move || rt.scheduler_loop(i, j))
+                        .expect("spawn scheduler"),
+                );
+            }
+        }
+        Runtime { inner, threads: Mutex::new(threads) }
+    }
+
+    /// Bind an application to an instance (before `run_main`).
+    pub fn bind_app(&self, instance: &str, app: Box<dyn InstanceApp>) {
+        if let Some(inst) = self.inner.instances.get(instance) {
+            *inst.app.lock() = app;
+        }
+    }
+
+    /// Override the scheduling policy of a junction.
+    pub fn set_policy(&self, instance: &str, junction: &str, policy: Policy) {
+        if let Some(jrt) = self
+            .inner
+            .instances
+            .get(instance)
+            .and_then(|i| i.junction(junction))
+        {
+            *jrt.policy.lock() = policy;
+        }
+    }
+
+    /// Configure the link between two instances.
+    pub fn set_link(&self, from: &str, to: &str, kind: LinkKind) {
+        self.inner.network.set_link(from, to, kind);
+    }
+
+    /// Run `main` with the given parameter values (bound positionally).
+    pub fn run_main(&self, args: Vec<Value>) -> Result<(), Failure> {
+        let main = self.inner.main.clone();
+        if main.params.len() != args.len() {
+            return Err(Failure::Internal(format!(
+                "main expects {} arguments, got {}",
+                main.params.len(),
+                args.len()
+            )));
+        }
+        let env: HashMap<String, Value> = main
+            .params
+            .iter()
+            .map(|p| p.name.clone())
+            .zip(args)
+            .collect();
+        self.inner.booting.store(true, Ordering::SeqCst);
+        let r = ExecCtx::run_main(&self.inner, &env, &main.body);
+        self.inner.booting.store(false, Ordering::SeqCst);
+        self.inner.wake_all();
+        r
+    }
+
+    /// Synchronously invoke a junction (request-driven scheduling): waits
+    /// for the guard, runs the activation on the calling thread.
+    pub fn invoke(&self, instance: &str, junction: &str) -> Result<(), Failure> {
+        let deadline = Instant::now() + self.inner.config.invoke_timeout;
+        self.invoke_deadline(instance, junction, deadline)
+    }
+
+    /// [`Runtime::invoke`] with an explicit deadline.
+    pub fn invoke_deadline(
+        &self,
+        instance: &str,
+        junction: &str,
+        deadline: Instant,
+    ) -> Result<(), Failure> {
+        let inst = self.inner.instance(instance)?.clone();
+        let jrt = inst
+            .junction(junction)
+            .ok_or_else(|| Failure::Unresolved(format!("junction `{instance}::{junction}`")))?
+            .clone();
+        loop {
+            if inst.status() != InstanceStatus::Running {
+                return Err(Failure::TargetDown { target: instance.to_string() });
+            }
+            if self.inner.guard_ready(&inst, &jrt) {
+                if self.inner.run_activation(&inst, &jrt)? {
+                    return Ok(());
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(Failure::Timeout {
+                    context: format!("invoke {instance}::{junction}"),
+                });
+            }
+            std::thread::sleep(self.inner.config.tick.min(Duration::from_millis(1)));
+        }
+    }
+
+    /// Current status of an instance.
+    pub fn status(&self, instance: &str) -> Option<InstanceStatus> {
+        self.inner.instances.get(instance).map(|i| i.status())
+    }
+
+    /// Start an instance from outside the DSL (test/driver convenience;
+    /// arguments bind positionally to the sole junction).
+    pub fn start(&self, instance: &str, args: Vec<(Option<String>, Vec<Arg>)>) -> Result<(), Failure> {
+        self.inner.start_instance(instance, &args, &HashMap::new())
+    }
+
+    /// Stop an instance from outside the DSL.
+    pub fn stop(&self, instance: &str) -> Result<(), Failure> {
+        self.inner.stop_instance(instance)
+    }
+
+    /// Fault injection: crash an instance. Sends to it fail, its
+    /// scheduler parks, its app is notified.
+    pub fn crash(&self, instance: &str) {
+        if let Some(inst) = self.inner.instances.get(instance) {
+            inst.status.store(InstanceStatus::Crashed as u8, Ordering::SeqCst);
+            inst.app.lock().on_stop();
+            self.inner.record_event(instance, "-", "crash", String::new());
+            self.inner.wake_all();
+        }
+    }
+
+    /// Restart a crashed/stopped instance, preserving its bound
+    /// parameters (checkpoint-restart experiments).
+    pub fn restart(&self, instance: &str) -> Result<(), Failure> {
+        let inst = self.inner.instance(instance)?;
+        if inst.status() == InstanceStatus::Running {
+            return Err(Failure::StartStop(format!("`{instance}` already running")));
+        }
+        for jrt in &inst.junctions {
+            jrt.needs_initial.store(true, Ordering::SeqCst);
+        }
+        inst.status.store(InstanceStatus::Running as u8, Ordering::SeqCst);
+        inst.app.lock().on_start();
+        self.inner.record_event(instance, "-", "restart", String::new());
+        self.inner.wake_all();
+        Ok(())
+    }
+
+    /// Access an instance's app (e.g. to query a substrate store).
+    pub fn app(&self, instance: &str) -> Option<Arc<Mutex<Box<dyn InstanceApp>>>> {
+        self.inner.instances.get(instance).map(|i| Arc::clone(&i.app))
+    }
+
+    /// Read a proposition of a junction (observer/test path).
+    pub fn peek_prop(&self, instance: &str, junction: &str, key: &str) -> Option<bool> {
+        let inst = self.inner.instances.get(instance)?;
+        let jrt = inst.junction(junction)?;
+        let mut t = jrt.cell.table();
+        if !t.is_running() {
+            t.flush_pending();
+        }
+        t.prop(key)
+    }
+
+    /// Read a datum of a junction (observer/test path).
+    pub fn peek_data(&self, instance: &str, junction: &str, key: &str) -> Option<Value> {
+        let inst = self.inner.instances.get(instance)?;
+        let jrt = inst.junction(junction)?;
+        let mut t = jrt.cell.table();
+        if !t.is_running() {
+            t.flush_pending();
+        }
+        t.data(key).cloned()
+    }
+
+    /// Deliver a raw update to a junction, bypassing the DSL — used by
+    /// tests and by external drivers that model clients pushing requests
+    /// (the paper's "Req is asserted externally" in Fig. 13).
+    pub fn deliver_for_test(&self, instance: &str, junction: &str, update: Update) {
+        if let Some(jrt) = self
+            .inner
+            .instances
+            .get(instance)
+            .and_then(|i| i.junction(junction))
+        {
+            jrt.cell.deliver(update);
+            if let Some(inst) = self.inner.instances.get(instance) {
+                inst.wake();
+            }
+        }
+    }
+
+    /// Drain recorded diagnostic events.
+    pub fn take_events(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.inner.events.lock())
+    }
+
+    /// Total messages sent over the network.
+    pub fn messages_sent(&self) -> u64 {
+        self.inner.network.msgs_sent.load(Ordering::Relaxed)
+    }
+
+    /// Total (modelled) bytes sent over the network.
+    pub fn bytes_sent(&self) -> u64 {
+        self.inner.network.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Count of activations an instance has run.
+    pub fn activations(&self, instance: &str) -> u64 {
+        self.inner
+            .instances
+            .get(instance)
+            .map_or(0, |i| i.activations.load(Ordering::Relaxed))
+    }
+
+    /// Shut the runtime down: stop schedulers and background threads.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.wake_all();
+        self.inner.network.shutdown();
+        for t in self.threads.lock().drain(..) {
+            t.join().ok();
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Initialize a table from a compiled junction's declarations.
+fn init_table(table: &mut Table, jd: &JunctionDef) {
+    use csaw_core::decl::Decl;
+    for d in &jd.decls {
+        match d {
+            Decl::Prop { prop, init } => {
+                if let Some(key) = prop.as_key() {
+                    table.declare_prop(key, *init);
+                }
+            }
+            Decl::Data { name } => table.declare_data(name.clone()),
+            Decl::Subset { name, of } => {
+                let base = match of {
+                    csaw_core::names::SetRef::Lit(e) => e.clone(),
+                    csaw_core::names::SetRef::Named(_) => Vec::new(),
+                };
+                table.declare_subset(name.clone(), base);
+            }
+            Decl::Idx { name, of } => {
+                let base = match of {
+                    csaw_core::names::SetRef::Lit(e) => e.clone(),
+                    csaw_core::names::SetRef::Named(_) => Vec::new(),
+                };
+                table.declare_idx(name.clone(), base);
+            }
+            Decl::Set { .. } | Decl::Guard(_) | Decl::ForProps { .. } => {}
+        }
+    }
+}

@@ -1,0 +1,608 @@
+//! Inter-instance channels.
+//!
+//! libcompart "provides channel abstractions for communication between
+//! instances. Its channels wrap OS-provided IPC, including TCP sockets
+//! and pipes" (§3). We provide three link kinds:
+//!
+//! * [`LinkKind::Direct`] — in-process delivery (the "same VM" setting);
+//! * [`LinkKind::Tcp`] — a real loopback TCP socket pair with
+//!   length-prefixed frames (OS IPC cost);
+//! * [`LinkKind::Sim`] — a simulated link with configurable latency and
+//!   bandwidth, standing in for the paper's dedicated 1GbE testbed in the
+//!   cURL experiments (see DESIGN.md, substitutions).
+//!
+//! Delivery order is FIFO per (sender instance, receiver instance) pair
+//! for every link kind, matching the paper's "handled in the order that
+//! they are received".
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use csaw_core::value::Value;
+use csaw_kv::{Update, UpdateKind};
+use parking_lot::{Condvar, Mutex};
+
+use crate::cell::JunctionId;
+
+/// The kind of channel between a pair of instances.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LinkKind {
+    /// In-process immediate delivery.
+    Direct,
+    /// Simulated link: constant propagation latency plus serialization at
+    /// the given bandwidth.
+    Sim {
+        /// One-way propagation latency.
+        latency: Duration,
+        /// Bytes per second; 0 = infinite.
+        bandwidth: u64,
+    },
+    /// Real loopback TCP socket pair.
+    Tcp,
+}
+
+/// Callback invoked when a message arrives at its destination.
+pub type DeliverFn = Arc<dyn Fn(&JunctionId, Update) + Send + Sync>;
+
+/// Wire size model for an update: key + payload + fixed header.
+pub fn wire_size(u: &Update) -> usize {
+    let payload = match &u.kind {
+        UpdateKind::Assert | UpdateKind::Retract => 1,
+        UpdateKind::Data(v) => v.approx_size(),
+    };
+    24 + u.key.len() + u.from.len() + payload
+}
+
+// ---------------------------------------------------------------------
+// Simulated link scheduler
+// ---------------------------------------------------------------------
+
+struct SimPacket {
+    arrival: Instant,
+    seq: u64,
+    to: JunctionId,
+    update: Update,
+}
+
+impl PartialEq for SimPacket {
+    fn eq(&self, other: &Self) -> bool {
+        self.arrival == other.arrival && self.seq == other.seq
+    }
+}
+impl Eq for SimPacket {}
+impl PartialOrd for SimPacket {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for SimPacket {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.arrival, self.seq).cmp(&(other.arrival, other.seq))
+    }
+}
+
+struct SimState {
+    queue: BinaryHeap<Reverse<SimPacket>>,
+    shutdown: bool,
+}
+
+/// The delay-queue thread behind all simulated links.
+struct SimScheduler {
+    state: Mutex<SimState>,
+    cond: Condvar,
+    seq: AtomicU64,
+}
+
+impl SimScheduler {
+    fn new() -> Arc<SimScheduler> {
+        Arc::new(SimScheduler {
+            state: Mutex::new(SimState { queue: BinaryHeap::new(), shutdown: false }),
+            cond: Condvar::new(),
+            seq: AtomicU64::new(0),
+        })
+    }
+
+    fn spawn(self: &Arc<Self>, deliver: DeliverFn) -> std::thread::JoinHandle<()> {
+        let me = Arc::clone(self);
+        std::thread::Builder::new()
+            .name("csaw-simlink".into())
+            .spawn(move || me.run(deliver))
+            .expect("spawn sim scheduler")
+    }
+
+    fn run(&self, deliver: DeliverFn) {
+        let mut state = self.state.lock();
+        loop {
+            if state.shutdown {
+                return;
+            }
+            let now = Instant::now();
+            // Deliver everything due.
+            let mut due = Vec::new();
+            while let Some(Reverse(head)) = state.queue.peek() {
+                if head.arrival <= now {
+                    let Reverse(p) = state.queue.pop().unwrap();
+                    due.push(p);
+                } else {
+                    break;
+                }
+            }
+            if !due.is_empty() {
+                // Deliver without holding the lock.
+                drop(state);
+                for p in due {
+                    deliver(&p.to, p.update);
+                }
+                state = self.state.lock();
+                continue;
+            }
+            match state.queue.peek() {
+                Some(Reverse(head)) => {
+                    let deadline = head.arrival;
+                    self.cond.wait_until(&mut state, deadline);
+                }
+                None => {
+                    self.cond.wait_for(&mut state, Duration::from_millis(50));
+                }
+            }
+        }
+    }
+
+    fn enqueue(&self, arrival: Instant, to: JunctionId, update: Update) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut state = self.state.lock();
+            state.queue.push(Reverse(SimPacket { arrival, seq, to, update }));
+        }
+        self.cond.notify_all();
+    }
+
+    fn shutdown(&self) {
+        self.state.lock().shutdown = true;
+        self.cond.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------
+// TCP link
+// ---------------------------------------------------------------------
+
+fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Undef => out.push(0),
+        Value::Bool(b) => {
+            out.push(1);
+            out.push(u8::from(*b));
+        }
+        Value::Int(i) => {
+            out.push(2);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(3);
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Bytes(b) => {
+            out.push(4);
+            out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+            out.extend_from_slice(b);
+        }
+        Value::Duration(d) => {
+            out.push(5);
+            out.extend_from_slice(&d.as_nanos().to_le_bytes());
+        }
+        Value::Target(t) => {
+            out.push(6);
+            out.extend_from_slice(&(t.len() as u32).to_le_bytes());
+            out.extend_from_slice(t.as_bytes());
+        }
+        Value::Set(_) => {
+            // §6: "Neither indices nor sets should be serialized or
+            // transmitted between junctions" — encode as undef.
+            out.push(0);
+        }
+    }
+}
+
+fn read_exact_buf(buf: &mut &[u8], n: usize) -> Option<Vec<u8>> {
+    if buf.len() < n {
+        return None;
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Some(head.to_vec())
+}
+
+fn decode_value(buf: &mut &[u8]) -> Option<Value> {
+    let tag = read_exact_buf(buf, 1)?[0];
+    Some(match tag {
+        0 => Value::Undef,
+        1 => Value::Bool(read_exact_buf(buf, 1)?[0] == 1),
+        2 => Value::Int(i64::from_le_bytes(read_exact_buf(buf, 8)?.try_into().ok()?)),
+        3 => {
+            let len = u32::from_le_bytes(read_exact_buf(buf, 4)?.try_into().ok()?) as usize;
+            Value::Str(String::from_utf8(read_exact_buf(buf, len)?).ok()?)
+        }
+        4 => {
+            let len = u32::from_le_bytes(read_exact_buf(buf, 4)?.try_into().ok()?) as usize;
+            Value::Bytes(read_exact_buf(buf, len)?)
+        }
+        5 => {
+            let nanos = u128::from_le_bytes(read_exact_buf(buf, 16)?.try_into().ok()?);
+            Value::Duration(Duration::from_nanos(nanos as u64))
+        }
+        6 => {
+            let len = u32::from_le_bytes(read_exact_buf(buf, 4)?.try_into().ok()?) as usize;
+            Value::Target(String::from_utf8(read_exact_buf(buf, len)?).ok()?)
+        }
+        _ => return None,
+    })
+}
+
+fn encode_frame(to: &JunctionId, u: &Update) -> Vec<u8> {
+    let mut body = Vec::with_capacity(64);
+    for s in [&to.instance, &to.junction, &u.key, &u.from] {
+        body.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        body.extend_from_slice(s.as_bytes());
+    }
+    match &u.kind {
+        UpdateKind::Assert => body.push(0),
+        UpdateKind::Retract => body.push(1),
+        UpdateKind::Data(v) => {
+            body.push(2);
+            encode_value(v, &mut body);
+        }
+    }
+    let mut frame = Vec::with_capacity(body.len() + 4);
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&body);
+    frame
+}
+
+fn decode_frame(body: &[u8]) -> Option<(JunctionId, Update)> {
+    let mut buf = body;
+    let mut strings = Vec::with_capacity(4);
+    for _ in 0..4 {
+        let len = u32::from_le_bytes(read_exact_buf(&mut buf, 4)?.try_into().ok()?) as usize;
+        strings.push(String::from_utf8(read_exact_buf(&mut buf, len)?).ok()?);
+    }
+    let kind_tag = read_exact_buf(&mut buf, 1)?[0];
+    let kind = match kind_tag {
+        0 => UpdateKind::Assert,
+        1 => UpdateKind::Retract,
+        2 => UpdateKind::Data(decode_value(&mut buf)?),
+        _ => return None,
+    };
+    let from = strings.pop()?;
+    let key = strings.pop()?;
+    let junction = strings.pop()?;
+    let instance = strings.pop()?;
+    Some((JunctionId { instance, junction }, Update { key, kind, from }))
+}
+
+struct TcpLink {
+    writer: Mutex<TcpStream>,
+}
+
+impl TcpLink {
+    /// Create a connected loopback pair; the read side feeds `deliver`.
+    fn new(deliver: DeliverFn, shutdown: Arc<AtomicBool>) -> std::io::Result<TcpLink> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let writer = TcpStream::connect(addr)?;
+        let (reader, _) = listener.accept()?;
+        writer.set_nodelay(true).ok();
+        reader.set_nodelay(true).ok();
+        std::thread::Builder::new()
+            .name("csaw-tcplink".into())
+            .spawn(move || Self::read_loop(reader, deliver, shutdown))
+            .expect("spawn tcp reader");
+        Ok(TcpLink { writer: Mutex::new(writer) })
+    }
+
+    fn read_loop(mut stream: TcpStream, deliver: DeliverFn, shutdown: Arc<AtomicBool>) {
+        // Blocking reads: a read timeout could fire mid-frame and
+        // desynchronize the stream under bulk traffic. Shutdown closes
+        // the write side, which ends the blocking read with an error.
+        let mut len_buf = [0u8; 4];
+        loop {
+            match stream.read_exact(&mut len_buf) {
+                Ok(()) => {}
+                Err(_) => return,
+            }
+            if shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            let len = u32::from_le_bytes(len_buf) as usize;
+            let mut body = vec![0u8; len];
+            if stream.read_exact(&mut body).is_err() {
+                return;
+            }
+            if let Some((to, update)) = decode_frame(&body) {
+                deliver(&to, update);
+            }
+        }
+    }
+
+    fn send(&self, to: &JunctionId, u: &Update) -> std::io::Result<()> {
+        let frame = encode_frame(to, u);
+        let mut w = self.writer.lock();
+        w.write_all(&frame)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Network facade
+// ---------------------------------------------------------------------
+
+/// Per-sim-link bandwidth bookkeeping (serialization of back-to-back
+/// transfers at finite bandwidth).
+#[derive(Default)]
+struct SimLinkClock {
+    next_free: Option<Instant>,
+}
+
+/// The network connecting instances. Owned by the runtime.
+pub struct Network {
+    deliver: DeliverFn,
+    default_link: LinkKind,
+    links: Mutex<HashMap<(String, String), LinkKind>>,
+    sim: Arc<SimScheduler>,
+    sim_clocks: Mutex<HashMap<(String, String), SimLinkClock>>,
+    tcp: Mutex<HashMap<(String, String), Arc<TcpLink>>>,
+    shutdown: Arc<AtomicBool>,
+    /// Total messages sent (observability).
+    pub msgs_sent: AtomicU64,
+    /// Total bytes sent under the wire-size model (observability).
+    pub bytes_sent: AtomicU64,
+}
+
+/// Error sending a message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SendError(pub String);
+
+impl Network {
+    /// Create a network delivering through `deliver`.
+    pub fn new(deliver: DeliverFn) -> Network {
+        let sim = SimScheduler::new();
+        sim.spawn(Arc::clone(&deliver));
+        Network {
+            deliver,
+            default_link: LinkKind::Direct,
+            links: Mutex::new(HashMap::new()),
+            sim,
+            sim_clocks: Mutex::new(HashMap::new()),
+            tcp: Mutex::new(HashMap::new()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            msgs_sent: AtomicU64::new(0),
+            bytes_sent: AtomicU64::new(0),
+        }
+    }
+
+    /// Set the default link kind for unlisted instance pairs.
+    pub fn set_default_link(&mut self, kind: LinkKind) {
+        self.default_link = kind;
+    }
+
+    /// Configure the link between an (ordered) pair of instances.
+    pub fn set_link(&self, from: &str, to: &str, kind: LinkKind) {
+        self.links
+            .lock()
+            .insert((from.to_string(), to.to_string()), kind);
+    }
+
+    fn link_for(&self, from: &str, to: &str) -> LinkKind {
+        self.links
+            .lock()
+            .get(&(from.to_string(), to.to_string()))
+            .copied()
+            .unwrap_or(self.default_link)
+    }
+
+    /// Send an update from `from_instance` to junction `to`.
+    pub fn send(&self, from_instance: &str, to: &JunctionId, update: Update) -> Result<(), SendError> {
+        let size = wire_size(&update) as u64;
+        self.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(size, Ordering::Relaxed);
+        match self.link_for(from_instance, &to.instance) {
+            LinkKind::Direct => {
+                (self.deliver)(to, update);
+                Ok(())
+            }
+            LinkKind::Sim { latency, bandwidth } => {
+                let now = Instant::now();
+                let serialization = if bandwidth == 0 {
+                    Duration::ZERO
+                } else {
+                    Duration::from_secs_f64(size as f64 / bandwidth as f64)
+                };
+                let key = (from_instance.to_string(), to.instance.clone());
+                let arrival = {
+                    let mut clocks = self.sim_clocks.lock();
+                    let clock = clocks.entry(key).or_default();
+                    let start = clock.next_free.map_or(now, |t| t.max(now));
+                    let done = start + serialization;
+                    clock.next_free = Some(done);
+                    done + latency
+                };
+                self.sim.enqueue(arrival, to.clone(), update);
+                Ok(())
+            }
+            LinkKind::Tcp => {
+                let key = (from_instance.to_string(), to.instance.clone());
+                let link = {
+                    let mut tcp = self.tcp.lock();
+                    match tcp.get(&key) {
+                        Some(l) => Arc::clone(l),
+                        None => {
+                            let l = Arc::new(
+                                TcpLink::new(
+                                    Arc::clone(&self.deliver),
+                                    Arc::clone(&self.shutdown),
+                                )
+                                .map_err(|e| SendError(format!("tcp setup: {e}")))?,
+                            );
+                            tcp.insert(key, Arc::clone(&l));
+                            l
+                        }
+                    }
+                };
+                link.send(to, &update)
+                    .map_err(|e| SendError(format!("tcp send: {e}")))
+            }
+        }
+    }
+
+    /// Stop background threads. Dropping the TCP writers closes the
+    /// sockets, which unblocks and terminates the reader threads.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        self.sim.shutdown();
+        self.tcp.lock().clear();
+    }
+}
+
+impl Drop for Network {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    fn collecting_network() -> (Network, mpsc::Receiver<(JunctionId, Update)>) {
+        let (tx, rx) = mpsc::channel();
+        let deliver: DeliverFn = Arc::new(move |to: &JunctionId, u: Update| {
+            tx.send((to.clone(), u)).ok();
+        });
+        (Network::new(deliver), rx)
+    }
+
+    #[test]
+    fn direct_delivers_synchronously() {
+        let (net, rx) = collecting_network();
+        let to = JunctionId::new("g", "junction");
+        net.send("f", &to, Update::assert("Work", "f::junction")).unwrap();
+        let (got_to, got) = rx.try_recv().unwrap();
+        assert_eq!(got_to, to);
+        assert_eq!(got.key, "Work");
+    }
+
+    #[test]
+    fn sim_link_delays_delivery() {
+        let (net, rx) = collecting_network();
+        net.set_link(
+            "f",
+            "g",
+            LinkKind::Sim { latency: Duration::from_millis(30), bandwidth: 0 },
+        );
+        let to = JunctionId::new("g", "junction");
+        let t0 = Instant::now();
+        net.send("f", &to, Update::assert("Work", "f::junction")).unwrap();
+        assert!(rx.try_recv().is_err(), "should not deliver immediately");
+        let (_, _) = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn sim_link_bandwidth_serializes() {
+        let (net, rx) = collecting_network();
+        // 10 KB/s: a 1000-byte payload takes ~100ms to serialize.
+        net.set_link(
+            "f",
+            "g",
+            LinkKind::Sim { latency: Duration::ZERO, bandwidth: 10_000 },
+        );
+        let to = JunctionId::new("g", "junction");
+        let t0 = Instant::now();
+        net.send(
+            "f",
+            &to,
+            Update::data("n", Value::Bytes(vec![0; 1000]), "f::j"),
+        )
+        .unwrap();
+        rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(80),
+            "bandwidth not applied: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn sim_preserves_fifo_per_pair() {
+        let (net, rx) = collecting_network();
+        net.set_link(
+            "f",
+            "g",
+            LinkKind::Sim { latency: Duration::from_millis(5), bandwidth: 0 },
+        );
+        let to = JunctionId::new("g", "junction");
+        for i in 0..10 {
+            net.send("f", &to, Update::data("n", Value::Int(i), "f::j")).unwrap();
+        }
+        for i in 0..10 {
+            let (_, u) = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+            assert_eq!(u.kind, UpdateKind::Data(Value::Int(i)));
+        }
+    }
+
+    #[test]
+    fn tcp_round_trips_frames() {
+        let (net, rx) = collecting_network();
+        net.set_link("f", "g", LinkKind::Tcp);
+        let to = JunctionId::new("g", "serve");
+        net.send(
+            "f",
+            &to,
+            Update::data("state", Value::Bytes(vec![7; 300]), "f::c"),
+        )
+        .unwrap();
+        let (got_to, got) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(got_to, to);
+        assert_eq!(got.key, "state");
+        assert_eq!(got.from, "f::c");
+        assert_eq!(got.kind, UpdateKind::Data(Value::Bytes(vec![7; 300])));
+    }
+
+    #[test]
+    fn value_codec_round_trips() {
+        let values = vec![
+            Value::Undef,
+            Value::Bool(true),
+            Value::Int(-42),
+            Value::Str("hello".into()),
+            Value::Bytes(vec![1, 2, 3]),
+            Value::Duration(Duration::from_micros(1500)),
+            Value::Target("b1::serve".into()),
+        ];
+        for v in values {
+            let mut buf = Vec::new();
+            encode_value(&v, &mut buf);
+            let mut slice = buf.as_slice();
+            assert_eq!(decode_value(&mut slice).unwrap(), v);
+            assert!(slice.is_empty());
+        }
+        // Sets do not transmit (§6) — they decode as undef.
+        let mut buf = Vec::new();
+        encode_value(&Value::Set(vec![]), &mut buf);
+        let mut slice = buf.as_slice();
+        assert_eq!(decode_value(&mut slice).unwrap(), Value::Undef);
+    }
+
+    #[test]
+    fn wire_size_scales_with_payload() {
+        let small = Update::assert("Work", "f::j");
+        let big = Update::data("n", Value::Bytes(vec![0; 10_000]), "f::j");
+        assert!(wire_size(&big) > wire_size(&small) + 9000);
+    }
+}

@@ -1,0 +1,722 @@
+//! The denotation function `[[E]]ηJ` (§8.3–§8.5).
+//!
+//! Programs map to event structures in the staged way §8.4 describes:
+//! functions are already inlined (we denote *compiled* programs),
+//! formulas decompose through DNF into `Synch`-prefixed read events,
+//! statements map via the Fig. 19/20 rules, `Wait` placeholders expand
+//! into staged read patterns, and a start-up portion ties `main` to the
+//! instances' initializations.
+//!
+//! Faithfulness notes (documented deviations from the infinitary §8.5
+//! semantics, in the spirit of its own "the language's implementation
+//! only requires a weaker version"):
+//!
+//! * `reconsider`/`retry` unfold to [`DenoteConfig::max_unfold`] depth;
+//! * the `otherwise` rule attaches a ♮-copy of the handler at every event
+//!   of the body (exactly Fig. 20) until [`DenoteConfig::max_events`] is
+//!   reached, after which a single copy is attached at entry;
+//! * `∥` is denoted like `+` (the paper's examples only use `+`).
+
+use std::collections::BTreeMap;
+
+use csaw_core::expr::{CaseArm, CaseGuard, Expr, Terminator};
+use csaw_core::formula::{Dnf, DnfLit, Formula};
+use csaw_core::program::{CompiledProgram, JunctionDef};
+
+use crate::event::{EventStructure, Label};
+
+/// Knobs bounding the computed (finite) semantics.
+#[derive(Clone, Copy, Debug)]
+pub struct DenoteConfig {
+    /// Unfolding depth for `reconsider`/`retry` recursion.
+    pub max_unfold: usize,
+    /// Event-count budget; beyond it, `otherwise` degrades gracefully.
+    pub max_events: usize,
+}
+
+impl Default for DenoteConfig {
+    fn default() -> Self {
+        DenoteConfig { max_unfold: 2, max_events: 4_000 }
+    }
+}
+
+struct Denoter<'a> {
+    /// Junction display name used in labels (instance name for
+    /// single-junction instances, matching Fig. 18's `Wrf`/`Wrg`).
+    j: String,
+    cfg: &'a DenoteConfig,
+    /// Body for `retry` re-entry.
+    body: &'a Expr,
+    unfold: usize,
+    /// Event-allocation watermark at entry, for the event budget.
+    start_ids: u64,
+}
+
+/// Denote one junction of one instance. `display` is the label name
+/// (e.g. `Act` or `f::b`).
+pub fn denote_junction(
+    display: &str,
+    def: &JunctionDef,
+    cfg: &DenoteConfig,
+) -> EventStructure {
+    let mut d = Denoter {
+        j: display.to_string(),
+        cfg,
+        body: &def.body,
+        unfold: 0,
+        start_ids: crate::event::allocated_ids(),
+    };
+    // Guard reads enable Sched (Fig. 22 shows Rd(Work,tt) → Sched_Aud).
+    let mut s = EventStructure::empty();
+    if let Some(g) = def.guard() {
+        s = s.then(d.formula_structure(g));
+    }
+    let (sched, _) = EventStructure::singleton(Label::Sched(d.j.clone()));
+    s = s.then(sched);
+    s = s.then(d.denote(&def.body));
+    let (unsched, _) = EventStructure::singleton(Label::Unsched(d.j.clone()));
+    s.then(unsched)
+}
+
+/// Semantics of a whole compiled program: the §8.4 start-up portion plus
+/// one structure per (instance, junction).
+pub struct ProgramSemantics {
+    /// `main` → `Start_init(ι)` → initial proposition writes.
+    pub startup: EventStructure,
+    /// Per-junction behaviours, keyed by qualified name.
+    pub junctions: BTreeMap<String, EventStructure>,
+}
+
+/// Denote a compiled program (§8.4).
+pub fn denote_program(cp: &CompiledProgram, cfg: &DenoteConfig) -> ProgramSemantics {
+    // Start-up portion: the externally-occurring `main` event enables a
+    // Start_init(ι) per started instance, which enables that instance's
+    // initial proposition writes.
+    let (mut startup, main_ev) = EventStructure::singleton(Label::Custom("main".into()));
+    let mut started: Vec<String> = Vec::new();
+    cp.program.main.body.walk(&mut |e| {
+        if let Expr::Start { instance, .. } = e {
+            if let Some(n) = instance.as_lit() {
+                started.push(n.to_string());
+            }
+        }
+    });
+    for iname in started {
+        let (s_ev_struct, s_ev) =
+            EventStructure::singleton(Label::Start { j: "init".into(), target: iname.clone() });
+        startup = startup.union(s_ev_struct);
+        startup.add_enable(main_ev, s_ev);
+        if let Some(ci) = cp.instance(&iname) {
+            let display = display_name(cp, &iname);
+            for jd in &ci.junctions {
+                for d in &jd.decls {
+                    if let csaw_core::decl::Decl::Prop { prop, init } = d {
+                        if let Some(key) = prop.as_key() {
+                            let (ws, w) = EventStructure::singleton(Label::Wr {
+                                js: vec![display.clone()],
+                                key,
+                                value: Some(*init),
+                            });
+                            startup = startup.union(ws);
+                            startup.add_enable(s_ev, w);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut junctions = BTreeMap::new();
+    for ci in &cp.instances {
+        let display = display_name(cp, &ci.name);
+        for jd in &ci.junctions {
+            let qualified = format!("{}::{}", ci.name, jd.name);
+            junctions.insert(qualified, denote_junction(&display, jd, cfg));
+        }
+    }
+    ProgramSemantics { startup, junctions }
+}
+
+fn display_name(cp: &CompiledProgram, instance: &str) -> String {
+    match cp.instance(instance) {
+        Some(ci) if ci.junctions.len() == 1 => instance.to_string(),
+        _ => instance.to_string(),
+    }
+}
+
+impl<'a> Denoter<'a> {
+    /// Decompose a formula into the §8.3 read-event pattern: each DNF
+    /// clause becomes `Synch_J → {parallel reads}`, and the clauses are
+    /// strict (minimally conflicting) alternatives.
+    fn formula_structure(&mut self, f: &Formula) -> EventStructure {
+        let dnf: Dnf = f.dnf();
+        let mut out = EventStructure::empty();
+        let mut synch_ids = Vec::new();
+        for clause in &dnf.clauses {
+            let (synch_s, synch) = EventStructure::singleton(Label::Synch(self.j.clone()));
+            let mut clause_s = synch_s;
+            for lit in clause {
+                let (key, value) = match lit {
+                    DnfLit::Prop(k, v) => (k.clone(), *v),
+                    DnfLit::Live(i, v) => (format!("S({i})"), *v),
+                    DnfLit::InSubset(e, s, v) => (format!("{e}∈{s}"), *v),
+                    DnfLit::RemoteProp(j, k, v) => (format!("{j}@{k}"), *v),
+                    DnfLit::Opaque(k, v) => (k.clone(), *v),
+                };
+                let (rs, r) = EventStructure::singleton(Label::Rd {
+                    j: self.j.clone(),
+                    key,
+                    value: Some(value),
+                });
+                clause_s = clause_s.union(rs);
+                clause_s.add_enable(synch, r);
+            }
+            out = out.union(clause_s);
+            synch_ids.push(synch);
+        }
+        // Strict alternatives.
+        for (i, a) in synch_ids.iter().enumerate() {
+            for b in synch_ids.iter().skip(i + 1) {
+                out.add_conflict(*a, *b);
+            }
+        }
+        out
+    }
+
+    /// `wait [n⃗] F` (§8.5): first the DNF decomposition of F, then —
+    /// per satisfied disjunct — a copy of the reads of the data state.
+    fn wait_structure(&mut self, data: &[String], f: &Formula) -> EventStructure {
+        let dnf = f.dnf();
+        let mut out = EventStructure::empty();
+        let mut synch_ids = Vec::new();
+        for clause in &dnf.clauses {
+            let (synch_s, synch) = EventStructure::singleton(Label::Synch(self.j.clone()));
+            let mut clause_s = synch_s;
+            let mut clause_rights = Vec::new();
+            for lit in clause {
+                let (key, value) = match lit {
+                    DnfLit::Prop(k, v) => (k.clone(), *v),
+                    other => (format!("{other:?}"), true),
+                };
+                let (rs, r) = EventStructure::singleton(Label::Rd {
+                    j: self.j.clone(),
+                    key,
+                    value: Some(value),
+                });
+                clause_s = clause_s.union(rs);
+                clause_s.add_enable(synch, r);
+                clause_rights.push(r);
+            }
+            if clause_rights.is_empty() {
+                clause_rights.push(synch);
+            }
+            // A fresh copy of the data reads per disjunct (§8.5).
+            for n in data {
+                let (rs, r) = EventStructure::singleton(Label::Rd {
+                    j: self.j.clone(),
+                    key: n.clone(),
+                    value: None,
+                });
+                clause_s = clause_s.union(rs);
+                for cr in &clause_rights {
+                    clause_s.add_enable(*cr, r);
+                }
+            }
+            out = out.union(clause_s);
+            synch_ids.push(synch);
+        }
+        for (i, a) in synch_ids.iter().enumerate() {
+            for b in synch_ids.iter().skip(i + 1) {
+                out.add_conflict(*a, *b);
+            }
+        }
+        out
+    }
+
+    fn wr(&self, key: String, value: Option<bool>) -> EventStructure {
+        EventStructure::singleton(Label::Wr {
+            js: vec![self.j.clone()],
+            key,
+            value,
+        })
+        .0
+    }
+
+    fn denote(&mut self, e: &Expr) -> EventStructure {
+        // Event budget: beyond it, sub-structures elide to a marker.
+        // The §8.5 semantics is explicitly infinitary/approximate; the
+        // budget keeps computed structures analysable.
+        if crate::event::allocated_ids() - self.start_ids > self.cfg.max_events as u64 {
+            return EventStructure::singleton(Label::Custom("elided".into())).0;
+        }
+        match e {
+            // [[⌊…⌉{V⃗}]]J = ⋃ WrJ(v,*) (Fig. 19). `complain` is the
+            // paper's canonical abstracted behaviour (§8.2).
+            Expr::Host { name, writes } => {
+                if name == "complain" {
+                    return EventStructure::singleton(Label::Custom("complain".into())).0;
+                }
+                let mut s = EventStructure::empty();
+                for w in writes {
+                    s = s.union(self.wr(w.clone(), None));
+                }
+                s
+            }
+            Expr::Scope(inner) | Expr::LoopScope(inner) => self.denote(inner),
+            // ⟨|E|⟩ (Fig. 20): an entry Synch enabling the body. Unlike
+            // the rule as printed we do not isolate the body: the success
+            // path of a committed transaction enables what follows (its
+            // failure alternatives are already terminal via `otherwise`).
+            Expr::Transaction(inner) => {
+                let body = self.denote(inner);
+                let (synch_s, synch) = EventStructure::singleton(Label::Synch(self.j.clone()));
+                let lefts = body.leftmost();
+                let mut out = synch_s.union(body);
+                for l in lefts {
+                    out.add_enable(synch, l);
+                }
+                out
+            }
+            // `return` ends the activation: a non-outward marker, so
+            // nothing chains after it.
+            Expr::Return => {
+                EventStructure::singleton(Label::Custom("return".into())).0.isolate()
+            }
+            Expr::Write { data, to } => {
+                EventStructure::singleton(Label::Wr {
+                    js: vec![to.to_string()],
+                    key: data.raw().to_string(),
+                    value: None,
+                })
+                .0
+            }
+            Expr::Wait { data, formula } => {
+                let data: Vec<String> = data.iter().map(|d| d.raw().to_string()).collect();
+                self.wait_structure(&data, formula)
+            }
+            Expr::Save { data } => self.wr(data.raw().to_string(), None),
+            Expr::Restore { .. } | Expr::Skip | Expr::Keep { .. } => EventStructure::empty(),
+            Expr::Seq(es) => {
+                let mut s = EventStructure::empty();
+                for x in es {
+                    s = s.then(self.denote(x));
+                }
+                s
+            }
+            // [[E1 + E2]] unifies the structures (Fig. 19).
+            Expr::Par(es) => {
+                let mut s = EventStructure::empty();
+                for x in es {
+                    s = s.union(self.denote(x));
+                }
+                s
+            }
+            Expr::Rep { body, .. } => self.denote(body),
+            // E1 otherwise E2 (Fig. 20): at each event of E1, a fresh
+            // copy of E2 enabled by the event's strict predecessors and
+            // in conflict with the event itself.
+            //
+            // Deviation from the Fig. 20 rule as printed: the *handler
+            // copies* are isolated (terminal alternatives) rather than
+            // the body. This matches the drawn Figs. 21/22, where the
+            // `complain` branches are dead ends and the success path
+            // continues to `Unsched` — and it keeps sequential
+            // composition valid: if the continuation were enabled by
+            // every mutually-exclusive handler copy, conflict inheritance
+            // would make it conflict with its own causes.
+            Expr::Otherwise { body, handler, .. } => {
+                let b = self.denote(body);
+                let h = self.denote(handler);
+                let imm = b.immediate_causality();
+                let body_events: Vec<_> = b.events.keys().copied().collect();
+                let budget_ok =
+                    b.len() + body_events.len() * h.len() <= self.cfg.max_events;
+                let mut out = b.clone();
+                let attach_points: Vec<_> = if budget_ok {
+                    body_events
+                } else {
+                    b.leftmost()
+                };
+                for e in attach_points {
+                    let (copy, _) = h.copy();
+                    let copy = copy.isolate();
+                    let lefts = copy.leftmost();
+                    let preds: Vec<_> = imm
+                        .iter()
+                        .filter(|(_, b2)| *b2 == e)
+                        .map(|(a, _)| *a)
+                        .collect();
+                    out = out.union(copy);
+                    for l in &lefts {
+                        for p in &preds {
+                            out.add_enable(*p, *l);
+                        }
+                        out.add_conflict(e, *l);
+                    }
+                }
+                out
+            }
+            Expr::Stop(n) => {
+                EventStructure::singleton(Label::Stop {
+                    j: self.j.clone(),
+                    target: n.raw().to_string(),
+                })
+                .0
+            }
+            Expr::Start { instance, .. } => {
+                EventStructure::singleton(Label::Start {
+                    j: self.j.clone(),
+                    target: instance.raw().to_string(),
+                })
+                .0
+            }
+            // assert/retract [γ] P: ONE drawn event writing all loci
+            // (Fig. 18's Wr{Act,Aud}(Work,tt); Fig. 19 lists the same two
+            // writes).
+            Expr::Assert { at, prop } | Expr::Retract { at, prop } => {
+                let value = matches!(e, Expr::Assert { .. });
+                let mut js = vec![self.j.clone()];
+                if let Some(j) = at {
+                    js.push(j.to_string());
+                    js.sort();
+                    js.dedup();
+                }
+                EventStructure::singleton(Label::Wr {
+                    js,
+                    key: prop.to_string(),
+                    value: Some(value),
+                })
+                .0
+            }
+            Expr::Call { func, .. } => {
+                // Compiled programs have no calls; tolerate by treating
+                // the residual call as abstracted behaviour.
+                EventStructure::singleton(Label::Custom(func.clone())).0
+            }
+            Expr::Verify(f) => {
+                EventStructure::singleton(Label::Custom(format!("verify {f}"))).0
+            }
+            Expr::Retry => {
+                if self.unfold >= self.cfg.max_unfold {
+                    return EventStructure::empty();
+                }
+                self.unfold += 1;
+                let s = self.denote(&self.body.clone());
+                self.unfold -= 1;
+                s
+            }
+            Expr::Case { arms, otherwise } => self.denote_case(arms, otherwise),
+            Expr::If { cond, then, els } => {
+                // Sugar for a two-branch case.
+                let t_guard = self.formula_structure(cond);
+                let t_body = self.denote(then);
+                let t = t_guard.then(t_body);
+                let f_guard = self.formula_structure(&cond.clone().not());
+                let f_body = match els {
+                    Some(x) => self.denote(x),
+                    None => EventStructure::empty(),
+                };
+                let f = f_guard.then(f_body);
+                conflict_alternatives(t, f)
+            }
+            Expr::For { .. } => EventStructure::empty(),
+            Expr::Break | Expr::Next | Expr::Reconsider => EventStructure::empty(),
+        }
+    }
+
+    /// §8.3's `case(i)` decomposition.
+    fn denote_case(&mut self, arms: &[CaseArm], otherwise: &Expr) -> EventStructure {
+        self.case_level(arms, otherwise, 0)
+    }
+
+    fn case_level(
+        &mut self,
+        arms: &[CaseArm],
+        otherwise: &Expr,
+        i: usize,
+    ) -> EventStructure {
+        if i >= arms.len() {
+            return self.denote(otherwise);
+        }
+        let arm = &arms[i];
+        let guard = match &arm.guard {
+            CaseGuard::Plain(f) => f.clone(),
+            CaseGuard::For { formula, .. } => formula.clone(),
+        };
+        // [[Fi]] → [[Ei; Ti]]
+        let taken_guard = self.formula_structure(&guard);
+        let mut taken_body = self.denote(&arm.body);
+        taken_body = match arm.terminator {
+            Terminator::Break => taken_body,
+            Terminator::Next => {
+                // N: retry the case from the next arm (§8.3).
+                let next = self.case_level(arms, otherwise, i + 1);
+                taken_body.then(next)
+            }
+            Terminator::Reconsider => {
+                if self.unfold < self.cfg.max_unfold {
+                    self.unfold += 1;
+                    let again = self.case_level(arms, otherwise, 0);
+                    self.unfold -= 1;
+                    taken_body.then(again)
+                } else {
+                    taken_body
+                }
+            }
+        };
+        let taken = taken_guard.then(taken_body);
+        // [[¬Fi]] → case(i+1)
+        let not_guard = self.formula_structure(&guard.not());
+        let rest = self.case_level(arms, otherwise, i + 1);
+        let not_taken = not_guard.then(rest);
+        conflict_alternatives(taken, not_taken)
+    }
+}
+
+/// Union two structures as strict alternatives: their entry events are
+/// placed in (minimal) conflict.
+fn conflict_alternatives(a: EventStructure, b: EventStructure) -> EventStructure {
+    let la = a.leftmost();
+    let lb = b.leftmost();
+    let mut out = a.union(b);
+    for x in &la {
+        for y in &lb {
+            out.add_conflict(*x, *y);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csaw_core::builder::fig3_program;
+    use csaw_core::program::LoadConfig;
+
+    fn fig3_semantics() -> ProgramSemantics {
+        let cp = csaw_core::compile(fig3_program(), &LoadConfig::new()).unwrap();
+        denote_program(&cp, &DenoteConfig::default())
+    }
+
+    /// The Fig. 18 event structure for the Fig. 3 program: Sched_f →
+    /// Wr_f(n,*) → Wr_g(n,*) → Wr_{f,g}(Work,tt) → Rd_f(Work,ff) →
+    /// Unsched_f, and on the g side Rd_g(Work,tt) → Sched_g →
+    /// Rd_g(n,*)… → Wr_{f,g}(Work,ff) → Unsched_g.
+    #[test]
+    fn fig18_f_side_chain() {
+        let sem = fig3_semantics();
+        let f = &sem.junctions["f::junction"];
+        assert!(f.is_valid());
+        let sched = f.find(|l| matches!(l, Label::Sched(j) if j == "f"));
+        assert_eq!(sched.len(), 1);
+        let save_n = f.find(
+            |l| matches!(l, Label::Wr { js, key, value: None } if js == &vec!["f".to_string()] && key == "n"),
+        );
+        assert_eq!(save_n.len(), 1);
+        let write_n_g = f.find(
+            |l| matches!(l, Label::Wr { js, key, value: None } if js == &vec!["g".to_string()] && key == "n"),
+        );
+        assert_eq!(write_n_g.len(), 1);
+        let assert_work = f.find(
+            |l| matches!(l, Label::Wr { js, key, value: Some(true) } if key == "Work" && js.len() == 2),
+        );
+        assert_eq!(assert_work.len(), 1);
+        let rd_work_ff = f.find(
+            |l| matches!(l, Label::Rd { j, key, value: Some(false) } if j == "f" && key == "Work"),
+        );
+        assert_eq!(rd_work_ff.len(), 1);
+        let unsched = f.find(|l| matches!(l, Label::Unsched(j) if j == "f"));
+        assert_eq!(unsched.len(), 1);
+        // The chain, in order.
+        assert!(f.enables(sched[0], save_n[0]));
+        assert!(f.enables(save_n[0], write_n_g[0]));
+        assert!(f.enables(write_n_g[0], assert_work[0]));
+        assert!(f.enables(assert_work[0], rd_work_ff[0]));
+        assert!(f.enables(rd_work_ff[0], unsched[0]));
+    }
+
+    #[test]
+    fn fig18_g_side_guard_enables_sched() {
+        let sem = fig3_semantics();
+        let g = &sem.junctions["g::junction"];
+        assert!(g.is_valid());
+        let rd_work_tt = g.find(
+            |l| matches!(l, Label::Rd { j, key, value: Some(true) } if j == "g" && key == "Work"),
+        );
+        assert_eq!(rd_work_tt.len(), 1);
+        let sched = g.find(|l| matches!(l, Label::Sched(j) if j == "g"));
+        assert_eq!(sched.len(), 1);
+        assert!(g.enables(rd_work_tt[0], sched[0]));
+        // retract [f] Work renders as a joint write of f and g.
+        let retract = g.find(
+            |l| matches!(l, Label::Wr { js, key, value: Some(false) } if key == "Work" && js.len() == 2),
+        );
+        assert_eq!(retract.len(), 1);
+        let unsched = g.find(|l| matches!(l, Label::Unsched(j) if j == "g"));
+        assert!(g.enables(retract[0], unsched[0]));
+    }
+
+    #[test]
+    fn startup_portion_matches_section_8_4() {
+        let sem = fig3_semantics();
+        let s = &sem.startup;
+        let main_ev = s.find(|l| matches!(l, Label::Custom(c) if c == "main"));
+        assert_eq!(main_ev.len(), 1);
+        let starts = s.find(|l| matches!(l, Label::Start { j, .. } if j == "init"));
+        assert_eq!(starts.len(), 2); // f and g
+        for st in &starts {
+            assert!(s.enables(main_ev[0], *st));
+        }
+        // Initial proposition writes: Wr(Work, ff) for both instances.
+        let init_writes =
+            s.find(|l| matches!(l, Label::Wr { key, value: Some(false), .. } if key == "Work"));
+        assert_eq!(init_writes.len(), 2);
+        assert!(s.is_valid());
+    }
+
+    #[test]
+    fn otherwise_attaches_conflicting_handler_copies() {
+        use csaw_core::builder::*;
+        // (A; B) otherwise complain — every body event gets a conflicting
+        // complain alternative (cf. Fig. 21).
+        let body = seq([assert_local("A"), assert_local("B")]);
+        let e = otherwise_nodeadline(body, host("complain"));
+        let mut d = Denoter {
+            j: "x".into(),
+            cfg: &DenoteConfig::default(),
+            body: &Expr::Skip,
+            unfold: 0,
+            start_ids: crate::event::allocated_ids(),
+        };
+        let s = d.denote(&e);
+        let complains = s.find(|l| matches!(l, Label::Custom(c) if c == "complain"));
+        assert_eq!(complains.len(), 2, "one handler copy per body event");
+        assert!(s.is_valid());
+        // Each complain minimally conflicts with a body event.
+        let min = s.minimal_conflict();
+        assert!(min.len() >= 2);
+    }
+
+    #[test]
+    fn case_alternatives_conflict() {
+        use csaw_core::builder::*;
+        use csaw_core::formula::Formula;
+        let e = case(
+            vec![arm(
+                Formula::prop("Work"),
+                assert_local("X"),
+                Terminator::Break,
+            )],
+            skip(),
+        );
+        let mut d = Denoter {
+            j: "x".into(),
+            cfg: &DenoteConfig::default(),
+            body: &Expr::Skip,
+            unfold: 0,
+            start_ids: crate::event::allocated_ids(),
+        };
+        let s = d.denote(&e);
+        // Two Synch entries (Work-true branch and Work-false branch) in
+        // conflict with each other.
+        let synchs = s.find(|l| matches!(l, Label::Synch(_)));
+        assert_eq!(synchs.len(), 2);
+        assert!(!s.concurrent(synchs[0], synchs[1]));
+        assert!(s.is_valid());
+        // Rd(Work,tt) leads to Wr(X,tt).
+        let rd_tt = s.find(|l| matches!(l, Label::Rd { key, value: Some(true), .. } if key == "Work"));
+        let wr_x = s.find(|l| matches!(l, Label::Wr { key, .. } if key == "X"));
+        assert!(s.enables(rd_tt[0], wr_x[0]));
+    }
+
+    #[test]
+    fn wait_expands_to_dnf_reads_plus_data_reads() {
+        use csaw_core::formula::Formula;
+        let mut d = Denoter {
+            j: "x".into(),
+            cfg: &DenoteConfig::default(),
+            body: &Expr::Skip,
+            unfold: 0,
+            start_ids: crate::event::allocated_ids(),
+        };
+        // wait [m] (A || B): two disjuncts, each with its own copy of the
+        // read of m (§8.5).
+        let s = d.wait_structure(
+            &["m".to_string()],
+            &Formula::prop("A").or(Formula::prop("B")),
+        );
+        let synchs = s.find(|l| matches!(l, Label::Synch(_)));
+        assert_eq!(synchs.len(), 2);
+        let m_reads = s.find(|l| matches!(l, Label::Rd { key, value: None, .. } if key == "m"));
+        assert_eq!(m_reads.len(), 2, "one copy of the data read per disjunct");
+        assert!(s.is_valid());
+    }
+
+    #[test]
+    fn transaction_has_entry_synch() {
+        use csaw_core::builder::*;
+        let e = transaction(assert_local("A"));
+        let mut d = Denoter {
+            j: "x".into(),
+            cfg: &DenoteConfig::default(),
+            body: &Expr::Skip,
+            unfold: 0,
+            start_ids: crate::event::allocated_ids(),
+        };
+        let s = d.denote(&e);
+        let synch = s.find(|l| matches!(l, Label::Synch(_)));
+        assert_eq!(synch.len(), 1);
+        let wr = s.find(|l| matches!(l, Label::Wr { key, .. } if key == "A"));
+        assert!(s.enables(synch[0], wr[0]));
+        assert!(s.is_valid());
+    }
+
+    #[test]
+    fn otherwise_composes_validly_with_continuations() {
+        use csaw_core::builder::*;
+        // (A; B) otherwise complain, followed by C — the continuation
+        // chains from the success path only; handler branches are
+        // terminal (Figs. 21/22).
+        let e = seq([
+            otherwise_nodeadline(
+                seq([assert_local("A"), assert_local("B")]),
+                host("complain"),
+            ),
+            assert_local("C"),
+        ]);
+        let mut d = Denoter {
+            j: "x".into(),
+            cfg: &DenoteConfig::default(),
+            body: &Expr::Skip,
+            unfold: 0,
+            start_ids: crate::event::allocated_ids(),
+        };
+        let s = d.denote(&e);
+        assert!(s.is_valid(), "composition produced an invalid structure");
+        let b = s.find(|l| matches!(l, Label::Wr { key, .. } if key == "B"));
+        let c_ev = s.find(|l| matches!(l, Label::Wr { key, .. } if key == "C"));
+        assert!(s.enables(b[0], c_ev[0]), "success path chains to the continuation");
+        // The complain branches do not enable the continuation.
+        for comp in s.find(|l| matches!(l, Label::Custom(c) if c == "complain")) {
+            assert!(!s.enables(comp, c_ev[0]));
+        }
+    }
+
+    #[test]
+    fn retry_unfolds_boundedly() {
+        use csaw_core::builder::*;
+        let body = seq([assert_local("A"), retry()]);
+        let cfg = DenoteConfig { max_unfold: 2, max_events: 20_000 };
+        let mut d = Denoter {
+            j: "x".into(),
+            cfg: &cfg,
+            body: &body,
+            unfold: 0,
+            start_ids: crate::event::allocated_ids(),
+        };
+        let s = d.denote(&body);
+        let writes = s.find(|l| matches!(l, Label::Wr { key, .. } if key == "A"));
+        // 1 (original) + 2 unfoldings.
+        assert_eq!(writes.len(), 3);
+    }
+}

@@ -1,0 +1,622 @@
+//! Events, labels, and event structures (§8.1–§8.3).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Unique event identifier, "drawn from an inexhaustible set" (§8.1).
+pub type EventId = u64;
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_id() -> EventId {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Total events ever allocated (process-wide); the denotation uses the
+/// delta across a junction to enforce its event budget.
+pub fn allocated_ids() -> u64 {
+    NEXT_ID.load(Ordering::Relaxed)
+}
+
+/// Event labels (§8.2). `tt`/`ff` are `Some(true)`/`Some(false)`; `*`
+/// (data writes/reads of unspecified value) is `None`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Label {
+    /// `RdJ(K, V)` — junction J reads key K with value V.
+    Rd {
+        /// The reading junction.
+        j: String,
+        /// The key.
+        key: String,
+        /// The read value (`None` = `*`).
+        value: Option<bool>,
+    },
+    /// `WrJ⃗(K, V)` — a write of K at one or more junctions. A remote
+    /// `assert [γ] P` writes both the local and remote table and renders
+    /// as a single `Wr{J,γ}` event, as in Fig. 18.
+    Wr {
+        /// The written junctions (sorted).
+        js: Vec<String>,
+        /// The key.
+        key: String,
+        /// The written value (`None` = `*`).
+        value: Option<bool>,
+    },
+    /// `StartJ(ι)`.
+    Start {
+        /// The starting junction ("init" for the distinguished start-up).
+        j: String,
+        /// The started instance.
+        target: String,
+    },
+    /// `StopJ(ι)`.
+    Stop {
+        /// The stopping junction.
+        j: String,
+        /// The stopped instance.
+        target: String,
+    },
+    /// `SchedJ` — the junction is scheduled.
+    Sched(String),
+    /// `UnschedJ` — the junction finishes.
+    Unsched(String),
+    /// `SynchJ(K⃗)` — synchronization barrier inserted by the semantics.
+    Synch(String),
+    /// `WaitJ(n⃗, F)` — placeholder decomposed by the §8.5 post-pass.
+    Wait {
+        /// The waiting junction.
+        j: String,
+        /// Admitted data keys.
+        data: Vec<String>,
+        /// Rendered formula.
+        formula: String,
+    },
+    /// Ad hoc label for abstracted behaviour ("complain", "main" — §8.2).
+    Custom(String),
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn v(x: &Option<bool>) -> &'static str {
+            match x {
+                Some(true) => "tt",
+                Some(false) => "ff",
+                None => "*",
+            }
+        }
+        match self {
+            Label::Rd { j, key, value } => write!(f, "Rd_{j}({key},{})", v(value)),
+            Label::Wr { js, key, value } => {
+                write!(f, "Wr_{{{}}}({key},{})", js.join(","), v(value))
+            }
+            Label::Start { j, target } => write!(f, "Start_{j}({target})"),
+            Label::Stop { j, target } => write!(f, "Stop_{j}({target})"),
+            Label::Sched(j) => write!(f, "Sched_{j}"),
+            Label::Unsched(j) => write!(f, "Unsched_{j}"),
+            Label::Synch(j) => write!(f, "Synch_{j}"),
+            Label::Wait { j, data, formula } => {
+                write!(f, "Wait_{j}([{}],{formula})", data.join(","))
+            }
+            Label::Custom(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// An event: identifier, label, and the "outward" flag manipulated by
+/// `isolate` for exception-handling composition (§8.1, §8.3).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Unique id.
+    pub id: EventId,
+    /// The activity.
+    pub label: Label,
+    /// Whether the event can enable events through composition.
+    pub outward: bool,
+}
+
+impl Event {
+    /// Fresh event with a new id.
+    pub fn new(label: Label) -> Event {
+        Event { id: fresh_id(), label, outward: true }
+    }
+}
+
+/// An event structure `(S, ≤, #)` (§8.1). `enable` stores the immediate
+/// generating pairs; `≤` is its reflexive-transitive closure. `conflict`
+/// stores generating conflicts; full conflict adds inheritance.
+#[derive(Clone, Debug, Default)]
+pub struct EventStructure {
+    /// Events, keyed by id.
+    pub events: BTreeMap<EventId, Event>,
+    /// Generating enablement pairs (e1 enables e2).
+    pub enable: BTreeSet<(EventId, EventId)>,
+    /// Generating (symmetric) conflicts.
+    pub conflict: BTreeSet<(EventId, EventId)>,
+}
+
+impl EventStructure {
+    /// Empty structure (the denotation of `skip`/`restore`).
+    pub fn empty() -> EventStructure {
+        EventStructure::default()
+    }
+
+    /// A structure with a single fresh event.
+    pub fn singleton(label: Label) -> (EventStructure, EventId) {
+        let e = Event::new(label);
+        let id = e.id;
+        let mut s = EventStructure::empty();
+        s.events.insert(id, e);
+        (s, id)
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True iff there are no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Add an enablement pair.
+    pub fn add_enable(&mut self, from: EventId, to: EventId) {
+        self.enable.insert((from, to));
+    }
+
+    /// Add a (symmetric) conflict pair.
+    pub fn add_conflict(&mut self, a: EventId, b: EventId) {
+        self.conflict.insert((a.min(b), a.max(b)));
+    }
+
+    /// Union of two structures (the Fig. 19 rule for `+`).
+    pub fn union(mut self, other: EventStructure) -> EventStructure {
+        self.events.extend(other.events);
+        self.enable.extend(other.enable);
+        self.conflict.extend(other.conflict);
+        self
+    }
+
+    /// The rightmost periphery `⇒[[E]]`: events enabling nothing further
+    /// (§8.3). For outward-tracking composition only outward events
+    /// count.
+    pub fn rightmost(&self) -> Vec<EventId> {
+        if self.enable.is_empty() {
+            return self.events.keys().copied().collect();
+        }
+        self.events
+            .keys()
+            .copied()
+            .filter(|e| !self.enable.iter().any(|(a, _)| a == e))
+            .collect()
+    }
+
+    /// The leftmost periphery `⇐[[E]]`: events enabled by nothing (§8.3).
+    pub fn leftmost(&self) -> Vec<EventId> {
+        if self.enable.is_empty() {
+            return self.events.keys().copied().collect();
+        }
+        self.events
+            .keys()
+            .copied()
+            .filter(|e| !self.enable.iter().any(|(_, b)| b == e))
+            .collect()
+    }
+
+    /// Sequential composition: `self; other`.
+    ///
+    /// The rightmost *outward* events of `self` enable `other` (Fig. 20)
+    /// — but when the frontier spans mutually-*conflicting* alternatives
+    /// (case branches, handler alternatives), the continuation is
+    /// ♮-copied once per compatibility class, exactly as Fig. 22 draws
+    /// multiple `Unsched` events. A single conjunctive continuation
+    /// enabled by conflicting causes would conflict with itself under
+    /// inheritance and invalidate the structure.
+    pub fn then(self, other: EventStructure) -> EventStructure {
+        if self.is_empty() {
+            return other;
+        }
+        if other.is_empty() {
+            return self;
+        }
+        let rights: Vec<EventId> = self
+            .rightmost()
+            .into_iter()
+            .filter(|e| self.events[e].outward)
+            .collect();
+        // Partition the frontier into classes of pairwise-compatible
+        // events (greedy); each class gets its own continuation copy.
+        let conf = self.full_conflict();
+        let mut classes: Vec<Vec<EventId>> = Vec::new();
+        for r in rights {
+            match classes
+                .iter_mut()
+                .find(|c| c.iter().all(|x| !conf.contains(&(*x, r))))
+            {
+                Some(c) => c.push(r),
+                None => classes.push(vec![r]),
+            }
+        }
+        // Pathological frontiers: bound the duplication. Overflow
+        // classes get no continuation copy — validity is preserved
+        // (merging conflicting classes would make the continuation
+        // conflict with its own causes), at the cost of eliding those
+        // branches' futures.
+        const MAX_CLASSES: usize = 64;
+        classes.truncate(MAX_CLASSES);
+        if classes.len() <= 1 {
+            let lefts = other.leftmost();
+            let mut out = self.union(other);
+            for c in &classes {
+                for r in c {
+                    for l in &lefts {
+                        out.add_enable(*r, *l);
+                    }
+                }
+            }
+            return out;
+        }
+        let mut out = self;
+        let n = classes.len();
+        for (i, class) in classes.into_iter().enumerate() {
+            // Use the original structure for the last class; fresh
+            // ♮-copies for the others.
+            let copy = if i + 1 == n { other.clone() } else { other.copy().0 };
+            let lefts = copy.leftmost();
+            out = out.union(copy);
+            for r in &class {
+                for l in &lefts {
+                    out.add_enable(*r, *l);
+                }
+            }
+        }
+        out
+    }
+
+    /// `isolate`: set every event's outward flag to false (§8.3).
+    pub fn isolate(mut self) -> EventStructure {
+        for e in self.events.values_mut() {
+            e.outward = false;
+        }
+        self
+    }
+
+    /// `♮`: a fresh copy with new ids, preserving relations (§8.3).
+    /// Returns the copy and the id bijection.
+    pub fn copy(&self) -> (EventStructure, HashMap<EventId, EventId>) {
+        let mut map = HashMap::new();
+        let mut out = EventStructure::empty();
+        for (id, e) in &self.events {
+            let mut e2 = e.clone();
+            e2.id = fresh_id();
+            map.insert(*id, e2.id);
+            out.events.insert(e2.id, e2);
+        }
+        for (a, b) in &self.enable {
+            out.enable.insert((map[a], map[b]));
+        }
+        for (a, b) in &self.conflict {
+            out.conflict.insert((map[a], map[b]));
+        }
+        (out, map)
+    }
+
+    /// Reflexive-transitive closure of enablement (DFS from each node).
+    pub fn leq(&self) -> BTreeSet<(EventId, EventId)> {
+        let mut adj: HashMap<EventId, Vec<EventId>> = HashMap::new();
+        for (a, b) in &self.enable {
+            adj.entry(*a).or_default().push(*b);
+        }
+        let mut leq = BTreeSet::new();
+        for &start in self.events.keys() {
+            leq.insert((start, start));
+            let mut stack = vec![start];
+            let mut seen = std::collections::HashSet::new();
+            seen.insert(start);
+            while let Some(n) = stack.pop() {
+                if let Some(next) = adj.get(&n) {
+                    for &m in next {
+                        if seen.insert(m) {
+                            leq.insert((start, m));
+                            stack.push(m);
+                        }
+                    }
+                }
+            }
+        }
+        leq
+    }
+
+    /// Full conflict relation with inheritance closed in:
+    /// `e1#e2 ∧ e2≤e3 → e1#e3` (§8.1). Closing both sides, `x#y` holds
+    /// iff some generating conflict `(a,b)` has `a ≤ x ∧ b ≤ y` (or
+    /// symmetrically).
+    pub fn full_conflict(&self) -> BTreeSet<(EventId, EventId)> {
+        let leq = self.leq();
+        let mut descendants: HashMap<EventId, Vec<EventId>> = HashMap::new();
+        for (a, b) in &leq {
+            descendants.entry(*a).or_default().push(*b);
+        }
+        let empty = Vec::new();
+        let mut conf = BTreeSet::new();
+        for (a, b) in &self.conflict {
+            for x in descendants.get(a).unwrap_or(&empty) {
+                for y in descendants.get(b).unwrap_or(&empty) {
+                    conf.insert((*x, *y));
+                    conf.insert((*y, *x));
+                }
+            }
+        }
+        conf
+    }
+
+    /// `[e]`: the causal history of an event (§8.1).
+    pub fn causes(&self, e: EventId) -> BTreeSet<EventId> {
+        let leq = self.leq();
+        self.events
+            .keys()
+            .copied()
+            .filter(|x| leq.contains(&(*x, e)))
+            .collect()
+    }
+
+    /// Validity (§8.1): finite causes hold by construction (finite
+    /// structures); checks that conflict is irreflexive under
+    /// inheritance closure — i.e. no event conflicts with itself, which
+    /// would make it unreachable.
+    pub fn is_valid(&self) -> bool {
+        let conf = self.full_conflict();
+        self.events.keys().all(|e| !conf.contains(&(*e, *e)))
+    }
+
+    /// Two events are concurrent: incomparable by ≤ and with
+    /// conflict-free causal histories (§8.1).
+    pub fn concurrent(&self, e1: EventId, e2: EventId) -> bool {
+        let leq = self.leq();
+        if leq.contains(&(e1, e2)) || leq.contains(&(e2, e1)) {
+            return false;
+        }
+        let conf = self.full_conflict();
+        let c1 = self.causes(e1);
+        let c2 = self.causes(e2);
+        for a in &c1 {
+            for b in &c2 {
+                if conf.contains(&(*a, *b)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Immediate causality (the drawn arrows, §8.2.1): `e1 ⪇ e2` with no
+    /// event strictly between.
+    pub fn immediate_causality(&self) -> BTreeSet<(EventId, EventId)> {
+        let leq = self.leq();
+        let strict: Vec<(EventId, EventId)> = leq
+            .iter()
+            .copied()
+            .filter(|(a, b)| a != b)
+            .collect();
+        strict
+            .iter()
+            .copied()
+            .filter(|&(a, b)| {
+                !strict
+                    .iter()
+                    .any(|&(c, d)| c == a && d != b && strict.contains(&(d, b)))
+            })
+            .collect()
+    }
+
+    /// Minimal conflict (the drawn zigzags, §8.2.1).
+    pub fn minimal_conflict(&self) -> BTreeSet<(EventId, EventId)> {
+        let conf = self.full_conflict();
+        let leq = self.leq();
+        conf.iter()
+            .copied()
+            .filter(|&(e1, e2)| {
+                e1 < e2
+                    && leq.iter().all(|&(a, b)| {
+                        // ∀ e≤e1, e'≤e2 with e#e' → e=e1 ∧ e'=e2
+                        if b == e1 {
+                            leq.iter().all(|&(c, d)| {
+                                if d == e2 && conf.contains(&(a, c)) {
+                                    a == e1 && c == e2
+                                } else {
+                                    true
+                                }
+                            })
+                        } else {
+                            true
+                        }
+                    })
+            })
+            .collect()
+    }
+
+    /// Find events by a label predicate.
+    pub fn find<'a>(&'a self, pred: impl Fn(&Label) -> bool + 'a) -> Vec<EventId> {
+        self.events
+            .values()
+            .filter(|e| pred(&e.label))
+            .map(|e| e.id)
+            .collect()
+    }
+
+    /// Whether `a` (transitively) enables `b`.
+    pub fn enables(&self, a: EventId, b: EventId) -> bool {
+        self.leq().contains(&(a, b))
+    }
+
+    /// Render as GraphViz DOT (solid arrows: immediate causality; dashed
+    /// red: minimal conflict).
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph es {\n  rankdir=TB;\n");
+        for e in self.events.values() {
+            let shape = match e.label {
+                Label::Sched(_) | Label::Unsched(_) => "box",
+                _ => "ellipse",
+            };
+            let _ = writeln!(
+                out,
+                "  e{} [label=\"{}\", shape={shape}{}];",
+                e.id,
+                e.label,
+                if e.outward { "" } else { ", style=dotted" }
+            );
+        }
+        for (a, b) in self.immediate_causality() {
+            let _ = writeln!(out, "  e{a} -> e{b};");
+        }
+        for (a, b) in self.minimal_conflict() {
+            let _ = writeln!(
+                out,
+                "  e{a} -> e{b} [dir=none, style=dashed, color=red];"
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rd(j: &str, key: &str, v: Option<bool>) -> Label {
+        Label::Rd { j: j.into(), key: key.into(), value: v }
+    }
+
+    fn chain3() -> (EventStructure, EventId, EventId, EventId) {
+        let (a, ida) = EventStructure::singleton(rd("f", "A", None));
+        let (b, idb) = EventStructure::singleton(rd("f", "B", None));
+        let (c, idc) = EventStructure::singleton(rd("f", "C", None));
+        let s = a.then(b).then(c);
+        (s, ida, idb, idc)
+    }
+
+    #[test]
+    fn then_chains_enablement() {
+        let (s, a, b, c) = chain3();
+        assert!(s.enables(a, b));
+        assert!(s.enables(b, c));
+        assert!(s.enables(a, c)); // transitive
+        assert!(!s.enables(c, a));
+        assert_eq!(s.leftmost(), vec![a]);
+        assert_eq!(s.rightmost(), vec![c]);
+    }
+
+    #[test]
+    fn union_is_parallel() {
+        let (a, ida) = EventStructure::singleton(rd("f", "A", None));
+        let (b, idb) = EventStructure::singleton(rd("g", "B", None));
+        let s = a.union(b);
+        assert!(s.concurrent(ida, idb));
+    }
+
+    #[test]
+    fn empty_identities() {
+        let (a, _) = EventStructure::singleton(rd("f", "A", None));
+        let n1 = a.clone().then(EventStructure::empty());
+        assert_eq!(n1.len(), 1);
+        let n2 = EventStructure::empty().then(a);
+        assert_eq!(n2.len(), 1);
+    }
+
+    #[test]
+    fn conflict_inheritance() {
+        // a # b, b ≤ c  ⇒  a # c.
+        let (sa, a) = EventStructure::singleton(rd("f", "A", None));
+        let (sb, b) = EventStructure::singleton(rd("f", "B", None));
+        let (sc, c) = EventStructure::singleton(rd("f", "C", None));
+        let mut s = sa.union(sb.then(sc));
+        s.add_conflict(a, b);
+        let conf = s.full_conflict();
+        assert!(conf.contains(&(a, c)));
+        assert!(s.is_valid());
+        assert!(!s.concurrent(a, c));
+    }
+
+    #[test]
+    fn minimal_conflict_excludes_inherited() {
+        let (sa, a) = EventStructure::singleton(rd("f", "A", None));
+        let (sb, b) = EventStructure::singleton(rd("f", "B", None));
+        let (sc, c) = EventStructure::singleton(rd("f", "C", None));
+        let mut s = sa.union(sb.then(sc));
+        s.add_conflict(a, b);
+        let min = s.minimal_conflict();
+        let norm = |x: EventId, y: EventId| (x.min(y), x.max(y));
+        assert!(min.contains(&norm(a, b)));
+        assert!(!min.contains(&norm(a, c)));
+    }
+
+    #[test]
+    fn isolate_blocks_then_chaining() {
+        let (sa, a) = EventStructure::singleton(rd("f", "A", None));
+        let (sb, b) = EventStructure::singleton(rd("f", "B", None));
+        let s = sa.isolate().then(sb);
+        // a is not outward → it does not enable b through `then`.
+        assert!(!s.enables(a, b));
+    }
+
+    #[test]
+    fn copy_is_disjoint_and_isomorphic() {
+        let (s, a, b, _c) = chain3();
+        let (s2, map) = s.copy();
+        assert_eq!(s.len(), s2.len());
+        assert!(s2.enables(map[&a], map[&b]));
+        // Fresh ids.
+        for id in s.events.keys() {
+            assert!(!s2.events.contains_key(id));
+        }
+    }
+
+    #[test]
+    fn immediate_causality_skips_transitive() {
+        let (s, a, b, c) = chain3();
+        let imm = s.immediate_causality();
+        assert!(imm.contains(&(a, b)));
+        assert!(imm.contains(&(b, c)));
+        assert!(!imm.contains(&(a, c)));
+    }
+
+    #[test]
+    fn causes_are_downward_closed() {
+        let (s, a, b, c) = chain3();
+        let hist = s.causes(c);
+        assert!(hist.contains(&a) && hist.contains(&b) && hist.contains(&c));
+        assert_eq!(s.causes(a).len(), 1);
+    }
+
+    #[test]
+    fn self_conflict_invalidates() {
+        let (mut s, a) = EventStructure::singleton(rd("f", "A", None));
+        s.conflict.insert((a, a));
+        assert!(!s.is_valid());
+    }
+
+    #[test]
+    fn dot_renders() {
+        let (s, _, _, _) = chain3();
+        let dot = s.to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("->"));
+    }
+
+    #[test]
+    fn label_display() {
+        assert_eq!(
+            rd("f", "Work", Some(false)).to_string(),
+            "Rd_f(Work,ff)"
+        );
+        let w = Label::Wr {
+            js: vec!["Act".into(), "Aud".into()],
+            key: "Work".into(),
+            value: Some(true),
+        };
+        assert_eq!(w.to_string(), "Wr_{Act,Aud}(Work,tt)");
+    }
+}

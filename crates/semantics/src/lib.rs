@@ -1,0 +1,29 @@
+//! # csaw-semantics — event-structure semantics for C-Saw (§8)
+//!
+//! The paper gives the DSL a denotational semantics in terms of **event
+//! structures** (Winskel): triples `(S, ≤, #)` of events, enablement and
+//! conflict. This crate implements:
+//!
+//! * [`event`] — events, labels, and event structures with the §8.1
+//!   validity conditions (conflict inheritance, finite causes), the
+//!   graphical-notation relations (immediate causality, minimal
+//!   conflict), concurrency, peripheries, ♮-copies and `isolate`;
+//! * [`denote`] — the denotation function `[[E]]ηJ` of §8.3–§8.5,
+//!   including the `η` control-flow environment, the `case`/`N`
+//!   decomposition, DNF-decomposition of guard formulas into
+//!   `Synch`-prefixed read events, and the staged expansion of `wait`;
+//! * [`topology()`] — the `Topo` derivation of §8.7 (the communication
+//!   graph between junctions) with DOT export.
+//!
+//! The §8.5 semantics is explicitly "a general, infinitary version"; like
+//! the paper's implementation, we compute the weaker finite version,
+//! curtailing recursion (`reconsider`/`retry` unfoldings) at a
+//! configurable depth.
+
+pub mod denote;
+pub mod event;
+pub mod topology;
+
+pub use denote::{denote_junction, denote_program, DenoteConfig};
+pub use event::{Event, EventId, EventStructure, Label};
+pub use topology::{topology, Topology};

@@ -1,0 +1,169 @@
+//! Topology derivation (§8.7): the communication graph of an
+//! architecture, computed from the syntax of junction expressions.
+
+use std::collections::BTreeSet;
+
+use csaw_core::expr::Expr;
+use csaw_core::names::JRef;
+use csaw_core::program::CompiledProgram;
+
+/// The directed communication graph: nodes are fully-qualified junctions,
+/// edges mean "may send a KV update to".
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Topology {
+    /// Edges `(from, to)`, with `to` either `inst::junction` or a bare
+    /// instance (single-junction target or run-time-resolved variable,
+    /// rendered as written).
+    pub edges: BTreeSet<(String, String)>,
+}
+
+impl Topology {
+    /// Nodes (every endpoint of every edge).
+    pub fn nodes(&self) -> BTreeSet<String> {
+        self.edges
+            .iter()
+            .flat_map(|(a, b)| [a.clone(), b.clone()])
+            .collect()
+    }
+
+    /// Out-neighbours of a junction.
+    pub fn targets_of(&self, from: &str) -> Vec<&str> {
+        self.edges
+            .iter()
+            .filter(|(a, _)| a == from)
+            .map(|(_, b)| b.as_str())
+            .collect()
+    }
+
+    /// GraphViz DOT rendering.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph topo {\n");
+        for (a, b) in &self.edges {
+            let _ = writeln!(out, "  \"{a}\" -> \"{b}\";");
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// `Topoγ(E)`: the set of syntactic communication targets of one
+/// junction's expression (§8.7).
+pub fn targets(e: &Expr) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    e.walk(&mut |x| match x {
+        Expr::Write { to, .. } => {
+            out.insert(render(to));
+        }
+        Expr::Assert { at: Some(j), .. } | Expr::Retract { at: Some(j), .. } => {
+            out.insert(render(j));
+        }
+        _ => {}
+    });
+    out
+}
+
+fn render(j: &JRef) -> String {
+    j.to_string()
+}
+
+/// `Topo`: union over all instances and junctions (§8.7).
+pub fn topology(cp: &CompiledProgram) -> Topology {
+    let mut edges = BTreeSet::new();
+    for ci in &cp.instances {
+        for jd in &ci.junctions {
+            let from = format!("{}::{}", ci.name, jd.name);
+            for t in targets(&jd.body) {
+                // `me::instance::j` resolves statically.
+                let to = if let Some(rest) = t.strip_prefix("me::instance::") {
+                    format!("{}::{rest}", ci.name)
+                } else {
+                    t
+                };
+                edges.insert((from.clone(), to));
+            }
+        }
+    }
+    Topology { edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csaw_core::builder::fig3_program;
+    use csaw_core::program::LoadConfig;
+
+    #[test]
+    fn fig3_topology_is_bidirectional_f_g() {
+        let cp = csaw_core::compile(fig3_program(), &LoadConfig::new()).unwrap();
+        let topo = topology(&cp);
+        // f writes/asserts to g; g retracts at f. Both junction bodies
+        // target the peer through the `g`/`f` parameters, which render
+        // as the parameter names post-compilation — but the f and g
+        // instances were compiled per-instance, so the parameter is
+        // still symbolic. Check the edges exist from both junctions.
+        assert!(topo
+            .edges
+            .iter()
+            .any(|(a, _)| a == "f::junction"));
+        assert!(topo
+            .edges
+            .iter()
+            .any(|(a, _)| a == "g::junction"));
+    }
+
+    #[test]
+    fn targets_collects_write_assert_retract() {
+        use csaw_core::builder::*;
+        use csaw_core::names::JRef;
+        let e = seq([
+            write("n", JRef::qualified("b1", "serve")),
+            assert_at(JRef::instance("w"), "P"),
+            retract_at(JRef::qualified("b2", "serve"), "Q"),
+            skip(),
+        ]);
+        let t = targets(&e);
+        assert_eq!(t.len(), 3);
+        assert!(t.contains("b1::serve"));
+        assert!(t.contains("w"));
+        assert!(t.contains("b2::serve"));
+    }
+
+    #[test]
+    fn sibling_targets_resolve_to_instance() {
+        use csaw_core::builder::*;
+        use csaw_core::decl::Decl;
+        use csaw_core::names::JRef;
+        use csaw_core::program::{InstanceType, JunctionDef};
+        let ty = InstanceType::new(
+            "T",
+            vec![
+                JunctionDef::new(
+                    "a",
+                    vec![],
+                    vec![Decl::prop_false("P")],
+                    assert_at(JRef::Sibling("b".into()), "P"),
+                ),
+                JunctionDef::new("b", vec![], vec![Decl::prop_false("P")], skip()),
+            ],
+        );
+        let p = ProgramBuilder::new()
+            .ty(ty)
+            .instance("x", "T")
+            .main(vec![], start_junctions("x", vec![("a", vec![]), ("b", vec![])]))
+            .build();
+        let cp = csaw_core::compile(p, &LoadConfig::new()).unwrap();
+        let topo = topology(&cp);
+        assert!(topo.edges.contains(&("x::a".to_string(), "x::b".to_string())));
+        assert_eq!(topo.targets_of("x::a"), vec!["x::b"]);
+    }
+
+    #[test]
+    fn dot_export() {
+        let cp = csaw_core::compile(fig3_program(), &LoadConfig::new()).unwrap();
+        let topo = topology(&cp);
+        let dot = topo.to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(!topo.nodes().is_empty());
+    }
+}

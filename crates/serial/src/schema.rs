@@ -1,0 +1,257 @@
+//! Type descriptions for C-like data.
+//!
+//! A [`TypeDesc`] plays the role of the static type information that
+//! C-strider extracts from C source: enough structure for a type-aware
+//! traversal to serialize a heap object field by field.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Primitive (machine) types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Prim {
+    /// Unsigned 8-bit.
+    U8,
+    /// Signed 8-bit.
+    I8,
+    /// Unsigned 16-bit.
+    U16,
+    /// Signed 16-bit.
+    I16,
+    /// Unsigned 32-bit.
+    U32,
+    /// Signed 32-bit.
+    I32,
+    /// Unsigned 64-bit.
+    U64,
+    /// Signed 64-bit.
+    I64,
+    /// 32-bit float.
+    F32,
+    /// 64-bit float.
+    F64,
+    /// Boolean (encoded as one byte).
+    Bool,
+}
+
+impl Prim {
+    /// Encoded width in bytes.
+    pub fn width(self) -> usize {
+        match self {
+            Prim::U8 | Prim::I8 | Prim::Bool => 1,
+            Prim::U16 | Prim::I16 => 2,
+            Prim::U32 | Prim::I32 | Prim::F32 => 4,
+            Prim::U64 | Prim::I64 | Prim::F64 => 8,
+        }
+    }
+
+    /// C-like name, used by the code generator.
+    pub fn c_name(self) -> &'static str {
+        match self {
+            Prim::U8 => "uint8_t",
+            Prim::I8 => "int8_t",
+            Prim::U16 => "uint16_t",
+            Prim::I16 => "int16_t",
+            Prim::U32 => "uint32_t",
+            Prim::I32 => "int32_t",
+            Prim::U64 => "uint64_t",
+            Prim::I64 => "int64_t",
+            Prim::F32 => "float",
+            Prim::F64 => "double",
+            Prim::Bool => "bool",
+        }
+    }
+}
+
+/// A C-like type description.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TypeDesc {
+    /// A machine primitive.
+    Prim(Prim),
+    /// A struct with named, ordered fields.
+    Struct {
+        /// Struct tag.
+        name: String,
+        /// Ordered fields.
+        fields: Vec<(String, TypeDesc)>,
+    },
+    /// A fixed-length array.
+    Array {
+        /// Element type.
+        elem: Box<TypeDesc>,
+        /// Element count.
+        len: usize,
+    },
+    /// A nullable pointer (`T*`). Recursion through pointers is what the
+    /// depth limit bounds.
+    Ptr(Box<TypeDesc>),
+    /// A NUL-terminated C string with a maximum serialized length.
+    CString {
+        /// Maximum bytes captured (longer strings truncate).
+        max_len: usize,
+    },
+    /// Raw bytes with a runtime length (a sized `void*`), capped.
+    Blob {
+        /// Maximum bytes captured.
+        max_len: usize,
+    },
+    /// A reference to a named type in a [`Registry`] — the mechanism for
+    /// recursive datatypes (linked lists, trees).
+    Named(String),
+}
+
+impl TypeDesc {
+    /// Shorthand struct constructor.
+    pub fn strct(name: impl Into<String>, fields: Vec<(&str, TypeDesc)>) -> TypeDesc {
+        TypeDesc::Struct {
+            name: name.into(),
+            fields: fields
+                .into_iter()
+                .map(|(n, t)| (n.to_string(), t))
+                .collect(),
+        }
+    }
+
+    /// Shorthand pointer constructor.
+    pub fn ptr(inner: TypeDesc) -> TypeDesc {
+        TypeDesc::Ptr(Box::new(inner))
+    }
+
+    /// Shorthand array constructor.
+    pub fn array(elem: TypeDesc, len: usize) -> TypeDesc {
+        TypeDesc::Array {
+            elem: Box::new(elem),
+            len,
+        }
+    }
+
+    /// Whether the type (transitively, through the registry) contains a
+    /// pointer — i.e. serialization may recurse.
+    pub fn is_recursive_through(&self, reg: &Registry, seen: &mut Vec<String>) -> bool {
+        match self {
+            TypeDesc::Prim(_) | TypeDesc::CString { .. } | TypeDesc::Blob { .. } => false,
+            TypeDesc::Ptr(_) => true,
+            TypeDesc::Array { elem, .. } => elem.is_recursive_through(reg, seen),
+            TypeDesc::Struct { fields, .. } => fields
+                .iter()
+                .any(|(_, t)| t.is_recursive_through(reg, seen)),
+            TypeDesc::Named(n) => {
+                if seen.iter().any(|s| s == n) {
+                    return true;
+                }
+                seen.push(n.clone());
+                let r = reg
+                    .get(n)
+                    .map(|t| t.is_recursive_through(reg, seen))
+                    .unwrap_or(false);
+                seen.pop();
+                r
+            }
+        }
+    }
+}
+
+impl fmt::Display for TypeDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeDesc::Prim(p) => write!(f, "{}", p.c_name()),
+            TypeDesc::Struct { name, .. } => write!(f, "struct {name}"),
+            TypeDesc::Array { elem, len } => write!(f, "{elem}[{len}]"),
+            TypeDesc::Ptr(t) => write!(f, "{t}*"),
+            TypeDesc::CString { .. } => write!(f, "char*"),
+            TypeDesc::Blob { .. } => write!(f, "void*"),
+            TypeDesc::Named(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// A registry of named types. Named references make recursive datatypes
+/// (e.g. `struct node { int v; struct node* next; }`) expressible.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    types: BTreeMap<String, TypeDesc>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Register a type under a name, replacing any previous binding.
+    pub fn register(&mut self, name: impl Into<String>, ty: TypeDesc) {
+        self.types.insert(name.into(), ty);
+    }
+
+    /// Look up a type.
+    pub fn get(&self, name: &str) -> Option<&TypeDesc> {
+        self.types.get(name)
+    }
+
+    /// Iterate over registered (name, type) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &TypeDesc)> {
+        self.types.iter()
+    }
+
+    /// Standard linked-list node schema: `{ value: T, next: Self* }`.
+    pub fn register_list_node(&mut self, name: impl Into<String>, value_ty: TypeDesc) {
+        let name = name.into();
+        let node = TypeDesc::Struct {
+            name: name.clone(),
+            fields: vec![
+                ("value".to_string(), value_ty),
+                ("next".to_string(), TypeDesc::ptr(TypeDesc::Named(name.clone()))),
+            ],
+        };
+        self.register(name, node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prim_widths() {
+        assert_eq!(Prim::U8.width(), 1);
+        assert_eq!(Prim::I16.width(), 2);
+        assert_eq!(Prim::F32.width(), 4);
+        assert_eq!(Prim::U64.width(), 8);
+        assert_eq!(Prim::Bool.width(), 1);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TypeDesc::Prim(Prim::I32).to_string(), "int32_t");
+        assert_eq!(
+            TypeDesc::ptr(TypeDesc::Prim(Prim::U8)).to_string(),
+            "uint8_t*"
+        );
+        assert_eq!(
+            TypeDesc::array(TypeDesc::Prim(Prim::U8), 4).to_string(),
+            "uint8_t[4]"
+        );
+    }
+
+    #[test]
+    fn registry_round_trip() {
+        let mut r = Registry::new();
+        r.register("point", TypeDesc::strct("point", vec![
+            ("x", TypeDesc::Prim(Prim::I32)),
+            ("y", TypeDesc::Prim(Prim::I32)),
+        ]));
+        assert!(r.get("point").is_some());
+        assert!(r.get("nope").is_none());
+        assert_eq!(r.iter().count(), 1);
+    }
+
+    #[test]
+    fn list_node_is_recursive() {
+        let mut r = Registry::new();
+        r.register_list_node("node", TypeDesc::Prim(Prim::I64));
+        let node = r.get("node").unwrap().clone();
+        assert!(node.is_recursive_through(&r, &mut Vec::new()));
+        let flat = TypeDesc::strct("flat", vec![("a", TypeDesc::Prim(Prim::U8))]);
+        assert!(!flat.is_recursive_through(&r, &mut Vec::new()));
+    }
+}

@@ -1,0 +1,256 @@
+//! Synthetic capture generation — the **bigFlows.pcap analog**.
+//!
+//! The paper replays "bigFlows.pcap, a public packet-capture benchmark
+//! that contains several flows from different applications" (§10.1). We
+//! generate a capture with the same relevant structure: many concurrent
+//! flows across a protocol/application mix, heavy-tailed flow sizes (a
+//! few elephant flows carry most packets), realistic ports, and
+//! interleaved arrival order.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::packet::{Packet, Proto};
+
+/// Capture parameters.
+#[derive(Clone, Debug)]
+pub struct CaptureSpec {
+    /// Number of flows.
+    pub flows: usize,
+    /// Total packets across all flows.
+    pub packets: usize,
+    /// Pareto shape for flow sizes (lower = heavier tail).
+    pub tail_alpha: f64,
+    /// Mean payload bytes per packet.
+    pub payload_mean: usize,
+    /// Fraction of payloads seeded with attack patterns (exercises the
+    /// detection rules).
+    pub attack_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CaptureSpec {
+    fn default() -> Self {
+        CaptureSpec {
+            flows: 400,
+            packets: 20_000,
+            tail_alpha: 1.2,
+            payload_mean: 300,
+            attack_fraction: 0.002,
+            seed: 7,
+        }
+    }
+}
+
+/// Application mix entries: (destination port, protocol, weight).
+const APP_MIX: &[(u16, Proto, u32)] = &[
+    (80, Proto::Tcp, 30),   // HTTP
+    (443, Proto::Tcp, 35),  // HTTPS
+    (53, Proto::Udp, 15),   // DNS
+    (25, Proto::Tcp, 5),    // SMTP
+    (22, Proto::Tcp, 5),    // SSH
+    (123, Proto::Udp, 5),   // NTP
+    (0, Proto::Icmp, 5),    // ICMP
+];
+
+/// Byte patterns the detection rules look for.
+pub const ATTACK_PATTERNS: &[&[u8]] = &[
+    b"/etc/passwd",
+    b"<script>alert",
+    b"\x90\x90\x90\x90\x90\x90", // NOP sled
+    b"' OR 1=1 --",
+];
+
+/// A generated capture.
+pub struct SyntheticCapture {
+    /// The packets in arrival order.
+    pub packets: Vec<Packet>,
+    /// Number of distinct flows actually generated.
+    pub flow_count: usize,
+}
+
+impl SyntheticCapture {
+    /// Generate a capture.
+    pub fn generate(spec: &CaptureSpec) -> SyntheticCapture {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        // Flow endpoints & application.
+        struct Flow {
+            src_ip: u32,
+            dst_ip: u32,
+            src_port: u16,
+            dst_port: u16,
+            proto: Proto,
+            weight: f64,
+            seq: u32,
+        }
+        let total_weight: u32 = APP_MIX.iter().map(|(_, _, w)| w).sum();
+        let mut flows: Vec<Flow> = (0..spec.flows)
+            .map(|_| {
+                let mut pick = rng.gen_range(0..total_weight);
+                let mut app = APP_MIX[0];
+                for &entry in APP_MIX {
+                    if pick < entry.2 {
+                        app = entry;
+                        break;
+                    }
+                    pick -= entry.2;
+                }
+                // Heavy-tailed per-flow weight (bounded Pareto).
+                let u: f64 = rng.gen_range(0.0001..1.0);
+                let weight = (1.0 / u.powf(1.0 / spec.tail_alpha)).min(10_000.0);
+                Flow {
+                    src_ip: rng.gen::<u32>() | 0x0A00_0000,
+                    dst_ip: rng.gen::<u32>() | 0xC0A8_0000,
+                    src_port: rng.gen_range(1024..65535),
+                    dst_port: app.0,
+                    proto: app.1,
+                    weight,
+                    seq: 0,
+                }
+            })
+            .collect();
+        let weight_sum: f64 = flows.iter().map(|f| f.weight).sum();
+
+        // Assign packets to flows proportional to weight, then shuffle
+        // lightly to interleave (stable-ish arrival order).
+        let mut assignment: Vec<usize> = Vec::with_capacity(spec.packets);
+        for (i, f) in flows.iter().enumerate() {
+            let n = ((f.weight / weight_sum) * spec.packets as f64).round() as usize;
+            assignment.extend(std::iter::repeat(i).take(n.max(1)));
+        }
+        assignment.truncate(spec.packets);
+        while assignment.len() < spec.packets {
+            assignment.push(rng.gen_range(0..flows.len()));
+        }
+        assignment.shuffle(&mut rng);
+
+        let mut packets = Vec::with_capacity(spec.packets);
+        for (n, &fi) in assignment.iter().enumerate() {
+            let payload_len = rng.gen_range(spec.payload_mean / 2..=spec.payload_mean * 2);
+            let mut payload = vec![0x61u8; payload_len];
+            // Sprinkle entropy so payload matching isn't trivial.
+            for _ in 0..payload_len / 16 {
+                let at = rng.gen_range(0..payload_len.max(1));
+                payload[at] = rng.gen();
+            }
+            if rng.gen_bool(spec.attack_fraction) {
+                let pat = ATTACK_PATTERNS[rng.gen_range(0..ATTACK_PATTERNS.len())];
+                let at = rng.gen_range(0..=payload_len.saturating_sub(pat.len()));
+                payload[at..at + pat.len()].copy_from_slice(pat);
+            }
+            let f = &mut flows[fi];
+            f.seq += 1;
+            packets.push(Packet {
+                ts_usec: (n as u64) * 50, // ~20K pps arrival clock
+                src_ip: f.src_ip,
+                dst_ip: f.dst_ip,
+                src_port: f.src_port,
+                dst_port: f.dst_port,
+                proto: f.proto,
+                flags: if f.proto == Proto::Tcp {
+                    if f.seq == 1 {
+                        0x02 // SYN
+                    } else {
+                        0x18 // PSH|ACK
+                    }
+                } else {
+                    0
+                },
+                payload,
+            });
+        }
+        SyntheticCapture {
+            packets,
+            flow_count: flows.len(),
+        }
+    }
+
+    /// Total payload bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.packets.iter().map(|p| p.wire_len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn capture() -> SyntheticCapture {
+        SyntheticCapture::generate(&CaptureSpec {
+            flows: 100,
+            packets: 5000,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn generates_requested_packet_count() {
+        let c = capture();
+        assert_eq!(c.packets.len(), 5000);
+        assert_eq!(c.flow_count, 100);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = capture().packets;
+        let b = capture().packets;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flow_sizes_are_heavy_tailed() {
+        let c = capture();
+        let mut by_flow: HashMap<_, usize> = HashMap::new();
+        for p in &c.packets {
+            *by_flow.entry(p.flow_key()).or_default() += 1;
+        }
+        let mut sizes: Vec<usize> = by_flow.values().copied().collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        // Top 10% of flows carry a majority of packets.
+        let top = sizes.len() / 10;
+        let top_sum: usize = sizes[..top.max(1)].iter().sum();
+        assert!(
+            top_sum * 2 > 5000,
+            "tail not heavy: top {top} flows carry {top_sum}/5000"
+        );
+    }
+
+    #[test]
+    fn protocol_mix_present() {
+        let c = capture();
+        let tcp = c.packets.iter().filter(|p| p.proto == Proto::Tcp).count();
+        let udp = c.packets.iter().filter(|p| p.proto == Proto::Udp).count();
+        let icmp = c.packets.iter().filter(|p| p.proto == Proto::Icmp).count();
+        assert!(tcp > udp && udp > 0 && icmp > 0, "{tcp}/{udp}/{icmp}");
+    }
+
+    #[test]
+    fn some_attack_payloads_present() {
+        let c = SyntheticCapture::generate(&CaptureSpec {
+            flows: 50,
+            packets: 3000,
+            attack_fraction: 0.05,
+            ..Default::default()
+        });
+        let hits = c
+            .packets
+            .iter()
+            .filter(|p| {
+                ATTACK_PATTERNS
+                    .iter()
+                    .any(|pat| p.payload.windows(pat.len()).any(|w| &w == pat))
+            })
+            .count();
+        assert!(hits > 50, "attack payloads = {hits}");
+    }
+
+    #[test]
+    fn timestamps_monotone() {
+        let c = capture();
+        assert!(c.packets.windows(2).all(|w| w[0].ts_usec <= w[1].ts_usec));
+        assert!(c.total_bytes() > 5000 * 40);
+    }
+}

@@ -1,0 +1,34 @@
+//! # mini-suricata — the network-monitoring substrate
+//!
+//! The paper's third target is **Suricata v6.0.3**, "one of the three
+//! foremost systems used for network security monitoring", which
+//! "implements a graph-based abstraction for packet handling, reminiscent
+//! of Click" (§2). The experiments (a) checkpoint Suricata's state and
+//! resume after crashes (availability + diagnostics) and (b) reuse the
+//! Redis key-sharding logic to steer packets to back-end instances by
+//! 5-tuple hash (flow-level resourcing).
+//!
+//! This crate is a from-scratch packet-analysis engine exercising those
+//! paths:
+//!
+//! * [`packet`] — packets, 5-tuples and flow keys, including the
+//!   csaw-serial schema (the paper's generated packet serializer was
+//!   2380 LoC — the biggest row of the Table-2 serialization study);
+//! * [`capture`] — a synthetic **bigFlows.pcap analog**: a multi-protocol
+//!   mix of flows with heavy-tailed sizes and realistic port/endpoint
+//!   structure;
+//! * [`engine`] — the graph-based pipeline: decode → flow-track →
+//!   detect → output, with a pattern/threshold rule set and full
+//!   flow-table checkpointing;
+//! * [`apps`] — `InstanceApp` adapters plugging the engine into the
+//!   shared `csaw-arch` architectures (the reusability claim: the same
+//!   DSL expressions drive Redis and Suricata).
+
+pub mod apps;
+pub mod capture;
+pub mod engine;
+pub mod packet;
+
+pub use capture::{CaptureSpec, SyntheticCapture};
+pub use engine::{Alert, Engine, Rule};
+pub use packet::{FlowKey, Packet, Proto};

@@ -1,0 +1,55 @@
+//! Remote auditing (§2 use-cases ②/③, the cURL BYOD scenario): a
+//! download client's state is captured at the end of each invocation and
+//! logged to a remote auditor whose records survive independently —
+//! here across a real TCP loopback channel (the "cross-VM" setting).
+//!
+//! Run with: `cargo run --example audited_transfer`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use csaw::arch::snapshot::{snapshot, SnapshotSpec};
+use csaw::core::program::LoadConfig;
+use csaw::core::value::Value;
+use csaw::curl::apps::{AuditorApp, CurlApp};
+use csaw::curl::LinkModel;
+use csaw::runtime::runtime::Policy;
+use csaw::runtime::{LinkKind, Runtime, RuntimeConfig};
+
+fn main() {
+    let spec = SnapshotSpec::default(); // Act (the client), Aud (the log)
+    let compiled = csaw::core::compile(snapshot(&spec), &LoadConfig::new()).unwrap();
+    let rt = Runtime::new(&compiled, RuntimeConfig::default());
+    // Audit records cross a real TCP socket: integrity via separation.
+    rt.set_link("Act", "Aud", LinkKind::Tcp);
+
+    let act = CurlApp::new(LinkModel::gigabit_scaled());
+    let jobs = Arc::clone(&act.jobs);
+    rt.bind_app("Act", Box::new(act));
+    let aud = AuditorApp::new();
+    let log = Arc::clone(&aud.log);
+    rt.bind_app("Aud", Box::new(aud));
+    rt.set_policy("Act", "junction", Policy::OnDemand);
+    rt.run_main(vec![Value::Duration(Duration::from_secs(5))]).unwrap();
+
+    // Three downloads; each invocation of Act's junction performs the
+    // transfer (H1) and pushes the captured state to the auditor.
+    for (url, mb) in [
+        ("http://files.example/tool.tar.gz", 2u64),
+        ("http://files.example/dataset.bin", 24),
+        ("http://files.example/notes.txt", 1),
+    ] {
+        jobs.lock().push((url.to_string(), mb * 1024 * 1024));
+        rt.invoke("Act", "junction").unwrap();
+    }
+
+    println!("audit log (remote, integrity-preserving):");
+    for record in log.lock().iter() {
+        println!(
+            "  inv {} | {:<36} | {:>9} bytes | checksum {:#018x}",
+            record.invocation, record.url, record.done, record.checksum
+        );
+    }
+    assert_eq!(log.lock().len(), 3);
+    rt.shutdown();
+}

@@ -1,0 +1,59 @@
+//! Caching (§7.2 / Fig. 7, the Redis performance scenario): a memoizing
+//! cache instance fronts a store instance; repeated hot reads are served
+//! without touching the back-end, writes invalidate.
+//!
+//! Run with: `cargo run --example cached_kv`
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use csaw::arch::caching::{caching, CachingSpec};
+use csaw::core::program::LoadConfig;
+use csaw::core::value::Value;
+use csaw::redis::apps::{CacheApp, ServerApp};
+use csaw::redis::Command;
+use csaw::runtime::runtime::Policy;
+use csaw::runtime::{Runtime, RuntimeConfig};
+
+fn main() {
+    let spec = CachingSpec::default(); // Cache + Fun instances
+    let compiled = csaw::core::compile(caching(&spec), &LoadConfig::new()).unwrap();
+    let rt = Runtime::new(&compiled, RuntimeConfig::default());
+
+    let cache = CacheApp::new(1024);
+    let requests = Arc::clone(&cache.requests);
+    let hits = Arc::clone(&cache.hits);
+    let misses = Arc::clone(&cache.misses);
+    rt.bind_app("Cache", Box::new(cache));
+    let fun = ServerApp::new();
+    let backend_calls = Arc::clone(&fun.handled);
+    let store = Arc::clone(&fun.store);
+    rt.bind_app("Fun", Box::new(fun));
+    rt.set_policy("Cache", "junction", Policy::OnDemand);
+    rt.run_main(vec![Value::Duration(Duration::from_secs(2))]).unwrap();
+
+    store.lock().set("config", b"v1".to_vec());
+
+    let send = |cmd: Command| {
+        requests.lock().push_back(cmd);
+        rt.invoke("Cache", "junction").unwrap();
+    };
+
+    // 5 hot reads: first misses, rest hit.
+    for _ in 0..5 {
+        send(Command::Get("config".into()));
+    }
+    // A write invalidates; the next read misses again.
+    send(Command::Set("config".into(), b"v2".to_vec()));
+    send(Command::Get("config".into()));
+
+    println!(
+        "hits = {}, misses = {}, back-end executions = {}",
+        hits.load(Ordering::Relaxed),
+        misses.load(Ordering::Relaxed),
+        backend_calls.load(Ordering::Relaxed),
+    );
+    assert_eq!(hits.load(Ordering::Relaxed), 4);
+    rt.shutdown();
+}

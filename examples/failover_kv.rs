@@ -1,0 +1,88 @@
+//! Fail-over (§7.3, the Redis availability scenario): a front-end
+//! replicates each request to two warm back-end stores; killing one
+//! mid-run demotes it and the system keeps answering; restarting it
+//! re-registers and resynchronizes it from the canonical state.
+//!
+//! Run with: `cargo run --example failover_kv`
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use csaw::arch::failover::{self, failover, FailoverSpec};
+use csaw::core::program::LoadConfig;
+use csaw::core::value::Value;
+use csaw::kv::Update;
+use csaw::redis::apps::{FailoverFrontApp, ServerApp};
+use csaw::redis::Command;
+use csaw::runtime::{Runtime, RuntimeConfig};
+
+fn wait_until(timeout: Duration, mut f: impl FnMut() -> bool) {
+    let deadline = Instant::now() + timeout;
+    while !f() {
+        assert!(Instant::now() < deadline, "timed out");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn main() {
+    let spec = FailoverSpec::default(); // front-end `f`, back-ends b1, b2
+    let compiled = csaw::core::compile(failover(&spec), &LoadConfig::new()).unwrap();
+    let rt = Runtime::new(&compiled, RuntimeConfig::default());
+
+    let front = FailoverFrontApp::new();
+    let requests = Arc::clone(&front.requests);
+    let replies = Arc::clone(&front.replies);
+    rt.bind_app("f", Box::new(front));
+    let mut stores = Vec::new();
+    for name in ["b1", "b2"] {
+        let app = ServerApp::new();
+        stores.push(Arc::clone(&app.store));
+        rt.bind_app(name, Box::new(app));
+    }
+    let t = Duration::from_millis(400);
+    failover::configure_policies(&rt, &spec, t);
+    rt.run_main(vec![Value::Duration(t)]).unwrap();
+
+    // Wait for the Starting phase (back-end registration, Fig. 8 ①②).
+    wait_until(Duration::from_secs(5), || {
+        rt.peek_prop("f", "c", "Starting") == Some(false)
+    });
+    println!("registered: Backend[b1::serve] and Backend[b2::serve] at f::c");
+
+    let mut sent = 0usize;
+    let mut request = |cmd: Command| {
+        requests.lock().push_back(cmd);
+        rt.deliver_for_test("f", "c", Update::assert("Req", "client"));
+        sent += 1;
+        let expect = sent;
+        wait_until(Duration::from_secs(10), || replies.lock().len() >= expect);
+    };
+
+    request(Command::Set("account:1".into(), b"100".to_vec()));
+    println!(
+        "after SET: b1 has key = {}, b2 has key = {} (warm replication)",
+        stores[0].lock().exists("account:1"),
+        stores[1].lock().exists("account:1")
+    );
+
+    println!("crashing b1…");
+    rt.crash("b1");
+    request(Command::Incr("account:1".into()));
+    println!(
+        "system survived: reply = {:?}, Backend[b1::serve] demoted = {}",
+        replies.lock().back(),
+        rt.peek_prop("f", "c", "Backend[b1::serve]") == Some(false)
+    );
+
+    println!("restarting b1…");
+    rt.restart("b1").unwrap();
+    wait_until(Duration::from_secs(10), || {
+        rt.peek_prop("f", "c", "Backend[b1::serve]") == Some(true)
+    });
+    request(Command::Get("account:1".into()));
+    println!(
+        "b1 resynchronized: value on b1 = {:?}",
+        stores[0].lock().get("account:1").map(|v| String::from_utf8_lossy(v).into_owned())
+    );
+    rt.shutdown();
+}

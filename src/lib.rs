@@ -1,0 +1,51 @@
+//! # csaw — C-Saw in Rust
+//!
+//! A from-scratch Rust reproduction of *"A Domain-Specific Language for
+//! Reconfigurable, Distributed Software Architecture"* (Zhu, Zhao,
+//! Sultana; IPPS 2023 / IJNC 14(1), 2024): an embedded DSL that expresses
+//! a program's **architecture** — fail-over, sharding, caching,
+//! checkpointing, remote auditing — as coordination over distributed
+//! key-value tables, decoupled from the application logic it organizes.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`core`] — the DSL: syntax, builders, validation, template expansion;
+//! * [`kv`] — junction KV tables with the paper's update semantics;
+//! * [`serial`] — the C-strider-analog serialization framework (§9);
+//! * [`runtime`] — the libcompart-analog runtime + DSL interpreter;
+//! * [`semantics`] — event-structure denotational semantics (§8);
+//! * [`arch`] — the architecture catalogue (§5/§7): snapshots, sharding,
+//!   parallel sharding, caching, fail-over, watched fail-over,
+//!   checkpointing;
+//! * [`redis`] / [`curl`] / [`suricata`] — the substrate applications the
+//!   evaluation re-architects.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use csaw::core::builder::fig3_program;
+//! use csaw::core::program::LoadConfig;
+//! use csaw::runtime::{Runtime, RuntimeConfig};
+//!
+//! // Compile the paper's Fig. 3 program (`H1;H2` split across two
+//! // coordinated instances) and run it.
+//! let compiled = csaw::core::compile(fig3_program(), &LoadConfig::new()).unwrap();
+//! let rt = Runtime::new(&compiled, RuntimeConfig::default());
+//! rt.run_main(vec![]).unwrap();
+//! // … bind apps, invoke junctions, inspect state …
+//! rt.shutdown();
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/bench` for the
+//! harness that regenerates every table and figure of the paper's
+//! evaluation.
+
+pub use csaw_arch as arch;
+pub use csaw_core as core;
+pub use csaw_kv as kv;
+pub use csaw_runtime as runtime;
+pub use csaw_semantics as semantics;
+pub use csaw_serial as serial;
+pub use mini_curl as curl;
+pub use mini_redis as redis;
+pub use mini_suricata as suricata;

@@ -1,0 +1,317 @@
+//! Property-based tests on the core invariants, spanning crates.
+
+use csaw::core::formula::{Dnf, DnfLit, Formula, Ternary};
+use csaw::core::names::JRef;
+use csaw::kv::{Table, Update};
+use csaw::serial::{decode, encode, CodecConfig, HeapValue, Prim, Registry, TypeDesc};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Formulas: DNF preserves truth under every assignment
+// ---------------------------------------------------------------------
+
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        Just(Formula::False),
+        Just(Formula::True),
+        (0..4u8).prop_map(|i| Formula::prop(format!("P{i}"))),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| f.not()),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner).prop_map(|(a, b)| a.implies(b)),
+        ]
+    })
+}
+
+fn eval_bool(f: &Formula, assignment: &[bool; 4]) -> bool {
+    let local = |k: &str| {
+        k.strip_prefix('P')
+            .and_then(|i| i.parse::<usize>().ok())
+            .map(|i| assignment[i])
+    };
+    let remote = |_: &JRef, _: &str| Ternary::Unknown;
+    let sub = |_: &str, _: &str| Ternary::Unknown;
+    f.eval(&local, &remote, &sub) == Ternary::True
+}
+
+fn eval_dnf(d: &Dnf, assignment: &[bool; 4]) -> bool {
+    d.clauses.iter().any(|clause| {
+        clause.iter().all(|lit| match lit {
+            DnfLit::Prop(k, want) => {
+                let i: usize = k[1..].parse().unwrap();
+                assignment[i] == *want
+            }
+            _ => false,
+        })
+    })
+}
+
+proptest! {
+    /// The §8.3 DNF decomposition is truth-preserving.
+    #[test]
+    fn dnf_preserves_truth(f in arb_formula(), bits in 0u8..16) {
+        let assignment = [
+            bits & 1 != 0,
+            bits & 2 != 0,
+            bits & 4 != 0,
+            bits & 8 != 0,
+        ];
+        let direct = eval_bool(&f, &assignment);
+        let via_dnf = eval_dnf(&f.dnf(), &assignment);
+        prop_assert_eq!(direct, via_dnf, "formula {} under {:?}", f, assignment);
+    }
+
+    /// Double negation and De Morgan hold through DNF.
+    #[test]
+    fn dnf_double_negation(f in arb_formula(), bits in 0u8..16) {
+        let assignment = [
+            bits & 1 != 0,
+            bits & 2 != 0,
+            bits & 4 != 0,
+            bits & 8 != 0,
+        ];
+        let nn = f.clone().not().not();
+        prop_assert_eq!(eval_dnf(&f.dnf(), &assignment), eval_dnf(&nn.dnf(), &assignment));
+    }
+}
+
+// ---------------------------------------------------------------------
+// KV tables: update-queue semantics
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum TableOp {
+    Deliver(u8, bool),
+    LocalWrite(u8, bool),
+    BeginEnd,
+    Keep(u8),
+    Flush,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<TableOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..3u8, any::<bool>()).prop_map(|(k, v)| TableOp::Deliver(k, v)),
+            (0..3u8, any::<bool>()).prop_map(|(k, v)| TableOp::LocalWrite(k, v)),
+            Just(TableOp::BeginEnd),
+            (0..3u8).prop_map(TableOp::Keep),
+            Just(TableOp::Flush),
+        ],
+        0..40,
+    )
+}
+
+proptest! {
+    /// Whatever the op sequence: declared keys never disappear, reads
+    /// never panic, and a final flush empties the pending queue.
+    #[test]
+    fn table_is_robust_under_op_sequences(ops in arb_ops()) {
+        let mut t = Table::new();
+        for k in 0..3u8 {
+            t.declare_prop(format!("P{k}"), false);
+        }
+        for op in &ops {
+            match op {
+                TableOp::Deliver(k, v) => {
+                    let key = format!("P{k}");
+                    let u = if *v { Update::assert(key, "x") } else { Update::retract(key, "x") };
+                    t.deliver(u);
+                }
+                TableOp::LocalWrite(k, v) => {
+                    t.set_prop_local(&format!("P{k}"), *v).unwrap();
+                }
+                TableOp::BeginEnd => {
+                    t.begin_activation();
+                    t.end_activation();
+                }
+                TableOp::Keep(k) => t.keep(&[format!("P{k}")]),
+                TableOp::Flush => t.flush_pending(),
+            }
+            for k in 0..3u8 {
+                let key = format!("P{k}");
+                prop_assert!(t.prop(&key).is_some());
+            }
+        }
+        t.flush_pending();
+        prop_assert_eq!(t.pending_len(), 0);
+    }
+
+    /// An idle junction eventually observes the last delivered value
+    /// (updates apply in arrival order at the next scheduling).
+    #[test]
+    fn last_delivery_wins_when_idle(values in prop::collection::vec(any::<bool>(), 1..20)) {
+        let mut t = Table::new();
+        t.declare_prop("P", false);
+        for v in &values {
+            let u = if *v { Update::assert("P", "x") } else { Update::retract("P", "x") };
+            t.deliver(u);
+        }
+        t.begin_activation();
+        prop_assert_eq!(t.prop("P"), Some(*values.last().unwrap()));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialization: schema-directed round trips
+// ---------------------------------------------------------------------
+
+fn arb_flat_schema_and_value() -> impl Strategy<Value = (TypeDesc, HeapValue)> {
+    let field = prop_oneof![
+        any::<i64>().prop_map(|v| (TypeDesc::Prim(Prim::I64), HeapValue::Int(v))),
+        any::<u32>().prop_map(|v| (TypeDesc::Prim(Prim::U32), HeapValue::UInt(v as u64))),
+        any::<bool>().prop_map(|v| (TypeDesc::Prim(Prim::Bool), HeapValue::Bool(v))),
+        "[a-z]{0,12}".prop_map(|s| {
+            (TypeDesc::CString { max_len: 64 }, HeapValue::CString(s))
+        }),
+        prop::collection::vec(any::<u8>(), 0..48).prop_map(|b| {
+            (TypeDesc::Blob { max_len: 64 }, HeapValue::Blob(b))
+        }),
+    ];
+    prop::collection::vec(field, 1..8).prop_map(|fields| {
+        let (types, values): (Vec<_>, Vec<_>) = fields.into_iter().unzip();
+        let ty = TypeDesc::Struct {
+            name: "t".into(),
+            fields: types
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| (format!("f{i}"), t))
+                .collect(),
+        };
+        (ty, HeapValue::Struct(values))
+    })
+}
+
+proptest! {
+    /// encode ∘ decode = id for arbitrary flat structs.
+    #[test]
+    fn serial_round_trips((ty, value) in arb_flat_schema_and_value()) {
+        let reg = Registry::new();
+        let cfg = CodecConfig::default();
+        let bytes = encode(&value, &ty, &reg, &cfg).unwrap();
+        let back = decode(&bytes, &ty, &reg, &cfg).unwrap();
+        prop_assert_eq!(back, value);
+    }
+
+    /// Linked lists of arbitrary length round-trip (within depth).
+    #[test]
+    fn serial_list_round_trips(values in prop::collection::vec(any::<i64>(), 0..64)) {
+        let mut reg = Registry::new();
+        reg.register_list_node("node", TypeDesc::Prim(Prim::I64));
+        let ty = TypeDesc::ptr(TypeDesc::Named("node".into()));
+        let cfg = CodecConfig { max_depth: 128, max_bytes: 1 << 20 };
+        let list = HeapValue::list_from(values.iter().copied().map(HeapValue::Int));
+        let bytes = encode(&list, &ty, &reg, &cfg).unwrap();
+        let back = decode(&bytes, &ty, &reg, &cfg).unwrap();
+        let got: Vec<i64> = back
+            .list_values()
+            .iter()
+            .map(|v| match v {
+                HeapValue::Int(i) => *i,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        prop_assert_eq!(got, values);
+    }
+
+    /// Decoding never panics on arbitrary bytes (errors are Errs).
+    #[test]
+    fn serial_decode_handles_garbage(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        let mut reg = Registry::new();
+        reg.register_list_node("node", TypeDesc::Prim(Prim::I64));
+        for ty in [
+            TypeDesc::Prim(Prim::I32),
+            TypeDesc::CString { max_len: 16 },
+            TypeDesc::ptr(TypeDesc::Named("node".into())),
+        ] {
+            let _ = decode(&bytes, &ty, &reg, &CodecConfig::default());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Substrate protocols
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Redis commands round-trip for arbitrary keys and binary values.
+    #[test]
+    fn command_round_trips(key in "[ -~]{0,32}", value in prop::collection::vec(any::<u8>(), 0..256)) {
+        use csaw::redis::Command;
+        for cmd in [
+            Command::Get(key.clone()),
+            Command::Set(key.clone(), value.clone()),
+            Command::Append(key.clone(), value.clone()),
+            Command::Del(key.clone()),
+        ] {
+            prop_assert_eq!(Command::decode(&cmd.encode()).unwrap(), cmd);
+        }
+    }
+
+    /// Packets round-trip for arbitrary headers and payloads.
+    #[test]
+    fn packet_round_trips(
+        ts in any::<u64>(),
+        src_ip in any::<u32>(),
+        dst_ip in any::<u32>(),
+        src_port in any::<u16>(),
+        dst_port in any::<u16>(),
+        proto_pick in 0..3usize,
+        flags in any::<u8>(),
+        payload in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        use csaw::suricata::{Packet, Proto};
+        let p = Packet {
+            ts_usec: ts,
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto: [Proto::Tcp, Proto::Udp, Proto::Icmp][proto_pick],
+            flags,
+            payload,
+        };
+        prop_assert_eq!(Packet::decode(&p.encode()).unwrap(), p);
+    }
+
+    /// Store checkpoints round-trip for arbitrary contents.
+    #[test]
+    fn store_checkpoint_round_trips(
+        entries in prop::collection::btree_map("[a-z]{1,8}", prop::collection::vec(any::<u8>(), 0..64), 0..20)
+    ) {
+        let mut s = csaw::redis::Store::new();
+        for (k, v) in &entries {
+            s.set(k, v.clone());
+        }
+        let blob = s.checkpoint().unwrap();
+        let mut s2 = csaw::redis::Store::new();
+        s2.restore(&blob).unwrap();
+        prop_assert_eq!(s, s2);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Event structures: validity of denoted programs
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Every architecture in the catalogue denotes to a *valid* event
+    /// structure (conflict irreflexivity under inheritance), for varying
+    /// back-end counts.
+    #[test]
+    fn architectures_denote_validly(n in 1..5usize) {
+        use csaw::arch::sharding::{sharding, ShardingSpec};
+        use csaw::core::program::LoadConfig;
+        use csaw::semantics::{denote_program, DenoteConfig};
+        let p = sharding(&ShardingSpec { n_backends: n, ..Default::default() });
+        let cp = csaw::core::compile(p, &LoadConfig::new()).unwrap();
+        let sem = denote_program(&cp, &DenoteConfig::default());
+        prop_assert!(sem.startup.is_valid());
+        for (name, es) in &sem.junctions {
+            prop_assert!(es.is_valid(), "junction {} invalid", name);
+            prop_assert!(!es.is_empty(), "junction {} empty", name);
+        }
+    }
+}
