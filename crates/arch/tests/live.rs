@@ -408,6 +408,7 @@ impl InstanceApp for FoBack {
     }
 }
 
+#[allow(clippy::type_complexity)] // test fixture bundle
 fn failover_runtime(
     t: Duration,
 ) -> (Runtime, Arc<Mutex<Vec<i64>>>, Arc<Mutex<Vec<i64>>>, Vec<Arc<AtomicU64>>) {

@@ -1,66 +1,83 @@
-//! Criterion micro-benchmarks for the C-Saw building blocks: KV-table
-//! operations, formula evaluation/DNF, serialization, the command
-//! protocol, the detection engine, and a full DSL round-trip through the
-//! sharding architecture.
+//! Micro-benchmarks for the C-Saw building blocks: KV-table operations,
+//! formula evaluation/DNF, serialization, the command protocol, the
+//! detection engine, and a full DSL round-trip through the sharding
+//! architecture.
+//!
+//! Plain timing harness (the offline build has no criterion): each
+//! benchmark is warmed up, then timed over a fixed iteration budget and
+//! reported as ns/iter.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use csaw_core::formula::Formula;
 use csaw_core::program::LoadConfig;
 use csaw_core::value::Value;
 use csaw_kv::{Table, Update};
 use csaw_serial::{decode, encode, CodecConfig, HeapValue, Prim, Registry, TypeDesc};
 
-fn bench_kv_table(c: &mut Criterion) {
-    let mut g = c.benchmark_group("kv_table");
-    g.bench_function("deliver_flush", |b| {
-        let mut t = Table::new();
-        t.declare_prop("Work", false);
-        t.declare_data("n");
-        b.iter(|| {
-            t.deliver(Update::assert("Work", "x"));
-            t.deliver(Update::data("n", Value::Int(1), "x"));
-            t.begin_activation();
-            t.end_activation();
-        })
-    });
-    g.bench_function("local_write", |b| {
-        let mut t = Table::new();
-        t.declare_prop("Work", false);
-        b.iter(|| t.set_prop_local("Work", true).unwrap())
-    });
-    g.bench_function("window_delivery", |b| {
-        let mut t = Table::new();
-        t.declare_prop("Work", false);
-        t.begin_activation();
-        b.iter(|| {
-            let w = t.open_window(vec!["Work".to_string()]);
-            t.deliver(Update::assert("Work", "x"));
-            t.close_window(w);
-        })
-    });
-    g.finish();
+/// Run `f` until ~100ms of wall clock is spent (after a short warm-up)
+/// and print the mean time per iteration.
+fn bench(name: &str, mut f: impl FnMut()) {
+    for _ in 0..16 {
+        f();
+    }
+    let budget = Duration::from_millis(100);
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < budget {
+        for _ in 0..16 {
+            f();
+        }
+        iters += 16;
+    }
+    let per = start.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{name:<40} {per:>12.1} ns/iter  ({iters} iters)");
 }
 
-fn bench_formula(c: &mut Criterion) {
-    let mut g = c.benchmark_group("formula");
+fn bench_kv_table() {
+    let mut t = Table::new();
+    t.declare_prop("Work", false);
+    t.declare_data("n");
+    bench("kv_table/deliver_flush", || {
+        t.deliver(Update::assert("Work", "x"));
+        t.deliver(Update::data("n", Value::Int(1), "x"));
+        t.begin_activation();
+        t.end_activation();
+    });
+
+    let mut t = Table::new();
+    t.declare_prop("Work", false);
+    bench("kv_table/local_write", || {
+        t.set_prop_local("Work", true).unwrap();
+    });
+
+    let mut t = Table::new();
+    t.declare_prop("Work", false);
+    t.begin_activation();
+    bench("kv_table/window_delivery", || {
+        let w = t.open_window(vec!["Work".to_string()]);
+        t.deliver(Update::assert("Work", "x"));
+        t.close_window(w);
+    });
+}
+
+fn bench_formula() {
     let f = Formula::prop("A")
         .and(Formula::prop("B").or(Formula::prop("C").not()))
         .implies(Formula::prop("D"));
-    g.bench_function("eval", |b| {
-        let local = |k: &str| Some(k == "A" || k == "D");
-        let remote = |_: &csaw_core::names::JRef, _: &str| csaw_core::formula::Ternary::Unknown;
-        let sub = |_: &str, _: &str| csaw_core::formula::Ternary::Unknown;
-        b.iter(|| f.eval(&local, &remote, &sub))
+    let local = |k: &str| Some(k == "A" || k == "D");
+    let remote = |_: &csaw_core::names::JRef, _: &str| csaw_core::formula::Ternary::Unknown;
+    let sub = |_: &str, _: &str| csaw_core::formula::Ternary::Unknown;
+    bench("formula/eval", || {
+        std::hint::black_box(f.eval(&local, &remote, &sub));
     });
-    g.bench_function("dnf", |b| b.iter(|| f.dnf()));
-    g.finish();
+    bench("formula/dnf", || {
+        std::hint::black_box(f.dnf());
+    });
 }
 
-fn bench_serial(c: &mut Criterion) {
-    let mut g = c.benchmark_group("serial");
+fn bench_serial() {
     let mut reg = Registry::new();
     reg.register_list_node("node", TypeDesc::Prim(Prim::I64));
     let ty = TypeDesc::ptr(TypeDesc::Named("node".into()));
@@ -68,62 +85,57 @@ fn bench_serial(c: &mut Criterion) {
     for n in [16usize, 256, 2048] {
         let list = HeapValue::list_from((0..n as i64).map(HeapValue::Int));
         let bytes = encode(&list, &ty, &reg, &cfg).unwrap();
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_function(format!("encode_list_{n}"), |b| {
-            b.iter(|| encode(&list, &ty, &reg, &cfg).unwrap())
+        bench(&format!("serial/encode_list_{n}"), || {
+            std::hint::black_box(encode(&list, &ty, &reg, &cfg).unwrap());
         });
-        g.bench_function(format!("decode_list_{n}"), |b| {
-            b.iter(|| decode(&bytes, &ty, &reg, &cfg).unwrap())
+        bench(&format!("serial/decode_list_{n}"), || {
+            std::hint::black_box(decode(&bytes, &ty, &reg, &cfg).unwrap());
         });
     }
-    g.finish();
 }
 
-fn bench_redis(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mini_redis");
-    g.bench_function("command_roundtrip", |b| {
-        let cmd = mini_redis::Command::Set("user:12345".into(), vec![7; 128]);
-        b.iter(|| mini_redis::Command::decode(&cmd.encode()).unwrap())
+fn bench_redis() {
+    let cmd = mini_redis::Command::Set("user:12345".into(), vec![7; 128]);
+    bench("mini_redis/command_roundtrip", || {
+        std::hint::black_box(mini_redis::Command::decode(&cmd.encode()).unwrap());
     });
-    g.bench_function("store_set_get", |b| {
-        let mut s = mini_redis::Store::new();
-        let mut i = 0u64;
-        b.iter(|| {
-            let k = format!("k{}", i % 1000);
-            i += 1;
-            s.set(&k, vec![1; 64]);
-            s.get(&k).map(|v| v.len())
-        })
+
+    let mut s = mini_redis::Store::new();
+    let mut i = 0u64;
+    bench("mini_redis/store_set_get", || {
+        let k = format!("k{}", i % 1000);
+        i += 1;
+        s.set(&k, vec![1; 64]);
+        std::hint::black_box(s.get(&k).map(|v| v.len()));
     });
-    g.bench_function("djb2", |b| b.iter(|| mini_redis::hash::djb2("user:12345:profile")));
-    g.finish();
+
+    bench("mini_redis/djb2", || {
+        std::hint::black_box(mini_redis::hash::djb2("user:12345:profile"));
+    });
 }
 
-fn bench_suricata(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mini_suricata");
+fn bench_suricata() {
     let cap = mini_suricata::SyntheticCapture::generate(&mini_suricata::CaptureSpec {
         flows: 200,
         packets: 4096,
         ..Default::default()
     });
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("engine_process", |b| {
-        let mut engine = mini_suricata::Engine::new();
-        let mut i = 0usize;
-        b.iter(|| {
-            let p = &cap.packets[i % cap.packets.len()];
-            i += 1;
-            engine.process(p).len()
-        })
+
+    let mut engine = mini_suricata::Engine::new();
+    let mut i = 0usize;
+    bench("mini_suricata/engine_process", || {
+        let p = &cap.packets[i % cap.packets.len()];
+        i += 1;
+        std::hint::black_box(engine.process(p).len());
     });
-    g.bench_function("packet_roundtrip", |b| {
-        let p = &cap.packets[0];
-        b.iter(|| mini_suricata::Packet::decode(&p.encode()).unwrap())
+
+    let p = &cap.packets[0];
+    bench("mini_suricata/packet_roundtrip", || {
+        std::hint::black_box(mini_suricata::Packet::decode(&p.encode()).unwrap());
     });
-    g.finish();
 }
 
-fn bench_dsl_roundtrip(c: &mut Criterion) {
+fn bench_dsl_roundtrip() {
     // Full request path through the compiled sharding architecture —
     // the per-request overhead the §10.3 figures measure.
     use csaw_runtime::runtime::Policy;
@@ -143,53 +155,37 @@ fn bench_dsl_roundtrip(c: &mut Criterion) {
     rt.set_policy("Fnt", "junction", Policy::OnDemand);
     rt.run_main(vec![Value::Duration(Duration::from_secs(5))]).unwrap();
 
-    let mut g = c.benchmark_group("dsl_roundtrip");
-    g.bench_function("sharded_set", |b| {
-        let mut i = 0u64;
-        b.iter_batched(
-            || {
-                i += 1;
-                mini_redis::Command::Set(format!("k{i}"), vec![1; 64])
-            },
-            |cmd| {
-                requests.lock().push_back(cmd);
-                rt.invoke("Fnt", "junction").unwrap();
-                replies.lock().pop_front()
-            },
-            BatchSize::SmallInput,
-        )
+    let mut i = 0u64;
+    bench("dsl_roundtrip/sharded_set", || {
+        i += 1;
+        let cmd = mini_redis::Command::Set(format!("k{i}"), vec![1; 64]);
+        requests.lock().push_back(cmd);
+        rt.invoke("Fnt", "junction").unwrap();
+        std::hint::black_box(replies.lock().pop_front());
     });
-    g.finish();
     rt.shutdown();
 }
 
-fn bench_compile(c: &mut Criterion) {
-    let mut g = c.benchmark_group("compile");
-    g.bench_function("failover_2_backends", |b| {
-        b.iter(|| {
-            let p = csaw_arch::failover::failover(&csaw_arch::failover::FailoverSpec::default());
-            csaw_core::compile(p, &LoadConfig::new()).unwrap()
-        })
+fn bench_compile() {
+    bench("compile/failover_2_backends", || {
+        let p = csaw_arch::failover::failover(&csaw_arch::failover::FailoverSpec::default());
+        std::hint::black_box(csaw_core::compile(p, &LoadConfig::new()).unwrap());
     });
-    g.bench_function("sharding_8_backends", |b| {
-        b.iter(|| {
-            let p = csaw_arch::sharding::sharding(&csaw_arch::sharding::ShardingSpec {
-                n_backends: 8,
-                ..Default::default()
-            });
-            csaw_core::compile(p, &LoadConfig::new()).unwrap()
-        })
+    bench("compile/sharding_8_backends", || {
+        let p = csaw_arch::sharding::sharding(&csaw_arch::sharding::ShardingSpec {
+            n_backends: 8,
+            ..Default::default()
+        });
+        std::hint::black_box(csaw_core::compile(p, &LoadConfig::new()).unwrap());
     });
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(500))
-        .sample_size(30);
-    targets = bench_kv_table, bench_formula, bench_serial, bench_redis,
-        bench_suricata, bench_dsl_roundtrip, bench_compile
+fn main() {
+    bench_kv_table();
+    bench_formula();
+    bench_serial();
+    bench_redis();
+    bench_suricata();
+    bench_dsl_roundtrip();
+    bench_compile();
 }
-criterion_main!(benches);

@@ -1,8 +1,24 @@
 //! Runs the DESIGN.md ablations: transports, serializer depth cap,
-//! fail-over designs, parallel-vs-sequential fan-out.
+//! fail-over designs, parallel-vs-sequential fan-out, and fault
+//! tolerance (drop-rate sweep with the reliability layer on vs off).
+//! With arguments, runs only the named ablations (e.g.
+//! `ablations fault_tolerance`).
 fn main() {
-    csaw_bench::ablations::transports(2000).finish();
-    csaw_bench::ablations::serializer_depth().finish();
-    csaw_bench::ablations::failover_designs(30).finish();
-    csaw_bench::ablations::fanout(6, 30, 10).finish();
+    let only: Vec<String> = std::env::args().skip(1).collect();
+    let wanted = |name: &str| only.is_empty() || only.iter().any(|a| a == name);
+    if wanted("transports") {
+        csaw_bench::ablations::transports(2000).finish();
+    }
+    if wanted("serializer_depth") {
+        csaw_bench::ablations::serializer_depth().finish();
+    }
+    if wanted("failover_designs") {
+        csaw_bench::ablations::failover_designs(30).finish();
+    }
+    if wanted("fanout") {
+        csaw_bench::ablations::fanout(6, 30, 10).finish();
+    }
+    if wanted("fault_tolerance") {
+        csaw_bench::ablations::fault_tolerance(16).finish();
+    }
 }

@@ -302,7 +302,7 @@ fn latency_cdf(ops: usize, reads: bool) -> Vec<(String, Latencies)> {
             let t0 = Instant::now();
             let _ = cmd.execute(&mut store.lock());
             let dt = t0.elapsed();
-            if i % 97 == 0 && lat.len() < ops * 4 {
+            if i.is_multiple_of(97) && lat.len() < ops * 4 {
                 lat.record(dt);
             }
             i += 1;
@@ -335,7 +335,7 @@ fn latency_cdf(ops: usize, reads: bool) -> Vec<(String, Latencies)> {
             let _ = cmd.execute(&mut store.lock());
             let dt = t0.elapsed();
             // Keep every slow sample (the tail) plus a uniform subsample.
-            if dt > Duration::from_micros(100) || (i % 97 == 0 && lat.len() < ops * 4) {
+            if dt > Duration::from_micros(100) || (i.is_multiple_of(97) && lat.len() < ops * 4) {
                 lat.record(dt);
             }
             i += 1;
@@ -388,7 +388,7 @@ fn cdf_report(id: &str, title: &str, ops: usize, reads: bool) -> Report {
     let mut report = Report::new(id, title);
     for (name, lat) in latency_cdf(ops, reads) {
         report.series(&name, "latency (ms)", "cumulative probability", {
-            lat.cdf(100).into_iter().map(|(x, y)| (x, y)).collect()
+            lat.cdf(100)
         });
         if let (Some(p50), Some(p99)) = (lat.quantile(0.5), lat.quantile(0.99)) {
             report.note(&format!("{name}_p50_us"), p50.as_micros() as f64);

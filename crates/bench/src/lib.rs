@@ -14,13 +14,15 @@
 //! | [`exp_suricata`] | Figs. 24a/24b/24c |
 //! | [`exp_curl`] | Figs. 25a/25b, 26a |
 //! | [`exp_loc`] | Table 2 |
-//! | [`ablations`] | DESIGN.md ablations (transports, fail-over designs, serializer depth, fan-out) |
+//! | [`ablations`] | DESIGN.md ablations (transports, fail-over designs, serializer depth, fan-out, fault tolerance) |
+//! | [`chaos`] | chaos soak: fault-injected fail-over invariants |
 //!
 //! Experiment durations are time-compressed relative to the paper's 120s
 //! runs; scale with `--seconds <n>` on each binary or the
 //! `CSAW_EXP_SECONDS` environment variable.
 
 pub mod ablations;
+pub mod chaos;
 pub mod exp_curl;
 pub mod exp_loc;
 pub mod exp_redis;

@@ -3,11 +3,9 @@
 use std::fs;
 use std::path::PathBuf;
 
-use serde::Serialize;
-
 /// A generic experiment result: named series of (x, y) points plus
 /// free-form annotations (crash times, checkpoint times, totals…).
-#[derive(Debug, Default, Serialize)]
+#[derive(Debug, Default)]
 pub struct Report {
     /// Experiment id (e.g. `fig23a`).
     pub id: String,
@@ -22,7 +20,7 @@ pub struct Report {
 }
 
 /// One named series.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Series {
     /// Label (e.g. `Shard 1`).
     pub name: String,
@@ -95,13 +93,67 @@ impl Report {
         }
     }
 
+    /// Render the report as pretty-printed JSON. Serialization is
+    /// hand-rolled (the offline build has no serde); the schema matches
+    /// what `#[derive(Serialize)]` produced: `notes` as `[key, value]`
+    /// pairs and `points` as `[x, y]` pairs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"id\": {},\n", json_str(&self.id)));
+        out.push_str(&format!("  \"title\": {},\n", json_str(&self.title)));
+        out.push_str("  \"series\": [");
+        for (i, s) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            out.push_str(&format!("      \"name\": {},\n", json_str(&s.name)));
+            out.push_str(&format!("      \"x\": {},\n", json_str(&s.x)));
+            out.push_str(&format!("      \"y\": {},\n", json_str(&s.y)));
+            out.push_str("      \"points\": [");
+            for (j, (x, y)) in s.points.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{}, {}]", json_num(*x), json_num(*y)));
+            }
+            out.push_str("]\n    }");
+        }
+        if !self.series.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"notes\": [");
+        for (i, (k, v)) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    [{}, {}]", json_str(k), json_num(*v)));
+        }
+        if !self.notes.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"remarks\": [");
+        for (i, r) in self.remarks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}", json_str(r)));
+        }
+        if !self.remarks.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
     /// Write JSON under `results/<id>.json` (repo root if run from
     /// there; otherwise relative to the current directory).
     pub fn write_json(&self) -> std::io::Result<PathBuf> {
         let dir = PathBuf::from("results");
         fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{}.json", self.id));
-        fs::write(&path, serde_json::to_vec_pretty(self).expect("serialize report"))?;
+        fs::write(&path, self.to_json())?;
         Ok(path)
     }
 
@@ -112,6 +164,34 @@ impl Report {
             Ok(p) => println!("[written {}]", p.display()),
             Err(e) => eprintln!("[could not write results: {e}]"),
         }
+    }
+}
+
+/// JSON string literal with escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number (JSON has no NaN/Infinity; emit null like serde_json).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
     }
 }
 
@@ -127,7 +207,16 @@ mod tests {
             .remark("hello");
         assert_eq!(r.series.len(), 1);
         assert_eq!(r.notes.len(), 1);
-        let json = serde_json::to_string(&r).unwrap();
+        let json = r.to_json();
         assert!(json.contains("figX"));
+        assert!(json.contains("[0, 1]"));
+        assert!(json.contains("[\"total\", 3]"));
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_num(f64::NAN), "null");
+        assert_eq!(json_num(2.5), "2.5");
     }
 }

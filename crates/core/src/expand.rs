@@ -588,7 +588,7 @@ fn expand_expr(ctx: &mut Ctx<'_>, e: &Expr) -> CoreResult<Expr> {
             let resolved: Vec<Arg> = args.iter().map(|a| subst_arg(ctx, a)).collect();
             let saved_subst = ctx.subst.clone();
             ctx.subst.clear();
-            for (p, a) in fdef.params.iter().zip(resolved.into_iter()) {
+            for (p, a) in fdef.params.iter().zip(resolved) {
                 if matches!(a, Arg::Value(_)) {
                     ctx.subst = saved_subst;
                     return Err(CoreError::BadCall {
@@ -732,7 +732,6 @@ fn fold_for(parts: Vec<Expr>, op: &ForOp, ctx: &Ctx<'_>) -> CoreResult<Expr> {
 mod tests {
     use super::*;
     use crate::builder::*;
-    use crate::decl::Param;
     use crate::program::{FuncDef, InstanceType};
 
     fn one_junction_program(decls: Vec<Decl>, body: Expr) -> Program {

@@ -27,6 +27,7 @@ pub enum Ternary {
 
 impl Ternary {
     /// Kleene negation.
+    #[allow(clippy::should_implement_trait)] // DSL combinator, chains with `.and`/`.or`
     pub fn not(self) -> Ternary {
         match self {
             Ternary::True => Ternary::False,
@@ -111,6 +112,7 @@ pub enum Formula {
 
 impl Formula {
     /// `¬f`
+    #[allow(clippy::should_implement_trait)] // DSL combinator, mirrors `Ternary::not`
     pub fn not(self) -> Formula {
         Formula::Not(Box::new(self))
     }

@@ -548,11 +548,9 @@ fn check_start_arity(p: &Program, e: &Expr, loc: &str) -> CoreResult<()> {
             // Kind check the statically-checkable arguments.
             for (param, arg) in jdef.params.iter().zip(args.iter()) {
                 let ok = match (param.kind, arg) {
-                    (ParamKind::Set, Arg::SetLit(elems)) => {
-                        // Sets may not contain sets — structurally
-                        // guaranteed by SetElem, but verify no sentinel.
-                        !elems.is_empty() || true
-                    }
+                    // Sets may not contain sets — structurally
+                    // guaranteed by SetElem; any literal is well-kinded.
+                    (ParamKind::Set, Arg::SetLit(_)) => true,
                     (ParamKind::Timeout, Arg::Value(v)) => v.as_duration().is_some(),
                     (ParamKind::Junction, Arg::Junction(_)) => true,
                     (_, Arg::Name(_)) => true,

@@ -25,20 +25,29 @@ pub struct Update {
     pub kind: UpdateKind,
     /// Fully-qualified sender junction (diagnostics only).
     pub from: String,
+    /// Per-link sequence number assigned by the transport for
+    /// receiver-side deduplication of retried/duplicated deliveries.
+    /// `0` means unsequenced (local or test delivery): never deduped.
+    pub seq: u64,
 }
 
 impl Update {
     /// Convenience constructor for an assertion.
     pub fn assert(key: impl Into<String>, from: impl Into<String>) -> Update {
-        Update { key: key.into(), kind: UpdateKind::Assert, from: from.into() }
+        Update { key: key.into(), kind: UpdateKind::Assert, from: from.into(), seq: 0 }
     }
     /// Convenience constructor for a retraction.
     pub fn retract(key: impl Into<String>, from: impl Into<String>) -> Update {
-        Update { key: key.into(), kind: UpdateKind::Retract, from: from.into() }
+        Update { key: key.into(), kind: UpdateKind::Retract, from: from.into(), seq: 0 }
     }
     /// Convenience constructor for a data write.
     pub fn data(key: impl Into<String>, value: Value, from: impl Into<String>) -> Update {
-        Update { key: key.into(), kind: UpdateKind::Data(value), from: from.into() }
+        Update { key: key.into(), kind: UpdateKind::Data(value), from: from.into(), seq: 0 }
+    }
+    /// The sending *instance* (prefix of `from` before `::`), the scope
+    /// at which the transport sequences and dedups.
+    pub fn sender_instance(&self) -> &str {
+        self.from.split("::").next().unwrap_or(&self.from)
     }
 }
 
@@ -267,7 +276,7 @@ impl Table {
             let newer_than_local = self
                 .locally_written
                 .get(&p.update.key)
-                .map_or(true, |&(_, s)| p.seq > s);
+                .is_none_or(|&(_, s)| p.seq > s);
             if in_window && newer_than_local {
                 self.apply(&p.update);
             } else {

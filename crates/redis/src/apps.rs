@@ -356,6 +356,13 @@ pub struct FailoverFrontApp {
     pub replies: ReplyQueue,
     mirror: Store,
     current: Option<Command>,
+    /// Whether `current` has already been folded into the mirror.
+    /// `save("state")` runs both per request (the Call arm) and per
+    /// back-end (re-)registration (`Initialize`); without this flag a
+    /// re-registration between two requests would apply the same
+    /// command to the mirror twice, corrupting it for non-idempotent
+    /// commands (APPEND, INCR).
+    advanced: bool,
 }
 
 impl FailoverFrontApp {
@@ -366,6 +373,7 @@ impl FailoverFrontApp {
             replies: Arc::new(Mutex::new(VecDeque::new())),
             mirror: Store::new(),
             current: None,
+            advanced: false,
         }
     }
 }
@@ -386,6 +394,7 @@ impl InstanceApp for FailoverFrontApp {
                         .pop_front()
                         .ok_or("no pending request")?,
                 );
+                self.advanced = false;
                 Ok(())
             }
             // H3 (emit response) has no host-side work here: the reply
@@ -400,11 +409,16 @@ impl InstanceApp for FailoverFrontApp {
                 self.current.as_ref().ok_or("no current command")?.encode(),
             )),
             "state" => {
-                // Advance the canonical state by the served command.
-                if let Some(cmd) = &self.current {
-                    if cmd.is_write() {
-                        let _ = cmd.execute(&mut self.mirror);
+                // Advance the canonical state by the served command —
+                // at most once per command, however many times the
+                // state is saved before the next request.
+                if !self.advanced {
+                    if let Some(cmd) = &self.current {
+                        if cmd.is_write() {
+                            let _ = cmd.execute(&mut self.mirror);
+                        }
                     }
+                    self.advanced = true;
                 }
                 Ok(Value::Bytes(self.mirror.checkpoint()?))
             }

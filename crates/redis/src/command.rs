@@ -242,7 +242,7 @@ mod tests {
         assert!(Command::decode(b"").is_err());
         assert!(Command::decode(b"NOPE\n").is_err());
         assert!(Reply::decode(b"").is_err());
-        assert!(Reply::decode(&[b'?']).is_err());
+        assert!(Reply::decode(b"?").is_err());
     }
 
     #[test]

@@ -146,6 +146,7 @@ impl Workload {
     }
 
     /// Produce the next command.
+    #[allow(clippy::should_implement_trait)] // generator, not an iterator (never ends)
     pub fn next(&mut self) -> Command {
         let key = self.next_key();
         if self.rng.gen_bool(self.spec.read_ratio) {

@@ -7,6 +7,8 @@
 
 use csaw_kv::TableError;
 
+use crate::transport::SendError;
+
 /// Result alias for interpreter operations.
 pub type RtResult<T> = Result<T, Failure>;
 
@@ -22,6 +24,16 @@ pub enum Failure {
     TargetDown {
         /// The dead target.
         target: String,
+    },
+    /// A link fault (drop, partition, timeout) that survived the
+    /// reliability layer's retries. Carries the typed [`SendError`] so
+    /// `otherwise[t]` handlers and event logs can distinguish retryable
+    /// faults from fatal ones.
+    Link {
+        /// The unreachable target.
+        target: String,
+        /// The underlying send error.
+        error: SendError,
     },
     /// A `verify` condition evaluated false — or *unknown*, per the
     /// ternary-logic rule of §6.
@@ -53,11 +65,19 @@ pub enum Failure {
 }
 
 impl Failure {
+    /// Whether this failure is a transient link fault that an
+    /// architecture-level handler (`otherwise[t]`) can sensibly retry,
+    /// as opposed to a dead endpoint or a logic error.
+    pub fn is_retryable_fault(&self) -> bool {
+        matches!(self, Failure::Link { error, .. } if error.is_retryable())
+    }
+
     /// Short classification label, used by event logs and tests.
     pub fn kind(&self) -> &'static str {
         match self {
             Failure::Timeout { .. } => "timeout",
             Failure::TargetDown { .. } => "target-down",
+            Failure::Link { .. } => "link",
             Failure::Verify { .. } => "verify",
             Failure::Table(_) => "table",
             Failure::Host { .. } => "host",
@@ -75,6 +95,9 @@ impl std::fmt::Display for Failure {
         match self {
             Failure::Timeout { context } => write!(f, "timeout: {context}"),
             Failure::TargetDown { target } => write!(f, "target down: {target}"),
+            Failure::Link { target, error } => {
+                write!(f, "link fault sending to {target}: {error}")
+            }
             Failure::Verify { formula, unknown } => {
                 if *unknown {
                     write!(f, "verify unknown: {formula}")
@@ -137,5 +160,22 @@ mod tests {
     fn table_error_converts() {
         let f: Failure = TableError::Undef("n".into()).into();
         assert_eq!(f.kind(), "table");
+    }
+
+    #[test]
+    fn link_faults_are_typed_and_classified() {
+        let f = Failure::Link {
+            target: "b1::serve".into(),
+            error: SendError::LinkDropped,
+        };
+        assert_eq!(f.kind(), "link");
+        assert!(f.is_retryable_fault());
+        assert!(f.to_string().contains("b1::serve"));
+        let fatal = Failure::Link {
+            target: "b1::serve".into(),
+            error: SendError::Transport("broken pipe".into()),
+        };
+        assert!(!fatal.is_retryable_fault());
+        assert!(!Failure::ReconsiderFailed.is_retryable_fault());
     }
 }

@@ -1,0 +1,284 @@
+//! Chaos-grade link fault model.
+//!
+//! A [`FaultPlan`] describes how a *directed* link between two instances
+//! misbehaves: probabilistic message drop, duplication and reordering,
+//! added delivery jitter, and scheduled windows during which the link is
+//! fully partitioned (directional — install a plan on each direction to
+//! cut a link both ways). Plans are seeded, so every fault schedule is
+//! deterministic and a failing soak run can be replayed bit-for-bit.
+//!
+//! The model is *sender-visible*: a dropped or partitioned message
+//! surfaces as a retryable [`crate::transport::SendError`] at the
+//! sender, standing in for an acknowledgement timeout in a real
+//! transport. This is what lets the reliability layer (bounded retry
+//! with exponential backoff, per-link sequence numbers with
+//! receiver-side dedup) recover without cooperation from the
+//! application.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A window, relative to plan installation, during which the link is cut.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultWindow {
+    /// Offset from plan installation when the outage begins.
+    pub start: Duration,
+    /// Offset from plan installation when the outage ends.
+    pub end: Duration,
+}
+
+impl FaultWindow {
+    /// A window cutting the link between `start` and `end` after install.
+    pub fn new(start: Duration, end: Duration) -> FaultWindow {
+        FaultWindow { start, end }
+    }
+
+    fn contains(&self, since_install: Duration) -> bool {
+        self.start <= since_install && since_install < self.end
+    }
+}
+
+/// How a directed link misbehaves. Install with
+/// [`crate::Runtime::set_fault_plan`]; runtime-reconfigurable at any
+/// point (plans can be swapped or cleared while traffic flows).
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Probability a message is dropped (sender sees `LinkDropped`).
+    pub drop_prob: f64,
+    /// Probability a message is delivered twice.
+    pub dup_prob: f64,
+    /// Probability a message is held back by [`FaultPlan::reorder_delay`],
+    /// letting later messages overtake it.
+    pub reorder_prob: f64,
+    /// How long a reordered message is held back.
+    pub reorder_delay: Duration,
+    /// Uniform extra delivery delay in `[0, jitter]` applied to every
+    /// message (Direct and Sim links).
+    pub jitter: Duration,
+    /// Scheduled outage windows (partitions / link flaps), relative to
+    /// plan installation. The sender sees `PartitionedAway`.
+    pub down_windows: Vec<FaultWindow>,
+    /// Seed for this link's fault dice.
+    pub seed: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            reorder_delay: Duration::from_millis(20),
+            jitter: Duration::ZERO,
+            down_windows: Vec::new(),
+            seed: 0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a base for builders).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Set the drop probability.
+    pub fn with_drop(mut self, p: f64) -> FaultPlan {
+        self.drop_prob = p;
+        self
+    }
+
+    /// Set the duplication probability.
+    pub fn with_dup(mut self, p: f64) -> FaultPlan {
+        self.dup_prob = p;
+        self
+    }
+
+    /// Set the reordering probability and hold-back delay.
+    pub fn with_reorder(mut self, p: f64, delay: Duration) -> FaultPlan {
+        self.reorder_prob = p;
+        self.reorder_delay = delay;
+        self
+    }
+
+    /// Set the per-message jitter bound.
+    pub fn with_jitter(mut self, jitter: Duration) -> FaultPlan {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Add an outage window.
+    pub fn with_outage(mut self, start: Duration, end: Duration) -> FaultPlan {
+        self.down_windows.push(FaultWindow::new(start, end));
+        self
+    }
+
+    /// Set the seed.
+    pub fn with_seed(mut self, seed: u64) -> FaultPlan {
+        self.seed = seed;
+        self
+    }
+}
+
+/// What the fault dice decided for one send attempt.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultDecision {
+    /// Deliver normally, with the given extra delay and duplication.
+    Deliver {
+        /// Extra delivery delay (jitter and/or reorder hold-back).
+        delay: Duration,
+        /// Deliver a second copy (same sequence number).
+        duplicate: bool,
+        /// The message was deliberately held back and may be overtaken
+        /// by later sends. Plain jitter is *not* reordering: like
+        /// variable latency on a FIFO connection, it delays delivery but
+        /// preserves per-link order.
+        reorder: bool,
+    },
+    /// The message is lost; the sender sees `LinkDropped`.
+    Drop,
+    /// The link is inside an outage window; sender sees `PartitionedAway`.
+    Partitioned,
+}
+
+/// Installed per-link fault state: the plan plus its dice and clock.
+pub(crate) struct LinkFaults {
+    plan: FaultPlan,
+    rng: StdRng,
+    installed_at: Instant,
+}
+
+impl LinkFaults {
+    pub(crate) fn new(plan: FaultPlan) -> LinkFaults {
+        let rng = StdRng::seed_from_u64(plan.seed);
+        LinkFaults { plan, rng, installed_at: Instant::now() }
+    }
+
+    /// Roll the dice for one send attempt.
+    pub(crate) fn decide(&mut self) -> FaultDecision {
+        let since = self.installed_at.elapsed();
+        if self.plan.down_windows.iter().any(|w| w.contains(since)) {
+            return FaultDecision::Partitioned;
+        }
+        if self.plan.drop_prob > 0.0 && self.rng.gen_bool(self.plan.drop_prob) {
+            return FaultDecision::Drop;
+        }
+        let mut delay = Duration::ZERO;
+        if !self.plan.jitter.is_zero() {
+            let nanos = self.plan.jitter.as_nanos() as u64;
+            delay += Duration::from_nanos(self.rng.gen_range(0..=nanos));
+        }
+        let mut reorder = false;
+        if self.plan.reorder_prob > 0.0 && self.rng.gen_bool(self.plan.reorder_prob) {
+            delay += self.plan.reorder_delay;
+            reorder = true;
+        }
+        let duplicate = self.plan.dup_prob > 0.0 && self.rng.gen_bool(self.plan.dup_prob);
+        FaultDecision::Deliver { delay, duplicate, reorder }
+    }
+}
+
+/// Bounded-retry policy for the reliability layer around
+/// [`crate::transport::Network::send`]. Backoff is exponential from
+/// `base` up to `cap`, with deterministic per-link jitter so retrying
+/// senders don't synchronize.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Whether retry (and receiver-side dedup) is active.
+    pub enabled: bool,
+    /// Retry attempts after the first send (0 = try once).
+    pub max_retries: u32,
+    /// First backoff delay.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            enabled: true,
+            max_retries: 6,
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(200),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (ablation: reliability layer off).
+    pub fn disabled() -> RetryPolicy {
+        RetryPolicy { enabled: false, ..RetryPolicy::default() }
+    }
+
+    /// The backoff before retry attempt `attempt` (1-based), including
+    /// ±25% deterministic jitter drawn from `dice`.
+    pub(crate) fn backoff(&self, attempt: u32, dice: &mut StdRng) -> Duration {
+        let exp = self.base.saturating_mul(1u32 << attempt.min(16).saturating_sub(1));
+        let capped = exp.min(self.cap);
+        let nanos = capped.as_nanos() as u64;
+        if nanos == 0 {
+            return Duration::ZERO;
+        }
+        // jitter in [0.75, 1.25] of the capped backoff
+        let j = dice.gen_range(0..=nanos / 2);
+        Duration::from_nanos(nanos - nanos / 4 + j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_gate_on_install_relative_time() {
+        let w = FaultWindow::new(Duration::from_millis(10), Duration::from_millis(20));
+        assert!(!w.contains(Duration::from_millis(5)));
+        assert!(w.contains(Duration::from_millis(10)));
+        assert!(w.contains(Duration::from_millis(19)));
+        assert!(!w.contains(Duration::from_millis(20)));
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed() {
+        let plan = FaultPlan::none().with_drop(0.3).with_dup(0.2).with_seed(42);
+        let mut a = LinkFaults::new(plan.clone());
+        let mut b = LinkFaults::new(plan);
+        for _ in 0..200 {
+            assert_eq!(a.decide(), b.decide());
+        }
+    }
+
+    #[test]
+    fn drop_rate_tracks_probability() {
+        let mut lf = LinkFaults::new(FaultPlan::none().with_drop(0.25).with_seed(7));
+        let drops = (0..10_000)
+            .filter(|_| lf.decide() == FaultDecision::Drop)
+            .count();
+        assert!((2_000..3_000).contains(&drops), "drops={drops}");
+    }
+
+    #[test]
+    fn outage_window_partitions_then_heals() {
+        let mut lf = LinkFaults::new(
+            FaultPlan::none().with_outage(Duration::ZERO, Duration::from_millis(30)),
+        );
+        assert_eq!(lf.decide(), FaultDecision::Partitioned);
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(matches!(lf.decide(), FaultDecision::Deliver { .. }));
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy::default();
+        let mut dice = StdRng::seed_from_u64(1);
+        let b1 = p.backoff(1, &mut dice);
+        let b4 = p.backoff(4, &mut dice);
+        assert!(b4 > b1);
+        for attempt in 1..12 {
+            assert!(p.backoff(attempt, &mut dice) <= p.cap + p.cap / 4);
+        }
+    }
+}

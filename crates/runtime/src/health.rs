@@ -1,0 +1,138 @@
+//! Heartbeat failure detection feeding the `S(ι)` liveness predicate.
+//!
+//! The registry check (instance status flag) is the in-process fast
+//! path: it knows about `stop`/`crash` immediately, but it cannot see
+//! *network* partitions — a partitioned-away peer is still `Running` in
+//! the registry. When heartbeats are enabled
+//! ([`crate::Runtime::enable_heartbeats`]), a monitor thread sends
+//! periodic pings between every ordered pair of running instances
+//! *through the network* (so they experience the links' fault plans),
+//! and each instance records when it last heard from each peer. A peer
+//! silent for longer than the suspicion timeout is *suspected*, and
+//! `S(ι)` evaluated from that observer turns false — making liveness
+//! observer-relative under partitions, as a real failure detector would.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// The reserved pseudo-junction heartbeat pings are addressed to. The
+/// runtime's delivery path intercepts it; it never reaches a cell.
+pub const HB_JUNCTION: &str = "__hb";
+
+/// Failure-detector tuning.
+#[derive(Clone, Debug)]
+pub struct HeartbeatConfig {
+    /// Ping period.
+    pub interval: Duration,
+    /// Silence longer than this makes a peer suspected.
+    pub suspicion: Duration,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        HeartbeatConfig {
+            interval: Duration::from_millis(25),
+            suspicion: Duration::from_millis(150),
+        }
+    }
+}
+
+/// Shared failure-detector state: who last heard from whom.
+pub(crate) struct HeartbeatState {
+    enabled: AtomicBool,
+    config: Mutex<HeartbeatConfig>,
+    /// (observer, peer) → last time observer heard peer's ping.
+    last_heard: Mutex<HashMap<(String, String), Instant>>,
+}
+
+impl HeartbeatState {
+    pub(crate) fn new() -> HeartbeatState {
+        HeartbeatState {
+            enabled: AtomicBool::new(false),
+            config: Mutex::new(HeartbeatConfig::default()),
+            last_heard: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub(crate) fn enable(&self, config: HeartbeatConfig) {
+        *self.config.lock() = config;
+        // Forget stale silence from before enabling: every pair gets a
+        // fresh suspicion window.
+        self.last_heard.lock().clear();
+        self.enabled.store(true, Ordering::SeqCst);
+    }
+
+    pub(crate) fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn config(&self) -> HeartbeatConfig {
+        self.config.lock().clone()
+    }
+
+    /// Record that `observer` heard a ping from `peer` now.
+    pub(crate) fn record(&self, observer: &str, peer: &str) {
+        self.last_heard
+            .lock()
+            .insert((observer.to_string(), peer.to_string()), Instant::now());
+    }
+
+    /// Whether `observer` currently suspects `peer`. The first query for
+    /// a pair primes its clock (a freshly started or newly watched peer
+    /// gets a full suspicion window before it can be suspected).
+    pub(crate) fn suspects(&self, observer: &str, peer: &str) -> bool {
+        if !self.is_enabled() || observer == peer {
+            return false;
+        }
+        let suspicion = self.config.lock().suspicion;
+        let mut lh = self.last_heard.lock();
+        match lh.get(&(observer.to_string(), peer.to_string())) {
+            Some(t) => t.elapsed() > suspicion,
+            None => {
+                lh.insert((observer.to_string(), peer.to_string()), Instant::now());
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_detector_never_suspects() {
+        let hb = HeartbeatState::new();
+        assert!(!hb.suspects("a", "b"));
+    }
+
+    #[test]
+    fn silence_breeds_suspicion_and_pings_clear_it() {
+        let hb = HeartbeatState::new();
+        hb.enable(HeartbeatConfig {
+            interval: Duration::from_millis(5),
+            suspicion: Duration::from_millis(20),
+        });
+        // First query primes; not suspected yet.
+        assert!(!hb.suspects("a", "b"));
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(hb.suspects("a", "b"));
+        hb.record("a", "b");
+        assert!(!hb.suspects("a", "b"));
+        // Observer-relative: c's silence toward a is independent.
+        assert!(!hb.suspects("c", "b"));
+    }
+
+    #[test]
+    fn self_is_never_suspected() {
+        let hb = HeartbeatState::new();
+        hb.enable(HeartbeatConfig {
+            interval: Duration::from_millis(1),
+            suspicion: Duration::ZERO,
+        });
+        assert!(!hb.suspects("a", "a"));
+    }
+}

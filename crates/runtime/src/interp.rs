@@ -199,7 +199,10 @@ impl<'rt> ExecCtx<'rt> {
             Formula::Live(n) => {
                 let inst = self.resolve_str(n)?;
                 let inst = inst.split("::").next().unwrap_or(&inst).to_string();
-                cache.insert(format!("S({n})"), Ternary::from_bool(self.rt.is_live(&inst)));
+                cache.insert(
+                    format!("S({n})"),
+                    Ternary::from_bool(self.rt.is_live_from(&self.inst.name, &inst)),
+                );
                 Ok(())
             }
             Formula::Not(a) => self.fill_remote_cache(a, cache),

@@ -30,11 +30,15 @@
 pub mod app;
 pub mod cell;
 pub mod error;
+pub mod fault;
+pub mod health;
 pub mod interp;
 pub mod runtime;
 pub mod transport;
 
 pub use app::{HostCtx, InstanceApp, NoopApp};
 pub use error::{Failure, RtResult};
+pub use fault::{FaultPlan, FaultWindow, RetryPolicy};
+pub use health::HeartbeatConfig;
 pub use runtime::{InstanceStatus, Runtime, RuntimeConfig};
-pub use transport::LinkKind;
+pub use transport::{LinkKind, LinkStats, SendError};

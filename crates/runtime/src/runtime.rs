@@ -16,8 +16,10 @@ use parking_lot::{Condvar, Mutex};
 use crate::app::{InstanceApp, NoopApp};
 use crate::cell::{Cell, JunctionId};
 use crate::error::Failure;
+use crate::fault::{FaultPlan, RetryPolicy};
+use crate::health::{HeartbeatConfig, HeartbeatState, HB_JUNCTION};
 use crate::interp::ExecCtx;
-use crate::transport::{DeliverFn, LinkKind, Network};
+use crate::transport::{DeliverFn, LinkKind, LinkStats, Network, SendError};
 
 /// Lifecycle state of an instance.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -158,6 +160,8 @@ pub(crate) struct RuntimeInner {
     /// concurrently", §6 — and Fig. 3's f must not message g before g's
     /// `start` lands).
     pub(crate) booting: AtomicBool,
+    /// Heartbeat failure detector (shared with the delivery closure).
+    pub(crate) hb: Arc<HeartbeatState>,
     main: MainDef,
 }
 
@@ -184,11 +188,20 @@ impl RuntimeInner {
         });
     }
 
-    /// Liveness, the `S(ι)` predicate.
+    /// Liveness, the `S(ι)` predicate — registry fast path only (knows
+    /// `stop`/`crash` immediately, blind to partitions).
     pub(crate) fn is_live(&self, instance: &str) -> bool {
         self.instances
             .get(instance)
             .is_some_and(|i| i.status() == InstanceStatus::Running)
+    }
+
+    /// Observer-relative liveness: the registry fast path, narrowed by
+    /// the heartbeat failure detector when enabled. A partitioned-away
+    /// peer is `Running` in the registry but suspected by observers that
+    /// stopped hearing its pings, so `S(ι)` turns false *for them*.
+    pub(crate) fn is_live_from(&self, observer: &str, instance: &str) -> bool {
+        self.is_live(instance) && !self.hb.suspects(observer, instance)
     }
 
     /// Read a remote proposition (used by `verify γ@P` and guards). This
@@ -228,7 +241,13 @@ impl RuntimeInner {
         }
         self.network
             .send(from_instance, to, update)
-            .map_err(|e| Failure::Internal(format!("send: {}", e.0)))
+            .map_err(|e| match e {
+                SendError::TargetDown => Failure::TargetDown { target: to.qualified() },
+                SendError::Transport(m) => {
+                    Failure::Internal(format!("send to {}: {m}", to.qualified()))
+                }
+                retryable => Failure::Link { target: to.qualified(), error: retryable },
+            })
     }
 
     /// Resolve a bare target string (`"b1"` or `"b1::serve"`) to a
@@ -503,7 +522,7 @@ impl RuntimeInner {
                 Policy::OnDemand => false,
                 Policy::Periodic(iv) => {
                     jrt.needs_initial.load(Ordering::SeqCst)
-                        || jrt.last_run.lock().map_or(true, |t| t.elapsed() >= iv)
+                        || jrt.last_run.lock().is_none_or(|t| t.elapsed() >= iv)
                 }
             }
         };
@@ -586,9 +605,17 @@ impl Runtime {
         // the closure (built before RuntimeInner exists).
         let registry: Arc<HashMap<String, Arc<InstanceState>>> = Arc::new(instances);
         let reg2 = Arc::clone(&registry);
+        let hb = Arc::new(HeartbeatState::new());
+        let hb2 = Arc::clone(&hb);
         let deliver: DeliverFn = Arc::new(move |to: &JunctionId, update: Update| {
             if let Some(inst) = reg2.get(&to.instance) {
                 if inst.status() == InstanceStatus::Running {
+                    // Heartbeat pings feed the failure detector and stop
+                    // here — `__hb` is not a real junction.
+                    if to.junction == HB_JUNCTION {
+                        hb2.record(&to.instance, update.sender_instance());
+                        return;
+                    }
                     if let Some(jrt) = inst.junction(&to.junction) {
                         jrt.cell.deliver(update);
                         inst.wake();
@@ -607,6 +634,7 @@ impl Runtime {
             events: Mutex::new(Vec::new()),
             shutdown: AtomicBool::new(false),
             booting: AtomicBool::new(false),
+            hb,
             main: compiled.program.main.clone(),
         });
 
@@ -651,6 +679,84 @@ impl Runtime {
     /// Configure the link between two instances.
     pub fn set_link(&self, from: &str, to: &str, kind: LinkKind) {
         self.inner.network.set_link(from, to, kind);
+    }
+
+    /// Install (or replace) a fault plan on the directed link
+    /// `from → to`. Windows in the plan are relative to this call.
+    pub fn set_fault_plan(&self, from: &str, to: &str, plan: FaultPlan) {
+        self.inner.network.set_fault_plan(from, to, plan);
+    }
+
+    /// Remove the fault plan on `from → to` (the link heals).
+    pub fn clear_fault_plan(&self, from: &str, to: &str) {
+        self.inner.network.clear_fault_plan(from, to);
+    }
+
+    /// Replace the reliability-layer retry policy
+    /// ([`RetryPolicy::disabled`] switches retry off for ablations).
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        self.inner.network.set_retry_policy(policy);
+    }
+
+    /// Toggle receiver-side sequence dedup (ablations only).
+    pub fn set_dedup(&self, enabled: bool) {
+        self.inner.network.set_dedup(enabled);
+    }
+
+    /// Snapshot the network's reliability/fault counters.
+    pub fn link_stats(&self) -> LinkStats {
+        self.inner.network.stats()
+    }
+
+    /// Observer-relative `S(ι)`: registry liveness narrowed by heartbeat
+    /// suspicion (observer/test path; formula evaluation uses the same
+    /// predicate).
+    pub fn is_live_from(&self, observer: &str, instance: &str) -> bool {
+        self.inner.is_live_from(observer, instance)
+    }
+
+    /// Enable the heartbeat failure detector: a monitor thread pings
+    /// every ordered pair of running instances through the network (so
+    /// pings experience link faults), and `S(ι)` becomes
+    /// observer-relative (see [`Runtime::is_live_from`]). Idempotent in
+    /// effect: calling again replaces the config and resets suspicion
+    /// clocks, though each call spawns a fresh monitor thread, so prefer
+    /// calling it once.
+    pub fn enable_heartbeats(&self, config: HeartbeatConfig) {
+        self.inner.hb.enable(config);
+        let inner = Arc::clone(&self.inner);
+        let handle = std::thread::Builder::new()
+            .name("csaw-heartbeat".into())
+            .spawn(move || {
+                while !inner.shutdown.load(Ordering::SeqCst) {
+                    let interval = inner.hb.config().interval;
+                    if inner.hb.is_enabled() {
+                        let running: Vec<String> = inner
+                            .instances
+                            .values()
+                            .filter(|i| i.status() == InstanceStatus::Running)
+                            .map(|i| i.name.clone())
+                            .collect();
+                        for from in &running {
+                            for to_inst in &running {
+                                if from == to_inst {
+                                    continue;
+                                }
+                                let to = JunctionId::new(to_inst.clone(), HB_JUNCTION);
+                                let ping = Update::assert(
+                                    HB_JUNCTION,
+                                    format!("{from}::{HB_JUNCTION}"),
+                                );
+                                // Loss is the signal: no retry, errors ignored.
+                                let _ = inner.network.send_raw(from, &to, ping);
+                            }
+                        }
+                    }
+                    std::thread::sleep(interval);
+                }
+            })
+            .expect("spawn heartbeat monitor");
+        self.threads.lock().push(handle);
     }
 
     /// Run `main` with the given parameter values (bound positionally).
@@ -699,10 +805,8 @@ impl Runtime {
             if inst.status() != InstanceStatus::Running {
                 return Err(Failure::TargetDown { target: instance.to_string() });
             }
-            if self.inner.guard_ready(&inst, &jrt) {
-                if self.inner.run_activation(&inst, &jrt)? {
-                    return Ok(());
-                }
+            if self.inner.guard_ready(&inst, &jrt) && self.inner.run_activation(&inst, &jrt)? {
+                return Ok(());
             }
             if Instant::now() >= deadline {
                 return Err(Failure::Timeout {

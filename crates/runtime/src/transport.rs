@@ -13,10 +13,24 @@
 //!
 //! Delivery order is FIFO per (sender instance, receiver instance) pair
 //! for every link kind, matching the paper's "handled in the order that
-//! they are received".
+//! they are received" — unless a [`FaultPlan`](crate::fault::FaultPlan)
+//! injects reordering on the link.
+//!
+//! ## Reliability layer
+//!
+//! [`Network::send`] is wrapped in a reliability layer (see
+//! `crate::fault`): send errors are a typed [`SendError`] split into
+//! retryable link faults and fatal transport errors; retryable faults
+//! are retried with bounded exponential backoff and jitter; every
+//! message carries a per-(sender, receiver) sequence number and the
+//! receiver drops sequence numbers it has already seen, so a retried or
+//! fault-duplicated update never double-applies against the KV table's
+//! local-priority update rule (§8). Both halves can be switched off
+//! ([`crate::fault::RetryPolicy::disabled`], [`Network::set_dedup`]) for
+//! ablations.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -26,8 +40,11 @@ use std::time::{Duration, Instant};
 use csaw_core::value::Value;
 use csaw_kv::{Update, UpdateKind};
 use parking_lot::{Condvar, Mutex};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 use crate::cell::JunctionId;
+use crate::fault::{FaultDecision, FaultPlan, LinkFaults, RetryPolicy};
 
 /// The kind of channel between a pair of instances.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -251,6 +268,7 @@ fn encode_frame(to: &JunctionId, u: &Update) -> Vec<u8> {
         body.extend_from_slice(&(s.len() as u32).to_le_bytes());
         body.extend_from_slice(s.as_bytes());
     }
+    body.extend_from_slice(&u.seq.to_le_bytes());
     match &u.kind {
         UpdateKind::Assert => body.push(0),
         UpdateKind::Retract => body.push(1),
@@ -272,6 +290,7 @@ fn decode_frame(body: &[u8]) -> Option<(JunctionId, Update)> {
         let len = u32::from_le_bytes(read_exact_buf(&mut buf, 4)?.try_into().ok()?) as usize;
         strings.push(String::from_utf8(read_exact_buf(&mut buf, len)?).ok()?);
     }
+    let seq = u64::from_le_bytes(read_exact_buf(&mut buf, 8)?.try_into().ok()?);
     let kind_tag = read_exact_buf(&mut buf, 1)?[0];
     let kind = match kind_tag {
         0 => UpdateKind::Assert,
@@ -283,7 +302,7 @@ fn decode_frame(body: &[u8]) -> Option<(JunctionId, Update)> {
     let key = strings.pop()?;
     let junction = strings.pop()?;
     let instance = strings.pop()?;
-    Some((JunctionId { instance, junction }, Update { key, kind, from }))
+    Some((JunctionId { instance, junction }, Update { key, kind, from, seq }))
 }
 
 struct TcpLink {
@@ -348,6 +367,26 @@ struct SimLinkClock {
     next_free: Option<Instant>,
 }
 
+/// Counters for the reliability layer and fault injection
+/// (observability; all monotonically increasing).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Messages handed to the network (excluding fault-injected copies).
+    pub msgs_sent: u64,
+    /// Bytes sent under the wire-size model.
+    pub bytes_sent: u64,
+    /// Messages dropped by fault injection.
+    pub drops: u64,
+    /// Extra copies delivered by fault injection.
+    pub dups: u64,
+    /// Send attempts blocked by a partition window.
+    pub partitioned: u64,
+    /// Retry attempts made by the reliability layer.
+    pub retries: u64,
+    /// Deliveries suppressed by receiver-side sequence dedup.
+    pub deduped: u64,
+}
+
 /// The network connecting instances. Owned by the runtime.
 pub struct Network {
     deliver: DeliverFn,
@@ -357,19 +396,100 @@ pub struct Network {
     sim_clocks: Mutex<HashMap<(String, String), SimLinkClock>>,
     tcp: Mutex<HashMap<(String, String), Arc<TcpLink>>>,
     shutdown: Arc<AtomicBool>,
+    /// Installed fault plans, per directed (sender, receiver) pair.
+    faults: Mutex<HashMap<(String, String), LinkFaults>>,
+    /// Latest scheduled arrival per directed pair, used to keep jittered
+    /// deliveries FIFO per link (only explicit reordering overtakes). A
+    /// link gets an entry on its first delayed delivery and keeps
+    /// routing through the scheduler from then on, so a delayed message
+    /// can never be overtaken by a later synchronous one.
+    fifo_clocks: Mutex<HashMap<(String, String), Instant>>,
+    /// Reliability-layer retry policy.
+    retry: Mutex<RetryPolicy>,
+    /// Dice for backoff jitter (separate from link fault dice so a
+    /// policy change doesn't perturb the fault schedule).
+    backoff_dice: Mutex<StdRng>,
+    /// Next sequence number per directed (sender, receiver) pair.
+    seqs: Mutex<HashMap<(String, String), u64>>,
+    /// Receiver-side dedup switch (shared with the deliver wrapper).
+    dedup_enabled: Arc<AtomicBool>,
+    drops: AtomicU64,
+    dups: AtomicU64,
+    partitioned: AtomicU64,
+    retries: AtomicU64,
+    deduped: Arc<AtomicU64>,
     /// Total messages sent (observability).
     pub msgs_sent: AtomicU64,
     /// Total bytes sent under the wire-size model (observability).
     pub bytes_sent: AtomicU64,
 }
 
-/// Error sending a message.
+/// Error sending a message, split into retryable link faults and fatal
+/// errors so `otherwise[t]` handlers (and the reliability layer) can
+/// tell transient loss from a dead endpoint or a broken transport.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct SendError(pub String);
+pub enum SendError {
+    /// The destination instance is not running.
+    TargetDown,
+    /// The link dropped the message (modelled ack timeout). Retryable.
+    LinkDropped,
+    /// The link is inside a partition window. Retryable.
+    PartitionedAway,
+    /// The send did not complete in time. Retryable.
+    Timeout,
+    /// The underlying transport failed (socket setup/write). Fatal.
+    Transport(String),
+}
+
+impl SendError {
+    /// Whether the reliability layer should retry this error.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            SendError::LinkDropped | SendError::PartitionedAway | SendError::Timeout
+        )
+    }
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::TargetDown => write!(f, "target down"),
+            SendError::LinkDropped => write!(f, "link dropped message"),
+            SendError::PartitionedAway => write!(f, "partitioned away"),
+            SendError::Timeout => write!(f, "send timeout"),
+            SendError::Transport(m) => write!(f, "transport: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
 
 impl Network {
-    /// Create a network delivering through `deliver`.
+    /// Create a network delivering through `deliver`. The callback is
+    /// wrapped in the receiver-side dedup filter: sequenced updates
+    /// (seq ≠ 0) whose (sender, receiver, seq) was already delivered are
+    /// suppressed, so retries and fault duplicates apply at most once.
     pub fn new(deliver: DeliverFn) -> Network {
+        let dedup_enabled = Arc::new(AtomicBool::new(true));
+        let deduped = Arc::new(AtomicU64::new(0));
+        let seen: Mutex<HashMap<(String, String), HashSet<u64>>> = Mutex::new(HashMap::new());
+        let deliver: DeliverFn = {
+            let dedup_enabled = Arc::clone(&dedup_enabled);
+            let deduped = Arc::clone(&deduped);
+            let inner = deliver;
+            Arc::new(move |to: &JunctionId, u: Update| {
+                if u.seq != 0 && dedup_enabled.load(Ordering::Relaxed) {
+                    let key = (u.sender_instance().to_string(), to.instance.clone());
+                    let fresh = seen.lock().entry(key).or_default().insert(u.seq);
+                    if !fresh {
+                        deduped.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                }
+                inner(to, u)
+            })
+        };
         let sim = SimScheduler::new();
         sim.spawn(Arc::clone(&deliver));
         Network {
@@ -380,8 +500,59 @@ impl Network {
             sim_clocks: Mutex::new(HashMap::new()),
             tcp: Mutex::new(HashMap::new()),
             shutdown: Arc::new(AtomicBool::new(false)),
+            faults: Mutex::new(HashMap::new()),
+            fifo_clocks: Mutex::new(HashMap::new()),
+            retry: Mutex::new(RetryPolicy::default()),
+            backoff_dice: Mutex::new(StdRng::seed_from_u64(0xBAC0FF)),
+            seqs: Mutex::new(HashMap::new()),
+            dedup_enabled,
+            drops: AtomicU64::new(0),
+            dups: AtomicU64::new(0),
+            partitioned: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            deduped,
             msgs_sent: AtomicU64::new(0),
             bytes_sent: AtomicU64::new(0),
+        }
+    }
+
+    /// Install (or replace) the fault plan on the directed link
+    /// `from → to`. Runtime-reconfigurable; windows are relative to this
+    /// call.
+    pub fn set_fault_plan(&self, from: &str, to: &str, plan: FaultPlan) {
+        self.faults
+            .lock()
+            .insert((from.to_string(), to.to_string()), LinkFaults::new(plan));
+    }
+
+    /// Remove the fault plan on `from → to` (the link heals).
+    pub fn clear_fault_plan(&self, from: &str, to: &str) {
+        self.faults
+            .lock()
+            .remove(&(from.to_string(), to.to_string()));
+    }
+
+    /// Replace the reliability-layer retry policy.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *self.retry.lock() = policy;
+    }
+
+    /// Toggle receiver-side sequence dedup (ablations only — disabling
+    /// it lets retries and duplicates double-apply).
+    pub fn set_dedup(&self, enabled: bool) {
+        self.dedup_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Snapshot the reliability/fault counters.
+    pub fn stats(&self) -> LinkStats {
+        LinkStats {
+            msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            drops: self.drops.load(Ordering::Relaxed),
+            dups: self.dups.load(Ordering::Relaxed),
+            partitioned: self.partitioned.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            deduped: self.deduped.load(Ordering::Relaxed),
         }
     }
 
@@ -405,14 +576,139 @@ impl Network {
             .unwrap_or(self.default_link)
     }
 
-    /// Send an update from `from_instance` to junction `to`.
-    pub fn send(&self, from_instance: &str, to: &JunctionId, update: Update) -> Result<(), SendError> {
+    /// Send an update from `from_instance` to junction `to`, through the
+    /// reliability layer: the update gets the next per-link sequence
+    /// number (retries reuse it, so the receiver dedups them), faults
+    /// from the link's [`FaultPlan`] are applied per attempt, and
+    /// retryable errors are retried with bounded exponential backoff.
+    pub fn send(
+        &self,
+        from_instance: &str,
+        to: &JunctionId,
+        mut update: Update,
+    ) -> Result<(), SendError> {
+        {
+            let mut seqs = self.seqs.lock();
+            let c = seqs
+                .entry((from_instance.to_string(), to.instance.clone()))
+                .or_insert(0);
+            *c += 1;
+            update.seq = *c;
+        }
+        let policy = self.retry.lock().clone();
+        let mut attempt = 0u32;
+        loop {
+            match self.send_attempt(from_instance, to, update.clone()) {
+                Ok(()) => return Ok(()),
+                Err(e) if policy.enabled && e.is_retryable() && attempt < policy.max_retries => {
+                    attempt += 1;
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    let backoff = policy.backoff(attempt, &mut self.backoff_dice.lock());
+                    std::thread::sleep(backoff);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Send without sequencing or retry: probes (heartbeats) whose loss
+    /// *is* the signal, and ablation runs that bypass reliability.
+    pub(crate) fn send_raw(
+        &self,
+        from_instance: &str,
+        to: &JunctionId,
+        update: Update,
+    ) -> Result<(), SendError> {
+        self.send_attempt(from_instance, to, update)
+    }
+
+    /// One delivery attempt: roll the link's fault dice, then dispatch
+    /// over the configured link kind.
+    fn send_attempt(
+        &self,
+        from_instance: &str,
+        to: &JunctionId,
+        update: Update,
+    ) -> Result<(), SendError> {
+        let decision = {
+            let mut faults = self.faults.lock();
+            match faults.get_mut(&(from_instance.to_string(), to.instance.clone())) {
+                Some(lf) => lf.decide(),
+                None => FaultDecision::Deliver {
+                    delay: Duration::ZERO,
+                    duplicate: false,
+                    reorder: false,
+                },
+            }
+        };
+        match decision {
+            FaultDecision::Partitioned => {
+                self.partitioned.fetch_add(1, Ordering::Relaxed);
+                Err(SendError::PartitionedAway)
+            }
+            FaultDecision::Drop => {
+                self.drops.fetch_add(1, Ordering::Relaxed);
+                Err(SendError::LinkDropped)
+            }
+            FaultDecision::Deliver { delay, duplicate, reorder } => {
+                self.msgs_sent.fetch_add(1, Ordering::Relaxed);
+                self.bytes_sent
+                    .fetch_add(wire_size(&update) as u64, Ordering::Relaxed);
+                if duplicate {
+                    self.dups.fetch_add(1, Ordering::Relaxed);
+                    self.dispatch(from_instance, to, update.clone(), delay, !reorder)?;
+                }
+                self.dispatch(from_instance, to, update, delay, !reorder)
+            }
+        }
+    }
+
+    /// Clamp `arrival` so this link stays FIFO: never earlier than the
+    /// latest already-scheduled arrival on the same directed pair.
+    fn fifo_arrival(&self, from: &str, to: &str, arrival: Instant) -> Instant {
+        let mut clocks = self.fifo_clocks.lock();
+        let slot = clocks
+            .entry((from.to_string(), to.to_string()))
+            .or_insert(arrival);
+        if arrival > *slot {
+            *slot = arrival;
+        }
+        *slot
+    }
+
+    /// Dispatch over the configured link kind. `extra_delay` (fault
+    /// jitter / reorder hold-back) applies to Direct and Sim links; TCP
+    /// frames go out immediately (the socket provides its own timing and
+    /// is FIFO by construction). With `fifo` set the delay is treated as
+    /// link latency — later messages on the same directed pair cannot
+    /// overtake; explicit reordering passes `fifo = false`.
+    fn dispatch(
+        &self,
+        from_instance: &str,
+        to: &JunctionId,
+        update: Update,
+        extra_delay: Duration,
+        fifo: bool,
+    ) -> Result<(), SendError> {
         let size = wire_size(&update) as u64;
-        self.msgs_sent.fetch_add(1, Ordering::Relaxed);
-        self.bytes_sent.fetch_add(size, Ordering::Relaxed);
         match self.link_for(from_instance, &to.instance) {
             LinkKind::Direct => {
-                (self.deliver)(to, update);
+                // Fast path: no delay and no delayed-delivery history on
+                // this link — deliver synchronously.
+                if extra_delay.is_zero()
+                    && !self
+                        .fifo_clocks
+                        .lock()
+                        .contains_key(&(from_instance.to_string(), to.instance.clone()))
+                {
+                    (self.deliver)(to, update);
+                    return Ok(());
+                }
+                let mut arrival = Instant::now() + extra_delay;
+                if fifo {
+                    arrival = self.fifo_arrival(from_instance, &to.instance, arrival);
+                }
+                self.sim.enqueue(arrival, to.clone(), update);
                 Ok(())
             }
             LinkKind::Sim { latency, bandwidth } => {
@@ -431,6 +727,10 @@ impl Network {
                     clock.next_free = Some(done);
                     done + latency
                 };
+                let mut arrival = arrival + extra_delay;
+                if fifo {
+                    arrival = self.fifo_arrival(from_instance, &to.instance, arrival);
+                }
                 self.sim.enqueue(arrival, to.clone(), update);
                 Ok(())
             }
@@ -446,7 +746,7 @@ impl Network {
                                     Arc::clone(&self.deliver),
                                     Arc::clone(&self.shutdown),
                                 )
-                                .map_err(|e| SendError(format!("tcp setup: {e}")))?,
+                                .map_err(|e| SendError::Transport(format!("tcp setup: {e}")))?,
                             );
                             tcp.insert(key, Arc::clone(&l));
                             l
@@ -454,7 +754,7 @@ impl Network {
                     }
                 };
                 link.send(to, &update)
-                    .map_err(|e| SendError(format!("tcp send: {e}")))
+                    .map_err(|e| SendError::Transport(format!("tcp send: {e}")))
             }
         }
     }
@@ -557,6 +857,55 @@ mod tests {
     }
 
     #[test]
+    fn jitter_preserves_per_link_fifo() {
+        // Jitter is variable latency on a FIFO link, not reordering: a
+        // 5ms-jittered message must not be overtaken by a later
+        // 0ms-jittered one.
+        let (net, rx) = collecting_network();
+        net.set_fault_plan(
+            "f",
+            "g",
+            FaultPlan::none().with_jitter(Duration::from_millis(5)).with_seed(11),
+        );
+        let to = JunctionId::new("g", "junction");
+        for i in 0..50 {
+            net.send("f", &to, Update::data("n", Value::Int(i), "f::j")).unwrap();
+        }
+        for i in 0..50 {
+            let (_, u) = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+            assert_eq!(u.kind, UpdateKind::Data(Value::Int(i)), "arrived out of order");
+        }
+    }
+
+    #[test]
+    fn explicit_reorder_lets_later_messages_overtake() {
+        let (net, rx) = collecting_network();
+        net.set_fault_plan(
+            "f",
+            "g",
+            FaultPlan::none()
+                .with_reorder(0.5, Duration::from_millis(30))
+                .with_seed(5),
+        );
+        let to = JunctionId::new("g", "junction");
+        for i in 0..20 {
+            net.send("f", &to, Update::data("n", Value::Int(i), "f::j")).unwrap();
+        }
+        let mut order = Vec::new();
+        for _ in 0..20 {
+            let (_, u) = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+            if let UpdateKind::Data(Value::Int(i)) = u.kind {
+                order.push(i);
+            }
+        }
+        assert_eq!(order.len(), 20, "no message may be lost by reordering");
+        assert!(
+            order.windows(2).any(|w| w[0] > w[1]),
+            "expected at least one inversion, got {order:?}"
+        );
+    }
+
+    #[test]
     fn tcp_round_trips_frames() {
         let (net, rx) = collecting_network();
         net.set_link("f", "g", LinkKind::Tcp);
@@ -604,5 +953,147 @@ mod tests {
         let small = Update::assert("Work", "f::j");
         let big = Update::data("n", Value::Bytes(vec![0; 10_000]), "f::j");
         assert!(wire_size(&big) > wire_size(&small) + 9000);
+    }
+
+    #[test]
+    fn frame_codec_carries_sequence_numbers() {
+        let mut u = Update::data("n", Value::Int(7), "f::j");
+        u.seq = 42;
+        let frame = encode_frame(&JunctionId::new("g", "serve"), &u);
+        // decode_frame takes the body, after the 4-byte length prefix.
+        let (to, decoded) = decode_frame(&frame[4..]).unwrap();
+        assert_eq!(to, JunctionId::new("g", "serve"));
+        assert_eq!(decoded.seq, 42);
+        assert_eq!(decoded.kind, UpdateKind::Data(Value::Int(7)));
+    }
+
+    #[test]
+    fn drop_without_retry_surfaces_link_dropped() {
+        let (net, rx) = collecting_network();
+        net.set_retry_policy(crate::fault::RetryPolicy::disabled());
+        net.set_fault_plan("f", "g", FaultPlan::none().with_drop(1.0).with_seed(1));
+        let to = JunctionId::new("g", "junction");
+        let err = net.send("f", &to, Update::assert("Work", "f::j")).unwrap_err();
+        assert_eq!(err, SendError::LinkDropped);
+        assert!(err.is_retryable());
+        assert!(rx.try_recv().is_err());
+        assert_eq!(net.stats().drops, 1);
+    }
+
+    #[test]
+    fn retry_recovers_through_transient_drops() {
+        let (net, rx) = collecting_network();
+        // drop ~60% of attempts: 7 tries at p=0.6 fail with prob ~2.8%,
+        // and the seed below is known-good.
+        net.set_fault_plan("f", "g", FaultPlan::none().with_drop(0.6).with_seed(3));
+        let to = JunctionId::new("g", "junction");
+        for i in 0..20 {
+            net.send("f", &to, Update::data("n", Value::Int(i), "f::j")).unwrap();
+        }
+        for i in 0..20 {
+            let (_, u) = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+            assert_eq!(u.kind, UpdateKind::Data(Value::Int(i)));
+        }
+        let stats = net.stats();
+        assert!(stats.retries > 0, "expected retries, got {stats:?}");
+        assert_eq!(stats.deduped, 0, "no dups were injected");
+    }
+
+    #[test]
+    fn duplicates_are_deduped_unless_disabled() {
+        let (net, rx) = collecting_network();
+        net.set_fault_plan("f", "g", FaultPlan::none().with_dup(1.0).with_seed(5));
+        let to = JunctionId::new("g", "junction");
+        net.send("f", &to, Update::assert("Work", "f::j")).unwrap();
+        rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert!(
+            rx.recv_timeout(Duration::from_millis(100)).is_err(),
+            "duplicate should have been suppressed"
+        );
+        assert_eq!(net.stats().deduped, 1);
+
+        // Ablation: with dedup off the duplicate reaches the receiver.
+        net.set_dedup(false);
+        net.send("f", &to, Update::assert("Work", "f::j")).unwrap();
+        rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        rx.recv_timeout(Duration::from_secs(1))
+            .expect("duplicate should arrive with dedup disabled");
+    }
+
+    #[test]
+    fn unsequenced_updates_bypass_dedup() {
+        // Test-path deliveries (seq 0) must never be suppressed, even if
+        // identical — dedup keys on sequence numbers, not content.
+        let (net, rx) = collecting_network();
+        let to = JunctionId::new("g", "junction");
+        let raw = Update::assert("Work", "f::j");
+        assert_eq!(raw.seq, 0);
+        net.send_raw("f", &to, raw.clone()).unwrap();
+        net.send_raw("f", &to, raw).unwrap();
+        rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        rx.recv_timeout(Duration::from_secs(1)).unwrap();
+    }
+
+    #[test]
+    fn partition_window_rejects_then_heals() {
+        let (net, rx) = collecting_network();
+        net.set_retry_policy(crate::fault::RetryPolicy::disabled());
+        net.set_fault_plan(
+            "f",
+            "g",
+            FaultPlan::none().with_outage(Duration::ZERO, Duration::from_millis(50)),
+        );
+        let to = JunctionId::new("g", "junction");
+        let err = net.send("f", &to, Update::assert("Work", "f::j")).unwrap_err();
+        assert_eq!(err, SendError::PartitionedAway);
+        assert!(rx.try_recv().is_err());
+        std::thread::sleep(Duration::from_millis(60));
+        net.send("f", &to, Update::assert("Work", "f::j")).unwrap();
+        rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(net.stats().partitioned, 1);
+    }
+
+    #[test]
+    fn retry_outlasts_short_partition() {
+        let (net, rx) = collecting_network();
+        // Long enough budget to ride out a 40ms outage.
+        net.set_retry_policy(crate::fault::RetryPolicy {
+            enabled: true,
+            max_retries: 10,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(40),
+        });
+        net.set_fault_plan(
+            "f",
+            "g",
+            FaultPlan::none().with_outage(Duration::ZERO, Duration::from_millis(40)),
+        );
+        let to = JunctionId::new("g", "junction");
+        net.send("f", &to, Update::assert("Work", "f::j")).unwrap();
+        rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert!(net.stats().retries > 0);
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_per_seed() {
+        let run = || {
+            let (net, rx) = collecting_network();
+            net.set_retry_policy(crate::fault::RetryPolicy::disabled());
+            net.set_fault_plan(
+                "f",
+                "g",
+                FaultPlan::none().with_drop(0.3).with_dup(0.2).with_seed(99),
+            );
+            let to = JunctionId::new("g", "junction");
+            let mut outcomes = Vec::new();
+            for i in 0..200 {
+                let r = net.send("f", &to, Update::data("n", Value::Int(i), "f::j"));
+                outcomes.push(r.is_ok());
+            }
+            drop(net);
+            let delivered = rx.iter().count();
+            (outcomes, delivered)
+        };
+        assert_eq!(run(), run());
     }
 }

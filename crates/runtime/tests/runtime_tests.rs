@@ -597,6 +597,102 @@ fn keep_discards_parallel_updates() {
     rt.shutdown();
 }
 
+/// Satellite of the fault-model work: a transaction body whose `write`
+/// fails not because the target is down but because the *link* eats the
+/// message (injected fault, retry disabled) must roll back exactly like
+/// the target-down case — ⟨|E|⟩ is all-or-nothing regardless of which
+/// failure interrupts it.
+#[test]
+fn transaction_rolls_back_on_injected_link_fault() {
+    let ty = InstanceType::new(
+        "T",
+        vec![JunctionDef::new(
+            "j",
+            vec![],
+            vec![Decl::prop_false("Flag"), Decl::data("n")],
+            seq([
+                save("n"),
+                otherwise_nodeadline(
+                    transaction(seq([
+                        assert_local("Flag"),
+                        write("n", JRef::instance("peer")),
+                    ])),
+                    skip(),
+                ),
+            ]),
+        )],
+    );
+    let peer = InstanceType::new(
+        "P",
+        vec![JunctionDef::new("j", vec![], vec![Decl::data("n")], skip())],
+    );
+    let p = ProgramBuilder::new()
+        .ty(ty)
+        .ty(peer)
+        .instance("a", "T")
+        .instance("peer", "P")
+        .main(vec![], par([start("a", vec![]), start("peer", vec![])]))
+        .build();
+    let cp = compile(p, &LoadConfig::new()).unwrap();
+    let rt = Runtime::new(&cp, RuntimeConfig::default());
+    // The peer is alive — only the link is bad. With retry disabled the
+    // drop surfaces as Failure::Link{LinkDropped} inside the transaction.
+    rt.set_retry_policy(csaw_runtime::RetryPolicy::disabled());
+    rt.set_fault_plan("a", "peer", csaw_runtime::FaultPlan::none().with_drop(1.0));
+    rt.run_main(vec![]).unwrap();
+    assert!(wait_until(Duration::from_secs(5), || rt.activations("a") > 0));
+    std::thread::sleep(Duration::from_millis(50));
+    assert_eq!(rt.status("peer"), Some(InstanceStatus::Running));
+    assert_eq!(rt.peek_prop("a", "j", "Flag"), Some(false), "must roll back");
+    // Declared-but-never-written data reads as undef: the write was lost.
+    assert_eq!(rt.peek_data("peer", "j", "n"), Some(Value::Undef));
+    assert!(rt.link_stats().drops > 0, "fault plan must have engaged");
+    rt.shutdown();
+}
+
+/// Heartbeat failure detection makes `S(ι)` observer-relative: a
+/// directional partition silences b's pings toward a, so a suspects b
+/// while b (still hearing a) does not. Healing the link restores trust.
+#[test]
+fn heartbeats_make_liveness_observer_relative_under_partition() {
+    let ty = InstanceType::new(
+        "T",
+        vec![JunctionDef::new("j", vec![], vec![Decl::prop_false("P")], skip())],
+    );
+    let p = ProgramBuilder::new()
+        .ty(ty)
+        .instance("a", "T")
+        .instance("b", "T")
+        .main(vec![], par([start("a", vec![]), start("b", vec![])]))
+        .build();
+    let cp = compile(p, &LoadConfig::new()).unwrap();
+    let rt = Runtime::new(&cp, RuntimeConfig::default());
+    rt.run_main(vec![]).unwrap();
+    rt.enable_heartbeats(csaw_runtime::HeartbeatConfig {
+        interval: Duration::from_millis(10),
+        suspicion: Duration::from_millis(80),
+    });
+    // Both directions healthy: nobody suspects anybody.
+    std::thread::sleep(Duration::from_millis(120));
+    assert!(rt.is_live_from("a", "b"));
+    assert!(rt.is_live_from("b", "a"));
+    // Cut b→a only. a stops hearing b; b still hears a.
+    rt.set_fault_plan(
+        "b",
+        "a",
+        csaw_runtime::FaultPlan::none().with_outage(Duration::ZERO, Duration::from_secs(60)),
+    );
+    assert!(wait_until(Duration::from_secs(5), || !rt.is_live_from("a", "b")));
+    assert!(rt.is_live_from("b", "a"), "partition is directional");
+    // The registry fast path still sees b as Running — only the
+    // observer-relative view changed.
+    assert_eq!(rt.status("b"), Some(InstanceStatus::Running));
+    // Heal; a's trust in b returns with the next pings.
+    rt.clear_fault_plan("b", "a");
+    assert!(wait_until(Duration::from_secs(5), || rt.is_live_from("a", "b")));
+    rt.shutdown();
+}
+
 #[test]
 fn run_main_arity_checked() {
     let cp = compile_fig3();

@@ -1,0 +1,201 @@
+//! Minimal, dependency-free stand-in for the `bytes` crate (offline
+//! build; see `crates/shim/`): a growable [`BytesMut`] buffer plus the
+//! little-endian [`Buf`]/[`BufMut`] accessors the serializer uses.
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut { buf: Vec::new() }
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Copy out as a `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.buf.clone()
+    }
+
+    /// Drop all contents.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Vec<u8> {
+        b.buf
+    }
+}
+
+macro_rules! put_methods {
+    ($($name:ident: $t:ty),*) => {$(
+        /// Append the little-endian encoding of the value.
+        fn $name(&mut self, v: $t) {
+            self.put_slice(&v.to_le_bytes());
+        }
+    )*};
+}
+
+/// Write-side buffer operations (little-endian subset).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append one signed byte.
+    fn put_i8(&mut self, v: i8) {
+        self.put_slice(&[v as u8]);
+    }
+
+    put_methods! {
+        put_u16_le: u16, put_u32_le: u32, put_u64_le: u64,
+        put_i16_le: i16, put_i32_le: i32, put_i64_le: i64,
+        put_f32_le: f32, put_f64_le: f64
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+macro_rules! get_methods {
+    ($($name:ident: $t:ty),*) => {$(
+        /// Read the next little-endian value, advancing the cursor.
+        /// Panics if not enough bytes remain (callers check
+        /// [`Buf::remaining`] first).
+        fn $name(&mut self) -> $t {
+            const N: usize = std::mem::size_of::<$t>();
+            let mut raw = [0u8; N];
+            raw.copy_from_slice(&self.chunk()[..N]);
+            self.advance(N);
+            <$t>::from_le_bytes(raw)
+        }
+    )*};
+}
+
+/// Read-side buffer operations (little-endian subset).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Skip `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Read one signed byte.
+    fn get_i8(&mut self) -> i8 {
+        self.get_u8() as i8
+    }
+
+    get_methods! {
+        get_u16_le: u16, get_u32_le: u32, get_u64_le: u64,
+        get_i16_le: i16, get_i32_le: i32, get_i64_le: i64,
+        get_f32_le: f32, get_f64_le: f64
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut b = BytesMut::new();
+        b.put_u8(1);
+        b.put_i8(-2);
+        b.put_u16_le(3);
+        b.put_i16_le(-4);
+        b.put_u32_le(5);
+        b.put_i32_le(-6);
+        b.put_u64_le(7);
+        b.put_i64_le(-8);
+        b.put_f32_le(9.5);
+        b.put_f64_le(-10.25);
+        b.put_slice(b"xyz");
+
+        let v = b.to_vec();
+        let mut r: &[u8] = &v;
+        assert_eq!(r.get_u8(), 1);
+        assert_eq!(r.get_i8(), -2);
+        assert_eq!(r.get_u16_le(), 3);
+        assert_eq!(r.get_i16_le(), -4);
+        assert_eq!(r.get_u32_le(), 5);
+        assert_eq!(r.get_i32_le(), -6);
+        assert_eq!(r.get_u64_le(), 7);
+        assert_eq!(r.get_i64_le(), -8);
+        assert_eq!(r.get_f32_le(), 9.5);
+        assert_eq!(r.get_f64_le(), -10.25);
+        assert_eq!(r.remaining(), 3);
+        r.advance(1);
+        assert_eq!(r, b"yz");
+    }
+}

@@ -92,6 +92,9 @@ impl InstanceApp for EngineApp {
 
 // ENDSECTION: engine
 // SECTION: steering
+/// Packet predicate deciding whether a flow is reserved to this handler.
+pub type ReservePredicate = Box<dyn Fn(&Packet) -> bool + Send>;
+
 /// The packet-steering front-end: routes by 5-tuple hash ("adds a policy
 /// layer on top of Suricata's allocation of cores", §2). Plugs into the
 /// *same* sharding architecture as Redis.
@@ -105,7 +108,7 @@ pub struct SteeringApp {
     current: Option<Packet>,
     /// Reserved shard for flows of interest (flow-level resourcing): any
     /// flow matching `reserve` is pinned to shard 0, others share 1..N.
-    pub reserve: Option<Box<dyn Fn(&Packet) -> bool + Send>>,
+    pub reserve: Option<ReservePredicate>,
 }
 
 impl SteeringApp {

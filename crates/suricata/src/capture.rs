@@ -118,7 +118,7 @@ impl SyntheticCapture {
         let mut assignment: Vec<usize> = Vec::with_capacity(spec.packets);
         for (i, f) in flows.iter().enumerate() {
             let n = ((f.weight / weight_sum) * spec.packets as f64).round() as usize;
-            assignment.extend(std::iter::repeat(i).take(n.max(1)));
+            assignment.extend(std::iter::repeat_n(i, n.max(1)));
         }
         assignment.truncate(spec.packets);
         while assignment.len() < spec.packets {
@@ -200,21 +200,47 @@ mod tests {
         assert_eq!(a, b);
     }
 
+    /// Mean share of packets carried by the top 10% of flows, averaged
+    /// over several seeds (a single 100-flow draw has high variance).
+    fn top_decile_share(tail_alpha: f64) -> f64 {
+        let seeds = [1u64, 2, 3, 4, 5];
+        let mut share_sum = 0.0;
+        for &seed in &seeds {
+            let c = SyntheticCapture::generate(&CaptureSpec {
+                flows: 100,
+                packets: 5000,
+                tail_alpha,
+                seed,
+                ..Default::default()
+            });
+            let mut by_flow: HashMap<_, usize> = HashMap::new();
+            for p in &c.packets {
+                *by_flow.entry(p.flow_key()).or_default() += 1;
+            }
+            let mut sizes: Vec<usize> = by_flow.values().copied().collect();
+            sizes.sort_unstable_by(|a, b| b.cmp(a));
+            let top = (sizes.len() / 10).max(1);
+            let top_sum: usize = sizes[..top].iter().sum();
+            share_sum += top_sum as f64 / 5000.0;
+        }
+        share_sum / seeds.len() as f64
+    }
+
     #[test]
     fn flow_sizes_are_heavy_tailed() {
-        let c = capture();
-        let mut by_flow: HashMap<_, usize> = HashMap::new();
-        for p in &c.packets {
-            *by_flow.entry(p.flow_key()).or_default() += 1;
-        }
-        let mut sizes: Vec<usize> = by_flow.values().copied().collect();
-        sizes.sort_unstable_by(|a, b| b.cmp(a));
-        // Top 10% of flows carry a majority of packets.
-        let top = sizes.len() / 10;
-        let top_sum: usize = sizes[..top.max(1)].iter().sum();
+        // At the default alpha the top decile must carry far more than
+        // its proportional 10% share, and lowering alpha must make the
+        // tail heavier (the knob works in the right direction).
+        let default_share = top_decile_share(CaptureSpec::default().tail_alpha);
         assert!(
-            top_sum * 2 > 5000,
-            "tail not heavy: top {top} flows carry {top_sum}/5000"
+            default_share > 0.35,
+            "tail not heavy: top-decile mean share {default_share:.3}"
+        );
+        let heavy = top_decile_share(0.8);
+        let light = top_decile_share(4.0);
+        assert!(
+            heavy > 0.5 && heavy > light + 0.1,
+            "alpha knob ineffective: heavy {heavy:.3} vs light {light:.3}"
         );
     }
 

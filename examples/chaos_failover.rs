@@ -1,0 +1,117 @@
+//! Chaos fail-over (§7.3 under the fault model): the same front-end /
+//! warm-back-end architecture as `failover_kv`, but the links misbehave —
+//! seeded probabilistic drop and duplication, delivery jitter, and a
+//! scheduled directional partition cutting `f → b1` mid-run. The
+//! reliability layer (bounded retry with backoff, receiver-side dedup)
+//! masks the loss; the partition outlasts the retry budget, so the
+//! architecture demotes `b1` and re-registers it once the link heals.
+//!
+//! Run with: `cargo run --example chaos_failover`
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use csaw::arch::failover::{self, failover, FailoverSpec};
+use csaw::core::program::LoadConfig;
+use csaw::core::value::Value;
+use csaw::kv::Update;
+use csaw::redis::apps::{FailoverFrontApp, ServerApp};
+use csaw::redis::Command;
+use csaw::runtime::{FaultPlan, Runtime, RuntimeConfig};
+
+fn wait_until(timeout: Duration, mut f: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while !f() {
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    true
+}
+
+fn main() {
+    let spec = FailoverSpec::default(); // front-end `f`, back-ends b1, b2
+    let compiled = csaw::core::compile(failover(&spec), &LoadConfig::new()).unwrap();
+    let rt = Runtime::new(&compiled, RuntimeConfig::default());
+
+    let front = FailoverFrontApp::new();
+    let requests = Arc::clone(&front.requests);
+    let replies = Arc::clone(&front.replies);
+    rt.bind_app("f", Box::new(front));
+    let mut stores = Vec::new();
+    for name in ["b1", "b2"] {
+        let app = ServerApp::new();
+        stores.push(Arc::clone(&app.store));
+        rt.bind_app(name, Box::new(app));
+    }
+    let t = Duration::from_millis(400);
+    failover::configure_policies(&rt, &spec, t);
+    rt.run_main(vec![Value::Duration(t)]).unwrap();
+    wait_until(Duration::from_secs(5), || {
+        rt.peek_prop("f", "c", "Starting") == Some(false)
+    });
+    println!("booted: Backend[b1::serve] and Backend[b2::serve] registered at f::c");
+
+    // Chaos goes in after boot. Every direction of the request path gets
+    // 5% drop + 5% dup + 1ms jitter; additionally f → b1 is cut for 1.5s
+    // starting 300ms from now. Seeded, so this run replays bit-for-bit.
+    for (i, (from, to)) in [("f", "b1"), ("b1", "f"), ("f", "b2"), ("b2", "f")]
+        .into_iter()
+        .enumerate()
+    {
+        let mut plan = FaultPlan::none()
+            .with_drop(0.05)
+            .with_dup(0.05)
+            .with_jitter(Duration::from_millis(1))
+            .with_seed(42 + i as u64);
+        if (from, to) == ("f", "b1") {
+            plan = plan.with_outage(Duration::from_millis(300), Duration::from_millis(1800));
+        }
+        rt.set_fault_plan(from, to, plan);
+    }
+    println!("chaos installed: 5% drop, 5% dup, 1ms jitter; f→b1 partition at +300ms for 1.5s");
+
+    let sent = std::cell::Cell::new(0usize);
+    let lost = std::cell::Cell::new(0usize);
+    let request = |cmd: Command| {
+        requests.lock().push_back(cmd);
+        rt.deliver_for_test("f", "c", Update::assert("Req", "client"));
+        sent.set(sent.get() + 1);
+        let expect = sent.get() - lost.get();
+        if !wait_until(Duration::from_secs(5), || replies.lock().len() >= expect) {
+            lost.set(lost.get() + 1);
+            requests.lock().clear();
+        }
+    };
+
+    for i in 0..60 {
+        request(Command::Set(format!("k{}", i % 4), format!("v{i}").into_bytes()));
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    println!(
+        "drove {} requests through the chaos: answered = {}, lost = {}",
+        sent.get(),
+        replies.lock().len(),
+        lost.get()
+    );
+
+    // The partition has healed; b1's periodic startup junction
+    // re-registers it, and one more write-to-all resynchronizes.
+    wait_until(Duration::from_secs(10), || {
+        rt.peek_prop("f", "c", "Backend[b1::serve]") == Some(true)
+            && rt.peek_prop("f", "c", "Backend[b2::serve]") == Some(true)
+    });
+    request(Command::Set("k0".into(), b"fence".to_vec()));
+    let agree = ["k0", "k1", "k2", "k3"]
+        .iter()
+        .all(|k| stores[0].lock().get(k) == stores[1].lock().get(k));
+    println!("partition healed: b1 re-registered, replicas agree = {agree}");
+
+    let stats = rt.link_stats();
+    println!(
+        "link stats: {} sends, {} dropped, {} duplicated, {} deduped, {} retries, {} hit the partition",
+        stats.msgs_sent, stats.drops, stats.dups, stats.deduped, stats.retries, stats.partitioned
+    );
+    rt.shutdown();
+}
