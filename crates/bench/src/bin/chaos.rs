@@ -7,7 +7,10 @@
 //! * `CSAW_CHAOS_SEED` — master seed (default 42);
 //! * `CSAW_CHAOS_REQUESTS` — requests per soak (default 120);
 //! * `CSAW_CHAOS_UNRELIABLE=1` — disable retry/dedup (the failure
-//!   demonstration; inverts the exit-code expectation).
+//!   demonstration; inverts the exit-code expectation);
+//! * `CSAW_CHAOS_CONFORMANCE=1` — record causal traces and replay them
+//!   through the semantics conformance checker as a fourth invariant;
+//!   on violation the trace is dumped to `results/trace_<arch>.jsonl`.
 
 use csaw_bench::chaos::{self, ChaosSchedule};
 
@@ -22,8 +25,11 @@ fn main() {
     let seed = env_u64("CSAW_CHAOS_SEED", 42);
     let requests = env_u64("CSAW_CHAOS_REQUESTS", 120) as usize;
     let unreliable = std::env::var("CSAW_CHAOS_UNRELIABLE").is_ok_and(|v| v == "1");
+    let conformance = std::env::var("CSAW_CHAOS_CONFORMANCE").is_ok_and(|v| v == "1");
 
-    let mut schedule = ChaosSchedule::acceptance(seed).with_requests(requests);
+    let mut schedule = ChaosSchedule::acceptance(seed)
+        .with_requests(requests)
+        .with_conformance(conformance && !unreliable);
     if unreliable {
         schedule = schedule.without_reliability();
     }
@@ -36,6 +42,25 @@ fn main() {
     let mut all_ok = true;
     for o in &outcomes {
         o.report().finish();
+        if let Some(c) = &o.conformance {
+            println!(
+                "{}: conformance {} ({} events, {} violations)",
+                o.arch,
+                if c.ok { "ok" } else { "VIOLATED" },
+                c.events,
+                c.violations
+            );
+            if !c.ok {
+                println!("{}", c.detail);
+                if let Some(jsonl) = &o.trace_jsonl {
+                    let path = format!("results/trace_{}.jsonl", o.arch);
+                    let _ = std::fs::create_dir_all("results");
+                    if std::fs::write(&path, jsonl).is_ok() {
+                        println!("trace dumped to {path}");
+                    }
+                }
+            }
+        }
         all_ok &= o.invariants_hold();
     }
 

@@ -1,0 +1,38 @@
+//! Trace-conformance runner: drives every catalogue architecture with
+//! tracing enabled and replays the recorded traces through the
+//! `csaw-semantics` conformance checker. Exits non-zero if any trace is
+//! rejected; failing traces (and a metrics snapshot note) are dumped
+//! under `results/` for offline inspection.
+//!
+//! Environment knobs:
+//! * `CSAW_CHAOS_SEED` — master seed for the fail-over soaks (default 42).
+
+use csaw_bench::conformance_runs::conformance_all;
+
+fn main() {
+    let seed = std::env::var("CSAW_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+
+    let runs = conformance_all(seed);
+    let mut all_ok = true;
+    for run in &runs {
+        println!("{}", run.line());
+        if !run.summary.ok {
+            all_ok = false;
+            println!("{}", run.summary.detail);
+            let _ = std::fs::create_dir_all("results");
+            let path = format!("results/trace_{}.jsonl", run.arch);
+            if std::fs::write(&path, &run.jsonl).is_ok() {
+                println!("trace dumped to {path}");
+            }
+        }
+    }
+    println!(
+        "{}/{} architectures conform (seed {seed})",
+        runs.iter().filter(|r| r.summary.ok).count(),
+        runs.len()
+    );
+    std::process::exit(if all_ok { 0 } else { 1 });
+}

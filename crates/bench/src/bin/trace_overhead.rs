@@ -1,0 +1,176 @@
+//! Trace-overhead measurement, in two parts:
+//!
+//! 1. **Redis throughput bench** (the acceptance criterion): the §10.1
+//!    query-rate harness — a mini-redis store serving a 70/30 workload
+//!    while C-Saw runs periodic checkpoint coordination. Tracing is
+//!    measured disabled (twice — the second run doubles as the noise
+//!    floor) and enabled.
+//! 2. **Coordination saturation** (informational worst case): every
+//!    request crosses the sharding architecture, so each one generates
+//!    ~20 trace events and the per-event cost is fully exposed.
+//!
+//! Writes `results/trace_overhead.json`.
+//!
+//! Environment knobs:
+//! * `CSAW_TRACE_SECS` — seconds per query-rate run (default 2.0);
+//! * `CSAW_TRACE_REQS` — requests per saturation run (default 20000);
+//! * `CSAW_TRACE_DUMP` — path to dump the saturated traced run's JSONL.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use csaw_arch::checkpoint::{checkpoint, CheckpointSpec};
+use csaw_arch::sharding::{sharding, ShardingSpec};
+use csaw_bench::report::Report;
+use csaw_core::program::LoadConfig;
+use csaw_core::value::Value;
+use csaw_runtime::runtime::Policy;
+use csaw_runtime::{Runtime, RuntimeConfig};
+use mini_redis::apps::{CheckpointStoreApp, ServerApp, ShardFrontApp, ShardMode};
+use mini_redis::workload::{Workload, WorkloadSpec};
+
+fn workload() -> Workload {
+    Workload::new(WorkloadSpec {
+        keyspace: 4000,
+        read_ratio: 0.7,
+        value_size: 128,
+        ..Default::default()
+    })
+}
+
+/// The redis throughput bench (fig. 23a harness without the crash):
+/// queries execute against the store while the checkpoint architecture
+/// coordinates at a fixed cadence. Returns (queries/s, trace events).
+fn query_rate_once(tracing: bool, seconds: f64) -> (f64, usize) {
+    let spec = CheckpointSpec::default();
+    let cp = csaw_core::compile(checkpoint(&spec), &LoadConfig::new()).unwrap();
+    let rt = Runtime::new(&cp, RuntimeConfig::default());
+    rt.set_tracing(tracing);
+    let prim = ServerApp::new();
+    let store = Arc::clone(&prim.store);
+    rt.bind_app("Prim", Box::new(prim));
+    rt.bind_app("Store", Box::new(CheckpointStoreApp::new()));
+    rt.set_policy("Prim", "checkpoint", Policy::Periodic(Duration::from_secs_f64(seconds / 8.0)));
+    rt.run_main(vec![Value::Duration(Duration::from_secs(5))]).unwrap();
+
+    {
+        let mut s = store.lock();
+        for i in 0..4000 {
+            s.set(&format!("key:{i}"), vec![0xAB; 128]);
+        }
+    }
+    let mut wl = workload();
+    let mut queries = 0u64;
+    let start = Instant::now();
+    let total = Duration::from_secs_f64(seconds);
+    while start.elapsed() < total {
+        let cmd = wl.next();
+        let _ = cmd.execute(&mut store.lock());
+        queries += 1;
+    }
+    let rate = queries as f64 / start.elapsed().as_secs_f64();
+    let events = rt.trace_events().len();
+    rt.shutdown();
+    (rate, events)
+}
+
+/// Worst case: drive `requests` workload commands through the sharding
+/// architecture, so every request is pure C-Saw coordination. Returns
+/// (requests/s, trace events).
+fn saturation_once(tracing: bool, requests: usize) -> (f64, usize) {
+    let n = 4;
+    let spec = ShardingSpec { n_backends: n, ..Default::default() };
+    let cp = csaw_core::compile(sharding(&spec), &LoadConfig::new()).unwrap();
+    let rt = Runtime::new(&cp, RuntimeConfig::default());
+    rt.set_tracing(tracing);
+    let front = ShardFrontApp::new(ShardMode::ByKey, n);
+    let queue = Arc::clone(&front.requests);
+    rt.bind_app("Fnt", Box::new(front));
+    for i in 1..=n {
+        rt.bind_app(&format!("Bck{i}"), Box::new(ServerApp::new()));
+    }
+    rt.set_policy("Fnt", "junction", Policy::OnDemand);
+    rt.run_main(vec![Value::Duration(Duration::from_secs(10))]).unwrap();
+
+    let mut wl = workload();
+    let start = Instant::now();
+    for _ in 0..requests {
+        queue.lock().push_back(wl.next());
+        let _ = rt.invoke("Fnt", "junction");
+    }
+    let rate = requests as f64 / start.elapsed().as_secs_f64();
+    let events = if tracing {
+        let jsonl = rt.trace_jsonl();
+        if let Ok(path) = std::env::var("CSAW_TRACE_DUMP") {
+            let _ = std::fs::write(path, &jsonl);
+        }
+        jsonl.lines().count()
+    } else {
+        rt.trace_events().len()
+    };
+    rt.shutdown();
+    (rate, events)
+}
+
+/// off/off/on measurement of one harness; returns
+/// (off mean, on, noise %, overhead %, traced events).
+fn measure<F: Fn(bool) -> (f64, usize)>(run: F) -> (f64, f64, f64, f64, usize) {
+    let (off_a, _) = run(false);
+    let (off_b, _) = run(false);
+    let (on, events) = run(true);
+    let off = (off_a + off_b) / 2.0;
+    let noise = (off_a - off_b).abs() / off * 100.0;
+    let overhead = (off - on) / off * 100.0;
+    (off, on, noise, overhead, events)
+}
+
+fn main() {
+    let seconds = std::env::var("CSAW_TRACE_SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2.0f64);
+    let requests = std::env::var("CSAW_TRACE_REQS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000usize);
+
+    // Warm-up (thread pools, allocator).
+    let _ = saturation_once(false, requests / 10);
+
+    let (q_off, q_on, q_noise, q_over, q_events) = measure(|t| query_rate_once(t, seconds));
+    println!("redis throughput bench (checkpointed query rate):");
+    println!("  off {q_off:.0} q/s, on {q_on:.0} q/s (noise {q_noise:.1}%)");
+    println!("  enabled overhead: {q_over:.1}%  ({q_events} events recorded)");
+
+    let (s_off, s_on, s_noise, s_over, s_events) = measure(|t| saturation_once(t, requests));
+    let ns_per_event = if s_events > 0 {
+        (1.0 / s_on - 1.0 / s_off) * requests as f64 / s_events as f64 * 1e9
+    } else {
+        0.0
+    };
+    println!("coordination saturation (every request through the sharded architecture):");
+    println!("  off {s_off:.0} req/s, on {s_on:.0} req/s (noise {s_noise:.1}%)");
+    println!(
+        "  enabled overhead: {s_over:.1}%  ({s_events} events, ~{:.0} events/request, ~{ns_per_event:.0} ns/event)",
+        s_events as f64 / requests as f64
+    );
+
+    let mut r = Report::new("trace_overhead", "Trace layer overhead");
+    r.note("query_rate_off", q_off);
+    r.note("query_rate_on", q_on);
+    r.note("query_rate_noise_pct", q_noise);
+    r.note("query_rate_overhead_pct", q_over);
+    r.note("query_rate_trace_events", q_events as f64);
+    r.note("saturation_requests", requests as f64);
+    r.note("saturation_off", s_off);
+    r.note("saturation_on", s_on);
+    r.note("saturation_noise_pct", s_noise);
+    r.note("saturation_overhead_pct", s_over);
+    r.note("saturation_trace_events", s_events as f64);
+    r.note("saturation_ns_per_event", ns_per_event);
+    r.remark(
+        "acceptance: redis throughput bench overhead <10% enabled, ~0% disabled; \
+         the saturation number is the worst case (every request is pure coordination)",
+    );
+    r.finish();
+}

@@ -37,6 +37,7 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::conformance_runs::{check_runtime_trace, ConformanceSummary};
 use crate::report::Report;
 
 /// The soak keyspace: all generated commands target these keys, so
@@ -71,6 +72,9 @@ pub struct ChaosSchedule {
     /// How long the driver waits for any single request before declaring
     /// it lost.
     pub request_deadline: Duration,
+    /// Record a causal trace during the soak and replay it through the
+    /// `csaw-semantics` conformance checker as a fourth invariant.
+    pub conformance: bool,
 }
 
 impl ChaosSchedule {
@@ -88,7 +92,14 @@ impl ChaosSchedule {
             reliability: true,
             pace: Duration::from_millis(20),
             request_deadline: Duration::from_secs(5),
+            conformance: false,
         }
+    }
+
+    /// Enable (or disable) trace recording + conformance replay.
+    pub fn with_conformance(mut self, on: bool) -> ChaosSchedule {
+        self.conformance = on;
+        self
     }
 
     /// The same schedule with retry and dedup switched off (the ablation
@@ -226,6 +237,11 @@ pub struct SoakOutcome {
     pub stats: LinkStats,
     /// Wall-clock seconds.
     pub elapsed: f64,
+    /// Conformance replay of the recorded trace — invariant 4, present
+    /// only when [`ChaosSchedule::conformance`] was set.
+    pub conformance: Option<ConformanceSummary>,
+    /// The recorded JSONL trace (for artifact dumps on failure).
+    pub trace_jsonl: Option<String>,
 }
 
 impl SoakOutcome {
@@ -236,6 +252,7 @@ impl SoakOutcome {
             && self.single_active
             && self.converged
             && self.model_match
+            && self.conformance.as_ref().is_none_or(|c| c.ok)
     }
 
     /// The deterministic verdict tuple (what must replay bit-for-bit
@@ -267,6 +284,11 @@ impl SoakOutcome {
         r.note("retries", self.stats.retries as f64);
         r.note("partitioned_sends", self.stats.partitioned as f64);
         r.note("elapsed_s", self.elapsed);
+        if let Some(c) = &self.conformance {
+            r.note("trace_events", c.events as f64);
+            r.note("conformance_violations", c.violations as f64);
+            r.note("conformance_ok", b2f(c.ok));
+        }
         r.note("invariants_hold", b2f(self.invariants_hold()));
         r.remark(if self.invariants_hold() {
             "PASS: zero lost accepted requests, consistent arbitration, converged KV"
@@ -350,6 +372,9 @@ pub fn soak_failover(schedule: &ChaosSchedule) -> SoakOutcome {
     let spec = FailoverSpec::default();
     let cp = csaw_core::compile(failover(&spec), &LoadConfig::new()).unwrap();
     let rt = Runtime::new(&cp, RuntimeConfig::default());
+    if schedule.conformance {
+        rt.set_tracing(true);
+    }
 
     let front = FailoverFrontApp::new();
     let requests = Arc::clone(&front.requests);
@@ -438,6 +463,12 @@ pub fn soak_failover(schedule: &ChaosSchedule) -> SoakOutcome {
     };
     let stats = rt.link_stats();
     rt.shutdown();
+    let (conformance, trace_jsonl) = if schedule.conformance {
+        let (summary, jsonl) = check_runtime_trace(&rt, &cp);
+        (Some(summary), Some(jsonl))
+    } else {
+        (None, None)
+    };
 
     SoakOutcome {
         arch: "failover".into(),
@@ -453,6 +484,8 @@ pub fn soak_failover(schedule: &ChaosSchedule) -> SoakOutcome {
         model_match,
         stats,
         elapsed: t0.elapsed().as_secs_f64(),
+        conformance,
+        trace_jsonl,
     }
 }
 
@@ -472,6 +505,9 @@ pub fn soak_watched(schedule: &ChaosSchedule) -> SoakOutcome {
     let spec = WatchedSpec::default();
     let cp = csaw_core::compile(watched_failover(&spec), &LoadConfig::new()).unwrap();
     let rt = Runtime::new(&cp, RuntimeConfig::default());
+    if schedule.conformance {
+        rt.set_tracing(true);
+    }
 
     let front = KvFront::new();
     let requests = Arc::clone(&front.requests);
@@ -565,6 +601,12 @@ pub fn soak_watched(schedule: &ChaosSchedule) -> SoakOutcome {
     };
     let stats = rt.link_stats();
     rt.shutdown();
+    let (conformance, trace_jsonl) = if schedule.conformance {
+        let (summary, jsonl) = check_runtime_trace(&rt, &cp);
+        (Some(summary), Some(jsonl))
+    } else {
+        (None, None)
+    };
 
     SoakOutcome {
         arch: "watched".into(),
@@ -580,6 +622,8 @@ pub fn soak_watched(schedule: &ChaosSchedule) -> SoakOutcome {
         model_match,
         stats,
         elapsed: t0.elapsed().as_secs_f64(),
+        conformance,
+        trace_jsonl,
     }
 }
 
@@ -641,6 +685,9 @@ pub fn soak_checkpoint(schedule: &ChaosSchedule) -> SoakOutcome {
     let spec = CheckpointSpec::default();
     let cp = csaw_core::compile(checkpoint(&spec), &LoadConfig::new()).unwrap();
     let rt = Runtime::new(&cp, RuntimeConfig::default());
+    if schedule.conformance {
+        rt.set_tracing(true);
+    }
 
     let counter = Arc::new(AtomicU64::new(0));
     let checkpointed = Arc::new(Mutex::new(Vec::new()));
@@ -694,6 +741,12 @@ pub fn soak_checkpoint(schedule: &ChaosSchedule) -> SoakOutcome {
     let answered = if recovered_ok { accepted } else { 0 };
     let stats = rt.link_stats();
     rt.shutdown();
+    let (conformance, trace_jsonl) = if schedule.conformance {
+        let (summary, jsonl) = check_runtime_trace(&rt, &cp);
+        (Some(summary), Some(jsonl))
+    } else {
+        (None, None)
+    };
 
     SoakOutcome {
         arch: "checkpoint".into(),
@@ -709,6 +762,8 @@ pub fn soak_checkpoint(schedule: &ChaosSchedule) -> SoakOutcome {
         model_match: genuine,
         stats,
         elapsed: t0.elapsed().as_secs_f64(),
+        conformance,
+        trace_jsonl,
     }
 }
 

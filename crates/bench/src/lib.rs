@@ -16,6 +16,7 @@
 //! | [`exp_loc`] | Table 2 |
 //! | [`ablations`] | DESIGN.md ablations (transports, fail-over designs, serializer depth, fan-out, fault tolerance) |
 //! | [`chaos`] | chaos soak: fault-injected fail-over invariants |
+//! | [`conformance_runs`] | trace-conformance validation of the architecture catalogue |
 //!
 //! Experiment durations are time-compressed relative to the paper's 120s
 //! runs; scale with `--seconds <n>` on each binary or the
@@ -23,6 +24,7 @@
 
 pub mod ablations;
 pub mod chaos;
+pub mod conformance_runs;
 pub mod exp_curl;
 pub mod exp_loc;
 pub mod exp_redis;

@@ -1,0 +1,51 @@
+//! Fast conformance smoke tests: a subset of the architecture catalogue
+//! runs with tracing on and the recorded traces must replay cleanly
+//! through the semantics checker. The full seven-architecture sweep is
+//! the `trace_conformance` binary (CI runs it at a fixed seed).
+
+use csaw_bench::chaos::{soak_checkpoint, ChaosSchedule};
+use csaw_bench::conformance_runs::{conf_caching, conf_sharding};
+use std::time::Duration;
+
+#[test]
+fn sharding_trace_conforms() {
+    let run = conf_sharding();
+    assert!(
+        run.summary.ok,
+        "sharding trace rejected:\n{}\ntrace:\n{}",
+        run.summary.detail,
+        run.jsonl
+    );
+    assert!(run.summary.events > 0);
+    assert_eq!(run.summary.dropped, 0);
+}
+
+#[test]
+fn caching_trace_conforms() {
+    let run = conf_caching();
+    assert!(
+        run.summary.ok,
+        "caching trace rejected:\n{}\ntrace:\n{}",
+        run.summary.detail,
+        run.jsonl
+    );
+    assert!(run.summary.events > 0);
+}
+
+#[test]
+fn checkpoint_soak_with_conformance_invariant_holds() {
+    let schedule = ChaosSchedule::acceptance(7)
+        .with_requests(10)
+        .without_partition()
+        .with_pace(Duration::from_millis(1))
+        .with_conformance(true);
+    let outcome = soak_checkpoint(&schedule);
+    let c = outcome.conformance.as_ref().expect("conformance enabled");
+    assert!(
+        c.ok,
+        "checkpoint trace rejected:\n{}\ntrace:\n{}",
+        c.detail,
+        outcome.trace_jsonl.as_deref().unwrap_or("")
+    );
+    assert!(outcome.invariants_hold(), "soak invariants: {outcome:?}");
+}

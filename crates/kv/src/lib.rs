@@ -22,4 +22,6 @@
 
 pub mod table;
 
-pub use table::{Snapshot, Table, TableError, Update, UpdateKind};
+pub use table::{
+    Snapshot, Table, TableError, TableEvent, TableObserver, Update, UpdateKind,
+};

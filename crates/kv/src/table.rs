@@ -87,6 +87,135 @@ pub enum Delivery {
     Queued,
 }
 
+/// A structured observation of one table mutation, emitted to the
+/// installed [`TableObserver`]. The sequence numbers are the table's
+/// own operation counter at the event (`op`), the op of the latest
+/// local write to the key (`lop`), and the op at window-open time
+/// (`wop`) — exactly the quantities the §8 local-priority update rule
+/// is stated over, so a recorded trace can be re-checked against the
+/// formal rule (see `csaw-semantics::conformance`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum TableEvent {
+    /// `save` / local `assert`/`retract`: the key now shadows older
+    /// arrivals within this activation.
+    LocalWrite {
+        /// Written key.
+        key: String,
+        /// Table operation sequence of the write.
+        op: u64,
+    },
+    /// A remote update reached the table: applied immediately (an open
+    /// window admitted it) or queued for the next scheduling.
+    Deliver {
+        /// Target key.
+        key: String,
+        /// Fully-qualified sender junction.
+        from: String,
+        /// Transport per-link sequence number (0 = unsequenced).
+        link_seq: u64,
+        /// Table operation sequence at arrival.
+        op: u64,
+        /// Whether an open window applied it immediately.
+        applied: bool,
+        /// Whether the junction was executing at arrival.
+        during_run: bool,
+    },
+    /// A queued update applied at scheduling time.
+    FlushApply {
+        /// Target key.
+        key: String,
+        /// Fully-qualified sender junction.
+        from: String,
+        /// Transport per-link sequence number (0 = unsequenced).
+        link_seq: u64,
+        /// Table operation sequence at arrival.
+        op: u64,
+        /// Whether the junction was executing at arrival.
+        during_run: bool,
+    },
+    /// A queued update dropped by local priority ("local updates have
+    /// priority", §8): it arrived during a run and a later local write
+    /// (`lop > op`) shadowed it.
+    ShadowDrop {
+        /// Target key.
+        key: String,
+        /// Fully-qualified sender junction.
+        from: String,
+        /// Transport per-link sequence number (0 = unsequenced).
+        link_seq: u64,
+        /// Table operation sequence at arrival.
+        op: u64,
+        /// Operation sequence of the shadowing local write.
+        lop: u64,
+        /// Whether the junction was executing at arrival (always true
+        /// for a shadow drop).
+        during_run: bool,
+    },
+    /// A queued update applied retroactively by an opening window
+    /// (it arrived after the latest local write to its key).
+    RetroApply {
+        /// Target key.
+        key: String,
+        /// Fully-qualified sender junction.
+        from: String,
+        /// Transport per-link sequence number (0 = unsequenced).
+        link_seq: u64,
+        /// Table operation sequence at arrival.
+        op: u64,
+    },
+    /// A `wait` window opened admitting `keys`.
+    WindowOpen {
+        /// Window token (per-table).
+        token: u64,
+        /// Operation sequence at open time.
+        wop: u64,
+        /// Admitted keys.
+        keys: Vec<String>,
+    },
+    /// A `wait` window closed (explicitly or at end of activation).
+    WindowClose {
+        /// Window token.
+        token: u64,
+    },
+    /// `keep` discarded a queued update.
+    KeepDrop {
+        /// Target key.
+        key: String,
+        /// Fully-qualified sender junction.
+        from: String,
+        /// Transport per-link sequence number (0 = unsequenced).
+        link_seq: u64,
+    },
+}
+
+/// Observer installed by the runtime to stream [`TableEvent`]s into its
+/// trace layer. `enabled` is consulted before an event is even built,
+/// so an installed-but-disabled observer costs one branch per mutation.
+pub trait TableObserver: Send + Sync {
+    /// Cheap gate checked before constructing an event.
+    fn enabled(&self) -> bool {
+        true
+    }
+    /// Receive one event, with the table's current epoch. By value: the
+    /// observer is the only consumer, so it keeps the event's strings
+    /// instead of cloning them.
+    fn on_event(&self, epoch: u64, event: TableEvent);
+}
+
+/// `Table` derives `Debug`; the observer slot has no useful rendering.
+#[derive(Clone, Default)]
+struct ObserverSlot(Option<std::sync::Arc<dyn TableObserver>>);
+
+impl std::fmt::Debug for ObserverSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "ObserverSlot(set)"
+        } else {
+            "ObserverSlot(none)"
+        })
+    }
+}
+
 /// A point-in-time copy of the visible table state, used by transaction
 /// blocks `⟨|E|⟩` for rollback.
 #[derive(Clone, Debug, PartialEq)]
@@ -105,6 +234,20 @@ struct Pending {
     /// Global operation sequence number at arrival, for ordering against
     /// local writes within an activation.
     seq: u64,
+}
+
+/// One open `wait` window.
+#[derive(Clone, Debug)]
+struct Window {
+    token: u64,
+    keys: Vec<String>,
+    /// Operation sequence at open time. A remote update may apply
+    /// through this window only when no local write to its key happened
+    /// at or after the open (`lop < wop`): the window admits replies
+    /// the peer produced in reaction to state we exposed *before*
+    /// opening it, but a local write after the open re-takes priority
+    /// (§8) and a raced remote update queues instead.
+    wop: u64,
 }
 
 /// One junction's key-value table.
@@ -131,8 +274,9 @@ pub struct Table {
     /// Keys currently admitted by active `wait`s. Multiple windows may be
     /// open at once: parallel composition can run several `wait`s in one
     /// activation (Fig. 13's back-end fan-out).
-    windows: Vec<(u64, Vec<String>)>,
+    windows: Vec<Window>,
     next_window: u64,
+    observer: ObserverSlot,
 }
 
 impl Table {
@@ -152,6 +296,21 @@ impl Table {
             op_seq: 0,
             windows: Vec::new(),
             next_window: 0,
+            observer: ObserverSlot(None),
+        }
+    }
+
+    /// Install the runtime's event observer (trace layer).
+    pub fn set_observer(&mut self, observer: std::sync::Arc<dyn TableObserver>) {
+        self.observer = ObserverSlot(Some(observer));
+    }
+
+    #[inline]
+    fn emit<F: FnOnce() -> TableEvent>(&self, build: F) {
+        if let Some(o) = &self.observer.0 {
+            if o.enabled() {
+                o.on_event(self.epoch, build());
+            }
         }
     }
 
@@ -201,7 +360,9 @@ impl Table {
     /// End the activation.
     pub fn end_activation(&mut self) {
         self.running = false;
-        self.windows.clear();
+        for w in std::mem::take(&mut self.windows) {
+            self.emit(|| TableEvent::WindowClose { token: w.token });
+        }
     }
 
     /// Apply all eligible pending updates. An update that arrived at a
@@ -212,13 +373,26 @@ impl Table {
     pub fn flush_pending(&mut self) {
         let pending = std::mem::take(&mut self.pending);
         for p in pending {
-            let shadowed = p.during_run
-                && self
-                    .locally_written
-                    .get(&p.update.key)
-                    .is_some_and(|&(_, s)| s > p.seq);
-            if !shadowed {
+            let lop = self.locally_written.get(&p.update.key).map(|&(_, s)| s);
+            let shadowed = p.during_run && lop.is_some_and(|s| s > p.seq);
+            if shadowed {
+                self.emit(|| TableEvent::ShadowDrop {
+                    key: p.update.key.clone(),
+                    from: p.update.from.clone(),
+                    link_seq: p.update.seq,
+                    op: p.seq,
+                    lop: lop.unwrap_or(0),
+                    during_run: p.during_run,
+                });
+            } else {
                 self.apply(&p.update);
+                self.emit(|| TableEvent::FlushApply {
+                    key: p.update.key.clone(),
+                    from: p.update.from.clone(),
+                    link_seq: p.update.seq,
+                    op: p.seq,
+                    during_run: p.during_run,
+                });
             }
         }
     }
@@ -238,21 +412,43 @@ impl Table {
     }
 
     /// Deliver a remote update. Applies immediately only when the key is
-    /// admitted by an open `wait` window; otherwise queues.
+    /// admitted by an open `wait` window *and* no local write to the key
+    /// happened since that window opened — the same seq comparison
+    /// [`Table::open_window`] makes for retroactive application. A
+    /// remote update that raced behind a local write queues instead of
+    /// clobbering it ("local updates have priority", §8) and applies at
+    /// the next scheduling under the ordinary flush rule.
     pub fn deliver(&mut self, update: Update) -> Delivery {
-        if self
-            .windows
-            .iter()
-            .any(|(_, keys)| keys.iter().any(|k| k == &update.key))
-        {
+        self.op_seq += 1;
+        let op = self.op_seq;
+        let lop = self.locally_written.get(&update.key).map(|&(_, s)| s);
+        let admitted = self.windows.iter().any(|w| {
+            w.keys.iter().any(|k| k == &update.key) && lop.is_none_or(|s| s < w.wop)
+        });
+        if admitted {
             self.apply(&update);
+            self.emit(|| TableEvent::Deliver {
+                key: update.key.clone(),
+                from: update.from.clone(),
+                link_seq: update.seq,
+                op,
+                applied: true,
+                during_run: self.running,
+            });
             return Delivery::AppliedNow;
         }
-        self.op_seq += 1;
+        self.emit(|| TableEvent::Deliver {
+            key: update.key.clone(),
+            from: update.from.clone(),
+            link_seq: update.seq,
+            op,
+            applied: false,
+            during_run: self.running,
+        });
         self.pending.push_back(Pending {
             update,
             during_run: self.running,
-            seq: self.op_seq,
+            seq: op,
         });
         Delivery::Queued
     }
@@ -269,6 +465,9 @@ impl Table {
     pub fn open_window(&mut self, keys: Vec<String>) -> u64 {
         let token = self.next_window;
         self.next_window += 1;
+        self.op_seq += 1;
+        let wop = self.op_seq;
+        self.emit(|| TableEvent::WindowOpen { token, wop, keys: keys.clone() });
         let mut keep = std::collections::VecDeque::with_capacity(self.pending.len());
         let pending = std::mem::take(&mut self.pending);
         for p in pending {
@@ -279,23 +478,45 @@ impl Table {
                 .is_none_or(|&(_, s)| p.seq > s);
             if in_window && newer_than_local {
                 self.apply(&p.update);
+                self.emit(|| TableEvent::RetroApply {
+                    key: p.update.key.clone(),
+                    from: p.update.from.clone(),
+                    link_seq: p.update.seq,
+                    op: p.seq,
+                });
             } else {
                 keep.push_back(p);
             }
         }
         self.pending = keep;
-        self.windows.push((token, keys));
+        self.windows.push(Window { token, keys, wop });
         token
     }
 
     /// Close one `wait` window.
     pub fn close_window(&mut self, token: u64) {
-        self.windows.retain(|(t, _)| *t != token);
+        let before = self.windows.len();
+        self.windows.retain(|w| w.token != token);
+        if self.windows.len() != before {
+            self.emit(|| TableEvent::WindowClose { token });
+        }
     }
 
     /// `keep`: discard pending updates for the given keys. Idempotent.
     pub fn keep(&mut self, keys: &[String]) {
-        self.pending.retain(|p| !keys.iter().any(|k| k == &p.update.key));
+        let mut kept = std::collections::VecDeque::with_capacity(self.pending.len());
+        for p in std::mem::take(&mut self.pending) {
+            if keys.iter().any(|k| k == &p.update.key) {
+                self.emit(|| TableEvent::KeepDrop {
+                    key: p.update.key.clone(),
+                    from: p.update.from.clone(),
+                    link_seq: p.update.seq,
+                });
+            } else {
+                kept.push_back(p);
+            }
+        }
+        self.pending = kept;
     }
 
     /// Read a proposition.
@@ -313,6 +534,7 @@ impl Table {
         self.op_seq += 1;
         self.locally_written
             .insert(key.to_string(), (self.epoch, self.op_seq));
+        self.emit(|| TableEvent::LocalWrite { key: key.to_string(), op: self.op_seq });
         Ok(())
     }
 
@@ -339,6 +561,7 @@ impl Table {
         self.op_seq += 1;
         self.locally_written
             .insert(key.to_string(), (self.epoch, self.op_seq));
+        self.emit(|| TableEvent::LocalWrite { key: key.to_string(), op: self.op_seq });
         Ok(())
     }
 
@@ -649,6 +872,90 @@ mod tests {
             Err(TableError::InvalidIndex { .. })
         ));
         assert_eq!(t.idx_base("tgt").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn window_does_not_admit_updates_raced_behind_local_writes() {
+        // Regression: an open window used to apply any admitted key
+        // immediately, so a remote update that raced behind the latest
+        // local write clobbered it mid-activation. The window must make
+        // the same seq comparison as `open_window`.
+        let mut t = table();
+        t.begin_activation();
+        let tok = t.open_window(vec!["Work".to_string()]);
+        // Local write after the window opened re-takes priority.
+        t.set_prop_local("Work", false).unwrap();
+        assert_eq!(t.deliver(Update::assert("Work", "g::j")), Delivery::Queued);
+        assert_eq!(
+            t.prop("Work"),
+            Some(false),
+            "raced remote update must not clobber the local write"
+        );
+        t.close_window(tok);
+        t.end_activation();
+        // The queued update is not shadowed (it arrived after the local
+        // write), so it applies at the next scheduling under the
+        // ordinary §8 queue rule.
+        t.begin_activation();
+        assert_eq!(t.prop("Work"), Some(true));
+    }
+
+    #[test]
+    fn window_opened_after_local_write_still_admits() {
+        let mut t = table();
+        t.begin_activation();
+        t.set_prop_local("Work", false).unwrap();
+        // The wait opened after our write: replies react to state we
+        // exposed before waiting, so they apply immediately.
+        t.open_window(vec!["Work".to_string()]);
+        assert_eq!(t.deliver(Update::assert("Work", "g::j")), Delivery::AppliedNow);
+        assert_eq!(t.prop("Work"), Some(true));
+    }
+
+    #[test]
+    fn observer_records_update_rule_quantities() {
+        use std::sync::{Arc, Mutex};
+        #[derive(Default)]
+        struct Collect(Mutex<Vec<(u64, TableEvent)>>);
+        impl TableObserver for Collect {
+            fn on_event(&self, epoch: u64, event: TableEvent) {
+                self.0.lock().unwrap().push((epoch, event));
+            }
+        }
+        let collect = Arc::new(Collect::default());
+        let mut t = table();
+        t.set_observer(Arc::clone(&collect) as Arc<dyn TableObserver>);
+        t.begin_activation();
+        t.deliver(Update::assert("Work", "g::j"));
+        t.set_prop_local("Work", false).unwrap();
+        t.end_activation();
+        t.begin_activation(); // shadow-drops the stale delivery
+        t.end_activation();
+        let events: Vec<TableEvent> =
+            collect.0.lock().unwrap().iter().map(|(_, e)| e.clone()).collect();
+        let dop = match &events[0] {
+            TableEvent::Deliver { key, applied, during_run, op, .. } => {
+                assert_eq!(key, "Work");
+                assert!(!applied && *during_run);
+                *op
+            }
+            other => panic!("expected Deliver first, got {other:?}"),
+        };
+        let lop = match &events[1] {
+            TableEvent::LocalWrite { key, op } => {
+                assert_eq!(key, "Work");
+                assert!(*op > dop);
+                *op
+            }
+            other => panic!("expected LocalWrite second, got {other:?}"),
+        };
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                TableEvent::ShadowDrop { lop: l, op, .. } if *l == lop && *op == dop
+            )),
+            "shadow drop with the shadowing lop must be recorded: {events:?}"
+        );
     }
 
     #[test]

@@ -40,28 +40,41 @@ impl Default for HeartbeatConfig {
     }
 }
 
+/// Everything the detector reads together: config and clocks live
+/// under one lock so `suspects` sees a consistent snapshot — a
+/// concurrent `enable` (which swaps the config *and* resets the
+/// clocks) can never be observed half-applied.
+struct Inner {
+    config: HeartbeatConfig,
+    /// (observer, peer) → last time observer heard peer's ping.
+    last_heard: HashMap<(String, String), Instant>,
+}
+
 /// Shared failure-detector state: who last heard from whom.
 pub(crate) struct HeartbeatState {
     enabled: AtomicBool,
-    config: Mutex<HeartbeatConfig>,
-    /// (observer, peer) → last time observer heard peer's ping.
-    last_heard: Mutex<HashMap<(String, String), Instant>>,
+    inner: Mutex<Inner>,
 }
 
 impl HeartbeatState {
     pub(crate) fn new() -> HeartbeatState {
         HeartbeatState {
             enabled: AtomicBool::new(false),
-            config: Mutex::new(HeartbeatConfig::default()),
-            last_heard: Mutex::new(HashMap::new()),
+            inner: Mutex::new(Inner {
+                config: HeartbeatConfig::default(),
+                last_heard: HashMap::new(),
+            }),
         }
     }
 
     pub(crate) fn enable(&self, config: HeartbeatConfig) {
-        *self.config.lock() = config;
-        // Forget stale silence from before enabling: every pair gets a
-        // fresh suspicion window.
-        self.last_heard.lock().clear();
+        {
+            let mut inner = self.inner.lock();
+            inner.config = config;
+            // Forget stale silence from before enabling: every pair gets
+            // a fresh suspicion window once re-watched.
+            inner.last_heard.clear();
+        }
         self.enabled.store(true, Ordering::SeqCst);
     }
 
@@ -70,31 +83,49 @@ impl HeartbeatState {
     }
 
     pub(crate) fn config(&self) -> HeartbeatConfig {
-        self.config.lock().clone()
+        self.inner.lock().config.clone()
+    }
+
+    /// Register interest in a pair, priming its clock if unseen: a
+    /// freshly started or newly watched peer gets a full suspicion
+    /// window before it can be suspected. Idempotent — re-watching an
+    /// already-tracked pair does not reset its clock. The monitor loop
+    /// calls this for every running pair, so priming happens at watch
+    /// registration, never inside the `suspects` read path.
+    pub(crate) fn watch(&self, observer: &str, peer: &str) {
+        if observer == peer {
+            return;
+        }
+        self.inner
+            .lock()
+            .last_heard
+            .entry((observer.to_string(), peer.to_string()))
+            .or_insert_with(Instant::now);
     }
 
     /// Record that `observer` heard a ping from `peer` now.
     pub(crate) fn record(&self, observer: &str, peer: &str) {
-        self.last_heard
+        self.inner
             .lock()
+            .last_heard
             .insert((observer.to_string(), peer.to_string()), Instant::now());
     }
 
-    /// Whether `observer` currently suspects `peer`. The first query for
-    /// a pair primes its clock (a freshly started or newly watched peer
-    /// gets a full suspicion window before it can be suspected).
+    /// Whether `observer` currently suspects `peer`. Read-only: an
+    /// unwatched pair is simply not suspected (priming happens in
+    /// [`HeartbeatState::watch`]), and config + clock are read under
+    /// one consistent snapshot.
     pub(crate) fn suspects(&self, observer: &str, peer: &str) -> bool {
         if !self.is_enabled() || observer == peer {
             return false;
         }
-        let suspicion = self.config.lock().suspicion;
-        let mut lh = self.last_heard.lock();
-        match lh.get(&(observer.to_string(), peer.to_string())) {
-            Some(t) => t.elapsed() > suspicion,
-            None => {
-                lh.insert((observer.to_string(), peer.to_string()), Instant::now());
-                false
-            }
+        let inner = self.inner.lock();
+        match inner
+            .last_heard
+            .get(&(observer.to_string(), peer.to_string()))
+        {
+            Some(t) => t.elapsed() > inner.config.suspicion,
+            None => false,
         }
     }
 }
@@ -116,14 +147,44 @@ mod tests {
             interval: Duration::from_millis(5),
             suspicion: Duration::from_millis(20),
         });
-        // First query primes; not suspected yet.
+        // Watching primes the clock; not suspected yet.
+        hb.watch("a", "b");
         assert!(!hb.suspects("a", "b"));
         std::thread::sleep(Duration::from_millis(30));
         assert!(hb.suspects("a", "b"));
         hb.record("a", "b");
         assert!(!hb.suspects("a", "b"));
-        // Observer-relative: c's silence toward a is independent.
+        // Observer-relative: c never watched b, so no suspicion.
         assert!(!hb.suspects("c", "b"));
+    }
+
+    #[test]
+    fn unwatched_pairs_are_never_suspected_and_queries_do_not_prime() {
+        let hb = HeartbeatState::new();
+        hb.enable(HeartbeatConfig {
+            interval: Duration::from_millis(1),
+            suspicion: Duration::ZERO,
+        });
+        // suspects() is read-only: querying repeatedly never inserts a
+        // clock, so an unwatched pair stays unsuspected forever even
+        // with a zero suspicion timeout.
+        assert!(!hb.suspects("a", "b"));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(!hb.suspects("a", "b"));
+    }
+
+    #[test]
+    fn rewatching_does_not_reset_the_clock() {
+        let hb = HeartbeatState::new();
+        hb.enable(HeartbeatConfig {
+            interval: Duration::from_millis(5),
+            suspicion: Duration::from_millis(20),
+        });
+        hb.watch("a", "b");
+        std::thread::sleep(Duration::from_millis(30));
+        // A second watch must not grant a fresh suspicion window.
+        hb.watch("a", "b");
+        assert!(hb.suspects("a", "b"));
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod fault;
 pub mod health;
 pub mod interp;
 pub mod runtime;
+pub mod trace;
 pub mod transport;
 
 pub use app::{HostCtx, InstanceApp, NoopApp};
@@ -41,4 +42,5 @@ pub use error::{Failure, RtResult};
 pub use fault::{FaultPlan, FaultWindow, RetryPolicy};
 pub use health::HeartbeatConfig;
 pub use runtime::{InstanceStatus, Runtime, RuntimeConfig};
+pub use trace::{Metrics, TraceEvent, TraceKind, Tracer};
 pub use transport::{LinkKind, LinkStats, SendError};

@@ -10,7 +10,7 @@ use csaw_core::formula::Ternary;
 use csaw_core::names::{JRef, NameRef};
 use csaw_core::program::{CompiledProgram, JunctionDef, MainDef};
 use csaw_core::value::Value;
-use csaw_kv::{Table, Update};
+use csaw_kv::{Table, TableEvent, TableObserver, Update};
 use parking_lot::{Condvar, Mutex};
 
 use crate::app::{InstanceApp, NoopApp};
@@ -19,7 +19,29 @@ use crate::error::Failure;
 use crate::fault::{FaultPlan, RetryPolicy};
 use crate::health::{HeartbeatConfig, HeartbeatState, HB_JUNCTION};
 use crate::interp::ExecCtx;
+use crate::trace::{Histogram, Metrics, TraceEvent, TraceKind, Tracer};
 use crate::transport::{DeliverFn, LinkKind, LinkStats, Network, SendError};
+
+/// Forwards one cell's table events into the runtime tracer, stamped
+/// with the owning junction's identity. Installed on every table at
+/// construction; while tracing is off, [`TableObserver::enabled`]
+/// makes each table mutation cost a single relaxed load.
+struct CellObserver {
+    tracer: Arc<Tracer>,
+    instance: Arc<str>,
+    junction: Arc<str>,
+}
+
+impl TableObserver for CellObserver {
+    fn enabled(&self) -> bool {
+        self.tracer.is_enabled()
+    }
+
+    fn on_event(&self, epoch: u64, event: TableEvent) {
+        self.tracer
+            .record_ids(&self.instance, &self.junction, epoch, TraceKind::Kv(event));
+    }
+}
 
 /// Lifecycle state of an instance.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -110,6 +132,9 @@ pub(crate) struct JunctionRt {
     pub(crate) policy: Mutex<Policy>,
     pub(crate) needs_initial: AtomicBool,
     pub(crate) last_run: Mutex<Option<Instant>>,
+    /// Shared identity strings for trace recording (no per-event clone).
+    pub(crate) trace_instance: Arc<str>,
+    pub(crate) trace_junction: Arc<str>,
 }
 
 /// Per-instance runtime record.
@@ -162,6 +187,13 @@ pub(crate) struct RuntimeInner {
     pub(crate) booting: AtomicBool,
     /// Heartbeat failure detector (shared with the delivery closure).
     pub(crate) hb: Arc<HeartbeatState>,
+    /// Causal trace recorder (shared with cell observers + network).
+    pub(crate) tracer: Arc<Tracer>,
+    /// Metrics registry (shared with the network).
+    pub(crate) metrics: Arc<Metrics>,
+    /// Cached metric handles for the activation hot path.
+    m_activations: Arc<std::sync::atomic::AtomicU64>,
+    h_activation: Arc<Histogram>,
     main: MainDef,
 }
 
@@ -466,8 +498,16 @@ impl RuntimeInner {
         if !self.guard_ready(inst, jrt) {
             return Ok(false);
         }
-        jrt.cell.table().begin_activation();
+        let epoch = {
+            let mut table = jrt.cell.table();
+            table.begin_activation();
+            table.epoch()
+        };
+        self.tracer
+            .record_ids(&jrt.trace_instance, &jrt.trace_junction, epoch, TraceKind::Sched);
+        let started = Instant::now();
         inst.activations.fetch_add(1, Ordering::Relaxed);
+        self.m_activations.fetch_add(1, Ordering::Relaxed);
         let result = {
             let mut retries = 0u32;
             loop {
@@ -489,6 +529,13 @@ impl RuntimeInner {
             let mut table = jrt.cell.table();
             table.end_activation();
         }
+        self.h_activation.observe_us(started.elapsed().as_micros() as u64);
+        self.tracer.record_ids(
+            &jrt.trace_instance,
+            &jrt.trace_junction,
+            epoch,
+            TraceKind::Unsched { ok: result.is_ok() },
+        );
         *jrt.last_run.lock() = Some(Instant::now());
         jrt.cell.nudge();
         inst.wake();
@@ -565,6 +612,8 @@ impl Runtime {
     /// Build a runtime from a compiled program with default apps
     /// ([`NoopApp`]) everywhere. Scheduler threads start parked.
     pub fn new(compiled: &CompiledProgram, config: RuntimeConfig) -> Runtime {
+        let tracer = Arc::new(Tracer::new());
+        let metrics = Arc::new(Metrics::new());
         // Build instances & cells.
         let mut instances = HashMap::new();
         for ci in &compiled.instances {
@@ -572,7 +621,15 @@ impl Runtime {
             for jd in &ci.junctions {
                 let mut table = Table::new();
                 init_table(&mut table, jd);
-                let cell = Cell::new(JunctionId::new(ci.name.clone(), jd.name.clone()), table);
+                let id = JunctionId::new(ci.name.clone(), jd.name.clone());
+                let trace_instance: Arc<str> = Arc::from(ci.name.as_str());
+                let trace_junction: Arc<str> = Arc::from(jd.name.as_str());
+                table.set_observer(Arc::new(CellObserver {
+                    tracer: Arc::clone(&tracer),
+                    instance: Arc::clone(&trace_instance),
+                    junction: Arc::clone(&trace_junction),
+                }));
+                let cell = Cell::new(id, table);
                 let policy = if jd.guard().is_some() {
                     Policy::Auto
                 } else {
@@ -584,6 +641,8 @@ impl Runtime {
                     policy: Mutex::new(policy),
                     needs_initial: AtomicBool::new(false),
                     last_run: Mutex::new(None),
+                    trace_instance,
+                    trace_junction,
                 }));
             }
             instances.insert(
@@ -623,7 +682,7 @@ impl Runtime {
                 }
             }
         });
-        let mut network = Network::new(deliver);
+        let mut network = Network::with_telemetry(deliver, Arc::clone(&tracer), &metrics);
         network.set_default_link(config.default_link);
 
         let inner = Arc::new(RuntimeInner {
@@ -635,6 +694,10 @@ impl Runtime {
             shutdown: AtomicBool::new(false),
             booting: AtomicBool::new(false),
             hb,
+            m_activations: metrics.counter("activations_total"),
+            h_activation: metrics.histogram("activation_duration"),
+            tracer,
+            metrics,
             main: compiled.program.main.clone(),
         });
 
@@ -742,11 +805,25 @@ impl Runtime {
                                 if from == to_inst {
                                     continue;
                                 }
+                                // Priming happens here, at watch
+                                // registration — never in the
+                                // `suspects` read path.
+                                inner.hb.watch(to_inst, from);
                                 let to = JunctionId::new(to_inst.clone(), HB_JUNCTION);
                                 let ping = Update::assert(
                                     HB_JUNCTION,
                                     format!("{from}::{HB_JUNCTION}"),
                                 );
+                                if inner.tracer.is_enabled() {
+                                    inner.tracer.record(
+                                        from,
+                                        "",
+                                        0,
+                                        TraceKind::LinkHeartbeat {
+                                            to: to_inst.as_str().into(),
+                                        },
+                                    );
+                                }
                                 // Loss is the signal: no retry, errors ignored.
                                 let _ = inner.network.send_raw(from, &to, ping);
                             }
@@ -840,6 +917,7 @@ impl Runtime {
             inst.status.store(InstanceStatus::Crashed as u8, Ordering::SeqCst);
             inst.app.lock().on_stop();
             self.inner.record_event(instance, "-", "crash", String::new());
+            self.inner.tracer.record(instance, "-", 0, TraceKind::Crash);
             self.inner.wake_all();
         }
     }
@@ -857,6 +935,7 @@ impl Runtime {
         inst.status.store(InstanceStatus::Running as u8, Ordering::SeqCst);
         inst.app.lock().on_start();
         self.inner.record_event(instance, "-", "restart", String::new());
+        self.inner.tracer.record(instance, "-", 0, TraceKind::Restart);
         self.inner.wake_all();
         Ok(())
     }
@@ -903,6 +982,46 @@ impl Runtime {
                 inst.wake();
             }
         }
+    }
+
+    /// Switch causal trace recording on or off. Off by default: every
+    /// instrumentation site gates on a relaxed atomic before building
+    /// an event, so a disabled tracer is a branch per site.
+    pub fn set_tracing(&self, enabled: bool) {
+        self.inner.tracer.set_enabled(enabled);
+    }
+
+    /// Whether trace recording is currently on.
+    pub fn tracing_enabled(&self) -> bool {
+        self.inner.tracer.is_enabled()
+    }
+
+    /// Drain recorded trace events, sorted by global sequence number.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.inner.tracer.drain()
+    }
+
+    /// Drain recorded trace events as JSONL (the interchange format
+    /// `csaw-semantics::conformance` replays).
+    pub fn trace_jsonl(&self) -> String {
+        self.inner.tracer.drain_jsonl()
+    }
+
+    /// Events evicted because the trace ring overflowed. Non-zero means
+    /// a drained trace is an incomplete suffix of the run.
+    pub fn trace_dropped(&self) -> u64 {
+        self.inner.tracer.dropped()
+    }
+
+    /// The runtime's metrics registry (counters + histograms shared
+    /// with the network and activation scheduler).
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.inner.metrics)
+    }
+
+    /// Render the metrics registry as a Prometheus-style text snapshot.
+    pub fn metrics_prometheus(&self) -> String {
+        self.inner.metrics.render_prometheus()
     }
 
     /// Drain recorded diagnostic events.

@@ -1,0 +1,677 @@
+//! Causal trace recording and a metrics registry.
+//!
+//! Every junction activation, KV mutation, and link event in a run can
+//! be recorded as a structured causal event — carrying the instance,
+//! junction, table epoch, table operation sequence, and per-link
+//! transport sequence — into a lock-cheap sharded ring buffer owned by
+//! the [`Tracer`]. Traces drain as JSONL (one event per line, a stable
+//! flat schema) and feed `csaw-semantics::conformance`, which replays
+//! them against the program's §8 event-structure semantics. The
+//! [`Metrics`] registry aggregates the same instrumentation points into
+//! Prometheus-style counters and log₂ histograms.
+//!
+//! Recording is off by default: every instrumentation site checks one
+//! relaxed atomic before building an event, so a disabled tracer costs
+//! a branch per site (~0% overhead). Enabled, events go through a
+//! per-thread shard (a small mutex-guarded ring), so concurrent
+//! junctions rarely contend on the same lock.
+//!
+//! ## JSONL schema
+//!
+//! Common fields: `gsn` (global sequence, total order of recording),
+//! `us` (µs since tracer creation), `i` (instance), `j` (junction, may
+//! be empty for link events), `ep` (table epoch, 0 when unknown), `k`
+//! (kind). Kind-specific fields:
+//!
+//! | `k`               | fields |
+//! |-------------------|--------|
+//! | `sched`           | — |
+//! | `unsched`         | `ok` |
+//! | `kv_local_write`  | `key`, `op` |
+//! | `kv_deliver`      | `key`, `from`, `seq`, `op`, `applied`, `run` |
+//! | `kv_flush_apply`  | `key`, `from`, `seq`, `op`, `run` |
+//! | `kv_shadow_drop`  | `key`, `from`, `seq`, `op`, `lop`, `run` |
+//! | `kv_retro_apply`  | `key`, `from`, `seq`, `op` |
+//! | `kv_window_open`  | `tok`, `wop`, `keys` |
+//! | `kv_window_close` | `tok` |
+//! | `kv_keep_drop`    | `key`, `from`, `seq` |
+//! | `link_send`       | `to`, `key`, `seq`, `n` (bytes) |
+//! | `link_retry`      | `to`, `seq`, `n` (attempt) |
+//! | `link_drop`       | `to`, `seq` |
+//! | `link_dup`        | `to`, `seq` |
+//! | `link_partition`  | `to`, `seq` |
+//! | `link_dedup`      | `from`, `seq` |
+//! | `link_hb`         | `to` |
+//! | `crash` / `restart` | — |
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use csaw_kv::TableEvent;
+use parking_lot::Mutex;
+
+/// What happened: one activation, KV, link, or lifecycle observation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceKind {
+    /// Junction activation began (epoch freshly advanced).
+    Sched,
+    /// Junction activation ended.
+    Unsched {
+        /// Whether the activation completed without failure.
+        ok: bool,
+    },
+    /// A KV-table mutation (see [`csaw_kv::TableEvent`]).
+    Kv(TableEvent),
+    /// An update was handed to a link (post fault dice, pre delivery).
+    LinkSend {
+        /// Target junction, `instance::junction`.
+        to: Arc<str>,
+        /// Update key.
+        key: String,
+        /// Per-link sequence number (0 = unsequenced).
+        seq: u64,
+        /// Modelled wire bytes.
+        bytes: u64,
+    },
+    /// The reliability layer is retrying a send.
+    LinkRetry {
+        /// Target junction.
+        to: Arc<str>,
+        /// Per-link sequence number being retried.
+        seq: u64,
+        /// Attempt count (1 = first retry).
+        attempt: u64,
+    },
+    /// Fault injection dropped a send attempt.
+    LinkDrop {
+        /// Target junction.
+        to: Arc<str>,
+        /// Per-link sequence number (0 = unsequenced).
+        seq: u64,
+    },
+    /// Fault injection duplicated a delivery.
+    LinkDup {
+        /// Target junction.
+        to: Arc<str>,
+        /// Per-link sequence number.
+        seq: u64,
+    },
+    /// A partition window rejected a send attempt.
+    LinkPartition {
+        /// Target junction.
+        to: Arc<str>,
+        /// Per-link sequence number.
+        seq: u64,
+    },
+    /// Receiver-side dedup suppressed an already-seen sequence number.
+    LinkDedup {
+        /// Sender instance.
+        from: Arc<str>,
+        /// Suppressed sequence number.
+        seq: u64,
+    },
+    /// A heartbeat ping was sent.
+    LinkHeartbeat {
+        /// Target instance.
+        to: Arc<str>,
+    },
+    /// Fault injection crashed the instance.
+    Crash,
+    /// The instance was restarted.
+    Restart,
+}
+
+/// One recorded event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Global sequence number: the total order in which events were
+    /// recorded (assigned by one atomic counter).
+    pub gsn: u64,
+    /// Microseconds since the tracer was created.
+    pub at_us: u64,
+    /// Instance the event belongs to (sender instance for link events).
+    /// `Arc<str>` so hot recording sites share one allocation per
+    /// junction instead of cloning per event.
+    pub instance: Arc<str>,
+    /// Junction (empty for instance-level events like heartbeats).
+    pub junction: Arc<str>,
+    /// Table epoch at the event (0 when not applicable).
+    pub epoch: u64,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+const SHARDS: usize = 16;
+
+/// Pads its contents to a dedicated 128-byte slot so hot fields touched
+/// by different threads never share a cache line. Without this the
+/// ~40-byte shards pack several to a line and every push ping-pongs the
+/// line between recording threads; likewise the constantly-written
+/// `gsn` counter would evict `enabled` — read on *every* record call —
+/// from other cores' caches.
+#[repr(align(128))]
+struct Padded<T>(T);
+
+/// Sharded ring-buffer trace recorder. One per [`crate::Runtime`]
+/// (never global: parallel runtimes in one process must not interleave
+/// their traces).
+pub struct Tracer {
+    enabled: AtomicBool,
+    origin: Instant,
+    /// Per-shard capacity bound; the oldest event is evicted (and
+    /// counted) when a shard overflows.
+    shard_capacity: usize,
+    gsn: Padded<AtomicU64>,
+    dropped: Padded<AtomicU64>,
+    shards: Vec<Padded<Mutex<VecDeque<TraceEvent>>>>,
+}
+
+/// Round-robin shard assignment, sticky per thread.
+fn shard_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: usize = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+    }
+    SHARD.with(|s| *s)
+}
+
+impl Tracer {
+    /// A disabled tracer with the default capacity (1 M events).
+    pub fn new() -> Tracer {
+        Tracer::with_capacity(1 << 20)
+    }
+
+    /// A disabled tracer bounded to roughly `total_capacity` events.
+    pub fn with_capacity(total_capacity: usize) -> Tracer {
+        let shard_capacity = (total_capacity / SHARDS).max(16);
+        Tracer {
+            enabled: AtomicBool::new(false),
+            gsn: Padded(AtomicU64::new(0)),
+            origin: Instant::now(),
+            shards: (0..SHARDS)
+                .map(|_| Padded(Mutex::new(VecDeque::with_capacity(shard_capacity.min(1024)))))
+                .collect(),
+            shard_capacity,
+            dropped: Padded(AtomicU64::new(0)),
+        }
+    }
+
+    /// Switch recording on or off. Off is the default; instrumentation
+    /// sites check this before building events.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether recording is on.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Events evicted because a shard overflowed. A non-zero value
+    /// means a drained trace is incomplete (conformance checkers should
+    /// relax causality checks that need the full history).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.0.load(Ordering::Relaxed)
+    }
+
+    /// Record one event (no-op while disabled). Allocates for the
+    /// identity strings — hot sites with a stable identity should cache
+    /// `Arc<str>`s and use [`Tracer::record_ids`] instead.
+    pub fn record(&self, instance: &str, junction: &str, epoch: u64, kind: TraceKind) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.push(Arc::from(instance), Arc::from(junction), epoch, kind);
+    }
+
+    /// Record one event with pre-shared identity strings (no-op while
+    /// disabled). The per-event cost is two refcount bumps instead of
+    /// two string clones.
+    pub fn record_ids(
+        &self,
+        instance: &Arc<str>,
+        junction: &Arc<str>,
+        epoch: u64,
+        kind: TraceKind,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.push(Arc::clone(instance), Arc::clone(junction), epoch, kind);
+    }
+
+    fn push(&self, instance: Arc<str>, junction: Arc<str>, epoch: u64, kind: TraceKind) {
+        let ev = TraceEvent {
+            gsn: self.gsn.0.fetch_add(1, Ordering::Relaxed),
+            at_us: self.origin.elapsed().as_micros() as u64,
+            instance,
+            junction,
+            epoch,
+            kind,
+        };
+        let mut shard = self.shards[shard_index()].0.lock();
+        if shard.len() >= self.shard_capacity {
+            shard.pop_front();
+            self.dropped.0.fetch_add(1, Ordering::Relaxed);
+        }
+        shard.push_back(ev);
+    }
+
+    /// Drain all recorded events, sorted by `gsn`.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            all.append(&mut shard.0.lock().drain(..).collect());
+        }
+        all.sort_by_key(|e| e.gsn);
+        all
+    }
+
+    /// Drain all recorded events as JSONL.
+    pub fn drain_jsonl(&self) -> String {
+        to_jsonl(&self.drain())
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+fn esc(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_str_field(out: &mut String, name: &str, value: &str) {
+    out.push(',');
+    out.push('"');
+    out.push_str(name);
+    out.push_str("\":");
+    esc(value, out);
+}
+
+fn push_num_field(out: &mut String, name: &str, value: u64) {
+    out.push(',');
+    out.push('"');
+    out.push_str(name);
+    out.push_str("\":");
+    out.push_str(&value.to_string());
+}
+
+fn push_bool_field(out: &mut String, name: &str, value: bool) {
+    out.push(',');
+    out.push('"');
+    out.push_str(name);
+    out.push_str("\":");
+    out.push_str(if value { "true" } else { "false" });
+}
+
+/// Render one event as a single JSON line (no trailing newline).
+pub fn to_json_line(e: &TraceEvent) -> String {
+    let mut s = String::with_capacity(128);
+    s.push_str("{\"gsn\":");
+    s.push_str(&e.gsn.to_string());
+    push_num_field(&mut s, "us", e.at_us);
+    push_str_field(&mut s, "i", &e.instance);
+    push_str_field(&mut s, "j", &e.junction);
+    push_num_field(&mut s, "ep", e.epoch);
+    let kind = match &e.kind {
+        TraceKind::Sched => "sched",
+        TraceKind::Unsched { .. } => "unsched",
+        TraceKind::Kv(ev) => match ev {
+            TableEvent::LocalWrite { .. } => "kv_local_write",
+            TableEvent::Deliver { .. } => "kv_deliver",
+            TableEvent::FlushApply { .. } => "kv_flush_apply",
+            TableEvent::ShadowDrop { .. } => "kv_shadow_drop",
+            TableEvent::RetroApply { .. } => "kv_retro_apply",
+            TableEvent::WindowOpen { .. } => "kv_window_open",
+            TableEvent::WindowClose { .. } => "kv_window_close",
+            TableEvent::KeepDrop { .. } => "kv_keep_drop",
+        },
+        TraceKind::LinkSend { .. } => "link_send",
+        TraceKind::LinkRetry { .. } => "link_retry",
+        TraceKind::LinkDrop { .. } => "link_drop",
+        TraceKind::LinkDup { .. } => "link_dup",
+        TraceKind::LinkPartition { .. } => "link_partition",
+        TraceKind::LinkDedup { .. } => "link_dedup",
+        TraceKind::LinkHeartbeat { .. } => "link_hb",
+        TraceKind::Crash => "crash",
+        TraceKind::Restart => "restart",
+    };
+    push_str_field(&mut s, "k", kind);
+    match &e.kind {
+        TraceKind::Sched | TraceKind::Crash | TraceKind::Restart => {}
+        TraceKind::Unsched { ok } => push_bool_field(&mut s, "ok", *ok),
+        TraceKind::Kv(ev) => match ev {
+            TableEvent::LocalWrite { key, op } => {
+                push_str_field(&mut s, "key", key);
+                push_num_field(&mut s, "op", *op);
+            }
+            TableEvent::Deliver { key, from, link_seq, op, applied, during_run } => {
+                push_str_field(&mut s, "key", key);
+                push_str_field(&mut s, "from", from);
+                push_num_field(&mut s, "seq", *link_seq);
+                push_num_field(&mut s, "op", *op);
+                push_bool_field(&mut s, "applied", *applied);
+                push_bool_field(&mut s, "run", *during_run);
+            }
+            TableEvent::FlushApply { key, from, link_seq, op, during_run } => {
+                push_str_field(&mut s, "key", key);
+                push_str_field(&mut s, "from", from);
+                push_num_field(&mut s, "seq", *link_seq);
+                push_num_field(&mut s, "op", *op);
+                push_bool_field(&mut s, "run", *during_run);
+            }
+            TableEvent::ShadowDrop { key, from, link_seq, op, lop, during_run } => {
+                push_str_field(&mut s, "key", key);
+                push_str_field(&mut s, "from", from);
+                push_num_field(&mut s, "seq", *link_seq);
+                push_num_field(&mut s, "op", *op);
+                push_num_field(&mut s, "lop", *lop);
+                push_bool_field(&mut s, "run", *during_run);
+            }
+            TableEvent::RetroApply { key, from, link_seq, op } => {
+                push_str_field(&mut s, "key", key);
+                push_str_field(&mut s, "from", from);
+                push_num_field(&mut s, "seq", *link_seq);
+                push_num_field(&mut s, "op", *op);
+            }
+            TableEvent::WindowOpen { token, wop, keys } => {
+                push_num_field(&mut s, "tok", *token);
+                push_num_field(&mut s, "wop", *wop);
+                s.push_str(",\"keys\":[");
+                for (i, k) in keys.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    esc(k, &mut s);
+                }
+                s.push(']');
+            }
+            TableEvent::WindowClose { token } => push_num_field(&mut s, "tok", *token),
+            TableEvent::KeepDrop { key, from, link_seq } => {
+                push_str_field(&mut s, "key", key);
+                push_str_field(&mut s, "from", from);
+                push_num_field(&mut s, "seq", *link_seq);
+            }
+        },
+        TraceKind::LinkSend { to, key, seq, bytes } => {
+            push_str_field(&mut s, "to", to);
+            push_str_field(&mut s, "key", key);
+            push_num_field(&mut s, "seq", *seq);
+            push_num_field(&mut s, "n", *bytes);
+        }
+        TraceKind::LinkRetry { to, seq, attempt } => {
+            push_str_field(&mut s, "to", to);
+            push_num_field(&mut s, "seq", *seq);
+            push_num_field(&mut s, "n", *attempt);
+        }
+        TraceKind::LinkDrop { to, seq }
+        | TraceKind::LinkDup { to, seq }
+        | TraceKind::LinkPartition { to, seq } => {
+            push_str_field(&mut s, "to", to);
+            push_num_field(&mut s, "seq", *seq);
+        }
+        TraceKind::LinkDedup { from, seq } => {
+            push_str_field(&mut s, "from", from);
+            push_num_field(&mut s, "seq", *seq);
+        }
+        TraceKind::LinkHeartbeat { to } => push_str_field(&mut s, "to", to),
+    }
+    s.push('}');
+    s
+}
+
+/// Render events as JSONL (one event per line).
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 128);
+    for e in events {
+        out.push_str(&to_json_line(e));
+        out.push('\n');
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------
+
+const HISTO_BUCKETS: usize = 32;
+
+/// A log₂-bucketed histogram of microsecond observations.
+pub struct Histogram {
+    /// `buckets[i]` counts observations with `value < 2^i` µs (first
+    /// bucket they fit, non-cumulative; cumulated at render time).
+    buckets: [AtomicU64; HISTO_BUCKETS],
+    sum_us: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation in microseconds.
+    pub fn observe_us(&self, us: u64) {
+        let idx = (64 - us.leading_zeros() as usize).min(HISTO_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations (µs).
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+}
+
+/// Named counters and histograms, renderable as a Prometheus-style
+/// text snapshot. Handles returned by [`Metrics::counter`] /
+/// [`Metrics::histogram`] are plain atomics — hot paths grab them once
+/// at construction time and never touch the registry lock again.
+pub struct Metrics {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Metrics {
+        Metrics {
+            counters: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Get or create a named counter.
+    pub fn counter(&self, name: &str) -> Arc<AtomicU64> {
+        Arc::clone(
+            self.counters
+                .lock()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        )
+    }
+
+    /// Get or create a named histogram.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        Arc::clone(
+            self.histograms
+                .lock()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Current value of a counter (0 if never created).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters
+            .lock()
+            .get(name)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Render every counter and histogram in Prometheus text format.
+    /// Metric names get a `csaw_` prefix; histograms render cumulative
+    /// `_bucket{le="..."}` series plus `_sum` (in seconds) and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, c) in self.counters.lock().iter() {
+            out.push_str(&format!("# TYPE csaw_{name} counter\n"));
+            out.push_str(&format!("csaw_{name} {}\n", c.load(Ordering::Relaxed)));
+        }
+        for (name, h) in self.histograms.lock().iter() {
+            out.push_str(&format!("# TYPE csaw_{name} histogram\n"));
+            let mut cumulative = 0u64;
+            for i in 0..HISTO_BUCKETS {
+                cumulative += h.buckets[i].load(Ordering::Relaxed);
+                let le = 1u64 << i;
+                out.push_str(&format!(
+                    "csaw_{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                    le as f64 / 1_000_000.0
+                ));
+            }
+            out.push_str(&format!(
+                "csaw_{name}_bucket{{le=\"+Inf\"}} {}\n",
+                h.count()
+            ));
+            out.push_str(&format!(
+                "csaw_{name}_sum {}\n",
+                h.sum_us() as f64 / 1_000_000.0
+            ));
+            out.push_str(&format!("csaw_{name}_count {}\n", h.count()));
+        }
+        out
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::new();
+        t.record("f", "j", 1, TraceKind::Sched);
+        assert!(t.drain().is_empty());
+    }
+
+    #[test]
+    fn events_drain_in_gsn_order() {
+        let t = Arc::new(Tracer::new());
+        t.set_enabled(true);
+        let mut handles = Vec::new();
+        for k in 0..4 {
+            let t2 = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    t2.record(&format!("i{k}"), "j", 0, TraceKind::Sched);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let events = t.drain();
+        assert_eq!(events.len(), 400);
+        assert!(events.windows(2).all(|w| w[0].gsn < w[1].gsn));
+        assert!(t.drain().is_empty(), "drain empties the rings");
+    }
+
+    #[test]
+    fn ring_bounds_memory_and_counts_drops() {
+        let t = Tracer::with_capacity(64); // 4 per shard after split
+        t.set_enabled(true);
+        for _ in 0..10_000 {
+            t.record("f", "j", 0, TraceKind::Sched);
+        }
+        assert!(t.dropped() > 0);
+        assert!(t.drain().len() <= 16 * 16);
+    }
+
+    #[test]
+    fn jsonl_escapes_and_renders_all_fields() {
+        let e = TraceEvent {
+            gsn: 7,
+            at_us: 1234,
+            instance: "f\"x".into(),
+            junction: "serve".into(),
+            epoch: 3,
+            kind: TraceKind::Kv(TableEvent::Deliver {
+                key: "Reply".into(),
+                from: "g::run".into(),
+                link_seq: 9,
+                op: 12,
+                applied: true,
+                during_run: true,
+            }),
+        };
+        let line = to_json_line(&e);
+        assert!(line.starts_with("{\"gsn\":7,"));
+        assert!(line.contains("\"i\":\"f\\\"x\""));
+        assert!(line.contains("\"k\":\"kv_deliver\""));
+        assert!(line.contains("\"applied\":true"));
+        assert!(line.ends_with('}'));
+        let w = TraceEvent {
+            gsn: 8,
+            at_us: 0,
+            instance: "f".into(),
+            junction: "serve".into(),
+            epoch: 3,
+            kind: TraceKind::Kv(TableEvent::WindowOpen {
+                token: 0,
+                wop: 5,
+                keys: vec!["A".into(), "B".into()],
+            }),
+        };
+        assert!(to_json_line(&w).contains("\"keys\":[\"A\",\"B\"]"));
+    }
+
+    #[test]
+    fn metrics_render_prometheus_text() {
+        let m = Metrics::new();
+        m.counter("link_send_total").fetch_add(3, Ordering::Relaxed);
+        let h = m.histogram("activation_duration");
+        h.observe_us(3);
+        h.observe_us(1000);
+        let text = m.render_prometheus();
+        assert!(text.contains("# TYPE csaw_link_send_total counter"));
+        assert!(text.contains("csaw_link_send_total 3"));
+        assert!(text.contains("csaw_activation_duration_count 2"));
+        assert!(text.contains("le=\"+Inf\"} 2"));
+        assert_eq!(m.counter_value("link_send_total"), 3);
+        assert_eq!(m.counter_value("missing"), 0);
+    }
+}

@@ -45,6 +45,7 @@ use rand::SeedableRng;
 
 use crate::cell::JunctionId;
 use crate::fault::{FaultDecision, FaultPlan, LinkFaults, RetryPolicy};
+use crate::trace::{Metrics, TraceKind, Tracer};
 
 /// The kind of channel between a pair of instances.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -84,6 +85,11 @@ struct SimPacket {
     seq: u64,
     to: JunctionId,
     update: Update,
+    /// Directed pair whose FIFO clock tracks this packet (None for
+    /// explicitly reordered packets, which bypass FIFO clamping). The
+    /// scheduler decrements the pair's in-flight count after delivery,
+    /// which is what lets the Direct-link fast path recover.
+    fifo_link: Option<(String, String)>,
 }
 
 impl PartialEq for SimPacket {
@@ -108,19 +114,33 @@ struct SimState {
     shutdown: bool,
 }
 
+/// Per directed-pair FIFO bookkeeping: the latest scheduled arrival
+/// (for clamping) and how many scheduled deliveries are still in
+/// flight. Entries are removed once the link drains, so the Direct
+/// fast path recovers after transient jitter instead of detouring
+/// through the scheduler forever.
+struct FifoClock {
+    latest: Instant,
+    inflight: u64,
+}
+
+type FifoClocks = Arc<Mutex<HashMap<(String, String), FifoClock>>>;
+
 /// The delay-queue thread behind all simulated links.
 struct SimScheduler {
     state: Mutex<SimState>,
     cond: Condvar,
     seq: AtomicU64,
+    clocks: FifoClocks,
 }
 
 impl SimScheduler {
-    fn new() -> Arc<SimScheduler> {
+    fn new(clocks: FifoClocks) -> Arc<SimScheduler> {
         Arc::new(SimScheduler {
             state: Mutex::new(SimState { queue: BinaryHeap::new(), shutdown: false }),
             cond: Condvar::new(),
             seq: AtomicU64::new(0),
+            clocks,
         })
     }
 
@@ -154,6 +174,19 @@ impl SimScheduler {
                 drop(state);
                 for p in due {
                     deliver(&p.to, p.update);
+                    // Only after the delivery lands may the link's
+                    // in-flight count drop: a zero count re-arms the
+                    // Direct fast path, and synchronous delivery must
+                    // not overtake a packet still being handed over.
+                    if let Some(pair) = p.fifo_link {
+                        let mut clocks = self.clocks.lock();
+                        if let Some(c) = clocks.get_mut(&pair) {
+                            c.inflight = c.inflight.saturating_sub(1);
+                            if c.inflight == 0 {
+                                clocks.remove(&pair);
+                            }
+                        }
+                    }
                 }
                 state = self.state.lock();
                 continue;
@@ -170,11 +203,19 @@ impl SimScheduler {
         }
     }
 
-    fn enqueue(&self, arrival: Instant, to: JunctionId, update: Update) {
+    fn enqueue(
+        &self,
+        arrival: Instant,
+        to: JunctionId,
+        update: Update,
+        fifo_link: Option<(String, String)>,
+    ) {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         {
             let mut state = self.state.lock();
-            state.queue.push(Reverse(SimPacket { arrival, seq, to, update }));
+            state
+                .queue
+                .push(Reverse(SimPacket { arrival, seq, to, update, fifo_link }));
         }
         self.cond.notify_all();
     }
@@ -385,9 +426,24 @@ pub struct LinkStats {
     pub retries: u64,
     /// Deliveries suppressed by receiver-side sequence dedup.
     pub deduped: u64,
+    /// Direct-link sends delivered synchronously (fast path).
+    pub fast_path: u64,
 }
 
 /// The network connecting instances. Owned by the runtime.
+/// Interned trace identities for one directed route (see
+/// [`Network::route_trace_ids`]).
+struct RouteTraceIds {
+    /// `update.from` verbatim (`instance::junction`).
+    from: String,
+    to_instance: String,
+    to_junction: String,
+    sender_instance: Arc<str>,
+    sender_junction: Arc<str>,
+    /// `to.qualified()`.
+    to_qualified: Arc<str>,
+}
+
 pub struct Network {
     deliver: DeliverFn,
     default_link: LinkKind,
@@ -398,12 +454,13 @@ pub struct Network {
     shutdown: Arc<AtomicBool>,
     /// Installed fault plans, per directed (sender, receiver) pair.
     faults: Mutex<HashMap<(String, String), LinkFaults>>,
-    /// Latest scheduled arrival per directed pair, used to keep jittered
-    /// deliveries FIFO per link (only explicit reordering overtakes). A
-    /// link gets an entry on its first delayed delivery and keeps
-    /// routing through the scheduler from then on, so a delayed message
-    /// can never be overtaken by a later synchronous one.
-    fifo_clocks: Mutex<HashMap<(String, String), Instant>>,
+    /// Latest scheduled arrival and in-flight count per directed pair,
+    /// used to keep jittered deliveries FIFO per link (only explicit
+    /// reordering overtakes). A link gets an entry on its first delayed
+    /// delivery; the scheduler drops the entry once every scheduled
+    /// packet has been handed over, so the Direct fast path recovers
+    /// after the backlog drains (shared with [`SimScheduler`]).
+    fifo_clocks: FifoClocks,
     /// Reliability-layer retry policy.
     retry: Mutex<RetryPolicy>,
     /// Dice for backoff jitter (separate from link fault dice so a
@@ -418,10 +475,25 @@ pub struct Network {
     partitioned: AtomicU64,
     retries: AtomicU64,
     deduped: Arc<AtomicU64>,
+    fast_path: AtomicU64,
     /// Total messages sent (observability).
     pub msgs_sent: AtomicU64,
     /// Total bytes sent under the wire-size model (observability).
     pub bytes_sent: AtomicU64,
+    /// Trace recorder shared with the runtime (disabled by default).
+    tracer: Arc<Tracer>,
+    /// Interned identity strings per (sender junction, target junction)
+    /// route, so the hot send path records trace events without
+    /// re-allocating the names. Bounded by the program's topology.
+    trace_ids: Mutex<Vec<RouteTraceIds>>,
+    /// Metrics counters, resolved once at construction.
+    m_send: Arc<AtomicU64>,
+    m_retry: Arc<AtomicU64>,
+    m_drop: Arc<AtomicU64>,
+    m_dup: Arc<AtomicU64>,
+    m_partition: Arc<AtomicU64>,
+    m_fast: Arc<AtomicU64>,
+    m_scheduled: Arc<AtomicU64>,
 }
 
 /// Error sending a message, split into retryable link faults and fatal
@@ -471,12 +543,20 @@ impl Network {
     /// (seq ≠ 0) whose (sender, receiver, seq) was already delivered are
     /// suppressed, so retries and fault duplicates apply at most once.
     pub fn new(deliver: DeliverFn) -> Network {
+        Network::with_telemetry(deliver, Arc::new(Tracer::new()), &Metrics::new())
+    }
+
+    /// [`Network::new`] with an externally owned trace recorder and
+    /// metrics registry (the runtime shares its own with the network).
+    pub fn with_telemetry(deliver: DeliverFn, tracer: Arc<Tracer>, metrics: &Metrics) -> Network {
         let dedup_enabled = Arc::new(AtomicBool::new(true));
         let deduped = Arc::new(AtomicU64::new(0));
         let seen: Mutex<HashMap<(String, String), HashSet<u64>>> = Mutex::new(HashMap::new());
+        let m_dedup = metrics.counter("link_dedup_total");
         let deliver: DeliverFn = {
             let dedup_enabled = Arc::clone(&dedup_enabled);
             let deduped = Arc::clone(&deduped);
+            let tracer = Arc::clone(&tracer);
             let inner = deliver;
             Arc::new(move |to: &JunctionId, u: Update| {
                 if u.seq != 0 && dedup_enabled.load(Ordering::Relaxed) {
@@ -484,13 +564,26 @@ impl Network {
                     let fresh = seen.lock().entry(key).or_default().insert(u.seq);
                     if !fresh {
                         deduped.fetch_add(1, Ordering::Relaxed);
+                        m_dedup.fetch_add(1, Ordering::Relaxed);
+                        if tracer.is_enabled() {
+                            tracer.record(
+                                &to.instance,
+                                &to.junction,
+                                0,
+                                TraceKind::LinkDedup {
+                                    from: u.sender_instance().into(),
+                                    seq: u.seq,
+                                },
+                            );
+                        }
                         return;
                     }
                 }
                 inner(to, u)
             })
         };
-        let sim = SimScheduler::new();
+        let fifo_clocks: FifoClocks = Arc::new(Mutex::new(HashMap::new()));
+        let sim = SimScheduler::new(Arc::clone(&fifo_clocks));
         sim.spawn(Arc::clone(&deliver));
         Network {
             deliver,
@@ -501,7 +594,7 @@ impl Network {
             tcp: Mutex::new(HashMap::new()),
             shutdown: Arc::new(AtomicBool::new(false)),
             faults: Mutex::new(HashMap::new()),
-            fifo_clocks: Mutex::new(HashMap::new()),
+            fifo_clocks,
             retry: Mutex::new(RetryPolicy::default()),
             backoff_dice: Mutex::new(StdRng::seed_from_u64(0xBAC0FF)),
             seqs: Mutex::new(HashMap::new()),
@@ -511,9 +604,62 @@ impl Network {
             partitioned: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             deduped,
+            fast_path: AtomicU64::new(0),
             msgs_sent: AtomicU64::new(0),
             bytes_sent: AtomicU64::new(0),
+            m_send: metrics.counter("link_send_total"),
+            m_retry: metrics.counter("link_retry_total"),
+            m_drop: metrics.counter("link_drop_total"),
+            m_dup: metrics.counter("link_dup_total"),
+            m_partition: metrics.counter("link_partition_total"),
+            m_fast: metrics.counter("link_direct_fast_total"),
+            m_scheduled: metrics.counter("link_scheduled_total"),
+            tracer,
+            trace_ids: Mutex::new(Vec::new()),
         }
+    }
+
+    /// The sending junction of an update, for trace attribution:
+    /// `update.from` is `instance::junction`.
+    fn sender_of(update: &Update) -> (&str, &str) {
+        update
+            .from
+            .split_once("::")
+            .unwrap_or((update.from.as_str(), ""))
+    }
+
+    /// Interned trace identities (sender instance, sender junction,
+    /// qualified target) for the route `update.from → to`. Linear scan
+    /// over a small vector: the route set is bounded by the program's
+    /// topology, so this beats hashing — and it keeps the hot send path
+    /// free of per-event string allocations.
+    fn route_trace_ids(&self, update: &Update, to: &JunctionId) -> (Arc<str>, Arc<str>, Arc<str>) {
+        let mut ids = self.trace_ids.lock();
+        if let Some(e) = ids.iter().find(|e| {
+            e.from == update.from && e.to_instance == to.instance && e.to_junction == to.junction
+        }) {
+            return (
+                Arc::clone(&e.sender_instance),
+                Arc::clone(&e.sender_junction),
+                Arc::clone(&e.to_qualified),
+            );
+        }
+        let (fi, fj) = Network::sender_of(update);
+        let entry = RouteTraceIds {
+            from: update.from.clone(),
+            to_instance: to.instance.clone(),
+            to_junction: to.junction.clone(),
+            sender_instance: Arc::from(fi),
+            sender_junction: Arc::from(fj),
+            to_qualified: Arc::from(to.qualified()),
+        };
+        let out = (
+            Arc::clone(&entry.sender_instance),
+            Arc::clone(&entry.sender_junction),
+            Arc::clone(&entry.to_qualified),
+        );
+        ids.push(entry);
+        out
     }
 
     /// Install (or replace) the fault plan on the directed link
@@ -553,6 +699,7 @@ impl Network {
             partitioned: self.partitioned.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             deduped: self.deduped.load(Ordering::Relaxed),
+            fast_path: self.fast_path.load(Ordering::Relaxed),
         }
     }
 
@@ -603,6 +750,20 @@ impl Network {
                 Err(e) if policy.enabled && e.is_retryable() && attempt < policy.max_retries => {
                     attempt += 1;
                     self.retries.fetch_add(1, Ordering::Relaxed);
+                    self.m_retry.fetch_add(1, Ordering::Relaxed);
+                    if self.tracer.is_enabled() {
+                        let (fi, fj) = Network::sender_of(&update);
+                        self.tracer.record(
+                            fi,
+                            fj,
+                            0,
+                            TraceKind::LinkRetry {
+                                to: to.qualified().into(),
+                                seq: update.seq,
+                                attempt: attempt as u64,
+                            },
+                        );
+                    }
                     let backoff = policy.backoff(attempt, &mut self.backoff_dice.lock());
                     std::thread::sleep(backoff);
                 }
@@ -644,18 +805,63 @@ impl Network {
         match decision {
             FaultDecision::Partitioned => {
                 self.partitioned.fetch_add(1, Ordering::Relaxed);
+                self.m_partition.fetch_add(1, Ordering::Relaxed);
+                if self.tracer.is_enabled() {
+                    let (fi, fj) = Network::sender_of(&update);
+                    self.tracer.record(
+                        fi,
+                        fj,
+                        0,
+                        TraceKind::LinkPartition { to: to.qualified().into(), seq: update.seq },
+                    );
+                }
                 Err(SendError::PartitionedAway)
             }
             FaultDecision::Drop => {
                 self.drops.fetch_add(1, Ordering::Relaxed);
+                self.m_drop.fetch_add(1, Ordering::Relaxed);
+                if self.tracer.is_enabled() {
+                    let (fi, fj) = Network::sender_of(&update);
+                    self.tracer.record(
+                        fi,
+                        fj,
+                        0,
+                        TraceKind::LinkDrop { to: to.qualified().into(), seq: update.seq },
+                    );
+                }
                 Err(SendError::LinkDropped)
             }
             FaultDecision::Deliver { delay, duplicate, reorder } => {
+                let size = wire_size(&update) as u64;
                 self.msgs_sent.fetch_add(1, Ordering::Relaxed);
-                self.bytes_sent
-                    .fetch_add(wire_size(&update) as u64, Ordering::Relaxed);
+                self.bytes_sent.fetch_add(size, Ordering::Relaxed);
+                self.m_send.fetch_add(1, Ordering::Relaxed);
+                if self.tracer.is_enabled() {
+                    let (fi, fj, to_q) = self.route_trace_ids(&update, to);
+                    self.tracer.record_ids(
+                        &fi,
+                        &fj,
+                        0,
+                        TraceKind::LinkSend {
+                            to: to_q,
+                            key: update.key.clone(),
+                            seq: update.seq,
+                            bytes: size,
+                        },
+                    );
+                }
                 if duplicate {
                     self.dups.fetch_add(1, Ordering::Relaxed);
+                    self.m_dup.fetch_add(1, Ordering::Relaxed);
+                    if self.tracer.is_enabled() {
+                        let (fi, fj) = Network::sender_of(&update);
+                        self.tracer.record(
+                            fi,
+                            fj,
+                            0,
+                            TraceKind::LinkDup { to: to.qualified().into(), seq: update.seq },
+                        );
+                    }
                     self.dispatch(from_instance, to, update.clone(), delay, !reorder)?;
                 }
                 self.dispatch(from_instance, to, update, delay, !reorder)
@@ -664,16 +870,41 @@ impl Network {
     }
 
     /// Clamp `arrival` so this link stays FIFO: never earlier than the
-    /// latest already-scheduled arrival on the same directed pair.
-    fn fifo_arrival(&self, from: &str, to: &str, arrival: Instant) -> Instant {
+    /// latest already-scheduled arrival on the same directed pair. Also
+    /// registers the packet as in flight; the scheduler decrements the
+    /// count after delivery (see [`SimScheduler::run`]).
+    fn fifo_arrival(
+        &self,
+        from: &str,
+        to: &str,
+        arrival: Instant,
+    ) -> (Instant, (String, String)) {
+        let pair = (from.to_string(), to.to_string());
         let mut clocks = self.fifo_clocks.lock();
-        let slot = clocks
-            .entry((from.to_string(), to.to_string()))
-            .or_insert(arrival);
-        if arrival > *slot {
-            *slot = arrival;
+        let clock = clocks
+            .entry(pair.clone())
+            .or_insert(FifoClock { latest: arrival, inflight: 0 });
+        if arrival > clock.latest {
+            clock.latest = arrival;
         }
-        *slot
+        clock.inflight += 1;
+        (clock.latest, pair)
+    }
+
+    /// Whether a directed Direct link has no scheduled delivery still in
+    /// flight (drained entries are removed eagerly so the map stays
+    /// small under long runs).
+    fn link_idle(&self, from: &str, to: &str) -> bool {
+        let pair = (from.to_string(), to.to_string());
+        let mut clocks = self.fifo_clocks.lock();
+        match clocks.get(&pair) {
+            None => true,
+            Some(c) if c.inflight == 0 => {
+                clocks.remove(&pair);
+                true
+            }
+            Some(_) => false,
+        }
     }
 
     /// Dispatch over the configured link kind. `extra_delay` (fault
@@ -693,22 +924,26 @@ impl Network {
         let size = wire_size(&update) as u64;
         match self.link_for(from_instance, &to.instance) {
             LinkKind::Direct => {
-                // Fast path: no delay and no delayed-delivery history on
-                // this link — deliver synchronously.
-                if extra_delay.is_zero()
-                    && !self
-                        .fifo_clocks
-                        .lock()
-                        .contains_key(&(from_instance.to_string(), to.instance.clone()))
-                {
+                // Fast path: no delay and nothing still in flight on
+                // this link — deliver synchronously. The in-flight
+                // count (not mere clock existence) gates this, so one
+                // jittered delivery only detours the link through the
+                // scheduler until its backlog drains, not forever.
+                if extra_delay.is_zero() && self.link_idle(from_instance, &to.instance) {
+                    self.fast_path.fetch_add(1, Ordering::Relaxed);
+                    self.m_fast.fetch_add(1, Ordering::Relaxed);
                     (self.deliver)(to, update);
                     return Ok(());
                 }
                 let mut arrival = Instant::now() + extra_delay;
+                let mut fifo_link = None;
                 if fifo {
-                    arrival = self.fifo_arrival(from_instance, &to.instance, arrival);
+                    let (a, pair) = self.fifo_arrival(from_instance, &to.instance, arrival);
+                    arrival = a;
+                    fifo_link = Some(pair);
                 }
-                self.sim.enqueue(arrival, to.clone(), update);
+                self.m_scheduled.fetch_add(1, Ordering::Relaxed);
+                self.sim.enqueue(arrival, to.clone(), update, fifo_link);
                 Ok(())
             }
             LinkKind::Sim { latency, bandwidth } => {
@@ -728,10 +963,14 @@ impl Network {
                     done + latency
                 };
                 let mut arrival = arrival + extra_delay;
+                let mut fifo_link = None;
                 if fifo {
-                    arrival = self.fifo_arrival(from_instance, &to.instance, arrival);
+                    let (a, pair) = self.fifo_arrival(from_instance, &to.instance, arrival);
+                    arrival = a;
+                    fifo_link = Some(pair);
                 }
-                self.sim.enqueue(arrival, to.clone(), update);
+                self.m_scheduled.fetch_add(1, Ordering::Relaxed);
+                self.sim.enqueue(arrival, to.clone(), update, fifo_link);
                 Ok(())
             }
             LinkKind::Tcp => {
@@ -875,6 +1114,43 @@ mod tests {
             let (_, u) = rx.recv_timeout(Duration::from_secs(2)).unwrap();
             assert_eq!(u.kind, UpdateKind::Data(Value::Int(i)), "arrived out of order");
         }
+    }
+
+    #[test]
+    fn direct_fast_path_recovers_after_backlog_drains() {
+        // Regression: one delayed delivery used to leave a fifo_clocks
+        // entry behind forever, permanently disabling the Direct-link
+        // synchronous fast path for the pair.
+        let (net, rx) = collecting_network();
+        let to = JunctionId::new("g", "junction");
+        net.send("f", &to, Update::assert("Work", "f::j")).unwrap();
+        rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(net.stats().fast_path, 1, "first send is synchronous");
+        // A delayed delivery puts the link's FIFO clock in play…
+        net.set_link(
+            "f",
+            "g",
+            LinkKind::Sim { latency: Duration::from_millis(20), bandwidth: 0 },
+        );
+        net.send("f", &to, Update::assert("Work", "f::j")).unwrap();
+        rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(net.stats().fast_path, 1);
+        // …but once the backlog drains, Direct sends go synchronous
+        // again (the scheduler clears the in-flight count only after
+        // handing the packet over, so poll briefly).
+        net.set_link("f", "g", LinkKind::Direct);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut recovered = false;
+        while Instant::now() < deadline {
+            net.send("f", &to, Update::assert("Work", "f::j")).unwrap();
+            rx.recv_timeout(Duration::from_secs(1)).unwrap();
+            if net.stats().fast_path > 1 {
+                recovered = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(recovered, "fast path must re-arm after the backlog drains");
     }
 
     #[test]

@@ -1,0 +1,850 @@
+//! Trace conformance: replay a recorded runtime trace against the §8
+//! semantics and check it describes a *valid configuration*.
+//!
+//! `csaw-runtime` records causal traces as JSONL (see its `trace`
+//! module for the schema). This module parses that format — a minimal
+//! flat-JSON reader, no external dependency — and checks three families
+//! of rules:
+//!
+//! 1. **Structural causality** (`rule: "causality"`). Per junction,
+//!    `sched`/`unsched` alternate and epochs strictly increase; every
+//!    *applied* sequenced delivery is preceded (in global sequence
+//!    order) by a matching `link_send` from its sender; and no
+//!    `(sender, receiver, seq)` triple is applied twice (at-most-once
+//!    delivery, the reliability layer's contract).
+//! 2. **The §8 local-priority update rule** (`rule: "update-rule"`).
+//!    Each junction's KV events are replayed against the rule of §8:
+//!    a remote update may apply during a run only through a `wait`
+//!    window whose opening is *newer* than any local write to the key
+//!    (`lop < wop`); a pending update flushed at the next scheduling
+//!    must be *shadow-dropped*, not applied, when a local write
+//!    overtook it during the run (`lop > op`); and a retroactive apply
+//!    at window opening requires `op > lop`.
+//! 3. **Event-structure conformance** (`rule: "event-structure"`).
+//!    Each activation's observed labels (sends as `Wr`, admitted
+//!    deliveries as `Rd`) are matched against the event structure
+//!    denoted from the same program. Matching is lenient — the
+//!    denotation abstracts values and the runtime interleaves freely —
+//!    but two labels co-occurring in one activation whose candidate
+//!    events *all* conflict pairwise contradict the semantics: no
+//!    valid configuration contains both (conflict-freeness, §8.1).
+//!
+//! Violations carry the offending `gsn` so the JSONL line can be
+//! located directly.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use crate::denote::ProgramSemantics;
+use crate::event::{EventId, Label};
+
+/// One parsed trace line. Fields absent from a line stay `None`/empty;
+/// unknown fields are ignored (schema growth stays compatible).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceRecord {
+    /// Global sequence number (total recording order).
+    pub gsn: u64,
+    /// Microseconds since tracer creation.
+    pub us: u64,
+    /// Instance.
+    pub instance: String,
+    /// Junction (may be empty or `-`).
+    pub junction: String,
+    /// Table epoch (0 when not applicable).
+    pub epoch: u64,
+    /// Event kind (`sched`, `kv_deliver`, `link_send`, …).
+    pub kind: String,
+    /// Update key.
+    pub key: Option<String>,
+    /// Sender, `instance::junction`.
+    pub from: Option<String>,
+    /// Target, `instance::junction` (or instance for heartbeats).
+    pub to: Option<String>,
+    /// Per-link sequence number (0 = unsequenced).
+    pub seq: Option<u64>,
+    /// Table operation sequence of the event.
+    pub op: Option<u64>,
+    /// Table operation sequence of the shadowing local write.
+    pub lop: Option<u64>,
+    /// Window token.
+    pub tok: Option<u64>,
+    /// Table operation sequence at window opening.
+    pub wop: Option<u64>,
+    /// Window keys.
+    pub keys: Vec<String>,
+    /// Generic count (bytes, attempt).
+    pub n: Option<u64>,
+    /// Activation outcome.
+    pub ok: Option<bool>,
+    /// Whether a delivery applied immediately.
+    pub applied: Option<bool>,
+    /// Whether the table was mid-activation.
+    pub run: Option<bool>,
+}
+
+// ---------------------------------------------------------------------
+// Flat-JSON line parser
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.i).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", c as char, self.i))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .s
+                                .get(self.i + 1..self.i + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.i += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (continuation bytes too).
+                    let start = self.i;
+                    self.i += 1;
+                    while self
+                        .s
+                        .get(self.i)
+                        .is_some_and(|b| (b & 0xC0) == 0x80)
+                    {
+                        self.i += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.s[start..self.i])
+                            .map_err(|e| e.to_string())?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn parse_u64(&mut self) -> Result<u64, String> {
+        let start = self.i;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.i += 1;
+        }
+        if start == self.i {
+            return Err(format!("expected number at byte {start}"));
+        }
+        std::str::from_utf8(&self.s[start..self.i])
+            .map_err(|e| e.to_string())?
+            .parse()
+            .map_err(|e: std::num::ParseIntError| e.to_string())
+    }
+
+    fn parse_bool(&mut self) -> Result<bool, String> {
+        if self.s[self.i..].starts_with(b"true") {
+            self.i += 4;
+            Ok(true)
+        } else if self.s[self.i..].starts_with(b"false") {
+            self.i += 5;
+            Ok(false)
+        } else {
+            Err(format!("expected bool at byte {}", self.i))
+        }
+    }
+
+    fn parse_string_array(&mut self) -> Result<Vec<String>, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(out);
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.parse_string()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                other => return Err(format!("bad array separator {other:?}")),
+            }
+        }
+    }
+}
+
+/// Parse one JSONL trace line.
+pub fn parse_json_line(line: &str) -> Result<TraceRecord, String> {
+    let mut p = Parser { s: line.as_bytes(), i: 0 };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut rec = TraceRecord::default();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        return Ok(rec);
+    }
+    loop {
+        p.skip_ws();
+        let name = p.parse_string()?;
+        p.skip_ws();
+        p.expect(b':')?;
+        p.skip_ws();
+        match p.peek() {
+            Some(b'"') => {
+                let v = p.parse_string()?;
+                match name.as_str() {
+                    "i" => rec.instance = v,
+                    "j" => rec.junction = v,
+                    "k" => rec.kind = v,
+                    "key" => rec.key = Some(v),
+                    "from" => rec.from = Some(v),
+                    "to" => rec.to = Some(v),
+                    _ => {}
+                }
+            }
+            Some(b'[') => {
+                let v = p.parse_string_array()?;
+                if name == "keys" {
+                    rec.keys = v;
+                }
+            }
+            Some(b't') | Some(b'f') => {
+                let v = p.parse_bool()?;
+                match name.as_str() {
+                    "ok" => rec.ok = Some(v),
+                    "applied" => rec.applied = Some(v),
+                    "run" => rec.run = Some(v),
+                    _ => {}
+                }
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let v = p.parse_u64()?;
+                match name.as_str() {
+                    "gsn" => rec.gsn = v,
+                    "us" => rec.us = v,
+                    "ep" => rec.epoch = v,
+                    "seq" => rec.seq = Some(v),
+                    "op" => rec.op = Some(v),
+                    "lop" => rec.lop = Some(v),
+                    "tok" => rec.tok = Some(v),
+                    "wop" => rec.wop = Some(v),
+                    "n" => rec.n = Some(v),
+                    _ => {}
+                }
+            }
+            other => return Err(format!("unexpected value start {other:?}")),
+        }
+        p.skip_ws();
+        match p.peek() {
+            Some(b',') => p.i += 1,
+            Some(b'}') => return Ok(rec),
+            other => return Err(format!("bad field separator {other:?}")),
+        }
+    }
+}
+
+/// Parse a JSONL trace (empty lines skipped).
+pub fn parse_jsonl(jsonl: &str) -> Result<Vec<TraceRecord>, String> {
+    let mut out = Vec::new();
+    for (n, line) in jsonl.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(
+            parse_json_line(line).map_err(|e| format!("line {}: {e}", n + 1))?,
+        );
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Conformance checking
+// ---------------------------------------------------------------------
+
+/// Checker knobs.
+#[derive(Clone, Debug)]
+pub struct ConformanceOptions {
+    /// Require every applied sequenced delivery to be preceded by a
+    /// recorded `link_send` from its sender. Disable when the trace is
+    /// a suffix of the run (ring overflow) or synthesized by hand.
+    pub require_send_for_apply: bool,
+}
+
+impl Default for ConformanceOptions {
+    fn default() -> Self {
+        ConformanceOptions { require_send_for_apply: true }
+    }
+}
+
+/// One conformance violation, anchored to a trace line.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Global sequence number of the offending record.
+    pub gsn: u64,
+    /// Rule family: `causality`, `update-rule`, or `event-structure`.
+    pub rule: &'static str,
+    /// Human-readable diagnosis.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] gsn {}: {}", self.rule, self.gsn, self.detail)
+    }
+}
+
+/// The checker's verdict.
+#[derive(Debug, Default)]
+pub struct ConformanceReport {
+    /// Records checked.
+    pub events: usize,
+    /// Rule violations, in trace order.
+    pub violations: Vec<Violation>,
+    /// Activation labels matched against the denoted event structure.
+    pub matched_labels: usize,
+    /// Labels with no candidate event (informational, not violations:
+    /// the denotation abstracts recursion depth and app behaviour).
+    pub unmatched_labels: usize,
+}
+
+impl ConformanceReport {
+    /// True iff the trace is a valid configuration under every rule.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Render violations one per line (empty string when `ok`).
+    pub fn describe(&self) -> String {
+        self.violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+fn instance_of(qualified: &str) -> &str {
+    qualified.split("::").next().unwrap_or(qualified)
+}
+
+/// Strip a `[index]` suffix: the denotation labels indexed families by
+/// their base name when the index is a parameter.
+fn norm_key(key: &str) -> &str {
+    key.split('[').next().unwrap_or(key)
+}
+
+/// Per-junction §8 replay state.
+#[derive(Default)]
+struct JunctionReplay {
+    /// Latest local-write op per key.
+    lop: HashMap<String, u64>,
+    /// Open windows: token → (wop, keys).
+    windows: HashMap<u64, (u64, Vec<String>)>,
+    /// Inside a `sched`..`unsched` bracket, and its epoch.
+    active: Option<u64>,
+    /// Highest `sched` epoch seen.
+    last_epoch: u64,
+    /// Labels observed in the current activation, with candidate gsn.
+    labels: Vec<(u64, ObservedLabel)>,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum ObservedLabel {
+    /// This junction sent an update for `key` (normalized).
+    Wr(String),
+    /// This junction admitted a remote update for `key` through a
+    /// window — the runtime footprint of the §8 `wait` read.
+    Rd(String),
+}
+
+impl JunctionReplay {
+    fn admits(&self, key: &str) -> bool {
+        self.windows.values().any(|(wop, keys)| {
+            keys.iter().any(|k| k == key)
+                && self.lop.get(key).is_none_or(|s| s < wop)
+        })
+    }
+}
+
+/// Check a parsed trace. `semantics` (from
+/// [`crate::denote::denote_program`] on the same program) enables the
+/// event-structure rule; pass `None` for raw-table traces with no
+/// program behind them.
+pub fn check_trace(
+    records: &[TraceRecord],
+    semantics: Option<&ProgramSemantics>,
+    opts: &ConformanceOptions,
+) -> ConformanceReport {
+    let mut report = ConformanceReport { events: records.len(), ..Default::default() };
+
+    let mut sorted: Vec<&TraceRecord> = records.iter().collect();
+    sorted.sort_by_key(|r| r.gsn);
+
+    // Pass 1: index link sends by (sender instance, receiver instance,
+    // seq) → earliest gsn.
+    let mut sends: HashMap<(String, String, u64), u64> = HashMap::new();
+    for r in &sorted {
+        if r.kind == "link_send" {
+            let (Some(to), Some(seq)) = (&r.to, r.seq) else { continue };
+            if seq == 0 {
+                continue;
+            }
+            sends
+                .entry((r.instance.clone(), instance_of(to).to_string(), seq))
+                .or_insert(r.gsn);
+        }
+    }
+
+    // Full-conflict relations, computed lazily per junction.
+    let mut conflicts: HashMap<String, std::collections::BTreeSet<(EventId, EventId)>> =
+        HashMap::new();
+
+    let mut replays: BTreeMap<(String, String), JunctionReplay> = BTreeMap::new();
+    let mut applied_once: HashSet<(String, String, u64)> = HashSet::new();
+
+    for r in &sorted {
+        let is_apply = match r.kind.as_str() {
+            "kv_deliver" => r.applied == Some(true),
+            "kv_flush_apply" | "kv_retro_apply" => true,
+            _ => false,
+        };
+        if is_apply {
+            if let (Some(from), Some(seq)) = (&r.from, r.seq) {
+                if seq != 0 {
+                    let triple = (
+                        instance_of(from).to_string(),
+                        r.instance.clone(),
+                        seq,
+                    );
+                    if !applied_once.insert(triple.clone()) {
+                        report.violations.push(Violation {
+                            gsn: r.gsn,
+                            rule: "causality",
+                            detail: format!(
+                                "duplicate apply of seq {seq} from {} at {}",
+                                triple.0, r.instance
+                            ),
+                        });
+                    }
+                    if opts.require_send_for_apply {
+                        match sends.get(&triple) {
+                            Some(&sg) if sg < r.gsn => {}
+                            Some(&sg) => report.violations.push(Violation {
+                                gsn: r.gsn,
+                                rule: "causality",
+                                detail: format!(
+                                    "apply of seq {seq} precedes its send (gsn {sg})"
+                                ),
+                            }),
+                            None => report.violations.push(Violation {
+                                gsn: r.gsn,
+                                rule: "causality",
+                                detail: format!(
+                                    "apply of seq {seq} from {} with no recorded send",
+                                    triple.0
+                                ),
+                            }),
+                        }
+                    }
+                }
+            }
+        }
+
+        let jr = replays
+            .entry((r.instance.clone(), r.junction.clone()))
+            .or_default();
+        match r.kind.as_str() {
+            "sched" => {
+                if jr.active.is_some() {
+                    report.violations.push(Violation {
+                        gsn: r.gsn,
+                        rule: "causality",
+                        detail: format!(
+                            "{}::{} scheduled while already active",
+                            r.instance, r.junction
+                        ),
+                    });
+                }
+                if r.epoch <= jr.last_epoch {
+                    report.violations.push(Violation {
+                        gsn: r.gsn,
+                        rule: "causality",
+                        detail: format!(
+                            "{}::{} epoch did not advance ({} after {})",
+                            r.instance, r.junction, r.epoch, jr.last_epoch
+                        ),
+                    });
+                }
+                jr.last_epoch = r.epoch;
+                jr.active = Some(r.epoch);
+                jr.labels.clear();
+            }
+            "unsched" => {
+                if jr.active.is_none() {
+                    report.violations.push(Violation {
+                        gsn: r.gsn,
+                        rule: "causality",
+                        detail: format!(
+                            "{}::{} unscheduled while not active",
+                            r.instance, r.junction
+                        ),
+                    });
+                }
+                jr.active = None;
+                // Windows do not survive the activation.
+                jr.windows.clear();
+                if let Some(sem) = semantics {
+                    check_activation_labels(
+                        &r.instance,
+                        &r.junction,
+                        std::mem::take(&mut jr.labels),
+                        sem,
+                        &mut conflicts,
+                        &mut report,
+                    );
+                } else {
+                    jr.labels.clear();
+                }
+            }
+            "kv_local_write" => {
+                if let (Some(key), Some(op)) = (&r.key, r.op) {
+                    jr.lop.insert(key.clone(), op);
+                }
+            }
+            "kv_window_open" => {
+                if let (Some(tok), Some(wop)) = (r.tok, r.wop) {
+                    jr.windows.insert(tok, (wop, r.keys.clone()));
+                }
+            }
+            "kv_window_close" => {
+                if let Some(tok) = r.tok {
+                    jr.windows.remove(&tok);
+                }
+            }
+            "kv_deliver" => {
+                let key = r.key.as_deref().unwrap_or("");
+                if r.applied == Some(true) {
+                    if !jr.admits(key) {
+                        report.violations.push(Violation {
+                            gsn: r.gsn,
+                            rule: "update-rule",
+                            detail: format!(
+                                "update to `{key}` applied mid-run with no \
+                                 admitting window newer than the local write"
+                            ),
+                        });
+                    }
+                    jr.labels.push((r.gsn, ObservedLabel::Rd(norm_key(key).to_string())));
+                }
+            }
+            "kv_flush_apply" if r.run == Some(true) => {
+                if let (Some(key), Some(op)) = (&r.key, r.op) {
+                    if jr.lop.get(key).is_some_and(|&l| l > op) {
+                        report.violations.push(Violation {
+                            gsn: r.gsn,
+                            rule: "update-rule",
+                            detail: format!(
+                                "pending update to `{key}` applied though a \
+                                 local write overtook it (should shadow-drop)"
+                            ),
+                        });
+                    }
+                }
+            }
+            "kv_shadow_drop" => {
+                let shadowed = r.run == Some(true)
+                    && match (&r.key, r.op, r.lop) {
+                        (Some(key), Some(op), Some(lop)) => {
+                            lop > op && jr.lop.get(key).copied() == Some(lop)
+                        }
+                        _ => false,
+                    };
+                if !shadowed {
+                    report.violations.push(Violation {
+                        gsn: r.gsn,
+                        rule: "update-rule",
+                        detail: format!(
+                            "shadow drop of `{}` without a shadowing local write",
+                            r.key.as_deref().unwrap_or("?")
+                        ),
+                    });
+                }
+            }
+            "kv_retro_apply" => {
+                if let (Some(key), Some(op)) = (&r.key, r.op) {
+                    if jr.lop.get(key).is_some_and(|&l| op <= l) {
+                        report.violations.push(Violation {
+                            gsn: r.gsn,
+                            rule: "update-rule",
+                            detail: format!(
+                                "retroactive apply of `{key}` older than the \
+                                 local write it should defer to"
+                            ),
+                        });
+                    }
+                }
+            }
+            "link_send" if jr.active.is_some() => {
+                if let Some(key) = &r.key {
+                    jr.labels
+                        .push((r.gsn, ObservedLabel::Wr(norm_key(key).to_string())));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    report
+}
+
+/// Match one activation's observed labels against the junction's
+/// denoted event structure and flag co-occurring all-conflicting pairs.
+fn check_activation_labels(
+    instance: &str,
+    junction: &str,
+    labels: Vec<(u64, ObservedLabel)>,
+    sem: &ProgramSemantics,
+    conflicts: &mut HashMap<String, std::collections::BTreeSet<(EventId, EventId)>>,
+    report: &mut ConformanceReport,
+) {
+    if labels.is_empty() {
+        return;
+    }
+    let qualified = format!("{instance}::{junction}");
+    let Some(es) = sem.junctions.get(&qualified) else {
+        report.unmatched_labels += labels.len();
+        return;
+    };
+    let candidates: Vec<(u64, &ObservedLabel, Vec<EventId>)> = labels
+        .iter()
+        .map(|(gsn, l)| {
+            let ids = match l {
+                ObservedLabel::Wr(key) => es.find(|lab| {
+                    matches!(lab, Label::Wr { key: k, .. } if norm_key(k) == key)
+                }),
+                ObservedLabel::Rd(key) => es.find(|lab| {
+                    matches!(
+                        lab,
+                        Label::Rd { key: k, .. } if norm_key(k) == key
+                    ) || matches!(
+                        lab,
+                        Label::Wait { data, .. }
+                            if data.iter().any(|k| norm_key(k) == key)
+                    )
+                }),
+            };
+            (*gsn, l, ids)
+        })
+        .collect();
+    for (_, _, ids) in &candidates {
+        if ids.is_empty() {
+            report.unmatched_labels += 1;
+        } else {
+            report.matched_labels += 1;
+        }
+    }
+    let conf = conflicts
+        .entry(qualified.clone())
+        .or_insert_with(|| es.full_conflict());
+    for (a_ix, (gsn_a, la, ca)) in candidates.iter().enumerate() {
+        for (gsn_b, lb, cb) in candidates.iter().skip(a_ix + 1) {
+            if ca.is_empty() || cb.is_empty() {
+                continue;
+            }
+            let all_conflict = ca.iter().all(|x| {
+                cb.iter().all(|y| x != y && conf.contains(&(*x, *y)))
+            });
+            if all_conflict {
+                report.violations.push(Violation {
+                    gsn: *gsn_b.max(gsn_a),
+                    rule: "event-structure",
+                    detail: format!(
+                        "labels {la:?} and {lb:?} co-occur in one activation of \
+                         {qualified} but every candidate event pair conflicts"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Parse a JSONL trace and check it in one call.
+pub fn check_jsonl(
+    jsonl: &str,
+    semantics: Option<&ProgramSemantics>,
+    opts: &ConformanceOptions,
+) -> Result<ConformanceReport, String> {
+    Ok(check_trace(&parse_jsonl(jsonl)?, semantics, opts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_roundtrips_fields_and_escapes() {
+        let r = parse_json_line(
+            r#"{"gsn":7,"us":12,"i":"f\"x","j":"serve","ep":3,"k":"kv_deliver","key":"Reply","from":"g::run","seq":9,"op":12,"applied":true,"run":false}"#,
+        )
+        .unwrap();
+        assert_eq!(r.gsn, 7);
+        assert_eq!(r.instance, "f\"x");
+        assert_eq!(r.kind, "kv_deliver");
+        assert_eq!(r.seq, Some(9));
+        assert_eq!(r.applied, Some(true));
+        assert_eq!(r.run, Some(false));
+        let w = parse_json_line(
+            r#"{"gsn":1,"us":0,"i":"f","j":"serve","ep":1,"k":"kv_window_open","tok":0,"wop":5,"keys":["A","B"]}"#,
+        )
+        .unwrap();
+        assert_eq!(w.keys, vec!["A", "B"]);
+        assert_eq!(w.wop, Some(5));
+        assert!(parse_json_line("{}").is_ok());
+        assert!(parse_json_line("{bad").is_err());
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored() {
+        let r = parse_json_line(
+            r#"{"gsn":1,"us":0,"i":"f","j":"x","ep":1,"k":"sched","future":"y","extra":3,"flag":true,"list":["z"]}"#,
+        )
+        .unwrap();
+        assert_eq!(r.kind, "sched");
+    }
+
+    fn lines(ls: &[&str]) -> Vec<TraceRecord> {
+        parse_jsonl(&ls.join("\n")).unwrap()
+    }
+
+    #[test]
+    fn admitted_delivery_behind_local_write_is_flagged() {
+        // A window opened *before* a local write must not admit a
+        // remote update to that key (§8 local priority): wop < lop.
+        let recs = lines(&[
+            r#"{"gsn":1,"us":10,"i":"f","j":"serve","ep":1,"k":"sched"}"#,
+            r#"{"gsn":2,"us":12,"i":"f","j":"serve","ep":1,"k":"kv_window_open","tok":0,"wop":1,"keys":["Reply"]}"#,
+            r#"{"gsn":3,"us":15,"i":"f","j":"serve","ep":1,"k":"kv_local_write","key":"Reply","op":2}"#,
+            r#"{"gsn":4,"us":20,"i":"f","j":"serve","ep":1,"k":"kv_deliver","key":"Reply","from":"g::run","seq":1,"op":3,"applied":true,"run":true}"#,
+            r#"{"gsn":5,"us":25,"i":"f","j":"serve","ep":1,"k":"kv_window_close","tok":0}"#,
+            r#"{"gsn":6,"us":30,"i":"f","j":"serve","ep":1,"k":"unsched","ok":true}"#,
+        ]);
+        let opts = ConformanceOptions { require_send_for_apply: false };
+        let report = check_trace(&recs, None, &opts);
+        assert_eq!(report.violations.len(), 1, "{}", report.describe());
+        assert_eq!(report.violations[0].rule, "update-rule");
+        assert_eq!(report.violations[0].gsn, 4);
+    }
+
+    #[test]
+    fn window_newer_than_local_write_admits_cleanly() {
+        let recs = lines(&[
+            r#"{"gsn":1,"us":10,"i":"f","j":"serve","ep":1,"k":"sched"}"#,
+            r#"{"gsn":2,"us":12,"i":"f","j":"serve","ep":1,"k":"kv_local_write","key":"Reply","op":1}"#,
+            r#"{"gsn":3,"us":15,"i":"f","j":"serve","ep":1,"k":"kv_window_open","tok":0,"wop":2,"keys":["Reply"]}"#,
+            r#"{"gsn":4,"us":20,"i":"f","j":"serve","ep":1,"k":"kv_deliver","key":"Reply","from":"g::run","seq":1,"op":3,"applied":true,"run":true}"#,
+            r#"{"gsn":5,"us":30,"i":"f","j":"serve","ep":1,"k":"unsched","ok":true}"#,
+        ]);
+        let opts = ConformanceOptions { require_send_for_apply: false };
+        let report = check_trace(&recs, None, &opts);
+        assert!(report.ok(), "{}", report.describe());
+    }
+
+    #[test]
+    fn shadow_and_flush_rules_replay() {
+        // Arrives mid-run, local write overtakes it, next scheduling
+        // shadow-drops: valid. Applying it instead would violate.
+        let valid = lines(&[
+            r#"{"gsn":1,"us":0,"i":"f","j":"x","ep":1,"k":"sched"}"#,
+            r#"{"gsn":2,"us":1,"i":"f","j":"x","ep":1,"k":"kv_deliver","key":"W","from":"g::y","seq":1,"op":1,"applied":false,"run":true}"#,
+            r#"{"gsn":3,"us":2,"i":"f","j":"x","ep":1,"k":"kv_local_write","key":"W","op":2}"#,
+            r#"{"gsn":4,"us":3,"i":"f","j":"x","ep":1,"k":"unsched","ok":true}"#,
+            r#"{"gsn":5,"us":4,"i":"f","j":"x","ep":2,"k":"sched"}"#,
+            r#"{"gsn":6,"us":5,"i":"f","j":"x","ep":2,"k":"kv_shadow_drop","key":"W","from":"g::y","seq":1,"op":1,"lop":2,"run":true}"#,
+            r#"{"gsn":7,"us":6,"i":"f","j":"x","ep":2,"k":"unsched","ok":true}"#,
+        ]);
+        let opts = ConformanceOptions { require_send_for_apply: false };
+        assert!(check_trace(&valid, None, &opts).ok());
+
+        let invalid = lines(&[
+            r#"{"gsn":1,"us":0,"i":"f","j":"x","ep":1,"k":"sched"}"#,
+            r#"{"gsn":2,"us":1,"i":"f","j":"x","ep":1,"k":"kv_deliver","key":"W","from":"g::y","seq":1,"op":1,"applied":false,"run":true}"#,
+            r#"{"gsn":3,"us":2,"i":"f","j":"x","ep":1,"k":"kv_local_write","key":"W","op":2}"#,
+            r#"{"gsn":4,"us":3,"i":"f","j":"x","ep":1,"k":"unsched","ok":true}"#,
+            r#"{"gsn":5,"us":5,"i":"f","j":"x","ep":2,"k":"kv_flush_apply","key":"W","from":"g::y","seq":1,"op":1,"run":true}"#,
+        ]);
+        let report = check_trace(&invalid, None, &opts);
+        assert!(!report.ok());
+        assert_eq!(report.violations[0].rule, "update-rule");
+    }
+
+    #[test]
+    fn causality_catches_missing_send_and_double_apply() {
+        let recs = lines(&[
+            r#"{"gsn":1,"us":0,"i":"g","j":"y","ep":1,"k":"sched"}"#,
+            r#"{"gsn":2,"us":1,"i":"g","j":"y","ep":1,"k":"link_send","to":"f::x","key":"W","seq":1,"n":24}"#,
+            r#"{"gsn":3,"us":2,"i":"g","j":"y","ep":1,"k":"unsched","ok":true}"#,
+            // seq 1 applies (fine), then a duplicate apply of seq 1 and
+            // an apply of never-sent seq 7.
+            r#"{"gsn":4,"us":3,"i":"f","j":"x","ep":1,"k":"kv_flush_apply","key":"W","from":"g::y","seq":1,"op":1,"run":false}"#,
+            r#"{"gsn":5,"us":4,"i":"f","j":"x","ep":2,"k":"kv_flush_apply","key":"W","from":"g::y","seq":1,"op":2,"run":false}"#,
+            r#"{"gsn":6,"us":5,"i":"f","j":"x","ep":3,"k":"kv_flush_apply","key":"W","from":"g::y","seq":7,"op":3,"run":false}"#,
+        ]);
+        let report = check_trace(&recs, None, &ConformanceOptions::default());
+        assert_eq!(report.violations.len(), 2, "{}", report.describe());
+        assert!(report.violations.iter().all(|v| v.rule == "causality"));
+    }
+
+    #[test]
+    fn sched_epochs_must_advance_and_alternate() {
+        let recs = lines(&[
+            r#"{"gsn":1,"us":0,"i":"f","j":"x","ep":1,"k":"sched"}"#,
+            r#"{"gsn":2,"us":1,"i":"f","j":"x","ep":1,"k":"sched"}"#,
+        ]);
+        let report = check_trace(&recs, None, &ConformanceOptions::default());
+        // Double-sched and non-advancing epoch.
+        assert_eq!(report.violations.len(), 2);
+    }
+}

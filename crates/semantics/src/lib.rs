@@ -13,17 +13,26 @@
 //!   decomposition, DNF-decomposition of guard formulas into
 //!   `Synch`-prefixed read events, and the staged expansion of `wait`;
 //! * [`topology()`] — the `Topo` derivation of §8.7 (the communication
-//!   graph between junctions) with DOT export.
+//!   graph between junctions) with DOT export;
+//! * [`conformance`] — replay of recorded `csaw-runtime` JSONL traces
+//!   against the denoted event structures: structural causality, the
+//!   §8 local-priority update rule, and conflict-freeness of observed
+//!   configurations.
 //!
 //! The §8.5 semantics is explicitly "a general, infinitary version"; like
 //! the paper's implementation, we compute the weaker finite version,
 //! curtailing recursion (`reconsider`/`retry` unfoldings) at a
 //! configurable depth.
 
+pub mod conformance;
 pub mod denote;
 pub mod event;
 pub mod topology;
 
-pub use denote::{denote_junction, denote_program, DenoteConfig};
+pub use conformance::{
+    check_jsonl, check_trace, parse_json_line, parse_jsonl, ConformanceOptions,
+    ConformanceReport, TraceRecord, Violation,
+};
+pub use denote::{denote_junction, denote_program, DenoteConfig, ProgramSemantics};
 pub use event::{Event, EventId, EventStructure, Label};
 pub use topology::{topology, Topology};
