@@ -17,6 +17,7 @@
 //! | [`ablations`] | DESIGN.md ablations (transports, fail-over designs, serializer depth, fan-out, fault tolerance) |
 //! | [`chaos`] | chaos soak: fault-injected fail-over invariants |
 //! | [`conformance_runs`] | trace-conformance validation of the architecture catalogue |
+//! | [`reconfig_runs`] | live-reconfiguration downtime: four hot-swaps under traffic |
 //!
 //! Experiment durations are time-compressed relative to the paper's 120s
 //! runs; scale with `--seconds <n>` on each binary or the
@@ -29,6 +30,7 @@ pub mod exp_curl;
 pub mod exp_loc;
 pub mod exp_redis;
 pub mod exp_suricata;
+pub mod reconfig_runs;
 pub mod report;
 
 /// Experiment duration (seconds), from `CSAW_EXP_SECONDS` or the default.

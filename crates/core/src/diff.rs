@@ -1,0 +1,254 @@
+//! Structural diff between two compiled programs.
+//!
+//! Live reconfiguration (the paper's title claim — *reconfigurable*
+//! architecture) needs to know exactly which parts of a running system a
+//! transition touches, because the executor must quiesce **only** those
+//! parts: every instance outside the diff's footprint keeps serving
+//! traffic without pausing. This module compares two [`CompiledProgram`]s
+//! at instance/junction granularity — junction bodies are compared by
+//! structural equality of their fully-expanded definitions, so a
+//! shard-count change that alters a `For`-expanded fan-out shows up even
+//! when the source text of the type is unchanged.
+
+use crate::program::{CompiledInstance, CompiledProgram, JunctionDef};
+
+/// How one junction of a retained instance changed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JunctionChange {
+    /// Present in B only: the instance gains a junction (new table,
+    /// fresh scheduler).
+    Added,
+    /// Present in A only: the junction's scheduler stops and its table
+    /// is discarded (after optional migration).
+    Removed,
+    /// Present in both with structurally different expanded definitions
+    /// (body, declarations or parameters differ): the table is migrated
+    /// onto the new declaration set.
+    Modified,
+}
+
+/// Diff of one instance that exists in both programs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InstanceDiff {
+    /// Instance name.
+    pub name: String,
+    /// `Some((old, new))` when the instance's type name changed.
+    pub type_change: Option<(String, String)>,
+    /// Per-junction changes, `(junction name, change)`. Junctions whose
+    /// expanded definitions are identical in A and B are not listed.
+    pub junctions: Vec<(String, JunctionChange)>,
+}
+
+impl InstanceDiff {
+    /// Whether anything about this instance actually changed.
+    pub fn is_changed(&self) -> bool {
+        self.type_change.is_some() || !self.junctions.is_empty()
+    }
+}
+
+/// The full structural diff of two compiled programs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProgramDiff {
+    /// Instances present only in B, in B's declaration order.
+    pub added: Vec<String>,
+    /// Instances present only in A, in A's declaration order.
+    pub removed: Vec<String>,
+    /// Instances present in both whose expanded shape differs.
+    pub changed: Vec<InstanceDiff>,
+    /// Instances present in both with identical expanded junctions —
+    /// the non-footprint: reconfiguration never pauses these.
+    pub unchanged: Vec<String>,
+}
+
+impl ProgramDiff {
+    /// The transition's *footprint*: every instance the executor must
+    /// quiesce or (re)start — removed, changed, and added instances.
+    /// Everything else keeps running untouched.
+    pub fn footprint(&self) -> Vec<&str> {
+        self.removed
+            .iter()
+            .map(String::as_str)
+            .chain(self.changed.iter().map(|c| c.name.as_str()))
+            .chain(self.added.iter().map(String::as_str))
+            .collect()
+    }
+
+    /// Instances of A that must be quiesced (drained and, if retained,
+    /// migrated): the removed and changed sets. Added instances do not
+    /// exist yet, so they need no quiescence.
+    pub fn quiesce_set(&self) -> Vec<&str> {
+        self.removed
+            .iter()
+            .map(String::as_str)
+            .chain(self.changed.iter().map(|c| c.name.as_str()))
+            .collect()
+    }
+
+    /// Whether A and B are structurally identical (nothing to do).
+    pub fn is_identity(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty() && self.changed.is_empty()
+    }
+
+    /// Total number of touched instances.
+    pub fn footprint_len(&self) -> usize {
+        self.added.len() + self.removed.len() + self.changed.len()
+    }
+}
+
+fn diff_instance(a: &CompiledInstance, b: &CompiledInstance) -> InstanceDiff {
+    let mut junctions = Vec::new();
+    for ja in &a.junctions {
+        match b.junction(&ja.name) {
+            None => junctions.push((ja.name.clone(), JunctionChange::Removed)),
+            Some(jb) if junction_differs(ja, jb) => {
+                junctions.push((ja.name.clone(), JunctionChange::Modified));
+            }
+            Some(_) => {}
+        }
+    }
+    for jb in &b.junctions {
+        if a.junction(&jb.name).is_none() {
+            junctions.push((jb.name.clone(), JunctionChange::Added));
+        }
+    }
+    InstanceDiff {
+        name: a.name.clone(),
+        type_change: (a.type_name != b.type_name)
+            .then(|| (a.type_name.clone(), b.type_name.clone())),
+        junctions,
+    }
+}
+
+fn junction_differs(a: &JunctionDef, b: &JunctionDef) -> bool {
+    a != b
+}
+
+/// Compute the structural diff taking compiled program `a` to `b`.
+pub fn diff_programs(a: &CompiledProgram, b: &CompiledProgram) -> ProgramDiff {
+    let mut diff = ProgramDiff::default();
+    for ia in &a.instances {
+        match b.instance(&ia.name) {
+            None => diff.removed.push(ia.name.clone()),
+            Some(ib) => {
+                let d = diff_instance(ia, ib);
+                if d.is_changed() {
+                    diff.changed.push(d);
+                } else {
+                    diff.unchanged.push(ia.name.clone());
+                }
+            }
+        }
+    }
+    for ib in &b.instances {
+        if a.instance(&ib.name).is_none() {
+            diff.added.push(ib.name.clone());
+        }
+    }
+    diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::program::{InstanceType, MainDef, Program};
+
+    fn compiled(instances: Vec<(&str, &str, Vec<JunctionDef>)>) -> CompiledProgram {
+        CompiledProgram {
+            program: Program {
+                types: vec![InstanceType::new("T", vec![])],
+                instances: instances
+                    .iter()
+                    .map(|(n, t, _)| (n.to_string(), t.to_string()))
+                    .collect(),
+                functions: vec![],
+                main: MainDef { params: vec![], body: Expr::Skip },
+            },
+            instances: instances
+                .into_iter()
+                .map(|(n, t, js)| CompiledInstance {
+                    name: n.into(),
+                    type_name: t.into(),
+                    junctions: js,
+                })
+                .collect(),
+            retry_limit: 3,
+        }
+    }
+
+    fn j(name: &str, body: Expr) -> JunctionDef {
+        JunctionDef::new(name, vec![], vec![], body)
+    }
+
+    #[test]
+    fn identical_programs_diff_to_identity() {
+        let a = compiled(vec![("f", "T", vec![j("c", Expr::Skip)])]);
+        let d = diff_programs(&a, &a.clone());
+        assert!(d.is_identity());
+        assert_eq!(d.unchanged, vec!["f"]);
+        assert!(d.footprint().is_empty());
+    }
+
+    #[test]
+    fn added_and_removed_instances() {
+        let a = compiled(vec![
+            ("f", "T", vec![j("c", Expr::Skip)]),
+            ("old", "T", vec![j("c", Expr::Skip)]),
+        ]);
+        let b = compiled(vec![
+            ("f", "T", vec![j("c", Expr::Skip)]),
+            ("new", "T", vec![j("c", Expr::Skip)]),
+        ]);
+        let d = diff_programs(&a, &b);
+        assert_eq!(d.added, vec!["new"]);
+        assert_eq!(d.removed, vec!["old"]);
+        assert_eq!(d.unchanged, vec!["f"]);
+        assert_eq!(d.footprint(), vec!["old", "new"]);
+        assert_eq!(d.quiesce_set(), vec!["old"]);
+    }
+
+    #[test]
+    fn modified_junction_is_detected_structurally() {
+        let a = compiled(vec![("f", "T", vec![j("c", Expr::Skip)])]);
+        let b = compiled(vec![(
+            "f",
+            "T",
+            vec![j("c", Expr::Seq(vec![Expr::Skip, Expr::Return]))],
+        )]);
+        let d = diff_programs(&a, &b);
+        assert_eq!(d.changed.len(), 1);
+        assert_eq!(
+            d.changed[0].junctions,
+            vec![("c".to_string(), JunctionChange::Modified)]
+        );
+        assert!(!d.is_identity());
+        assert_eq!(d.quiesce_set(), vec!["f"]);
+    }
+
+    #[test]
+    fn junction_add_remove_within_instance() {
+        let a = compiled(vec![("f", "T", vec![j("c", Expr::Skip), j("gone", Expr::Skip)])]);
+        let b = compiled(vec![("f", "T", vec![j("c", Expr::Skip), j("fresh", Expr::Skip)])]);
+        let d = diff_programs(&a, &b);
+        let id = &d.changed[0];
+        assert!(id
+            .junctions
+            .contains(&("gone".to_string(), JunctionChange::Removed)));
+        assert!(id
+            .junctions
+            .contains(&("fresh".to_string(), JunctionChange::Added)));
+        assert!(!id.junctions.iter().any(|(n, _)| n == "c"));
+    }
+
+    #[test]
+    fn type_rename_alone_marks_instance_changed() {
+        let a = compiled(vec![("f", "T", vec![j("c", Expr::Skip)])]);
+        let b = compiled(vec![("f", "U", vec![j("c", Expr::Skip)])]);
+        let d = diff_programs(&a, &b);
+        assert_eq!(
+            d.changed[0].type_change,
+            Some(("T".to_string(), "U".to_string()))
+        );
+        assert!(d.changed[0].junctions.is_empty());
+    }
+}

@@ -28,6 +28,7 @@
 
 pub mod builder;
 pub mod decl;
+pub mod diff;
 pub mod error;
 pub mod expand;
 pub mod expr;
@@ -40,6 +41,7 @@ pub mod validate;
 pub mod value;
 
 pub use decl::{Decl, Param, ParamKind};
+pub use diff::{diff_programs, InstanceDiff, JunctionChange, ProgramDiff};
 pub use error::{CoreError, CoreResult};
 pub use expr::{Arg, CaseArm, CaseGuard, Expr, ForOp, Terminator};
 pub use formula::Formula;

@@ -23,5 +23,6 @@
 pub mod table;
 
 pub use table::{
-    Snapshot, Table, TableError, TableEvent, TableObserver, Update, UpdateKind,
+    Delivery, PendingState, Snapshot, Table, TableError, TableEvent, TableObserver, TableState,
+    Update, UpdateKind,
 };

@@ -236,6 +236,52 @@ struct Pending {
     seq: u64,
 }
 
+/// One queued update in an exported [`TableState`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct PendingState {
+    /// The queued update itself.
+    pub update: Update,
+    /// Whether the junction was executing when it arrived.
+    pub during_run: bool,
+    /// Table operation sequence at arrival.
+    pub seq: u64,
+}
+
+/// The complete exported state of a table, for live reconfiguration.
+///
+/// Unlike [`Snapshot`] (visible state only, for transaction rollback),
+/// `TableState` carries everything the §8 update rule is stated over:
+/// the pending queue, the per-key local-write shadows
+/// (`locally_written`), the operation counter, the activation epoch and
+/// the window-token counter. Importing an exported state therefore
+/// resumes the table exactly where it left off — a queued update that
+/// would have been shadow-dropped before export is still shadow-dropped
+/// after import.
+///
+/// Collections are sorted vectors rather than maps so the exported
+/// state has a canonical form (stable encoding, comparable in tests).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableState {
+    /// Propositions and their values, sorted by key.
+    pub props: Vec<(String, bool)>,
+    /// Data entries (including `undef`), sorted by key.
+    pub data: Vec<(String, Value)>,
+    /// Subsets: (name, base set, current value), sorted by name.
+    pub subsets: Vec<(String, Vec<SetElem>, Option<Vec<SetElem>>)>,
+    /// Indexes: (name, base set, current value), sorted by name.
+    pub idxs: Vec<(String, Vec<SetElem>, Option<String>)>,
+    /// The pending update queue, in arrival order.
+    pub pending: Vec<PendingState>,
+    /// Activation epoch at export.
+    pub epoch: u64,
+    /// Per-key (epoch, op-seq) of the latest local write, sorted by key.
+    pub locally_written: Vec<(String, u64, u64)>,
+    /// Operation counter at export.
+    pub op_seq: u64,
+    /// Next `wait` window token.
+    pub next_window: u64,
+}
+
 /// One open `wait` window.
 #[derive(Clone, Debug)]
 struct Window {
@@ -664,6 +710,106 @@ impl Table {
         self.data = snap.data;
         self.subsets = snap.subsets;
         self.idxs = snap.idxs;
+    }
+
+    /// Export the complete table state for migration. Meant to be taken
+    /// at quiescence (no activation running, all windows closed); open
+    /// windows do not survive an export.
+    pub fn export_state(&self) -> TableState {
+        let mut props: Vec<_> = self.props.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        props.sort();
+        let mut data: Vec<_> = self.data.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        data.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut subsets: Vec<_> = self
+            .subsets
+            .iter()
+            .map(|(k, v)| {
+                (
+                    k.clone(),
+                    self.subset_bases.get(k).cloned().unwrap_or_default(),
+                    v.clone(),
+                )
+            })
+            .collect();
+        subsets.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut idxs: Vec<_> = self
+            .idxs
+            .iter()
+            .map(|(k, v)| {
+                (
+                    k.clone(),
+                    self.idx_bases.get(k).cloned().unwrap_or_default(),
+                    v.clone(),
+                )
+            })
+            .collect();
+        idxs.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut locally_written: Vec<_> = self
+            .locally_written
+            .iter()
+            .map(|(k, &(e, s))| (k.clone(), e, s))
+            .collect();
+        locally_written.sort();
+        TableState {
+            props,
+            data,
+            subsets,
+            idxs,
+            pending: self
+                .pending
+                .iter()
+                .map(|p| PendingState {
+                    update: p.update.clone(),
+                    during_run: p.during_run,
+                    seq: p.seq,
+                })
+                .collect(),
+            epoch: self.epoch,
+            locally_written,
+            op_seq: self.op_seq,
+            next_window: self.next_window,
+        }
+    }
+
+    /// Import a previously exported state, replacing this table's state
+    /// wholesale — declarations included. The inverse of
+    /// [`Table::export_state`]: entries, the pending queue, the seq
+    /// counters and the local-priority shadows all resume exactly where
+    /// the export left them. The observer slot is untouched.
+    pub fn import_state(&mut self, state: TableState) {
+        self.props = state.props.into_iter().collect();
+        self.data = state.data.into_iter().collect();
+        self.subsets.clear();
+        self.subset_bases.clear();
+        for (name, base, value) in state.subsets {
+            self.subsets.insert(name.clone(), value);
+            self.subset_bases.insert(name, base);
+        }
+        self.idxs.clear();
+        self.idx_bases.clear();
+        for (name, base, value) in state.idxs {
+            self.idxs.insert(name.clone(), value);
+            self.idx_bases.insert(name, base);
+        }
+        self.pending = state
+            .pending
+            .into_iter()
+            .map(|p| Pending {
+                update: p.update,
+                during_run: p.during_run,
+                seq: p.seq,
+            })
+            .collect();
+        self.epoch = state.epoch;
+        self.locally_written = state
+            .locally_written
+            .into_iter()
+            .map(|(k, e, s)| (k, (e, s)))
+            .collect();
+        self.op_seq = state.op_seq;
+        self.windows.clear();
+        self.next_window = state.next_window;
+        self.running = false;
     }
 }
 

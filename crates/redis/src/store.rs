@@ -82,6 +82,17 @@ impl Store {
         self.entries.get(key).map(|v| v.len())
     }
 
+    /// All `(key, value)` pairs in key order (live-migration re-keying).
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &[u8])> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+
+    /// Remove and return every entry — the drain side of a shard
+    /// migration (the receiving shard gets them via [`Store::set`]).
+    pub fn drain_entries(&mut self) -> Vec<(String, Vec<u8>)> {
+        std::mem::take(&mut self.entries).into_iter().collect()
+    }
+
     /// Total payload bytes.
     pub fn used_bytes(&self) -> usize {
         self.entries.values().map(|v| v.len()).sum()

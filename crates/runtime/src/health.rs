@@ -103,6 +103,22 @@ impl HeartbeatState {
             .or_insert_with(Instant::now);
     }
 
+    /// Grant `instance` a fresh suspicion window in both directions:
+    /// every observer tracking it forgets the silence accumulated while
+    /// it was down, and its own clocks on its peers restart too. Called
+    /// on restart — the same priming watch registration performs, but
+    /// *resetting* rather than `or_insert`ing, because the stale clocks
+    /// already exist. Without this a restarted instance stays suspected
+    /// until the next ping round even though it is demonstrably back.
+    pub(crate) fn reprime(&self, instance: &str) {
+        let now = Instant::now();
+        for ((obs, peer), t) in self.inner.lock().last_heard.iter_mut() {
+            if obs == instance || peer == instance {
+                *t = now;
+            }
+        }
+    }
+
     /// Record that `observer` heard a ping from `peer` now.
     pub(crate) fn record(&self, observer: &str, peer: &str) {
         self.inner
@@ -185,6 +201,24 @@ mod tests {
         // A second watch must not grant a fresh suspicion window.
         hb.watch("a", "b");
         assert!(hb.suspects("a", "b"));
+    }
+
+    #[test]
+    fn reprime_clears_accumulated_silence_both_ways() {
+        let hb = HeartbeatState::new();
+        hb.enable(HeartbeatConfig {
+            interval: Duration::from_millis(5),
+            suspicion: Duration::from_millis(20),
+        });
+        hb.watch("a", "b");
+        hb.watch("b", "a");
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(hb.suspects("a", "b"));
+        assert!(hb.suspects("b", "a"));
+        // b restarts: both directions get a fresh window immediately.
+        hb.reprime("b");
+        assert!(!hb.suspects("a", "b"));
+        assert!(!hb.suspects("b", "a"));
     }
 
     #[test]

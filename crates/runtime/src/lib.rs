@@ -33,6 +33,7 @@ pub mod error;
 pub mod fault;
 pub mod health;
 pub mod interp;
+pub mod reconfig;
 pub mod runtime;
 pub mod trace;
 pub mod transport;
@@ -41,6 +42,7 @@ pub use app::{HostCtx, InstanceApp, NoopApp};
 pub use error::{Failure, RtResult};
 pub use fault::{FaultPlan, FaultWindow, RetryPolicy};
 pub use health::HeartbeatConfig;
+pub use reconfig::{MigrationCtx, ReconfigReport, ReconfigSpec};
 pub use runtime::{InstanceStatus, Runtime, RuntimeConfig};
 pub use trace::{Metrics, TraceEvent, TraceKind, Tracer};
 pub use transport::{LinkKind, LinkStats, SendError};

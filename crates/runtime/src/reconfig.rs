@@ -1,0 +1,505 @@
+//! Live reconfiguration: hot-swap the running architecture under traffic.
+//!
+//! The paper's title promises *reconfigurable* distributed software
+//! architecture; this module delivers the runtime half of that promise.
+//! [`crate::Runtime::reconfigure`] takes a running runtime from its
+//! current compiled program A to a target program B **while the system
+//! serves traffic**:
+//!
+//! 1. **Plan** — [`csaw_core::diff_programs`] computes the structural
+//!    diff at instance/junction granularity. Only instances in the
+//!    diff's *footprint* are touched; everything else keeps running
+//!    without ever pausing (the bench measures this path at ≈ 0 pause).
+//! 2. **Quiesce** — each affected instance gets a *hold*: the network
+//!    delivery closure buffers its inbound updates instead of delivering
+//!    them (senders never see an error; nothing is lost). Then the
+//!    executor acquires every affected junction's activation lock, which
+//!    blocks until in-flight activations drain. Quiesce latency is
+//!    bounded by the longest in-flight `wait` deadline.
+//! 3. **Migrate** — each quiesced junction table is exported
+//!    ([`csaw_kv::Table::export_state`]), round-tripped through the
+//!    `csaw-serial` snapshot codec (the §9 type-aware serializer — the
+//!    byte count is the measured migration payload), and merged onto the
+//!    target program's declaration set: entries the new junction still
+//!    declares carry over with their §8 bookkeeping (pending queue,
+//!    local-priority shadows, op/epoch counters); entries it dropped are
+//!    discarded; entries it introduces start at their declared inits.
+//!    Subset/index *bases* come from the new program (a reshard changes
+//!    the `tgt` index base from `{Bck1,Bck2}` to `{Bck1..Bck4}`), while
+//!    current selections survive when still valid.
+//! 4. **Cut** — old records are marked [`InstanceStatus::Retired`]
+//!    (their scheduler threads exit) and the shared registry swaps to
+//!    the new records under a brief write lock. A `reconfig_cut` trace
+//!    event marks the epoch boundary for cross-epoch conformance.
+//! 5. **Resume** — application-level migration (the caller's closure,
+//!    e.g. re-sharding a KV store by the new shard formula), link/policy
+//!    rewires, starts of added instances, then each hold is released and
+//!    its buffered updates flush — in arrival order — into the *new*
+//!    cells.
+//!
+//! The executor emits `reconfig_*` trace events throughout, so a trace
+//! spanning a reconfiguration can be validated against the event
+//! structures of A before the cut and B after it
+//! (`csaw-semantics::conformance::check_reconfig_trace`).
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use csaw_core::diff::ProgramDiff;
+use csaw_core::diff_programs;
+use csaw_core::expr::Arg;
+use csaw_core::program::CompiledProgram;
+use csaw_kv::{TableState, Update};
+use csaw_serial::{decode_table_state, encode_table_state};
+
+use crate::app::InstanceApp;
+use crate::error::Failure;
+use crate::runtime::{
+    build_instance_state, spawn_schedulers, InstanceState, InstanceStatus, Policy, Runtime,
+};
+use crate::trace::TraceKind;
+use crate::transport::LinkKind;
+
+/// Application-level migration hook, run after the cut (new instances
+/// and carried apps are in place) and before holds release.
+pub type MigrateFn = Box<dyn FnOnce(&mut MigrationCtx<'_>) -> Result<(), String> + Send>;
+
+/// Per-junction start list for one instance, as for [`Runtime::start`]:
+/// `None` names the sole junction, `Some(j)` a specific one.
+pub type StartList = Vec<(Option<String>, Vec<Arg>)>;
+
+/// Everything the caller supplies alongside the target program.
+#[derive(Default)]
+pub struct ReconfigSpec {
+    /// Apps to bind after the cut (added instances, or overrides for
+    /// changed ones — changed instances otherwise carry their old app).
+    pub apps: Vec<(String, Box<dyn InstanceApp>)>,
+    /// Instances to start after the cut (typically the added ones),
+    /// with per-junction argument lists as for [`Runtime::start`].
+    pub start: Vec<(String, StartList)>,
+    /// Scheduling-policy overrides applied after the cut.
+    pub policies: Vec<(String, String, Policy)>,
+    /// Link rewires applied after the cut (routes are flushed: stale
+    /// per-link sequencing state never leaks into the new topology).
+    pub links: Vec<(String, String, LinkKind)>,
+    /// Application-state migration (e.g. redistribute store entries by
+    /// the new sharding formula). Runs while affected instances are
+    /// still held, so migrated state is in place before traffic resumes.
+    pub migrate: Option<MigrateFn>,
+}
+
+/// Context handed to the [`MigrateFn`]: the table states exported at
+/// quiescence plus an accounting surface for app-level moves.
+pub struct MigrationCtx<'a> {
+    exports: &'a HashMap<(String, String), TableState>,
+    moved_entries: u64,
+    moved_bytes: u64,
+}
+
+impl MigrationCtx<'_> {
+    /// The state a junction's table held at quiescence (round-tripped
+    /// through the serial codec), if the junction was in the footprint.
+    pub fn export(&self, instance: &str, junction: &str) -> Option<&TableState> {
+        self.exports
+            .get(&(instance.to_string(), junction.to_string()))
+    }
+
+    /// Record application-level entries/bytes moved (e.g. store keys
+    /// re-homed to a different shard). Feeds [`ReconfigReport`].
+    pub fn note_moved(&mut self, entries: u64, bytes: u64) {
+        self.moved_entries += entries;
+        self.moved_bytes += bytes;
+    }
+}
+
+/// What a reconfiguration did and what it cost.
+#[derive(Clone, Debug)]
+pub struct ReconfigReport {
+    /// The structural plan that was executed.
+    pub plan: ProgramDiff,
+    /// Per affected instance: how long its traffic was held (hold
+    /// install → buffered updates flushed). Unaffected instances never
+    /// appear here — they were never paused.
+    pub pauses: Vec<(String, Duration)>,
+    /// Encoded snapshot bytes carried across the cut (serial codec).
+    pub migrated_bytes: u64,
+    /// App-level entries moved by the migration closure.
+    pub moved_entries: u64,
+    /// App-level bytes moved by the migration closure.
+    pub moved_bytes: u64,
+    /// Inbound updates buffered during quiescence and flushed into the
+    /// new cells at resume.
+    pub held_updates: u64,
+    /// Buffered updates with no home in the new program (instance or
+    /// junction removed) — dropped, by design, at resume.
+    pub dropped_updates: u64,
+    /// Wall time of the whole transition.
+    pub total: Duration,
+}
+
+impl ReconfigReport {
+    /// The worst per-instance pause (the headline "downtime" number).
+    pub fn max_pause(&self) -> Duration {
+        self.pauses.iter().map(|(_, d)| *d).max().unwrap_or_default()
+    }
+}
+
+/// Merge an exported state onto the target declaration set: `fresh` is
+/// the state of a table freshly initialized from the *new* junction
+/// definition, `old` the state exported at quiescence. Keys the new
+/// table declares keep their old values; dropped keys vanish; new keys
+/// keep their declared inits. Counters and §8 bookkeeping carry from
+/// `old` (filtered to surviving keys) so the update rule resumes
+/// exactly where it left off.
+fn merge_states(fresh: &TableState, old: &TableState) -> TableState {
+    let old_props: HashMap<&str, bool> =
+        old.props.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let old_data: HashMap<&str, &csaw_core::value::Value> =
+        old.data.iter().map(|(k, v)| (k.as_str(), v)).collect();
+    let props: Vec<(String, bool)> = fresh
+        .props
+        .iter()
+        .map(|(k, init)| (k.clone(), *old_props.get(k.as_str()).unwrap_or(init)))
+        .collect();
+    let data: Vec<(String, csaw_core::value::Value)> = fresh
+        .data
+        .iter()
+        .map(|(k, init)| {
+            (
+                k.clone(),
+                old_data.get(k.as_str()).map_or_else(|| init.clone(), |v| (*v).clone()),
+            )
+        })
+        .collect();
+    // Bases come from the new program; current selections survive when
+    // every selected element is still in the new base.
+    let subsets = fresh
+        .subsets
+        .iter()
+        .map(|(name, base, init)| {
+            let cur = old
+                .subsets
+                .iter()
+                .find(|(n, _, _)| n == name)
+                .and_then(|(_, _, cur)| cur.clone())
+                .filter(|sel| {
+                    sel.iter()
+                        .all(|e| base.iter().any(|b| b.key() == e.key()))
+                })
+                .map_or_else(|| init.clone(), Some);
+            (name.clone(), base.clone(), cur)
+        })
+        .collect();
+    let idxs = fresh
+        .idxs
+        .iter()
+        .map(|(name, base, init)| {
+            let cur = old
+                .idxs
+                .iter()
+                .find(|(n, _, _)| n == name)
+                .and_then(|(_, _, cur)| cur.clone())
+                .filter(|sel| base.iter().any(|b| &b.key() == sel))
+                .map_or_else(|| init.clone(), Some);
+            (name.clone(), base.clone(), cur)
+        })
+        .collect();
+    let declared = |key: &str| {
+        props.iter().any(|(k, _)| k == key) || data.iter().any(|(k, _)| k == key)
+    };
+    let pending = old
+        .pending
+        .iter()
+        .filter(|p| declared(&p.update.key))
+        .cloned()
+        .collect();
+    let locally_written = old
+        .locally_written
+        .iter()
+        .filter(|(k, _, _)| declared(k))
+        .cloned()
+        .collect();
+    TableState {
+        props,
+        data,
+        subsets,
+        idxs,
+        pending,
+        epoch: old.epoch,
+        locally_written,
+        op_seq: old.op_seq,
+        next_window: old.next_window,
+    }
+}
+
+impl Runtime {
+    /// Take the running system from its current program to `target`
+    /// while serving traffic. See the module docs for the phase plan.
+    ///
+    /// Returns a [`ReconfigReport`] with per-instance pause windows and
+    /// migration accounting. Reconfigurations serialize: a second call
+    /// blocks until the first completes. On error the system is left in
+    /// a consistent state — holds are always released.
+    pub fn reconfigure(
+        &self,
+        target: &CompiledProgram,
+        spec: ReconfigSpec,
+    ) -> Result<ReconfigReport, Failure> {
+        let started = Instant::now();
+        let _serial = self.inner.reconfig_lock.lock();
+        let current = self.inner.program.lock().clone();
+        let plan = diff_programs(&current, target);
+        self.inner.tracer.record(
+            "",
+            "",
+            0,
+            TraceKind::ReconfigPlan { footprint: plan.footprint_len() as u64 },
+        );
+
+        // Phase 2: quiesce. Installing a hold takes the same lock the
+        // delivery closure keeps across deliveries, so once it is in, no
+        // in-flight send can still reach an old cell. Pause clocks start
+        // at hold install.
+        let quiesce: Vec<String> =
+            plan.quiesce_set().iter().map(|s| s.to_string()).collect();
+        let mut pause_started: HashMap<String, Instant> = HashMap::new();
+        {
+            let mut holds = self.inner.holds.lock();
+            for name in &quiesce {
+                holds.insert(name.clone(), Vec::new());
+                pause_started.insert(name.clone(), Instant::now());
+                self.inner
+                    .tracer
+                    .record(name, "", 0, TraceKind::ReconfigQuiesce { paused_us: 0 });
+            }
+        }
+        let old_states: HashMap<String, Arc<InstanceState>> = quiesce
+            .iter()
+            .filter_map(|n| self.inner.get_instance(n).map(|i| (n.clone(), i)))
+            .collect();
+        // Drain in-flight activations: taking a junction's activation
+        // lock blocks until its current activation (if any) completes.
+        let mut guards = Vec::new();
+        for inst in old_states.values() {
+            for jrt in &inst.junctions {
+                guards.push(jrt.cell.lock_activation());
+            }
+        }
+
+        // Phase 3: export + serialize every quiesced junction table. The
+        // round trip through the codec is deliberate: the migrated state
+        // is exactly what survived serialization, and the byte count is
+        // the measured migration payload.
+        let mut exports: HashMap<(String, String), TableState> = HashMap::new();
+        let mut migrated_bytes = 0u64;
+        for (name, inst) in &old_states {
+            for jrt in &inst.junctions {
+                let state = jrt.cell.table().export_state();
+                let bytes = encode_table_state(&state).map_err(|e| {
+                    Failure::Internal(format!(
+                        "reconfigure: snapshot {name}::{}: {e:?}",
+                        jrt.def.name
+                    ))
+                })?;
+                let n = bytes.len() as u64;
+                migrated_bytes += n;
+                let state = decode_table_state(&bytes).map_err(|e| {
+                    Failure::Internal(format!(
+                        "reconfigure: decode {name}::{}: {e:?}",
+                        jrt.def.name
+                    ))
+                })?;
+                self.inner.tracer.record_ids(
+                    &jrt.trace_instance,
+                    &jrt.trace_junction,
+                    state.epoch,
+                    TraceKind::ReconfigMigrate { bytes: n },
+                );
+                exports.insert((name.clone(), jrt.def.name.clone()), state);
+            }
+        }
+
+        // Phase 4: materialize the target's changed + added instances,
+        // carrying status, app, env, policy and merged table state for
+        // everything retained.
+        let mut fresh: Vec<Arc<InstanceState>> = Vec::new();
+        for ci in &target.instances {
+            let is_added = plan.added.iter().any(|n| n == &ci.name);
+            let is_changed = plan.changed.iter().any(|d| d.name == ci.name);
+            if !is_added && !is_changed {
+                continue;
+            }
+            let new_inst = build_instance_state(ci, &self.inner.tracer);
+            if let Some(old) = old_states.get(&ci.name) {
+                new_inst
+                    .status
+                    .store(old.status.load(Ordering::SeqCst), Ordering::SeqCst);
+                new_inst
+                    .activations
+                    .store(old.activations.load(Ordering::Relaxed), Ordering::Relaxed);
+                // Carry the application: swap the old box into the new
+                // record (the retired record keeps the fresh no-op).
+                // `spec.apps` can still override after the cut.
+                std::mem::swap(&mut *new_inst.app.lock(), &mut *old.app.lock());
+                for jrt in &new_inst.junctions {
+                    if let Some(old_jrt) = old.junction(&jrt.def.name) {
+                        jrt.cell.bind_env(old_jrt.cell.env_clone());
+                        *jrt.policy.lock() = *old_jrt.policy.lock();
+                        jrt.needs_initial.store(
+                            old_jrt.needs_initial.load(Ordering::SeqCst),
+                            Ordering::SeqCst,
+                        );
+                        *jrt.last_run.lock() = *old_jrt.last_run.lock();
+                        if let Some(old_state) =
+                            exports.get(&(ci.name.clone(), jrt.def.name.clone()))
+                        {
+                            let merged = {
+                                let table = jrt.cell.table();
+                                merge_states(&table.export_state(), old_state)
+                            };
+                            jrt.cell.table().import_state(merged);
+                        }
+                    }
+                }
+            }
+            fresh.push(new_inst);
+        }
+
+        // Phase 5: the cut. Old records retire (their schedulers exit),
+        // the registry swaps under a brief write lock, and the stored
+        // program advances to the target.
+        for old in old_states.values() {
+            old.status
+                .store(InstanceStatus::Retired as u8, Ordering::SeqCst);
+        }
+        {
+            let mut reg = self.inner.instances.write();
+            for name in &plan.removed {
+                reg.remove(name);
+            }
+            for inst in &fresh {
+                reg.insert(inst.name.clone(), Arc::clone(inst));
+            }
+        }
+        self.inner.tracer.record("", "", 0, TraceKind::ReconfigCut);
+        *self.inner.program.lock() = target.clone();
+        // The old activation guards are moot now — those cells are off
+        // the registry. Release them and wake the retired schedulers so
+        // their threads exit promptly.
+        drop(guards);
+        for old in old_states.values() {
+            old.wake();
+        }
+        let mut new_threads = Vec::new();
+        for inst in &fresh {
+            new_threads.extend(spawn_schedulers(&self.inner, inst));
+        }
+        self.threads.lock().extend(new_threads);
+
+        // Phase 6: app-level migration and topology rewires, while the
+        // affected instances are still held. Errors here must not leak
+        // holds, so they defer until after resume.
+        let mut ctx = MigrationCtx { exports: &exports, moved_entries: 0, moved_bytes: 0 };
+        let mut deferred: Option<Failure> = None;
+        if let Some(migrate) = spec.migrate {
+            if let Err(m) = migrate(&mut ctx) {
+                deferred = Some(Failure::Internal(format!("reconfigure: migration: {m}")));
+            }
+        }
+        for (name, app) in spec.apps {
+            self.bind_app(&name, app);
+        }
+        for (from, to, kind) in &spec.links {
+            self.set_link(from, to, *kind);
+        }
+        for (instance, junction, policy) in &spec.policies {
+            self.set_policy(instance, junction, *policy);
+        }
+        for (name, args) in &spec.start {
+            if let Err(f) = self.inner.start_instance(name, args, &HashMap::new()) {
+                deferred.get_or_insert(f);
+            }
+        }
+
+        // Phase 7: resume. Holds release under the same lock order the
+        // delivery closure uses (holds → registry read), so buffered
+        // updates flush into the new cells *before* any post-resume send
+        // can overtake them.
+        let mut held_updates = 0u64;
+        let mut dropped_updates = 0u64;
+        let mut pauses = Vec::new();
+        {
+            let mut holds = self.inner.holds.lock();
+            let reg = self.inner.instances.read();
+            for name in &quiesce {
+                let buffered: Vec<(crate::cell::JunctionId, Update)> =
+                    holds.remove(name).unwrap_or_default();
+                let mut flushed = 0u64;
+                match reg.get(name) {
+                    Some(inst) => {
+                        for (to, update) in buffered {
+                            match inst.junction(&to.junction) {
+                                Some(jrt) if inst.status() == InstanceStatus::Running => {
+                                    jrt.cell.deliver(update);
+                                    flushed += 1;
+                                }
+                                _ => dropped_updates += 1,
+                            }
+                        }
+                        inst.wake();
+                    }
+                    None => dropped_updates += buffered.len() as u64,
+                }
+                held_updates += flushed;
+                let paused = pause_started[name].elapsed();
+                self.inner
+                    .tracer
+                    .record(name, "", 0, TraceKind::ReconfigResume { flushed });
+                self.inner.tracer.record(
+                    name,
+                    "",
+                    0,
+                    TraceKind::ReconfigQuiesce { paused_us: paused.as_micros() as u64 },
+                );
+                pauses.push((name.clone(), paused));
+            }
+        }
+        self.inner.wake_all();
+        self.inner
+            .tracer
+            .record("", "", 0, TraceKind::ReconfigDone { bytes: migrated_bytes });
+        self.inner.record_event(
+            "-",
+            "-",
+            "reconfig",
+            format!(
+                "footprint {} ({} added, {} removed, {} changed), {} B migrated",
+                plan.footprint_len(),
+                plan.added.len(),
+                plan.removed.len(),
+                plan.changed.len(),
+                migrated_bytes
+            ),
+        );
+        if let Some(f) = deferred {
+            return Err(f);
+        }
+        Ok(ReconfigReport {
+            plan,
+            pauses,
+            migrated_bytes,
+            moved_entries: ctx.moved_entries,
+            moved_bytes: ctx.moved_bytes,
+            held_updates,
+            dropped_updates,
+            total: started.elapsed(),
+        })
+    }
+
+    /// The compiled program the registry currently embodies.
+    pub fn current_program(&self) -> CompiledProgram {
+        self.inner.program.lock().clone()
+    }
+}

@@ -11,7 +11,7 @@ use csaw_core::names::{JRef, NameRef};
 use csaw_core::program::{CompiledProgram, JunctionDef, MainDef};
 use csaw_core::value::Value;
 use csaw_kv::{Table, TableEvent, TableObserver, Update};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::app::{InstanceApp, NoopApp};
 use crate::cell::{Cell, JunctionId};
@@ -56,6 +56,9 @@ pub enum InstanceStatus {
     /// Crashed (fault injection) — sends to it fail, like `Stopped`, but
     /// distinguishable for diagnostics.
     Crashed = 3,
+    /// Replaced by a live reconfiguration: the record is no longer in
+    /// the registry and its scheduler threads exit. Terminal.
+    Retired = 4,
 }
 
 impl InstanceStatus {
@@ -64,6 +67,7 @@ impl InstanceStatus {
             1 => InstanceStatus::Running,
             2 => InstanceStatus::Stopped,
             3 => InstanceStatus::Crashed,
+            4 => InstanceStatus::Retired,
             _ => InstanceStatus::NotStarted,
         }
     }
@@ -171,9 +175,31 @@ impl InstanceState {
     }
 }
 
+/// The swappable instance registry. One `Arc` is shared between
+/// [`RuntimeInner`] and the network's delivery closure, so a live
+/// reconfiguration that swaps entries under the write lock is observed
+/// atomically by every path — senders, schedulers, and observers alike.
+pub(crate) type Registry = Arc<RwLock<HashMap<String, Arc<InstanceState>>>>;
+
+/// Inbound updates buffered per quiesced instance during a live
+/// reconfiguration. Key presence means "held": the delivery closure
+/// appends instead of delivering, and the reconfiguration executor
+/// flushes the buffer into the *new* cells at resume. The closure keeps
+/// the lock across actual deliveries too, so installing a hold
+/// linearizes against in-flight sends — no update can slip into an old
+/// cell after its state was exported.
+pub(crate) type HoldBuffer = Arc<Mutex<HashMap<String, Vec<(JunctionId, Update)>>>>;
+
 /// Shared runtime internals.
 pub(crate) struct RuntimeInner {
-    pub(crate) instances: HashMap<String, Arc<InstanceState>>,
+    pub(crate) instances: Registry,
+    /// Held-update buffers (shared with the delivery closure).
+    pub(crate) holds: HoldBuffer,
+    /// Serializes live reconfigurations (one at a time).
+    pub(crate) reconfig_lock: Mutex<()>,
+    /// The program the registry currently embodies; replaced by
+    /// [`crate::Runtime::reconfigure`].
+    pub(crate) program: Mutex<CompiledProgram>,
     pub(crate) network: Network,
     pub(crate) config: RuntimeConfig,
     pub(crate) retry_limit: u32,
@@ -198,10 +224,17 @@ pub(crate) struct RuntimeInner {
 }
 
 impl RuntimeInner {
-    pub(crate) fn instance(&self, name: &str) -> Result<&Arc<InstanceState>, Failure> {
-        self.instances
-            .get(name)
+    pub(crate) fn instance(&self, name: &str) -> Result<Arc<InstanceState>, Failure> {
+        self.get_instance(name)
             .ok_or_else(|| Failure::Unresolved(format!("instance `{name}`")))
+    }
+
+    pub(crate) fn get_instance(&self, name: &str) -> Option<Arc<InstanceState>> {
+        self.instances.read().get(name).cloned()
+    }
+
+    pub(crate) fn all_instances(&self) -> Vec<Arc<InstanceState>> {
+        self.instances.read().values().cloned().collect()
     }
 
     pub(crate) fn record_event(
@@ -224,6 +257,7 @@ impl RuntimeInner {
     /// `stop`/`crash` immediately, blind to partitions).
     pub(crate) fn is_live(&self, instance: &str) -> bool {
         self.instances
+            .read()
             .get(instance)
             .is_some_and(|i| i.status() == InstanceStatus::Running)
     }
@@ -240,7 +274,7 @@ impl RuntimeInner {
     /// is an observer-only path: junction code cannot *read* remote
     /// tables, but safety checks may (§6, ternary logic).
     pub(crate) fn remote_prop(&self, id: &JunctionId, key: &str) -> Ternary {
-        let Some(inst) = self.instances.get(&id.instance) else {
+        let Some(inst) = self.get_instance(&id.instance) else {
             return Ternary::Unknown;
         };
         if inst.status() != InstanceStatus::Running {
@@ -413,7 +447,7 @@ impl RuntimeInner {
     }
 
     pub(crate) fn wake_all(&self) {
-        for inst in self.instances.values() {
+        for inst in self.all_instances() {
             inst.wake();
             for jrt in &inst.junctions {
                 jrt.cell.nudge();
@@ -432,7 +466,7 @@ impl RuntimeInner {
             Arg::Name(n) => match n {
                 NameRef::Var(v) | NameRef::Lit(v) => match env.get(v) {
                     Some(val) => val.clone(),
-                    None if self.instances.contains_key(v) => Value::Target(v.clone()),
+                    None if self.instances.read().contains_key(v) => Value::Target(v.clone()),
                     None => return Err(Failure::Unresolved(format!("argument `{v}`"))),
                 },
             },
@@ -493,6 +527,14 @@ impl RuntimeInner {
     ) -> Result<bool, Failure> {
         let _act = jrt.cell.lock_activation();
         if inst.status() != InstanceStatus::Running {
+            return Ok(false);
+        }
+        // A reconfiguration hold quiesces the instance for *all* traffic:
+        // inbound sends buffer, and local scheduling (invoke, scheduler
+        // threads) defers until resume. Without this, an invoke could run
+        // against the post-cut cell while app-level migration is still
+        // redistributing state.
+        if self.holds.lock().contains_key(&inst.name) {
             return Ok(false);
         }
         if !self.guard_ready(inst, jrt) {
@@ -583,14 +625,18 @@ impl RuntimeInner {
         self.run_activation(inst, jrt).unwrap_or(false)
     }
 
-    fn scheduler_loop(self: Arc<Self>, inst: Arc<InstanceState>, jrt: Arc<JunctionRt>) {
+    pub(crate) fn scheduler_loop(self: Arc<Self>, inst: Arc<InstanceState>, jrt: Arc<JunctionRt>) {
         loop {
             if self.shutdown.load(Ordering::SeqCst) {
                 return;
             }
-            if inst.status() != InstanceStatus::Running
-                || self.booting.load(Ordering::SeqCst)
-            {
+            let status = inst.status();
+            if status == InstanceStatus::Retired {
+                // Replaced by a live reconfiguration — the new record has
+                // its own scheduler threads; this one is done for good.
+                return;
+            }
+            if status != InstanceStatus::Running || self.booting.load(Ordering::SeqCst) {
                 inst.wait_for_wake(Duration::from_millis(20));
                 continue;
             }
@@ -604,8 +650,8 @@ impl RuntimeInner {
 
 /// The C-Saw runtime: build from a compiled program, bind apps, run.
 pub struct Runtime {
-    inner: Arc<RuntimeInner>,
-    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    pub(crate) inner: Arc<RuntimeInner>,
+    pub(crate) threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl Runtime {
@@ -617,64 +663,43 @@ impl Runtime {
         // Build instances & cells.
         let mut instances = HashMap::new();
         for ci in &compiled.instances {
-            let mut junctions = Vec::new();
-            for jd in &ci.junctions {
-                let mut table = Table::new();
-                init_table(&mut table, jd);
-                let id = JunctionId::new(ci.name.clone(), jd.name.clone());
-                let trace_instance: Arc<str> = Arc::from(ci.name.as_str());
-                let trace_junction: Arc<str> = Arc::from(jd.name.as_str());
-                table.set_observer(Arc::new(CellObserver {
-                    tracer: Arc::clone(&tracer),
-                    instance: Arc::clone(&trace_instance),
-                    junction: Arc::clone(&trace_junction),
-                }));
-                let cell = Cell::new(id, table);
-                let policy = if jd.guard().is_some() {
-                    Policy::Auto
-                } else {
-                    Policy::Startup
-                };
-                junctions.push(Arc::new(JunctionRt {
-                    def: jd.clone(),
-                    cell,
-                    policy: Mutex::new(policy),
-                    needs_initial: AtomicBool::new(false),
-                    last_run: Mutex::new(None),
-                    trace_instance,
-                    trace_junction,
-                }));
-            }
-            instances.insert(
-                ci.name.clone(),
-                Arc::new(InstanceState {
-                    name: ci.name.clone(),
-                    type_name: ci.type_name.clone(),
-                    status: AtomicU8::new(InstanceStatus::NotStarted as u8),
-                    junctions,
-                    app: Arc::new(Mutex::new(Box::new(NoopApp) as Box<dyn InstanceApp>)),
-                    wake_seq: Mutex::new(0),
-                    wake_cond: Condvar::new(),
-                    activations: AtomicU64::new(0),
-                }),
-            );
+            instances.insert(ci.name.clone(), build_instance_state(ci, &tracer));
         }
 
         // The network delivers into cells through a registry shared with
-        // the closure (built before RuntimeInner exists).
-        let registry: Arc<HashMap<String, Arc<InstanceState>>> = Arc::new(instances);
+        // the closure (built before RuntimeInner exists). The registry is
+        // behind a `RwLock` so a live reconfiguration can swap entries;
+        // the hold buffer lets the same closure park updates addressed
+        // to an instance that is mid-migration.
+        let registry: Registry = Arc::new(RwLock::new(instances));
         let reg2 = Arc::clone(&registry);
+        let holds: HoldBuffer = Arc::new(Mutex::new(HashMap::new()));
+        let holds2 = Arc::clone(&holds);
         let hb = Arc::new(HeartbeatState::new());
         let hb2 = Arc::clone(&hb);
         let deliver: DeliverFn = Arc::new(move |to: &JunctionId, update: Update| {
-            if let Some(inst) = reg2.get(&to.instance) {
-                if inst.status() == InstanceStatus::Running {
-                    // Heartbeat pings feed the failure detector and stop
-                    // here — `__hb` is not a real junction.
-                    if to.junction == HB_JUNCTION {
+            // Heartbeat pings feed the failure detector and stop here —
+            // `__hb` is not a real junction. They bypass the hold buffer
+            // so a quiesced instance is not spuriously suspected.
+            if to.junction == HB_JUNCTION {
+                if let Some(inst) = reg2.read().get(&to.instance) {
+                    if inst.status() == InstanceStatus::Running {
                         hb2.record(&to.instance, update.sender_instance());
-                        return;
                     }
+                }
+                return;
+            }
+            // The hold lock is kept across the delivery itself: once the
+            // reconfiguration executor has taken it and inserted a hold,
+            // no in-flight send can still be between the check and the
+            // old cell.
+            let mut held = holds2.lock();
+            if let Some(buf) = held.get_mut(&to.instance) {
+                buf.push((to.clone(), update));
+                return;
+            }
+            if let Some(inst) = reg2.read().get(&to.instance) {
+                if inst.status() == InstanceStatus::Running {
                     if let Some(jrt) = inst.junction(&to.junction) {
                         jrt.cell.deliver(update);
                         inst.wake();
@@ -686,7 +711,10 @@ impl Runtime {
         network.set_default_link(config.default_link);
 
         let inner = Arc::new(RuntimeInner {
-            instances: (*registry).clone(),
+            instances: registry,
+            holds,
+            reconfig_lock: Mutex::new(()),
+            program: Mutex::new(compiled.clone()),
             network,
             config,
             retry_limit: compiled.retry_limit,
@@ -704,38 +732,25 @@ impl Runtime {
         // Spawn one scheduler thread per junction: the junctions of an
         // instance execute concurrently (§6).
         let mut threads = Vec::new();
-        for inst in inner.instances.values() {
-            for jrt in &inst.junctions {
-                let rt = Arc::clone(&inner);
-                let i = Arc::clone(inst);
-                let j = Arc::clone(jrt);
-                threads.push(
-                    std::thread::Builder::new()
-                        .name(format!("csaw-{}-{}", inst.name, jrt.def.name))
-                        .spawn(move || rt.scheduler_loop(i, j))
-                        .expect("spawn scheduler"),
-                );
-            }
+        for inst in inner.all_instances() {
+            threads.extend(spawn_schedulers(&inner, &inst));
         }
         Runtime { inner, threads: Mutex::new(threads) }
     }
 
     /// Bind an application to an instance (before `run_main`).
     pub fn bind_app(&self, instance: &str, app: Box<dyn InstanceApp>) {
-        if let Some(inst) = self.inner.instances.get(instance) {
+        if let Some(inst) = self.inner.get_instance(instance) {
             *inst.app.lock() = app;
         }
     }
 
     /// Override the scheduling policy of a junction.
     pub fn set_policy(&self, instance: &str, junction: &str, policy: Policy) {
-        if let Some(jrt) = self
-            .inner
-            .instances
-            .get(instance)
-            .and_then(|i| i.junction(junction))
-        {
-            *jrt.policy.lock() = policy;
+        if let Some(inst) = self.inner.get_instance(instance) {
+            if let Some(jrt) = inst.junction(junction) {
+                *jrt.policy.lock() = policy;
+            }
         }
     }
 
@@ -795,8 +810,8 @@ impl Runtime {
                     let interval = inner.hb.config().interval;
                     if inner.hb.is_enabled() {
                         let running: Vec<String> = inner
-                            .instances
-                            .values()
+                            .all_instances()
+                            .iter()
                             .filter(|i| i.status() == InstanceStatus::Running)
                             .map(|i| i.name.clone())
                             .collect();
@@ -873,7 +888,7 @@ impl Runtime {
         junction: &str,
         deadline: Instant,
     ) -> Result<(), Failure> {
-        let inst = self.inner.instance(instance)?.clone();
+        let inst = self.inner.instance(instance)?;
         let jrt = inst
             .junction(junction)
             .ok_or_else(|| Failure::Unresolved(format!("junction `{instance}::{junction}`")))?
@@ -896,7 +911,7 @@ impl Runtime {
 
     /// Current status of an instance.
     pub fn status(&self, instance: &str) -> Option<InstanceStatus> {
-        self.inner.instances.get(instance).map(|i| i.status())
+        self.inner.get_instance(instance).map(|i| i.status())
     }
 
     /// Start an instance from outside the DSL (test/driver convenience;
@@ -913,7 +928,7 @@ impl Runtime {
     /// Fault injection: crash an instance. Sends to it fail, its
     /// scheduler parks, its app is notified.
     pub fn crash(&self, instance: &str) {
-        if let Some(inst) = self.inner.instances.get(instance) {
+        if let Some(inst) = self.inner.get_instance(instance) {
             inst.status.store(InstanceStatus::Crashed as u8, Ordering::SeqCst);
             inst.app.lock().on_stop();
             self.inner.record_event(instance, "-", "crash", String::new());
@@ -934,6 +949,10 @@ impl Runtime {
         }
         inst.status.store(InstanceStatus::Running as u8, Ordering::SeqCst);
         inst.app.lock().on_start();
+        // Re-prime the failure detector: every observer that accumulated
+        // silence while the instance was down grants it a fresh suspicion
+        // window, instead of keeping it suspected until the next ping.
+        self.inner.hb.reprime(instance);
         self.inner.record_event(instance, "-", "restart", String::new());
         self.inner.tracer.record(instance, "-", 0, TraceKind::Restart);
         self.inner.wake_all();
@@ -942,12 +961,12 @@ impl Runtime {
 
     /// Access an instance's app (e.g. to query a substrate store).
     pub fn app(&self, instance: &str) -> Option<Arc<Mutex<Box<dyn InstanceApp>>>> {
-        self.inner.instances.get(instance).map(|i| Arc::clone(&i.app))
+        self.inner.get_instance(instance).map(|i| Arc::clone(&i.app))
     }
 
     /// Read a proposition of a junction (observer/test path).
     pub fn peek_prop(&self, instance: &str, junction: &str, key: &str) -> Option<bool> {
-        let inst = self.inner.instances.get(instance)?;
+        let inst = self.inner.get_instance(instance)?;
         let jrt = inst.junction(junction)?;
         let mut t = jrt.cell.table();
         if !t.is_running() {
@@ -958,7 +977,7 @@ impl Runtime {
 
     /// Read a datum of a junction (observer/test path).
     pub fn peek_data(&self, instance: &str, junction: &str, key: &str) -> Option<Value> {
-        let inst = self.inner.instances.get(instance)?;
+        let inst = self.inner.get_instance(instance)?;
         let jrt = inst.junction(junction)?;
         let mut t = jrt.cell.table();
         if !t.is_running() {
@@ -971,14 +990,9 @@ impl Runtime {
     /// tests and by external drivers that model clients pushing requests
     /// (the paper's "Req is asserted externally" in Fig. 13).
     pub fn deliver_for_test(&self, instance: &str, junction: &str, update: Update) {
-        if let Some(jrt) = self
-            .inner
-            .instances
-            .get(instance)
-            .and_then(|i| i.junction(junction))
-        {
-            jrt.cell.deliver(update);
-            if let Some(inst) = self.inner.instances.get(instance) {
+        if let Some(inst) = self.inner.get_instance(instance) {
+            if let Some(jrt) = inst.junction(junction) {
+                jrt.cell.deliver(update);
                 inst.wake();
             }
         }
@@ -1042,8 +1056,7 @@ impl Runtime {
     /// Count of activations an instance has run.
     pub fn activations(&self, instance: &str) -> u64 {
         self.inner
-            .instances
-            .get(instance)
+            .get_instance(instance)
             .map_or(0, |i| i.activations.load(Ordering::Relaxed))
     }
 
@@ -1064,8 +1077,77 @@ impl Drop for Runtime {
     }
 }
 
+/// Build a fresh [`InstanceState`] (cells, tables, observers, default
+/// policies) from a compiled instance. Used at construction and by the
+/// live-reconfiguration executor when it materializes the target
+/// program's instances.
+pub(crate) fn build_instance_state(
+    ci: &csaw_core::program::CompiledInstance,
+    tracer: &Arc<Tracer>,
+) -> Arc<InstanceState> {
+    let mut junctions = Vec::new();
+    for jd in &ci.junctions {
+        let mut table = Table::new();
+        init_table(&mut table, jd);
+        let id = JunctionId::new(ci.name.clone(), jd.name.clone());
+        let trace_instance: Arc<str> = Arc::from(ci.name.as_str());
+        let trace_junction: Arc<str> = Arc::from(jd.name.as_str());
+        table.set_observer(Arc::new(CellObserver {
+            tracer: Arc::clone(tracer),
+            instance: Arc::clone(&trace_instance),
+            junction: Arc::clone(&trace_junction),
+        }));
+        let cell = Cell::new(id, table);
+        let policy = if jd.guard().is_some() {
+            Policy::Auto
+        } else {
+            Policy::Startup
+        };
+        junctions.push(Arc::new(JunctionRt {
+            def: jd.clone(),
+            cell,
+            policy: Mutex::new(policy),
+            needs_initial: AtomicBool::new(false),
+            last_run: Mutex::new(None),
+            trace_instance,
+            trace_junction,
+        }));
+    }
+    Arc::new(InstanceState {
+        name: ci.name.clone(),
+        type_name: ci.type_name.clone(),
+        status: AtomicU8::new(InstanceStatus::NotStarted as u8),
+        junctions,
+        app: Arc::new(Mutex::new(Box::new(NoopApp) as Box<dyn InstanceApp>)),
+        wake_seq: Mutex::new(0),
+        wake_cond: Condvar::new(),
+        activations: AtomicU64::new(0),
+    })
+}
+
+/// Spawn one scheduler thread per junction of `inst`, returning the
+/// handles (the caller parks them in [`Runtime::threads`]).
+pub(crate) fn spawn_schedulers(
+    inner: &Arc<RuntimeInner>,
+    inst: &Arc<InstanceState>,
+) -> Vec<std::thread::JoinHandle<()>> {
+    let mut threads = Vec::new();
+    for jrt in &inst.junctions {
+        let rt = Arc::clone(inner);
+        let i = Arc::clone(inst);
+        let j = Arc::clone(jrt);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("csaw-{}-{}", inst.name, jrt.def.name))
+                .spawn(move || rt.scheduler_loop(i, j))
+                .expect("spawn scheduler"),
+        );
+    }
+    threads
+}
+
 /// Initialize a table from a compiled junction's declarations.
-fn init_table(table: &mut Table, jd: &JunctionDef) {
+pub(crate) fn init_table(table: &mut Table, jd: &JunctionDef) {
     use csaw_core::decl::Decl;
     for d in &jd.decls {
         match d {

@@ -43,6 +43,12 @@
 //! | `link_dedup`      | `from`, `seq` |
 //! | `link_hb`         | `to` |
 //! | `crash` / `restart` | — |
+//! | `reconfig_plan`    | `n` (footprint size: instances to touch) |
+//! | `reconfig_quiesce` | `n` (µs the instance was paused, 0 at start) |
+//! | `reconfig_migrate` | `n` (snapshot bytes moved for `i`/`j`) |
+//! | `reconfig_cut`     | — (registry swapped; epoch boundary for conformance) |
+//! | `reconfig_resume`  | `n` (buffered updates flushed into `i`) |
+//! | `reconfig_done`    | `n` (total migrated bytes) |
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -121,6 +127,37 @@ pub enum TraceKind {
     Crash,
     /// The instance was restarted.
     Restart,
+    /// A live reconfiguration plan was computed (instance field empty).
+    ReconfigPlan {
+        /// Number of instances in the change footprint.
+        footprint: u64,
+    },
+    /// An affected instance was quiesced (in-flight activations drained,
+    /// inbound sends buffered). Recorded twice per instance: once when
+    /// the pause begins (`paused_us` 0) and once when it ends.
+    ReconfigQuiesce {
+        /// Pause duration so far in µs (0 on the opening record).
+        paused_us: u64,
+    },
+    /// One junction table was snapshotted and carried across the cut.
+    ReconfigMigrate {
+        /// Encoded snapshot size in bytes.
+        bytes: u64,
+    },
+    /// The registry swap: everything before this ran under the old
+    /// program, everything after under the new. Cross-epoch conformance
+    /// splits the trace here.
+    ReconfigCut,
+    /// An instance resumed after the cut; its buffered updates flushed.
+    ReconfigResume {
+        /// Number of buffered updates flushed into the new cells.
+        flushed: u64,
+    },
+    /// The reconfiguration completed (instance field empty).
+    ReconfigDone {
+        /// Total snapshot bytes migrated across all junctions.
+        bytes: u64,
+    },
 }
 
 /// One recorded event.
@@ -353,10 +390,21 @@ pub fn to_json_line(e: &TraceEvent) -> String {
         TraceKind::LinkHeartbeat { .. } => "link_hb",
         TraceKind::Crash => "crash",
         TraceKind::Restart => "restart",
+        TraceKind::ReconfigPlan { .. } => "reconfig_plan",
+        TraceKind::ReconfigQuiesce { .. } => "reconfig_quiesce",
+        TraceKind::ReconfigMigrate { .. } => "reconfig_migrate",
+        TraceKind::ReconfigCut => "reconfig_cut",
+        TraceKind::ReconfigResume { .. } => "reconfig_resume",
+        TraceKind::ReconfigDone { .. } => "reconfig_done",
     };
     push_str_field(&mut s, "k", kind);
     match &e.kind {
-        TraceKind::Sched | TraceKind::Crash | TraceKind::Restart => {}
+        TraceKind::Sched | TraceKind::Crash | TraceKind::Restart | TraceKind::ReconfigCut => {}
+        TraceKind::ReconfigPlan { footprint } => push_num_field(&mut s, "n", *footprint),
+        TraceKind::ReconfigQuiesce { paused_us } => push_num_field(&mut s, "n", *paused_us),
+        TraceKind::ReconfigMigrate { bytes } => push_num_field(&mut s, "n", *bytes),
+        TraceKind::ReconfigResume { flushed } => push_num_field(&mut s, "n", *flushed),
+        TraceKind::ReconfigDone { bytes } => push_num_field(&mut s, "n", *bytes),
         TraceKind::Unsched { ok } => push_bool_field(&mut s, "ok", *ok),
         TraceKind::Kv(ev) => match ev {
             TableEvent::LocalWrite { key, op } => {

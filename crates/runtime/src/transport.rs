@@ -67,6 +67,9 @@ pub enum LinkKind {
 /// Callback invoked when a message arrives at its destination.
 pub type DeliverFn = Arc<dyn Fn(&JunctionId, Update) + Send + Sync>;
 
+/// Receiver-side dedup memory: (sender, receiver) → delivered seqs.
+type SeenMap = Arc<Mutex<HashMap<(String, String), HashSet<u64>>>>;
+
 /// Wire size model for an update: key + payload + fixed header.
 pub fn wire_size(u: &Update) -> usize {
     let payload = match &u.kind {
@@ -470,6 +473,12 @@ pub struct Network {
     seqs: Mutex<HashMap<(String, String), u64>>,
     /// Receiver-side dedup switch (shared with the deliver wrapper).
     dedup_enabled: Arc<AtomicBool>,
+    /// Receiver-side dedup memory: (sender, receiver) → seqs already
+    /// delivered. Shared with the deliver wrapper so
+    /// [`Network::reset_route`] can clear it together with `seqs` — a
+    /// rewired route restarts sequencing from 1, and stale dedup memory
+    /// would otherwise silently swallow the first messages.
+    seen: SeenMap,
     drops: AtomicU64,
     dups: AtomicU64,
     partitioned: AtomicU64,
@@ -551,12 +560,13 @@ impl Network {
     pub fn with_telemetry(deliver: DeliverFn, tracer: Arc<Tracer>, metrics: &Metrics) -> Network {
         let dedup_enabled = Arc::new(AtomicBool::new(true));
         let deduped = Arc::new(AtomicU64::new(0));
-        let seen: Mutex<HashMap<(String, String), HashSet<u64>>> = Mutex::new(HashMap::new());
+        let seen: SeenMap = Arc::new(Mutex::new(HashMap::new()));
         let m_dedup = metrics.counter("link_dedup_total");
         let deliver: DeliverFn = {
             let dedup_enabled = Arc::clone(&dedup_enabled);
             let deduped = Arc::clone(&deduped);
             let tracer = Arc::clone(&tracer);
+            let seen = Arc::clone(&seen);
             let inner = deliver;
             Arc::new(move |to: &JunctionId, u: Update| {
                 if u.seq != 0 && dedup_enabled.load(Ordering::Relaxed) {
@@ -599,6 +609,7 @@ impl Network {
             backoff_dice: Mutex::new(StdRng::seed_from_u64(0xBAC0FF)),
             seqs: Mutex::new(HashMap::new()),
             dedup_enabled,
+            seen,
             drops: AtomicU64::new(0),
             dups: AtomicU64::new(0),
             partitioned: AtomicU64::new(0),
@@ -709,10 +720,40 @@ impl Network {
     }
 
     /// Configure the link between an (ordered) pair of instances.
+    ///
+    /// Rewiring an **already-connected** route (one that had an explicit
+    /// link or has carried sequenced traffic) flushes the route's
+    /// per-link state — sender seq counter, receiver dedup memory, FIFO
+    /// and serialization clocks, and any cached TCP connection. A new
+    /// link is a new conversation: carrying the old seq counter across
+    /// the rewire is harmless, but carrying the old *dedup memory*
+    /// against a reset counter silently swallows the first messages, so
+    /// the two must always reset together (see [`Network::reset_route`]).
     pub fn set_link(&self, from: &str, to: &str, kind: LinkKind) {
-        self.links
+        let prev = self
+            .links
             .lock()
             .insert((from.to_string(), to.to_string()), kind);
+        let had_traffic = self
+            .seqs
+            .lock()
+            .contains_key(&(from.to_string(), to.to_string()));
+        if prev.is_some() || had_traffic {
+            self.reset_route(from, to);
+        }
+    }
+
+    /// Flush all per-route transport state for the directed pair
+    /// `from → to`: sequencing restarts at 1, dedup memory forgets the
+    /// old conversation, FIFO/serialization clocks reset and a cached
+    /// TCP connection (if any) is dropped so the next send redials.
+    pub fn reset_route(&self, from: &str, to: &str) {
+        let key = (from.to_string(), to.to_string());
+        self.seqs.lock().remove(&key);
+        self.seen.lock().remove(&key);
+        self.fifo_clocks.lock().remove(&key);
+        self.sim_clocks.lock().remove(&key);
+        self.tcp.lock().remove(&key);
     }
 
     fn link_for(&self, from: &str, to: &str) -> LinkKind {

@@ -1,0 +1,273 @@
+//! Live-reconfiguration end-to-end tests, plus regression tests for
+//! restart heartbeat re-priming and `set_link` route flushing.
+
+use std::time::Duration;
+
+use csaw_core::builder::*;
+use csaw_core::decl::Decl;
+use csaw_core::expr::Arg;
+use csaw_core::names::JRef;
+use csaw_core::program::{InstanceType, JunctionDef, LoadConfig, Program};
+use csaw_core::compile;
+use csaw_runtime::runtime::Policy;
+use csaw_runtime::{
+    HeartbeatConfig, InstanceStatus, LinkKind, ReconfigSpec, Runtime, RuntimeConfig, TraceKind,
+};
+
+fn wait_until(timeout: Duration, mut f: impl FnMut() -> bool) -> bool {
+    let deadline = std::time::Instant::now() + timeout;
+    while std::time::Instant::now() < deadline {
+        if f() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    false
+}
+
+/// `w : tau_w` (prop P, data n), `z : tau_z` (prop Q). The `extra_body`
+/// parameter varies `w`'s junction body so two builds of this program
+/// diff as "w changed, z unchanged".
+fn two_instance_program(w_extra: bool) -> Program {
+    let mut body = vec![host("H")];
+    if w_extra {
+        body.push(skip());
+    }
+    let tau_w = InstanceType::new(
+        "tau_w",
+        vec![JunctionDef::new(
+            "j",
+            vec![],
+            vec![Decl::prop_false("P"), Decl::data("n")],
+            seq(body),
+        )],
+    );
+    let tau_z = InstanceType::new(
+        "tau_z",
+        vec![JunctionDef::new(
+            "j",
+            vec![],
+            vec![Decl::prop_false("Q")],
+            skip(),
+        )],
+    );
+    ProgramBuilder::new()
+        .ty(tau_w)
+        .ty(tau_z)
+        .instance("w", "tau_w")
+        .instance("z", "tau_z")
+        .main(
+            vec![],
+            par([start("w", vec![]), start("z", vec![])]),
+        )
+        .build()
+}
+
+/// Like [`two_instance_program`] with an added `extra : tau_z`.
+fn three_instance_program() -> Program {
+    let mut p = two_instance_program(true);
+    p.instances.push(("extra".to_string(), "tau_z".to_string()));
+    p
+}
+
+#[test]
+fn identity_reconfigure_is_a_no_op() {
+    let cp = compile(two_instance_program(false), &LoadConfig::new()).unwrap();
+    let rt = Runtime::new(&cp, RuntimeConfig::default());
+    rt.run_main(vec![]).unwrap();
+    let report = rt.reconfigure(&cp, ReconfigSpec::default()).unwrap();
+    assert!(report.plan.is_identity());
+    assert!(report.pauses.is_empty());
+    assert_eq!(report.migrated_bytes, 0);
+    assert_eq!(rt.status("w"), Some(InstanceStatus::Running));
+    assert_eq!(rt.status("z"), Some(InstanceStatus::Running));
+    rt.shutdown();
+}
+
+#[test]
+fn reconfigure_carries_state_and_leaves_bystanders_alone() {
+    let a = compile(two_instance_program(false), &LoadConfig::new()).unwrap();
+    let b = compile(three_instance_program(), &LoadConfig::new()).unwrap();
+    let rt = Runtime::new(&a, RuntimeConfig::default());
+    rt.set_tracing(true);
+    rt.run_main(vec![]).unwrap();
+
+    // Give `w` observable state to carry across the cut.
+    rt.deliver_for_test("w", "j", csaw_kv::Update::assert("P", "test::j"));
+    assert!(wait_until(Duration::from_secs(2), || {
+        rt.peek_prop("w", "j", "P") == Some(true)
+    }));
+    let z_activations = rt.activations("z");
+
+    let report = rt
+        .reconfigure(
+            &b,
+            ReconfigSpec {
+                start: vec![("extra".to_string(), vec![(None, vec![])])],
+                ..Default::default()
+            },
+        )
+        .unwrap();
+
+    // Plan shape: w changed (body differs), extra added, z untouched.
+    assert_eq!(report.plan.changed.len(), 1);
+    assert_eq!(report.plan.changed[0].name, "w");
+    assert_eq!(report.plan.added, vec!["extra"]);
+    assert_eq!(report.plan.unchanged, vec!["z"]);
+    // Only the changed instance paused; state and status carried.
+    assert_eq!(report.pauses.len(), 1);
+    assert_eq!(report.pauses[0].0, "w");
+    assert!(report.migrated_bytes > 0);
+    assert_eq!(rt.status("w"), Some(InstanceStatus::Running));
+    assert_eq!(rt.peek_prop("w", "j", "P"), Some(true));
+    assert_eq!(rt.status("z"), Some(InstanceStatus::Running));
+    assert!(rt.activations("z") >= z_activations);
+    assert_eq!(rt.status("extra"), Some(InstanceStatus::Running));
+
+    // The new instance's scheduler works: its junction is invokable.
+    rt.set_policy("extra", "j", Policy::OnDemand);
+    rt.invoke("extra", "j").unwrap();
+
+    // The trace spans the cut.
+    let events = rt.trace_events();
+    assert!(events.iter().any(|e| e.kind == TraceKind::ReconfigCut));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e.kind, TraceKind::ReconfigMigrate { bytes } if bytes > 0)));
+    rt.shutdown();
+}
+
+#[test]
+fn reconfigure_removes_instances() {
+    let a = compile(three_instance_program(), &LoadConfig::new()).unwrap();
+    let b = compile(two_instance_program(true), &LoadConfig::new()).unwrap();
+    let rt = Runtime::new(&a, RuntimeConfig::default());
+    rt.run_main(vec![]).unwrap();
+    rt.start("extra", vec![(None, vec![])]).unwrap();
+
+    let report = rt.reconfigure(&b, ReconfigSpec::default()).unwrap();
+    assert_eq!(report.plan.removed, vec!["extra"]);
+    assert!(rt.status("extra").is_none());
+    assert_eq!(rt.status("w"), Some(InstanceStatus::Running));
+    rt.shutdown();
+}
+
+/// Regression (satellite): `Runtime::restart` must re-prime the
+/// heartbeat failure detector. With sparse pings, a restarted instance
+/// would otherwise stay suspected until the next ping round even though
+/// it is demonstrably back.
+#[test]
+fn restart_reprimes_heartbeat_suspicion() {
+    let cp = compile(two_instance_program(false), &LoadConfig::new()).unwrap();
+    let rt = Runtime::new(&cp, RuntimeConfig::default());
+    rt.run_main(vec![]).unwrap();
+    // Sparse pings (500 ms) with a shorter suspicion window (200 ms):
+    // the re-priming in restart is the only thing that can clear
+    // suspicion before the next (distant) ping round.
+    rt.enable_heartbeats(HeartbeatConfig {
+        interval: Duration::from_millis(500),
+        suspicion: Duration::from_millis(200),
+    });
+    // Let the first ping round prime the detector's clocks for (w, z).
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(rt.is_live_from("w", "z"));
+    rt.crash("z");
+    // Let silence exceed the suspicion window while z is down; the
+    // monitor skips crashed instances, so the clocks for z go stale.
+    std::thread::sleep(Duration::from_millis(250));
+    assert!(!rt.is_live_from("w", "z"));
+    rt.restart("z").unwrap();
+    // Immediately live again: restart granted a fresh suspicion window
+    // without waiting for the next ping round ~200 ms away.
+    assert!(
+        rt.is_live_from("w", "z"),
+        "restarted instance must not stay suspected until the next ping round"
+    );
+    rt.shutdown();
+}
+
+/// Program for the `set_link` regression: `f` has two on-demand
+/// junctions that assert/retract `Work` at `g`.
+fn link_flush_program() -> Program {
+    let tau_send = InstanceType::new(
+        "tau_send",
+        vec![
+            JunctionDef::new(
+                "a",
+                vec![p_junction("g")],
+                vec![Decl::prop_false("Work")],
+                assert_at(JRef::var("g"), "Work"),
+            ),
+            JunctionDef::new(
+                "b",
+                vec![p_junction("g")],
+                vec![Decl::prop_false("Work")],
+                retract_at(JRef::var("g"), "Work"),
+            ),
+        ],
+    );
+    let tau_recv = InstanceType::new(
+        "tau_recv",
+        vec![JunctionDef::new(
+            "j",
+            vec![],
+            vec![Decl::prop_false("Work")],
+            skip(),
+        )],
+    );
+    ProgramBuilder::new()
+        .ty(tau_send)
+        .ty(tau_recv)
+        .instance("f", "tau_send")
+        .instance("g", "tau_recv")
+        .main(
+            vec![],
+            par([
+                start_junctions(
+                    "f",
+                    vec![
+                        ("a", vec![Arg::Junction(JRef::instance("g"))]),
+                        ("b", vec![Arg::Junction(JRef::instance("g"))]),
+                    ],
+                ),
+                start("g", vec![]),
+            ]),
+        )
+        .build()
+}
+
+/// Regression (satellite): reconfiguring a link that already carried
+/// traffic must flush the route's transport state. The old conversation
+/// reached sequence 2; without the flush, the first message of the new
+/// conversation (sequence 1 again) is swallowed by the receiver's stale
+/// dedup memory.
+#[test]
+fn set_link_on_connected_route_flushes_transport_state() {
+    let cp = compile(link_flush_program(), &LoadConfig::new()).unwrap();
+    let rt = Runtime::new(&cp, RuntimeConfig::default());
+    let sim = LinkKind::Sim { latency: Duration::from_millis(1), bandwidth: 0 };
+    rt.set_link("f", "g", sim);
+    rt.run_main(vec![]).unwrap();
+    rt.set_policy("f", "a", Policy::OnDemand);
+    rt.set_policy("f", "b", Policy::OnDemand);
+
+    rt.invoke("f", "a").unwrap(); // seq 1: assert Work
+    assert!(wait_until(Duration::from_secs(2), || {
+        rt.peek_prop("g", "j", "Work") == Some(true)
+    }));
+    rt.invoke("f", "b").unwrap(); // seq 2: retract Work
+    assert!(wait_until(Duration::from_secs(2), || {
+        rt.peek_prop("g", "j", "Work") == Some(false)
+    }));
+
+    // Reconfigure the already-connected route: sequencing restarts.
+    rt.set_link("f", "g", sim);
+    rt.invoke("f", "a").unwrap(); // seq 1 of the NEW conversation
+    assert!(
+        wait_until(Duration::from_secs(2), || {
+            rt.peek_prop("g", "j", "Work") == Some(true)
+        }),
+        "first message after set_link must not be deduped against the old conversation"
+    );
+    rt.shutdown();
+}

@@ -29,6 +29,17 @@
 //!    events *all* conflict pairwise contradict the semantics: no
 //!    valid configuration contains both (conflict-freeness, §8.1).
 //!
+//! A trace that spans a **live reconfiguration** (the runtime's
+//! `reconfig_*` events) is checked with [`check_reconfig_trace`]: the
+//! `reconfig_cut` record splits the trace into a pre-cut epoch validated
+//! against program A's event structures and a post-cut epoch validated
+//! against program B's, while the causality indexes (send-before-apply,
+//! at-most-once delivery) deliberately span the whole trace — an update
+//! sent before the cut and flushed after it is fine, but an update lost
+//! or applied twice *across* the cut is a violation (`rule:
+//! "reconfig"` flags activity that belongs to the wrong epoch's
+//! program).
+//!
 //! Violations carry the offending `gsn` so the JSONL line can be
 //! located directly.
 
@@ -385,6 +396,9 @@ struct JunctionReplay {
     windows: HashMap<u64, (u64, Vec<String>)>,
     /// Inside a `sched`..`unsched` bracket, and its epoch.
     active: Option<u64>,
+    /// Gsn of the bracket-opening `sched` (selects the reconfiguration
+    /// epoch the activation belongs to).
+    active_gsn: u64,
     /// Highest `sched` epoch seen.
     last_epoch: u64,
     /// Labels observed in the current activation, with candidate gsn.
@@ -418,6 +432,59 @@ pub fn check_trace(
     semantics: Option<&ProgramSemantics>,
     opts: &ConformanceOptions,
 ) -> ConformanceReport {
+    check_trace_with(records, opts, false, &|_| (0, semantics))
+}
+
+/// Check a trace that spans one live reconfiguration from program A to
+/// program B.
+///
+/// The first `reconfig_cut` record is the epoch boundary: activations
+/// whose `sched` precedes it validate against `sem_a`, the rest against
+/// `sem_b`, and each epoch's activity must belong to that epoch's
+/// program (an instance scheduled post-cut that only A knows — or
+/// vice versa — is a `reconfig` violation). The causality indexes span
+/// the whole trace on purpose: a held update sent in epoch A and
+/// flushed in epoch B matches its send normally, while an update
+/// applied in *both* epochs is a duplicate. Traces with no
+/// `reconfig_cut` degrade to a plain [`check_trace`] against `sem_a`.
+///
+/// Caveat: re-linking an *existing* route mid-reconfiguration (via
+/// `set_link` in the spec) restarts its sequence numbers, which this
+/// single-conversation view would read as duplicate delivery; only
+/// link additions for new instances are conversation-preserving.
+pub fn check_reconfig_trace(
+    records: &[TraceRecord],
+    sem_a: Option<&ProgramSemantics>,
+    sem_b: Option<&ProgramSemantics>,
+    opts: &ConformanceOptions,
+) -> ConformanceReport {
+    let cut = records
+        .iter()
+        .filter(|r| r.kind == "reconfig_cut")
+        .map(|r| r.gsn)
+        .min();
+    match cut {
+        None => check_trace(records, sem_a, opts),
+        Some(cut) => check_trace_with(records, opts, true, &move |gsn| {
+            if gsn < cut {
+                (0, sem_a)
+            } else {
+                (1, sem_b)
+            }
+        }),
+    }
+}
+
+/// Shared single-pass checker. `pick` maps an activation's `sched` gsn
+/// to the (epoch side, semantics) it validates against; `strict_epoch`
+/// additionally requires every scheduled junction to exist in its
+/// epoch's program (reconfiguration mode).
+fn check_trace_with<'s>(
+    records: &[TraceRecord],
+    opts: &ConformanceOptions,
+    strict_epoch: bool,
+    pick: &dyn Fn(u64) -> (usize, Option<&'s ProgramSemantics>),
+) -> ConformanceReport {
     let mut report = ConformanceReport { events: records.len(), ..Default::default() };
 
     let mut sorted: Vec<&TraceRecord> = records.iter().collect();
@@ -438,8 +505,10 @@ pub fn check_trace(
         }
     }
 
-    // Full-conflict relations, computed lazily per junction.
-    let mut conflicts: HashMap<String, std::collections::BTreeSet<(EventId, EventId)>> =
+    // Full-conflict relations, computed lazily per (epoch side,
+    // junction) — the same junction may denote differently in the pre-
+    // and post-reconfiguration programs.
+    let mut conflicts: HashMap<(usize, String), std::collections::BTreeSet<(EventId, EventId)>> =
         HashMap::new();
 
     let mut replays: BTreeMap<(String, String), JunctionReplay> = BTreeMap::new();
@@ -520,7 +589,24 @@ pub fn check_trace(
                 }
                 jr.last_epoch = r.epoch;
                 jr.active = Some(r.epoch);
+                jr.active_gsn = r.gsn;
                 jr.labels.clear();
+                if strict_epoch {
+                    let (_, sem) = pick(r.gsn);
+                    if let Some(sem) = sem {
+                        let qualified = format!("{}::{}", r.instance, r.junction);
+                        if !sem.junctions.contains_key(&qualified) {
+                            report.violations.push(Violation {
+                                gsn: r.gsn,
+                                rule: "reconfig",
+                                detail: format!(
+                                    "{qualified} scheduled in an epoch whose \
+                                     program does not define it"
+                                ),
+                            });
+                        }
+                    }
+                }
             }
             "unsched" => {
                 if jr.active.is_none() {
@@ -536,12 +622,14 @@ pub fn check_trace(
                 jr.active = None;
                 // Windows do not survive the activation.
                 jr.windows.clear();
-                if let Some(sem) = semantics {
+                let (side, sem) = pick(jr.active_gsn);
+                if let Some(sem) = sem {
                     check_activation_labels(
                         &r.instance,
                         &r.junction,
                         std::mem::take(&mut jr.labels),
                         sem,
+                        side,
                         &mut conflicts,
                         &mut report,
                     );
@@ -647,7 +735,8 @@ fn check_activation_labels(
     junction: &str,
     labels: Vec<(u64, ObservedLabel)>,
     sem: &ProgramSemantics,
-    conflicts: &mut HashMap<String, std::collections::BTreeSet<(EventId, EventId)>>,
+    side: usize,
+    conflicts: &mut HashMap<(usize, String), std::collections::BTreeSet<(EventId, EventId)>>,
     report: &mut ConformanceReport,
 ) {
     if labels.is_empty() {
@@ -687,7 +776,7 @@ fn check_activation_labels(
         }
     }
     let conf = conflicts
-        .entry(qualified.clone())
+        .entry((side, qualified.clone()))
         .or_insert_with(|| es.full_conflict());
     for (a_ix, (gsn_a, la, ca)) in candidates.iter().enumerate() {
         for (gsn_b, lb, cb) in candidates.iter().skip(a_ix + 1) {
@@ -718,6 +807,17 @@ pub fn check_jsonl(
     opts: &ConformanceOptions,
 ) -> Result<ConformanceReport, String> {
     Ok(check_trace(&parse_jsonl(jsonl)?, semantics, opts))
+}
+
+/// Parse a JSONL trace spanning a reconfiguration and check it in one
+/// call (see [`check_reconfig_trace`]).
+pub fn check_reconfig_jsonl(
+    jsonl: &str,
+    sem_a: Option<&ProgramSemantics>,
+    sem_b: Option<&ProgramSemantics>,
+    opts: &ConformanceOptions,
+) -> Result<ConformanceReport, String> {
+    Ok(check_reconfig_trace(&parse_jsonl(jsonl)?, sem_a, sem_b, opts))
 }
 
 #[cfg(test)]
@@ -835,6 +935,94 @@ mod tests {
         let report = check_trace(&recs, None, &ConformanceOptions::default());
         assert_eq!(report.violations.len(), 2, "{}", report.describe());
         assert!(report.violations.iter().all(|v| v.rule == "causality"));
+    }
+
+    #[test]
+    fn cross_epoch_duplicate_apply_is_flagged() {
+        // seq 1 applies in epoch A and again in epoch B: a duplicated
+        // update *across* the cut — exactly what the global index must
+        // catch.
+        let recs = lines(&[
+            r#"{"gsn":1,"us":0,"i":"g","j":"y","ep":1,"k":"sched"}"#,
+            r#"{"gsn":2,"us":1,"i":"g","j":"y","ep":1,"k":"link_send","to":"f::x","key":"W","seq":1,"n":24}"#,
+            r#"{"gsn":3,"us":2,"i":"g","j":"y","ep":1,"k":"unsched","ok":true}"#,
+            r#"{"gsn":4,"us":3,"i":"f","j":"x","ep":1,"k":"kv_flush_apply","key":"W","from":"g::y","seq":1,"op":1,"run":false}"#,
+            r#"{"gsn":5,"us":4,"i":"","j":"","ep":0,"k":"reconfig_cut"}"#,
+            r#"{"gsn":6,"us":5,"i":"f","j":"x","ep":2,"k":"kv_flush_apply","key":"W","from":"g::y","seq":1,"op":2,"run":false}"#,
+        ]);
+        let report =
+            check_reconfig_trace(&recs, None, None, &ConformanceOptions::default());
+        assert_eq!(report.violations.len(), 1, "{}", report.describe());
+        assert_eq!(report.violations[0].rule, "causality");
+        assert_eq!(report.violations[0].gsn, 6);
+    }
+
+    #[test]
+    fn held_update_flushed_after_cut_matches_pre_cut_send() {
+        // An update sent in epoch A, buffered by the quiesce hold, and
+        // flushed in epoch B is the normal reconfiguration path: the
+        // whole-trace send index must accept it.
+        let recs = lines(&[
+            r#"{"gsn":1,"us":0,"i":"g","j":"y","ep":1,"k":"sched"}"#,
+            r#"{"gsn":2,"us":1,"i":"g","j":"y","ep":1,"k":"link_send","to":"f::x","key":"W","seq":1,"n":24}"#,
+            r#"{"gsn":3,"us":2,"i":"g","j":"y","ep":1,"k":"unsched","ok":true}"#,
+            r#"{"gsn":4,"us":3,"i":"","j":"","ep":0,"k":"reconfig_cut"}"#,
+            r#"{"gsn":5,"us":4,"i":"f","j":"x","ep":1,"k":"kv_flush_apply","key":"W","from":"g::y","seq":1,"op":1,"run":false}"#,
+        ]);
+        let report =
+            check_reconfig_trace(&recs, None, None, &ConformanceOptions::default());
+        assert!(report.ok(), "{}", report.describe());
+    }
+
+    #[test]
+    fn scheduling_an_instance_in_the_wrong_epoch_is_flagged() {
+        use crate::event::{EventStructure, Label};
+        use std::collections::BTreeMap;
+        // Hand-built semantics: program A defines old::j, program B
+        // defines new::j.
+        let make = |qualified: &str| {
+            let (es, _) = EventStructure::singleton(Label::Custom("e".into()));
+            let mut junctions = BTreeMap::new();
+            junctions.insert(qualified.to_string(), es);
+            let (startup, _) = EventStructure::singleton(Label::Custom("main".into()));
+            ProgramSemantics { startup, junctions }
+        };
+        let sem_a = make("old::j");
+        let sem_b = make("new::j");
+        let recs = lines(&[
+            r#"{"gsn":1,"us":0,"i":"old","j":"j","ep":1,"k":"sched"}"#,
+            r#"{"gsn":2,"us":1,"i":"old","j":"j","ep":1,"k":"unsched","ok":true}"#,
+            r#"{"gsn":3,"us":2,"i":"","j":"","ep":0,"k":"reconfig_cut"}"#,
+            r#"{"gsn":4,"us":3,"i":"new","j":"j","ep":1,"k":"sched"}"#,
+            r#"{"gsn":5,"us":4,"i":"new","j":"j","ep":1,"k":"unsched","ok":true}"#,
+            // Epoch violation: old is gone from program B.
+            r#"{"gsn":6,"us":5,"i":"old","j":"j","ep":2,"k":"sched"}"#,
+            r#"{"gsn":7,"us":6,"i":"old","j":"j","ep":2,"k":"unsched","ok":true}"#,
+        ]);
+        let report = check_reconfig_trace(
+            &recs,
+            Some(&sem_a),
+            Some(&sem_b),
+            &ConformanceOptions::default(),
+        );
+        let reconfig: Vec<_> = report
+            .violations
+            .iter()
+            .filter(|v| v.rule == "reconfig")
+            .collect();
+        assert_eq!(reconfig.len(), 1, "{}", report.describe());
+        assert_eq!(reconfig[0].gsn, 6);
+    }
+
+    #[test]
+    fn trace_without_cut_degrades_to_plain_check() {
+        let recs = lines(&[
+            r#"{"gsn":1,"us":0,"i":"f","j":"x","ep":1,"k":"sched"}"#,
+            r#"{"gsn":2,"us":1,"i":"f","j":"x","ep":1,"k":"unsched","ok":true}"#,
+        ]);
+        let report =
+            check_reconfig_trace(&recs, None, None, &ConformanceOptions::default());
+        assert!(report.ok());
     }
 
     #[test]

@@ -26,7 +26,9 @@ pub mod codec;
 pub mod gen;
 pub mod heap;
 pub mod schema;
+pub mod snapshot;
 
 pub use codec::{decode, encode, CodecConfig, CodecError};
 pub use heap::HeapValue;
 pub use schema::{Prim, Registry, TypeDesc};
+pub use snapshot::{decode_table_state, encode_table_state};
