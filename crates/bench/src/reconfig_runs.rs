@@ -244,8 +244,15 @@ fn run_live(
         let stats = driver.join().expect("driver thread");
         let (baseline_gap, during_gap) = probe.join().expect("probe thread");
         match report {
-            Ok(report) => Ok(LiveRun { stats, report, baseline_gap, during_gap }),
-            Err(f) => Err(format!("reconfigure failed: {f:?}")),
+            Ok(report) => {
+                if let Some(f) = &report.migration_error {
+                    return Err(format!(
+                        "reconfigure applied the cut but the migration failed: {f:?}"
+                    ));
+                }
+                Ok(LiveRun { stats, report, baseline_gap, during_gap })
+            }
+            Err(f) => Err(format!("reconfigure failed (not applied): {f:?}")),
         }
     })
 }

@@ -115,6 +115,10 @@ impl MigrationCtx<'_> {
 }
 
 /// What a reconfiguration did and what it cost.
+///
+/// `migration_error` distinguishes a clean transition from one whose
+/// post-cut follow-up failed — in both cases the cut is committed and
+/// the system runs the target program.
 #[derive(Clone, Debug)]
 pub struct ReconfigReport {
     /// The structural plan that was executed.
@@ -135,6 +139,12 @@ pub struct ReconfigReport {
     /// Buffered updates with no home in the new program (instance or
     /// junction removed) — dropped, by design, at resume.
     pub dropped_updates: u64,
+    /// Failure from the post-cut phase (the caller's migration closure
+    /// or a `spec.start`), if any. The cut itself is committed — the
+    /// system is serving the target program and holds were released —
+    /// but the application-level follow-up did not complete. `None`
+    /// means a fully clean transition.
+    pub migration_error: Option<Failure>,
     /// Wall time of the whole transition.
     pub total: Duration,
 }
@@ -240,8 +250,17 @@ impl Runtime {
     ///
     /// Returns a [`ReconfigReport`] with per-instance pause windows and
     /// migration accounting. Reconfigurations serialize: a second call
-    /// blocks until the first completes. On error the system is left in
-    /// a consistent state — holds are always released.
+    /// blocks until the first completes. Holds are released on **every**
+    /// exit path:
+    ///
+    /// * `Err` means *not applied* — a pre-cut failure (snapshot
+    ///   encode/decode) aborted the transition; buffered updates were
+    ///   flushed back into the still-registered old cells and the
+    ///   system keeps serving the current program.
+    /// * Failures after the cut (the migration closure, a `spec.start`)
+    ///   cannot un-commit it; they are reported in
+    ///   [`ReconfigReport::migration_error`] alongside the full
+    ///   accounting, with the system serving `target`.
     pub fn reconfigure(
         &self,
         target: &CompiledProgram,
@@ -258,22 +277,35 @@ impl Runtime {
             TraceKind::ReconfigPlan { footprint: plan.footprint_len() as u64 },
         );
 
-        // Phase 2: quiesce. Installing a hold takes the same lock the
-        // delivery closure keeps across deliveries, so once it is in, no
-        // in-flight send can still reach an old cell. Pause clocks start
-        // at hold install.
+        // Phase 2: quiesce. Installing a hold and raising `holds_active`
+        // diverts new deliveries to the slow path, which checks the hold
+        // map under the same lock the closure keeps across deliveries.
+        // Pause clocks start at hold install.
         let quiesce: Vec<String> =
             plan.quiesce_set().iter().map(|s| s.to_string()).collect();
         let mut pause_started: HashMap<String, Instant> = HashMap::new();
         {
             let mut holds = self.inner.holds.lock();
             for name in &quiesce {
-                holds.insert(name.clone(), Vec::new());
+                // `entry`, not `insert`: never clobber an existing
+                // buffer (reconfig_lock makes a leftover impossible in
+                // practice, but a clobber would drop updates silently).
+                holds.entry(name.clone()).or_default();
                 pause_started.insert(name.clone(), Instant::now());
                 self.inner
                     .tracer
                     .record(name, "", 0, TraceKind::ReconfigQuiesce { paused_us: 0 });
             }
+            if !quiesce.is_empty() {
+                self.inner.holds_active.store(true, Ordering::SeqCst);
+            }
+        }
+        // Fence: a delivery that read `holds_active == false` before the
+        // store above may still be executing against an old cell. Wait
+        // for those in-flight fast-path deliveries to drain; everything
+        // arriving after this point goes through the hold map.
+        while self.inner.deliveries_inflight.load(Ordering::SeqCst) > 0 {
+            std::thread::yield_now();
         }
         let old_states: HashMap<String, Arc<InstanceState>> = quiesce
             .iter()
@@ -291,26 +323,39 @@ impl Runtime {
         // Phase 3: export + serialize every quiesced junction table. The
         // round trip through the codec is deliberate: the migrated state
         // is exactly what survived serialization, and the byte count is
-        // the measured migration payload.
+        // the measured migration payload. A codec failure aborts the
+        // whole transition *before* the cut — nothing has been swapped
+        // yet, so the holds are released, their buffered updates flush
+        // into the still-registered old cells, and the system keeps
+        // serving the current program.
         let mut exports: HashMap<(String, String), TableState> = HashMap::new();
         let mut migrated_bytes = 0u64;
-        for (name, inst) in &old_states {
+        let mut snapshot_err: Option<Failure> = None;
+        'snapshot: for (name, inst) in &old_states {
             for jrt in &inst.junctions {
                 let state = jrt.cell.table().export_state();
-                let bytes = encode_table_state(&state).map_err(|e| {
-                    Failure::Internal(format!(
-                        "reconfigure: snapshot {name}::{}: {e:?}",
-                        jrt.def.name
-                    ))
-                })?;
+                let bytes = match encode_table_state(&state) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        snapshot_err = Some(Failure::Internal(format!(
+                            "reconfigure: snapshot {name}::{}: {e:?}",
+                            jrt.def.name
+                        )));
+                        break 'snapshot;
+                    }
+                };
                 let n = bytes.len() as u64;
                 migrated_bytes += n;
-                let state = decode_table_state(&bytes).map_err(|e| {
-                    Failure::Internal(format!(
-                        "reconfigure: decode {name}::{}: {e:?}",
-                        jrt.def.name
-                    ))
-                })?;
+                let state = match decode_table_state(&bytes) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        snapshot_err = Some(Failure::Internal(format!(
+                            "reconfigure: decode {name}::{}: {e:?}",
+                            jrt.def.name
+                        )));
+                        break 'snapshot;
+                    }
+                };
                 self.inner.tracer.record_ids(
                     &jrt.trace_instance,
                     &jrt.trace_junction,
@@ -319,6 +364,17 @@ impl Runtime {
                 );
                 exports.insert((name.clone(), jrt.def.name.clone()), state);
             }
+        }
+        if let Some(f) = snapshot_err {
+            drop(guards);
+            self.release_holds(&quiesce, &pause_started);
+            self.inner.record_event(
+                "-",
+                "-",
+                "reconfig",
+                format!("aborted before cut (holds released): {f:?}"),
+            );
+            return Err(f);
         }
 
         // Phase 4: materialize the target's changed + added instances,
@@ -399,13 +455,17 @@ impl Runtime {
         self.threads.lock().extend(new_threads);
 
         // Phase 6: app-level migration and topology rewires, while the
-        // affected instances are still held. Errors here must not leak
-        // holds, so they defer until after resume.
+        // affected instances are still held. The cut is committed at
+        // this point, so errors here cannot abort the transition — they
+        // are carried into the report's `migration_error` (the caller
+        // sees the transition happened *and* what failed), and resume
+        // proceeds regardless so holds never leak.
         let mut ctx = MigrationCtx { exports: &exports, moved_entries: 0, moved_bytes: 0 };
-        let mut deferred: Option<Failure> = None;
+        let mut migration_error: Option<Failure> = None;
         if let Some(migrate) = spec.migrate {
             if let Err(m) = migrate(&mut ctx) {
-                deferred = Some(Failure::Internal(format!("reconfigure: migration: {m}")));
+                migration_error =
+                    Some(Failure::Internal(format!("reconfigure: migration: {m}")));
             }
         }
         for (name, app) in spec.apps {
@@ -419,21 +479,63 @@ impl Runtime {
         }
         for (name, args) in &spec.start {
             if let Err(f) = self.inner.start_instance(name, args, &HashMap::new()) {
-                deferred.get_or_insert(f);
+                migration_error.get_or_insert(f);
             }
         }
 
-        // Phase 7: resume. Holds release under the same lock order the
-        // delivery closure uses (holds → registry read), so buffered
-        // updates flush into the new cells *before* any post-resume send
-        // can overtake them.
+        // Phase 7: resume — release every hold and flush its buffer into
+        // the new cells.
+        let (held_updates, dropped_updates, pauses) =
+            self.release_holds(&quiesce, &pause_started);
+        self.inner
+            .tracer
+            .record("", "", 0, TraceKind::ReconfigDone { bytes: migrated_bytes });
+        self.inner.record_event(
+            "-",
+            "-",
+            "reconfig",
+            format!(
+                "footprint {} ({} added, {} removed, {} changed), {} B migrated",
+                plan.footprint_len(),
+                plan.added.len(),
+                plan.removed.len(),
+                plan.changed.len(),
+                migrated_bytes
+            ),
+        );
+        Ok(ReconfigReport {
+            plan,
+            pauses,
+            migrated_bytes,
+            moved_entries: ctx.moved_entries,
+            moved_bytes: ctx.moved_bytes,
+            held_updates,
+            dropped_updates,
+            migration_error,
+            total: started.elapsed(),
+        })
+    }
+
+    /// Release the holds for `quiesce` and flush their buffered updates
+    /// into whatever the registry currently maps each name to — the new
+    /// cells after the cut, or the untouched old cells when a snapshot
+    /// failure aborts the transition before it. Runs under the same
+    /// lock order the delivery closure uses (holds → registry read), so
+    /// buffered updates land *before* any post-release send can
+    /// overtake them. Clears the delivery fast-path gate once the hold
+    /// map is empty. Returns (flushed, dropped, per-instance pauses).
+    fn release_holds(
+        &self,
+        quiesce: &[String],
+        pause_started: &HashMap<String, Instant>,
+    ) -> (u64, u64, Vec<(String, Duration)>) {
         let mut held_updates = 0u64;
         let mut dropped_updates = 0u64;
         let mut pauses = Vec::new();
         {
             let mut holds = self.inner.holds.lock();
             let reg = self.inner.instances.read();
-            for name in &quiesce {
+            for name in quiesce {
                 let buffered: Vec<(crate::cell::JunctionId, Update)> =
                     holds.remove(name).unwrap_or_default();
                 let mut flushed = 0u64;
@@ -465,37 +567,12 @@ impl Runtime {
                 );
                 pauses.push((name.clone(), paused));
             }
+            if holds.is_empty() {
+                self.inner.holds_active.store(false, Ordering::SeqCst);
+            }
         }
         self.inner.wake_all();
-        self.inner
-            .tracer
-            .record("", "", 0, TraceKind::ReconfigDone { bytes: migrated_bytes });
-        self.inner.record_event(
-            "-",
-            "-",
-            "reconfig",
-            format!(
-                "footprint {} ({} added, {} removed, {} changed), {} B migrated",
-                plan.footprint_len(),
-                plan.added.len(),
-                plan.removed.len(),
-                plan.changed.len(),
-                migrated_bytes
-            ),
-        );
-        if let Some(f) = deferred {
-            return Err(f);
-        }
-        Ok(ReconfigReport {
-            plan,
-            pauses,
-            migrated_bytes,
-            moved_entries: ctx.moved_entries,
-            moved_bytes: ctx.moved_bytes,
-            held_updates,
-            dropped_updates,
-            total: started.elapsed(),
-        })
+        (held_updates, dropped_updates, pauses)
     }
 
     /// The compiled program the registry currently embodies.

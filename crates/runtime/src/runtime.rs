@@ -195,6 +195,16 @@ pub(crate) struct RuntimeInner {
     pub(crate) instances: Registry,
     /// Held-update buffers (shared with the delivery closure).
     pub(crate) holds: HoldBuffer,
+    /// Fast-path gate: true while any hold is installed. When false —
+    /// the steady state — the delivery closure and the activation path
+    /// skip the hold lock entirely, so deliveries are not serialized
+    /// runtime-wide outside a reconfiguration.
+    pub(crate) holds_active: Arc<AtomicBool>,
+    /// Fast-path deliveries currently in flight. The reconfiguration
+    /// executor raises `holds_active` and then waits for this to drain,
+    /// so no delivery that read the flag as false can land in an old
+    /// cell after its state was exported.
+    pub(crate) deliveries_inflight: Arc<AtomicU64>,
     /// Serializes live reconfigurations (one at a time).
     pub(crate) reconfig_lock: Mutex<()>,
     /// The program the registry currently embodies; replaced by
@@ -533,8 +543,11 @@ impl RuntimeInner {
         // inbound sends buffer, and local scheduling (invoke, scheduler
         // threads) defers until resume. Without this, an invoke could run
         // against the post-cut cell while app-level migration is still
-        // redistributing state.
-        if self.holds.lock().contains_key(&inst.name) {
+        // redistributing state. The flag check keeps the steady state
+        // off the global hold lock.
+        if self.holds_active.load(Ordering::SeqCst)
+            && self.holds.lock().contains_key(&inst.name)
+        {
             return Ok(false);
         }
         if !self.guard_ready(inst, jrt) {
@@ -675,6 +688,10 @@ impl Runtime {
         let reg2 = Arc::clone(&registry);
         let holds: HoldBuffer = Arc::new(Mutex::new(HashMap::new()));
         let holds2 = Arc::clone(&holds);
+        let holds_active = Arc::new(AtomicBool::new(false));
+        let holds_active2 = Arc::clone(&holds_active);
+        let inflight = Arc::new(AtomicU64::new(0));
+        let inflight2 = Arc::clone(&inflight);
         let hb = Arc::new(HeartbeatState::new());
         let hb2 = Arc::clone(&hb);
         let deliver: DeliverFn = Arc::new(move |to: &JunctionId, update: Update| {
@@ -689,10 +706,34 @@ impl Runtime {
                 }
                 return;
             }
-            // The hold lock is kept across the delivery itself: once the
-            // reconfiguration executor has taken it and inserted a hold,
-            // no in-flight send can still be between the check and the
-            // old cell.
+            // Fast path — no reconfiguration in progress: deliver
+            // without touching the hold lock, so steady-state traffic is
+            // never serialized runtime-wide. The in-flight counter is
+            // the executor's fence: it raises `holds_active`, then waits
+            // for the counter to drain, so a delivery that read the flag
+            // as false cannot land after a table export.
+            if !holds_active2.load(Ordering::SeqCst) {
+                inflight2.fetch_add(1, Ordering::SeqCst);
+                if !holds_active2.load(Ordering::SeqCst) {
+                    if let Some(inst) = reg2.read().get(&to.instance) {
+                        if inst.status() == InstanceStatus::Running {
+                            if let Some(jrt) = inst.junction(&to.junction) {
+                                jrt.cell.deliver(update);
+                                inst.wake();
+                            }
+                        }
+                    }
+                    inflight2.fetch_sub(1, Ordering::SeqCst);
+                    return;
+                }
+                // Flag flipped between the two loads: back out and take
+                // the slow path.
+                inflight2.fetch_sub(1, Ordering::SeqCst);
+            }
+            // Slow path — a reconfiguration holds some instance. The
+            // hold lock is kept across the delivery itself: once the
+            // executor has taken it and inserted a hold, no in-flight
+            // send can still be between the check and the old cell.
             let mut held = holds2.lock();
             if let Some(buf) = held.get_mut(&to.instance) {
                 buf.push((to.clone(), update));
@@ -713,6 +754,8 @@ impl Runtime {
         let inner = Arc::new(RuntimeInner {
             instances: registry,
             holds,
+            holds_active,
+            deliveries_inflight: inflight,
             reconfig_lock: Mutex::new(()),
             program: Mutex::new(compiled.clone()),
             network,

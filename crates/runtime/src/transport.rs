@@ -22,10 +22,12 @@
 //! `crate::fault`): send errors are a typed [`SendError`] split into
 //! retryable link faults and fatal transport errors; retryable faults
 //! are retried with bounded exponential backoff and jitter; every
-//! message carries a per-(sender, receiver) sequence number and the
-//! receiver drops sequence numbers it has already seen, so a retried or
-//! fault-duplicated update never double-applies against the KV table's
-//! local-priority update rule (§8). Both halves can be switched off
+//! message carries a per-(sender, receiver) sequence number — the
+//! route's conversation *generation* in the high bits, a counter in the
+//! low bits — and the receiver drops sequence numbers it has already
+//! seen, so a retried or fault-duplicated update never double-applies
+//! against the KV table's local-priority update rule (§8). Both halves
+//! can be switched off
 //! ([`crate::fault::RetryPolicy::disabled`], [`Network::set_dedup`]) for
 //! ablations.
 
@@ -68,7 +70,16 @@ pub enum LinkKind {
 pub type DeliverFn = Arc<dyn Fn(&JunctionId, Update) + Send + Sync>;
 
 /// Receiver-side dedup memory: (sender, receiver) → delivered seqs.
+/// Seqs embed the route generation (see [`ROUTE_GEN_SHIFT`]), so the
+/// memory of an old conversation can never collide with a new one.
 type SeenMap = Arc<Mutex<HashMap<(String, String), HashSet<u64>>>>;
+
+/// Sequence numbers are `(generation << ROUTE_GEN_SHIFT) | counter`:
+/// [`Network::reset_route`] bumps the route's generation, so a new
+/// conversation's seqs can never collide with stale retries from the
+/// old one still in flight. 2^40 messages per conversation and 2^24
+/// rewires per route before wrap — both far beyond any run.
+const ROUTE_GEN_SHIFT: u32 = 40;
 
 /// Wire size model for an update: key + payload + fixed header.
 pub fn wire_size(u: &Update) -> usize {
@@ -469,16 +480,15 @@ pub struct Network {
     /// Dice for backoff jitter (separate from link fault dice so a
     /// policy change doesn't perturb the fault schedule).
     backoff_dice: Mutex<StdRng>,
-    /// Next sequence number per directed (sender, receiver) pair.
+    /// Next low-bits sequence counter per directed (sender, receiver)
+    /// pair (the route's current generation fills the high bits).
     seqs: Mutex<HashMap<(String, String), u64>>,
+    /// Conversation generation per directed pair, bumped by
+    /// [`Network::reset_route`] and carried in the high bits of every
+    /// sequence number. Monotonic — never removed, never reset.
+    route_gens: Mutex<HashMap<(String, String), u64>>,
     /// Receiver-side dedup switch (shared with the deliver wrapper).
     dedup_enabled: Arc<AtomicBool>,
-    /// Receiver-side dedup memory: (sender, receiver) → seqs already
-    /// delivered. Shared with the deliver wrapper so
-    /// [`Network::reset_route`] can clear it together with `seqs` — a
-    /// rewired route restarts sequencing from 1, and stale dedup memory
-    /// would otherwise silently swallow the first messages.
-    seen: SeenMap,
     drops: AtomicU64,
     dups: AtomicU64,
     partitioned: AtomicU64,
@@ -608,8 +618,8 @@ impl Network {
             retry: Mutex::new(RetryPolicy::default()),
             backoff_dice: Mutex::new(StdRng::seed_from_u64(0xBAC0FF)),
             seqs: Mutex::new(HashMap::new()),
+            route_gens: Mutex::new(HashMap::new()),
             dedup_enabled,
-            seen,
             drops: AtomicU64::new(0),
             dups: AtomicU64::new(0),
             partitioned: AtomicU64::new(0),
@@ -723,12 +733,12 @@ impl Network {
     ///
     /// Rewiring an **already-connected** route (one that had an explicit
     /// link or has carried sequenced traffic) flushes the route's
-    /// per-link state — sender seq counter, receiver dedup memory, FIFO
-    /// and serialization clocks, and any cached TCP connection. A new
-    /// link is a new conversation: carrying the old seq counter across
-    /// the rewire is harmless, but carrying the old *dedup memory*
-    /// against a reset counter silently swallows the first messages, so
-    /// the two must always reset together (see [`Network::reset_route`]).
+    /// per-link state — sender seq counter, conversation generation,
+    /// FIFO and serialization clocks, and any cached TCP connection. A
+    /// new link is a new conversation, tagged with a fresh generation in
+    /// the seq high bits so neither stale dedup memory nor stale
+    /// in-flight retries from the old conversation can interfere with it
+    /// (see [`Network::reset_route`]).
     pub fn set_link(&self, from: &str, to: &str, kind: LinkKind) {
         let prev = self
             .links
@@ -744,13 +754,20 @@ impl Network {
     }
 
     /// Flush all per-route transport state for the directed pair
-    /// `from → to`: sequencing restarts at 1, dedup memory forgets the
-    /// old conversation, FIFO/serialization clocks reset and a cached
-    /// TCP connection (if any) is dropped so the next send redials.
+    /// `from → to`: the conversation generation bumps (so the restarted
+    /// counter yields seqs disjoint from every earlier conversation),
+    /// FIFO/serialization clocks reset and a cached TCP connection (if
+    /// any) is dropped so the next send redials.
+    ///
+    /// The receiver's dedup memory is **not** cleared: the route's
+    /// endpoints are not necessarily quiesced, so retries from the old
+    /// conversation may still be in flight. Keeping the memory lets
+    /// those stale retries dedup under their old generation; the new
+    /// conversation's generation-tagged seqs can never collide with it.
     pub fn reset_route(&self, from: &str, to: &str) {
         let key = (from.to_string(), to.to_string());
+        *self.route_gens.lock().entry(key.clone()).or_insert(0) += 1;
         self.seqs.lock().remove(&key);
-        self.seen.lock().remove(&key);
         self.fifo_clocks.lock().remove(&key);
         self.sim_clocks.lock().remove(&key);
         self.tcp.lock().remove(&key);
@@ -776,12 +793,12 @@ impl Network {
         mut update: Update,
     ) -> Result<(), SendError> {
         {
+            let key = (from_instance.to_string(), to.instance.clone());
+            let gen = self.route_gens.lock().get(&key).copied().unwrap_or(0);
             let mut seqs = self.seqs.lock();
-            let c = seqs
-                .entry((from_instance.to_string(), to.instance.clone()))
-                .or_insert(0);
+            let c = seqs.entry(key).or_insert(0);
             *c += 1;
-            update.seq = *c;
+            update.seq = (gen << ROUTE_GEN_SHIFT) | *c;
         }
         let policy = self.retry.lock().clone();
         let mut attempt = 0u32;
@@ -1220,6 +1237,52 @@ mod tests {
             order.windows(2).any(|w| w[0] > w[1]),
             "expected at least one inversion, got {order:?}"
         );
+    }
+
+    #[test]
+    fn reset_route_does_not_confuse_conversations() {
+        // Regression: reset_route used to clear the receiver's dedup
+        // memory and restart seqs at 1 while a delivery from the old
+        // conversation was still in flight. The stale delivery then
+        // repopulated `seen` with low seqs, and the new conversation's
+        // first message (same low seq) was swallowed as a "duplicate".
+        // Generation-tagged seqs make the two conversations disjoint.
+        let (net, rx) = collecting_network();
+        net.set_link(
+            "f",
+            "g",
+            LinkKind::Sim { latency: Duration::from_millis(60), bandwidth: 0 },
+        );
+        let to = JunctionId::new("g", "junction");
+        // Old conversation: one message, still in flight…
+        net.send("f", &to, Update::data("n", Value::Int(1), "f::j")).unwrap();
+        // …when the route is reset and a new conversation starts.
+        net.reset_route("f", "g");
+        net.send("f", &to, Update::data("n", Value::Int(2), "f::j")).unwrap();
+        let mut got = Vec::new();
+        for _ in 0..2 {
+            let (_, u) = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+            if let UpdateKind::Data(Value::Int(i)) = u.kind {
+                got.push(i);
+            }
+        }
+        got.sort_unstable();
+        assert_eq!(
+            got,
+            vec![1, 2],
+            "neither the stale in-flight delivery nor the new conversation's \
+             first message may be lost across a route reset"
+        );
+        assert_eq!(net.stats().deduped, 0);
+        // And a genuine retry of the new conversation still dedups.
+        net.set_fault_plan("f", "g", FaultPlan::none().with_dup(1.0).with_seed(5));
+        net.send("f", &to, Update::data("n", Value::Int(3), "f::j")).unwrap();
+        rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert!(
+            rx.recv_timeout(Duration::from_millis(150)).is_err(),
+            "duplicate within the new conversation must still dedup"
+        );
+        assert_eq!(net.stats().deduped, 1);
     }
 
     #[test]

@@ -9,9 +9,12 @@ use csaw_core::expr::Arg;
 use csaw_core::names::JRef;
 use csaw_core::program::{InstanceType, JunctionDef, LoadConfig, Program};
 use csaw_core::compile;
+use csaw_core::value::Value;
+use csaw_kv::Update;
 use csaw_runtime::runtime::Policy;
 use csaw_runtime::{
-    HeartbeatConfig, InstanceStatus, LinkKind, ReconfigSpec, Runtime, RuntimeConfig, TraceKind,
+    Failure, HeartbeatConfig, InstanceStatus, LinkKind, ReconfigSpec, Runtime, RuntimeConfig,
+    TraceKind,
 };
 
 fn wait_until(timeout: Duration, mut f: impl FnMut() -> bool) -> bool {
@@ -79,6 +82,7 @@ fn identity_reconfigure_is_a_no_op() {
     assert!(report.plan.is_identity());
     assert!(report.pauses.is_empty());
     assert_eq!(report.migrated_bytes, 0);
+    assert!(report.migration_error.is_none());
     assert_eq!(rt.status("w"), Some(InstanceStatus::Running));
     assert_eq!(rt.status("z"), Some(InstanceStatus::Running));
     rt.shutdown();
@@ -118,6 +122,7 @@ fn reconfigure_carries_state_and_leaves_bystanders_alone() {
     assert_eq!(report.pauses.len(), 1);
     assert_eq!(report.pauses[0].0, "w");
     assert!(report.migrated_bytes > 0);
+    assert!(report.migration_error.is_none());
     assert_eq!(rt.status("w"), Some(InstanceStatus::Running));
     assert_eq!(rt.peek_prop("w", "j", "P"), Some(true));
     assert_eq!(rt.status("z"), Some(InstanceStatus::Running));
@@ -149,6 +154,133 @@ fn reconfigure_removes_instances() {
     assert_eq!(report.plan.removed, vec!["extra"]);
     assert!(rt.status("extra").is_none());
     assert_eq!(rt.status("w"), Some(InstanceStatus::Running));
+    rt.shutdown();
+}
+
+/// Sender `f` targets `w : tau_recv`, whose junction declares two data
+/// keys that can be loaded past the snapshot codec's 64 MB budget. The
+/// `extra` flag varies `w`'s body so two builds diff as "w changed".
+fn abortable_program(extra: bool) -> Program {
+    let tau_send = InstanceType::new(
+        "tau_send",
+        vec![JunctionDef::new(
+            "a",
+            vec![p_junction("t")],
+            vec![Decl::prop_false("Work")],
+            assert_at(JRef::var("t"), "Work"),
+        )],
+    );
+    let mut body = vec![skip()];
+    if extra {
+        body.push(skip());
+    }
+    let tau_recv = InstanceType::new(
+        "tau_recv",
+        vec![JunctionDef::new(
+            "j",
+            vec![],
+            vec![Decl::prop_false("Work"), Decl::data("b1"), Decl::data("b2")],
+            seq(body),
+        )],
+    );
+    ProgramBuilder::new()
+        .ty(tau_send)
+        .ty(tau_recv)
+        .instance("f", "tau_send")
+        .instance("w", "tau_recv")
+        .main(
+            vec![],
+            par([
+                start_junctions("f", vec![("a", vec![Arg::Junction(JRef::instance("w"))])]),
+                start("w", vec![]),
+            ]),
+        )
+        .build()
+}
+
+/// Regression: a snapshot failure in the migrate phase used to `?`-return
+/// with the quiesce-set holds still installed, permanently freezing the
+/// affected instances (inbound updates buffered forever, activations
+/// always skipped). An aborted transition must release its holds and
+/// leave the system serving the old program.
+#[test]
+fn failed_snapshot_aborts_reconfigure_before_cut_and_releases_holds() {
+    let a = compile(abortable_program(false), &LoadConfig::new()).unwrap();
+    let b = compile(abortable_program(true), &LoadConfig::new()).unwrap();
+    let rt = Runtime::new(&a, RuntimeConfig::default());
+    rt.run_main(vec![]).unwrap();
+    rt.set_policy("f", "a", Policy::OnDemand);
+
+    // Two 32 MB blobs push the table snapshot past the codec's 64 MB
+    // byte budget, so exporting `w` fails deterministically.
+    let blob = vec![0u8; 32 << 20];
+    rt.deliver_for_test("w", "j", Update::data("b1", Value::Bytes(blob.clone()), "test::j"));
+    rt.deliver_for_test("w", "j", Update::data("b2", Value::Bytes(blob), "test::j"));
+
+    let err = rt.reconfigure(&b, ReconfigSpec::default()).unwrap_err();
+    assert!(matches!(err, Failure::Internal(_)), "unexpected failure: {err:?}");
+
+    // Not applied: `w` is still running its old cell…
+    assert_eq!(rt.status("w"), Some(InstanceStatus::Running));
+    // …and not frozen: a real network send still reaches it and its
+    // scheduler still applies updates. A leaked hold would buffer the
+    // send unboundedly and veto every activation.
+    rt.invoke("f", "a").unwrap();
+    assert!(
+        wait_until(Duration::from_secs(2), || {
+            rt.peek_prop("w", "j", "Work") == Some(true)
+        }),
+        "instance must keep serving traffic after an aborted reconfiguration"
+    );
+
+    // Shrink the oversized state and the same transition goes through.
+    rt.deliver_for_test("w", "j", Update::data("b1", Value::Int(1), "test::j"));
+    rt.deliver_for_test("w", "j", Update::data("b2", Value::Int(2), "test::j"));
+    assert!(wait_until(Duration::from_secs(2), || {
+        rt.peek_data("w", "j", "b1") == Some(Value::Int(1))
+            && rt.peek_data("w", "j", "b2") == Some(Value::Int(2))
+    }));
+    let report = rt.reconfigure(&b, ReconfigSpec::default()).unwrap();
+    assert_eq!(report.plan.changed.len(), 1);
+    assert_eq!(report.plan.changed[0].name, "w");
+    assert!(report.migration_error.is_none());
+    assert_eq!(rt.status("w"), Some(InstanceStatus::Running));
+    rt.shutdown();
+}
+
+/// A failing migration closure cannot un-commit the cut — the system is
+/// already running program B when it executes. The failure must surface
+/// in the report (not as a bare `Err` that hides whether the transition
+/// happened), with holds released and the system live on B.
+#[test]
+fn reconfigure_migration_failure_reports_but_commits_the_cut() {
+    let a = compile(two_instance_program(false), &LoadConfig::new()).unwrap();
+    let b = compile(two_instance_program(true), &LoadConfig::new()).unwrap();
+    let rt = Runtime::new(&a, RuntimeConfig::default());
+    rt.run_main(vec![]).unwrap();
+
+    let spec = ReconfigSpec {
+        migrate: Some(Box::new(|_| Err("boom".to_string()))),
+        ..Default::default()
+    };
+    let report = rt.reconfigure(&b, spec).unwrap();
+    let err = report
+        .migration_error
+        .expect("migration failure must surface in the report");
+    assert!(format!("{err:?}").contains("boom"));
+    assert_eq!(report.pauses.len(), 1, "the accounting still arrives");
+
+    // The cut is committed: reconfiguring to B again diffs as identity.
+    assert_eq!(rt.status("w"), Some(InstanceStatus::Running));
+    let again = rt.reconfigure(&b, ReconfigSpec::default()).unwrap();
+    assert!(again.plan.is_identity());
+    assert!(again.migration_error.is_none());
+
+    // Holds were released despite the failure: updates still apply.
+    rt.deliver_for_test("w", "j", Update::assert("P", "test::j"));
+    assert!(wait_until(Duration::from_secs(2), || {
+        rt.peek_prop("w", "j", "P") == Some(true)
+    }));
     rt.shutdown();
 }
 

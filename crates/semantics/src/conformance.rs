@@ -448,10 +448,11 @@ pub fn check_trace(
 /// applied in *both* epochs is a duplicate. Traces with no
 /// `reconfig_cut` degrade to a plain [`check_trace`] against `sem_a`.
 ///
-/// Caveat: re-linking an *existing* route mid-reconfiguration (via
-/// `set_link` in the spec) restarts its sequence numbers, which this
-/// single-conversation view would read as duplicate delivery; only
-/// link additions for new instances are conversation-preserving.
+/// Re-linking an *existing* route mid-reconfiguration (via `set_link`
+/// in the spec) is safe for this view: the transport tags each route
+/// conversation with a generation carried in the sequence numbers'
+/// high bits, so the rewired route's restarted counter never repeats a
+/// `(sender, receiver, seq)` triple from before the rewire.
 pub fn check_reconfig_trace(
     records: &[TraceRecord],
     sem_a: Option<&ProgramSemantics>,
@@ -938,7 +939,7 @@ mod tests {
     }
 
     #[test]
-    fn cross_epoch_duplicate_apply_is_flagged() {
+    fn reconfig_cross_epoch_duplicate_apply_is_flagged() {
         // seq 1 applies in epoch A and again in epoch B: a duplicated
         // update *across* the cut — exactly what the global index must
         // catch.

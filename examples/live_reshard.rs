@@ -135,6 +135,11 @@ fn main() {
     }));
 
     let report = rt.reconfigure(&b, spec).unwrap();
+    assert!(
+        report.migration_error.is_none(),
+        "cut applied but migration failed: {:?}",
+        report.migration_error
+    );
     println!(
         "resharded 1 → 3 in {:?}: {} added / {} changed, {} entries re-homed, \
          worst pause {:?}",
