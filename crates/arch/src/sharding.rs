@@ -30,6 +30,11 @@ pub struct ShardingSpec {
     pub front: String,
     /// Back-end name prefix (`Bck` → `Bck1`, `Bck2`, …).
     pub backend_prefix: String,
+    /// Explicit back-end names overriding `backend_prefix` + `n_backends`
+    /// numbering. This is what a *repair* target needs: re-homing away
+    /// from a dead `Bck2` means the survivor set `[Bck1, Bck3]`, which
+    /// no prefix numbering can express.
+    pub backends: Option<Vec<String>>,
 }
 
 impl Default for ShardingSpec {
@@ -40,16 +45,31 @@ impl Default for ShardingSpec {
             handle_hook: "Handle".into(),
             front: "Fnt".into(),
             backend_prefix: "Bck".into(),
+            backends: None,
         }
     }
 }
 
 impl ShardingSpec {
-    /// The generated back-end instance names.
+    /// The back-end instance names: the explicit `backends` list when
+    /// given, else `backend_prefix` numbered `1..=n_backends`.
     pub fn backend_names(&self) -> Vec<String> {
-        (1..=self.n_backends)
-            .map(|i| format!("{}{i}", self.backend_prefix))
-            .collect()
+        match &self.backends {
+            Some(names) => names.clone(),
+            None => (1..=self.n_backends)
+                .map(|i| format!("{}{i}", self.backend_prefix))
+                .collect(),
+        }
+    }
+
+    /// The spec for sharding over an explicit survivor set (shard
+    /// re-homing repair target).
+    pub fn over(names: Vec<String>) -> ShardingSpec {
+        ShardingSpec {
+            n_backends: names.len(),
+            backends: Some(names),
+            ..Default::default()
+        }
     }
 }
 
@@ -196,5 +216,24 @@ mod tests {
             let p = sharding(&spec);
             csaw_core::compile(p, &LoadConfig::new()).unwrap();
         }
+    }
+
+    #[test]
+    fn explicit_backend_list_shards_over_survivors() {
+        // The repair target after Bck2 dies: the same architecture over
+        // the non-contiguous survivor set.
+        let spec = ShardingSpec::over(vec!["Bck1".into(), "Bck3".into()]);
+        let p = sharding(&spec);
+        let cp = csaw_core::compile(p, &LoadConfig::new()).unwrap();
+        assert_eq!(cp.instances.len(), 3);
+        assert!(cp.instance("Bck1").is_some());
+        assert!(cp.instance("Bck2").is_none());
+        assert!(cp.instance("Bck3").is_some());
+        let f = cp.instance("Fnt").unwrap().junction("junction").unwrap();
+        let idx_base = f.decls.iter().find_map(|d| match d {
+            Decl::Idx { name, of: SetRef::Lit(e) } if name == "tgt" => Some(e.len()),
+            _ => None,
+        });
+        assert_eq!(idx_base, Some(2));
     }
 }

@@ -205,6 +205,45 @@ fn front_type(spec: &WatchedSpec) -> InstanceType {
     )
 }
 
+/// `τf` after a supervisor promotion: the case on `failover` /
+/// `nofailover` collapses — the front engages *only* the spare. The
+/// declarations (including the `Run` family over both back-ends) are
+/// unchanged so the front's table state survives the reconfiguration
+/// snapshot.
+fn front_type_promoted(spec: &WatchedSpec) -> InstanceType {
+    let set = SetRef::Lit(two_set(spec));
+    let s = &spec.spare;
+    InstanceType::new(
+        "tF",
+        vec![JunctionDef::new(
+            "junction",
+            vec![p_timeout("t")],
+            vec![
+                Decl::prop_false("Reply"),
+                Decl::for_props("x", set, "Run", false),
+                Decl::prop_false("failover"),
+                Decl::prop_false("nofailover"),
+                Decl::data("n"),
+                Decl::data("m"),
+                Decl::guard(Formula::prop("Reply").not()),
+            ],
+            seq([
+                host(&spec.ingest_hook),
+                save("n"),
+                call("RunBackend", vec![Arg::Junction(JRef::instance(s))]),
+                otherwise(
+                    scope(wait(["m"], Formula::prop("Reply"))),
+                    "t",
+                    Expr::Return,
+                ),
+                retract_local("Reply"),
+                restore("m"),
+                host(&spec.egress_hook),
+            ]),
+        )],
+    )
+}
+
 /// A back-end type; `cases_on_failover` distinguishes τs from τo.
 fn backend_type(
     spec: &WatchedSpec,
@@ -356,6 +395,69 @@ pub fn watched_failover(spec: &WatchedSpec) -> Program {
         .build()
 }
 
+/// The §7.4 architecture *minus the watchdog*: front plus both
+/// back-ends, fail-over arbitration delegated to an external supervisor
+/// ([`csaw_runtime::Runtime::supervise`]) instead of `τw`'s
+/// liveness-guarded junctions. With neither `failover` nor
+/// `nofailover` ever asserted, the front's case falls through to its
+/// default arm and engages both back-ends per request — the §7.2
+/// replicated mode — until a repair reconfigures it.
+pub fn supervised_failover(spec: &WatchedSpec) -> Program {
+    ProgramBuilder::new()
+        .ty(front_type(spec))
+        .ty(backend_type(spec, "tO", &spec.preferred, &spec.spare, false))
+        .ty(backend_type(spec, "tS", &spec.spare, &spec.preferred, true))
+        .instance(&spec.front, "tF")
+        .instance(&spec.preferred, "tO")
+        .instance(&spec.spare, "tS")
+        .func(run_backend_func())
+        .func(watch_func(spec))
+        .func(reply_func(spec))
+        .func(complain_func())
+        .main(
+            vec![p_timeout("t")],
+            seq([
+                par([
+                    start(&spec.preferred, vec![Arg::name("t")]),
+                    start(&spec.spare, vec![Arg::name("t")]),
+                ]),
+                start(&spec.front, vec![Arg::name("t")]),
+            ]),
+        )
+        .build()
+}
+
+/// The repair target after promotion: the front engages *only* the
+/// spare (now serving unconditionally, like a preferred back-end), and
+/// the partitioned-away preferred instance deliberately **stays in the
+/// program** as a zombie. Its guard is never re-asserted by the new
+/// front, but its pre-cut table state may keep its scheduler sending
+/// stale replies — which is exactly the traffic the supervisor's epoch
+/// fence must reject when the partition heals. Retiring it instead
+/// would make those sends a trace anomaly rather than a fenced
+/// non-event.
+pub fn promoted(spec: &WatchedSpec) -> Program {
+    ProgramBuilder::new()
+        .ty(front_type_promoted(spec))
+        .ty(backend_type(spec, "tO", &spec.preferred, &spec.spare, false))
+        .ty(backend_type(spec, "tS", &spec.spare, &spec.preferred, false))
+        .instance(&spec.front, "tF")
+        .instance(&spec.preferred, "tO")
+        .instance(&spec.spare, "tS")
+        .func(run_backend_func())
+        .func(watch_func(spec))
+        .func(reply_func(spec))
+        .func(complain_func())
+        .main(
+            vec![p_timeout("t")],
+            seq([
+                start(&spec.spare, vec![Arg::name("t")]),
+                start(&spec.front, vec![Arg::name("t")]),
+            ]),
+        )
+        .build()
+}
+
 /// Configure runtime policies: the front-end junction is request-driven
 /// (invoke per client request — "scheduled by the instance's application
 /// logic"), and the watchdog junctions poll liveness periodically.
@@ -396,6 +498,37 @@ mod tests {
             s
         };
         assert!(rendered.contains("nofailover"), "{rendered}");
+    }
+
+    #[test]
+    fn promoted_and_supervised_variants_compile() {
+        let spec = WatchedSpec::default();
+        let sup = csaw_core::compile(supervised_failover(&spec), &LoadConfig::new()).unwrap();
+        assert_eq!(sup.instances.len(), 3);
+        assert!(sup.instance("w").is_none());
+        let pro = csaw_core::compile(promoted(&spec), &LoadConfig::new()).unwrap();
+        assert_eq!(pro.instances.len(), 3);
+        // The zombie preferred back-end stays in the promoted program.
+        assert!(pro.instance("o").is_some());
+        // The promoted front has no failover case left: it runs the
+        // spare unconditionally.
+        let f = pro.instance("f").unwrap().junction("junction").unwrap();
+        let mut cases = 0;
+        f.body.walk(&mut |e| {
+            if matches!(e, Expr::Case { .. }) {
+                cases += 1;
+            }
+        });
+        assert_eq!(cases, 0);
+        // And the promoted spare replies unconditionally.
+        let s = pro.instance("s").unwrap().junction("junction").unwrap();
+        let mut s_cases = 0;
+        s.body.walk(&mut |e| {
+            if matches!(e, Expr::Case { .. }) {
+                s_cases += 1;
+            }
+        });
+        assert_eq!(s_cases, 0);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | [`chaos`] | chaos soak: fault-injected fail-over invariants |
 //! | [`conformance_runs`] | trace-conformance validation of the architecture catalogue |
 //! | [`reconfig_runs`] | live-reconfiguration downtime: four hot-swaps under traffic |
+//! | [`self_healing`] | supervisor MTTR: detect → plan → repair per failure class |
 //!
 //! Experiment durations are time-compressed relative to the paper's 120s
 //! runs; scale with `--seconds <n>` on each binary or the
@@ -32,6 +33,7 @@ pub mod exp_redis;
 pub mod exp_suricata;
 pub mod reconfig_runs;
 pub mod report;
+pub mod self_healing;
 
 /// Experiment duration (seconds), from `CSAW_EXP_SECONDS` or the default.
 pub fn exp_seconds(default: f64) -> f64 {

@@ -141,6 +141,11 @@ pub struct ShardFrontApp {
     mode: ShardMode,
     n_backends: usize,
     backend_prefix: String,
+    /// Explicit backend names overriding `backend_prefix` numbering —
+    /// the routing-side counterpart of `ShardingSpec::over`: after a
+    /// shard re-homing repair the survivor set (`[Bck1, Bck3]`) is not
+    /// expressible as prefix + contiguous index.
+    backends: Option<Vec<String>>,
     current: Option<Command>,
     /// "a custom table that maps keys to object sizes" (§5.2).
     size_table: HashMap<String, usize>,
@@ -155,8 +160,19 @@ impl ShardFrontApp {
             mode,
             n_backends,
             backend_prefix: "Bck".into(),
+            backends: None,
             current: None,
             size_table: HashMap::new(),
+        }
+    }
+
+    /// Build a front-end sharding over an explicit backend list (the
+    /// survivor set after a re-homing repair).
+    pub fn over(mode: ShardMode, backends: Vec<String>) -> ShardFrontApp {
+        ShardFrontApp {
+            n_backends: backends.len(),
+            backends: Some(backends),
+            ..ShardFrontApp::new(mode, 0)
         }
     }
 
@@ -189,7 +205,11 @@ impl InstanceApp for ShardFrontApp {
                 .ok_or("no pending request")?;
             let shard = self.route(&cmd);
             self.current = Some(cmd);
-            ctx.set_idx("tgt", &format!("{}{}", self.backend_prefix, shard + 1))?;
+            let target = match &self.backends {
+                Some(names) => names[shard].clone(),
+                None => format!("{}{}", self.backend_prefix, shard + 1),
+            };
+            ctx.set_idx("tgt", &target)?;
         }
         Ok(())
     }

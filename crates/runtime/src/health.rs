@@ -27,8 +27,15 @@ pub const HB_JUNCTION: &str = "__hb";
 pub struct HeartbeatConfig {
     /// Ping period.
     pub interval: Duration,
-    /// Silence longer than this makes a peer suspected.
+    /// Length of one silent window. A peer is suspected only after
+    /// `k_missed` *consecutive* windows with no ping heard.
     pub suspicion: Duration,
+    /// Hysteresis: how many consecutive silent windows it takes to
+    /// suspect a peer. One ping heard clears the count immediately. A
+    /// single jittered or dropped ping therefore never flips liveness
+    /// at the default of 2; values ≤ 1 restore the old single-window
+    /// behaviour.
+    pub k_missed: u32,
 }
 
 impl Default for HeartbeatConfig {
@@ -36,7 +43,16 @@ impl Default for HeartbeatConfig {
         HeartbeatConfig {
             interval: Duration::from_millis(25),
             suspicion: Duration::from_millis(150),
+            k_missed: 2,
         }
+    }
+}
+
+impl HeartbeatConfig {
+    /// Total silence it takes to suspect a peer:
+    /// `suspicion × max(k_missed, 1)`.
+    pub fn suspicion_after(&self) -> Duration {
+        self.suspicion.saturating_mul(self.k_missed.max(1))
     }
 }
 
@@ -130,7 +146,10 @@ impl HeartbeatState {
     /// Whether `observer` currently suspects `peer`. Read-only: an
     /// unwatched pair is simply not suspected (priming happens in
     /// [`HeartbeatState::watch`]), and config + clock are read under
-    /// one consistent snapshot.
+    /// one consistent snapshot. Suspicion requires `k_missed`
+    /// consecutive silent windows — since `record` resets the clock,
+    /// "k consecutive windows missed" is exactly "silent for
+    /// `suspicion × k`", and one heard ping clears it instantly.
     pub(crate) fn suspects(&self, observer: &str, peer: &str) -> bool {
         if !self.is_enabled() || observer == peer {
             return false;
@@ -140,9 +159,27 @@ impl HeartbeatState {
             .last_heard
             .get(&(observer.to_string(), peer.to_string()))
         {
-            Some(t) => t.elapsed() > inner.config.suspicion,
+            Some(t) => t.elapsed() > inner.config.suspicion_after(),
             None => false,
         }
+    }
+
+    /// The observers currently suspecting `peer`, for K-of-N repair
+    /// confirmation: a supervisor only trusts a suspicion shared by a
+    /// quorum of observers, so one observer's jittered link cannot
+    /// trigger a repair.
+    pub(crate) fn suspectors_of(&self, peer: &str) -> Vec<String> {
+        if !self.is_enabled() {
+            return Vec::new();
+        }
+        let inner = self.inner.lock();
+        let bar = inner.config.suspicion_after();
+        inner
+            .last_heard
+            .iter()
+            .filter(|((obs, p), t)| p == peer && obs != p && t.elapsed() > bar)
+            .map(|((obs, _), _)| obs.clone())
+            .collect()
     }
 }
 
@@ -162,6 +199,7 @@ mod tests {
         hb.enable(HeartbeatConfig {
             interval: Duration::from_millis(5),
             suspicion: Duration::from_millis(20),
+            k_missed: 1,
         });
         // Watching primes the clock; not suspected yet.
         hb.watch("a", "b");
@@ -180,6 +218,7 @@ mod tests {
         hb.enable(HeartbeatConfig {
             interval: Duration::from_millis(1),
             suspicion: Duration::ZERO,
+            k_missed: 1,
         });
         // suspects() is read-only: querying repeatedly never inserts a
         // clock, so an unwatched pair stays unsuspected forever even
@@ -195,6 +234,7 @@ mod tests {
         hb.enable(HeartbeatConfig {
             interval: Duration::from_millis(5),
             suspicion: Duration::from_millis(20),
+            k_missed: 1,
         });
         hb.watch("a", "b");
         std::thread::sleep(Duration::from_millis(30));
@@ -209,6 +249,7 @@ mod tests {
         hb.enable(HeartbeatConfig {
             interval: Duration::from_millis(5),
             suspicion: Duration::from_millis(20),
+            k_missed: 1,
         });
         hb.watch("a", "b");
         hb.watch("b", "a");
@@ -222,11 +263,52 @@ mod tests {
     }
 
     #[test]
+    fn hysteresis_needs_k_consecutive_silent_windows() {
+        let hb = HeartbeatState::new();
+        hb.enable(HeartbeatConfig {
+            interval: Duration::from_millis(5),
+            suspicion: Duration::from_millis(30),
+            k_missed: 2,
+        });
+        hb.watch("a", "b");
+        // One silent window is not enough under k_missed = 2 — the
+        // single-window detector (k_missed = 1) would already suspect.
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(!hb.suspects("a", "b"), "one window must not suspect");
+        // Two consecutive silent windows do it.
+        std::thread::sleep(Duration::from_millis(35));
+        assert!(hb.suspects("a", "b"));
+        // One heard ping clears the suspicion immediately, not after a
+        // decayed count.
+        hb.record("a", "b");
+        assert!(!hb.suspects("a", "b"));
+    }
+
+    #[test]
+    fn suspectors_of_lists_only_quorum_observers() {
+        let hb = HeartbeatState::new();
+        hb.enable(HeartbeatConfig {
+            interval: Duration::from_millis(5),
+            suspicion: Duration::from_millis(20),
+            k_missed: 1,
+        });
+        hb.watch("a", "b");
+        hb.watch("c", "b");
+        std::thread::sleep(Duration::from_millis(30));
+        // c heard b just now; only a still suspects.
+        hb.record("c", "b");
+        let mut who = hb.suspectors_of("b");
+        who.sort();
+        assert_eq!(who, vec!["a".to_string()]);
+    }
+
+    #[test]
     fn self_is_never_suspected() {
         let hb = HeartbeatState::new();
         hb.enable(HeartbeatConfig {
             interval: Duration::from_millis(1),
             suspicion: Duration::ZERO,
+            k_missed: 1,
         });
         assert!(!hb.suspects("a", "a"));
     }

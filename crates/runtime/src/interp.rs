@@ -419,6 +419,12 @@ impl<'rt> ExecCtx<'rt> {
                 }
                 match r {
                     Err(f) => {
+                        // Even when the handler recovers, the activation
+                        // counts toward the scheduler's failure backoff:
+                        // the underlying fault is still out there.
+                        self.jrt
+                            .handled_failures
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         // Observability: handled failures are recorded so
                         // operators can distinguish fail-over activity
                         // from silence.

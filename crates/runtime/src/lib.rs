@@ -35,6 +35,7 @@ pub mod health;
 pub mod interp;
 pub mod reconfig;
 pub mod runtime;
+pub mod supervisor;
 pub mod trace;
 pub mod transport;
 
@@ -44,5 +45,9 @@ pub use fault::{FaultPlan, FaultWindow, RetryPolicy};
 pub use health::HeartbeatConfig;
 pub use reconfig::{MigrationCtx, ReconfigReport, ReconfigSpec};
 pub use runtime::{InstanceStatus, Runtime, RuntimeConfig};
+pub use supervisor::{
+    FailureClass, RepairAction, RepairPolicy, RepairRecord, Supervisor, SupervisorConfig,
+    SupervisorStats,
+};
 pub use trace::{Metrics, TraceEvent, TraceKind, Tracer};
 pub use transport::{LinkKind, LinkStats, SendError};

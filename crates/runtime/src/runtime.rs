@@ -1,7 +1,7 @@
 //! The runtime facade: instances, scheduling, start/stop, faults.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU8, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -129,6 +129,13 @@ impl Default for RuntimeConfig {
     }
 }
 
+/// First delay after a failed autonomous activation; doubles per
+/// consecutive failure.
+const FAILURE_BACKOFF_BASE: Duration = Duration::from_millis(5);
+/// Backoff ceiling — a persistently failing junction retries at this
+/// cadence until its guard goes false or the failure clears.
+const FAILURE_BACKOFF_CAP: Duration = Duration::from_millis(200);
+
 /// Per-junction runtime record.
 pub(crate) struct JunctionRt {
     pub(crate) def: JunctionDef,
@@ -136,6 +143,21 @@ pub(crate) struct JunctionRt {
     pub(crate) policy: Mutex<Policy>,
     pub(crate) needs_initial: AtomicBool,
     pub(crate) last_run: Mutex<Option<Instant>>,
+    /// Consecutive autonomous-activation failures; resets on success.
+    pub(crate) consec_failures: AtomicU32,
+    /// Autonomous scheduling suppressed until this instant after a
+    /// failed activation (exponential, capped). A guard that stays true
+    /// while the body keeps failing — a fenced-out zombie retrying its
+    /// acks, a `complain` storm during a partition — would otherwise
+    /// respin the junction at wake speed. `invoke` is not throttled.
+    pub(crate) backoff_until: Mutex<Option<Instant>>,
+    /// Monotonic count of failures absorbed by `otherwise` handlers in
+    /// this junction's activations. An activation that completes Ok but
+    /// raised this counter still trips the failure backoff: the
+    /// architecture recovered (complained, retried), but the underlying
+    /// fault — a fenced link, a partitioned peer — is still there, and
+    /// re-running at wake speed would just spin on it.
+    pub(crate) handled_failures: AtomicU32,
     /// Shared identity strings for trace recording (no per-event clone).
     pub(crate) trace_instance: Arc<str>,
     pub(crate) trace_junction: Arc<str>,
@@ -563,6 +585,7 @@ impl RuntimeInner {
         let started = Instant::now();
         inst.activations.fetch_add(1, Ordering::Relaxed);
         self.m_activations.fetch_add(1, Ordering::Relaxed);
+        let handled_before = jrt.handled_failures.load(Ordering::Relaxed);
         let result = {
             let mut retries = 0u32;
             loop {
@@ -594,9 +617,22 @@ impl RuntimeInner {
         *jrt.last_run.lock() = Some(Instant::now());
         jrt.cell.nudge();
         inst.wake();
+        let absorbed = jrt.handled_failures.load(Ordering::Relaxed) != handled_before;
         match result {
-            Ok(()) => Ok(true),
+            Ok(()) => {
+                if absorbed {
+                    // Completed only by absorbing failures in `otherwise`
+                    // handlers — back off before re-running on the same
+                    // (still-faulty) world, but report success.
+                    self.arm_failure_backoff(jrt);
+                } else {
+                    jrt.consec_failures.store(0, Ordering::Relaxed);
+                    *jrt.backoff_until.lock() = None;
+                }
+                Ok(true)
+            }
             Err(f) => {
+                self.arm_failure_backoff(jrt);
                 self.record_event(
                     &inst.name,
                     &jrt.def.name,
@@ -608,12 +644,31 @@ impl RuntimeInner {
         }
     }
 
+    /// Bump the consecutive-failure count and push the junction's
+    /// autonomous-scheduling backoff out exponentially (capped).
+    fn arm_failure_backoff(&self, jrt: &JunctionRt) {
+        let n = jrt.consec_failures.fetch_add(1, Ordering::Relaxed).min(6);
+        let delay = FAILURE_BACKOFF_BASE
+            .saturating_mul(1 << n)
+            .min(FAILURE_BACKOFF_CAP);
+        *jrt.backoff_until.lock() = Some(Instant::now() + delay);
+    }
+
     /// One scheduler pass over one junction: run it if due. Returns
     /// whether it ran. "When an instance is started, its junctions are
     /// started concurrently" (§6) — each junction has its own scheduler
     /// thread so a blocked `wait` in one junction (e.g. a watchdog's
     /// inactivity window) never starves its siblings.
     fn scheduler_pass(self: &Arc<Self>, inst: &Arc<InstanceState>, jrt: &Arc<JunctionRt>) -> bool {
+        // Failure backoff: a junction whose last autonomous activation
+        // failed is not re-scheduled until its backoff elapses.
+        if jrt
+            .backoff_until
+            .lock()
+            .is_some_and(|t| Instant::now() < t)
+        {
+            return false;
+        }
         let due = {
             let policy = *jrt.policy.lock();
             match policy {
@@ -664,7 +719,13 @@ impl RuntimeInner {
 /// The C-Saw runtime: build from a compiled program, bind apps, run.
 pub struct Runtime {
     pub(crate) inner: Arc<RuntimeInner>,
-    pub(crate) threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    pub(crate) threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    /// Only the handle returned by [`Runtime::new`] shuts the runtime
+    /// down on drop. Internal clones (see [`Runtime::handle`]) live on
+    /// background threads; if their drop ran `shutdown` they would tear
+    /// the runtime down from inside it — and deadlock joining their own
+    /// thread.
+    pub(crate) primary: bool,
 }
 
 impl Runtime {
@@ -778,7 +839,20 @@ impl Runtime {
         for inst in inner.all_instances() {
             threads.extend(spawn_schedulers(&inner, &inst));
         }
-        Runtime { inner, threads: Mutex::new(threads) }
+        Runtime { inner, threads: Arc::new(Mutex::new(threads)), primary: true }
+    }
+
+    /// A second handle onto the same runtime, for background services
+    /// (the supervisor thread) that must call `&self` methods like
+    /// [`Runtime::reconfigure`] without borrowing the original. Crate
+    /// internal: the clone is non-primary — dropping it never shuts the
+    /// runtime down.
+    pub(crate) fn handle(&self) -> Runtime {
+        Runtime {
+            inner: Arc::clone(&self.inner),
+            threads: Arc::clone(&self.threads),
+            primary: false,
+        }
     }
 
     /// Bind an application to an instance (before `run_main`).
@@ -969,10 +1043,26 @@ impl Runtime {
     }
 
     /// Fault injection: crash an instance. Sends to it fail, its
-    /// scheduler parks, its app is notified.
+    /// scheduler parks, its app is notified. Idempotent and race-safe:
+    /// the Running → Crashed transition is a compare-exchange, so of any
+    /// number of concurrent `crash` calls exactly one performs the app
+    /// callback and event/trace records, and crashing an instance that
+    /// is not running (already crashed, stopped, mid-restart) is a
+    /// no-op rather than stomping the registry status.
     pub fn crash(&self, instance: &str) {
         if let Some(inst) = self.inner.get_instance(instance) {
-            inst.status.store(InstanceStatus::Crashed as u8, Ordering::SeqCst);
+            if inst
+                .status
+                .compare_exchange(
+                    InstanceStatus::Running as u8,
+                    InstanceStatus::Crashed as u8,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
+                .is_err()
+            {
+                return;
+            }
             inst.app.lock().on_stop();
             self.inner.record_event(instance, "-", "crash", String::new());
             self.inner.tracer.record(instance, "-", 0, TraceKind::Crash);
@@ -981,25 +1071,81 @@ impl Runtime {
     }
 
     /// Restart a crashed/stopped instance, preserving its bound
-    /// parameters (checkpoint-restart experiments).
+    /// parameters (checkpoint-restart experiments). Idempotent and
+    /// race-safe against a concurrent supervisor repair: restarting an
+    /// already-running instance is `Ok` (someone else won the race and
+    /// the desired state holds), of several concurrent restarts exactly
+    /// one (the CAS winner) runs the side effects, and only a retired
+    /// instance — gone from the topology for good — is an error.
     pub fn restart(&self, instance: &str) -> Result<(), Failure> {
         let inst = self.inner.instance(instance)?;
-        if inst.status() == InstanceStatus::Running {
-            return Err(Failure::StartStop(format!("`{instance}` already running")));
+        loop {
+            let cur = inst.status();
+            match cur {
+                InstanceStatus::Running => return Ok(()),
+                InstanceStatus::Retired => {
+                    return Err(Failure::StartStop(format!("`{instance}` is retired")))
+                }
+                _ => {}
+            }
+            if inst
+                .status
+                .compare_exchange(
+                    cur as u8,
+                    InstanceStatus::Running as u8,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
+                .is_ok()
+            {
+                break;
+            }
+            // Lost the race — somebody crashed/stopped/restarted it
+            // between our read and the CAS. Re-read and re-decide.
         }
         for jrt in &inst.junctions {
             jrt.needs_initial.store(true, Ordering::SeqCst);
         }
-        inst.status.store(InstanceStatus::Running as u8, Ordering::SeqCst);
         inst.app.lock().on_start();
         // Re-prime the failure detector: every observer that accumulated
         // silence while the instance was down grants it a fresh suspicion
         // window, instead of keeping it suspected until the next ping.
         self.inner.hb.reprime(instance);
+        // Lift the supervisor fence, if any: a restart is an explicit
+        // re-admission, so the instance's sends resume at the current
+        // fence floor instead of being rejected as stale.
+        self.inner.network.admit_instance(instance);
         self.inner.record_event(instance, "-", "restart", String::new());
         self.inner.tracer.record(instance, "-", 0, TraceKind::Restart);
         self.inner.wake_all();
         Ok(())
+    }
+
+    /// Fence an instance out at the current supervisor epoch: raise the
+    /// network's fence floor above its stamp so its in-flight and future
+    /// sends are rejected until it is re-admitted (by [`Runtime::restart`]
+    /// or [`Runtime::admit_instance`]). Returns the new floor. Heartbeat
+    /// pings deliberately pass the fence so a fenced instance's liveness
+    /// stays observable.
+    pub fn fence_instance(&self, instance: &str) -> u64 {
+        self.inner.network.fence_instance(instance)
+    }
+
+    /// Re-admit a fenced instance: its sends stamp the current floor and
+    /// pass the fence again. Returns the epoch its sends now carry.
+    pub fn admit_instance(&self, instance: &str) -> u64 {
+        self.inner.network.admit_instance(instance)
+    }
+
+    /// Whether an instance is currently fenced out.
+    pub fn is_fenced(&self, instance: &str) -> bool {
+        self.inner.network.is_fenced(instance)
+    }
+
+    /// Toggle epoch fencing (ablations: the split-brain test proves the
+    /// fence matters by failing with it off). On by default.
+    pub fn set_fencing(&self, enabled: bool) {
+        self.inner.network.set_fencing(enabled);
     }
 
     /// Access an instance's app (e.g. to query a substrate store).
@@ -1116,7 +1262,9 @@ impl Runtime {
 
 impl Drop for Runtime {
     fn drop(&mut self) {
-        self.shutdown();
+        if self.primary {
+            self.shutdown();
+        }
     }
 }
 
@@ -1152,6 +1300,9 @@ pub(crate) fn build_instance_state(
             policy: Mutex::new(policy),
             needs_initial: AtomicBool::new(false),
             last_run: Mutex::new(None),
+            consec_failures: AtomicU32::new(0),
+            backoff_until: Mutex::new(None),
+            handled_failures: AtomicU32::new(0),
             trace_instance,
             trace_junction,
         }));

@@ -1,0 +1,680 @@
+//! Self-healing supervision: an automatic detect → plan → act → verify
+//! repair loop closing over the runtime's own failure detector and live
+//! reconfiguration engine.
+//!
+//! The paper's fail-over architectures (§5/§7) encode *what* the
+//! degraded topology is, but leave *noticing* the failure and *driving*
+//! the transition to a human. [`crate::Runtime::supervise`] closes that
+//! loop: a monitor thread polls the heartbeat detector's
+//! observer-relative suspicions and the instance registry, classifies
+//! anomalies into failure classes, consults a user-registered
+//! [`RepairPolicy`] for an escalation ladder of [`RepairAction`]s, and
+//! executes the chosen repair through the phased
+//! [`crate::Runtime::reconfigure`] — with bounded-backoff retry on
+//! post-cut migration errors — before verifying the system converged
+//! back to health.
+//!
+//! ## Loop phases
+//!
+//! 1. **Detect.** Each poll classifies every supervised instance:
+//!    registry status `Crashed` is an immediate *crash* (the registry
+//!    is authoritative in-process); a `Running` instance suspected by
+//!    at least [`SupervisorConfig::quorum`] live observers for
+//!    [`SupervisorConfig::confirm_polls`] consecutive polls is a
+//!    *partition*; suspected by at least one but fewer than a quorum is
+//!    a *slow peer*. K-of-N quorum plus the detector's own `k_missed`
+//!    hysteresis means one jittered ping on one link can never trigger
+//!    a repair.
+//! 2. **Plan.** The instance's position on the policy's escalation
+//!    ladder picks the action. A failure recurring within
+//!    [`SupervisorConfig::cooldown`] of the previous repair — or
+//!    following a failed one — escalates one rung (anti-flapping:
+//!    restart → failover → quarantine instead of restart-storms).
+//! 3. **Act.** [`RepairAction::Restart`] re-admits in place;
+//!    [`RepairAction::Reconfigure`] first *fences* the failed instance
+//!    (bumping the supervisor epoch carried in the high bits of every
+//!    send's sequence number, so a partitioned-away zombie can neither
+//!    ack writes nor be double-promoted), then drives
+//!    `Runtime::reconfigure` toward the policy-built target program,
+//!    retrying with bounded backoff while the report carries a
+//!    [`crate::ReconfigReport::migration_error`];
+//!    [`RepairAction::Quarantine`] fences and writes the instance off.
+//! 4. **Verify.** The loop waits up to
+//!    [`SupervisorConfig::verify_timeout`] for quorum health (and an
+//!    optional policy predicate) before declaring the repair done.
+//!
+//! Every phase emits a `repair_*` trace event keyed by a monotonic
+//! repair id, so `csaw-semantics` can validate the detect → plan →
+//! (fence) → verify → done/failed ordering and check per-epoch
+//! conformance across the program chain the repairs installed
+//! ([`Supervisor::programs`]).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use csaw_core::program::CompiledProgram;
+
+use crate::reconfig::ReconfigSpec;
+use crate::runtime::{InstanceStatus, Runtime};
+use crate::trace::TraceKind;
+
+/// What kind of failure the detector confirmed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FailureClass {
+    /// The registry says the instance crashed (in-process authoritative).
+    Crash,
+    /// A quorum of live observers stopped hearing the instance: it is
+    /// (or behaves as) partitioned away.
+    Partition,
+    /// A minority of observers persistently suspect it: reachable from
+    /// some vantage points, silent from others.
+    Slow,
+}
+
+impl FailureClass {
+    /// Stable label used in `repair_detect` trace events and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FailureClass::Crash => "crash",
+            FailureClass::Partition => "partition",
+            FailureClass::Slow => "slow",
+        }
+    }
+}
+
+/// A hook run against the runtime after a restart repair (e.g. to
+/// trigger the §7 checkpoint-restore protocol by asserting `NeedState`
+/// at the restarted primary's recovery junction). Receives the runtime
+/// and the repaired instance's name.
+pub type RepairHook = Arc<dyn Fn(&Runtime, &str) + Send + Sync>;
+
+/// Builds the repair target for a [`RepairAction::Reconfigure`]: given
+/// the runtime and the failed instance, return the program to
+/// reconfigure to and the spec (apps, starts, migration) to do it with.
+/// Re-invoked on every retry, so it can adapt to the current state.
+pub type RebuildFn =
+    Arc<dyn Fn(&Runtime, &str) -> (CompiledProgram, ReconfigSpec) + Send + Sync>;
+
+/// Application-level convergence predicate required by the verify phase
+/// on top of quorum health (see [`RepairPolicy::verify_with`]).
+pub type VerifyFn = Arc<dyn Fn(&Runtime) -> bool + Send + Sync>;
+
+/// One rung of a repair ladder.
+#[derive(Clone)]
+pub enum RepairAction {
+    /// Restart the instance in place ([`Runtime::restart`]): preserves
+    /// bound parameters, re-primes the failure detector, re-admits the
+    /// instance past the fence.
+    Restart,
+    /// Restart, then run a hook (checkpoint restore, cache warm-up).
+    RestartThen(RepairHook),
+    /// Fence the failed instance out, then live-reconfigure to the
+    /// program the builder returns (fail-over promotion, shard
+    /// re-homing). The instance is written off: excluded from detection
+    /// until observed healthy again.
+    Reconfigure(RebuildFn),
+    /// Last resort: fence the instance out and stop repairing it. The
+    /// system keeps running degraded; a human (or test) re-admits.
+    Quarantine,
+}
+
+impl RepairAction {
+    /// Stable label used in `repair_plan` trace events and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RepairAction::Restart | RepairAction::RestartThen(_) => "restart",
+            RepairAction::Reconfigure(_) => "reconfigure",
+            RepairAction::Quarantine => "quarantine",
+        }
+    }
+}
+
+/// Maps failure classes to escalation ladders of repairs.
+///
+/// The ladder index is the escalation rung: first failure runs rung 0,
+/// a recurrence within the cooldown (or after a failed repair) runs the
+/// next rung, clamped at the last. A class with no ladder is detected
+/// (trace event, stats) but never repaired.
+#[derive(Clone, Default)]
+pub struct RepairPolicy {
+    ladders: HashMap<FailureClass, Vec<RepairAction>>,
+    verify: Option<VerifyFn>,
+}
+
+impl RepairPolicy {
+    /// An empty policy: detection only, no repairs.
+    pub fn new() -> RepairPolicy {
+        RepairPolicy::default()
+    }
+
+    /// Register the escalation ladder for a failure class.
+    pub fn on(mut self, class: FailureClass, ladder: Vec<RepairAction>) -> RepairPolicy {
+        self.ladders.insert(class, ladder);
+        self
+    }
+
+    /// Additional application-level convergence predicate the verify
+    /// phase requires on top of quorum health (e.g. "the promoted
+    /// backup answers a probe request").
+    pub fn verify_with(
+        mut self,
+        f: impl Fn(&Runtime) -> bool + Send + Sync + 'static,
+    ) -> RepairPolicy {
+        self.verify = Some(Arc::new(f));
+        self
+    }
+
+    /// The classic ladder of the issue: crash and slow restart then
+    /// quarantine; a partitioned instance goes straight to quarantine
+    /// (restarting an unreachable peer cannot help, and no generic
+    /// fail-over target exists without an application builder).
+    pub fn conservative() -> RepairPolicy {
+        RepairPolicy::new()
+            .on(
+                FailureClass::Crash,
+                vec![RepairAction::Restart, RepairAction::Quarantine],
+            )
+            .on(FailureClass::Slow, vec![RepairAction::Restart])
+            .on(FailureClass::Partition, vec![RepairAction::Quarantine])
+    }
+}
+
+/// Supervisor tuning. The policy rides along so
+/// [`Runtime::supervise`] stays a one-argument call.
+#[derive(Clone)]
+pub struct SupervisorConfig {
+    /// Detection poll period.
+    pub poll: Duration,
+    /// K in K-of-N: how many live observers must suspect an instance
+    /// before silence counts as a partition.
+    pub quorum: usize,
+    /// Consecutive polls a suspicion-based anomaly (partition/slow)
+    /// must persist before a repair fires. Crashes skip this: the
+    /// registry is authoritative.
+    pub confirm_polls: u32,
+    /// Attempts per `Reconfigure` repair (first try included).
+    pub max_retries: u32,
+    /// Base retry backoff, doubled per attempt.
+    pub backoff: Duration,
+    /// Escalation window: a failure of the same instance within this
+    /// span of its last repair runs the next rung of the ladder.
+    pub cooldown: Duration,
+    /// How long the verify phase waits for convergence.
+    pub verify_timeout: Duration,
+    /// What to do about each failure class.
+    pub policy: RepairPolicy,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            poll: Duration::from_millis(25),
+            quorum: 2,
+            confirm_polls: 2,
+            max_retries: 3,
+            backoff: Duration::from_millis(50),
+            cooldown: Duration::from_secs(2),
+            verify_timeout: Duration::from_secs(1),
+            policy: RepairPolicy::conservative(),
+        }
+    }
+}
+
+/// Accounting for one completed (or abandoned) repair.
+#[derive(Clone, Debug)]
+pub struct RepairRecord {
+    /// Monotonic id tying this record to its `repair_*` trace events.
+    pub id: u64,
+    /// The failed instance.
+    pub instance: String,
+    /// What the detector confirmed.
+    pub class: FailureClass,
+    /// Label of the action taken (`restart`/`reconfigure`/`quarantine`).
+    pub action: &'static str,
+    /// Escalation rung the action was taken from (0 = first resort).
+    pub rung: usize,
+    /// Reconfigure attempts spent (0 for non-reconfigure repairs).
+    pub attempts: u32,
+    /// Whether the verify phase declared convergence.
+    pub ok: bool,
+    /// When the anomaly was first seen by the detector poll.
+    pub detected_at: Instant,
+    /// When the repair terminated (done or failed).
+    pub done_at: Instant,
+    /// First-seen → confirmed-and-planned latency.
+    pub detect_latency: Duration,
+    /// Plan → verified latency (the act + verify part of MTTR).
+    pub repair_latency: Duration,
+    /// Longest per-instance pause any reconfigure attempt caused
+    /// (zero for restarts).
+    pub reconfig_pause: Duration,
+    /// Fence floor installed for this repair, if the action fenced.
+    pub fence_epoch: Option<u64>,
+}
+
+impl RepairRecord {
+    /// The supervisor's view of MTTR: anomaly first seen → repair
+    /// verified. (A bench measuring from fault *injection* adds the
+    /// detector's silence window on top.)
+    pub fn mttr(&self) -> Duration {
+        self.done_at.saturating_duration_since(self.detected_at)
+    }
+}
+
+/// Monotonic counters over the supervisor's lifetime.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SupervisorStats {
+    /// Anomalies confirmed (including classes with no ladder).
+    pub detected: u64,
+    /// Repairs attempted.
+    pub attempted: u64,
+    /// Repairs that passed verification.
+    pub succeeded: u64,
+    /// Repairs that failed (retries exhausted or verify timed out).
+    pub failed: u64,
+    /// Rung advances (anti-flapping escalations).
+    pub escalations: u64,
+    /// Instances currently quarantined.
+    pub quarantined: u64,
+}
+
+#[derive(Default)]
+struct Shared {
+    stop: AtomicBool,
+    next_id: AtomicU64,
+    records: Mutex<Vec<RepairRecord>>,
+    stats: Mutex<SupervisorStats>,
+    /// Programs installed by successful `Reconfigure` repairs, in cut
+    /// order — the epoch chain a multi-epoch conformance check needs.
+    programs: Mutex<Vec<CompiledProgram>>,
+    quarantined: Mutex<HashSet<String>>,
+}
+
+/// Handle to a running supervisor (returned by [`Runtime::supervise`]).
+/// Dropping it does *not* stop the loop; call [`Supervisor::stop`], or
+/// let runtime shutdown end it.
+pub struct Supervisor {
+    shared: Arc<Shared>,
+}
+
+impl Supervisor {
+    /// Ask the monitor thread to exit after its current poll. The
+    /// thread itself is parked in the runtime's thread list and joined
+    /// by [`Runtime::shutdown`].
+    pub fn stop(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Snapshot of all repair records so far.
+    pub fn records(&self) -> Vec<RepairRecord> {
+        self.shared.records.lock().clone()
+    }
+
+    /// Snapshot of the lifetime counters.
+    pub fn stats(&self) -> SupervisorStats {
+        *self.shared.stats.lock()
+    }
+
+    /// The programs successful `Reconfigure` repairs installed, in cut
+    /// order. Together with the boot program this is the epoch chain
+    /// for cross-epoch conformance checking of the run's trace.
+    pub fn programs(&self) -> Vec<CompiledProgram> {
+        self.shared.programs.lock().clone()
+    }
+
+    /// Whether the supervisor has quarantined this instance.
+    pub fn is_quarantined(&self, instance: &str) -> bool {
+        self.shared.quarantined.lock().contains(instance)
+    }
+}
+
+/// A candidate anomaly accumulating confirmation polls.
+struct Pending {
+    class: FailureClass,
+    first_seen: Instant,
+    polls: u32,
+}
+
+/// Per-instance escalation-ladder position.
+struct LadderState {
+    rung: usize,
+    last_repair: Instant,
+    last_failed: bool,
+}
+
+impl Runtime {
+    /// Start the self-healing supervisor: spawns a monitor thread
+    /// running the detect → plan → act → verify loop described in
+    /// [`crate::supervisor`]. The thread joins on [`Runtime::shutdown`];
+    /// use the returned [`Supervisor`] handle to stop it earlier or to
+    /// read repair records, stats, and the installed-program chain.
+    ///
+    /// Heartbeats should already be enabled
+    /// ([`Runtime::enable_heartbeats`]) — without them only registry
+    /// crashes are detectable.
+    pub fn supervise(&self, config: SupervisorConfig) -> Supervisor {
+        let shared = Arc::new(Shared::default());
+        let thread_shared = Arc::clone(&shared);
+        let rt = self.handle();
+        let handle = std::thread::Builder::new()
+            .name("csaw-supervisor".into())
+            .spawn(move || supervise_loop(rt, config, thread_shared))
+            .expect("spawn supervisor monitor");
+        self.threads.lock().push(handle);
+        Supervisor { shared }
+    }
+}
+
+/// Observers that currently suspect `peer` *and* are themselves alive
+/// and trustworthy: a crashed or quarantined observer's heartbeat
+/// clocks go stale on everyone, so counting it would let one dead node
+/// "confirm" a partition of every healthy peer.
+fn live_suspectors(rt: &Runtime, peer: &str, ignore: &HashSet<String>) -> usize {
+    rt.inner
+        .hb
+        .suspectors_of(peer)
+        .into_iter()
+        .filter(|obs| {
+            !ignore.contains(obs)
+                && rt
+                    .inner
+                    .get_instance(obs)
+                    .is_some_and(|i| i.status() == InstanceStatus::Running)
+        })
+        .count()
+}
+
+fn supervise_loop(rt: Runtime, config: SupervisorConfig, shared: Arc<Shared>) {
+    let mut pending: HashMap<String, Pending> = HashMap::new();
+    let mut ladders: HashMap<String, LadderState> = HashMap::new();
+    // Instances handed to a Reconfigure repair (or quarantined): the
+    // new program already routes around them, so re-detecting their
+    // silence would only fire useless repairs. They re-enter detection
+    // once observed healthy.
+    let mut written_off: HashSet<String> = HashSet::new();
+
+    while !rt.inner.shutdown.load(Ordering::SeqCst)
+        && !shared.stop.load(Ordering::SeqCst)
+    {
+        let excluded: HashSet<String> = written_off
+            .iter()
+            .cloned()
+            .chain(shared.quarantined.lock().iter().cloned())
+            .collect();
+
+        // Written-off instances that came back healthy re-enter
+        // detection (quarantine is sticky until someone re-admits).
+        written_off.retain(|name| {
+            let healthy = rt
+                .inner
+                .get_instance(name)
+                .is_some_and(|i| i.status() == InstanceStatus::Running)
+                && live_suspectors(&rt, name, &excluded) == 0
+                && !rt.is_fenced(name);
+            !healthy
+        });
+
+        // ---- detect ---------------------------------------------------
+        let mut confirmed: Vec<(String, Pending)> = Vec::new();
+        for inst in rt.inner.all_instances() {
+            let name = inst.name.clone();
+            if excluded.contains(&name) {
+                continue;
+            }
+            let class = match inst.status() {
+                InstanceStatus::Crashed => Some(FailureClass::Crash),
+                InstanceStatus::Running => {
+                    let n = live_suspectors(&rt, &name, &excluded);
+                    if n >= config.quorum {
+                        Some(FailureClass::Partition)
+                    } else if n >= 1 {
+                        Some(FailureClass::Slow)
+                    } else {
+                        None
+                    }
+                }
+                // Stopped is an orderly state, Retired left the
+                // topology, NotStarted never entered it.
+                _ => None,
+            };
+            let Some(class) = class else {
+                pending.remove(&name);
+                continue;
+            };
+            let p = pending.entry(name.clone()).or_insert(Pending {
+                class,
+                first_seen: Instant::now(),
+                polls: 0,
+            });
+            if p.class != class {
+                // The anomaly changed shape (e.g. slow → partition as
+                // more observers time out): restart confirmation but
+                // keep the original onset for honest MTTR accounting.
+                p.class = class;
+                p.polls = 0;
+            }
+            p.polls += 1;
+            let confirm = match class {
+                FailureClass::Crash => 1,
+                _ => config.confirm_polls.max(1),
+            };
+            if p.polls >= confirm {
+                let p = pending.remove(&name).expect("pending entry");
+                confirmed.push((name, p));
+            }
+        }
+
+        // ---- plan + act + verify (one repair at a time) ---------------
+        for (name, p) in confirmed {
+            shared.stats.lock().detected += 1;
+            let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+            rt.inner.tracer.record(
+                &name,
+                "-",
+                0,
+                TraceKind::RepairDetect { class: p.class.label().into(), id },
+            );
+            let Some(ladder) = config.policy.ladders.get(&p.class) else {
+                continue;
+            };
+            if ladder.is_empty() {
+                continue;
+            }
+
+            // Escalation: a recurrence inside the cooldown, or any
+            // failure after a failed repair, climbs one rung.
+            let now = Instant::now();
+            let rung = match ladders.get_mut(&name) {
+                Some(st) => {
+                    if st.last_failed
+                        || now.saturating_duration_since(st.last_repair) < config.cooldown
+                    {
+                        st.rung = (st.rung + 1).min(ladder.len() - 1);
+                        shared.stats.lock().escalations += 1;
+                        rt.inner.tracer.record(
+                            &name,
+                            "-",
+                            0,
+                            TraceKind::RepairEscalate { rung: st.rung as u64, id },
+                        );
+                    } else {
+                        st.rung = 0;
+                    }
+                    st.rung
+                }
+                None => {
+                    ladders.insert(
+                        name.clone(),
+                        LadderState { rung: 0, last_repair: now, last_failed: false },
+                    );
+                    0
+                }
+            };
+            let action = &ladder[rung.min(ladder.len() - 1)];
+            rt.inner.tracer.record(
+                &name,
+                "-",
+                0,
+                TraceKind::RepairPlan {
+                    action: action.label().into(),
+                    id,
+                    rung: rung as u64,
+                },
+            );
+            shared.stats.lock().attempted += 1;
+            let detect_latency = now.saturating_duration_since(p.first_seen);
+
+            // ---- act --------------------------------------------------
+            let mut attempts = 0u32;
+            let mut reconfig_pause = Duration::ZERO;
+            let mut fence_epoch = None;
+            let mut acted = true;
+            match action {
+                RepairAction::Restart | RepairAction::RestartThen(_) => {
+                    acted = rt.restart(&name).is_ok();
+                    if acted {
+                        if let RepairAction::RestartThen(hook) = action {
+                            hook(&rt, &name);
+                        }
+                    }
+                }
+                RepairAction::Reconfigure(build) => {
+                    let epoch = rt.fence_instance(&name);
+                    fence_epoch = Some(epoch);
+                    rt.inner.tracer.record(
+                        &name,
+                        "-",
+                        0,
+                        TraceKind::RepairFence { epoch, id },
+                    );
+                    acted = false;
+                    while attempts < config.max_retries.max(1) {
+                        if attempts > 0 {
+                            // Bounded backoff: base × 2^(attempt-1).
+                            std::thread::sleep(config.backoff * (1 << (attempts - 1)));
+                        }
+                        attempts += 1;
+                        let (target, spec) = build(&rt, &name);
+                        match rt.reconfigure(&target, spec) {
+                            Ok(report) => {
+                                reconfig_pause = reconfig_pause.max(report.max_pause());
+                                if report.migration_error.is_none() {
+                                    shared.programs.lock().push(target);
+                                    acted = true;
+                                    break;
+                                }
+                                // Post-cut failure: the target program
+                                // is serving but migration is partial.
+                                // The rebuilt spec of the next attempt
+                                // sees (and can finish) that state.
+                            }
+                            Err(_) => {
+                                // Pre-cut failure: nothing applied,
+                                // retry from scratch.
+                            }
+                        }
+                    }
+                    written_off.insert(name.clone());
+                }
+                RepairAction::Quarantine => {
+                    let epoch = rt.fence_instance(&name);
+                    fence_epoch = Some(epoch);
+                    rt.inner.tracer.record(
+                        &name,
+                        "-",
+                        0,
+                        TraceKind::RepairFence { epoch, id },
+                    );
+                    shared.quarantined.lock().insert(name.clone());
+                    shared.stats.lock().quarantined += 1;
+                }
+            }
+
+            // ---- verify -----------------------------------------------
+            let deadline = Instant::now() + config.verify_timeout;
+            let mut ok = false;
+            while acted && !ok {
+                let excluded: HashSet<String> = written_off
+                    .iter()
+                    .cloned()
+                    .chain(shared.quarantined.lock().iter().cloned())
+                    .collect();
+                let healthy = match action {
+                    RepairAction::Restart | RepairAction::RestartThen(_) => {
+                        rt.inner
+                            .get_instance(&name)
+                            .is_some_and(|i| i.status() == InstanceStatus::Running)
+                            && live_suspectors(&rt, &name, &excluded) < config.quorum
+                    }
+                    // The failed instance is out of the topology: the
+                    // survivors must all be quorum-healthy.
+                    RepairAction::Reconfigure(_) => rt
+                        .inner
+                        .all_instances()
+                        .iter()
+                        .filter(|i| {
+                            !excluded.contains(&i.name)
+                                && i.status() == InstanceStatus::Running
+                        })
+                        .all(|i| live_suspectors(&rt, &i.name, &excluded) < config.quorum),
+                    RepairAction::Quarantine => rt.is_fenced(&name),
+                };
+                ok = healthy
+                    && config.policy.verify.as_ref().is_none_or(|f| f(&rt));
+                if !ok {
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                    std::thread::sleep(config.poll.min(Duration::from_millis(5)));
+                }
+            }
+            rt.inner
+                .tracer
+                .record(&name, "-", 0, TraceKind::RepairVerify { ok, id });
+
+            let done_at = Instant::now();
+            if ok {
+                shared.stats.lock().succeeded += 1;
+                rt.inner.tracer.record(
+                    &name,
+                    "-",
+                    0,
+                    TraceKind::RepairDone {
+                        id,
+                        mttr_us: done_at
+                            .saturating_duration_since(p.first_seen)
+                            .as_micros() as u64,
+                    },
+                );
+            } else {
+                shared.stats.lock().failed += 1;
+                rt.inner.tracer.record(&name, "-", 0, TraceKind::RepairFailed { id });
+            }
+            if let Some(st) = ladders.get_mut(&name) {
+                st.last_repair = done_at;
+                st.last_failed = !ok;
+            }
+            shared.records.lock().push(RepairRecord {
+                id,
+                instance: name.clone(),
+                class: p.class,
+                action: action.label(),
+                rung,
+                attempts,
+                ok,
+                detected_at: p.first_seen,
+                done_at,
+                detect_latency,
+                repair_latency: done_at.saturating_duration_since(now),
+                reconfig_pause,
+                fence_epoch,
+            });
+        }
+
+        std::thread::sleep(config.poll);
+    }
+}

@@ -41,6 +41,7 @@
 //! | `link_dup`        | `to`, `seq` |
 //! | `link_partition`  | `to`, `seq` |
 //! | `link_dedup`      | `from`, `seq` |
+//! | `link_fenced`     | `from`, `seq` (fence epoch in the high bits) |
 //! | `link_hb`         | `to` |
 //! | `crash` / `restart` | — |
 //! | `reconfig_plan`    | `n` (footprint size: instances to touch) |
@@ -49,6 +50,13 @@
 //! | `reconfig_cut`     | — (registry swapped; epoch boundary for conformance) |
 //! | `reconfig_resume`  | `n` (buffered updates flushed into `i`) |
 //! | `reconfig_done`    | `n` (total migrated bytes) |
+//! | `repair_detect`    | `to` (failure class), `n` (repair id) |
+//! | `repair_plan`      | `to` (action), `n` (repair id), `seq` (rung) |
+//! | `repair_fence`     | `seq` (fence epoch), `n` (repair id) |
+//! | `repair_verify`    | `ok`, `n` (repair id) |
+//! | `repair_done`      | `n` (repair id), `seq` (detect→done µs) |
+//! | `repair_failed`    | `n` (repair id) |
+//! | `repair_escalate`  | `seq` (rung escalated to), `n` (repair id) |
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -118,6 +126,14 @@ pub enum TraceKind {
         /// Suppressed sequence number.
         seq: u64,
     },
+    /// The supervisor epoch fence rejected a send from a fenced-out
+    /// instance (at send time, or at delivery for in-flight traffic).
+    LinkFenced {
+        /// Fenced sender instance.
+        from: Arc<str>,
+        /// Rejected sequence number (fence epoch in the high bits).
+        seq: u64,
+    },
     /// A heartbeat ping was sent.
     LinkHeartbeat {
         /// Target instance.
@@ -157,6 +173,63 @@ pub enum TraceKind {
     ReconfigDone {
         /// Total snapshot bytes migrated across all junctions.
         bytes: u64,
+    },
+    /// The supervisor confirmed a failure (detect phase). The event's
+    /// instance is the failed one; `class` is `crash`, `partition` or
+    /// `slow`; `id` ties the whole repair's events together.
+    RepairDetect {
+        /// Failure class label.
+        class: Arc<str>,
+        /// Monotonic repair id.
+        id: u64,
+    },
+    /// The supervisor chose a repair action (plan phase). `action` is
+    /// `restart`, `reconfigure` or `quarantine`; `rung` is the
+    /// escalation-ladder position it was taken from.
+    RepairPlan {
+        /// Chosen action label.
+        action: Arc<str>,
+        /// Monotonic repair id.
+        id: u64,
+        /// Escalation rung (0 = first resort).
+        rung: u64,
+    },
+    /// The failed instance was fenced out at the given supervisor epoch
+    /// before the repair acted.
+    RepairFence {
+        /// The fence floor (supervisor epoch) installed.
+        epoch: u64,
+        /// Monotonic repair id.
+        id: u64,
+    },
+    /// Post-repair verification ran (verify phase).
+    RepairVerify {
+        /// Whether the system converged back to health.
+        ok: bool,
+        /// Monotonic repair id.
+        id: u64,
+    },
+    /// The repair loop declared the failure repaired.
+    RepairDone {
+        /// Monotonic repair id.
+        id: u64,
+        /// Detect → done wall time in µs (the supervisor's view of the
+        /// repair part of MTTR).
+        mttr_us: u64,
+    },
+    /// The repair loop gave up on this failure (retries exhausted or
+    /// verification failed); the next detection escalates.
+    RepairFailed {
+        /// Monotonic repair id.
+        id: u64,
+    },
+    /// Anti-flapping: repeated failures pushed the instance up the
+    /// escalation ladder.
+    RepairEscalate {
+        /// The rung escalated *to*.
+        rung: u64,
+        /// Monotonic repair id.
+        id: u64,
     },
 }
 
@@ -387,6 +460,7 @@ pub fn to_json_line(e: &TraceEvent) -> String {
         TraceKind::LinkDup { .. } => "link_dup",
         TraceKind::LinkPartition { .. } => "link_partition",
         TraceKind::LinkDedup { .. } => "link_dedup",
+        TraceKind::LinkFenced { .. } => "link_fenced",
         TraceKind::LinkHeartbeat { .. } => "link_hb",
         TraceKind::Crash => "crash",
         TraceKind::Restart => "restart",
@@ -396,6 +470,13 @@ pub fn to_json_line(e: &TraceEvent) -> String {
         TraceKind::ReconfigCut => "reconfig_cut",
         TraceKind::ReconfigResume { .. } => "reconfig_resume",
         TraceKind::ReconfigDone { .. } => "reconfig_done",
+        TraceKind::RepairDetect { .. } => "repair_detect",
+        TraceKind::RepairPlan { .. } => "repair_plan",
+        TraceKind::RepairFence { .. } => "repair_fence",
+        TraceKind::RepairVerify { .. } => "repair_verify",
+        TraceKind::RepairDone { .. } => "repair_done",
+        TraceKind::RepairFailed { .. } => "repair_failed",
+        TraceKind::RepairEscalate { .. } => "repair_escalate",
     };
     push_str_field(&mut s, "k", kind);
     match &e.kind {
@@ -476,11 +557,37 @@ pub fn to_json_line(e: &TraceEvent) -> String {
             push_str_field(&mut s, "to", to);
             push_num_field(&mut s, "seq", *seq);
         }
-        TraceKind::LinkDedup { from, seq } => {
+        TraceKind::LinkDedup { from, seq } | TraceKind::LinkFenced { from, seq } => {
             push_str_field(&mut s, "from", from);
             push_num_field(&mut s, "seq", *seq);
         }
         TraceKind::LinkHeartbeat { to } => push_str_field(&mut s, "to", to),
+        TraceKind::RepairDetect { class, id } => {
+            push_str_field(&mut s, "to", class);
+            push_num_field(&mut s, "n", *id);
+        }
+        TraceKind::RepairPlan { action, id, rung } => {
+            push_str_field(&mut s, "to", action);
+            push_num_field(&mut s, "n", *id);
+            push_num_field(&mut s, "seq", *rung);
+        }
+        TraceKind::RepairFence { epoch, id } => {
+            push_num_field(&mut s, "seq", *epoch);
+            push_num_field(&mut s, "n", *id);
+        }
+        TraceKind::RepairVerify { ok, id } => {
+            push_bool_field(&mut s, "ok", *ok);
+            push_num_field(&mut s, "n", *id);
+        }
+        TraceKind::RepairDone { id, mttr_us } => {
+            push_num_field(&mut s, "n", *id);
+            push_num_field(&mut s, "seq", *mttr_us);
+        }
+        TraceKind::RepairFailed { id } => push_num_field(&mut s, "n", *id),
+        TraceKind::RepairEscalate { rung, id } => {
+            push_num_field(&mut s, "seq", *rung);
+            push_num_field(&mut s, "n", *id);
+        }
     }
     s.push('}');
     s

@@ -74,12 +74,25 @@ pub type DeliverFn = Arc<dyn Fn(&JunctionId, Update) + Send + Sync>;
 /// memory of an old conversation can never collide with a new one.
 type SeenMap = Arc<Mutex<HashMap<(String, String), HashSet<u64>>>>;
 
-/// Sequence numbers are `(generation << ROUTE_GEN_SHIFT) | counter`:
+/// Sequence numbers are
+/// `(fence_epoch << FENCE_EPOCH_SHIFT) | (generation << ROUTE_GEN_SHIFT) | counter`:
 /// [`Network::reset_route`] bumps the route's generation, so a new
 /// conversation's seqs can never collide with stale retries from the
-/// old one still in flight. 2^40 messages per conversation and 2^24
+/// old one still in flight. 2^40 messages per conversation and 2^12
 /// rewires per route before wrap — both far beyond any run.
 const ROUTE_GEN_SHIFT: u32 = 40;
+
+/// Route generations occupy 12 bits above the counter; the sender's
+/// supervisor fence epoch fills the 12 bits above them (see
+/// [`Network::fence_instance`]). 2^12 repairs per instance before wrap.
+const ROUTE_GEN_MASK: u64 = (1 << (FENCE_EPOCH_SHIFT - ROUTE_GEN_SHIFT)) - 1;
+
+/// Where the sender's fence epoch sits in a sequence number. The stamp
+/// is read at delivery to reject a fenced-out sender's traffic: a
+/// sender fenced at epoch `e` keeps stamping `e` until it is re-admitted
+/// at `e + 1`, so both its in-flight and its future sends fall below the
+/// receiver's floor — the classic fencing-token scheme.
+const FENCE_EPOCH_SHIFT: u32 = 52;
 
 /// Wire size model for an update: key + payload + fixed header.
 pub fn wire_size(u: &Update) -> usize {
@@ -442,6 +455,41 @@ pub struct LinkStats {
     pub deduped: u64,
     /// Direct-link sends delivered synchronously (fast path).
     pub fast_path: u64,
+    /// Sends rejected (at send or delivery) by the supervisor epoch
+    /// fence: traffic from a fenced-out instance carrying a stale
+    /// fence epoch.
+    pub fenced: u64,
+}
+
+/// Supervisor fencing-token state, shared between the send path and the
+/// delivery wrapper. Each instance has a *stamp* epoch (carried in the
+/// high bits of every seq it sends) and a *floor* (the minimum stamp
+/// receivers accept from it). [`Network::fence_instance`] raises the
+/// floor above the stamp — every send the zombie already has in flight
+/// and every send it will attempt is rejected until
+/// [`Network::admit_instance`] lifts its stamp to the floor.
+struct FenceState {
+    enabled: AtomicBool,
+    /// instance → (stamp epoch, accepted floor).
+    inner: Mutex<HashMap<String, (u64, u64)>>,
+    /// Rejection count (send-side + delivery-side).
+    fenced: AtomicU64,
+}
+
+impl FenceState {
+    fn new() -> FenceState {
+        FenceState {
+            enabled: AtomicBool::new(true),
+            inner: Mutex::new(HashMap::new()),
+            fenced: AtomicU64::new(0),
+        }
+    }
+
+    /// (stamp, floor) for a sender; unknown senders are (0, 0) — never
+    /// fenced.
+    fn of(&self, instance: &str) -> (u64, u64) {
+        self.inner.lock().get(instance).copied().unwrap_or((0, 0))
+    }
 }
 
 /// The network connecting instances. Owned by the runtime.
@@ -489,6 +537,8 @@ pub struct Network {
     route_gens: Mutex<HashMap<(String, String), u64>>,
     /// Receiver-side dedup switch (shared with the deliver wrapper).
     dedup_enabled: Arc<AtomicBool>,
+    /// Supervisor fencing tokens (shared with the deliver wrapper).
+    fence: Arc<FenceState>,
     drops: AtomicU64,
     dups: AtomicU64,
     partitioned: AtomicU64,
@@ -528,6 +578,10 @@ pub enum SendError {
     PartitionedAway,
     /// The send did not complete in time. Retryable.
     Timeout,
+    /// The sender has been fenced out by a supervisor repair: its fence
+    /// epoch is below the accepted floor. Fatal — retrying cannot help;
+    /// only re-admission ([`Network::admit_instance`]) can.
+    Fenced,
     /// The underlying transport failed (socket setup/write). Fatal.
     Transport(String),
 }
@@ -549,6 +603,7 @@ impl std::fmt::Display for SendError {
             SendError::LinkDropped => write!(f, "link dropped message"),
             SendError::PartitionedAway => write!(f, "partitioned away"),
             SendError::Timeout => write!(f, "send timeout"),
+            SendError::Fenced => write!(f, "fenced out (stale supervisor epoch)"),
             SendError::Transport(m) => write!(f, "transport: {m}"),
         }
     }
@@ -571,14 +626,43 @@ impl Network {
         let dedup_enabled = Arc::new(AtomicBool::new(true));
         let deduped = Arc::new(AtomicU64::new(0));
         let seen: SeenMap = Arc::new(Mutex::new(HashMap::new()));
+        let fence = Arc::new(FenceState::new());
         let m_dedup = metrics.counter("link_dedup_total");
+        let m_fenced = metrics.counter("link_fenced_total");
         let deliver: DeliverFn = {
             let dedup_enabled = Arc::clone(&dedup_enabled);
             let deduped = Arc::clone(&deduped);
             let tracer = Arc::clone(&tracer);
             let seen = Arc::clone(&seen);
+            let fence = Arc::clone(&fence);
             let inner = deliver;
             Arc::new(move |to: &JunctionId, u: Update| {
+                // Fence check first: an in-flight send stamped before its
+                // sender was fenced out must not land, even though its
+                // (sender, seq) was never seen. Unsequenced probes
+                // (heartbeats) pass — loss of *data* acks is what fencing
+                // protects; a zombie's pings should still be heard so the
+                // supervisor can observe it returning.
+                if u.seq != 0 && fence.enabled.load(Ordering::Relaxed) {
+                    let sender = u.sender_instance();
+                    let (_, floor) = fence.of(sender);
+                    if floor != 0 && (u.seq >> FENCE_EPOCH_SHIFT) < floor {
+                        fence.fenced.fetch_add(1, Ordering::Relaxed);
+                        m_fenced.fetch_add(1, Ordering::Relaxed);
+                        if tracer.is_enabled() {
+                            tracer.record(
+                                &to.instance,
+                                &to.junction,
+                                0,
+                                TraceKind::LinkFenced {
+                                    from: sender.into(),
+                                    seq: u.seq,
+                                },
+                            );
+                        }
+                        return;
+                    }
+                }
                 if u.seq != 0 && dedup_enabled.load(Ordering::Relaxed) {
                     let key = (u.sender_instance().to_string(), to.instance.clone());
                     let fresh = seen.lock().entry(key).or_default().insert(u.seq);
@@ -620,6 +704,7 @@ impl Network {
             seqs: Mutex::new(HashMap::new()),
             route_gens: Mutex::new(HashMap::new()),
             dedup_enabled,
+            fence,
             drops: AtomicU64::new(0),
             dups: AtomicU64::new(0),
             partitioned: AtomicU64::new(0),
@@ -710,6 +795,53 @@ impl Network {
         self.dedup_enabled.store(enabled, Ordering::Relaxed);
     }
 
+    /// Fence an instance out: raise the floor above its current stamp
+    /// epoch, so every send it has in flight and every send it attempts
+    /// is rejected until [`Network::admit_instance`]. Returns the new
+    /// floor (the supervisor epoch of the repair). Idempotent while the
+    /// instance stays fenced; fencing again after a re-admission bumps
+    /// the epoch once more.
+    pub fn fence_instance(&self, instance: &str) -> u64 {
+        let mut inner = self.fence.inner.lock();
+        let entry = inner.entry(instance.to_string()).or_insert((0, 0));
+        entry.1 = entry.1.max(entry.0 + 1);
+        entry.1
+    }
+
+    /// Re-admit a fenced instance: lift its stamp epoch to the floor so
+    /// its *future* sends are accepted again. Anything still in flight
+    /// from before the fence keeps its stale stamp and stays rejected.
+    /// Returns the stamp epoch granted.
+    pub fn admit_instance(&self, instance: &str) -> u64 {
+        let mut inner = self.fence.inner.lock();
+        let entry = inner.entry(instance.to_string()).or_insert((0, 0));
+        entry.0 = entry.1;
+        entry.0
+    }
+
+    /// Whether an instance is currently fenced out (stamp below floor).
+    pub fn is_fenced(&self, instance: &str) -> bool {
+        let (stamp, floor) = self.fence.of(instance);
+        stamp < floor
+    }
+
+    /// The current fence floor of an instance (0 = never fenced).
+    pub fn fence_floor(&self, instance: &str) -> u64 {
+        self.fence.of(instance).1
+    }
+
+    /// Toggle fence enforcement (ablations and the split-brain
+    /// fail-before/pass-after test). Stamping continues either way;
+    /// only the reject checks are gated.
+    pub fn set_fencing(&self, enabled: bool) {
+        self.fence.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether fence enforcement is on (default true).
+    pub fn fencing_enabled(&self) -> bool {
+        self.fence.enabled.load(Ordering::Relaxed)
+    }
+
     /// Snapshot the reliability/fault counters.
     pub fn stats(&self) -> LinkStats {
         LinkStats {
@@ -721,6 +853,7 @@ impl Network {
             retries: self.retries.load(Ordering::Relaxed),
             deduped: self.deduped.load(Ordering::Relaxed),
             fast_path: self.fast_path.load(Ordering::Relaxed),
+            fenced: self.fence.fenced.load(Ordering::Relaxed),
         }
     }
 
@@ -792,13 +925,35 @@ impl Network {
         to: &JunctionId,
         mut update: Update,
     ) -> Result<(), SendError> {
+        let (stamp, floor) = self.fence.of(from_instance);
         {
             let key = (from_instance.to_string(), to.instance.clone());
             let gen = self.route_gens.lock().get(&key).copied().unwrap_or(0);
             let mut seqs = self.seqs.lock();
             let c = seqs.entry(key).or_insert(0);
             *c += 1;
-            update.seq = (gen << ROUTE_GEN_SHIFT) | *c;
+            update.seq =
+                (stamp << FENCE_EPOCH_SHIFT) | ((gen & ROUTE_GEN_MASK) << ROUTE_GEN_SHIFT) | *c;
+        }
+        // Send-side fence: a fenced-out sender learns immediately (and
+        // fatally — no retry can outwait a fence) that its writes are
+        // rejected. The delivery-side check still covers whatever it
+        // already had in flight.
+        if stamp < floor && self.fence.enabled.load(Ordering::Relaxed) {
+            self.fence.fenced.fetch_add(1, Ordering::Relaxed);
+            if self.tracer.is_enabled() {
+                let (fi, fj) = Network::sender_of(&update);
+                self.tracer.record(
+                    fi,
+                    fj,
+                    0,
+                    TraceKind::LinkFenced {
+                        from: from_instance.into(),
+                        seq: update.seq,
+                    },
+                );
+            }
+            return Err(SendError::Fenced);
         }
         let policy = self.retry.lock().clone();
         let mut attempt = 0u32;

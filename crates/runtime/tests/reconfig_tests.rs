@@ -299,6 +299,7 @@ fn restart_reprimes_heartbeat_suspicion() {
     rt.enable_heartbeats(HeartbeatConfig {
         interval: Duration::from_millis(500),
         suspicion: Duration::from_millis(200),
+        k_missed: 1,
     });
     // Let the first ping round prime the detector's clocks for (w, z).
     std::thread::sleep(Duration::from_millis(50));

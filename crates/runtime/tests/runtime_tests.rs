@@ -671,6 +671,7 @@ fn heartbeats_make_liveness_observer_relative_under_partition() {
     rt.enable_heartbeats(csaw_runtime::HeartbeatConfig {
         interval: Duration::from_millis(10),
         suspicion: Duration::from_millis(80),
+        k_missed: 1,
     });
     // Both directions healthy: nobody suspects anybody.
     std::thread::sleep(Duration::from_millis(120));

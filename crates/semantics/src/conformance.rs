@@ -38,7 +38,12 @@
 //! sent before the cut and flushed after it is fine, but an update lost
 //! or applied twice *across* the cut is a violation (`rule:
 //! "reconfig"` flags activity that belongs to the wrong epoch's
-//! program).
+//! program). A trace the self-healing supervisor cut *repeatedly* —
+//! one repair per epoch — is checked with
+//! [`check_multi_reconfig_trace`] against the whole program chain, and
+//! its `repair_*` events must obey the detect → plan → (fence) →
+//! verify → done/failed protocol (`rule: "repair"`, see
+//! [`check_repair_events`]).
 //!
 //! Violations carry the offending `gsn` so the JSONL line can be
 //! located directly.
@@ -476,6 +481,151 @@ pub fn check_reconfig_trace(
     }
 }
 
+/// Check a trace spanning *any number* of live reconfigurations — the
+/// self-healing supervisor's repairs cut the trace repeatedly, one
+/// program per epoch.
+///
+/// `sems[k]` validates the activations between cut `k-1` and cut `k`
+/// (`sems[0]` is the boot program, `sems[k]` the program installed by
+/// the `k`-th `reconfig_cut`). As in [`check_reconfig_trace`], the
+/// causality indexes span the whole trace: a held update crossing a cut
+/// matches its pre-cut send, a duplicate apply across any pair of
+/// epochs is flagged. When the chain length does not match the number
+/// of cuts observed (`sems.len() != cuts + 1`) the checker flags the
+/// mismatch and clamps to the last provided semantics rather than
+/// validating against the wrong program silently.
+///
+/// The trace's `repair_*` events are additionally validated by the
+/// [`check_repair_events`] rule: every repair id must run detect →
+/// plan → (fence) → verify → done/failed in order, and `repair_done`
+/// requires a passed verification.
+pub fn check_multi_reconfig_trace(
+    records: &[TraceRecord],
+    sems: &[Option<&ProgramSemantics>],
+    opts: &ConformanceOptions,
+) -> ConformanceReport {
+    let mut cuts: Vec<u64> = records
+        .iter()
+        .filter(|r| r.kind == "reconfig_cut")
+        .map(|r| r.gsn)
+        .collect();
+    cuts.sort_unstable();
+    let n_cuts = cuts.len();
+    let mut report = if cuts.is_empty() {
+        check_trace(records, sems.first().copied().flatten(), opts)
+    } else {
+        let sems: Vec<Option<&ProgramSemantics>> = sems.to_vec();
+        check_trace_with(records, opts, true, &move |gsn| {
+            // The epoch side of a gsn is how many cuts precede it.
+            let side = cuts.partition_point(|&c| c <= gsn);
+            let ix = side.min(sems.len().saturating_sub(1));
+            (side, sems.get(ix).copied().flatten())
+        })
+    };
+    if n_cuts > 0 && sems.len() != n_cuts + 1 {
+        report.violations.push(Violation {
+            gsn: 0,
+            rule: "reconfig",
+            detail: format!(
+                "trace has {n_cuts} cut(s) but {} program semantics were \
+                 provided (expected {}); later epochs were validated \
+                 against the last one",
+                sems.len(),
+                n_cuts + 1
+            ),
+        });
+    }
+    report.violations.extend(check_repair_events(records));
+    report.violations.sort_by_key(|v| v.gsn);
+    report
+}
+
+/// Validate the supervisor's `repair_*` event protocol (`rule:
+/// "repair"`): for each repair id, events must run detect →
+/// \[escalate\] → plan → \[fence\] → verify → done/failed, with at most
+/// one terminal, and `repair_done` only after a `repair_verify` with
+/// `ok: true` — a repair declared done without passed verification is
+/// exactly the lie this rule exists to catch. A detection with no
+/// terminal is *not* a violation: the trace may end mid-repair, and a
+/// class with no registered ladder detects without repairing.
+pub fn check_repair_events(records: &[TraceRecord]) -> Vec<Violation> {
+    #[derive(Default)]
+    struct RepairState {
+        detect: bool,
+        plan: bool,
+        verify_passed: bool,
+        terminal: bool,
+    }
+    let mut sorted: Vec<&TraceRecord> = records
+        .iter()
+        .filter(|r| r.kind.starts_with("repair_"))
+        .collect();
+    sorted.sort_by_key(|r| r.gsn);
+    let mut state: BTreeMap<u64, RepairState> = BTreeMap::new();
+    let mut out = Vec::new();
+    let mut flag = |gsn: u64, detail: String| {
+        out.push(Violation { gsn, rule: "repair", detail });
+    };
+    for r in sorted {
+        let Some(id) = r.n else {
+            flag(r.gsn, format!("`{}` carries no repair id", r.kind));
+            continue;
+        };
+        let st = state.entry(id).or_default();
+        match r.kind.as_str() {
+            "repair_detect" => {
+                if st.detect {
+                    flag(r.gsn, format!("repair {id} detected twice"));
+                }
+                st.detect = true;
+            }
+            "repair_escalate" if !st.detect => {
+                flag(r.gsn, format!("repair {id} escalated before detection"));
+            }
+            "repair_escalate" => {}
+            "repair_plan" => {
+                if !st.detect {
+                    flag(r.gsn, format!("repair {id} planned before detection"));
+                }
+                if st.plan {
+                    flag(r.gsn, format!("repair {id} planned twice"));
+                }
+                st.plan = true;
+            }
+            "repair_fence" if !st.plan => {
+                flag(r.gsn, format!("repair {id} fenced before a plan"));
+            }
+            "repair_fence" => {}
+            "repair_verify" => {
+                if !st.plan {
+                    flag(r.gsn, format!("repair {id} verified before a plan"));
+                }
+                st.verify_passed = r.ok == Some(true);
+            }
+            "repair_done" => {
+                if st.terminal {
+                    flag(r.gsn, format!("repair {id} terminated twice"));
+                }
+                if !st.verify_passed {
+                    flag(
+                        r.gsn,
+                        format!("repair {id} declared done without passed verification"),
+                    );
+                }
+                st.terminal = true;
+            }
+            "repair_failed" => {
+                if st.terminal {
+                    flag(r.gsn, format!("repair {id} terminated twice"));
+                }
+                st.terminal = true;
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
 /// Shared single-pass checker. `pick` maps an activation's `sched` gsn
 /// to the (epoch side, semantics) it validates against; `strict_epoch`
 /// additionally requires every scheduled junction to exist in its
@@ -821,6 +971,17 @@ pub fn check_reconfig_jsonl(
     Ok(check_reconfig_trace(&parse_jsonl(jsonl)?, sem_a, sem_b, opts))
 }
 
+/// Parse a JSONL trace from a supervised (self-healing) run and check
+/// it across every repair's epoch in one call (see
+/// [`check_multi_reconfig_trace`]).
+pub fn check_repair_jsonl(
+    jsonl: &str,
+    sems: &[Option<&ProgramSemantics>],
+    opts: &ConformanceOptions,
+) -> Result<ConformanceReport, String> {
+    Ok(check_multi_reconfig_trace(&parse_jsonl(jsonl)?, sems, opts))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1024,6 +1185,133 @@ mod tests {
         let report =
             check_reconfig_trace(&recs, None, None, &ConformanceOptions::default());
         assert!(report.ok());
+    }
+
+    #[test]
+    fn repair_protocol_in_order_is_clean() {
+        let recs = lines(&[
+            r#"{"gsn":1,"us":0,"i":"b","j":"-","ep":0,"k":"repair_detect","to":"crash","n":0}"#,
+            r#"{"gsn":2,"us":1,"i":"b","j":"-","ep":0,"k":"repair_plan","to":"reconfigure","n":0,"seq":0}"#,
+            r#"{"gsn":3,"us":2,"i":"b","j":"-","ep":0,"k":"repair_fence","seq":1,"n":0}"#,
+            r#"{"gsn":4,"us":3,"i":"b","j":"-","ep":0,"k":"repair_verify","ok":true,"n":0}"#,
+            r#"{"gsn":5,"us":4,"i":"b","j":"-","ep":0,"k":"repair_done","n":0,"seq":1500}"#,
+        ]);
+        assert!(check_repair_events(&recs).is_empty());
+    }
+
+    #[test]
+    fn repair_done_without_passed_verify_is_flagged() {
+        // done after a failed verify — and a second repair done with no
+        // verify at all. Both are the "declared healthy without
+        // checking" lie.
+        let recs = lines(&[
+            r#"{"gsn":1,"us":0,"i":"b","j":"-","ep":0,"k":"repair_detect","to":"crash","n":0}"#,
+            r#"{"gsn":2,"us":1,"i":"b","j":"-","ep":0,"k":"repair_plan","to":"restart","n":0,"seq":0}"#,
+            r#"{"gsn":3,"us":2,"i":"b","j":"-","ep":0,"k":"repair_verify","ok":false,"n":0}"#,
+            r#"{"gsn":4,"us":3,"i":"b","j":"-","ep":0,"k":"repair_done","n":0,"seq":10}"#,
+            r#"{"gsn":5,"us":4,"i":"c","j":"-","ep":0,"k":"repair_detect","to":"crash","n":1}"#,
+            r#"{"gsn":6,"us":5,"i":"c","j":"-","ep":0,"k":"repair_plan","to":"restart","n":1,"seq":0}"#,
+            r#"{"gsn":7,"us":6,"i":"c","j":"-","ep":0,"k":"repair_done","n":1,"seq":10}"#,
+        ]);
+        let v = check_repair_events(&recs);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == "repair"));
+        assert_eq!(v[0].gsn, 4);
+        assert_eq!(v[1].gsn, 7);
+    }
+
+    #[test]
+    fn repair_out_of_order_phases_are_flagged() {
+        let recs = lines(&[
+            // Plan before detect, fence before plan (different ids).
+            r#"{"gsn":1,"us":0,"i":"b","j":"-","ep":0,"k":"repair_plan","to":"restart","n":0,"seq":0}"#,
+            r#"{"gsn":2,"us":1,"i":"c","j":"-","ep":0,"k":"repair_fence","seq":1,"n":1}"#,
+            // Double terminal.
+            r#"{"gsn":3,"us":2,"i":"d","j":"-","ep":0,"k":"repair_detect","to":"crash","n":2}"#,
+            r#"{"gsn":4,"us":3,"i":"d","j":"-","ep":0,"k":"repair_plan","to":"restart","n":2,"seq":0}"#,
+            r#"{"gsn":5,"us":4,"i":"d","j":"-","ep":0,"k":"repair_failed","n":2}"#,
+            r#"{"gsn":6,"us":5,"i":"d","j":"-","ep":0,"k":"repair_failed","n":2}"#,
+        ]);
+        let v = check_repair_events(&recs);
+        assert_eq!(v.len(), 3, "{v:?}");
+    }
+
+    #[test]
+    fn multi_reconfig_repair_trace_checks_every_epoch() {
+        use crate::event::{EventStructure, Label};
+        use std::collections::BTreeMap;
+        let make = |qualified: &str| {
+            let (es, _) = EventStructure::singleton(Label::Custom("e".into()));
+            let mut junctions = BTreeMap::new();
+            junctions.insert(qualified.to_string(), es);
+            let (startup, _) = EventStructure::singleton(Label::Custom("main".into()));
+            ProgramSemantics { startup, junctions }
+        };
+        // Three epochs: a::j, then b::j, then c::j. Scheduling b::j in
+        // the third epoch is a violation against sem_c.
+        let sem_a = make("a::j");
+        let sem_b = make("b::j");
+        let sem_c = make("c::j");
+        let recs = lines(&[
+            r#"{"gsn":1,"us":0,"i":"a","j":"j","ep":1,"k":"sched"}"#,
+            r#"{"gsn":2,"us":1,"i":"a","j":"j","ep":1,"k":"unsched","ok":true}"#,
+            r#"{"gsn":3,"us":2,"i":"","j":"","ep":0,"k":"reconfig_cut"}"#,
+            r#"{"gsn":4,"us":3,"i":"b","j":"j","ep":1,"k":"sched"}"#,
+            r#"{"gsn":5,"us":4,"i":"b","j":"j","ep":1,"k":"unsched","ok":true}"#,
+            r#"{"gsn":6,"us":5,"i":"","j":"","ep":0,"k":"reconfig_cut"}"#,
+            r#"{"gsn":7,"us":6,"i":"c","j":"j","ep":1,"k":"sched"}"#,
+            r#"{"gsn":8,"us":7,"i":"c","j":"j","ep":1,"k":"unsched","ok":true}"#,
+            r#"{"gsn":9,"us":8,"i":"b","j":"j","ep":2,"k":"sched"}"#,
+            r#"{"gsn":10,"us":9,"i":"b","j":"j","ep":2,"k":"unsched","ok":true}"#,
+        ]);
+        let report = check_multi_reconfig_trace(
+            &recs,
+            &[Some(&sem_a), Some(&sem_b), Some(&sem_c)],
+            &ConformanceOptions::default(),
+        );
+        let reconfig: Vec<_> =
+            report.violations.iter().filter(|v| v.rule == "reconfig").collect();
+        assert_eq!(reconfig.len(), 1, "{}", report.describe());
+        assert_eq!(reconfig[0].gsn, 9);
+
+        // Same trace with a short chain: the mismatch itself is flagged
+        // (plus the b::j sched now judged against the clamped sem_b is
+        // clean — exactly why the mismatch must be loud).
+        let short = check_multi_reconfig_trace(
+            &recs,
+            &[Some(&sem_a), Some(&sem_b)],
+            &ConformanceOptions::default(),
+        );
+        assert!(
+            short.violations.iter().any(|v| v.rule == "reconfig"
+                && v.detail.contains("2 program semantics")),
+            "{}",
+            short.describe()
+        );
+    }
+
+    #[test]
+    fn multi_reconfig_duplicate_apply_across_late_epochs_is_flagged() {
+        // The same (sender, receiver, seq) applied in epoch 1 and epoch
+        // 3: the whole-trace at-most-once index must catch it across
+        // any pair of epochs, not just the first cut.
+        let recs = lines(&[
+            r#"{"gsn":1,"us":0,"i":"g","j":"y","ep":1,"k":"sched"}"#,
+            r#"{"gsn":2,"us":1,"i":"g","j":"y","ep":1,"k":"link_send","to":"f::x","key":"W","seq":1,"n":24}"#,
+            r#"{"gsn":3,"us":2,"i":"g","j":"y","ep":1,"k":"unsched","ok":true}"#,
+            r#"{"gsn":4,"us":3,"i":"f","j":"x","ep":1,"k":"kv_flush_apply","key":"W","from":"g::y","seq":1,"op":1,"run":false}"#,
+            r#"{"gsn":5,"us":4,"i":"","j":"","ep":0,"k":"reconfig_cut"}"#,
+            r#"{"gsn":6,"us":5,"i":"","j":"","ep":0,"k":"reconfig_cut"}"#,
+            r#"{"gsn":7,"us":6,"i":"f","j":"x","ep":2,"k":"kv_flush_apply","key":"W","from":"g::y","seq":1,"op":2,"run":false}"#,
+        ]);
+        let report = check_multi_reconfig_trace(
+            &recs,
+            &[None, None, None],
+            &ConformanceOptions::default(),
+        );
+        assert_eq!(report.violations.len(), 1, "{}", report.describe());
+        assert_eq!(report.violations[0].rule, "causality");
+        assert_eq!(report.violations[0].gsn, 7);
     }
 
     #[test]

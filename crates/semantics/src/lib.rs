@@ -30,8 +30,9 @@ pub mod event;
 pub mod topology;
 
 pub use conformance::{
-    check_jsonl, check_reconfig_jsonl, check_reconfig_trace, check_trace, parse_json_line,
-    parse_jsonl, ConformanceOptions, ConformanceReport, TraceRecord, Violation,
+    check_jsonl, check_multi_reconfig_trace, check_reconfig_jsonl, check_reconfig_trace,
+    check_repair_events, check_repair_jsonl, check_trace, parse_json_line, parse_jsonl,
+    ConformanceOptions, ConformanceReport, TraceRecord, Violation,
 };
 pub use denote::{denote_junction, denote_program, DenoteConfig, ProgramSemantics};
 pub use event::{Event, EventId, EventStructure, Label};
