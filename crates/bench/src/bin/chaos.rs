@@ -4,7 +4,9 @@
 //! run it nightly at a fixed seed.
 //!
 //! Environment knobs:
-//! * `CSAW_CHAOS_SEED` — master seed (default 42);
+//! * `CSAW_SEED` (or legacy `CSAW_CHAOS_SEED`) — master seed
+//!   (default 42), the same knob the sim harness and property corpora
+//!   honor;
 //! * `CSAW_CHAOS_REQUESTS` — requests per soak (default 120);
 //! * `CSAW_CHAOS_UNRELIABLE=1` — disable retry/dedup (the failure
 //!   demonstration; inverts the exit-code expectation);
@@ -22,7 +24,7 @@ fn env_u64(key: &str, default: u64) -> u64 {
 }
 
 fn main() {
-    let seed = env_u64("CSAW_CHAOS_SEED", 42);
+    let seed = csaw_runtime::env_seed(42);
     let requests = env_u64("CSAW_CHAOS_REQUESTS", 120) as usize;
     let unreliable = std::env::var("CSAW_CHAOS_UNRELIABLE").is_ok_and(|v| v == "1");
     let conformance = std::env::var("CSAW_CHAOS_CONFORMANCE").is_ok_and(|v| v == "1");
@@ -72,7 +74,13 @@ fn main() {
             "unreliable run: invariant violation {}",
             if demonstrated { "demonstrated" } else { "NOT demonstrated" }
         );
+        if !demonstrated {
+            eprintln!("reproduce with CSAW_SEED={seed} CSAW_CHAOS_UNRELIABLE=1");
+        }
         std::process::exit(if demonstrated { 0 } else { 1 });
+    }
+    if !all_ok {
+        eprintln!("reproduce with CSAW_SEED={seed}");
     }
     std::process::exit(if all_ok { 0 } else { 1 });
 }

@@ -1,0 +1,190 @@
+//! Deterministic simulation driver: explore seeded schedules of the
+//! supervised fail-over scenario, replay recorded failure artifacts,
+//! and demonstrate the oracle on the deliberate fencing bug.
+//!
+//! ```text
+//! csaw_sim explore [--schedules N] [--seed S] [--buggy]
+//! csaw_sim replay <artifact.json> [--buggy]
+//! csaw_sim demo-bug [--seed S]
+//! ```
+//!
+//! `explore` runs N schedules from consecutive seeds (base from
+//! `--seed`, `CSAW_SEED`, or 1) and exits non-zero if any schedule goes
+//! red; each red schedule is shrunk and written to
+//! `results/sim/offending_schedule_<seed>.json` for `replay`.
+//! `replay` re-executes an artifact byte-for-byte and reports whether
+//! the recorded failure reproduces. `demo-bug` runs one schedule with
+//! the repair's fence deliberately disabled: the oracle must go red,
+//! shrink the schedule, and reproduce it from the JSON artifact.
+
+use csaw_bench::report::Report;
+use csaw_bench::sim_runs::{replay_schedule, run_schedule, shrink_failure, ScheduleSpec};
+use csaw_runtime::{env_seed, Artifact};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn spec_for(seed: u64, buggy: bool) -> ScheduleSpec {
+    if buggy {
+        ScheduleSpec::buggy(seed)
+    } else {
+        ScheduleSpec::for_seed(seed)
+    }
+}
+
+fn explore(args: &[String]) -> i32 {
+    let schedules: u64 = arg_value(args, "--schedules")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100);
+    let base = arg_value(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| env_seed(1));
+    let buggy = args.iter().any(|a| a == "--buggy");
+
+    let mut report = Report::new(
+        "sim_explore",
+        "deterministic simulation: seeded schedule exploration",
+    );
+    report.remark(format!(
+        "{schedules} schedules from seed {base}, fence {}",
+        if buggy { "DISABLED (deliberate bug)" } else { "on" }
+    ));
+
+    let mut red = 0u64;
+    let mut total_steps = 0u64;
+    let mut acked = 0u64;
+    let mut repaired = 0u64;
+    let mut truncated = 0u64;
+    for seed in base..base + schedules {
+        let spec = spec_for(seed, buggy);
+        let out = run_schedule(&spec);
+        total_steps += out.steps.len() as u64;
+        acked += out.acked as u64;
+        repaired += u64::from(out.repair_ok);
+        truncated += u64::from(out.truncated);
+        if let Some(art) = out.artifact() {
+            red += 1;
+            eprintln!("RED seed={seed}: {}", art.reason);
+            let shrunk = shrink_failure(&spec, &art);
+            eprintln!(
+                "  shrunk {} -> {} steps; replaying to confirm",
+                art.steps.len(),
+                shrunk.len()
+            );
+            let confirm = replay_schedule(&spec, &shrunk);
+            let final_art = Artifact {
+                seed,
+                reason: confirm.failure.clone().unwrap_or_else(|| art.reason.clone()),
+                steps: if confirm.failure.is_some() { shrunk } else { art.steps.clone() },
+            };
+            let path = format!("results/sim/offending_schedule_{seed}.json");
+            if std::fs::create_dir_all("results/sim")
+                .and_then(|()| std::fs::write(&path, final_art.to_json()))
+                .is_ok()
+            {
+                eprintln!("  artifact written to {path}");
+            }
+        }
+    }
+
+    println!(
+        "explored {schedules} schedules (seed {base}..{}): {red} red, \
+         {repaired} repaired, {acked} acked requests, {total_steps} steps, \
+         {truncated} truncated",
+        base + schedules - 1
+    );
+    report
+        .note("schedules", schedules as f64)
+        .note("base_seed", base as f64)
+        .note("red", red as f64)
+        .note("repaired", repaired as f64)
+        .note("acked", acked as f64)
+        .note("steps", total_steps as f64)
+        .note("truncated", truncated as f64);
+    report.finish();
+    i32::from(red > 0)
+}
+
+fn replay(args: &[String]) -> i32 {
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("usage: csaw_sim replay <artifact.json> [--buggy]");
+        return 2;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let Some(art) = Artifact::from_json(&text) else {
+        eprintln!("{path}: not a schedule artifact");
+        return 2;
+    };
+    let buggy = args.iter().any(|a| a == "--buggy");
+    let spec = spec_for(art.seed, buggy);
+    let out = replay_schedule(&spec, &art.steps);
+    println!(
+        "replayed seed {} ({} recorded steps, {:.1}ms virtual)",
+        art.seed,
+        art.steps.len(),
+        out.virtual_ms
+    );
+    match out.failure {
+        Some(reason) => {
+            println!("failure reproduced: {reason} (recorded: {})", art.reason);
+            0
+        }
+        None => {
+            println!("failure did NOT reproduce (recorded: {})", art.reason);
+            1
+        }
+    }
+}
+
+fn demo_bug(args: &[String]) -> i32 {
+    let seed = arg_value(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| env_seed(3));
+    let spec = ScheduleSpec::buggy(seed);
+    let out = run_schedule(&spec);
+    let Some(art) = out.artifact() else {
+        eprintln!("seed {seed}: fence-off schedule stayed green — no detection?");
+        return 1;
+    };
+    println!("seed {seed} red as expected: {}", art.reason);
+    let shrunk = shrink_failure(&spec, &art);
+    println!("shrunk {} -> {} steps", art.steps.len(), shrunk.len());
+    let json = Artifact { seed, reason: art.reason.clone(), steps: shrunk }.to_json();
+    let back = Artifact::from_json(&json).expect("artifact roundtrip");
+    let replayed = replay_schedule(&spec, &back.steps);
+    match replayed.failure {
+        Some(reason) => {
+            println!("replay-from-JSON reproduces: {reason}");
+            0
+        }
+        None => {
+            eprintln!("replay-from-JSON went green — shrink unsound");
+            1
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("explore") => explore(&args[1..]),
+        Some("replay") => replay(&args[1..]),
+        Some("demo-bug") => demo_bug(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: csaw_sim explore [--schedules N] [--seed S] [--buggy]\n       \
+                 csaw_sim replay <artifact.json> [--buggy]\n       \
+                 csaw_sim demo-bug [--seed S]"
+            );
+            2
+        }
+    };
+    std::process::exit(code);
+}

@@ -19,6 +19,7 @@
 //! | [`conformance_runs`] | trace-conformance validation of the architecture catalogue |
 //! | [`reconfig_runs`] | live-reconfiguration downtime: four hot-swaps under traffic |
 //! | [`self_healing`] | supervisor MTTR: detect → plan → repair per failure class |
+//! | [`sim_runs`] | deterministic simulation: seeded schedule exploration with replayable failure artifacts |
 //!
 //! Experiment durations are time-compressed relative to the paper's 120s
 //! runs; scale with `--seconds <n>` on each binary or the
@@ -34,6 +35,7 @@ pub mod exp_suricata;
 pub mod reconfig_runs;
 pub mod report;
 pub mod self_healing;
+pub mod sim_runs;
 
 /// Experiment duration (seconds), from `CSAW_EXP_SECONDS` or the default.
 pub fn exp_seconds(default: f64) -> f64 {

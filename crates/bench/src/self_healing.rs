@@ -185,7 +185,7 @@ fn lost_acked_sets(acked: &[(String, Vec<u8>)], stores: &[Arc<Mutex<Store>>]) ->
 /// Replay the recorded trace against the epoch chain the repairs
 /// installed (boot program + every `Reconfigure` target, in cut order)
 /// plus the repair-event protocol rules.
-fn check_repair_chain(
+pub(crate) fn check_repair_chain(
     jsonl: &str,
     dropped: u64,
     chain: &[&CompiledProgram],

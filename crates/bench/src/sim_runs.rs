@@ -1,0 +1,518 @@
+//! Deterministic-simulation schedules over the supervised fail-over
+//! architecture: the concrete scenario family behind `csaw-sim`.
+//!
+//! Every schedule runs the §7.4 supervised fail-over program (front
+//! `f`, preferred `o`, spare `s`) on a [`Clock::simulated`] runtime,
+//! single-threaded under a [`SimExecutor`], with the same fault story
+//! the MTTR bench plays out in wall time:
+//!
+//! 1. client requests arrive (each one a time-scheduled injection that
+//!    enqueues a command and `invoke`s the front),
+//! 2. a benign live reconfiguration lands mid-flight,
+//! 3. the preferred back-end is partitioned away,
+//! 4. heartbeats raise suspicion, the supervisor confirms a quorum and
+//!    repairs by promoting the spare (fencing the zombie first —
+//!    unless the schedule deliberately disables the fence),
+//! 5. more requests ride the promoted architecture,
+//! 6. the partition heals and the zombie is poked into replaying its
+//!    last acknowledged work.
+//!
+//! The oracle checks the standing invariants after the horizon: a
+//! counting bound on lost acknowledged writes (every `+OK` ack must be
+//! backed by a durable serve footprint in some back-end store — sound
+//! because links are at-most-once, see the comment at the check),
+//! no poke-induced split-brain transition of the front's `Reply` cell,
+//! no instance left held, and a cross-epoch conformance pass of the
+//! recorded trace against the program chain. A red schedule serializes
+//! to a JSON [`Artifact`]; [`replay_schedule`] re-executes it and
+//! [`shrink_failure`] minimizes it while re-checking the oracle.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use csaw_arch::watched::{promoted, supervised_failover, WatchedSpec};
+use csaw_core::program::{CompiledProgram, LoadConfig};
+use csaw_core::value::Value;
+use csaw_kv::Update;
+use csaw_runtime::runtime::Policy;
+use csaw_runtime::{
+    Artifact, Clock, FailureClass, FaultPlan, HeartbeatConfig, LinkKind, ReconfigSpec,
+    RepairPolicy, Runtime, RuntimeConfig, SimConfig, SimExecutor, SimOutcome, StepRecord,
+    SupervisorConfig,
+};
+use csaw_runtime::supervisor::RepairAction;
+use mini_redis::apps::ServerApp;
+use mini_redis::{Command, Reply, Store};
+use parking_lot::Mutex;
+
+use crate::chaos::KvFront;
+use crate::conformance_runs::ConformanceSummary;
+use crate::self_healing::check_repair_chain;
+
+/// Front-end `wait` deadline (virtual).
+const FRONT_TIMEOUT: Duration = Duration::from_millis(200);
+/// Per-request invoke deadline (virtual). Kept short: a blocked invoke
+/// runs nested, where supervisor polls cannot fire, so a long deadline
+/// would starve detection.
+const REQUEST_DEADLINE: Duration = Duration::from_millis(80);
+/// Directed links between the preferred back-end and the rest.
+const O_LINKS: [(&str, &str); 4] = [("o", "f"), ("f", "o"), ("o", "s"), ("s", "o")];
+
+/// One schedule's parameters. Everything that shapes the run is here,
+/// so `(spec, steps)` fully determines a replay.
+#[derive(Clone, Debug)]
+pub struct ScheduleSpec {
+    /// Seed for the explorer's random walk *and* the link-chaos dice.
+    pub seed: u64,
+    /// Whether the supervisor's reconfigure repair fences the zombie
+    /// first. `false` re-introduces the split-brain ordering bug on
+    /// purpose; the oracle must catch it.
+    pub fence: bool,
+    /// Mild seeded link chaos (reordering) on the front ↔ spare path,
+    /// on top of the scripted partition.
+    pub chaos: bool,
+    /// Step budget per schedule.
+    pub max_steps: usize,
+    /// Virtual-time horizon.
+    pub horizon: Duration,
+}
+
+impl ScheduleSpec {
+    /// The standard schedule for one seed: fence on, chaos on.
+    pub fn for_seed(seed: u64) -> ScheduleSpec {
+        ScheduleSpec {
+            seed,
+            fence: true,
+            chaos: true,
+            max_steps: 6000,
+            horizon: Duration::from_millis(1500),
+        }
+    }
+
+    /// The deliberate-bug variant: identical schedule, fence disabled.
+    pub fn buggy(seed: u64) -> ScheduleSpec {
+        ScheduleSpec { fence: false, ..ScheduleSpec::for_seed(seed) }
+    }
+}
+
+/// What one schedule run produced, plus the oracle's verdict.
+#[derive(Debug)]
+pub struct ScheduleOutcome {
+    /// The seed the schedule ran under.
+    pub seed: u64,
+    /// The recorded schedule (explore) or the re-recorded one (replay).
+    pub steps: Vec<StepRecord>,
+    /// Virtual time covered.
+    pub virtual_ms: f64,
+    /// The walk hit its step budget before the horizon.
+    pub truncated: bool,
+    /// Requests that produced a reply.
+    pub acked: usize,
+    /// Restored OK acks in excess of durable serve footprints — must
+    /// be 0 (every acknowledged write is backed by a durable serve).
+    pub lost_acked: usize,
+    /// The healed zombie's stale reply landed — must stay false.
+    pub stale_applied: bool,
+    /// The supervisor's promotion repair verified.
+    pub repair_ok: bool,
+    /// Sends rejected by the fence over the run.
+    pub fenced_sends: u64,
+    /// Instances still held at the horizon — must be 0.
+    pub held_at_end: usize,
+    /// One line per supervisor repair: `instance class action ok×attempts`.
+    pub repairs: Vec<String>,
+    /// Cross-epoch conformance verdict.
+    pub conformance: ConformanceSummary,
+    /// `None` if every invariant held; otherwise what broke.
+    pub failure: Option<String>,
+    /// The recorded trace (virtual timestamps — byte-stable per seed).
+    pub trace_jsonl: String,
+}
+
+impl ScheduleOutcome {
+    /// Package a red schedule for replay.
+    pub fn artifact(&self) -> Option<Artifact> {
+        self.failure.as_ref().map(|reason| Artifact {
+            seed: self.seed,
+            reason: reason.clone(),
+            steps: self.steps.clone(),
+        })
+    }
+}
+
+/// Explore one schedule from the spec's seed.
+pub fn run_schedule(spec: &ScheduleSpec) -> ScheduleOutcome {
+    drive(spec, None)
+}
+
+/// Re-execute a recorded schedule (from an [`Artifact`] or a shrink
+/// candidate) against a fresh runtime built from the same spec.
+pub fn replay_schedule(spec: &ScheduleSpec, steps: &[StepRecord]) -> ScheduleOutcome {
+    drive(spec, Some(steps))
+}
+
+/// Minimize a red schedule: greedy chunk deletion, re-replaying the
+/// candidate and re-running the oracle each time. Returns the shrunk
+/// step list (still failing for the same reason class).
+pub fn shrink_failure(spec: &ScheduleSpec, artifact: &Artifact) -> Vec<StepRecord> {
+    csaw_runtime::sim::shrink_steps(&artifact.steps, |cand| {
+        replay_schedule(spec, cand).failure.is_some()
+    })
+}
+
+/// Deterministic request workload: a handful of unique-key SETs, one
+/// GET. Index is the injection's position in the request series.
+fn command_for(i: usize) -> Command {
+    if i == 2 {
+        Command::Get("rq0".to_string())
+    } else {
+        Command::Set(format!("rq{i}"), format!("rv{i}").into_bytes())
+    }
+}
+
+/// The scripted SET keys (window 2 is the GET).
+const SET_WINDOWS: [usize; 5] = [0, 1, 3, 4, 5];
+
+/// Shared driver-side bookkeeping the injections write into.
+#[derive(Default)]
+struct Driven {
+    acked: usize,
+    injected_reconfig: bool,
+    /// `Reply@f` just before the zombie poke. The split-brain oracle
+    /// only counts a *transition* to true caused by the poke: the
+    /// write-to-all mode routinely leaves a benign trailing `Reply`
+    /// assert (the second back-end's answer re-arms the prop after the
+    /// front consumed the first), which is protocol residue, not
+    /// split-brain.
+    poke_reply_before: Option<bool>,
+}
+
+fn drive(spec: &ScheduleSpec, replay: Option<&[StepRecord]>) -> ScheduleOutcome {
+    let wspec = WatchedSpec::default();
+    let boot = csaw_core::compile(supervised_failover(&wspec), &LoadConfig::new()).unwrap();
+    let target = csaw_core::compile(promoted(&wspec), &LoadConfig::new()).unwrap();
+
+    let clock = Clock::simulated();
+    let rt = Runtime::new(
+        &boot,
+        RuntimeConfig {
+            default_link: LinkKind::Sim { latency: Duration::from_millis(1), bandwidth: 0 },
+            clock: clock.clone(),
+            ..RuntimeConfig::default()
+        },
+    );
+    rt.set_tracing(true);
+
+    let front = KvFront::new();
+    let requests = Arc::clone(&front.requests);
+    let replies = Arc::clone(&front.replies);
+    rt.bind_app("f", Box::new(front));
+    let o = ServerApp::new();
+    let s = ServerApp::new();
+    let store_o = Arc::clone(&o.store);
+    let store_s = Arc::clone(&s.store);
+    rt.bind_app("o", Box::new(o));
+    rt.bind_app("s", Box::new(s));
+    rt.set_policy("f", "junction", Policy::OnDemand);
+    rt.run_main(vec![Value::Duration(FRONT_TIMEOUT)]).unwrap();
+    rt.enable_heartbeats(HeartbeatConfig {
+        interval: Duration::from_millis(20),
+        suspicion: Duration::from_millis(80),
+        k_missed: 2,
+    });
+    if spec.chaos {
+        // Mild seeded reordering on the surviving path. Deliberately no
+        // drops (the partition script owns those) and no duplicates:
+        // the watched reply protocol is not idempotent, so a duplicated
+        // `Reply` assertion landing in a later request's wait satisfies
+        // it with the *previous* reply payload — which makes the
+        // driver's "acked" attribution (and thus the lost-write oracle)
+        // unsound. The reorder delay stays well under the gap between
+        // scripted requests for the same reason.
+        let plan = FaultPlan::none()
+            .with_reorder(0.20, Duration::from_millis(4))
+            .with_seed(spec.seed ^ 0x51D0);
+        rt.set_fault_plan("f", "s", plan.clone());
+        rt.set_fault_plan("s", "f", plan.with_seed(spec.seed ^ 0x51D1));
+    }
+
+    let promote = target.clone();
+    let sup = rt.supervise(SupervisorConfig {
+        poll: Duration::from_millis(20),
+        quorum: 2,
+        confirm_polls: 2,
+        verify_timeout: Duration::from_millis(500),
+        fence_on_reconfigure: spec.fence,
+        policy: RepairPolicy::new().on(
+            FailureClass::Partition,
+            vec![RepairAction::Reconfigure(Arc::new(move |_rt, _inst| {
+                (promote.clone(), ReconfigSpec::default())
+            }))],
+        ),
+        ..SupervisorConfig::default()
+    });
+
+    let driven = Arc::new(Mutex::new(Driven::default()));
+    let mut exec = SimExecutor::new(SimConfig {
+        seed: spec.seed,
+        max_steps: spec.max_steps,
+        horizon: spec.horizon,
+        max_nested: 4,
+    });
+
+    // Requests: three before the partition, three on the promoted
+    // architecture (the repair confirms around 260ms virtual). Each
+    // injection enqueues one command and invokes the front; the
+    // invoke's blocking drives nested schedule progress.
+    let request_times: [(usize, u64); 6] =
+        [(0, 10), (1, 25), (2, 40), (3, 550), (4, 620), (5, 690)];
+    for (i, at_ms) in request_times {
+        let requests = Arc::clone(&requests);
+        let replies = Arc::clone(&replies);
+        let driven = Arc::clone(&driven);
+        exec.inject_at(Duration::from_millis(at_ms), &format!("request-{i}"), move |rt| {
+            let cmd = command_for(i);
+            {
+                let mut q = requests.lock();
+                q.clear();
+                q.push_back(cmd);
+            }
+            let before = replies.lock().len();
+            let deadline = rt.clock().now() + REQUEST_DEADLINE;
+            let inv = rt.invoke_deadline("f", "junction", deadline);
+            if std::env::var("DBG_SIM").is_ok() {
+                let r = replies.lock();
+                eprintln!(
+                    "win {i}: t={:?} inv={:?} replies {}->{} last={:?}",
+                    rt.clock().now(),
+                    inv.as_ref().map(|_| ()),
+                    before,
+                    r.len(),
+                    r.last()
+                );
+            }
+            if replies.lock().len() > before {
+                driven.lock().acked += 1;
+            }
+        });
+    }
+
+    // A benign live reconfiguration in the detection window: same
+    // program, fresh epoch — reconfigure interleaved with the
+    // supervisor's detect → repair machinery.
+    {
+        let driven = Arc::clone(&driven);
+        let same = boot.clone();
+        exec.inject_at(Duration::from_millis(100), "reconfig-identity", move |rt| {
+            if rt.reconfigure(&same, ReconfigSpec::default()).is_ok() {
+                driven.lock().injected_reconfig = true;
+            }
+        });
+    }
+
+    // The partition, then the heal + zombie poke.
+    exec.inject_at(Duration::from_millis(60), "partition-o", |rt| {
+        for (from, to) in O_LINKS {
+            rt.set_fault_plan(from, to, FaultPlan::none().with_drop(1.0));
+        }
+    });
+    {
+        let driven = Arc::clone(&driven);
+        exec.inject_at(Duration::from_millis(900), "heal-and-poke", move |rt| {
+            driven.lock().poke_reply_before =
+                Some(rt.peek_prop("f", "junction", "Reply") == Some(true));
+            for (from, to) in O_LINKS {
+                rt.set_fault_plan(from, to, FaultPlan::none());
+            }
+            // Re-arm the zombie's guard: with the fence up its stale
+            // reply dies on the wire; without it, split-brain.
+            rt.deliver_for_test("o", "junction", Update::assert("Run[o]", "sim-driver"));
+        });
+    }
+
+    let SimOutcome { steps, virtual_time, truncated } = match replay {
+        None => exec.explore(&rt),
+        Some(steps) => exec.replay(&rt, steps),
+    };
+
+    // ---- oracle -----------------------------------------------------
+    let d = driven.lock();
+    // Lost-acked-write invariant, stated soundly for an *anonymous*
+    // reply protocol. The front's reply carries no request identity and
+    // the wait deliberately abandons late replies ("prioritize
+    // throughput", Fig. 16), so a stale reply can satisfy a later
+    // window's wait — per-window attribution of acks to commands is
+    // unsound by construction (a second write-to-all reply re-arms
+    // `Reply@f` and the residue survives promotion via state
+    // migration). What *is* guaranteed: every restored `+OK` consumed
+    // one `Reply` assertion, which came from one `reply` call, which a
+    // back-end only makes after durably serving one scripted SET — and
+    // the unique keys are never overwritten or deleted. So with
+    // at-most-once links (no duplication chaos) the number of restored
+    // OK acks can never exceed the number of durable per-store serve
+    // footprints. An excess means an ack with no durable write behind
+    // it: a genuinely lost acknowledged write.
+    let ok_acks = replies.lock().iter().filter(|r| matches!(r, Reply::Ok)).count();
+    let serve_footprints = |store: &Arc<Mutex<Store>>| -> usize {
+        let s = store.lock();
+        SET_WINDOWS
+            .iter()
+            .filter(|i| {
+                s.get(&format!("rq{i}")).is_some_and(|v| v == format!("rv{i}").into_bytes())
+            })
+            .count()
+    };
+    let durable_serves = serve_footprints(&store_o) + serve_footprints(&store_s);
+    let lost_acked = ok_acks.saturating_sub(durable_serves);
+    let stale_applied = d.poke_reply_before == Some(false)
+        && rt.peek_prop("f", "junction", "Reply") == Some(true);
+    let records = sup.records();
+    let repairs: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                "{} {} {} ok={} attempts={}",
+                r.instance,
+                r.class.label(),
+                r.action,
+                r.ok,
+                r.attempts
+            )
+        })
+        .collect();
+    let repair_ok = records.iter().any(|r| r.instance == "o" && r.ok);
+    let fenced_sends = rt.link_stats().fenced;
+    let held_at_end = rt.held_instances().len();
+    let jsonl = rt.trace_jsonl();
+    let dropped = rt.trace_dropped();
+    let programs = sup.programs();
+    sup.stop();
+
+    let mut chain: Vec<&CompiledProgram> = vec![&boot];
+    if d.injected_reconfig {
+        // The identity reconfigure always lands before the repair can
+        // confirm (suspicion + quorum polls put the promotion later).
+        chain.push(&boot);
+    }
+    chain.extend(programs.iter());
+    // The zombie poke and heal-window retries inject applies with no
+    // matching send in the trace.
+    let conformance = check_repair_chain(&jsonl, dropped, &chain, true);
+    let acked = d.acked;
+    drop(d);
+    rt.shutdown();
+
+    let failure = if lost_acked > 0 {
+        Some(format!(
+            "lost {lost_acked} acked write(s): {ok_acks} OK acks, {durable_serves} durable serves"
+        ))
+    } else if stale_applied {
+        Some("split-brain: zombie reply applied after heal".to_string())
+    } else if held_at_end > 0 {
+        Some(format!("{held_at_end} instance(s) left held"))
+    } else if !conformance.ok {
+        Some(format!("conformance: {}", conformance.detail))
+    } else {
+        None
+    };
+    ScheduleOutcome {
+        seed: spec.seed,
+        steps,
+        virtual_ms: virtual_time.as_secs_f64() * 1e3,
+        truncated,
+        acked,
+        lost_acked,
+        stale_applied,
+        repair_ok,
+        fenced_sends,
+        held_at_end,
+        repairs,
+        conformance,
+        failure,
+        trace_jsonl: jsonl,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "debug aid"]
+    fn debug_red_seed() {
+        let seed: u64 = std::env::var("DBG_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(501);
+        let out = run_schedule(&ScheduleSpec::for_seed(seed));
+        eprintln!(
+            "seed {seed}: failure={:?} acked={} vms={} steps={} repairs={:?}",
+            out.failure, out.acked, out.virtual_ms, out.steps.len(), out.repairs
+        );
+        for line in out.trace_jsonl.lines() {
+            if line.contains("\"Reconfig") || line.contains("Repair") || line.contains("Fence") {
+                eprintln!("  {line}");
+            }
+        }
+    }
+
+    /// One green schedule end to end: requests acked, the supervisor
+    /// promotes the spare, the fence holds, the oracle is green.
+    #[test]
+    fn green_schedule_repairs_and_keeps_invariants() {
+        let out = run_schedule(&ScheduleSpec::for_seed(7));
+        assert!(out.failure.is_none(), "oracle: {:?}\nsteps: {}", out.failure, out.steps.len());
+        assert!(
+            out.repair_ok,
+            "promotion repair did not verify; repairs: {:?}, steps: {}, truncated: {}, vms: {}",
+            out.repairs,
+            out.steps.len(),
+            out.truncated,
+            out.virtual_ms
+        );
+        assert!(out.acked >= 2, "too few acked requests: {}", out.acked);
+        assert!(out.fenced_sends > 0, "fence never rejected the zombie");
+        assert!(!out.truncated, "step budget too small for the scenario");
+    }
+
+    /// Same seed, two fresh runtimes → byte-identical schedules and
+    /// byte-identical traces (the determinism contract).
+    #[test]
+    fn same_seed_is_byte_identical() {
+        let a = run_schedule(&ScheduleSpec::for_seed(11));
+        let b = run_schedule(&ScheduleSpec::for_seed(11));
+        assert_eq!(a.steps, b.steps, "schedules diverged for one seed");
+        assert_eq!(a.acked, b.acked);
+        assert_eq!(a.virtual_ms, b.virtual_ms);
+        assert_eq!(a.trace_jsonl, b.trace_jsonl, "traces diverged for one seed");
+        assert!(!a.trace_jsonl.is_empty(), "trace recording was off");
+    }
+
+    /// The deliberate ordering bug (fence disabled): the oracle flags
+    /// split-brain, the artifact shrinks, and the shrunk schedule still
+    /// reproduces the same failure under replay.
+    #[test]
+    fn fencing_bug_is_caught_shrunk_and_replayed() {
+        let spec = ScheduleSpec::buggy(3);
+        let out = run_schedule(&spec);
+        let art = out.artifact().expect("fence-off schedule must go red");
+        assert!(
+            art.reason.contains("split-brain"),
+            "wrong failure class: {}",
+            art.reason
+        );
+
+        // Unshrunk replay reproduces it exactly.
+        let replayed = replay_schedule(&spec, &art.steps);
+        assert_eq!(replayed.failure.as_deref(), Some(art.reason.as_str()));
+
+        // Shrinking keeps the failure and loses schedule noise.
+        let shrunk = shrink_failure(&spec, &art);
+        assert!(shrunk.len() < art.steps.len(), "shrink removed nothing");
+        let again = replay_schedule(&spec, &shrunk);
+        assert!(again.failure.is_some(), "shrunk schedule went green");
+
+        // And the artifact survives a JSON roundtrip into a new replay.
+        let json = Artifact { seed: art.seed, reason: art.reason.clone(), steps: shrunk }.to_json();
+        let back = Artifact::from_json(&json).expect("artifact parses");
+        let final_run = replay_schedule(&spec, &back.steps);
+        assert!(final_run.failure.is_some(), "replay-from-JSON went green");
+    }
+}

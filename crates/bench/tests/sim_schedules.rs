@@ -1,0 +1,70 @@
+//! Deterministic-simulation acceptance sweep: a block of consecutive
+//! seeds drives the supervised fail-over scenario — chaos reordering, a
+//! live reconfiguration landing inside the supervisor's detect →
+//! confirm → repair window, promotion of the spare, heal, zombie poke —
+//! and every schedule must come out green: oracle clean, repair
+//! verified, cross-epoch conformance pass, horizon reached within the
+//! step budget.
+//!
+//! The base seed honors `CSAW_SEED`, so a failing block reported by CI
+//! can be reproduced locally with the same environment variable; every
+//! red schedule prints its seed (and the `csaw_sim` CLI can then shrink
+//! and persist it as a JSON artifact).
+
+use csaw_bench::sim_runs::{run_schedule, ScheduleSpec};
+use csaw_runtime::env_seed;
+
+const SWEEP: u64 = 48;
+
+/// Under virtual time the heartbeat loop is drift-free: every round
+/// fires at an exact multiple of the 20 ms interval, regardless of how
+/// the random walk interleaves it with junction passes and repairs.
+#[test]
+fn sim_heartbeats_keep_nominal_cadence() {
+    let out = run_schedule(&ScheduleSpec::for_seed(5));
+    assert!(out.failure.is_none(), "oracle: {:?}", out.failure);
+    let mut rounds = 0u64;
+    for line in out.trace_jsonl.lines().filter(|l| l.contains("\"k\":\"link_hb\"")) {
+        let us: u64 = line
+            .split("\"us\":")
+            .nth(1)
+            .and_then(|rest| rest.split(',').next())
+            .and_then(|v| v.parse().ok())
+            .expect("link_hb event without a timestamp");
+        assert_eq!(us % 20_000, 0, "heartbeat drifted off the 20 ms grid: {line}");
+        rounds += 1;
+    }
+    // 1500 ms horizon / 20 ms interval, several directed pairs — the
+    // trace must show sustained rounds, not just the first.
+    assert!(rounds > 100, "too few heartbeat sends traced: {rounds}");
+}
+
+#[test]
+fn sweep_reconfigure_during_repair_stays_green() {
+    let base = env_seed(1000);
+    let mut acked_total = 0usize;
+    for seed in base..base + SWEEP {
+        let out = run_schedule(&ScheduleSpec::for_seed(seed));
+        assert!(
+            out.failure.is_none(),
+            "seed {seed} went red: {:?} (CSAW_SEED={seed} reproduces; \
+             `csaw_sim explore --seed {seed} --schedules 1` shrinks it)",
+            out.failure
+        );
+        assert!(out.repair_ok, "seed {seed}: promotion repair did not verify: {:?}", out.repairs);
+        assert!(out.conformance.ok, "seed {seed}: conformance: {}", out.conformance.detail);
+        assert!(!out.truncated, "seed {seed}: step budget exhausted before the horizon");
+        assert!(
+            out.fenced_sends > 0,
+            "seed {seed}: the fence never rejected the zombie's traffic"
+        );
+        acked_total += out.acked;
+    }
+    // The workload is six requests per schedule; chaos and repair
+    // timing may time a few out, but the sweep as a whole must carry
+    // real traffic or the oracle is vacuous.
+    assert!(
+        acked_total >= (SWEEP as usize) * 4,
+        "sweep carried too little acked traffic: {acked_total} over {SWEEP} schedules"
+    );
+}

@@ -151,14 +151,16 @@ pub(crate) struct LinkFaults {
 }
 
 impl LinkFaults {
-    pub(crate) fn new(plan: FaultPlan) -> LinkFaults {
+    /// `now` is the installing clock's current time — window offsets
+    /// are relative to it (wall or virtual alike).
+    pub(crate) fn new(plan: FaultPlan, now: Instant) -> LinkFaults {
         let rng = StdRng::seed_from_u64(plan.seed);
-        LinkFaults { plan, rng, installed_at: Instant::now() }
+        LinkFaults { plan, rng, installed_at: now }
     }
 
-    /// Roll the dice for one send attempt.
-    pub(crate) fn decide(&mut self) -> FaultDecision {
-        let since = self.installed_at.elapsed();
+    /// Roll the dice for one send attempt at clock time `now`.
+    pub(crate) fn decide(&mut self, now: Instant) -> FaultDecision {
+        let since = now.saturating_duration_since(self.installed_at);
         if self.plan.down_windows.iter().any(|w| w.contains(since)) {
             return FaultDecision::Partitioned;
         }
@@ -244,30 +246,38 @@ mod tests {
     #[test]
     fn decisions_are_deterministic_per_seed() {
         let plan = FaultPlan::none().with_drop(0.3).with_dup(0.2).with_seed(42);
-        let mut a = LinkFaults::new(plan.clone());
-        let mut b = LinkFaults::new(plan);
+        let t0 = Instant::now();
+        let mut a = LinkFaults::new(plan.clone(), t0);
+        let mut b = LinkFaults::new(plan, t0);
         for _ in 0..200 {
-            assert_eq!(a.decide(), b.decide());
+            let now = Instant::now();
+            assert_eq!(a.decide(now), b.decide(now));
         }
     }
 
     #[test]
     fn drop_rate_tracks_probability() {
-        let mut lf = LinkFaults::new(FaultPlan::none().with_drop(0.25).with_seed(7));
+        let mut lf = LinkFaults::new(FaultPlan::none().with_drop(0.25).with_seed(7), Instant::now());
         let drops = (0..10_000)
-            .filter(|_| lf.decide() == FaultDecision::Drop)
+            .filter(|_| lf.decide(Instant::now()) == FaultDecision::Drop)
             .count();
         assert!((2_000..3_000).contains(&drops), "drops={drops}");
     }
 
     #[test]
     fn outage_window_partitions_then_heals() {
+        let t0 = Instant::now();
         let mut lf = LinkFaults::new(
             FaultPlan::none().with_outage(Duration::ZERO, Duration::from_millis(30)),
+            t0,
         );
-        assert_eq!(lf.decide(), FaultDecision::Partitioned);
-        std::thread::sleep(Duration::from_millis(40));
-        assert!(matches!(lf.decide(), FaultDecision::Deliver { .. }));
+        assert_eq!(lf.decide(t0), FaultDecision::Partitioned);
+        // No real sleep needed: the decision is a pure function of the
+        // clock time handed in.
+        assert!(matches!(
+            lf.decide(t0 + Duration::from_millis(40)),
+            FaultDecision::Deliver { .. }
+        ));
     }
 
     #[test]

@@ -18,6 +18,8 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use crate::clock::Clock;
+
 /// The reserved pseudo-junction heartbeat pings are addressed to. The
 /// runtime's delivery path intercepts it; it never reaches a cell.
 pub const HB_JUNCTION: &str = "__hb";
@@ -69,13 +71,15 @@ struct Inner {
 /// Shared failure-detector state: who last heard from whom.
 pub(crate) struct HeartbeatState {
     enabled: AtomicBool,
+    clock: Clock,
     inner: Mutex<Inner>,
 }
 
 impl HeartbeatState {
-    pub(crate) fn new() -> HeartbeatState {
+    pub(crate) fn new(clock: Clock) -> HeartbeatState {
         HeartbeatState {
             enabled: AtomicBool::new(false),
+            clock,
             inner: Mutex::new(Inner {
                 config: HeartbeatConfig::default(),
                 last_heard: HashMap::new(),
@@ -116,7 +120,7 @@ impl HeartbeatState {
             .lock()
             .last_heard
             .entry((observer.to_string(), peer.to_string()))
-            .or_insert_with(Instant::now);
+            .or_insert_with(|| self.clock.now());
     }
 
     /// Grant `instance` a fresh suspicion window in both directions:
@@ -127,7 +131,7 @@ impl HeartbeatState {
     /// already exist. Without this a restarted instance stays suspected
     /// until the next ping round even though it is demonstrably back.
     pub(crate) fn reprime(&self, instance: &str) {
-        let now = Instant::now();
+        let now = self.clock.now();
         for ((obs, peer), t) in self.inner.lock().last_heard.iter_mut() {
             if obs == instance || peer == instance {
                 *t = now;
@@ -140,7 +144,7 @@ impl HeartbeatState {
         self.inner
             .lock()
             .last_heard
-            .insert((observer.to_string(), peer.to_string()), Instant::now());
+            .insert((observer.to_string(), peer.to_string()), self.clock.now());
     }
 
     /// Whether `observer` currently suspects `peer`. Read-only: an
@@ -159,7 +163,9 @@ impl HeartbeatState {
             .last_heard
             .get(&(observer.to_string(), peer.to_string()))
         {
-            Some(t) => t.elapsed() > inner.config.suspicion_after(),
+            Some(t) => {
+                self.clock.now().saturating_duration_since(*t) > inner.config.suspicion_after()
+            }
             None => false,
         }
     }
@@ -174,12 +180,20 @@ impl HeartbeatState {
         }
         let inner = self.inner.lock();
         let bar = inner.config.suspicion_after();
-        inner
+        let now = self.clock.now();
+        let mut who: Vec<String> = inner
             .last_heard
             .iter()
-            .filter(|((obs, p), t)| p == peer && obs != p && t.elapsed() > bar)
+            .filter(|((obs, p), t)| {
+                p == peer && obs != p && now.saturating_duration_since(**t) > bar
+            })
             .map(|((obs, _), _)| obs.clone())
-            .collect()
+            .collect();
+        // Sorted: callers fold this into trace records and repair
+        // decisions, and HashMap iteration order must not leak into
+        // deterministic replays.
+        who.sort();
+        who
     }
 }
 
@@ -189,13 +203,13 @@ mod tests {
 
     #[test]
     fn disabled_detector_never_suspects() {
-        let hb = HeartbeatState::new();
+        let hb = HeartbeatState::new(Clock::wall());
         assert!(!hb.suspects("a", "b"));
     }
 
     #[test]
     fn silence_breeds_suspicion_and_pings_clear_it() {
-        let hb = HeartbeatState::new();
+        let hb = HeartbeatState::new(Clock::wall());
         hb.enable(HeartbeatConfig {
             interval: Duration::from_millis(5),
             suspicion: Duration::from_millis(20),
@@ -214,7 +228,7 @@ mod tests {
 
     #[test]
     fn unwatched_pairs_are_never_suspected_and_queries_do_not_prime() {
-        let hb = HeartbeatState::new();
+        let hb = HeartbeatState::new(Clock::wall());
         hb.enable(HeartbeatConfig {
             interval: Duration::from_millis(1),
             suspicion: Duration::ZERO,
@@ -230,7 +244,7 @@ mod tests {
 
     #[test]
     fn rewatching_does_not_reset_the_clock() {
-        let hb = HeartbeatState::new();
+        let hb = HeartbeatState::new(Clock::wall());
         hb.enable(HeartbeatConfig {
             interval: Duration::from_millis(5),
             suspicion: Duration::from_millis(20),
@@ -245,7 +259,7 @@ mod tests {
 
     #[test]
     fn reprime_clears_accumulated_silence_both_ways() {
-        let hb = HeartbeatState::new();
+        let hb = HeartbeatState::new(Clock::wall());
         hb.enable(HeartbeatConfig {
             interval: Duration::from_millis(5),
             suspicion: Duration::from_millis(20),
@@ -264,7 +278,7 @@ mod tests {
 
     #[test]
     fn hysteresis_needs_k_consecutive_silent_windows() {
-        let hb = HeartbeatState::new();
+        let hb = HeartbeatState::new(Clock::wall());
         hb.enable(HeartbeatConfig {
             interval: Duration::from_millis(5),
             suspicion: Duration::from_millis(30),
@@ -286,7 +300,7 @@ mod tests {
 
     #[test]
     fn suspectors_of_lists_only_quorum_observers() {
-        let hb = HeartbeatState::new();
+        let hb = HeartbeatState::new(Clock::wall());
         hb.enable(HeartbeatConfig {
             interval: Duration::from_millis(5),
             suspicion: Duration::from_millis(20),
@@ -304,7 +318,7 @@ mod tests {
 
     #[test]
     fn self_is_never_suspected() {
-        let hb = HeartbeatState::new();
+        let hb = HeartbeatState::new(Clock::wall());
         hb.enable(HeartbeatConfig {
             interval: Duration::from_millis(1),
             suspicion: Duration::ZERO,

@@ -78,7 +78,7 @@ impl<'rt> ExecCtx<'rt> {
 
     fn check_deadline(&self, what: &str) -> RtResult<()> {
         if let Some(d) = self.deadline() {
-            if Instant::now() > d {
+            if self.rt.clock().now() > d {
                 return Err(Failure::Timeout { context: what.to_string() });
             }
         }
@@ -408,7 +408,7 @@ impl<'rt> ExecCtx<'rt> {
                 let pushed = match timeout {
                     Some(t) => {
                         let d = self.resolve_timeout(t)?;
-                        self.deadlines.push(Instant::now() + d);
+                        self.deadlines.push(self.rt.clock().now() + d);
                         true
                     }
                     None => false,
@@ -602,9 +602,10 @@ impl<'rt> ExecCtx<'rt> {
         for d in data {
             keys.push(self.resolve_str(d)?);
         }
+        let clock = self.rt.clock().clone();
         let hard_deadline = self
             .deadline()
-            .unwrap_or_else(|| Instant::now() + self.rt.config.max_wait);
+            .unwrap_or_else(|| clock.now() + self.rt.config.max_wait);
         let token = {
             let mut table = self.cell().table();
             table.open_window(keys)
@@ -615,18 +616,38 @@ impl<'rt> ExecCtx<'rt> {
                 Ok(c) => c,
                 Err(f) => break Err(f),
             };
-            let mut table = self.cell().table();
-            if self.eval_cached(formula, &table, &cache) == Ternary::True {
+            let satisfied = {
+                let table = self.cell().table();
+                self.eval_cached(formula, &table, &cache) == Ternary::True
+            };
+            if satisfied {
                 break Ok(Flow::Ok);
             }
-            let now = Instant::now();
+            let now = clock.now();
             if now >= hard_deadline {
                 break Err(Failure::Timeout {
                     context: format!("wait {formula} in {}", self.me()),
                 });
             }
             let next = (now + self.rt.config.tick).min(hard_deadline);
-            self.cell().wait_on(&mut table, next);
+            if clock.is_simulated() {
+                // No condvar under virtual time: the table guard is
+                // dropped above, and the sim hook makes one unit of
+                // progress elsewhere (deliveries, other junctions) or
+                // advances the virtual clock. The target is the hard
+                // deadline, not the poll tick: the formula only changes
+                // when the hook delivers or runs something, so the
+                // re-check after every unit of progress loses nothing,
+                // and tick-sized steps would burn a schedule step per
+                // tick of dead virtual air.
+                clock.block_until(hard_deadline);
+            } else {
+                let mut table = self.cell().table();
+                // Re-check under the lock: a delivery may have landed
+                // between the unlocked evaluation and here, in which
+                // case wait_on returns at the next nudge anyway.
+                self.cell().wait_on(&mut table, next);
+            }
         };
         self.cell().table().close_window(token);
         result
@@ -638,6 +659,32 @@ impl<'rt> ExecCtx<'rt> {
         }
         if arms.len() == 1 {
             return self.eval(&arms[0]);
+        }
+        if self.rt.clock().is_simulated() {
+            // Under virtual time the executor is single-threaded, so a
+            // scoped-thread fan-out would deadlock waiting on arms that
+            // never get scheduled. Run the arms in sequence — a legal
+            // interleaving of E1 + E2 — and combine flows the same way.
+            let mut flow = Flow::Ok;
+            for arm in arms {
+                let mut ctx = ExecCtx {
+                    rt: self.rt,
+                    inst: self.inst,
+                    jrt: self.jrt,
+                    deadlines: self.deadlines.clone(),
+                    txn_logs: Vec::new(),
+                };
+                match ctx.eval(arm) {
+                    Err(f) => return Err(f),
+                    Ok(Flow::Ok) => {}
+                    Ok(other) => {
+                        if flow == Flow::Ok {
+                            flow = other;
+                        }
+                    }
+                }
+            }
+            return Ok(flow);
         }
         let rt = self.rt;
         let inst = self.inst;

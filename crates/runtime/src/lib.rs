@@ -29,22 +29,26 @@
 
 pub mod app;
 pub mod cell;
+pub mod clock;
 pub mod error;
 pub mod fault;
 pub mod health;
 pub mod interp;
 pub mod reconfig;
 pub mod runtime;
+pub mod sim;
 pub mod supervisor;
 pub mod trace;
 pub mod transport;
 
 pub use app::{HostCtx, InstanceApp, NoopApp};
+pub use clock::{env_seed, Clock, SimHook};
 pub use error::{Failure, RtResult};
 pub use fault::{FaultPlan, FaultWindow, RetryPolicy};
 pub use health::HeartbeatConfig;
 pub use reconfig::{MigrationCtx, ReconfigReport, ReconfigSpec};
 pub use runtime::{InstanceStatus, Runtime, RuntimeConfig};
+pub use sim::{Artifact, SimConfig, SimExecutor, SimOutcome, StepRecord};
 pub use supervisor::{
     FailureClass, RepairAction, RepairPolicy, RepairRecord, Supervisor, SupervisorConfig,
     SupervisorStats,

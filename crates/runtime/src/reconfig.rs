@@ -266,7 +266,7 @@ impl Runtime {
         target: &CompiledProgram,
         spec: ReconfigSpec,
     ) -> Result<ReconfigReport, Failure> {
-        let started = Instant::now();
+        let started = self.inner.clock().now();
         let _serial = self.inner.reconfig_lock.lock();
         let current = self.inner.program.lock().clone();
         let plan = diff_programs(&current, target);
@@ -291,7 +291,7 @@ impl Runtime {
                 // buffer (reconfig_lock makes a leftover impossible in
                 // practice, but a clobber would drop updates silently).
                 holds.entry(name.clone()).or_default();
-                pause_started.insert(name.clone(), Instant::now());
+                pause_started.insert(name.clone(), self.inner.clock().now());
                 self.inner
                     .tracer
                     .record(name, "", 0, TraceKind::ReconfigQuiesce { paused_us: 0 });
@@ -331,7 +331,13 @@ impl Runtime {
         let mut exports: HashMap<(String, String), TableState> = HashMap::new();
         let mut migrated_bytes = 0u64;
         let mut snapshot_err: Option<Failure> = None;
-        'snapshot: for (name, inst) in &old_states {
+        // Sorted so the migrate trace events (and any codec failure) land
+        // in the same order every run — the simulation's determinism
+        // contract covers reconfiguration mid-schedule.
+        let mut snapshot_order: Vec<&String> = old_states.keys().collect();
+        snapshot_order.sort();
+        'snapshot: for name in snapshot_order {
+            let inst = &old_states[name];
             for jrt in &inst.junctions {
                 let state = jrt.cell.table().export_state();
                 let bytes = match encode_table_state(&state) {
@@ -448,11 +454,15 @@ impl Runtime {
         for old in old_states.values() {
             old.wake();
         }
-        let mut new_threads = Vec::new();
-        for inst in &fresh {
-            new_threads.extend(spawn_schedulers(&self.inner, inst));
+        // Under a simulated clock no scheduler threads exist: the sim
+        // executor discovers the fresh instances on its next pass.
+        if !self.inner.clock().is_simulated() {
+            let mut new_threads = Vec::new();
+            for inst in &fresh {
+                new_threads.extend(spawn_schedulers(&self.inner, inst));
+            }
+            self.threads.lock().extend(new_threads);
         }
-        self.threads.lock().extend(new_threads);
 
         // Phase 6: app-level migration and topology rewires, while the
         // affected instances are still held. The cut is committed at
@@ -512,7 +522,7 @@ impl Runtime {
             held_updates,
             dropped_updates,
             migration_error,
-            total: started.elapsed(),
+            total: self.inner.clock().now().saturating_duration_since(started),
         })
     }
 
@@ -555,7 +565,11 @@ impl Runtime {
                     None => dropped_updates += buffered.len() as u64,
                 }
                 held_updates += flushed;
-                let paused = pause_started[name].elapsed();
+                let paused = self
+                    .inner
+                    .clock()
+                    .now()
+                    .saturating_duration_since(pause_started[name]);
                 self.inner
                     .tracer
                     .record(name, "", 0, TraceKind::ReconfigResume { flushed });

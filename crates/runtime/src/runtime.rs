@@ -15,6 +15,7 @@ use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::app::{InstanceApp, NoopApp};
 use crate::cell::{Cell, JunctionId};
+use crate::clock::Clock;
 use crate::error::Failure;
 use crate::fault::{FaultPlan, RetryPolicy};
 use crate::health::{HeartbeatConfig, HeartbeatState, HB_JUNCTION};
@@ -116,6 +117,11 @@ pub struct RuntimeConfig {
     pub max_wait: Duration,
     /// Default deadline for [`Runtime::invoke`] guard waits.
     pub invoke_timeout: Duration,
+    /// Time source. [`Clock::wall`] for production; a
+    /// [`Clock::simulated`] clock puts the runtime in deterministic-
+    /// simulation mode — no service threads are spawned, and a
+    /// [`crate::sim::SimExecutor`] drives every step instead.
+    pub clock: Clock,
 }
 
 impl Default for RuntimeConfig {
@@ -125,6 +131,7 @@ impl Default for RuntimeConfig {
             tick: Duration::from_millis(2),
             max_wait: Duration::from_secs(30),
             invoke_timeout: Duration::from_secs(10),
+            clock: Clock::wall(),
         }
     }
 }
@@ -253,9 +260,18 @@ pub(crate) struct RuntimeInner {
     m_activations: Arc<std::sync::atomic::AtomicU64>,
     h_activation: Arc<Histogram>,
     main: MainDef,
+    /// Supervisor cores parked here when the runtime runs under a
+    /// simulated clock: [`crate::Runtime::supervise`] cannot spawn a
+    /// thread, so the sim executor takes the core and polls it as a
+    /// schedulable event instead.
+    pub(crate) sim_supervisors: Mutex<Vec<crate::supervisor::SupervisorCore>>,
 }
 
 impl RuntimeInner {
+    pub(crate) fn clock(&self) -> &Clock {
+        &self.config.clock
+    }
+
     pub(crate) fn instance(&self, name: &str) -> Result<Arc<InstanceState>, Failure> {
         self.get_instance(name)
             .ok_or_else(|| Failure::Unresolved(format!("instance `{name}`")))
@@ -265,8 +281,16 @@ impl RuntimeInner {
         self.instances.read().get(name).cloned()
     }
 
+    /// All registered instances, sorted by name. The sort keeps every
+    /// order-sensitive consumer — heartbeat rounds, supervisor detection
+    /// sweeps, the sim executor's event enumeration — independent of
+    /// `HashMap` iteration order, which varies between processes and
+    /// would break deterministic replay.
     pub(crate) fn all_instances(&self) -> Vec<Arc<InstanceState>> {
-        self.instances.read().values().cloned().collect()
+        let mut v: Vec<Arc<InstanceState>> =
+            self.instances.read().values().cloned().collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
     }
 
     pub(crate) fn record_event(
@@ -277,7 +301,7 @@ impl RuntimeInner {
         detail: String,
     ) {
         self.events.lock().push(Event {
-            at: Instant::now(),
+            at: self.clock().now(),
             instance: instance.to_string(),
             junction: junction.to_string(),
             kind: kind.to_string(),
@@ -557,7 +581,19 @@ impl RuntimeInner {
         inst: &Arc<InstanceState>,
         jrt: &Arc<JunctionRt>,
     ) -> Result<bool, Failure> {
-        let _act = jrt.cell.lock_activation();
+        // Under a simulated clock everything runs on one thread: a
+        // nested scheduler pass (fired from a blocked `wait`'s progress
+        // hook) must not block on a junction already mid-activation
+        // lower on the same stack — that would be self-deadlock. Treat
+        // "activation busy" as "not runnable" instead.
+        let _act = if self.clock().is_simulated() {
+            match jrt.cell.try_lock_activation() {
+                Some(g) => g,
+                None => return Ok(false),
+            }
+        } else {
+            jrt.cell.lock_activation()
+        };
         if inst.status() != InstanceStatus::Running {
             return Ok(false);
         }
@@ -582,7 +618,7 @@ impl RuntimeInner {
         };
         self.tracer
             .record_ids(&jrt.trace_instance, &jrt.trace_junction, epoch, TraceKind::Sched);
-        let started = Instant::now();
+        let started = self.clock().now();
         inst.activations.fetch_add(1, Ordering::Relaxed);
         self.m_activations.fetch_add(1, Ordering::Relaxed);
         let handled_before = jrt.handled_failures.load(Ordering::Relaxed);
@@ -607,14 +643,15 @@ impl RuntimeInner {
             let mut table = jrt.cell.table();
             table.end_activation();
         }
-        self.h_activation.observe_us(started.elapsed().as_micros() as u64);
+        self.h_activation
+            .observe_us(self.clock().now().saturating_duration_since(started).as_micros() as u64);
         self.tracer.record_ids(
             &jrt.trace_instance,
             &jrt.trace_junction,
             epoch,
             TraceKind::Unsched { ok: result.is_ok() },
         );
-        *jrt.last_run.lock() = Some(Instant::now());
+        *jrt.last_run.lock() = Some(self.clock().now());
         jrt.cell.nudge();
         inst.wake();
         let absorbed = jrt.handled_failures.load(Ordering::Relaxed) != handled_before;
@@ -651,7 +688,7 @@ impl RuntimeInner {
         let delay = FAILURE_BACKOFF_BASE
             .saturating_mul(1 << n)
             .min(FAILURE_BACKOFF_CAP);
-        *jrt.backoff_until.lock() = Some(Instant::now() + delay);
+        *jrt.backoff_until.lock() = Some(self.clock().now() + delay);
     }
 
     /// One scheduler pass over one junction: run it if due. Returns
@@ -659,13 +696,17 @@ impl RuntimeInner {
     /// started concurrently" (§6) — each junction has its own scheduler
     /// thread so a blocked `wait` in one junction (e.g. a watchdog's
     /// inactivity window) never starves its siblings.
-    fn scheduler_pass(self: &Arc<Self>, inst: &Arc<InstanceState>, jrt: &Arc<JunctionRt>) -> bool {
+    pub(crate) fn scheduler_pass(
+        self: &Arc<Self>,
+        inst: &Arc<InstanceState>,
+        jrt: &Arc<JunctionRt>,
+    ) -> bool {
         // Failure backoff: a junction whose last autonomous activation
         // failed is not re-scheduled until its backoff elapses.
         if jrt
             .backoff_until
             .lock()
-            .is_some_and(|t| Instant::now() < t)
+            .is_some_and(|t| self.clock().now() < t)
         {
             return false;
         }
@@ -679,7 +720,9 @@ impl RuntimeInner {
                 Policy::OnDemand => false,
                 Policy::Periodic(iv) => {
                     jrt.needs_initial.load(Ordering::SeqCst)
-                        || jrt.last_run.lock().is_none_or(|t| t.elapsed() >= iv)
+                        || jrt.last_run.lock().is_none_or(|t| {
+                            self.clock().now().saturating_duration_since(t) >= iv
+                        })
                 }
             }
         };
@@ -714,6 +757,44 @@ impl RuntimeInner {
             }
         }
     }
+
+    /// One heartbeat round: every running instance pings every other
+    /// running instance through the network (so pings experience link
+    /// faults). Shared by the wall-clock monitor thread and the sim
+    /// executor, which fires rounds as schedulable events.
+    pub(crate) fn heartbeat_round(&self) {
+        if !self.hb.is_enabled() {
+            return;
+        }
+        let running: Vec<String> = self
+            .all_instances()
+            .iter()
+            .filter(|i| i.status() == InstanceStatus::Running)
+            .map(|i| i.name.clone())
+            .collect();
+        for from in &running {
+            for to_inst in &running {
+                if from == to_inst {
+                    continue;
+                }
+                // Priming happens here, at watch registration — never
+                // in the `suspects` read path.
+                self.hb.watch(to_inst, from);
+                let to = JunctionId::new(to_inst.clone(), HB_JUNCTION);
+                let ping = Update::assert(HB_JUNCTION, format!("{from}::{HB_JUNCTION}"));
+                if self.tracer.is_enabled() {
+                    self.tracer.record(
+                        from,
+                        "",
+                        0,
+                        TraceKind::LinkHeartbeat { to: to_inst.as_str().into() },
+                    );
+                }
+                // Loss is the signal: no retry, errors ignored.
+                let _ = self.network.send_raw(from, &to, ping);
+            }
+        }
+    }
 }
 
 /// The C-Saw runtime: build from a compiled program, bind apps, run.
@@ -732,7 +813,8 @@ impl Runtime {
     /// Build a runtime from a compiled program with default apps
     /// ([`NoopApp`]) everywhere. Scheduler threads start parked.
     pub fn new(compiled: &CompiledProgram, config: RuntimeConfig) -> Runtime {
-        let tracer = Arc::new(Tracer::new());
+        let clock = config.clock.clone();
+        let tracer = Arc::new(Tracer::with_clock(clock.clone()));
         let metrics = Arc::new(Metrics::new());
         // Build instances & cells.
         let mut instances = HashMap::new();
@@ -753,7 +835,7 @@ impl Runtime {
         let holds_active2 = Arc::clone(&holds_active);
         let inflight = Arc::new(AtomicU64::new(0));
         let inflight2 = Arc::clone(&inflight);
-        let hb = Arc::new(HeartbeatState::new());
+        let hb = Arc::new(HeartbeatState::new(clock.clone()));
         let hb2 = Arc::clone(&hb);
         let deliver: DeliverFn = Arc::new(move |to: &JunctionId, update: Update| {
             // Heartbeat pings feed the failure detector and stop here —
@@ -809,7 +891,8 @@ impl Runtime {
                 }
             }
         });
-        let mut network = Network::with_telemetry(deliver, Arc::clone(&tracer), &metrics);
+        let mut network =
+            Network::with_telemetry(deliver, Arc::clone(&tracer), &metrics, clock.clone());
         network.set_default_link(config.default_link);
 
         let inner = Arc::new(RuntimeInner {
@@ -831,13 +914,18 @@ impl Runtime {
             tracer,
             metrics,
             main: compiled.program.main.clone(),
+            sim_supervisors: Mutex::new(Vec::new()),
         });
 
         // Spawn one scheduler thread per junction: the junctions of an
-        // instance execute concurrently (§6).
+        // instance execute concurrently (§6). Under a simulated clock
+        // there are no threads at all — the sim executor owns every
+        // junction step and runs them as schedulable events.
         let mut threads = Vec::new();
-        for inst in inner.all_instances() {
-            threads.extend(spawn_schedulers(&inner, &inst));
+        if !inner.clock().is_simulated() {
+            for inst in inner.all_instances() {
+                threads.extend(spawn_schedulers(&inner, &inst));
+            }
         }
         Runtime { inner, threads: Arc::new(Mutex::new(threads)), primary: true }
     }
@@ -919,49 +1007,38 @@ impl Runtime {
     /// calling it once.
     pub fn enable_heartbeats(&self, config: HeartbeatConfig) {
         self.inner.hb.enable(config);
+        if self.inner.clock().is_simulated() {
+            // The sim executor notices the enabled detector and fires
+            // `heartbeat_round` as a schedulable event at each tick.
+            return;
+        }
         let inner = Arc::clone(&self.inner);
         let handle = std::thread::Builder::new()
             .name("csaw-heartbeat".into())
             .spawn(move || {
-                while !inner.shutdown.load(Ordering::SeqCst) {
-                    let interval = inner.hb.config().interval;
-                    if inner.hb.is_enabled() {
-                        let running: Vec<String> = inner
-                            .all_instances()
-                            .iter()
-                            .filter(|i| i.status() == InstanceStatus::Running)
-                            .map(|i| i.name.clone())
-                            .collect();
-                        for from in &running {
-                            for to_inst in &running {
-                                if from == to_inst {
-                                    continue;
-                                }
-                                // Priming happens here, at watch
-                                // registration — never in the
-                                // `suspects` read path.
-                                inner.hb.watch(to_inst, from);
-                                let to = JunctionId::new(to_inst.clone(), HB_JUNCTION);
-                                let ping = Update::assert(
-                                    HB_JUNCTION,
-                                    format!("{from}::{HB_JUNCTION}"),
-                                );
-                                if inner.tracer.is_enabled() {
-                                    inner.tracer.record(
-                                        from,
-                                        "",
-                                        0,
-                                        TraceKind::LinkHeartbeat {
-                                            to: to_inst.as_str().into(),
-                                        },
-                                    );
-                                }
-                                // Loss is the signal: no retry, errors ignored.
-                                let _ = inner.network.send_raw(from, &to, ping);
-                            }
-                        }
+                let clock = inner.clock().clone();
+                // Drift-free cadence: each tick is scheduled off the
+                // previous *target*, not off "now after a round", so a
+                // slow round (large topology, contended links) does not
+                // stretch the ping period and breed false suspicion.
+                let mut next_tick = clock.now();
+                loop {
+                    let mut stop = || inner.shutdown.load(Ordering::SeqCst);
+                    if stop() {
+                        return;
                     }
-                    std::thread::sleep(interval);
+                    if !clock.sleep_until_interruptible(next_tick, &mut stop) {
+                        return;
+                    }
+                    inner.heartbeat_round();
+                    let interval = inner.hb.config().interval;
+                    next_tick += interval;
+                    // If a round overran a whole interval, re-anchor
+                    // instead of firing a burst of catch-up rounds.
+                    let now = clock.now();
+                    if next_tick < now {
+                        next_tick = now;
+                    }
                 }
             })
             .expect("spawn heartbeat monitor");
@@ -994,7 +1071,7 @@ impl Runtime {
     /// Synchronously invoke a junction (request-driven scheduling): waits
     /// for the guard, runs the activation on the calling thread.
     pub fn invoke(&self, instance: &str, junction: &str) -> Result<(), Failure> {
-        let deadline = Instant::now() + self.inner.config.invoke_timeout;
+        let deadline = self.inner.clock().now() + self.inner.config.invoke_timeout;
         self.invoke_deadline(instance, junction, deadline)
     }
 
@@ -1017,12 +1094,21 @@ impl Runtime {
             if self.inner.guard_ready(&inst, &jrt) && self.inner.run_activation(&inst, &jrt)? {
                 return Ok(());
             }
-            if Instant::now() >= deadline {
+            if self.inner.clock().now() >= deadline {
                 return Err(Failure::Timeout {
                     context: format!("invoke {instance}::{junction}"),
                 });
             }
-            std::thread::sleep(self.inner.config.tick.min(Duration::from_millis(1)));
+            if self.inner.clock().is_simulated() {
+                // One unit of sim progress per guard re-check: a fixed
+                // 1ms poll would burn a schedule step per virtual
+                // millisecond even when nothing is due before `deadline`.
+                self.inner.clock().block_until(deadline);
+            } else {
+                self.inner
+                    .clock()
+                    .sleep(self.inner.config.tick.min(Duration::from_millis(1)));
+            }
         }
     }
 
@@ -1148,6 +1234,21 @@ impl Runtime {
         self.inner.network.set_fencing(enabled);
     }
 
+    /// The runtime's time source (virtual under deterministic
+    /// simulation, wall otherwise).
+    pub fn clock(&self) -> &Clock {
+        self.inner.clock()
+    }
+
+    /// Instances currently held by a reconfiguration or an explicit
+    /// hold, sorted by name. A non-empty set after a run settled means
+    /// a hold leaked.
+    pub fn held_instances(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.inner.holds.lock().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
     /// Access an instance's app (e.g. to query a substrate store).
     pub fn app(&self, instance: &str) -> Option<Arc<Mutex<Box<dyn InstanceApp>>>> {
         self.inner.get_instance(instance).map(|i| Arc::clone(&i.app))
@@ -1252,6 +1353,13 @@ impl Runtime {
     /// Shut the runtime down: stop schedulers and background threads.
     pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
+        // Every interruptible sleep — supervisor backoff and verify
+        // polls, the heartbeat tick — re-checks its stop predicate now
+        // instead of waiting out its full duration.
+        self.inner.clock().interrupt_sleepers();
+        // Parked supervisor cores each hold a Runtime handle; dropping
+        // them here breaks the Arc cycle back to RuntimeInner.
+        self.inner.sim_supervisors.lock().clear();
         self.inner.wake_all();
         self.inner.network.shutdown();
         for t in self.threads.lock().drain(..) {

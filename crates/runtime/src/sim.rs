@@ -1,0 +1,942 @@
+//! Deterministic simulation testing: a single-threaded schedule
+//! explorer over the runtime's virtual clock.
+//!
+//! Under a [`Clock::simulated`] runtime no service threads exist — no
+//! junction schedulers, no heartbeat monitor, no supervisor thread, no
+//! link-delivery thread. Every step of the system becomes a
+//! *schedulable event* owned by the [`SimExecutor`]:
+//!
+//! * a scheduler pass over one junction (`pass:inst:junction`),
+//! * delivery of due network packets (`pump`),
+//! * a heartbeat round (`hb`),
+//! * a supervisor detection poll (`sup:i`),
+//! * advancing virtual time to the next armed deadline (`adv:ns`),
+//! * a time-scheduled fault/workload injection (`inj:i`).
+//!
+//! The executor performs a seeded random walk over the enabled events:
+//! each step it enumerates what is runnable *now*, asks its PRNG, and
+//! records the choice. Blocking sites inside the runtime (a `wait`
+//! polling its formula, a retry backoff, an `invoke` deadline loop) do
+//! not stop the walk: they call the [`SimHook`] installed in the clock,
+//! which makes one *nested* unit of progress — deliver due packets, run
+//! some other junction, or advance time — also chosen by the PRNG and
+//! recorded. Two rules keep nesting deadlock-free on one thread:
+//! supervisor polls and injections fire only at top level (a repair's
+//! `reconfigure` must never run above a blocked activation holding the
+//! lock it needs), and re-entering a mid-activation junction is treated
+//! as "not runnable" (`Cell::try_lock_activation`).
+//!
+//! Because every source of nondeterminism — event order, virtual time,
+//! fault dice, retry jitter — is derived from seeds, a schedule is
+//! fully described by `(seed, injections)` and its recorded step list.
+//! A failing schedule serializes to a JSON [`Artifact`]; [`replay`]
+//! re-executes the recorded steps against a fresh runtime, and
+//! [`shrink_steps`] greedily deletes chunks of the record (re-checking
+//! the failure oracle each time) to minimize it. During replay, records
+//! that are no longer enabled are skipped and an exhausted record list
+//! falls back to a deterministic drain, so shrunk artifacts still
+//! replay bit-for-bit.
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::clock::{Clock, SimHook};
+use crate::runtime::{InstanceState, InstanceStatus, JunctionRt, Policy, Runtime, RuntimeInner};
+
+/// One recorded scheduling decision, in compact string form:
+/// `pass:inst:junction`, `pump`, `hb`, `sup:i`, `adv:ns`, `inj:i`.
+pub type StepRecord = String;
+
+/// Explorer tuning.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Seed for the schedule walk (fault plans carry their own seeds).
+    pub seed: u64,
+    /// Budget of recorded scheduling decisions per schedule.
+    pub max_steps: usize,
+    /// Virtual-time horizon: the walk stops when the clock reaches it.
+    pub horizon: Duration,
+    /// How deep nested progress (hook inside hook) may go before a
+    /// blocked site just advances time to its own deadline.
+    pub max_nested: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            max_steps: 4000,
+            horizon: Duration::from_secs(10),
+            max_nested: 4,
+        }
+    }
+}
+
+/// What one schedule run produced.
+#[derive(Clone, Debug)]
+pub struct SimOutcome {
+    /// Every recorded scheduling decision, in execution order.
+    pub steps: Vec<StepRecord>,
+    /// Virtual time elapsed over the run.
+    pub virtual_time: Duration,
+    /// The walk stopped on the step budget rather than the horizon.
+    pub truncated: bool,
+}
+
+/// A replayable failing schedule: feed [`Artifact::steps`] back through
+/// [`SimExecutor::replay`] (with the same program, injections, and
+/// seed) to re-execute it deterministically.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Artifact {
+    /// The schedule seed the failure was found with.
+    pub seed: u64,
+    /// What the oracle reported.
+    pub reason: String,
+    /// The recorded schedule.
+    pub steps: Vec<StepRecord>,
+}
+
+struct Injection {
+    at: Duration,
+    label: String,
+    f: Box<dyn Fn(&Runtime)>,
+}
+
+/// Drives one simulated runtime through one schedule. Reusable across
+/// [`SimExecutor::explore`] / [`SimExecutor::replay`] calls — but each
+/// call expects a *fresh* runtime started from the same initial state,
+/// or determinism is meaningless.
+pub struct SimExecutor {
+    config: SimConfig,
+    injections: Vec<Injection>,
+}
+
+enum Mode {
+    Explore(StdRng),
+    Replay(VecDeque<String>),
+}
+
+struct InjSlot {
+    at_ns: u64,
+    fired: bool,
+    /// Shrinking can delete an `inj:i` record; replay then suppresses
+    /// the injection entirely (this is how shrinking minimizes the
+    /// injected workload, not just the interleaving).
+    allowed: bool,
+}
+
+/// Executor state shared with the clock hook.
+struct Driver {
+    mode: Mode,
+    steps: Vec<String>,
+    step_count: usize,
+    max_steps: usize,
+    max_nested: usize,
+    depth: usize,
+    hb_next: Option<Instant>,
+    injections: Vec<InjSlot>,
+}
+
+struct SimShared {
+    inner: Arc<RuntimeInner>,
+    st: Mutex<Driver>,
+}
+
+#[derive(Clone)]
+enum Choice {
+    Pass(Arc<InstanceState>, Arc<JunctionRt>),
+    Pump,
+    Hb,
+    Sup(usize),
+    Advance(Instant),
+}
+
+enum Picked {
+    /// A recorded decision to execute.
+    Chosen(Choice),
+    /// Replay had no consumable record: take the deterministic drain.
+    Drain,
+    /// Nothing is runnable and no time is left to advance.
+    Halt,
+}
+
+/// Clears the hook even if a schedule panics — the hook closes an Arc
+/// cycle from the clock back to the runtime.
+struct HookGuard(Clock);
+
+impl Drop for HookGuard {
+    fn drop(&mut self) {
+        self.0.clear_hook();
+    }
+}
+
+impl SimExecutor {
+    /// A fresh executor with the given tuning.
+    pub fn new(config: SimConfig) -> SimExecutor {
+        SimExecutor { config, injections: Vec::new() }
+    }
+
+    /// Schedule `f` to run against the runtime once virtual time
+    /// reaches `at` (measured from the start of the run). Injections
+    /// fire between top-level events, in registration order; use them
+    /// for fault-plan installs, client `invoke`s, live `reconfigure`s,
+    /// crashes — anything a test driver would do from outside.
+    pub fn inject_at(
+        &mut self,
+        at: Duration,
+        label: &str,
+        f: impl Fn(&Runtime) + 'static,
+    ) -> &mut Self {
+        self.injections.push(Injection { at, label: label.to_string(), f: Box::new(f) });
+        self
+    }
+
+    /// Labels of the registered injections, in index order (index `i`
+    /// is what an `inj:i` record refers to).
+    pub fn injection_labels(&self) -> Vec<String> {
+        self.injections.iter().map(|i| i.label.clone()).collect()
+    }
+
+    /// Random-walk one schedule from the configured seed.
+    pub fn explore(&self, rt: &Runtime) -> SimOutcome {
+        self.drive(rt, Mode::Explore(StdRng::seed_from_u64(self.config.seed)), None)
+    }
+
+    /// Re-execute a recorded schedule. Records that are no longer
+    /// enabled (a deleted injection's follow-on events, a retired
+    /// instance's passes) are skipped; once the record is exhausted the
+    /// run continues with a deterministic drain to the horizon.
+    pub fn replay(&self, rt: &Runtime, steps: &[StepRecord]) -> SimOutcome {
+        let allowed: HashSet<usize> = steps
+            .iter()
+            .filter_map(|s| s.strip_prefix("inj:").and_then(|i| i.parse().ok()))
+            .collect();
+        self.drive(
+            rt,
+            Mode::Replay(steps.iter().cloned().collect()),
+            Some(allowed),
+        )
+    }
+
+    fn drive(
+        &self,
+        rt: &Runtime,
+        mode: Mode,
+        allowed: Option<HashSet<usize>>,
+    ) -> SimOutcome {
+        let clock = rt.inner.clock().clone();
+        assert!(
+            clock.is_simulated(),
+            "SimExecutor needs a runtime built with Clock::simulated()"
+        );
+        let origin = clock.now();
+        let inj_slots: Vec<InjSlot> = self
+            .injections
+            .iter()
+            .enumerate()
+            .map(|(i, inj)| InjSlot {
+                at_ns: clock.virtual_nanos() + inj.at.as_nanos() as u64,
+                fired: false,
+                allowed: allowed.as_ref().is_none_or(|a| a.contains(&i)),
+            })
+            .collect();
+        let shared = Arc::new(SimShared {
+            inner: Arc::clone(&rt.inner),
+            st: Mutex::new(Driver {
+                mode,
+                steps: Vec::new(),
+                step_count: 0,
+                max_steps: self.config.max_steps,
+                max_nested: self.config.max_nested,
+                depth: 0,
+                hb_next: None,
+                injections: inj_slots,
+            }),
+        });
+        let _guard = HookGuard(clock.clone());
+        clock.install_hook(Arc::clone(&shared) as Arc<dyn SimHook>);
+
+        let end = origin + self.config.horizon;
+        let mut truncated = false;
+        loop {
+            let now = clock.now();
+            if now >= end {
+                break;
+            }
+            if shared.st.lock().step_count >= self.config.max_steps {
+                truncated = true;
+                break;
+            }
+            // Fire every due (and allowed) injection, in index order.
+            let due: Vec<usize> = {
+                let mut st = shared.st.lock();
+                let vn = clock.virtual_nanos();
+                let mut due = Vec::new();
+                for i in 0..st.injections.len() {
+                    let slot = &mut st.injections[i];
+                    if !slot.fired && slot.at_ns <= vn {
+                        slot.fired = true;
+                        if slot.allowed {
+                            due.push(i);
+                        }
+                    }
+                }
+                for i in &due {
+                    st.steps.push(format!("inj:{i}"));
+                    st.step_count += 1;
+                }
+                due
+            };
+            if !due.is_empty() {
+                for i in due {
+                    (self.injections[i].f)(rt);
+                }
+                continue;
+            }
+            match shared.choose(now, false, end) {
+                Picked::Chosen(c) => {
+                    shared.execute(&c);
+                }
+                Picked::Drain => {
+                    if !shared.drain_step(now, end) {
+                        break;
+                    }
+                }
+                Picked::Halt => break,
+            }
+        }
+        let steps = {
+            let st = shared.st.lock();
+            st.steps.clone()
+        };
+        SimOutcome {
+            steps,
+            virtual_time: clock.now().saturating_duration_since(origin),
+            truncated,
+        }
+    }
+}
+
+impl SimShared {
+    fn clock(&self) -> &Clock {
+        self.inner.clock()
+    }
+
+    /// Junctions that a scheduler thread would consider right now —
+    /// everything but the guard check, which can touch remote state and
+    /// must only run inside the chosen pass, never during enumeration.
+    fn pass_candidates(
+        &self,
+        now: Instant,
+    ) -> Vec<(Arc<InstanceState>, Arc<JunctionRt>)> {
+        use std::sync::atomic::Ordering;
+        let mut v = Vec::new();
+        if self.inner.booting.load(Ordering::SeqCst) {
+            return v;
+        }
+        for inst in self.inner.all_instances() {
+            if inst.status() != InstanceStatus::Running {
+                continue;
+            }
+            if self.inner.holds_active.load(Ordering::SeqCst)
+                && self.inner.holds.lock().contains_key(&inst.name)
+            {
+                continue;
+            }
+            for jrt in &inst.junctions {
+                if jrt.backoff_until.lock().is_some_and(|t| now < t) {
+                    continue;
+                }
+                let due = match *jrt.policy.lock() {
+                    Policy::OnDemand => false,
+                    Policy::Startup => jrt.needs_initial.load(Ordering::SeqCst),
+                    Policy::Auto => true,
+                    Policy::Periodic(iv) => {
+                        jrt.needs_initial.load(Ordering::SeqCst)
+                            || jrt.last_run.lock().is_none_or(|t| {
+                                now.saturating_duration_since(t) >= iv
+                            })
+                    }
+                };
+                if due {
+                    v.push((Arc::clone(&inst), Arc::clone(jrt)));
+                }
+            }
+        }
+        v
+    }
+
+    /// The earliest armed deadline after `now`: next packet arrival,
+    /// heartbeat tick, junction backoff/period expiry, pending
+    /// injection, and (top level only — the lock is held while a poll
+    /// runs) supervisor polls.
+    fn next_deadline(&self, now: Instant, top: bool, st: &Driver) -> Option<Instant> {
+        let mut best: Option<Instant> = None;
+        let mut fold = |t: Instant| {
+            if t > now && best.is_none_or(|b| t < b) {
+                best = Some(t);
+            }
+        };
+        if let Some(a) = self.inner.network.next_arrival() {
+            fold(a);
+        }
+        if self.inner.hb.is_enabled() {
+            if let Some(t) = st.hb_next {
+                fold(t);
+            }
+        }
+        let vn = self.clock().virtual_nanos();
+        for slot in &st.injections {
+            if !slot.fired && slot.allowed && slot.at_ns > vn {
+                fold(now + Duration::from_nanos(slot.at_ns - vn));
+            }
+        }
+        for inst in self.inner.all_instances() {
+            if inst.status() != InstanceStatus::Running {
+                continue;
+            }
+            for jrt in &inst.junctions {
+                if let Some(t) = *jrt.backoff_until.lock() {
+                    fold(t);
+                }
+                if let Policy::Periodic(iv) = *jrt.policy.lock() {
+                    if let Some(t) = *jrt.last_run.lock() {
+                        fold(t + iv);
+                    }
+                }
+            }
+        }
+        if top {
+            for core in self.inner.sim_supervisors.lock().iter() {
+                if !core.stopped() {
+                    fold(core.next_poll());
+                }
+            }
+        }
+        best
+    }
+
+    /// Everything runnable right now, in deterministic construction
+    /// order (sorted instances; supervisor cores by index). `cap`
+    /// bounds how far an Advance may jump: the horizon at top level, a
+    /// blocked site's own deadline when nested.
+    fn enumerate(&self, now: Instant, nested: bool, cap: Instant, st: &Driver) -> Vec<Choice> {
+        let mut v = Vec::new();
+        let mut timed_due = false;
+        if self.inner.network.next_arrival().is_some_and(|a| a <= now) {
+            v.push(Choice::Pump);
+            timed_due = true;
+        }
+        for (inst, jrt) in self.pass_candidates(now) {
+            v.push(Choice::Pass(inst, jrt));
+        }
+        if self.inner.hb.is_enabled() && st.hb_next.is_none_or(|t| t <= now) {
+            v.push(Choice::Hb);
+            timed_due = true;
+        }
+        if !nested {
+            for (i, core) in self.inner.sim_supervisors.lock().iter().enumerate() {
+                if !core.stopped() && core.next_poll() <= now {
+                    v.push(Choice::Sup(i));
+                    timed_due = true;
+                }
+            }
+        }
+        // Virtual time advances only when no *timed* work is due: a
+        // delivery, heartbeat round, or supervisor poll that is already
+        // due must run (in PRNG order) before the clock moves past it —
+        // otherwise one advance can leap over every periodic deadline
+        // and starve detection forever. Always-ready autonomous
+        // junction passes deliberately do NOT gate the advance: an
+        // `Auto` junction is runnable at every instant, so waiting for
+        // it to drain would freeze time instead.
+        if !timed_due {
+            let to = match self.next_deadline(now, !nested, st) {
+                Some(d) => d.min(cap),
+                None => cap,
+            };
+            if to > now {
+                v.push(Choice::Advance(to));
+            }
+        }
+        v
+    }
+
+    fn record_of(&self, c: &Choice, now: Instant) -> String {
+        match c {
+            Choice::Pass(inst, jrt) => format!("pass:{}:{}", inst.name, jrt.def.name),
+            Choice::Pump => "pump".to_string(),
+            Choice::Hb => "hb".to_string(),
+            Choice::Sup(i) => format!("sup:{i}"),
+            Choice::Advance(to) => {
+                let ns = self.clock().virtual_nanos()
+                    + to.saturating_duration_since(now).as_nanos() as u64;
+                format!("adv:{ns}")
+            }
+        }
+    }
+
+    /// Pick the next decision: PRNG in explore mode, the record cursor
+    /// in replay. Records the pick and charges the step budget.
+    fn choose(&self, now: Instant, nested: bool, cap: Instant) -> Picked {
+        let mut st = self.st.lock();
+        let picked = match &mut st.mode {
+            Mode::Explore(_) => {
+                let mut choices = self.enumerate(now, nested, cap, &st);
+                if choices.is_empty() {
+                    return Picked::Halt;
+                }
+                let Mode::Explore(rng) = &mut st.mode else { unreachable!() };
+                let i = rng.gen_range(0..choices.len());
+                Some(choices.remove(i))
+            }
+            Mode::Replay(_) => {
+                let Mode::Replay(mut q) =
+                    std::mem::replace(&mut st.mode, Mode::Replay(VecDeque::new()))
+                else {
+                    unreachable!()
+                };
+                let picked = self.consume_record(&mut q, nested);
+                st.mode = Mode::Replay(q);
+                picked
+            }
+        };
+        match picked {
+            Some(c) => {
+                let rec = self.record_of(&c, now);
+                st.steps.push(rec);
+                st.step_count += 1;
+                Picked::Chosen(c)
+            }
+            None => Picked::Drain,
+        }
+    }
+
+    /// Scan the replay cursor for the first record consumable in this
+    /// context. Disabled records (stale advance, missing junction,
+    /// injection echoes — those re-fire by virtual time) are dropped;
+    /// records that only a *top-level* step may run (supervisor polls)
+    /// are left in place while nested.
+    fn consume_record(&self, q: &mut VecDeque<String>, nested: bool) -> Option<Choice> {
+        let mut i = 0;
+        while i < q.len() {
+            let rec = q[i].clone();
+            if nested && rec.starts_with("sup:") {
+                i += 1;
+                continue;
+            }
+            // Disabled or consumed either way: remove now.
+            q.remove(i);
+            if let Some(c) = self.map_record(&rec) {
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    fn map_record(&self, rec: &str) -> Option<Choice> {
+        if rec == "pump" {
+            return Some(Choice::Pump);
+        }
+        if rec == "hb" {
+            return self.inner.hb.is_enabled().then_some(Choice::Hb);
+        }
+        if let Some(rest) = rec.strip_prefix("pass:") {
+            let (inst, junction) = rest.split_once(':')?;
+            let inst = self.inner.get_instance(inst)?;
+            if inst.status() != InstanceStatus::Running {
+                return None;
+            }
+            let jrt = Arc::clone(inst.junction(junction)?);
+            return Some(Choice::Pass(inst, jrt));
+        }
+        if let Some(i) = rec.strip_prefix("sup:") {
+            let i: usize = i.parse().ok()?;
+            let cores = self.inner.sim_supervisors.lock();
+            let core = cores.get(i)?;
+            if core.stopped() {
+                return None;
+            }
+            return Some(Choice::Sup(i));
+        }
+        if let Some(ns) = rec.strip_prefix("adv:") {
+            let ns: u64 = ns.parse().ok()?;
+            let vn = self.clock().virtual_nanos();
+            if ns <= vn {
+                return None;
+            }
+            return Some(Choice::Advance(
+                self.clock().now() + Duration::from_nanos(ns - vn),
+            ));
+        }
+        // inj:* records are echoes of time-driven firing; anything
+        // unknown is skipped the same way.
+        None
+    }
+
+    /// Execute one decision. Returns whether it made progress (used by
+    /// the drain). A `Pass` can recurse into the hook if its activation
+    /// blocks; nothing here may hold `st` across the call.
+    fn execute(&self, c: &Choice) -> bool {
+        match c {
+            Choice::Pass(inst, jrt) => self.inner.scheduler_pass(inst, jrt),
+            Choice::Pump => self.inner.network.pump_due() > 0,
+            Choice::Hb => {
+                self.inner.heartbeat_round();
+                let next = self.clock().now() + self.inner.hb.config().interval;
+                self.st.lock().hb_next = Some(next);
+                true
+            }
+            Choice::Sup(i) => {
+                let mut cores = self.inner.sim_supervisors.lock();
+                if let Some(core) = cores.get_mut(*i) {
+                    core.poll_once();
+                }
+                true
+            }
+            Choice::Advance(to) => {
+                self.clock().advance_to(*to);
+                true
+            }
+        }
+    }
+
+    /// Deterministic progress when replay has no consumable record:
+    /// fixed priority, no recording (the drain is a pure function of
+    /// runtime state, so replay-of-replay stays identical). Returns
+    /// false when nothing can run and no deadline is left before `end`.
+    fn drain_step(&self, now: Instant, end: Instant) -> bool {
+        if self.inner.network.pump_due() > 0 {
+            return true;
+        }
+        {
+            let hb_due = {
+                let st = self.st.lock();
+                self.inner.hb.is_enabled() && st.hb_next.is_none_or(|t| t <= now)
+            };
+            if hb_due {
+                return self.execute(&Choice::Hb);
+            }
+        }
+        {
+            let due: Option<usize> = {
+                let cores = self.inner.sim_supervisors.lock();
+                cores
+                    .iter()
+                    .position(|c| !c.stopped() && c.next_poll() <= now)
+            };
+            if let Some(i) = due {
+                return self.execute(&Choice::Sup(i));
+            }
+        }
+        for (inst, jrt) in self.pass_candidates(now) {
+            if self.inner.scheduler_pass(&inst, &jrt) {
+                return true;
+            }
+        }
+        let st = self.st.lock();
+        match self.next_deadline(now, true, &st) {
+            Some(d) if d <= end => {
+                drop(st);
+                self.clock().advance_to(d);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+impl SimHook for SimShared {
+    /// One nested unit of progress for a blocked site: pump, run some
+    /// other junction, a heartbeat round, or advance time toward
+    /// `target`. Supervisor polls and injections never fire here — a
+    /// repair's reconfigure would deadlock on the blocked activation's
+    /// lock below it on this same stack.
+    fn block(&self, target: Instant) {
+        let clock = self.clock().clone();
+        let now = clock.now();
+        if now >= target {
+            return;
+        }
+        {
+            let mut st = self.st.lock();
+            if st.depth >= st.max_nested || st.step_count >= st.max_steps {
+                drop(st);
+                clock.advance_to(target);
+                return;
+            }
+            st.depth += 1;
+        }
+        match self.choose(now, true, target) {
+            Picked::Chosen(c) => {
+                self.execute(&c);
+            }
+            Picked::Drain => {
+                // Deterministic nested fallback: deliveries first, then
+                // time (passes are left to recorded/explored steps).
+                if self.inner.network.pump_due() == 0 {
+                    let to = {
+                        let st = self.st.lock();
+                        self.next_deadline(now, false, &st)
+                            .map_or(target, |d| d.min(target))
+                    };
+                    clock.advance_to(if to > now { to } else { target });
+                }
+            }
+            Picked::Halt => clock.advance_to(target),
+        }
+        self.st.lock().depth -= 1;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Artifact serialization (hand-rolled JSON: no serde in this tree).
+// ---------------------------------------------------------------------
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parse one JSON string starting at `s[i]` (which must be `"`).
+/// Returns (value, index after closing quote).
+fn json_string(s: &[u8], mut i: usize) -> Option<(String, usize)> {
+    if s.get(i) != Some(&b'"') {
+        return None;
+    }
+    i += 1;
+    let mut out = String::new();
+    while i < s.len() {
+        match s[i] {
+            b'"' => return Some((out, i + 1)),
+            b'\\' => {
+                i += 1;
+                match s.get(i)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = std::str::from_utf8(s.get(i + 1..i + 5)?).ok()?;
+                        let code = u32::from_str_radix(hex, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                        i += 4;
+                    }
+                    _ => return None,
+                }
+                i += 1;
+            }
+            b => {
+                // Multi-byte UTF-8: copy the whole scalar.
+                let start = i;
+                let len = match b {
+                    b if b < 0x80 => 1,
+                    b if b >= 0xf0 => 4,
+                    b if b >= 0xe0 => 3,
+                    _ => 2,
+                };
+                out.push_str(std::str::from_utf8(s.get(start..start + len)?).ok()?);
+                i += len;
+            }
+        }
+    }
+    None
+}
+
+fn skip_ws(s: &[u8], mut i: usize) -> usize {
+    while i < s.len() && (s[i] as char).is_ascii_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+impl Artifact {
+    /// Serialize to a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let steps: Vec<String> =
+            self.steps.iter().map(|s| format!("\"{}\"", json_escape(s))).collect();
+        format!(
+            "{{\"seed\":{},\"reason\":\"{}\",\"steps\":[{}]}}",
+            self.seed,
+            json_escape(&self.reason),
+            steps.join(",")
+        )
+    }
+
+    /// Parse what [`Artifact::to_json`] wrote (tolerant of whitespace
+    /// and key order).
+    pub fn from_json(text: &str) -> Option<Artifact> {
+        let s = text.as_bytes();
+        let mut i = skip_ws(s, 0);
+        if s.get(i) != Some(&b'{') {
+            return None;
+        }
+        i += 1;
+        let mut seed = None;
+        let mut reason = None;
+        let mut steps: Option<Vec<String>> = None;
+        loop {
+            i = skip_ws(s, i);
+            match s.get(i)? {
+                b'}' => break,
+                b',' => {
+                    i += 1;
+                    continue;
+                }
+                b'"' => {}
+                _ => return None,
+            }
+            let (key, ni) = json_string(s, i)?;
+            i = skip_ws(s, ni);
+            if s.get(i) != Some(&b':') {
+                return None;
+            }
+            i = skip_ws(s, i + 1);
+            match key.as_str() {
+                "seed" => {
+                    let start = i;
+                    while i < s.len() && s[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    seed = std::str::from_utf8(&s[start..i]).ok()?.parse().ok();
+                }
+                "reason" => {
+                    let (v, ni) = json_string(s, i)?;
+                    reason = Some(v);
+                    i = ni;
+                }
+                "steps" => {
+                    if s.get(i) != Some(&b'[') {
+                        return None;
+                    }
+                    i = skip_ws(s, i + 1);
+                    let mut v = Vec::new();
+                    while s.get(i)? != &b']' {
+                        let (item, ni) = json_string(s, i)?;
+                        v.push(item);
+                        i = skip_ws(s, ni);
+                        if s.get(i) == Some(&b',') {
+                            i = skip_ws(s, i + 1);
+                        }
+                    }
+                    i += 1;
+                    steps = Some(v);
+                }
+                _ => return None,
+            }
+        }
+        Some(Artifact { seed: seed?, reason: reason?, steps: steps? })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shrinking
+// ---------------------------------------------------------------------
+
+/// Greedy chunk-deletion shrink (ddmin-lite): repeatedly try deleting
+/// contiguous chunks of the schedule, keeping any deletion after which
+/// `still_fails` reports the failure reproduces, halving the chunk size
+/// until single-step deletions stop helping. The predicate should
+/// replay the candidate against a fresh runtime and re-run the oracle.
+pub fn shrink_steps(
+    steps: &[StepRecord],
+    mut still_fails: impl FnMut(&[StepRecord]) -> bool,
+) -> Vec<StepRecord> {
+    let mut cur: Vec<StepRecord> = steps.to_vec();
+    let mut chunk = (cur.len() / 2).max(1);
+    loop {
+        let mut shrunk = false;
+        let mut start = 0;
+        while start < cur.len() {
+            let stop = (start + chunk).min(cur.len());
+            let mut cand = Vec::with_capacity(cur.len() - (stop - start));
+            cand.extend_from_slice(&cur[..start]);
+            cand.extend_from_slice(&cur[stop..]);
+            if still_fails(&cand) {
+                cur = cand;
+                shrunk = true;
+                // Same start: the next chunk slid into this position.
+            } else {
+                start = stop;
+            }
+        }
+        if chunk == 1 {
+            if !shrunk {
+                break;
+            }
+        } else {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_json_roundtrip() {
+        let a = Artifact {
+            seed: 42,
+            reason: "lost \"acked\" write\nat o".to_string(),
+            steps: vec![
+                "pass:f:main".to_string(),
+                "adv:1200000".to_string(),
+                "inj:0".to_string(),
+            ],
+        };
+        let json = a.to_json();
+        let b = Artifact::from_json(&json).expect("parse back");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn artifact_json_rejects_garbage() {
+        assert!(Artifact::from_json("").is_none());
+        assert!(Artifact::from_json("{}").is_none());
+        assert!(Artifact::from_json("{\"seed\":1}").is_none());
+        assert!(Artifact::from_json("[1,2]").is_none());
+    }
+
+    #[test]
+    fn shrink_deletes_irrelevant_steps() {
+        // Failure = both "a" and "b" present; everything else is noise.
+        let steps: Vec<String> = (0..64)
+            .map(|i| match i {
+                17 => "a".to_string(),
+                49 => "b".to_string(),
+                i => format!("noise{i}"),
+            })
+            .collect();
+        let shrunk = shrink_steps(&steps, |cand| {
+            cand.iter().any(|s| s == "a") && cand.iter().any(|s| s == "b")
+        });
+        assert_eq!(shrunk, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn shrink_keeps_everything_when_all_needed() {
+        let steps: Vec<String> = (0..7).map(|i| format!("s{i}")).collect();
+        let orig = steps.clone();
+        let shrunk = shrink_steps(&steps, |cand| cand.len() == orig.len());
+        assert_eq!(shrunk, orig);
+    }
+}

@@ -207,6 +207,12 @@ pub struct SupervisorConfig {
     pub verify_timeout: Duration,
     /// What to do about each failure class.
     pub policy: RepairPolicy,
+    /// Whether a `Reconfigure` repair fences the failed instance before
+    /// cutting over. Leave `true`: the fence is what keeps a partitioned
+    /// zombie from acking stale work after the partition heals. The
+    /// switch exists so the simulation harness can re-introduce that
+    /// ordering bug on purpose and prove its oracle catches it.
+    pub fence_on_reconfigure: bool,
 }
 
 impl Default for SupervisorConfig {
@@ -220,6 +226,7 @@ impl Default for SupervisorConfig {
             cooldown: Duration::from_secs(2),
             verify_timeout: Duration::from_secs(1),
             policy: RepairPolicy::conservative(),
+            fence_on_reconfigure: true,
         }
     }
 }
@@ -299,14 +306,17 @@ struct Shared {
 /// let runtime shutdown end it.
 pub struct Supervisor {
     shared: Arc<Shared>,
+    clock: crate::clock::Clock,
 }
 
 impl Supervisor {
     /// Ask the monitor thread to exit after its current poll. The
     /// thread itself is parked in the runtime's thread list and joined
-    /// by [`Runtime::shutdown`].
+    /// by [`Runtime::shutdown`]. Any in-flight backoff or verify sleep
+    /// is interrupted so the thread exits promptly.
     pub fn stop(&self) {
         self.shared.stop.store(true, Ordering::SeqCst);
+        self.clock.interrupt_sleepers();
     }
 
     /// Snapshot of all repair records so far.
@@ -358,14 +368,23 @@ impl Runtime {
     /// crashes are detectable.
     pub fn supervise(&self, config: SupervisorConfig) -> Supervisor {
         let shared = Arc::new(Shared::default());
-        let thread_shared = Arc::clone(&shared);
-        let rt = self.handle();
-        let handle = std::thread::Builder::new()
-            .name("csaw-supervisor".into())
-            .spawn(move || supervise_loop(rt, config, thread_shared))
-            .expect("spawn supervisor monitor");
-        self.threads.lock().push(handle);
-        Supervisor { shared }
+        let clock = self.inner.clock().clone();
+        let core = SupervisorCore::new(self.handle(), config, Arc::clone(&shared));
+        if clock.is_simulated() {
+            // No monitor thread under virtual time: the sim executor
+            // owns the core and calls `poll_once` as a schedulable
+            // top-level event (never nested inside a blocked activation,
+            // which would deadlock a reconfigure repair on the
+            // activation lock below it on the stack).
+            self.inner.sim_supervisors.lock().push(core);
+        } else {
+            let handle = std::thread::Builder::new()
+                .name("csaw-supervisor".into())
+                .spawn(move || core.run())
+                .expect("spawn supervisor monitor");
+            self.threads.lock().push(handle);
+        }
+        Supervisor { shared, clock }
     }
 }
 
@@ -388,18 +407,92 @@ fn live_suspectors(rt: &Runtime, peer: &str, ignore: &HashSet<String>) -> usize 
         .count()
 }
 
-fn supervise_loop(rt: Runtime, config: SupervisorConfig, shared: Arc<Shared>) {
-    let mut pending: HashMap<String, Pending> = HashMap::new();
-    let mut ladders: HashMap<String, LadderState> = HashMap::new();
+/// The supervisor's detect → plan → act → verify machine, separated
+/// from its driving loop: wall-clock runs spawn a monitor thread
+/// calling [`SupervisorCore::run`]; under a virtual clock the core is
+/// parked in the runtime and the sim executor calls
+/// [`SupervisorCore::poll_once`] as a schedulable top-level event.
+pub(crate) struct SupervisorCore {
+    rt: Runtime,
+    config: SupervisorConfig,
+    shared: Arc<Shared>,
+    pending: HashMap<String, Pending>,
+    ladders: HashMap<String, LadderState>,
     // Instances handed to a Reconfigure repair (or quarantined): the
     // new program already routes around them, so re-detecting their
     // silence would only fire useless repairs. They re-enter detection
     // once observed healthy.
-    let mut written_off: HashSet<String> = HashSet::new();
+    written_off: HashSet<String>,
+    next_poll: Instant,
+}
 
-    while !rt.inner.shutdown.load(Ordering::SeqCst)
-        && !shared.stop.load(Ordering::SeqCst)
-    {
+impl SupervisorCore {
+    fn new(rt: Runtime, config: SupervisorConfig, shared: Arc<Shared>) -> SupervisorCore {
+        let next_poll = rt.inner.clock().now();
+        SupervisorCore {
+            rt,
+            config,
+            shared,
+            pending: HashMap::new(),
+            ladders: HashMap::new(),
+            written_off: HashSet::new(),
+            next_poll,
+        }
+    }
+
+    /// Whether the loop should exit (runtime shutdown or handle stop).
+    pub(crate) fn stopped(&self) -> bool {
+        self.rt.inner.shutdown.load(Ordering::SeqCst)
+            || self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    /// When the next detection poll is due (sim executor scheduling).
+    pub(crate) fn next_poll(&self) -> Instant {
+        self.next_poll
+    }
+
+    /// Wall-clock driving loop: poll, then sleep one period
+    /// interruptibly so shutdown (or `Supervisor::stop`) never waits
+    /// out a poll, a retry backoff, or a verify window.
+    fn run(mut self) {
+        let clock = self.rt.inner.clock().clone();
+        let inner = Arc::clone(&self.rt.inner);
+        let shared = Arc::clone(&self.shared);
+        loop {
+            if self.stopped() {
+                break;
+            }
+            self.poll_once();
+            let deadline = clock.now() + self.config.poll;
+            if !clock.sleep_until_interruptible(deadline, &mut || {
+                inner.shutdown.load(Ordering::SeqCst) || shared.stop.load(Ordering::SeqCst)
+            }) {
+                break;
+            }
+        }
+    }
+
+    /// One detection poll: classify every supervised instance, then
+    /// plan + act + verify each confirmed anomaly (one repair at a
+    /// time). All waiting inside goes through the runtime clock and
+    /// bails out early on shutdown/stop.
+    pub(crate) fn poll_once(&mut self) {
+        let rt = self.rt.handle();
+        let config = self.config.clone();
+        let shared = Arc::clone(&self.shared);
+        let clock = rt.inner.clock().clone();
+        let mut stopped = {
+            let inner = Arc::clone(&rt.inner);
+            let sh = Arc::clone(&shared);
+            move || {
+                inner.shutdown.load(Ordering::SeqCst) || sh.stop.load(Ordering::SeqCst)
+            }
+        };
+        self.next_poll = clock.now() + config.poll;
+        let pending = &mut self.pending;
+        let written_off = &mut self.written_off;
+        let ladders = &mut self.ladders;
+
         let excluded: HashSet<String> = written_off
             .iter()
             .cloned()
@@ -447,7 +540,7 @@ fn supervise_loop(rt: Runtime, config: SupervisorConfig, shared: Arc<Shared>) {
             };
             let p = pending.entry(name.clone()).or_insert(Pending {
                 class,
-                first_seen: Instant::now(),
+                first_seen: clock.now(),
                 polls: 0,
             });
             if p.class != class {
@@ -487,7 +580,7 @@ fn supervise_loop(rt: Runtime, config: SupervisorConfig, shared: Arc<Shared>) {
 
             // Escalation: a recurrence inside the cooldown, or any
             // failure after a failed repair, climbs one rung.
-            let now = Instant::now();
+            let now = clock.now();
             let rung = match ladders.get_mut(&name) {
                 Some(st) => {
                     if st.last_failed
@@ -543,19 +636,26 @@ fn supervise_loop(rt: Runtime, config: SupervisorConfig, shared: Arc<Shared>) {
                     }
                 }
                 RepairAction::Reconfigure(build) => {
-                    let epoch = rt.fence_instance(&name);
-                    fence_epoch = Some(epoch);
-                    rt.inner.tracer.record(
-                        &name,
-                        "-",
-                        0,
-                        TraceKind::RepairFence { epoch, id },
-                    );
+                    if config.fence_on_reconfigure {
+                        let epoch = rt.fence_instance(&name);
+                        fence_epoch = Some(epoch);
+                        rt.inner.tracer.record(
+                            &name,
+                            "-",
+                            0,
+                            TraceKind::RepairFence { epoch, id },
+                        );
+                    }
                     acted = false;
                     while attempts < config.max_retries.max(1) {
                         if attempts > 0 {
-                            // Bounded backoff: base × 2^(attempt-1).
-                            std::thread::sleep(config.backoff * (1 << (attempts - 1)));
+                            // Bounded backoff: base × 2^(attempt-1),
+                            // interruptible so shutdown never waits a
+                            // full escalated backoff out.
+                            let backoff = config.backoff * (1 << (attempts - 1));
+                            if !clock.sleep_interruptible(backoff, &mut stopped) {
+                                break;
+                            }
                         }
                         attempts += 1;
                         let (target, spec) = build(&rt, &name);
@@ -595,7 +695,7 @@ fn supervise_loop(rt: Runtime, config: SupervisorConfig, shared: Arc<Shared>) {
             }
 
             // ---- verify -----------------------------------------------
-            let deadline = Instant::now() + config.verify_timeout;
+            let deadline = clock.now() + config.verify_timeout;
             let mut ok = false;
             while acted && !ok {
                 let excluded: HashSet<String> = written_off
@@ -626,17 +726,21 @@ fn supervise_loop(rt: Runtime, config: SupervisorConfig, shared: Arc<Shared>) {
                 ok = healthy
                     && config.policy.verify.as_ref().is_none_or(|f| f(&rt));
                 if !ok {
-                    if Instant::now() >= deadline {
+                    if clock.now() >= deadline || stopped() {
                         break;
                     }
-                    std::thread::sleep(config.poll.min(Duration::from_millis(5)));
+                    if !clock
+                        .sleep_interruptible(config.poll.min(Duration::from_millis(5)), &mut stopped)
+                    {
+                        break;
+                    }
                 }
             }
             rt.inner
                 .tracer
                 .record(&name, "-", 0, TraceKind::RepairVerify { ok, id });
 
-            let done_at = Instant::now();
+            let done_at = clock.now();
             if ok {
                 shared.stats.lock().succeeded += 1;
                 rt.inner.tracer.record(
@@ -674,7 +778,5 @@ fn supervise_loop(rt: Runtime, config: SupervisorConfig, shared: Arc<Shared>) {
                 fence_epoch,
             });
         }
-
-        std::thread::sleep(config.poll);
     }
 }

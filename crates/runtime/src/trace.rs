@@ -269,6 +269,7 @@ struct Padded<T>(T);
 /// their traces).
 pub struct Tracer {
     enabled: AtomicBool,
+    clock: crate::clock::Clock,
     origin: Instant,
     /// Per-shard capacity bound; the oldest event is evicted (and
     /// counted) when a shard overflows.
@@ -293,13 +294,25 @@ impl Tracer {
         Tracer::with_capacity(1 << 20)
     }
 
+    /// A disabled tracer stamping event times off `clock` — under a
+    /// virtual clock, `at_us` becomes deterministic, which is what
+    /// makes same-seed sim traces byte-identical.
+    pub fn with_clock(clock: crate::clock::Clock) -> Tracer {
+        let mut t = Tracer::with_capacity(1 << 20);
+        t.origin = clock.now();
+        t.clock = clock;
+        t
+    }
+
     /// A disabled tracer bounded to roughly `total_capacity` events.
     pub fn with_capacity(total_capacity: usize) -> Tracer {
         let shard_capacity = (total_capacity / SHARDS).max(16);
+        let clock = crate::clock::Clock::wall();
         Tracer {
             enabled: AtomicBool::new(false),
             gsn: Padded(AtomicU64::new(0)),
-            origin: Instant::now(),
+            origin: clock.now(),
+            clock,
             shards: (0..SHARDS)
                 .map(|_| Padded(Mutex::new(VecDeque::with_capacity(shard_capacity.min(1024)))))
                 .collect(),
@@ -356,7 +369,11 @@ impl Tracer {
     fn push(&self, instance: Arc<str>, junction: Arc<str>, epoch: u64, kind: TraceKind) {
         let ev = TraceEvent {
             gsn: self.gsn.0.fetch_add(1, Ordering::Relaxed),
-            at_us: self.origin.elapsed().as_micros() as u64,
+            at_us: self
+                .clock
+                .now()
+                .saturating_duration_since(self.origin)
+                .as_micros() as u64,
             instance,
             junction,
             epoch,

@@ -46,6 +46,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::cell::JunctionId;
+use crate::clock::Clock;
 use crate::fault::{FaultDecision, FaultPlan, LinkFaults, RetryPolicy};
 use crate::trace::{Metrics, TraceKind, Tracer};
 
@@ -228,6 +229,43 @@ impl SimScheduler {
                 }
             }
         }
+    }
+
+    /// Deliver every packet due at `now`. Virtual-clock mode: the sim
+    /// executor calls this instead of running the scheduler thread.
+    /// Returns how many packets were handed over.
+    fn pump_due(&self, now: Instant, deliver: &DeliverFn) -> usize {
+        let mut due = Vec::new();
+        {
+            let mut state = self.state.lock();
+            while let Some(Reverse(head)) = state.queue.peek() {
+                if head.arrival <= now {
+                    let Reverse(p) = state.queue.pop().unwrap();
+                    due.push(p);
+                } else {
+                    break;
+                }
+            }
+        }
+        let n = due.len();
+        for p in due {
+            deliver(&p.to, p.update);
+            if let Some(pair) = p.fifo_link {
+                let mut clocks = self.clocks.lock();
+                if let Some(c) = clocks.get_mut(&pair) {
+                    c.inflight = c.inflight.saturating_sub(1);
+                    if c.inflight == 0 {
+                        clocks.remove(&pair);
+                    }
+                }
+            }
+        }
+        n
+    }
+
+    /// Earliest scheduled arrival still queued, if any.
+    fn next_due(&self) -> Option<Instant> {
+        self.state.lock().queue.peek().map(|Reverse(p)| p.arrival)
     }
 
     fn enqueue(
@@ -508,6 +546,10 @@ struct RouteTraceIds {
 
 pub struct Network {
     deliver: DeliverFn,
+    /// Time source for arrivals, fault windows and retry backoff. A
+    /// simulated clock also switches the delay queue to executor-pumped
+    /// delivery (no scheduler thread).
+    clock: Clock,
     default_link: LinkKind,
     links: Mutex<HashMap<(String, String), LinkKind>>,
     sim: Arc<SimScheduler>,
@@ -617,12 +659,18 @@ impl Network {
     /// (seq ≠ 0) whose (sender, receiver, seq) was already delivered are
     /// suppressed, so retries and fault duplicates apply at most once.
     pub fn new(deliver: DeliverFn) -> Network {
-        Network::with_telemetry(deliver, Arc::new(Tracer::new()), &Metrics::new())
+        Network::with_telemetry(deliver, Arc::new(Tracer::new()), &Metrics::new(), Clock::wall())
     }
 
-    /// [`Network::new`] with an externally owned trace recorder and
-    /// metrics registry (the runtime shares its own with the network).
-    pub fn with_telemetry(deliver: DeliverFn, tracer: Arc<Tracer>, metrics: &Metrics) -> Network {
+    /// [`Network::new`] with an externally owned trace recorder,
+    /// metrics registry and clock (the runtime shares its own with the
+    /// network).
+    pub fn with_telemetry(
+        deliver: DeliverFn,
+        tracer: Arc<Tracer>,
+        metrics: &Metrics,
+        clock: Clock,
+    ) -> Network {
         let dedup_enabled = Arc::new(AtomicBool::new(true));
         let deduped = Arc::new(AtomicU64::new(0));
         let seen: SeenMap = Arc::new(Mutex::new(HashMap::new()));
@@ -688,9 +736,14 @@ impl Network {
         };
         let fifo_clocks: FifoClocks = Arc::new(Mutex::new(HashMap::new()));
         let sim = SimScheduler::new(Arc::clone(&fifo_clocks));
-        sim.spawn(Arc::clone(&deliver));
+        if !clock.is_simulated() {
+            // Virtual time has no place for a wall-clock delay thread:
+            // the sim executor pumps due packets as schedulable events.
+            sim.spawn(Arc::clone(&deliver));
+        }
         Network {
             deliver,
+            clock,
             default_link: LinkKind::Direct,
             links: Mutex::new(HashMap::new()),
             sim,
@@ -774,7 +827,10 @@ impl Network {
     pub fn set_fault_plan(&self, from: &str, to: &str, plan: FaultPlan) {
         self.faults
             .lock()
-            .insert((from.to_string(), to.to_string()), LinkFaults::new(plan));
+            .insert(
+                (from.to_string(), to.to_string()),
+                LinkFaults::new(plan, self.clock.now()),
+            );
     }
 
     /// Remove the fault plan on `from → to` (the link heals).
@@ -978,7 +1034,10 @@ impl Network {
                         );
                     }
                     let backoff = policy.backoff(attempt, &mut self.backoff_dice.lock());
-                    std::thread::sleep(backoff);
+                    // Virtual clocks turn this into schedulable
+                    // progress (the sim hook runs other events while
+                    // the sender "waits"); wall clocks park as before.
+                    self.clock.sleep(backoff);
                 }
                 Err(e) => return Err(e),
             }
@@ -1007,7 +1066,7 @@ impl Network {
         let decision = {
             let mut faults = self.faults.lock();
             match faults.get_mut(&(from_instance.to_string(), to.instance.clone())) {
-                Some(lf) => lf.decide(),
+                Some(lf) => lf.decide(self.clock.now()),
                 None => FaultDecision::Deliver {
                     delay: Duration::ZERO,
                     duplicate: false,
@@ -1082,6 +1141,19 @@ impl Network {
         }
     }
 
+    /// Deliver every queued packet due at the clock's current time.
+    /// Virtual-clock mode only (the wall-clock scheduler thread pumps
+    /// its own queue). Returns how many packets landed.
+    pub(crate) fn pump_due(&self) -> usize {
+        self.sim.pump_due(self.clock.now(), &self.deliver)
+    }
+
+    /// Earliest scheduled arrival still queued on any link, if any —
+    /// the sim executor folds this into its next-deadline computation.
+    pub(crate) fn next_arrival(&self) -> Option<Instant> {
+        self.sim.next_due()
+    }
+
     /// Clamp `arrival` so this link stays FIFO: never earlier than the
     /// latest already-scheduled arrival on the same directed pair. Also
     /// registers the packet as in flight; the scheduler decrements the
@@ -1148,7 +1220,7 @@ impl Network {
                     (self.deliver)(to, update);
                     return Ok(());
                 }
-                let mut arrival = Instant::now() + extra_delay;
+                let mut arrival = self.clock.now() + extra_delay;
                 let mut fifo_link = None;
                 if fifo {
                     let (a, pair) = self.fifo_arrival(from_instance, &to.instance, arrival);
@@ -1160,7 +1232,7 @@ impl Network {
                 Ok(())
             }
             LinkKind::Sim { latency, bandwidth } => {
-                let now = Instant::now();
+                let now = self.clock.now();
                 let serialization = if bandwidth == 0 {
                     Duration::ZERO
                 } else {

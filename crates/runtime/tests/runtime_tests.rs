@@ -701,3 +701,39 @@ fn run_main_arity_checked() {
     assert!(rt.run_main(vec![Value::Int(1)]).is_err());
     rt.shutdown();
 }
+
+/// The heartbeat loop sleeps its interval on the runtime clock,
+/// interruptibly: a 60 s interval must not delay shutdown. (Regression
+/// for the old wall-clock `thread::sleep` loop, which also drifted by
+/// the cost of each round — the loop now tracks absolute deadlines.)
+#[test]
+fn shutdown_interrupts_long_heartbeat_interval() {
+    let ty = InstanceType::new(
+        "T",
+        vec![JunctionDef::new("j", vec![], vec![Decl::prop_false("P")], skip())],
+    );
+    let p = ProgramBuilder::new()
+        .ty(ty)
+        .instance("a", "T")
+        .instance("b", "T")
+        .main(vec![], par([start("a", vec![]), start("b", vec![])]))
+        .build();
+    let cp = compile(p, &LoadConfig::new()).unwrap();
+    let rt = Runtime::new(&cp, RuntimeConfig::default());
+    rt.run_main(vec![]).unwrap();
+    rt.enable_heartbeats(csaw_runtime::HeartbeatConfig {
+        interval: Duration::from_secs(60),
+        suspicion: Duration::from_secs(120),
+        k_missed: 2,
+    });
+    // Let the heartbeat thread send its first round and park in the
+    // 60 s interval sleep.
+    std::thread::sleep(Duration::from_millis(50));
+    let t0 = std::time::Instant::now();
+    rt.shutdown();
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "shutdown took {:?} — heartbeat interval sleep was not interrupted",
+        t0.elapsed()
+    );
+}

@@ -428,3 +428,92 @@ fn fence_drops_in_flight_sends_across_48_seeds() {
         rt.shutdown();
     }
 }
+
+// ---------------------------------------------------------------------
+// Shutdown promptness: every supervisor sleep is interruptible
+// ---------------------------------------------------------------------
+
+/// A repair stuck in an escalated retry backoff must not hold up
+/// `Supervisor::stop` / `Runtime::shutdown`: the backoff here is 60 s,
+/// so anything but an interrupted sleep blows the assertion.
+#[test]
+fn supervisor_stop_interrupts_escalated_repair_backoff() {
+    use csaw_runtime::ReconfigSpec;
+
+    let cp = compile(two_instance_program(), &LoadConfig::new()).unwrap();
+    let rt = Runtime::new(&cp, RuntimeConfig::default());
+    rt.run_main(vec![]).unwrap();
+
+    let attempts = Arc::new(AtomicU64::new(0));
+    let seen = Arc::clone(&attempts);
+    let target = cp.clone();
+    let sup = rt.supervise(SupervisorConfig {
+        poll: Duration::from_millis(10),
+        quorum: 1,
+        confirm_polls: 1,
+        max_retries: 10,
+        backoff: Duration::from_secs(60),
+        policy: RepairPolicy::new().on(
+            FailureClass::Crash,
+            vec![RepairAction::Reconfigure(Arc::new(move |_rt, _inst| {
+                seen.fetch_add(1, Ordering::SeqCst);
+                (
+                    target.clone(),
+                    ReconfigSpec {
+                        migrate: Some(Box::new(|_| Err("induced migration failure".into()))),
+                        ..ReconfigSpec::default()
+                    },
+                )
+            }))],
+        ),
+        ..SupervisorConfig::default()
+    });
+
+    rt.crash("z");
+    assert!(
+        wait_until(Duration::from_secs(5), || attempts.load(Ordering::SeqCst) >= 1),
+        "repair attempt never ran"
+    );
+    // The first attempt failed its migration; the retry loop is now in
+    // (or headed into) the 60 s backoff sleep.
+    std::thread::sleep(Duration::from_millis(50));
+    let t0 = std::time::Instant::now();
+    sup.stop();
+    rt.shutdown();
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "stop took {:?} — backoff sleep was not interrupted",
+        t0.elapsed()
+    );
+    assert_eq!(
+        attempts.load(Ordering::SeqCst),
+        1,
+        "no further repair attempt may run after stop"
+    );
+}
+
+/// A supervisor parked between detection polls (60 s period) must exit
+/// promptly on stop — the poll sleep is interruptible too.
+#[test]
+fn supervisor_stop_interrupts_long_poll_sleep() {
+    let cp = compile(two_instance_program(), &LoadConfig::new()).unwrap();
+    let rt = Runtime::new(&cp, RuntimeConfig::default());
+    rt.run_main(vec![]).unwrap();
+    let sup = rt.supervise(SupervisorConfig {
+        poll: Duration::from_secs(60),
+        quorum: 1,
+        confirm_polls: 1,
+        policy: RepairPolicy::new(),
+        ..SupervisorConfig::default()
+    });
+    // Let the monitor thread reach its first poll sleep.
+    std::thread::sleep(Duration::from_millis(50));
+    let t0 = std::time::Instant::now();
+    sup.stop();
+    rt.shutdown();
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "stop took {:?} — poll sleep was not interrupted",
+        t0.elapsed()
+    );
+}

@@ -11,6 +11,16 @@ use csaw::serial::{decode, encode, CodecConfig, HeapValue, Prim, Registry, TypeD
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Every randomized corpus honors the unified `CSAW_SEED` override —
+/// the same knob the chaos soaks and the deterministic-simulation
+/// harness use — and prints its seed, so a failing test names the
+/// exact corpus to reproduce.
+fn corpus_rng(default: u64) -> StdRng {
+    let seed = csaw::runtime::env_seed(default);
+    eprintln!("corpus seed: {seed:#x} (override with CSAW_SEED)");
+    StdRng::seed_from_u64(seed)
+}
+
 // ---------------------------------------------------------------------
 // Formulas: DNF preserves truth under every assignment
 // ---------------------------------------------------------------------
@@ -68,7 +78,7 @@ fn assignments() -> impl Iterator<Item = [bool; 4]> {
 /// The §8.3 DNF decomposition is truth-preserving.
 #[test]
 fn dnf_preserves_truth() {
-    let mut rng = StdRng::seed_from_u64(0xD1F0);
+    let mut rng = corpus_rng(0xD1F0);
     for _ in 0..200 {
         let f = arb_formula(&mut rng, 4);
         let d = f.dnf();
@@ -83,7 +93,7 @@ fn dnf_preserves_truth() {
 /// Double negation and De Morgan hold through DNF.
 #[test]
 fn dnf_double_negation() {
-    let mut rng = StdRng::seed_from_u64(0xD2F0);
+    let mut rng = corpus_rng(0xD2F0);
     for _ in 0..200 {
         let f = arb_formula(&mut rng, 4);
         let nn = f.clone().not().not();
@@ -130,7 +140,7 @@ fn arb_ops(rng: &mut StdRng) -> Vec<TableOp> {
 /// never panic, and a final flush empties the pending queue.
 #[test]
 fn table_is_robust_under_op_sequences() {
-    let mut rng = StdRng::seed_from_u64(0x7AB1E);
+    let mut rng = corpus_rng(0x7AB1E);
     for _ in 0..100 {
         let ops = arb_ops(&mut rng);
         let mut t = Table::new();
@@ -172,7 +182,7 @@ fn table_is_robust_under_op_sequences() {
 /// (updates apply in arrival order at the next scheduling).
 #[test]
 fn last_delivery_wins_when_idle() {
-    let mut rng = StdRng::seed_from_u64(0x1D1E);
+    let mut rng = corpus_rng(0x1D1E);
     for _ in 0..100 {
         let n = rng.gen_range(1..20);
         let values: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
@@ -240,7 +250,7 @@ fn arb_flat_schema_and_value(rng: &mut StdRng) -> (TypeDesc, HeapValue) {
 /// encode ∘ decode = id for arbitrary flat structs.
 #[test]
 fn serial_round_trips() {
-    let mut rng = StdRng::seed_from_u64(0x5E41);
+    let mut rng = corpus_rng(0x5E41);
     for _ in 0..100 {
         let (ty, value) = arb_flat_schema_and_value(&mut rng);
         let reg = Registry::new();
@@ -254,7 +264,7 @@ fn serial_round_trips() {
 /// Linked lists of arbitrary length round-trip (within depth).
 #[test]
 fn serial_list_round_trips() {
-    let mut rng = StdRng::seed_from_u64(0x5E42);
+    let mut rng = corpus_rng(0x5E42);
     for _ in 0..40 {
         let n = rng.gen_range(0..64);
         let values: Vec<i64> = (0..n).map(|_| rng.gen()).collect();
@@ -280,7 +290,7 @@ fn serial_list_round_trips() {
 /// Decoding never panics on arbitrary bytes (errors are Errs).
 #[test]
 fn serial_decode_handles_garbage() {
-    let mut rng = StdRng::seed_from_u64(0x5E43);
+    let mut rng = corpus_rng(0x5E43);
     for _ in 0..200 {
         let bytes = arb_bytes(&mut rng, 128);
         let mut reg = Registry::new();
@@ -303,7 +313,7 @@ fn serial_decode_handles_garbage() {
 #[test]
 fn command_round_trips() {
     use csaw::redis::Command;
-    let mut rng = StdRng::seed_from_u64(0xC0DE);
+    let mut rng = corpus_rng(0xC0DE);
     for _ in 0..100 {
         let key: String = {
             let n = rng.gen_range(0..=32);
@@ -325,7 +335,7 @@ fn command_round_trips() {
 #[test]
 fn packet_round_trips() {
     use csaw::suricata::{Packet, Proto};
-    let mut rng = StdRng::seed_from_u64(0x9AC7);
+    let mut rng = corpus_rng(0x9AC7);
     for _ in 0..100 {
         let p = Packet {
             ts_usec: rng.gen(),
@@ -344,7 +354,7 @@ fn packet_round_trips() {
 /// Store checkpoints round-trip for arbitrary contents.
 #[test]
 fn store_checkpoint_round_trips() {
-    let mut rng = StdRng::seed_from_u64(0x5703);
+    let mut rng = corpus_rng(0x5703);
     for _ in 0..50 {
         let mut s = csaw::redis::Store::new();
         let n = rng.gen_range(0..20);
