@@ -14,7 +14,10 @@
 //! Environment knobs:
 //! * `CSAW_TRACE_SECS` — seconds per query-rate run (default 2.0);
 //! * `CSAW_TRACE_REQS` — requests per saturation run (default 20000);
-//! * `CSAW_TRACE_DUMP` — path to dump the saturated traced run's JSONL.
+//! * `CSAW_TRACE_DUMP` — path to dump the saturated traced run's JSONL;
+//! * `CSAW_PERF_CHECK` — path to a baseline `trace_overhead.json`:
+//!   exit non-zero if a key metric *regressed* more than 25% against
+//!   the baseline (improvements always pass).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -173,4 +176,33 @@ fn main() {
          the saturation number is the worst case (every request is pure coordination)",
     );
     r.finish();
+
+    // -- baseline regression check (perf-smoke) ------------------------
+    if let Ok(base_path) = std::env::var("CSAW_PERF_CHECK") {
+        let base = csaw_bench::report::read_notes(&base_path);
+        let find = |k: &str| base.iter().find(|(n, _)| n == k).map(|(_, v)| *v);
+        // (metric, current, higher_is_better)
+        let checks = [
+            ("query_rate_off", q_off, true),
+            ("query_rate_on", q_on, true),
+            ("saturation_on", s_on, true),
+            ("saturation_ns_per_event", ns_per_event, false),
+        ];
+        let mut failed = false;
+        println!("baseline regression check ({base_path}, 25% tolerance):");
+        for (name, cur, higher_better) in checks {
+            let Some(b) = find(name) else {
+                println!("  [FAIL] {name}: missing from baseline");
+                failed = true;
+                continue;
+            };
+            // Regressions beyond 25% fail; improvements always pass.
+            let ok = if higher_better { cur >= b * 0.75 } else { cur <= b * 1.25 };
+            println!("  [{}] {name}: {cur:.1} vs baseline {b:.1}", if ok { "PASS" } else { "FAIL" });
+            failed |= !ok;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
 }

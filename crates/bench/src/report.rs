@@ -167,6 +167,27 @@ impl Report {
     }
 }
 
+/// Pull the `["name", value]` note pairs back out of a previously
+/// written `Report` JSON file — the perf-smoke CI job reads committed
+/// baseline reports with this to check fresh runs against them.
+pub fn read_notes(path: &str) -> Vec<(String, f64)> {
+    let text = fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let mut notes = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        // Matches the serializer's note shape: ["key", 1.23]
+        if let Some(rest) = line.strip_prefix("[\"") {
+            if let Some((key, val)) = rest.split_once("\", ") {
+                if let Ok(v) = val.trim_end_matches(']').trim().parse::<f64>() {
+                    notes.push((key.to_string(), v));
+                }
+            }
+        }
+    }
+    notes
+}
+
 /// JSON string literal with escaping.
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);

@@ -186,7 +186,7 @@ impl LinkFaults {
 /// [`crate::transport::Network::send`]. Backoff is exponential from
 /// `base` up to `cap`, with deterministic per-link jitter so retrying
 /// senders don't synchronize.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct RetryPolicy {
     /// Whether retry (and receiver-side dedup) is active.
     pub enabled: bool,
@@ -196,6 +196,26 @@ pub struct RetryPolicy {
     pub base: Duration,
     /// Backoff ceiling.
     pub cap: Duration,
+}
+
+thread_local! {
+    /// How many times a [`RetryPolicy`] was cloned on this thread.
+    /// `Network::send` used to deep-clone the policy under its mutex on
+    /// every single send; the manual `Clone` below counts clones so the
+    /// regression test can pin the send path to zero.
+    static RETRY_POLICY_CLONES: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+impl Clone for RetryPolicy {
+    fn clone(&self) -> RetryPolicy {
+        RETRY_POLICY_CLONES.with(|c| c.set(c.get() + 1));
+        RetryPolicy {
+            enabled: self.enabled,
+            max_retries: self.max_retries,
+            base: self.base,
+            cap: self.cap,
+        }
+    }
 }
 
 impl Default for RetryPolicy {
@@ -213,6 +233,13 @@ impl RetryPolicy {
     /// A policy that never retries (ablation: reliability layer off).
     pub fn disabled() -> RetryPolicy {
         RetryPolicy { enabled: false, ..RetryPolicy::default() }
+    }
+
+    /// Number of `RetryPolicy` clones performed on the calling thread
+    /// since it started (regression instrumentation; see the manual
+    /// `Clone` impl).
+    pub fn clones_on_this_thread() -> u64 {
+        RETRY_POLICY_CLONES.with(|c| c.get())
     }
 
     /// The backoff before retry attempt `attempt` (1-based), including

@@ -12,9 +12,18 @@
 //!
 //! Recording is off by default: every instrumentation site checks one
 //! relaxed atomic before building an event, so a disabled tracer costs
-//! a branch per site (~0% overhead). Enabled, events go through a
-//! per-thread shard (a small mutex-guarded ring), so concurrent
-//! junctions rarely contend on the same lock.
+//! a branch per site (~0% overhead). Enabled, identity strings resolve
+//! to interned `u32` symbols through a pointer-compare memo in
+//! thread-local state, events stage in a thread-local buffer, and full
+//! buffers move into a per-thread shard as whole chunks — so the
+//! common per-event cost is a TLS push plus one atomic `gsn` bump,
+//! with no refcount traffic and the shard lock paid once per ~128
+//! events. The `gsn` stays per-event (one atomic RMW): its
+//! modification order is consistent with happens-before, which is what
+//! lets the conformance checker sort the drained trace and require
+//! cross-thread send-before-apply ordering. (A gsn-*range* reservation
+//! per flush would stamp an event with a number chosen at flush time,
+//! breaking exactly that property.)
 //!
 //! ## JSONL schema
 //!
@@ -255,6 +264,131 @@ pub struct TraceEvent {
 
 const SHARDS: usize = 16;
 
+/// How many events a thread stages locally before flushing to its
+/// shard in bulk. Small enough that a drained trace is never more than
+/// a blink stale, large enough to amortize the shard lock to noise.
+const LOCAL_FLUSH: usize = 128;
+
+/// The event representation the ring actually stores. Identity strings
+/// are interned to `u32` symbols ([`SymTab`]), so recording does zero
+/// refcount traffic per event and evicting a ring chunk drops plain
+/// data; [`Tracer::drain`] resolves symbols back into the public
+/// [`TraceEvent`] on the way out.
+struct RawEvent {
+    gsn: u64,
+    at_us: u64,
+    inst: u32,
+    junc: u32,
+    epoch: u64,
+    kind: TraceKind,
+}
+
+/// Tracer-scoped intern table: symbol `s` names `names[s]`. Symbols are
+/// only ever appended, so a symbol stored in the ring stays valid for
+/// the tracer's lifetime.
+#[derive(Default)]
+struct SymTab {
+    names: Vec<Arc<str>>,
+    index: std::collections::HashMap<Arc<str>, u32>,
+}
+
+/// Thread-local staging buffer for one (thread, tracer) pair. The
+/// mutex is uncontended on the hot path (only the owning thread
+/// pushes); it exists so [`Tracer::drain`] can *steal* still-buffered
+/// events from other threads instead of waiting for their next flush.
+struct LocalBuf {
+    events: Mutex<Vec<RawEvent>>,
+}
+
+/// Cycle-counter timestamps for the wall-clock hot path. `at_us` is a
+/// display field (ordering is by `gsn`), so the ~30 ns `clock_gettime`
+/// per event is pure overhead; on x86-64 we read the invariant TSC
+/// (~6 ns) and convert with a once-per-process calibration against the
+/// monotonic clock. Virtual clocks never come through here — sim
+/// determinism keeps the exact `Clock::now` path.
+#[cfg(target_arch = "x86_64")]
+mod cycles {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+
+    #[inline]
+    pub fn now() -> u64 {
+        // SAFETY: RDTSC is unprivileged and always available on x86-64.
+        unsafe { core::arch::x86_64::_rdtsc() }
+    }
+
+    /// Microseconds per TSC tick as a 32.32 fixed-point multiplier
+    /// (`us = ticks * mult >> 32`), calibrated over a 10 ms sleep the
+    /// first time a wall-clock tracer records an event.
+    pub fn us_per_tick_fp32() -> u64 {
+        static CAL: OnceLock<u64> = OnceLock::new();
+        *CAL.get_or_init(|| {
+            let t0 = Instant::now();
+            let c0 = now();
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            let ticks = (now() - c0) as f64;
+            let us_per_tick = t0.elapsed().as_secs_f64() * 1e6 / ticks.max(1.0);
+            (us_per_tick * (1u64 << 32) as f64) as u64
+        })
+    }
+
+    /// Convert a tick delta to microseconds.
+    #[inline]
+    pub fn ticks_to_us(ticks: u64) -> u64 {
+        ((ticks as u128 * us_per_tick_fp32() as u128) >> 32) as u64
+    }
+}
+
+/// The per-thread hot slot: a strong reference to the most-recently-
+/// used tracer's staging buffer plus a symbol memo, so the per-event
+/// path is one id compare — no scan, no `Weak::upgrade` CAS.
+struct Hot {
+    id: u64,
+    buf: Arc<LocalBuf>,
+    /// Memoized `Arc<str> → symbol` resolutions for this tracer,
+    /// matched by *allocation identity* (`Arc::ptr_eq`). Each entry
+    /// keeps its `Arc` alive, so an address match can never be a stale
+    /// reuse of a freed allocation. Hot record sites pass the same
+    /// handful of shared ids over and over; the common case is a hit in
+    /// the first entry or two.
+    syms: Vec<(Arc<str>, u32)>,
+}
+
+/// Per-thread view of the staging buffers, split into a one-entry hot
+/// slot and the full registry. The hot slot pins at most one
+/// ≤[`LOCAL_FLUSH`]-event buffer per thread past its tracer's death,
+/// which the next tracer switch releases.
+#[derive(Default)]
+struct LocalRegistry {
+    hot: Option<Hot>,
+    /// `(tracer id, buffer)` pairs for every tracer this thread has
+    /// recorded into. Weak so a dropped tracer's buffers are reclaimed
+    /// (entries are pruned on the next miss); the owning `Arc`s live in
+    /// `Tracer::locals`.
+    all: Vec<(u64, std::sync::Weak<LocalBuf>)>,
+}
+
+thread_local! {
+    static LOCAL_BUFS: std::cell::RefCell<LocalRegistry> =
+        const { std::cell::RefCell::new(LocalRegistry { hot: None, all: Vec::new() }) };
+}
+
+/// Resolve `name` against the hot slot's memo, falling back to (and
+/// memoizing) a full intern. The memo is bounded; on overflow it is
+/// simply cleared and refills with whatever is hot now.
+#[inline]
+fn sym_of(cache: &mut Vec<(Arc<str>, u32)>, name: &Arc<str>, intern: impl FnOnce() -> u32) -> u32 {
+    if let Some((_, sym)) = cache.iter().find(|(c, _)| Arc::ptr_eq(c, name)) {
+        return *sym;
+    }
+    let sym = intern();
+    if cache.len() >= 64 {
+        cache.clear();
+    }
+    cache.push((Arc::clone(name), sym));
+    sym
+}
+
 /// Pads its contents to a dedicated 128-byte slot so hot fields touched
 /// by different threads never share a cache line. Without this the
 /// ~40-byte shards pack several to a line and every push ping-pongs the
@@ -271,12 +405,36 @@ pub struct Tracer {
     enabled: AtomicBool,
     clock: crate::clock::Clock,
     origin: Instant,
-    /// Per-shard capacity bound; the oldest event is evicted (and
-    /// counted) when a shard overflows.
+    /// TSC reading taken alongside `origin`. `Some` only for wall
+    /// clocks on x86-64, where the push path stamps `at_us` from the
+    /// cycle delta instead of a ~30 ns clock read; virtual clocks keep
+    /// the exact `Clock::now` path (sim determinism).
+    #[cfg(target_arch = "x86_64")]
+    origin_cycles: Option<u64>,
+    /// Distinguishes tracers in the per-thread buffer registry
+    /// (parallel runtimes in one process each get their own buffers).
+    id: u64,
+    /// Per-shard capacity bound; the oldest events are evicted (and
+    /// counted) when a flush overflows a shard.
     shard_capacity: usize,
     gsn: Padded<AtomicU64>,
     dropped: Padded<AtomicU64>,
-    shards: Vec<Padded<Mutex<VecDeque<TraceEvent>>>>,
+    shards: Vec<Padded<Mutex<Shard>>>,
+    /// Every thread-local staging buffer ever handed out for this
+    /// tracer, so [`Tracer::drain`] can steal unflushed events.
+    locals: Mutex<Vec<Arc<LocalBuf>>>,
+    /// Identity-string intern table ([`RawEvent`] stores symbols).
+    syms: Mutex<SymTab>,
+}
+
+/// One ring shard: whole staging buffers parked as chunks. A flush
+/// hands its full `Vec` over by move — O(1), no per-event copy — and
+/// eviction discards whole chunks from the front (trimming the oldest
+/// chunk when the bound lands inside it).
+#[derive(Default)]
+struct Shard {
+    chunks: VecDeque<Vec<RawEvent>>,
+    len: usize,
 }
 
 /// Round-robin shard assignment, sticky per thread.
@@ -300,24 +458,32 @@ impl Tracer {
     pub fn with_clock(clock: crate::clock::Clock) -> Tracer {
         let mut t = Tracer::with_capacity(1 << 20);
         t.origin = clock.now();
+        #[cfg(target_arch = "x86_64")]
+        {
+            t.origin_cycles = (!clock.is_simulated()).then(cycles::now);
+        }
         t.clock = clock;
         t
     }
 
     /// A disabled tracer bounded to roughly `total_capacity` events.
     pub fn with_capacity(total_capacity: usize) -> Tracer {
+        static NEXT_ID: AtomicU64 = AtomicU64::new(0);
         let shard_capacity = (total_capacity / SHARDS).max(16);
         let clock = crate::clock::Clock::wall();
         Tracer {
             enabled: AtomicBool::new(false),
             gsn: Padded(AtomicU64::new(0)),
             origin: clock.now(),
+            #[cfg(target_arch = "x86_64")]
+            origin_cycles: Some(cycles::now()),
             clock,
-            shards: (0..SHARDS)
-                .map(|_| Padded(Mutex::new(VecDeque::with_capacity(shard_capacity.min(1024)))))
-                .collect(),
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            shards: (0..SHARDS).map(|_| Padded(Mutex::new(Shard::default()))).collect(),
             shard_capacity,
             dropped: Padded(AtomicU64::new(0)),
+            locals: Mutex::new(Vec::new()),
+            syms: Mutex::new(SymTab::default()),
         }
     }
 
@@ -340,19 +506,25 @@ impl Tracer {
         self.dropped.0.load(Ordering::Relaxed)
     }
 
-    /// Record one event (no-op while disabled). Allocates for the
-    /// identity strings — hot sites with a stable identity should cache
-    /// `Arc<str>`s and use [`Tracer::record_ids`] instead.
+    /// Record one event (no-op while disabled). Interns the identity
+    /// strings through the table lock — hot sites with a stable
+    /// identity should cache `Arc<str>`s and use [`Tracer::record_ids`]
+    /// instead, which memoizes the resolution per thread.
+    #[inline]
     pub fn record(&self, instance: &str, junction: &str, epoch: u64, kind: TraceKind) {
         if !self.is_enabled() {
             return;
         }
-        self.push(Arc::from(instance), Arc::from(junction), epoch, kind);
+        let inst = self.intern(instance);
+        let junc = self.intern(junction);
+        self.with_hot(|t, hot| t.push_raw(hot, inst, junc, epoch, kind));
     }
 
     /// Record one event with pre-shared identity strings (no-op while
-    /// disabled). The per-event cost is two refcount bumps instead of
-    /// two string clones.
+    /// disabled). The identities resolve to interned symbols via a
+    /// pointer-compare memo in thread-local state, so the per-event
+    /// cost carries no refcount traffic and no string hashing.
+    #[inline]
     pub fn record_ids(
         &self,
         instance: &Arc<str>,
@@ -363,38 +535,149 @@ impl Tracer {
         if !self.is_enabled() {
             return;
         }
-        self.push(Arc::clone(instance), Arc::clone(junction), epoch, kind);
+        self.with_hot(|t, hot| {
+            let inst = sym_of(&mut hot.syms, instance, || t.intern(instance));
+            let junc = sym_of(&mut hot.syms, junction, || t.intern(junction));
+            t.push_raw(hot, inst, junc, epoch, kind);
+        });
     }
 
-    fn push(&self, instance: Arc<str>, junction: Arc<str>, epoch: u64, kind: TraceKind) {
-        let ev = TraceEvent {
+    /// The symbol for `name`, interning it on first sight. Symbol
+    /// numbering is append-only, so a returned symbol stays valid for
+    /// the tracer's lifetime.
+    fn intern(&self, name: &str) -> u32 {
+        let mut tab = self.syms.lock();
+        if let Some(&sym) = tab.index.get(name) {
+            return sym;
+        }
+        let arc: Arc<str> = Arc::from(name);
+        let sym = u32::try_from(tab.names.len()).expect("fewer than 2^32 distinct identities");
+        tab.names.push(Arc::clone(&arc));
+        tab.index.insert(arc, sym);
+        sym
+    }
+
+    /// Microseconds since `origin`, via the TSC fast path when the
+    /// clock allows it.
+    #[inline]
+    fn stamp_us(&self) -> u64 {
+        #[cfg(target_arch = "x86_64")]
+        if let Some(c0) = self.origin_cycles {
+            return cycles::ticks_to_us(cycles::now().wrapping_sub(c0));
+        }
+        let at = self.clock.now().saturating_duration_since(self.origin);
+        at.as_secs() * 1_000_000 + u64::from(at.subsec_micros())
+    }
+
+    /// Run `f` with this thread's hot slot for this tracer, installing
+    /// it first if another tracer (or nothing) currently owns the slot.
+    #[inline]
+    fn with_hot<R>(&self, f: impl FnOnce(&Tracer, &mut Hot) -> R) -> R {
+        LOCAL_BUFS.with(|cell| {
+            let mut reg = cell.borrow_mut();
+            if reg.hot.as_ref().is_none_or(|h| h.id != self.id) {
+                let buf = self.local_buf(&mut reg.all);
+                reg.hot = Some(Hot { id: self.id, buf, syms: Vec::new() });
+            }
+            f(self, reg.hot.as_mut().expect("hot slot just set"))
+        })
+    }
+
+    /// Stamp and stage one resolved event; flush the staging buffer to
+    /// a shard when it reaches [`LOCAL_FLUSH`].
+    #[inline]
+    fn push_raw(&self, hot: &mut Hot, inst: u32, junc: u32, epoch: u64, kind: TraceKind) {
+        let ev = RawEvent {
             gsn: self.gsn.0.fetch_add(1, Ordering::Relaxed),
-            at_us: self
-                .clock
-                .now()
-                .saturating_duration_since(self.origin)
-                .as_micros() as u64,
-            instance,
-            junction,
+            at_us: self.stamp_us(),
+            inst,
+            junc,
             epoch,
             kind,
         };
-        let mut shard = self.shards[shard_index()].0.lock();
-        if shard.len() >= self.shard_capacity {
-            shard.pop_front();
-            self.dropped.0.fetch_add(1, Ordering::Relaxed);
+        let mut events = hot.buf.events.lock();
+        events.push(ev);
+        if events.len() >= LOCAL_FLUSH {
+            self.flush_local(&mut events);
         }
-        shard.push_back(ev);
     }
 
-    /// Drain all recorded events, sorted by `gsn`.
+    /// This thread's staging buffer for this tracer, created and
+    /// registered on first use (the hot slot in [`LocalRegistry`]
+    /// makes repeat pushes skip this entirely).
+    fn local_buf(&self, bufs: &mut Vec<(u64, std::sync::Weak<LocalBuf>)>) -> Arc<LocalBuf> {
+        if let Some((_, weak)) = bufs.iter().find(|(id, _)| *id == self.id) {
+            if let Some(buf) = weak.upgrade() {
+                return buf;
+            }
+        }
+        // Miss: prune buffers whose tracers are gone, then register
+        // a fresh one on both sides (TLS weak, tracer-owned strong).
+        bufs.retain(|(_, weak)| weak.strong_count() > 0);
+        let buf = Arc::new(LocalBuf {
+            events: Mutex::new(Vec::with_capacity(LOCAL_FLUSH)),
+        });
+        self.locals.lock().push(Arc::clone(&buf));
+        bufs.push((self.id, Arc::downgrade(&buf)));
+        buf
+    }
+
+    /// Move a full staging buffer into this thread's shard as one
+    /// chunk (the `Vec` itself changes hands — no per-event copy),
+    /// evicting (and counting) the oldest events past capacity. Lock
+    /// order is local → shard, matching [`Tracer::drain`].
+    fn flush_local(&self, events: &mut Vec<RawEvent>) {
+        let chunk = std::mem::replace(events, Vec::with_capacity(LOCAL_FLUSH));
+        let mut shard = self.shards[shard_index()].0.lock();
+        shard.len += chunk.len();
+        shard.chunks.push_back(chunk);
+        let mut over = shard.len.saturating_sub(self.shard_capacity);
+        if over > 0 {
+            let evicted = over;
+            while over > 0 {
+                let front = shard.chunks.front_mut().expect("overflowing shard is nonempty");
+                if front.len() <= over {
+                    over -= front.len();
+                    shard.chunks.pop_front();
+                } else {
+                    front.drain(..over);
+                    over = 0;
+                }
+            }
+            shard.len -= evicted;
+            self.dropped.0.fetch_add(evicted as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Drain all recorded events, sorted by `gsn`, with interned
+    /// identity symbols resolved back to shared strings. Steals events
+    /// still sitting in other threads' staging buffers, so a drain
+    /// observes everything recorded before it regardless of flush
+    /// boundaries.
     pub fn drain(&self) -> Vec<TraceEvent> {
         let mut all = Vec::new();
-        for shard in &self.shards {
-            all.append(&mut shard.0.lock().drain(..).collect());
+        for buf in self.locals.lock().iter() {
+            all.append(&mut buf.events.lock());
         }
-        all.sort_by_key(|e| e.gsn);
-        all
+        for shard in &self.shards {
+            let mut s = shard.0.lock();
+            s.len = 0;
+            for mut chunk in s.chunks.drain(..) {
+                all.append(&mut chunk);
+            }
+        }
+        all.sort_unstable_by_key(|e| e.gsn);
+        let names = self.syms.lock().names.clone();
+        all.into_iter()
+            .map(|e| TraceEvent {
+                gsn: e.gsn,
+                at_us: e.at_us,
+                instance: Arc::clone(&names[e.inst as usize]),
+                junction: Arc::clone(&names[e.junc as usize]),
+                epoch: e.epoch,
+                kind: e.kind,
+            })
+            .collect()
     }
 
     /// Drain all recorded events as JSONL.
@@ -791,6 +1074,47 @@ mod tests {
         }
         assert!(t.dropped() > 0);
         assert!(t.drain().len() <= 16 * 16);
+    }
+
+    #[test]
+    fn drain_steals_unflushed_thread_local_events() {
+        // Fewer events than the flush threshold: everything is still in
+        // the recording thread's staging buffer when drain runs, and on
+        // a *different* thread at that.
+        let t = Arc::new(Tracer::new());
+        t.set_enabled(true);
+        let t2 = Arc::clone(&t);
+        std::thread::spawn(move || {
+            for _ in 0..(LOCAL_FLUSH / 2) {
+                t2.record("f", "j", 0, TraceKind::Sched);
+            }
+        })
+        .join()
+        .unwrap();
+        assert_eq!(t.drain().len(), LOCAL_FLUSH / 2);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn interleaved_tracers_keep_buffers_apart() {
+        // Two live tracers on one thread must not mix events, and a
+        // dropped tracer's staging buffer must not leak into the other.
+        let a = Tracer::new();
+        let b = Tracer::new();
+        a.set_enabled(true);
+        b.set_enabled(true);
+        a.record("a", "j", 0, TraceKind::Sched);
+        b.record("b", "j", 0, TraceKind::Sched);
+        a.record("a", "j", 0, TraceKind::Sched);
+        assert_eq!(a.drain().len(), 2);
+        assert_eq!(b.drain().len(), 1);
+        drop(b);
+        let c = Tracer::new();
+        c.set_enabled(true);
+        c.record("c", "j", 0, TraceKind::Sched);
+        let events = c.drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].instance.as_ref(), "c");
     }
 
     #[test]

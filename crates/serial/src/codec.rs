@@ -91,7 +91,8 @@ impl std::fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
-/// Encode a value against a schema.
+/// Encode a value against a schema. The buffer's backing storage moves
+/// into the returned `Vec` — no terminal copy.
 pub fn encode(
     value: &HeapValue,
     ty: &TypeDesc,
@@ -99,11 +100,25 @@ pub fn encode(
     cfg: &CodecConfig,
 ) -> Result<Vec<u8>, CodecError> {
     let mut out = BytesMut::new();
-    encode_inner(value, ty, reg, cfg, 0, &mut out)?;
+    encode_into(value, ty, reg, cfg, &mut out)?;
+    Ok(out.into())
+}
+
+/// Encode a value against a schema, appending to a caller-owned buffer
+/// — the zero-copy entry point: hot paths reuse one buffer across
+/// frames (or [`bytes::BytesMut::freeze`] the result to fan it out).
+pub fn encode_into(
+    value: &HeapValue,
+    ty: &TypeDesc,
+    reg: &Registry,
+    cfg: &CodecConfig,
+    out: &mut BytesMut,
+) -> Result<(), CodecError> {
+    encode_inner(value, ty, reg, cfg, 0, out)?;
     if out.len() > cfg.max_bytes {
         return Err(CodecError::BufferOverflow { limit: cfg.max_bytes });
     }
-    Ok(out.to_vec())
+    Ok(())
 }
 
 fn check_len(out: &BytesMut, cfg: &CodecConfig) -> Result<(), CodecError> {

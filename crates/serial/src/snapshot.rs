@@ -19,7 +19,9 @@ use csaw_core::value::Value;
 use csaw_kv::table::{PendingState, TableState};
 use csaw_kv::{Update, UpdateKind};
 
-use crate::codec::{decode, encode, CodecConfig, CodecError};
+use bytes::{Bytes, BytesMut};
+
+use crate::codec::{decode, encode_into, CodecConfig, CodecError};
 use crate::heap::HeapValue;
 use crate::schema::{Prim, Registry, TypeDesc};
 
@@ -433,18 +435,37 @@ fn raise(v: &HeapValue) -> Result<TableState, CodecError> {
     })
 }
 
+/// The snapshot schema, built once per process. The schema is static —
+/// rebuilding the whole registry (a dozen named types) on every encode
+/// *and* decode call was pure hot-path waste on the migration path.
+fn schema() -> &'static (Registry, TypeDesc) {
+    static SCHEMA: std::sync::OnceLock<(Registry, TypeDesc)> = std::sync::OnceLock::new();
+    SCHEMA.get_or_init(|| {
+        let mut reg = Registry::new();
+        let root = table_state_schema(&mut reg);
+        (reg, root)
+    })
+}
+
 /// Encode an exported table state through the §9 codec.
 pub fn encode_table_state(state: &TableState) -> Result<Vec<u8>, CodecError> {
-    let mut reg = Registry::new();
-    let root = table_state_schema(&mut reg);
-    encode(&lower(state), &root, &reg, &snapshot_config())
+    Ok(encode_table_state_bytes(state)?.into())
+}
+
+/// Encode an exported table state into a frozen [`Bytes`] buffer: the
+/// zero-copy variant for migration fan-out — one encode, N cheap
+/// clones, no per-target buffer copies.
+pub fn encode_table_state_bytes(state: &TableState) -> Result<Bytes, CodecError> {
+    let (reg, root) = schema();
+    let mut out = BytesMut::new();
+    encode_into(&lower(state), root, reg, &snapshot_config(), &mut out)?;
+    Ok(out.freeze())
 }
 
 /// Decode bytes produced by [`encode_table_state`].
 pub fn decode_table_state(bytes: &[u8]) -> Result<TableState, CodecError> {
-    let mut reg = Registry::new();
-    let root = table_state_schema(&mut reg);
-    let hv = decode(bytes, &root, &reg, &snapshot_config())?;
+    let (reg, root) = schema();
+    let hv = decode(bytes, root, reg, &snapshot_config())?;
     raise(&hv)
 }
 

@@ -1,8 +1,10 @@
 //! Minimal, dependency-free stand-in for the `bytes` crate (offline
-//! build; see `crates/shim/`): a growable [`BytesMut`] buffer plus the
-//! little-endian [`Buf`]/[`BufMut`] accessors the serializer uses.
+//! build; see `crates/shim/`): a growable [`BytesMut`] buffer, a
+//! frozen reference-counted [`Bytes`] view for zero-copy fan-out, plus
+//! the little-endian [`Buf`]/[`BufMut`] accessors the serializer uses.
 
 use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
 
 /// A growable byte buffer.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -40,6 +42,13 @@ impl BytesMut {
     pub fn clear(&mut self) {
         self.buf.clear();
     }
+
+    /// Freeze into an immutable, cheaply-cloneable [`Bytes`]. The
+    /// backing storage moves (no copy); every clone and slice of the
+    /// result shares it.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from_vec(self.buf)
+    }
 }
 
 impl Deref for BytesMut {
@@ -58,6 +67,101 @@ impl DerefMut for BytesMut {
 impl From<BytesMut> for Vec<u8> {
     fn from(b: BytesMut) -> Vec<u8> {
         b.buf
+    }
+}
+
+/// An immutable byte buffer sharing one reference-counted allocation:
+/// clones bump a refcount, [`Bytes::slice`] returns a sub-view over
+/// the same storage. This is what lets a snapshot be encoded once and
+/// handed to N migration targets without N copies.
+#[derive(Clone, Debug, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Take ownership of a `Vec<u8>` without copying.
+    pub fn from_vec(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes { data: Arc::new(v), start: 0, end }
+    }
+
+    /// Copy from a slice.
+    pub fn copy_from_slice(src: &[u8]) -> Bytes {
+        Bytes::from_vec(src.to_vec())
+    }
+
+    /// Length of this view in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A sub-view of `self` over the same storage (no copy). Panics if
+    /// the range is out of bounds, matching the real crate.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len());
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Copy out as a `Vec<u8>` (the one place a copy is explicit).
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes::from_vec(v)
+    }
+}
+
+impl From<Bytes> for Vec<u8> {
+    fn from(b: Bytes) -> Vec<u8> {
+        // Sole owner of an un-sliced buffer: hand the allocation back.
+        if b.start == 0 && b.end == b.data.len() {
+            match Arc::try_unwrap(b.data) {
+                Ok(v) => return v,
+                Err(data) => return data[b.start..b.end].to_vec(),
+            }
+        }
+        b.data[b.start..b.end].to_vec()
     }
 }
 
@@ -166,6 +270,23 @@ impl Buf for &[u8] {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn freeze_shares_storage_without_copying() {
+        let mut b = BytesMut::new();
+        b.put_slice(b"hello world");
+        let frozen = b.freeze();
+        let ptr = frozen.as_ref().as_ptr();
+        let clone = frozen.clone();
+        assert_eq!(clone.as_ref().as_ptr(), ptr, "clone must share storage");
+        let tail = frozen.slice(6..11);
+        assert_eq!(tail.as_ref(), b"world");
+        assert_eq!(tail.as_ref().as_ptr(), unsafe { ptr.add(6) });
+        drop(clone);
+        drop(tail);
+        let back: Vec<u8> = frozen.into();
+        assert_eq!(back.as_ptr(), ptr, "sole owner gets the allocation back");
+    }
 
     #[test]
     fn roundtrip_all_widths() {
