@@ -14,7 +14,7 @@
 
 use csaw_core::builder::*;
 use csaw_core::decl::Decl;
-use csaw_core::expr::Arg;
+use csaw_core::expr::{Arg, Expr};
 use csaw_core::formula::Formula;
 use csaw_core::names::JRef;
 use csaw_core::program::{InstanceType, JunctionDef, Program};
@@ -154,10 +154,155 @@ pub fn checkpoint(spec: &CheckpointSpec) -> Program {
         .build()
 }
 
+/// Name of primary `i` (1-based) in a [`checkpoint_mesh`] program.
+pub fn mesh_primary(i: usize) -> String {
+    format!("p{i}")
+}
+
+/// Name of store replica `j` of primary `i` (both 1-based) in a
+/// [`checkpoint_mesh`] program.
+pub fn mesh_store(i: usize, j: usize) -> String {
+    format!("d{i}_{j}")
+}
+
+/// The parametric lift of [`checkpoint`]: `n` primaries, each
+/// checkpointing to its own chain of `k` store replicas.
+///
+/// Primary `p{i}`'s `checkpoint` junction pushes the saved state to all
+/// `k` of its stores (`d{i}_1` … `d{i}_k`) in one deadline scope;
+/// `recover` asks the first replica (`d{i}_1`) for the latest blob.
+/// The extra replicas exercise fan-out delivery and back the
+/// replica-agreement oracle (every replica's blob must be a genuinely
+/// checkpointed state). Store types are per-primary — a store's `give`
+/// junction writes back to its owning primary's `recover`, and junction
+/// references are baked into the instance type.
+pub fn checkpoint_mesh(n: usize, k: usize) -> Program {
+    assert!(n >= 1 && k >= 1);
+    let mut builder = ProgramBuilder::new().func(complain_func());
+    let mut starts: Vec<Expr> = Vec::new();
+    for i in 1..=n {
+        let prim = mesh_primary(i);
+        let stores: Vec<String> = (1..=k).map(|j| mesh_store(i, j)).collect();
+        let mut pushes: Vec<Expr> = Vec::new();
+        for st in &stores {
+            pushes.push(write("state", JRef::qualified(st, "keep")));
+            pushes.push(assert_at(JRef::qualified(st, "keep"), "Fresh"));
+        }
+        let tprim = format!("tPrim{i}");
+        let tstore = format!("tStore{i}");
+        builder = builder
+            .ty(InstanceType::new(
+                &tprim,
+                vec![
+                    JunctionDef::new(
+                        "checkpoint",
+                        vec![p_timeout("t")],
+                        vec![Decl::data("state"), Decl::prop_false("Fresh")],
+                        seq([
+                            save("state"),
+                            otherwise(scope(seq(pushes)), "t", call("complain", vec![])),
+                        ]),
+                    ),
+                    JunctionDef::new(
+                        "recover",
+                        vec![p_timeout("t")],
+                        vec![
+                            Decl::data("state"),
+                            Decl::prop_false("NeedState"),
+                            Decl::prop_false("HaveState"),
+                            Decl::prop_false("Want"),
+                            Decl::guard(Formula::prop("NeedState")),
+                        ],
+                        seq([
+                            retract_local("NeedState"),
+                            otherwise(
+                                scope(seq([
+                                    assert_at(JRef::qualified(&stores[0], "give"), "Want"),
+                                    wait(["state"], Formula::prop("HaveState")),
+                                    restore("state"),
+                                    retract_local("HaveState"),
+                                ])),
+                                "t",
+                                call("complain", vec![]),
+                            ),
+                        ]),
+                    ),
+                ],
+            ))
+            .ty(InstanceType::new(
+                &tstore,
+                vec![
+                    JunctionDef::new(
+                        "keep",
+                        vec![],
+                        vec![
+                            Decl::data("state"),
+                            Decl::prop_false("Fresh"),
+                            Decl::guard(Formula::prop("Fresh")),
+                        ],
+                        seq([restore("state"), retract_local("Fresh")]),
+                    ),
+                    JunctionDef::new(
+                        "give",
+                        vec![p_timeout("t")],
+                        vec![
+                            Decl::data("state"),
+                            Decl::prop_false("Want"),
+                            Decl::prop_false("HaveState"),
+                            Decl::guard(Formula::prop("Want")),
+                        ],
+                        seq([
+                            retract_local("Want"),
+                            save("state"),
+                            otherwise(
+                                scope(seq([
+                                    write("state", JRef::qualified(&prim, "recover")),
+                                    assert_at(JRef::qualified(&prim, "recover"), "HaveState"),
+                                ])),
+                                "t",
+                                call("complain", vec![]),
+                            ),
+                        ]),
+                    ),
+                ],
+            ))
+            .instance(&prim, &tprim);
+        for st in &stores {
+            builder = builder.instance(st, &tstore);
+        }
+        starts.push(start_junctions(
+            &prim,
+            vec![("checkpoint", vec![Arg::name("t")]), ("recover", vec![Arg::name("t")])],
+        ));
+        for st in &stores {
+            starts.push(start_junctions(st, vec![("keep", vec![]), ("give", vec![Arg::name("t")])]));
+        }
+    }
+    builder.main(vec![p_timeout("t")], par(starts)).build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use csaw_core::program::LoadConfig;
+
+    #[test]
+    fn mesh_compiles_across_grid() {
+        for (n, k) in [(1, 1), (2, 3), (4, 2)] {
+            let cp = csaw_core::compile(checkpoint_mesh(n, k), &LoadConfig::new()).unwrap();
+            assert_eq!(cp.instances.len(), n * (1 + k), "n={n} k={k}");
+            for i in 1..=n {
+                let prim = cp.instance(&mesh_primary(i)).unwrap();
+                assert!(prim.junction("checkpoint").is_some());
+                assert!(prim.junction("recover").is_some());
+                for j in 1..=k {
+                    let st = cp.instance(&mesh_store(i, j)).unwrap();
+                    assert!(st.junction("keep").unwrap().guard().is_some());
+                    assert!(st.junction("give").unwrap().guard().is_some());
+                }
+            }
+        }
+    }
 
     #[test]
     fn compiles() {

@@ -99,9 +99,16 @@ fn watch_func(spec: &WatchedSpec) -> FuncDef {
 
 /// `reply(t, other)` (Fig. 17) with the weakened second verify.
 fn reply_func(spec: &WatchedSpec) -> FuncDef {
+    reply_func_named(spec, "reply")
+}
+
+/// [`reply_func`] under an explicit function name — required when one
+/// program hosts several watched groups, each replying to its own
+/// front-end (function names are program-global).
+fn reply_func_named(spec: &WatchedSpec, name: &str) -> FuncDef {
     let other = NameRef::var("other");
     FuncDef::new(
-        "reply",
+        name,
         vec![p_junction("other")],
         vec![],
         seq([
@@ -133,11 +140,16 @@ fn two_set(spec: &WatchedSpec) -> Vec<SetElem> {
 
 /// `τf` (Fig. 16).
 fn front_type(spec: &WatchedSpec) -> InstanceType {
+    front_type_named(spec, "tF")
+}
+
+/// [`front_type`] under an explicit type name (multi-group programs).
+fn front_type_named(spec: &WatchedSpec, ty: &str) -> InstanceType {
     let set = SetRef::Lit(two_set(spec));
     let o = &spec.preferred;
     let s = &spec.spare;
     InstanceType::new(
-        "tF",
+        ty,
         vec![JunctionDef::new(
             "junction",
             vec![p_timeout("t")],
@@ -211,10 +223,15 @@ fn front_type(spec: &WatchedSpec) -> InstanceType {
 /// unchanged so the front's table state survives the reconfiguration
 /// snapshot.
 fn front_type_promoted(spec: &WatchedSpec) -> InstanceType {
+    front_type_promoted_named(spec, "tF")
+}
+
+/// [`front_type_promoted`] under an explicit type name.
+fn front_type_promoted_named(spec: &WatchedSpec, ty: &str) -> InstanceType {
     let set = SetRef::Lit(two_set(spec));
     let s = &spec.spare;
     InstanceType::new(
-        "tF",
+        ty,
         vec![JunctionDef::new(
             "junction",
             vec![p_timeout("t")],
@@ -252,6 +269,19 @@ fn backend_type(
     other: &str,
     is_spare: bool,
 ) -> InstanceType {
+    backend_type_named(spec, name, me, other, is_spare, "reply")
+}
+
+/// [`backend_type`] calling an explicit reply function (multi-group
+/// programs give each group its own, bound to that group's front).
+fn backend_type_named(
+    spec: &WatchedSpec,
+    name: &str,
+    me: &str,
+    other: &str,
+    is_spare: bool,
+    reply_fn: &str,
+) -> InstanceType {
     let run_me = PropRef::indexed("Run", NameRef::lit(me.to_string()));
     let body_tail: Expr = if is_spare {
         // τs replies only in fail-over mode (Fig. 17).
@@ -259,7 +289,7 @@ fn backend_type(
             vec![arm(
                 Formula::prop("failover"),
                 seq([
-                    call("reply", vec![Arg::Junction(JRef::instance(other))]),
+                    call(reply_fn, vec![Arg::Junction(JRef::instance(other))]),
                     retract_local("Reply"),
                 ]),
                 Terminator::Break,
@@ -268,7 +298,7 @@ fn backend_type(
         )
     } else {
         seq([
-            call("reply", vec![Arg::Junction(JRef::instance(other))]),
+            call(reply_fn, vec![Arg::Junction(JRef::instance(other))]),
             retract_local("Reply"),
         ])
     };
@@ -458,6 +488,78 @@ pub fn promoted(spec: &WatchedSpec) -> Program {
         .build()
 }
 
+/// Names for the `g`-th watched group (1-based) of a multi-group
+/// program: front `f{g}`, preferred `o{g}`, spare `s{g}`, watchdog
+/// `w{g}` (unused by the supervised variant), shared host hook names.
+pub fn group_spec(g: usize) -> WatchedSpec {
+    WatchedSpec {
+        front: format!("f{g}"),
+        watchdog: format!("w{g}"),
+        preferred: format!("o{g}"),
+        spare: format!("s{g}"),
+        ..WatchedSpec::default()
+    }
+}
+
+/// `n` independent supervised watched groups in one program — the
+/// parametric lift of [`supervised_failover`] for shard(N)/failover(K)
+/// small-model checking. Group `g` (1-based) is `(f{g}, o{g}, s{g})`;
+/// `promoted[g-1]` selects the group's variant: `false` is the boot
+/// shape (front engages both back-ends, supervisor arbitrates), `true`
+/// is the post-repair shape of [`promoted`] (front engages only the
+/// spare, the partitioned preferred stays in the program as a zombie
+/// for the epoch fence to reject). A repair target is therefore the
+/// same call with the repaired group's flag flipped — promotions
+/// compose across successive repairs.
+///
+/// Types and reply functions are suffixed per group (`tF3`, `reply3`):
+/// function names are program-global and each group's `reply` must
+/// verify against and write to *its own* front.
+pub fn supervised_failover_groups(n: usize, promoted_groups: &[bool]) -> Program {
+    assert!(n >= 1 && promoted_groups.len() == n);
+    let mut builder = ProgramBuilder::new().func(run_backend_func()).func(complain_func());
+    let mut backend_starts: Vec<Expr> = Vec::new();
+    let mut front_starts: Vec<Expr> = Vec::new();
+    for g in 1..=n {
+        let spec = group_spec(g);
+        let promoted_g = promoted_groups[g - 1];
+        let reply_fn = format!("reply{g}");
+        let (tf, to, ts) = (format!("tF{g}"), format!("tO{g}"), format!("tS{g}"));
+        let front = if promoted_g {
+            front_type_promoted_named(&spec, &tf)
+        } else {
+            front_type_named(&spec, &tf)
+        };
+        builder = builder
+            .ty(front)
+            .ty(backend_type_named(&spec, &to, &spec.preferred, &spec.spare, false, &reply_fn))
+            .ty(backend_type_named(
+                &spec,
+                &ts,
+                &spec.spare,
+                &spec.preferred,
+                // A promoted spare serves unconditionally, like a
+                // preferred back-end (see `promoted`).
+                !promoted_g,
+                &reply_fn,
+            ))
+            .instance(&spec.front, &tf)
+            .instance(&spec.preferred, &to)
+            .instance(&spec.spare, &ts)
+            .func(reply_func_named(&spec, &reply_fn));
+        if !promoted_g {
+            backend_starts.push(start(&spec.preferred, vec![Arg::name("t")]));
+        }
+        backend_starts.push(start(&spec.spare, vec![Arg::name("t")]));
+        front_starts.push(start(&spec.front, vec![Arg::name("t")]));
+    }
+    builder.main(
+        vec![p_timeout("t")],
+        seq([par(backend_starts), par(front_starts)]),
+    )
+    .build()
+}
+
 /// Configure runtime policies: the front-end junction is request-driven
 /// (invoke per client request — "scheduled by the instance's application
 /// logic"), and the watchdog junctions poll liveness periodically.
@@ -529,6 +631,49 @@ mod tests {
             }
         });
         assert_eq!(s_cases, 0);
+    }
+
+    #[test]
+    fn grouped_supervised_variant_compiles_and_promotes_per_group() {
+        for n in [1, 3] {
+            let boot = csaw_core::compile(
+                supervised_failover_groups(n, &vec![false; n]),
+                &LoadConfig::new(),
+            )
+            .unwrap();
+            assert_eq!(boot.instances.len(), 3 * n);
+            for g in 1..=n {
+                let spec = group_spec(g);
+                assert!(boot.instance(&spec.front).is_some());
+                assert!(boot.instance(&spec.preferred).is_some());
+                assert!(boot.instance(&spec.spare).is_some());
+            }
+        }
+        // Promote group 2 of 3: its front loses the failover case, its
+        // spare replies unconditionally, and the other groups keep the
+        // boot shape. The zombie o2 stays in the program.
+        let mut promoted_groups = vec![false; 3];
+        promoted_groups[1] = true;
+        let cp = csaw_core::compile(
+            supervised_failover_groups(3, &promoted_groups),
+            &LoadConfig::new(),
+        )
+        .unwrap();
+        assert!(cp.instance("o2").is_some());
+        let cases_of = |inst: &str| {
+            let j = cp.instance(inst).unwrap().junction("junction").unwrap();
+            let mut cases = 0;
+            j.body.walk(&mut |e| {
+                if matches!(e, Expr::Case { .. }) {
+                    cases += 1;
+                }
+            });
+            cases
+        };
+        assert_eq!(cases_of("f2"), 0);
+        assert_eq!(cases_of("s2"), 0);
+        assert!(cases_of("f1") > 0);
+        assert!(cases_of("s3") > 0);
     }
 
     #[test]

@@ -1,18 +1,21 @@
-//! Deterministic-simulation acceptance sweep: a block of consecutive
-//! seeds drives the supervised fail-over scenario — chaos reordering, a
-//! live reconfiguration landing inside the supervisor's detect →
-//! confirm → repair window, promotion of the spare, heal, zombie poke —
-//! and every schedule must come out green: oracle clean, repair
-//! verified, cross-epoch conformance pass, horizon reached within the
-//! step budget.
+//! Deterministic-simulation acceptance sweeps over the parametric
+//! scenario family (fail-over, live reshard under traffic, crash +
+//! checkpoint restore, repeated churn): blocks of consecutive seeds
+//! must come out green — oracle clean, repairs verified, cross-epoch
+//! conformance pass, horizon reached within the step budget — and each
+//! scenario must deterministically catch its own deliberate fence-off
+//! bug, shrink the offending schedule, and reproduce it from the JSON
+//! artifact.
 //!
 //! The base seed honors `CSAW_SEED`, so a failing block reported by CI
 //! can be reproduced locally with the same environment variable; every
 //! red schedule prints its seed (and the `csaw_sim` CLI can then shrink
 //! and persist it as a JSON artifact).
 
-use csaw_bench::sim_runs::{run_schedule, ScheduleSpec};
-use csaw_runtime::env_seed;
+use csaw_bench::sim_runs::{
+    dfs_schedule, replay_schedule, run_schedule, shrink_failure, Scenario, ScheduleSpec,
+};
+use csaw_runtime::{env_seed, Artifact, DfsConfig};
 
 const SWEEP: u64 = 48;
 
@@ -67,4 +70,165 @@ fn sweep_reconfigure_during_repair_stays_green() {
         acked_total >= (SWEEP as usize) * 4,
         "sweep carried too little acked traffic: {acked_total} over {SWEEP} schedules"
     );
+}
+
+/// The two ROADMAP schedules (live reshard with key re-homing
+/// mid-traffic, crash + checkpoint restore) plus repeated churn, swept
+/// across seeds with the small model's (shards, replicas) rotating so
+/// every cell of the grid gets hit. Every schedule must be green.
+#[test]
+fn sweep_new_scenarios_stay_green() {
+    let base = env_seed(2000);
+    let scenarios = [Scenario::Reshard, Scenario::Restore, Scenario::Churn];
+    let grid = [(1, 1), (2, 2), (3, 1), (1, 3), (4, 2), (2, 3)];
+    let mut acked_total = 0usize;
+    for i in 0..SWEEP {
+        let seed = base + i;
+        let scenario = scenarios[(i % 3) as usize];
+        let (n, k) = grid[((i / 3) % grid.len() as u64) as usize];
+        let out = run_schedule(&ScheduleSpec::new(scenario, n, k, seed));
+        assert!(
+            out.failure.is_none(),
+            "{} (n={n}, k={k}) seed {seed} went red: {:?} (CSAW_SEED={seed} reproduces)",
+            scenario.label(),
+            out.failure
+        );
+        assert!(
+            out.repair_ok,
+            "{} (n={n}, k={k}) seed {seed}: repair/wave did not verify: {:?}",
+            scenario.label(),
+            out.repairs
+        );
+        assert!(
+            out.conformance.ok,
+            "{} seed {seed}: conformance: {}",
+            scenario.label(),
+            out.conformance.detail
+        );
+        assert!(
+            !out.truncated,
+            "{} (n={n}, k={k}) seed {seed}: step budget exhausted before the horizon",
+            scenario.label()
+        );
+        acked_total += out.acked;
+    }
+    assert!(
+        acked_total >= (SWEEP as usize) * 4,
+        "sweep carried too little traffic: {acked_total} over {SWEEP} schedules"
+    );
+}
+
+/// Determinism contract for every scenario family: the same seed on a
+/// fresh runtime yields a byte-identical step list and a byte-identical
+/// trace, and replaying the recorded steps reproduces both.
+#[test]
+fn same_seed_traces_are_byte_identical_per_scenario() {
+    for (scenario, n, k) in [
+        (Scenario::Reshard, 2, 1),
+        (Scenario::Restore, 2, 2),
+        (Scenario::Churn, 1, 2),
+    ] {
+        let spec = ScheduleSpec::new(scenario, n, k, 17);
+        let a = run_schedule(&spec);
+        let b = run_schedule(&spec);
+        assert!(a.failure.is_none(), "{}: {:?}", scenario.label(), a.failure);
+        assert_eq!(a.steps, b.steps, "{}: schedules diverged", scenario.label());
+        assert_eq!(a.trace_jsonl, b.trace_jsonl, "{}: traces diverged", scenario.label());
+        assert!(!a.trace_jsonl.is_empty(), "{}: trace recording off", scenario.label());
+        let replayed = replay_schedule(&spec, &a.steps);
+        assert_eq!(
+            a.trace_jsonl,
+            replayed.trace_jsonl,
+            "{}: replay diverged from the recorded run",
+            scenario.label()
+        );
+    }
+}
+
+/// Every scenario family catches its own deliberate bug when the fence
+/// is dropped, shrinking keeps the exact failure, and the shrunk
+/// artifact round-trips through JSON into a red replay.
+#[test]
+fn every_scenario_catches_its_fence_off_bug() {
+    for (scenario, n, k, seed, expect) in [
+        (Scenario::Failover, 1, 1, 3, "split-brain"),
+        (Scenario::Reshard, 1, 1, 1, "double-homed"),
+        (Scenario::Restore, 1, 1, 1, "crash recovery never completed"),
+        (Scenario::Churn, 1, 1, 1, "double-homed"),
+    ] {
+        let spec = ScheduleSpec::new(scenario, n, k, seed).with_fence_off();
+        let out = run_schedule(&spec);
+        let art = out.artifact().unwrap_or_else(|| {
+            panic!("{} (seed {seed}): fence-off run stayed green", scenario.label())
+        });
+        assert!(
+            art.reason.contains(expect),
+            "{}: wrong failure `{}` (expected `{expect}`)",
+            scenario.label(),
+            art.reason
+        );
+        let shrunk = shrink_failure(&spec, &art);
+        assert!(
+            shrunk.len() < art.steps.len(),
+            "{}: shrink removed nothing ({} steps)",
+            scenario.label(),
+            art.steps.len()
+        );
+        let json = Artifact {
+            seed: art.seed,
+            reason: art.reason.clone(),
+            instances: art.instances.clone(),
+            steps: shrunk,
+        }
+        .to_json();
+        let back = Artifact::from_json(&json).expect("artifact parses");
+        let replayed = replay_schedule(&spec, &back.steps);
+        assert_eq!(
+            replayed.failure.as_deref(),
+            Some(art.reason.as_str()),
+            "{}: shrunk JSON artifact did not reproduce the failure",
+            scenario.label()
+        );
+    }
+}
+
+/// Exhaustive exploration is itself deterministic: the same spec
+/// explored twice visits the same tree, and the reduced run stays
+/// green wherever the naive baseline is green.
+#[test]
+fn dfs_exploration_is_deterministic() {
+    let spec = ScheduleSpec::new(Scenario::Restore, 1, 1, 4).with_budget(12);
+    let a = dfs_schedule(&spec, &DfsConfig::default());
+    let b = dfs_schedule(&spec, &DfsConfig::default());
+    assert!(a.complete && b.complete, "small-budget DFS did not finish");
+    assert!(a.failures.is_empty(), "red at small budget: {:?}", a.failures);
+    assert_eq!(a.schedules, b.schedules, "DFS schedule count diverged across runs");
+    assert_eq!(a.nodes, b.nodes, "DFS node count diverged across runs");
+    assert_eq!(a.states, b.states, "DFS state count diverged across runs");
+}
+
+/// With the `fence-off-bug` feature compiled in, even a spec that asks
+/// for the fence gets the buggy build — proving the cfg gate forces the
+/// bug into every scenario and the oracles still catch it. (CI builds
+/// the bench tests once with the feature and runs exactly this test.)
+#[cfg(feature = "fence-off-bug")]
+#[test]
+fn feature_gate_forces_every_bug_on() {
+    for (scenario, expect) in [
+        (Scenario::Failover, "split-brain"),
+        (Scenario::Reshard, "double-homed"),
+        (Scenario::Restore, "crash recovery never completed"),
+        (Scenario::Churn, "double-homed"),
+    ] {
+        let seed = if scenario == Scenario::Failover { 3 } else { 1 };
+        let out = run_schedule(&ScheduleSpec::new(scenario, 1, 1, seed));
+        let reason = out.failure.unwrap_or_else(|| {
+            panic!("{}: feature-gated bug not caught", scenario.label())
+        });
+        assert!(
+            reason.contains(expect),
+            "{}: wrong failure `{reason}` (expected `{expect}`)",
+            scenario.label()
+        );
+    }
 }

@@ -135,6 +135,16 @@ pub trait InstanceApp: Send {
 
     /// Called when the owning instance stops or crashes.
     fn on_stop(&mut self) {}
+
+    /// Digest of app-internal state, folded into the sim executor's
+    /// state fingerprint during exhaustive exploration. The default
+    /// claims "no internal state": two runtime states differing only
+    /// in app internals then hash equal, and the explorer may prune a
+    /// revisit it should not. Apps driven under DFS exploration whose
+    /// behavior depends on internal state should override this.
+    fn sim_digest(&self) -> u64 {
+        0
+    }
 }
 
 /// An app that ignores host calls and saves/restores empty state. The

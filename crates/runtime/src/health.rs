@@ -139,6 +139,28 @@ impl HeartbeatState {
         }
     }
 
+    /// Feed the detector's schedule-relevant state to `h` for the sim
+    /// executor's state fingerprint: enabled flag plus every
+    /// (observer, peer) clock, sorted, normalized to `origin`.
+    pub(crate) fn sim_fingerprint(&self, origin: Instant, h: &mut dyn FnMut(&[u8])) {
+        h(&[u8::from(self.is_enabled())]);
+        let inner = self.inner.lock();
+        let mut pairs: Vec<(&String, &String, u64)> = inner
+            .last_heard
+            .iter()
+            .map(|((o, p), t)| {
+                (o, p, t.saturating_duration_since(origin).as_nanos() as u64)
+            })
+            .collect();
+        pairs.sort();
+        h(&(pairs.len() as u64).to_le_bytes());
+        for (o, p, t) in pairs {
+            h(o.as_bytes());
+            h(p.as_bytes());
+            h(&t.to_le_bytes());
+        }
+    }
+
     /// Record that `observer` heard a ping from `peer` now.
     pub(crate) fn record(&self, observer: &str, peer: &str) {
         self.inner

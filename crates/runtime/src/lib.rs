@@ -48,10 +48,12 @@ pub use fault::{FaultPlan, FaultWindow, RetryPolicy};
 pub use health::HeartbeatConfig;
 pub use reconfig::{MigrationCtx, ReconfigReport, ReconfigSpec};
 pub use runtime::{InstanceStatus, Runtime, RuntimeConfig};
-pub use sim::{Artifact, SimConfig, SimExecutor, SimOutcome, StepRecord};
+pub use sim::{
+    Artifact, DfsConfig, DfsStats, SimConfig, SimExecutor, SimOutcome, StepRecord,
+};
 pub use supervisor::{
     FailureClass, RepairAction, RepairPolicy, RepairRecord, Supervisor, SupervisorConfig,
     SupervisorStats,
 };
-pub use trace::{Metrics, TraceEvent, TraceKind, Tracer};
+pub use trace::{LinkEv, Metrics, TraceEvent, TraceKind, Tracer};
 pub use transport::{LinkKind, LinkStats, SendError};

@@ -785,11 +785,11 @@ impl RuntimeInner {
                 let to = JunctionId::new(to_inst.clone(), HB_JUNCTION);
                 let ping = Update::assert(HB_JUNCTION, from_q.clone());
                 if self.tracer.is_enabled() {
-                    self.tracer.record(
+                    self.tracer.record_link_at(
                         from,
                         "",
                         0,
-                        TraceKind::LinkHeartbeat { to: to_inst.as_str().into() },
+                        crate::trace::LinkEv::Heartbeat { to: to_inst },
                     );
                 }
                 // Loss is the signal: no retry, errors ignored.
@@ -1183,6 +1183,17 @@ impl Runtime {
     /// Stop an instance from outside the DSL.
     pub fn stop(&self, instance: &str) -> Result<(), Failure> {
         self.inner.stop_instance(instance)
+    }
+
+    /// Names of every registered instance, sorted. Schedule artifacts
+    /// pin this set so a replay against a different program fails
+    /// loudly instead of silently diverging.
+    pub fn instance_names(&self) -> Vec<String> {
+        self.inner
+            .all_instances()
+            .iter()
+            .map(|i| i.name.clone())
+            .collect()
     }
 
     /// Fault injection: crash an instance. Sends to it fail, its

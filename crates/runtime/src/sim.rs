@@ -36,6 +36,42 @@
 //! that are no longer enabled are skipped and an exhausted record list
 //! falls back to a deterministic drain, so shrunk artifacts still
 //! replay bit-for-bit.
+//!
+//! ## Exhaustive exploration
+//!
+//! [`SimExecutor::dfs_explore`] replaces the random walk with a
+//! bounded depth-first search over top-level scheduling decisions —
+//! CHESS-style stateless model checking: there is no snapshot/restore,
+//! each explored schedule re-executes a fresh runtime through a forced
+//! prefix of records and then continues deterministically
+//! (first-enabled), collecting the decision points it passes. Two
+//! reductions keep the tree tractable:
+//!
+//! * **Sleep sets** (Godefroid): after exploring sibling `t` from a
+//!   node, orderings of the remaining subtree that merely commute `t`
+//!   with steps *independent* of it are skipped. Independence is
+//!   measured, not declared: a pass that neither sent anything (the
+//!   transport counts every send operation, including the Direct fast
+//!   path that delivers synchronously) nor made nested progress
+//!   through the clock hook only touches its own instance, so two
+//!   such passes on different instances commute. Every other step —
+//!   pump, hb, sup, adv, inj, and any sending/nesting pass — is
+//!   treated as global and never commuted.
+//! * **Revisit pruning**: a fingerprint of the complete
+//!   schedule-relevant state (virtual time, instance/junction/table
+//!   state, transport queues and route state, failure detector,
+//!   supervisor cores) prunes branches whose post-state was already
+//!   reached along another schedule.
+//!
+//! Both preserve the set of reachable states (and therefore the
+//! verdict of any state-based oracle); traces are preserved only up to
+//! commutation of independent events, so oracles driven under DFS
+//! should be insensitive to the relative order of independent steps —
+//! the counting invariants in `csaw-bench`'s scenario library are.
+//! Fidelity bounds of the fingerprint: app internals are folded in
+//! only via [`crate::app::InstanceApp::sim_digest`] (default: no
+//! state), and the dice position of probabilistic fault plans is not
+//! captured — windowed (time-pure) plans fingerprint exactly.
 
 use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
@@ -97,6 +133,14 @@ pub struct Artifact {
     pub seed: u64,
     /// What the oracle reported.
     pub reason: String,
+    /// Sorted instance names of the program the schedule was recorded
+    /// against. [`SimExecutor::replay_artifact`] refuses a runtime
+    /// whose instance set differs — replaying such a schedule would
+    /// silently diverge (records for unknown instances are skipped,
+    /// new instances add choices the schedule never saw). Empty in
+    /// artifacts written before this field existed; the check is then
+    /// skipped.
+    pub instances: Vec<String>,
     /// The recorded schedule.
     pub steps: Vec<StepRecord>,
 }
@@ -119,6 +163,120 @@ pub struct SimExecutor {
 enum Mode {
     Explore(StdRng),
     Replay(VecDeque<String>),
+    Guided(Guided),
+}
+
+/// FNV-1a accumulator for state fingerprints.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+    fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+}
+
+/// What one executed step touched, measured around its execution — the
+/// independence relation behind sleep-set pruning. Two steps commute
+/// iff neither is global and they ran on different instances: a pass
+/// that neither sent anything nor made nested progress through the
+/// clock hook only mutates its own instance's cell and scheduling
+/// metadata (remote state read by a guard is read-only, and reads
+/// commute).
+#[derive(Clone, Debug)]
+struct Footprint {
+    /// Touched cross-instance or time-coupled state: every non-pass
+    /// step kind, any send operation (the Direct fast path delivers
+    /// synchronously into the receiver's cell, and even fenced or
+    /// dropped sends move counters and fault dice), and any nested
+    /// progress (which can run other junctions or advance time).
+    global: bool,
+    /// The instance a non-global pass ran on.
+    inst: Option<String>,
+}
+
+/// A pending DFS branch: the forced step prefix that reaches the
+/// choice point, plus the sleep set the branch inherits (step name +
+/// the footprint it had at the parent node).
+type DfsBranch = (Vec<String>, Vec<(String, Footprint)>);
+
+impl Footprint {
+    fn global() -> Footprint {
+        Footprint { global: true, inst: None }
+    }
+    fn independent(&self, other: &Footprint) -> bool {
+        !self.global && !other.global && self.inst != other.inst
+    }
+}
+
+/// One free (post-prefix, top-level) scheduling decision of a guided
+/// run — everything the DFS needs to branch here later.
+struct DecisionPoint {
+    /// Index of the chosen record in the run's step list. The forced
+    /// prefix for an alternative at this node is `steps[..step_idx]`
+    /// followed by the alternative.
+    step_idx: usize,
+    /// Records of every enabled choice, in enumeration order.
+    enabled: Vec<String>,
+    /// Sleep set in force when this decision was made.
+    sleep: Vec<(String, Footprint)>,
+    /// The record actually executed (first enabled not asleep).
+    chosen: String,
+    /// Measured footprint of the chosen step.
+    foot: Footprint,
+    /// State fingerprint after the chosen step (0 when not computed).
+    hash: u64,
+}
+
+/// What a guided run reports back to the DFS beside its outcome.
+struct GuidedRun {
+    points: Vec<DecisionPoint>,
+    /// Footprint + post-state fingerprint of the branch step (the last
+    /// forced record). `None` on the root run, which forces nothing.
+    branch: Option<(Footprint, u64)>,
+    /// The run stopped because every enabled step was asleep — the
+    /// subtree is covered through a sibling ordering.
+    #[allow(dead_code)]
+    slept_out: bool,
+}
+
+/// Which just-chosen step the post-execution measurement should file.
+enum GuidedPending {
+    None,
+    Branch,
+    Point,
+}
+
+/// Per-run state of one DFS re-execution.
+struct Guided {
+    /// Records replayed strictly (panicking on divergence — the prefix
+    /// was recorded by an identical execution) before free scheduling
+    /// begins.
+    force: VecDeque<String>,
+    /// Whether this run forces a prefix at all (false on the root).
+    had_force: bool,
+    /// Live sleep set: seeded from the branch node's explored siblings,
+    /// filtered by the branch step's measured footprint when it
+    /// executes, then by every later chosen step's footprint.
+    sleep: Vec<(String, Footprint)>,
+    /// Compute state fingerprints after each decision (hash pruning).
+    want_hash: bool,
+    points: Vec<DecisionPoint>,
+    branch: Option<(Footprint, u64)>,
+    slept_out: bool,
+    pending: GuidedPending,
 }
 
 struct InjSlot {
@@ -140,6 +298,9 @@ struct Driver {
     depth: usize,
     hb_next: Option<Instant>,
     injections: Vec<InjSlot>,
+    /// How many times the clock hook made nested progress; the delta
+    /// around a top-level step classifies its footprint.
+    nested_fires: u64,
 }
 
 struct SimShared {
@@ -223,12 +384,41 @@ impl SimExecutor {
         )
     }
 
+    /// [`SimExecutor::replay`] with the artifact's instance-set pin
+    /// enforced: a runtime whose instance set differs from the one the
+    /// artifact was recorded against would silently diverge during
+    /// replay, so fail loudly instead.
+    pub fn replay_artifact(
+        &self,
+        rt: &Runtime,
+        artifact: &Artifact,
+    ) -> Result<SimOutcome, String> {
+        let have = rt.instance_names();
+        if !artifact.instances.is_empty() && artifact.instances != have {
+            return Err(format!(
+                "artifact instance set mismatch: recorded against [{}], replaying against [{}]",
+                artifact.instances.join(", "),
+                have.join(", ")
+            ));
+        }
+        Ok(self.replay(rt, &artifact.steps))
+    }
+
     fn drive(
         &self,
         rt: &Runtime,
         mode: Mode,
         allowed: Option<HashSet<usize>>,
     ) -> SimOutcome {
+        self.drive_inner(rt, mode, allowed).0
+    }
+
+    fn drive_inner(
+        &self,
+        rt: &Runtime,
+        mode: Mode,
+        allowed: Option<HashSet<usize>>,
+    ) -> (SimOutcome, Option<GuidedRun>) {
         let clock = rt.inner.clock().clone();
         assert!(
             clock.is_simulated(),
@@ -256,6 +446,7 @@ impl SimExecutor {
                 depth: 0,
                 hb_next: None,
                 injections: inj_slots,
+                nested_fires: 0,
             }),
         });
         let _guard = HookGuard(clock.clone());
@@ -287,7 +478,20 @@ impl SimExecutor {
                     }
                 }
                 for i in &due {
-                    st.steps.push(format!("inj:{i}"));
+                    let rec = format!("inj:{i}");
+                    // A forced prefix contains the same echoes at the
+                    // same virtual times; consume them strictly so the
+                    // cursor stays aligned.
+                    if let Mode::Guided(g) = &mut st.mode {
+                        if let Some(front) = g.force.front() {
+                            assert_eq!(
+                                front, &rec,
+                                "guided replay diverged: expected `{front}`, injection `{rec}` fired"
+                            );
+                            g.force.pop_front();
+                        }
+                    }
+                    st.steps.push(rec);
                     st.step_count += 1;
                 }
                 due
@@ -300,7 +504,15 @@ impl SimExecutor {
             }
             match shared.choose(now, false, end) {
                 Picked::Chosen(c) => {
-                    shared.execute(&c);
+                    let measure = matches!(shared.st.lock().mode, Mode::Guided(_));
+                    if measure {
+                        let pre_sends = shared.inner.network.send_ops();
+                        let pre_nested = shared.st.lock().nested_fires;
+                        shared.execute(&c);
+                        shared.note_executed(&c, pre_sends, pre_nested, origin);
+                    } else {
+                        shared.execute(&c);
+                    }
                 }
                 Picked::Drain => {
                     if !shared.drain_step(now, end) {
@@ -310,15 +522,27 @@ impl SimExecutor {
                 Picked::Halt => break,
             }
         }
-        let steps = {
-            let st = shared.st.lock();
-            st.steps.clone()
+        let (steps, run) = {
+            let mut st = shared.st.lock();
+            let steps = st.steps.clone();
+            let run = match &mut st.mode {
+                Mode::Guided(g) => Some(GuidedRun {
+                    points: std::mem::take(&mut g.points),
+                    branch: g.branch.take(),
+                    slept_out: g.slept_out,
+                }),
+                _ => None,
+            };
+            (steps, run)
         };
-        SimOutcome {
-            steps,
-            virtual_time: clock.now().saturating_duration_since(origin),
-            truncated,
-        }
+        (
+            SimOutcome {
+                steps,
+                virtual_time: clock.now().saturating_duration_since(origin),
+                truncated,
+            },
+            run,
+        )
     }
 }
 
@@ -505,6 +729,70 @@ impl SimShared {
                 st.mode = Mode::Replay(q);
                 picked
             }
+            Mode::Guided(_) => {
+                let force_next = match &st.mode {
+                    Mode::Guided(g) => g.force.front().cloned(),
+                    _ => unreachable!(),
+                };
+                match force_next {
+                    // Forced phase: strict re-execution of the prefix.
+                    // The prefix was recorded by an identical run, so a
+                    // record that fails to map is a determinism bug,
+                    // not something to skip.
+                    Some(rec) => {
+                        let c = self.map_record(&rec).unwrap_or_else(|| {
+                            panic!("guided replay diverged: `{rec}` is not enabled")
+                        });
+                        let Mode::Guided(g) = &mut st.mode else { unreachable!() };
+                        g.force.pop_front();
+                        if g.force.is_empty() && g.had_force && !nested {
+                            // The branch step: measure its footprint,
+                            // then arm the inherited sleep set.
+                            g.pending = GuidedPending::Branch;
+                        }
+                        Some(c)
+                    }
+                    // Free phase: first enabled step not asleep.
+                    None => {
+                        let mut choices = self.enumerate(now, nested, cap, &st);
+                        if choices.is_empty() {
+                            return Picked::Halt;
+                        }
+                        if nested {
+                            // Nested progress is part of its top-level
+                            // step, deterministic within a branch — the
+                            // DFS does not branch here.
+                            Some(choices.remove(0))
+                        } else {
+                            let recs: Vec<String> =
+                                choices.iter().map(|c| self.record_of(c, now)).collect();
+                            let steps_len = st.steps.len();
+                            let Mode::Guided(g) = &mut st.mode else { unreachable!() };
+                            let idx = recs
+                                .iter()
+                                .position(|r| !g.sleep.iter().any(|(s, _)| s == r));
+                            match idx {
+                                None => {
+                                    g.slept_out = true;
+                                    return Picked::Halt;
+                                }
+                                Some(i) => {
+                                    g.points.push(DecisionPoint {
+                                        step_idx: steps_len,
+                                        enabled: recs.clone(),
+                                        sleep: g.sleep.clone(),
+                                        chosen: recs[i].clone(),
+                                        foot: Footprint::global(),
+                                        hash: 0,
+                                    });
+                                    g.pending = GuidedPending::Point;
+                                    Some(choices.remove(i))
+                                }
+                            }
+                        }
+                    }
+                }
+            }
         };
         match picked {
             Some(c) => {
@@ -577,6 +865,113 @@ impl SimShared {
         // inj:* records are echoes of time-driven firing; anything
         // unknown is skipped the same way.
         None
+    }
+
+    /// File the measured footprint (and, when wanted, the post-state
+    /// fingerprint) of a just-executed top-level step with the guided
+    /// run, and filter the live sleep set by it. No-op outside guided
+    /// mode or for forced non-final steps (the sleep set is not armed
+    /// until the branch step runs).
+    fn note_executed(&self, c: &Choice, pre_sends: u64, pre_nested: u64, origin: Instant) {
+        let (pending, want_hash) = {
+            let mut st = self.st.lock();
+            let Mode::Guided(g) = &mut st.mode else { return };
+            match g.pending {
+                GuidedPending::None => return,
+                GuidedPending::Branch => (true, g.want_hash),
+                GuidedPending::Point => (false, g.want_hash),
+            }
+        };
+        let foot = match c {
+            Choice::Pass(inst, _) => {
+                let sent = self.inner.network.send_ops() != pre_sends;
+                let nested = self.st.lock().nested_fires != pre_nested;
+                if sent || nested {
+                    Footprint::global()
+                } else {
+                    Footprint { global: false, inst: Some(inst.name.clone()) }
+                }
+            }
+            _ => Footprint::global(),
+        };
+        let hash = if want_hash { self.state_hash(origin) } else { 0 };
+        let mut st = self.st.lock();
+        let Mode::Guided(g) = &mut st.mode else { return };
+        g.sleep.retain(|(_, f)| f.independent(&foot));
+        if pending {
+            g.branch = Some((foot, hash));
+        } else if let Some(p) = g.points.last_mut() {
+            p.foot = foot;
+            p.hash = hash;
+        }
+        g.pending = GuidedPending::None;
+    }
+
+    /// Fingerprint of the complete schedule-relevant runtime state,
+    /// normalized to `origin` so states reached along different
+    /// schedules can compare equal. See the module doc for the
+    /// fidelity bounds (app digests, fault dice).
+    fn state_hash(&self, origin: Instant) -> u64 {
+        use std::sync::atomic::Ordering;
+        let rel = |t: Option<Instant>| {
+            t.map_or(u64::MAX, |t| {
+                t.saturating_duration_since(origin).as_nanos() as u64
+            })
+        };
+        let mut f = Fnv::new();
+        f.write_u64(self.clock().virtual_nanos());
+        f.write(&[u8::from(self.inner.booting.load(Ordering::SeqCst))]);
+        for inst in self.inner.all_instances() {
+            f.write_str(&inst.name);
+            f.write(&[inst.status.load(Ordering::SeqCst)]);
+            f.write_u64(inst.app.lock().sim_digest());
+            for jrt in &inst.junctions {
+                f.write_str(&jrt.def.name);
+                match *jrt.policy.lock() {
+                    Policy::OnDemand => f.write(&[0]),
+                    Policy::Startup => f.write(&[1]),
+                    Policy::Auto => f.write(&[2]),
+                    Policy::Periodic(iv) => {
+                        f.write(&[3]);
+                        f.write_u64(iv.as_nanos() as u64);
+                    }
+                }
+                f.write(&[u8::from(jrt.needs_initial.load(Ordering::SeqCst))]);
+                f.write_u64(rel(*jrt.backoff_until.lock()));
+                f.write_u64(rel(*jrt.last_run.lock()));
+                f.write_u64(u64::from(jrt.consec_failures.load(Ordering::SeqCst)));
+                f.write_u64(u64::from(jrt.handled_failures.load(Ordering::SeqCst)));
+                // The §9 snapshot codec canonicalizes the whole table —
+                // visible state, pending queue, window/op counters.
+                let state = jrt.cell.table().export_state();
+                let bytes = csaw_serial::encode_table_state(&state).unwrap_or_default();
+                f.write_u64(bytes.len() as u64);
+                f.write(&bytes);
+            }
+        }
+        {
+            let holds = self.inner.holds.lock();
+            let mut keys: Vec<&String> = holds.keys().collect();
+            keys.sort();
+            f.write_u64(keys.len() as u64);
+            for k in keys {
+                f.write_str(k);
+                f.write_u64(holds[k].len() as u64);
+            }
+        }
+        self.inner.network.sim_fingerprint(origin, &mut |b| f.write(b));
+        self.inner.hb.sim_fingerprint(origin, &mut |b| f.write(b));
+        for core in self.inner.sim_supervisors.lock().iter() {
+            core.sim_fingerprint(origin, &mut |b| f.write(b));
+        }
+        {
+            let st = self.st.lock();
+            f.write_u64(rel(st.hb_next));
+            for slot in &st.injections {
+                f.write(&[u8::from(slot.fired), u8::from(slot.allowed)]);
+            }
+        }
+        f.0
     }
 
     /// Execute one decision. Returns whether it made progress (used by
@@ -665,6 +1060,10 @@ impl SimHook for SimShared {
         }
         {
             let mut st = self.st.lock();
+            // Any nested progress — even the pure time advance below —
+            // makes the blocked top-level step time-coupled, so its
+            // footprint must come out global.
+            st.nested_fires += 1;
             if st.depth >= st.max_nested || st.step_count >= st.max_steps {
                 drop(st);
                 clock.advance_to(target);
@@ -691,6 +1090,211 @@ impl SimHook for SimShared {
             Picked::Halt => clock.advance_to(target),
         }
         self.st.lock().depth -= 1;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Exhaustive DFS exploration
+// ---------------------------------------------------------------------
+
+/// Tuning for [`SimExecutor::dfs_explore`]. Step depth and horizon come
+/// from the executor's [`SimConfig`]; turning both reductions off gives
+/// the naive DFS baseline the reduction factor is measured against.
+#[derive(Clone, Debug)]
+pub struct DfsConfig {
+    /// Ceiling on schedules executed (safety valve — `complete` in the
+    /// stats reports whether the tree was exhausted within it).
+    pub max_schedules: usize,
+    /// Sleep-set partial-order reduction: skip orderings that only
+    /// commute measurably independent steps.
+    pub sleep_sets: bool,
+    /// Revisit pruning: stop expanding below a state fingerprint
+    /// already reached along another schedule.
+    pub hash_prune: bool,
+}
+
+impl Default for DfsConfig {
+    fn default() -> Self {
+        DfsConfig { max_schedules: 100_000, sleep_sets: true, hash_prune: true }
+    }
+}
+
+/// What one DFS exploration covered.
+#[derive(Clone, Debug)]
+pub struct DfsStats {
+    /// Schedules executed (each is a full re-execution from a fresh
+    /// runtime).
+    pub schedules: u64,
+    /// Decision nodes materialized.
+    pub nodes: u64,
+    /// Distinct state fingerprints reached (0 with hash pruning off —
+    /// fingerprints are then not computed).
+    pub states: u64,
+    /// Enabled alternatives never executed because a sleep set proved
+    /// an equivalent ordering covered elsewhere.
+    pub sleep_skipped: u64,
+    /// Branches not expanded because their post-state was already seen.
+    pub hash_pruned: u64,
+    /// The tree was exhausted within `max_schedules`.
+    pub complete: bool,
+    /// One replayable artifact per failing schedule.
+    pub failures: Vec<Artifact>,
+}
+
+/// One decision node on the current DFS path.
+struct Node {
+    /// Prefix length (in step records) up to this decision — identical
+    /// for every run through this node.
+    step_idx: usize,
+    enabled: Vec<String>,
+    /// Sleep set inherited when the node was first reached.
+    sleep: Vec<(String, Footprint)>,
+    /// Siblings already explored from here, with measured footprints.
+    tried: Vec<(String, Footprint)>,
+}
+
+impl SimExecutor {
+    /// Bounded depth-first search over top-level scheduling decisions
+    /// (stateless model checking — see the module doc). `session`
+    /// builds a fresh runtime (plus any scenario handle the oracle
+    /// needs) per schedule; every schedule's outcome is checked with
+    /// `oracle`, and failures are collected as replayable artifacts.
+    /// Injections registered on the executor fire by virtual time in
+    /// every schedule, exactly as under [`SimExecutor::explore`].
+    ///
+    /// Depth is bounded by the executor's `max_steps`/`horizon`; the
+    /// search is exhaustive *up to that bound* when `complete` is true.
+    pub fn dfs_explore<R>(
+        &self,
+        dfs: &DfsConfig,
+        mut session: impl FnMut() -> (Runtime, R),
+        mut oracle: impl FnMut(&R, &Runtime, &SimOutcome) -> Result<(), String>,
+    ) -> DfsStats {
+        let mut stats = DfsStats {
+            schedules: 0,
+            nodes: 0,
+            states: 0,
+            sleep_skipped: 0,
+            hash_pruned: 0,
+            complete: false,
+            failures: Vec::new(),
+        };
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut nodes: Vec<Node> = Vec::new();
+        // Steps of the most recent run; every node on the stack lies on
+        // its path, so `cur_steps[..node.step_idx]` is the (identical)
+        // prefix any run takes through that node.
+        let mut cur_steps: Vec<String>;
+        let mut next: Option<DfsBranch> = Some((Vec::new(), Vec::new()));
+        while let Some((force, sleep0)) = next.take() {
+            if stats.schedules as usize >= dfs.max_schedules {
+                stats.states = seen.len() as u64;
+                return stats;
+            }
+            let (rt, handle) = session();
+            let had_force = !force.is_empty();
+            let guided = Guided {
+                force: force.iter().cloned().collect(),
+                had_force,
+                sleep: sleep0,
+                want_hash: dfs.hash_prune,
+                points: Vec::new(),
+                branch: None,
+                slept_out: false,
+                pending: GuidedPending::None,
+            };
+            let (outcome, run) = self.drive_inner(&rt, Mode::Guided(guided), None);
+            let run = run.expect("guided drive reports run info");
+            stats.schedules += 1;
+            if let Err(reason) = oracle(&handle, &rt, &outcome) {
+                stats.failures.push(Artifact {
+                    seed: self.config.seed,
+                    reason,
+                    instances: rt.instance_names(),
+                    steps: outcome.steps.clone(),
+                });
+            }
+            rt.shutdown();
+            // File the branch step on its parent node; prune its
+            // subtree when the post-branch state was already reached.
+            let mut prune_below = false;
+            if had_force {
+                let n = nodes.last_mut().expect("branch run has a parent node");
+                let (foot, hash) =
+                    run.branch.expect("forced run measures its branch step");
+                n.tried.push((force.last().expect("non-empty force").clone(), foot));
+                if dfs.hash_prune && !seen.insert(hash) {
+                    stats.hash_pruned += 1;
+                    prune_below = true;
+                }
+            }
+            // Materialize the run's new decision points. A point whose
+            // post-state was already seen still becomes a node (its
+            // *other* alternatives lead elsewhere), but everything
+            // below that revisited state is covered by its first visit.
+            if !prune_below {
+                for p in run.points {
+                    nodes.push(Node {
+                        step_idx: p.step_idx,
+                        enabled: p.enabled,
+                        sleep: p.sleep,
+                        tried: vec![(p.chosen, p.foot)],
+                    });
+                    stats.nodes += 1;
+                    if dfs.hash_prune && !seen.insert(p.hash) {
+                        stats.hash_pruned += 1;
+                        break;
+                    }
+                }
+            }
+            cur_steps = outcome.steps;
+            // Backtrack to the deepest node with an untried, unslept
+            // alternative and schedule the next run from it.
+            loop {
+                let Some(n) = nodes.last() else {
+                    stats.complete = true;
+                    break;
+                };
+                let alt = n.enabled.iter().find(|r| {
+                    !n.tried.iter().any(|(t, _)| t == *r)
+                        && (!dfs.sleep_sets
+                            || !n.sleep.iter().any(|(s, _)| s == *r))
+                });
+                match alt {
+                    Some(alt) => {
+                        let mut force: Vec<String> = cur_steps[..n.step_idx].to_vec();
+                        force.push(alt.clone());
+                        let sleep0 = if dfs.sleep_sets {
+                            // Godefroid: the new sibling's subtree may
+                            // skip everything already explored from
+                            // this node that is independent of it — the
+                            // filter by the sibling's own footprint
+                            // happens once it executes.
+                            n.sleep.iter().chain(n.tried.iter()).cloned().collect()
+                        } else {
+                            Vec::new()
+                        };
+                        next = Some((force, sleep0));
+                        break;
+                    }
+                    None => {
+                        if dfs.sleep_sets {
+                            stats.sleep_skipped += n
+                                .enabled
+                                .iter()
+                                .filter(|r| {
+                                    !n.tried.iter().any(|(t, _)| t == *r)
+                                        && n.sleep.iter().any(|(s, _)| s == *r)
+                                })
+                                .count() as u64;
+                        }
+                        nodes.pop();
+                    }
+                }
+            }
+        }
+        stats.states = seen.len() as u64;
+        stats
     }
 }
 
@@ -767,16 +1371,41 @@ fn skip_ws(s: &[u8], mut i: usize) -> usize {
     i
 }
 
+/// Parse a JSON array of strings starting at `s[i]` (which must be
+/// `[`). Returns (items, index after the closing bracket).
+fn json_string_array(s: &[u8], mut i: usize) -> Option<(Vec<String>, usize)> {
+    if s.get(i) != Some(&b'[') {
+        return None;
+    }
+    i = skip_ws(s, i + 1);
+    let mut v = Vec::new();
+    while s.get(i)? != &b']' {
+        let (item, ni) = json_string(s, i)?;
+        v.push(item);
+        i = skip_ws(s, ni);
+        if s.get(i) == Some(&b',') {
+            i = skip_ws(s, i + 1);
+        }
+    }
+    Some((v, i + 1))
+}
+
 impl Artifact {
     /// Serialize to a single-line JSON object.
     pub fn to_json(&self) -> String {
-        let steps: Vec<String> =
-            self.steps.iter().map(|s| format!("\"{}\"", json_escape(s))).collect();
+        let arr = |items: &[String]| {
+            items
+                .iter()
+                .map(|s| format!("\"{}\"", json_escape(s)))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
         format!(
-            "{{\"seed\":{},\"reason\":\"{}\",\"steps\":[{}]}}",
+            "{{\"seed\":{},\"reason\":\"{}\",\"instances\":[{}],\"steps\":[{}]}}",
             self.seed,
             json_escape(&self.reason),
-            steps.join(",")
+            arr(&self.instances),
+            arr(&self.steps)
         )
     }
 
@@ -791,6 +1420,7 @@ impl Artifact {
         i += 1;
         let mut seed = None;
         let mut reason = None;
+        let mut instances: Option<Vec<String>> = None;
         let mut steps: Option<Vec<String>> = None;
         loop {
             i = skip_ws(s, i);
@@ -822,27 +1452,27 @@ impl Artifact {
                     reason = Some(v);
                     i = ni;
                 }
+                "instances" => {
+                    let (v, ni) = json_string_array(s, i)?;
+                    instances = Some(v);
+                    i = ni;
+                }
                 "steps" => {
-                    if s.get(i) != Some(&b'[') {
-                        return None;
-                    }
-                    i = skip_ws(s, i + 1);
-                    let mut v = Vec::new();
-                    while s.get(i)? != &b']' {
-                        let (item, ni) = json_string(s, i)?;
-                        v.push(item);
-                        i = skip_ws(s, ni);
-                        if s.get(i) == Some(&b',') {
-                            i = skip_ws(s, i + 1);
-                        }
-                    }
-                    i += 1;
+                    let (v, ni) = json_string_array(s, i)?;
                     steps = Some(v);
+                    i = ni;
                 }
                 _ => return None,
             }
         }
-        Some(Artifact { seed: seed?, reason: reason?, steps: steps? })
+        Some(Artifact {
+            seed: seed?,
+            reason: reason?,
+            // Absent in artifacts from before the field existed: the
+            // replay-time instance-set check is then skipped.
+            instances: instances.unwrap_or_default(),
+            steps: steps?,
+        })
     }
 }
 
@@ -897,6 +1527,7 @@ mod tests {
         let a = Artifact {
             seed: 42,
             reason: "lost \"acked\" write\nat o".to_string(),
+            instances: vec!["f".to_string(), "o".to_string()],
             steps: vec![
                 "pass:f:main".to_string(),
                 "adv:1200000".to_string(),
@@ -914,6 +1545,27 @@ mod tests {
         assert!(Artifact::from_json("{}").is_none());
         assert!(Artifact::from_json("{\"seed\":1}").is_none());
         assert!(Artifact::from_json("[1,2]").is_none());
+    }
+
+    #[test]
+    fn artifact_json_without_instances_parses_as_unpinned() {
+        // Artifacts written before the `instances` field existed must
+        // keep parsing; the replay-time instance-set check is skipped.
+        let a = Artifact::from_json(
+            "{\"seed\":7,\"reason\":\"r\",\"steps\":[\"pump\"]}",
+        )
+        .expect("legacy artifact parses");
+        assert!(a.instances.is_empty());
+        assert_eq!(a.steps, vec!["pump".to_string()]);
+    }
+
+    #[test]
+    fn footprint_independence_is_instance_disjointness() {
+        let pass = |i: &str| Footprint { global: false, inst: Some(i.to_string()) };
+        assert!(pass("a").independent(&pass("b")));
+        assert!(!pass("a").independent(&pass("a")));
+        assert!(!pass("a").independent(&Footprint::global()));
+        assert!(!Footprint::global().independent(&Footprint::global()));
     }
 
     #[test]

@@ -451,6 +451,48 @@ impl SupervisorCore {
         self.next_poll
     }
 
+    /// Feed the core's schedule-relevant state to `h` for the sim
+    /// executor's state fingerprint: poll deadline (normalized to
+    /// `origin`), suspected-but-unconfirmed instances, ladder rungs,
+    /// and the written-off set — everything that changes what the next
+    /// poll does.
+    pub(crate) fn sim_fingerprint(&self, origin: Instant, h: &mut dyn FnMut(&[u8])) {
+        let rel = self
+            .next_poll
+            .saturating_duration_since(origin)
+            .as_nanos() as u64;
+        h(&rel.to_le_bytes());
+        let mut pending: Vec<(&String, u32, u64)> = self
+            .pending
+            .iter()
+            .map(|(n, p)| {
+                (n, p.polls, p.first_seen.saturating_duration_since(origin).as_nanos() as u64)
+            })
+            .collect();
+        pending.sort();
+        for (name, polls, first) in pending {
+            h(name.as_bytes());
+            h(&polls.to_le_bytes());
+            h(&first.to_le_bytes());
+        }
+        let mut ladders: Vec<(&String, usize, bool)> = self
+            .ladders
+            .iter()
+            .map(|(n, l)| (n, l.rung, l.last_failed))
+            .collect();
+        ladders.sort();
+        for (name, rung, failed) in ladders {
+            h(name.as_bytes());
+            h(&(rung as u64).to_le_bytes());
+            h(&[u8::from(failed)]);
+        }
+        let mut off: Vec<&String> = self.written_off.iter().collect();
+        off.sort();
+        for name in off {
+            h(name.as_bytes());
+        }
+    }
+
     /// Wall-clock driving loop: poll, then sleep one period
     /// interruptibly so shutdown (or `Supervisor::stop`) never waits
     /// out a poll, a retry backoff, or a verify window.

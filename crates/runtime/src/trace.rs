@@ -269,10 +269,12 @@ const SHARDS: usize = 16;
 /// a blink stale, large enough to amortize the shard lock to noise.
 const LOCAL_FLUSH: usize = 128;
 
-/// The event representation the ring actually stores. Identity strings
-/// are interned to `u32` symbols ([`SymTab`]), so recording does zero
-/// refcount traffic per event and evicting a ring chunk drops plain
-/// data; [`Tracer::drain`] resolves symbols back into the public
+/// The event representation the ring actually stores. *Every* string —
+/// the identity fields and the kind payloads (update keys, senders,
+/// targets, failure classes) — is interned to a `u32` symbol
+/// ([`SymTab`]), so recording does zero refcount traffic per event,
+/// the ring holds plain data (evicting a chunk frees nothing but the
+/// chunk), and [`Tracer::drain`] resolves symbols back into the public
 /// [`TraceEvent`] on the way out.
 struct RawEvent {
     gsn: u64,
@@ -280,7 +282,120 @@ struct RawEvent {
     inst: u32,
     junc: u32,
     epoch: u64,
-    kind: TraceKind,
+    kind: RawKind,
+}
+
+/// [`TraceKind`] with every string payload replaced by an interned
+/// symbol. Private: the ring's storage format, never exposed.
+enum RawKind {
+    Sched,
+    Unsched { ok: bool },
+    Kv(RawKv),
+    LinkSend { to: u32, key: u32, seq: u64, bytes: u64 },
+    LinkRetry { to: u32, seq: u64, attempt: u64 },
+    LinkDrop { to: u32, seq: u64 },
+    LinkDup { to: u32, seq: u64 },
+    LinkPartition { to: u32, seq: u64 },
+    LinkDedup { from: u32, seq: u64 },
+    LinkFenced { from: u32, seq: u64 },
+    LinkHeartbeat { to: u32 },
+    Crash,
+    Restart,
+    ReconfigPlan { footprint: u64 },
+    ReconfigQuiesce { paused_us: u64 },
+    ReconfigMigrate { bytes: u64 },
+    ReconfigCut,
+    ReconfigResume { flushed: u64 },
+    ReconfigDone { bytes: u64 },
+    RepairDetect { class: u32, id: u64 },
+    RepairPlan { action: u32, id: u64, rung: u64 },
+    RepairFence { epoch: u64, id: u64 },
+    RepairVerify { ok: bool, id: u64 },
+    RepairDone { id: u64, mttr_us: u64 },
+    RepairFailed { id: u64 },
+    RepairEscalate { rung: u64, id: u64 },
+}
+
+/// [`TableEvent`] with `key`/`from` interned (the `keys` list of a
+/// window-open still carries a `Vec` — the event is rare).
+enum RawKv {
+    LocalWrite { key: u32, op: u64 },
+    Deliver { key: u32, from: u32, link_seq: u64, op: u64, applied: bool, during_run: bool },
+    FlushApply { key: u32, from: u32, link_seq: u64, op: u64, during_run: bool },
+    ShadowDrop { key: u32, from: u32, link_seq: u64, op: u64, lop: u64, during_run: bool },
+    RetroApply { key: u32, from: u32, link_seq: u64, op: u64 },
+    WindowOpen { token: u64, wop: u64, keys: Vec<u32> },
+    WindowClose { token: u64 },
+    KeepDrop { key: u32, from: u32, link_seq: u64 },
+}
+
+/// A link event with *borrowed* payloads: the zero-alloc front door for
+/// transport hot paths. [`Tracer::record_link`] resolves the borrowed
+/// strings straight to interned symbols, so steady-state recording
+/// clones nothing — unlike building a [`TraceKind`], which must own
+/// (allocate) its `to`/`key`/`from` payloads per event.
+#[derive(Clone, Copy)]
+pub enum LinkEv<'a> {
+    /// An update was handed to a link (see [`TraceKind::LinkSend`]).
+    Send {
+        /// Target junction, `instance::junction`.
+        to: &'a str,
+        /// Update key.
+        key: &'a str,
+        /// Per-link sequence number (0 = unsequenced).
+        seq: u64,
+        /// Modelled wire bytes.
+        bytes: u64,
+    },
+    /// The reliability layer is retrying a send.
+    Retry {
+        /// Target junction.
+        to: &'a str,
+        /// Sequence number being retried.
+        seq: u64,
+        /// Attempt count (1 = first retry).
+        attempt: u64,
+    },
+    /// Fault injection dropped a send attempt.
+    Drop {
+        /// Target junction.
+        to: &'a str,
+        /// Per-link sequence number.
+        seq: u64,
+    },
+    /// Fault injection duplicated a delivery.
+    Dup {
+        /// Target junction.
+        to: &'a str,
+        /// Per-link sequence number.
+        seq: u64,
+    },
+    /// A partition window rejected a send attempt.
+    Partition {
+        /// Target junction.
+        to: &'a str,
+        /// Per-link sequence number.
+        seq: u64,
+    },
+    /// Receiver-side dedup suppressed an already-seen sequence number.
+    Dedup {
+        /// Sender instance.
+        from: &'a str,
+        /// Suppressed sequence number.
+        seq: u64,
+    },
+    /// The supervisor epoch fence rejected a send.
+    Fenced {
+        /// Fenced sender instance.
+        from: &'a str,
+        /// Rejected sequence number (fence epoch in the high bits).
+        seq: u64,
+    },
+    /// A heartbeat ping was sent.
+    Heartbeat {
+        /// Target instance.
+        to: &'a str,
+    },
 }
 
 /// Tracer-scoped intern table: symbol `s` names `names[s]`. Symbols are
@@ -339,6 +454,30 @@ mod cycles {
     }
 }
 
+/// FNV-1a for the by-value symbol memo: payload keys are short (a
+/// handful of bytes), where FNV beats SipHash by a wide margin and the
+/// memo never sees attacker-controlled input.
+struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl std::hash::Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+type BuildFnv = std::hash::BuildHasherDefault<Fnv>;
+
 /// The per-thread hot slot: a strong reference to the most-recently-
 /// used tracer's staging buffer plus a symbol memo, so the per-event
 /// path is one id compare — no scan, no `Weak::upgrade` CAS.
@@ -352,6 +491,12 @@ struct Hot {
     /// handful of shared ids over and over; the common case is a hit in
     /// the first entry or two.
     syms: Vec<(Arc<str>, u32)>,
+    /// Memoized *by-value* `str → symbol` resolutions for payload
+    /// strings (update keys, senders, targets) that reach the tracer as
+    /// `&str` or `String` without a stable allocation identity. A hit
+    /// costs one FNV hash and no lock; a miss interns through the table
+    /// lock and caches. Bounded; cleared on overflow like `syms`.
+    vals: std::collections::HashMap<Box<str>, u32, BuildFnv>,
 }
 
 /// Per-thread view of the staging buffers, split into a one-entry hot
@@ -517,7 +662,10 @@ impl Tracer {
         }
         let inst = self.intern(instance);
         let junc = self.intern(junction);
-        self.with_hot(|t, hot| t.push_raw(hot, inst, junc, epoch, kind));
+        self.with_hot(|t, hot| {
+            let kind = t.raw_kind(&mut hot.vals, kind);
+            t.push_raw(hot, inst, junc, epoch, kind);
+        });
     }
 
     /// Record one event with pre-shared identity strings (no-op while
@@ -538,8 +686,239 @@ impl Tracer {
         self.with_hot(|t, hot| {
             let inst = sym_of(&mut hot.syms, instance, || t.intern(instance));
             let junc = sym_of(&mut hot.syms, junction, || t.intern(junction));
+            let kind = t.raw_kind(&mut hot.vals, kind);
             t.push_raw(hot, inst, junc, epoch, kind);
         });
+    }
+
+    /// Record one link event with *borrowed* payloads (no-op while
+    /// disabled): the transport hot path. Identities resolve through
+    /// the pointer-compare memo, payload strings through the by-value
+    /// memo — steady state, this path performs **zero allocations**
+    /// (regression-tested in `tests/trace_zero_alloc.rs`).
+    #[inline]
+    pub fn record_link(
+        &self,
+        instance: &Arc<str>,
+        junction: &Arc<str>,
+        epoch: u64,
+        ev: LinkEv<'_>,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.with_hot(|t, hot| {
+            let inst = sym_of(&mut hot.syms, instance, || t.intern(instance));
+            let junc = sym_of(&mut hot.syms, junction, || t.intern(junction));
+            let kind = match ev {
+                LinkEv::Send { to, key, seq, bytes } => RawKind::LinkSend {
+                    to: t.sym_of_str(&mut hot.vals, to),
+                    key: t.sym_of_str(&mut hot.vals, key),
+                    seq,
+                    bytes,
+                },
+                LinkEv::Retry { to, seq, attempt } => RawKind::LinkRetry {
+                    to: t.sym_of_str(&mut hot.vals, to),
+                    seq,
+                    attempt,
+                },
+                LinkEv::Drop { to, seq } => {
+                    RawKind::LinkDrop { to: t.sym_of_str(&mut hot.vals, to), seq }
+                }
+                LinkEv::Dup { to, seq } => {
+                    RawKind::LinkDup { to: t.sym_of_str(&mut hot.vals, to), seq }
+                }
+                LinkEv::Partition { to, seq } => {
+                    RawKind::LinkPartition { to: t.sym_of_str(&mut hot.vals, to), seq }
+                }
+                LinkEv::Dedup { from, seq } => {
+                    RawKind::LinkDedup { from: t.sym_of_str(&mut hot.vals, from), seq }
+                }
+                LinkEv::Fenced { from, seq } => {
+                    RawKind::LinkFenced { from: t.sym_of_str(&mut hot.vals, from), seq }
+                }
+                LinkEv::Heartbeat { to } => {
+                    RawKind::LinkHeartbeat { to: t.sym_of_str(&mut hot.vals, to) }
+                }
+            };
+            t.push_raw(hot, inst, junc, epoch, kind);
+        });
+    }
+
+    /// [`Tracer::record_link`] for sites that hold `&str` identities
+    /// rather than shared `Arc<str>`s (rejection paths, heartbeats):
+    /// identities intern through the table lock, payloads through the
+    /// by-value memo, and steady state still allocates nothing.
+    #[inline]
+    pub fn record_link_at(&self, instance: &str, junction: &str, epoch: u64, ev: LinkEv<'_>) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.with_hot(|t, hot| {
+            let inst = t.sym_of_str(&mut hot.vals, instance);
+            let junc = t.sym_of_str(&mut hot.vals, junction);
+            let kind = match ev {
+                LinkEv::Send { to, key, seq, bytes } => RawKind::LinkSend {
+                    to: t.sym_of_str(&mut hot.vals, to),
+                    key: t.sym_of_str(&mut hot.vals, key),
+                    seq,
+                    bytes,
+                },
+                LinkEv::Retry { to, seq, attempt } => RawKind::LinkRetry {
+                    to: t.sym_of_str(&mut hot.vals, to),
+                    seq,
+                    attempt,
+                },
+                LinkEv::Drop { to, seq } => {
+                    RawKind::LinkDrop { to: t.sym_of_str(&mut hot.vals, to), seq }
+                }
+                LinkEv::Dup { to, seq } => {
+                    RawKind::LinkDup { to: t.sym_of_str(&mut hot.vals, to), seq }
+                }
+                LinkEv::Partition { to, seq } => {
+                    RawKind::LinkPartition { to: t.sym_of_str(&mut hot.vals, to), seq }
+                }
+                LinkEv::Dedup { from, seq } => {
+                    RawKind::LinkDedup { from: t.sym_of_str(&mut hot.vals, from), seq }
+                }
+                LinkEv::Fenced { from, seq } => {
+                    RawKind::LinkFenced { from: t.sym_of_str(&mut hot.vals, from), seq }
+                }
+                LinkEv::Heartbeat { to } => {
+                    RawKind::LinkHeartbeat { to: t.sym_of_str(&mut hot.vals, to) }
+                }
+            };
+            t.push_raw(hot, inst, junc, epoch, kind);
+        });
+    }
+
+    /// Resolve a payload string to its symbol through the by-value
+    /// memo: FNV hash + no lock on a hit, intern-and-cache on a miss.
+    #[inline]
+    fn sym_of_str(
+        &self,
+        vals: &mut std::collections::HashMap<Box<str>, u32, BuildFnv>,
+        s: &str,
+    ) -> u32 {
+        if let Some(&sym) = vals.get(s) {
+            return sym;
+        }
+        let sym = self.intern(s);
+        if vals.len() >= 256 {
+            vals.clear();
+        }
+        vals.insert(Box::from(s), sym);
+        sym
+    }
+
+    /// Lower a public [`TraceKind`] to the ring's all-symbol
+    /// [`RawKind`], interning every string payload.
+    fn raw_kind(
+        &self,
+        vals: &mut std::collections::HashMap<Box<str>, u32, BuildFnv>,
+        kind: TraceKind,
+    ) -> RawKind {
+        match kind {
+            TraceKind::Sched => RawKind::Sched,
+            TraceKind::Unsched { ok } => RawKind::Unsched { ok },
+            TraceKind::Kv(ev) => RawKind::Kv(match ev {
+                TableEvent::LocalWrite { key, op } => {
+                    RawKv::LocalWrite { key: self.sym_of_str(vals, &key), op }
+                }
+                TableEvent::Deliver { key, from, link_seq, op, applied, during_run } => {
+                    RawKv::Deliver {
+                        key: self.sym_of_str(vals, &key),
+                        from: self.sym_of_str(vals, &from),
+                        link_seq,
+                        op,
+                        applied,
+                        during_run,
+                    }
+                }
+                TableEvent::FlushApply { key, from, link_seq, op, during_run } => {
+                    RawKv::FlushApply {
+                        key: self.sym_of_str(vals, &key),
+                        from: self.sym_of_str(vals, &from),
+                        link_seq,
+                        op,
+                        during_run,
+                    }
+                }
+                TableEvent::ShadowDrop { key, from, link_seq, op, lop, during_run } => {
+                    RawKv::ShadowDrop {
+                        key: self.sym_of_str(vals, &key),
+                        from: self.sym_of_str(vals, &from),
+                        link_seq,
+                        op,
+                        lop,
+                        during_run,
+                    }
+                }
+                TableEvent::RetroApply { key, from, link_seq, op } => RawKv::RetroApply {
+                    key: self.sym_of_str(vals, &key),
+                    from: self.sym_of_str(vals, &from),
+                    link_seq,
+                    op,
+                },
+                TableEvent::WindowOpen { token, wop, keys } => RawKv::WindowOpen {
+                    token,
+                    wop,
+                    keys: keys.iter().map(|k| self.sym_of_str(vals, k)).collect(),
+                },
+                TableEvent::WindowClose { token } => RawKv::WindowClose { token },
+                TableEvent::KeepDrop { key, from, link_seq } => RawKv::KeepDrop {
+                    key: self.sym_of_str(vals, &key),
+                    from: self.sym_of_str(vals, &from),
+                    link_seq,
+                },
+            }),
+            TraceKind::LinkSend { to, key, seq, bytes } => RawKind::LinkSend {
+                to: self.sym_of_str(vals, &to),
+                key: self.sym_of_str(vals, &key),
+                seq,
+                bytes,
+            },
+            TraceKind::LinkRetry { to, seq, attempt } => {
+                RawKind::LinkRetry { to: self.sym_of_str(vals, &to), seq, attempt }
+            }
+            TraceKind::LinkDrop { to, seq } => {
+                RawKind::LinkDrop { to: self.sym_of_str(vals, &to), seq }
+            }
+            TraceKind::LinkDup { to, seq } => {
+                RawKind::LinkDup { to: self.sym_of_str(vals, &to), seq }
+            }
+            TraceKind::LinkPartition { to, seq } => {
+                RawKind::LinkPartition { to: self.sym_of_str(vals, &to), seq }
+            }
+            TraceKind::LinkDedup { from, seq } => {
+                RawKind::LinkDedup { from: self.sym_of_str(vals, &from), seq }
+            }
+            TraceKind::LinkFenced { from, seq } => {
+                RawKind::LinkFenced { from: self.sym_of_str(vals, &from), seq }
+            }
+            TraceKind::LinkHeartbeat { to } => {
+                RawKind::LinkHeartbeat { to: self.sym_of_str(vals, &to) }
+            }
+            TraceKind::Crash => RawKind::Crash,
+            TraceKind::Restart => RawKind::Restart,
+            TraceKind::ReconfigPlan { footprint } => RawKind::ReconfigPlan { footprint },
+            TraceKind::ReconfigQuiesce { paused_us } => RawKind::ReconfigQuiesce { paused_us },
+            TraceKind::ReconfigMigrate { bytes } => RawKind::ReconfigMigrate { bytes },
+            TraceKind::ReconfigCut => RawKind::ReconfigCut,
+            TraceKind::ReconfigResume { flushed } => RawKind::ReconfigResume { flushed },
+            TraceKind::ReconfigDone { bytes } => RawKind::ReconfigDone { bytes },
+            TraceKind::RepairDetect { class, id } => {
+                RawKind::RepairDetect { class: self.sym_of_str(vals, &class), id }
+            }
+            TraceKind::RepairPlan { action, id, rung } => {
+                RawKind::RepairPlan { action: self.sym_of_str(vals, &action), id, rung }
+            }
+            TraceKind::RepairFence { epoch, id } => RawKind::RepairFence { epoch, id },
+            TraceKind::RepairVerify { ok, id } => RawKind::RepairVerify { ok, id },
+            TraceKind::RepairDone { id, mttr_us } => RawKind::RepairDone { id, mttr_us },
+            TraceKind::RepairFailed { id } => RawKind::RepairFailed { id },
+            TraceKind::RepairEscalate { rung, id } => RawKind::RepairEscalate { rung, id },
+        }
     }
 
     /// The symbol for `name`, interning it on first sight. Symbol
@@ -577,7 +956,12 @@ impl Tracer {
             let mut reg = cell.borrow_mut();
             if reg.hot.as_ref().is_none_or(|h| h.id != self.id) {
                 let buf = self.local_buf(&mut reg.all);
-                reg.hot = Some(Hot { id: self.id, buf, syms: Vec::new() });
+                reg.hot = Some(Hot {
+                    id: self.id,
+                    buf,
+                    syms: Vec::new(),
+                    vals: std::collections::HashMap::default(),
+                });
             }
             f(self, reg.hot.as_mut().expect("hot slot just set"))
         })
@@ -586,7 +970,7 @@ impl Tracer {
     /// Stamp and stage one resolved event; flush the staging buffer to
     /// a shard when it reaches [`LOCAL_FLUSH`].
     #[inline]
-    fn push_raw(&self, hot: &mut Hot, inst: u32, junc: u32, epoch: u64, kind: TraceKind) {
+    fn push_raw(&self, hot: &mut Hot, inst: u32, junc: u32, epoch: u64, kind: RawKind) {
         let ev = RawEvent {
             gsn: self.gsn.0.fetch_add(1, Ordering::Relaxed),
             at_us: self.stamp_us(),
@@ -675,7 +1059,7 @@ impl Tracer {
                 instance: Arc::clone(&names[e.inst as usize]),
                 junction: Arc::clone(&names[e.junc as usize]),
                 epoch: e.epoch,
-                kind: e.kind,
+                kind: resolve_kind(&names, e.kind),
             })
             .collect()
     }
@@ -689,6 +1073,91 @@ impl Tracer {
 impl Default for Tracer {
     fn default() -> Self {
         Tracer::new()
+    }
+}
+
+/// Resolve a ring-format [`RawKind`] back into the public
+/// [`TraceKind`]: shared-`Arc` for identity-flavoured fields, owned
+/// `String`s where the public type demands them. Drain-time only.
+fn resolve_kind(names: &[Arc<str>], kind: RawKind) -> TraceKind {
+    let shared = |i: u32| Arc::clone(&names[i as usize]);
+    let owned = |i: u32| names[i as usize].to_string();
+    match kind {
+        RawKind::Sched => TraceKind::Sched,
+        RawKind::Unsched { ok } => TraceKind::Unsched { ok },
+        RawKind::Kv(ev) => TraceKind::Kv(match ev {
+            RawKv::LocalWrite { key, op } => TableEvent::LocalWrite { key: owned(key), op },
+            RawKv::Deliver { key, from, link_seq, op, applied, during_run } => {
+                TableEvent::Deliver {
+                    key: owned(key),
+                    from: owned(from),
+                    link_seq,
+                    op,
+                    applied,
+                    during_run,
+                }
+            }
+            RawKv::FlushApply { key, from, link_seq, op, during_run } => TableEvent::FlushApply {
+                key: owned(key),
+                from: owned(from),
+                link_seq,
+                op,
+                during_run,
+            },
+            RawKv::ShadowDrop { key, from, link_seq, op, lop, during_run } => {
+                TableEvent::ShadowDrop {
+                    key: owned(key),
+                    from: owned(from),
+                    link_seq,
+                    op,
+                    lop,
+                    during_run,
+                }
+            }
+            RawKv::RetroApply { key, from, link_seq, op } => {
+                TableEvent::RetroApply { key: owned(key), from: owned(from), link_seq, op }
+            }
+            RawKv::WindowOpen { token, wop, keys } => TableEvent::WindowOpen {
+                token,
+                wop,
+                keys: keys.into_iter().map(owned).collect(),
+            },
+            RawKv::WindowClose { token } => TableEvent::WindowClose { token },
+            RawKv::KeepDrop { key, from, link_seq } => {
+                TableEvent::KeepDrop { key: owned(key), from: owned(from), link_seq }
+            }
+        }),
+        RawKind::LinkSend { to, key, seq, bytes } => {
+            TraceKind::LinkSend { to: shared(to), key: owned(key), seq, bytes }
+        }
+        RawKind::LinkRetry { to, seq, attempt } => {
+            TraceKind::LinkRetry { to: shared(to), seq, attempt }
+        }
+        RawKind::LinkDrop { to, seq } => TraceKind::LinkDrop { to: shared(to), seq },
+        RawKind::LinkDup { to, seq } => TraceKind::LinkDup { to: shared(to), seq },
+        RawKind::LinkPartition { to, seq } => TraceKind::LinkPartition { to: shared(to), seq },
+        RawKind::LinkDedup { from, seq } => TraceKind::LinkDedup { from: shared(from), seq },
+        RawKind::LinkFenced { from, seq } => TraceKind::LinkFenced { from: shared(from), seq },
+        RawKind::LinkHeartbeat { to } => TraceKind::LinkHeartbeat { to: shared(to) },
+        RawKind::Crash => TraceKind::Crash,
+        RawKind::Restart => TraceKind::Restart,
+        RawKind::ReconfigPlan { footprint } => TraceKind::ReconfigPlan { footprint },
+        RawKind::ReconfigQuiesce { paused_us } => TraceKind::ReconfigQuiesce { paused_us },
+        RawKind::ReconfigMigrate { bytes } => TraceKind::ReconfigMigrate { bytes },
+        RawKind::ReconfigCut => TraceKind::ReconfigCut,
+        RawKind::ReconfigResume { flushed } => TraceKind::ReconfigResume { flushed },
+        RawKind::ReconfigDone { bytes } => TraceKind::ReconfigDone { bytes },
+        RawKind::RepairDetect { class, id } => {
+            TraceKind::RepairDetect { class: shared(class), id }
+        }
+        RawKind::RepairPlan { action, id, rung } => {
+            TraceKind::RepairPlan { action: shared(action), id, rung }
+        }
+        RawKind::RepairFence { epoch, id } => TraceKind::RepairFence { epoch, id },
+        RawKind::RepairVerify { ok, id } => TraceKind::RepairVerify { ok, id },
+        RawKind::RepairDone { id, mttr_us } => TraceKind::RepairDone { id, mttr_us },
+        RawKind::RepairFailed { id } => TraceKind::RepairFailed { id },
+        RawKind::RepairEscalate { rung, id } => TraceKind::RepairEscalate { rung, id },
     }
 }
 

@@ -48,7 +48,7 @@ use rand::SeedableRng;
 use crate::cell::JunctionId;
 use crate::clock::Clock;
 use crate::fault::{FaultDecision, FaultPlan, LinkFaults, RetryPolicy};
-use crate::trace::{Metrics, TraceKind, Tracer};
+use crate::trace::{LinkEv, Metrics, Tracer};
 
 /// The kind of channel between a pair of instances.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -734,11 +734,11 @@ impl DeliveryFilter {
                 self.fence.fenced.fetch_add(1, Ordering::Relaxed);
                 self.m_fenced.fetch_add(1, Ordering::Relaxed);
                 if self.tracer.is_enabled() {
-                    self.tracer.record(
+                    self.tracer.record_link_at(
                         &to.instance,
                         &to.junction,
                         0,
-                        TraceKind::LinkFenced { from: sender.into(), seq: u.seq },
+                        LinkEv::Fenced { from: sender, seq: u.seq },
                     );
                 }
                 return false;
@@ -759,11 +759,11 @@ impl DeliveryFilter {
                 self.deduped.fetch_add(1, Ordering::Relaxed);
                 self.m_dedup.fetch_add(1, Ordering::Relaxed);
                 if self.tracer.is_enabled() {
-                    self.tracer.record(
+                    self.tracer.record_link_at(
                         &to.instance,
                         &to.junction,
                         0,
-                        TraceKind::LinkDedup { from: sender.into(), seq: u.seq },
+                        LinkEv::Dedup { from: sender, seq: u.seq },
                     );
                 }
                 return false;
@@ -822,6 +822,13 @@ pub struct Network {
     retries: AtomicU64,
     deduped: Arc<AtomicU64>,
     fast_path: AtomicU64,
+    /// Send operations attempted through any entry point, including
+    /// fenced/dropped ones (counters and dice still moved). The sim
+    /// executor reads the delta around a step to classify the step's
+    /// footprint: a step that sent anything — even over the Direct
+    /// fast path, which delivers synchronously into the receiver's
+    /// cell — touched cross-instance state.
+    send_ops: AtomicU64,
     /// Total messages sent (observability).
     pub msgs_sent: AtomicU64,
     /// Total bytes sent under the wire-size model (observability).
@@ -988,6 +995,7 @@ impl Network {
             backoff_dice: Mutex::new(StdRng::seed_from_u64(0xBAC0FF)),
             dedup_enabled,
             fence,
+            send_ops: AtomicU64::new(0),
             drops: AtomicU64::new(0),
             dups: AtomicU64::new(0),
             partitioned: AtomicU64::new(0),
@@ -1198,9 +1206,16 @@ impl Network {
         to: &JunctionId,
         mut update: Update,
     ) -> Result<(), SendError> {
+        self.send_ops.fetch_add(1, Ordering::Relaxed);
         let route = self.routes.get(from_instance, &to.instance);
         self.stamp_one(&route, &mut update)?;
         self.send_stamped(&route, to, update)
+    }
+
+    /// Monotonic count of send operations attempted (any entry point,
+    /// any outcome). See the `send_ops` field.
+    pub(crate) fn send_ops(&self) -> u64 {
+        self.send_ops.load(Ordering::Relaxed)
     }
 
     /// Stamp an update with the next sequence number for `route`
@@ -1224,11 +1239,11 @@ impl Network {
             self.fence.fenced.fetch_add(1, Ordering::Relaxed);
             if self.tracer.is_enabled() {
                 let (fi, fj) = Network::sender_of(update);
-                self.tracer.record(
+                self.tracer.record_link_at(
                     fi,
                     fj,
                     0,
-                    TraceKind::LinkFenced { from: route.from.as_ref().into(), seq: update.seq },
+                    LinkEv::Fenced { from: route.from.as_ref(), seq: update.seq },
                 );
             }
             return Err(SendError::Fenced);
@@ -1271,13 +1286,13 @@ impl Network {
                     self.retries.fetch_add(1, Ordering::Relaxed);
                     self.m_retry.fetch_add(1, Ordering::Relaxed);
                     if self.tracer.is_enabled() {
-                        let (fi, fj) = Network::sender_of(&update);
-                        self.tracer.record(
-                            fi,
-                            fj,
+                        let (fi, fj, to_q) = self.route_trace_ids(&update, to);
+                        self.tracer.record_link(
+                            &fi,
+                            &fj,
                             0,
-                            TraceKind::LinkRetry {
-                                to: to.qualified().into(),
+                            LinkEv::Retry {
+                                to: &to_q,
                                 seq: update.seq,
                                 attempt: attempt as u64,
                             },
@@ -1316,6 +1331,7 @@ impl Network {
         if updates.is_empty() {
             return Ok(0);
         }
+        self.send_ops.fetch_add(1, Ordering::Relaxed);
         let route = self.routes.get(from_instance, &to.instance);
         let (stamp, floor) = self.fence.of(from_instance);
         {
@@ -1332,11 +1348,11 @@ impl Network {
             if self.tracer.is_enabled() {
                 for u in &updates {
                     let (fi, fj) = Network::sender_of(u);
-                    self.tracer.record(
+                    self.tracer.record_link_at(
                         fi,
                         fj,
                         0,
-                        TraceKind::LinkFenced { from: from_instance.into(), seq: u.seq },
+                        LinkEv::Fenced { from: from_instance, seq: u.seq },
                     );
                 }
             }
@@ -1359,13 +1375,13 @@ impl Network {
             if self.tracer.is_enabled() {
                 let (fi, fj, to_q) = self.route_trace_ids(&updates[0], to);
                 for u in &updates {
-                    self.tracer.record_ids(
+                    self.tracer.record_link(
                         &fi,
                         &fj,
                         0,
-                        TraceKind::LinkSend {
-                            to: Arc::clone(&to_q),
-                            key: u.key.clone(),
+                        LinkEv::Send {
+                            to: &to_q,
+                            key: &u.key,
                             seq: u.seq,
                             bytes: wire_size(u) as u64,
                         },
@@ -1412,8 +1428,81 @@ impl Network {
         to: &JunctionId,
         update: Update,
     ) -> Result<(), SendError> {
+        self.send_ops.fetch_add(1, Ordering::Relaxed);
         let route = self.routes.get(from_instance, &to.instance);
         self.send_attempt(&route, to, update).map_err(|(e, _)| e)
+    }
+
+    /// Feed the transport's schedule-relevant mutable state to `h` for
+    /// the sim executor's state fingerprint: queued undelivered packets
+    /// in delivery order, then per-route sequence/FIFO/dedup/fence
+    /// state. Arrival times are normalized to `origin`, and the heap's
+    /// global tie-break seq is reduced to relative order — it counts
+    /// monotonically over a whole run, so its absolute value would make
+    /// every state hash unique. Fault-plan dice positions are *not*
+    /// folded in: probabilistic plans degrade revisit-pruning fidelity,
+    /// while windowed plans are a pure function of virtual time.
+    pub(crate) fn sim_fingerprint(&self, origin: Instant, h: &mut dyn FnMut(&[u8])) {
+        let mut packets: Vec<(u64, u64, String, String, String, u64, String)> = {
+            let state = self.sim.state.lock();
+            state
+                .queue
+                .iter()
+                .map(|Reverse(p)| {
+                    (
+                        p.arrival.saturating_duration_since(origin).as_nanos() as u64,
+                        p.seq,
+                        p.to.qualified(),
+                        p.update.key.clone(),
+                        p.update.from.clone(),
+                        p.update.seq,
+                        format!("{:?}", p.update.kind),
+                    )
+                })
+                .collect()
+        };
+        packets.sort_by_key(|a| (a.0, a.1));
+        h(&(packets.len() as u64).to_le_bytes());
+        for (arr, _seq, to, key, from, useq, kind) in &packets {
+            h(&arr.to_le_bytes());
+            h(to.as_bytes());
+            h(key.as_bytes());
+            h(from.as_bytes());
+            h(&useq.to_le_bytes());
+            h(kind.as_bytes());
+        }
+        let mut routes: Vec<Arc<RouteState>> = self.routes.inner.lock().clone();
+        routes.sort_by(|a, b| (&a.from, &a.to).cmp(&(&b.from, &b.to)));
+        for r in &routes {
+            h(r.from.as_bytes());
+            h(r.to.as_bytes());
+            {
+                let s = r.seq.lock();
+                h(&s.counter.to_le_bytes());
+                h(&s.gen.to_le_bytes());
+            }
+            {
+                let f = r.fifo.lock();
+                let latest = f.latest.map_or(u64::MAX, |t| {
+                    t.saturating_duration_since(origin).as_nanos() as u64
+                });
+                h(&latest.to_le_bytes());
+                h(&f.inflight.to_le_bytes());
+            }
+            {
+                // Order-independent digest of the dedup memory.
+                let seen = r.seen.lock();
+                let mut xor = 0u64;
+                for &s in seen.iter() {
+                    xor ^= s.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                }
+                h(&(seen.len() as u64).to_le_bytes());
+                h(&xor.to_le_bytes());
+            }
+            let (stamp, floor) = self.fence.of(&r.from);
+            h(&stamp.to_le_bytes());
+            h(&floor.to_le_bytes());
+        }
     }
 
     /// One delivery attempt: roll the link's fault dice, then dispatch
@@ -1441,12 +1530,12 @@ impl Network {
                 self.partitioned.fetch_add(1, Ordering::Relaxed);
                 self.m_partition.fetch_add(1, Ordering::Relaxed);
                 if self.tracer.is_enabled() {
-                    let (fi, fj) = Network::sender_of(&update);
-                    self.tracer.record(
-                        fi,
-                        fj,
+                    let (fi, fj, to_q) = self.route_trace_ids(&update, to);
+                    self.tracer.record_link(
+                        &fi,
+                        &fj,
                         0,
-                        TraceKind::LinkPartition { to: to.qualified().into(), seq: update.seq },
+                        LinkEv::Partition { to: &to_q, seq: update.seq },
                     );
                 }
                 Err((SendError::PartitionedAway, update))
@@ -1455,12 +1544,12 @@ impl Network {
                 self.drops.fetch_add(1, Ordering::Relaxed);
                 self.m_drop.fetch_add(1, Ordering::Relaxed);
                 if self.tracer.is_enabled() {
-                    let (fi, fj) = Network::sender_of(&update);
-                    self.tracer.record(
-                        fi,
-                        fj,
+                    let (fi, fj, to_q) = self.route_trace_ids(&update, to);
+                    self.tracer.record_link(
+                        &fi,
+                        &fj,
                         0,
-                        TraceKind::LinkDrop { to: to.qualified().into(), seq: update.seq },
+                        LinkEv::Drop { to: &to_q, seq: update.seq },
                     );
                 }
                 Err((SendError::LinkDropped, update))
@@ -1472,28 +1561,23 @@ impl Network {
                 self.m_send.fetch_add(1, Ordering::Relaxed);
                 if self.tracer.is_enabled() {
                     let (fi, fj, to_q) = self.route_trace_ids(&update, to);
-                    self.tracer.record_ids(
+                    self.tracer.record_link(
                         &fi,
                         &fj,
                         0,
-                        TraceKind::LinkSend {
-                            to: to_q,
-                            key: update.key.clone(),
-                            seq: update.seq,
-                            bytes: size,
-                        },
+                        LinkEv::Send { to: &to_q, key: &update.key, seq: update.seq, bytes: size },
                     );
                 }
                 if duplicate {
                     self.dups.fetch_add(1, Ordering::Relaxed);
                     self.m_dup.fetch_add(1, Ordering::Relaxed);
                     if self.tracer.is_enabled() {
-                        let (fi, fj) = Network::sender_of(&update);
-                        self.tracer.record(
-                            fi,
-                            fj,
+                        let (fi, fj, to_q) = self.route_trace_ids(&update, to);
+                        self.tracer.record_link(
+                            &fi,
+                            &fj,
                             0,
-                            TraceKind::LinkDup { to: to.qualified().into(), seq: update.seq },
+                            LinkEv::Dup { to: &to_q, seq: update.seq },
                         );
                     }
                     // The duplicate copy is the only clone on this path.
