@@ -73,6 +73,56 @@ impl ShardingSpec {
     }
 }
 
+/// τBack, shared between [`sharding`] and [`sharding_cached`]: "closely
+/// follows τAuditing" (Fig. 5 caption) with the added response write.
+fn back_type(handle_hook: &str) -> InstanceType {
+    InstanceType::new(
+        "tBack",
+        vec![JunctionDef::new(
+            "junction",
+            vec![p_junction("f"), p_timeout("t")],
+            vec![
+                Decl::prop_false("Work"),
+                Decl::prop_false("Retried"),
+                Decl::data("n"),
+                Decl::data("m"),
+                Decl::guard(Formula::prop("Work")),
+            ],
+            seq([
+                restore("n"),
+                host(handle_hook),
+                retract_local("Retried"),
+                case(
+                    vec![arm(
+                        Formula::prop("Work"),
+                        otherwise(
+                            scope(seq([
+                                save("m"),
+                                Expr::Write {
+                                    data: NameRef::lit("m"),
+                                    to: JRef::var("f"),
+                                },
+                                Expr::Retract {
+                                    at: Some(JRef::var("f")),
+                                    prop: csaw_core::names::PropRef::plain("Work"),
+                                },
+                            ])),
+                            "t",
+                            if_then_else(
+                                Formula::prop("Retried").not(),
+                                assert_local("Retried"),
+                                call("complain", vec![]),
+                            ),
+                        ),
+                        Terminator::Reconsider,
+                    )],
+                    Expr::Skip,
+                ),
+            ]),
+        )],
+    )
+}
+
 /// Build the Fig. 5 program.
 pub fn sharding(spec: &ShardingSpec) -> Program {
     let backends = spec.backend_names();
@@ -115,53 +165,7 @@ pub fn sharding(spec: &ShardingSpec) -> Program {
         )],
     );
 
-    // τBack "closely follows τAuditing" (Fig. 5 caption) with the added
-    // response write.
-    let back = InstanceType::new(
-        "tBack",
-        vec![JunctionDef::new(
-            "junction",
-            vec![p_junction("f"), p_timeout("t")],
-            vec![
-                Decl::prop_false("Work"),
-                Decl::prop_false("Retried"),
-                Decl::data("n"),
-                Decl::data("m"),
-                Decl::guard(Formula::prop("Work")),
-            ],
-            seq([
-                restore("n"),
-                host(&spec.handle_hook),
-                retract_local("Retried"),
-                case(
-                    vec![arm(
-                        Formula::prop("Work"),
-                        otherwise(
-                            scope(seq([
-                                save("m"),
-                                Expr::Write {
-                                    data: NameRef::lit("m"),
-                                    to: JRef::var("f"),
-                                },
-                                Expr::Retract {
-                                    at: Some(JRef::var("f")),
-                                    prop: csaw_core::names::PropRef::plain("Work"),
-                                },
-                            ])),
-                            "t",
-                            if_then_else(
-                                Formula::prop("Retried").not(),
-                                assert_local("Retried"),
-                                call("complain", vec![]),
-                            ),
-                        ),
-                        Terminator::Reconsider,
-                    )],
-                    Expr::Skip,
-                ),
-            ]),
-        )],
-    );
+    let back = back_type(&spec.handle_hook);
 
     let mut builder = ProgramBuilder::new()
         .ty(front)
@@ -185,6 +189,148 @@ pub fn sharding(spec: &ShardingSpec) -> Program {
         })
         .collect();
     starts.push(start(&spec.front, vec![Arg::name("t")]));
+    builder.main(vec![p_timeout("t")], par(starts)).build()
+}
+
+/// Parameters of the cache-fronted sharding architecture: the Fig. 5
+/// sharding spec plus the Fig. 7 cache hooks that move into the
+/// front-end.
+#[derive(Clone, Debug)]
+pub struct CachedShardingSpec {
+    /// The underlying sharding layout (back-end set, routing hooks).
+    pub base: ShardingSpec,
+    /// Host hook classifying the request (`⌊CheckCacheable⌉{Cacheable}`).
+    pub check_hook: String,
+    /// Host hook performing the lookup (`⌊LookupCache⌉{Cached}`).
+    pub lookup_hook: String,
+    /// Host hook updating the cache (`⌊UpdateCache⌉`).
+    pub update_hook: String,
+}
+
+impl Default for CachedShardingSpec {
+    fn default() -> Self {
+        CachedShardingSpec {
+            base: ShardingSpec::default(),
+            check_hook: "CheckCacheable".into(),
+            lookup_hook: "LookupCache".into(),
+            update_hook: "UpdateCache".into(),
+        }
+    }
+}
+
+impl CachedShardingSpec {
+    /// Cache-fronted sharding over an explicit back-end set.
+    pub fn over(names: Vec<String>) -> CachedShardingSpec {
+        CachedShardingSpec {
+            base: ShardingSpec::over(names),
+            ..Default::default()
+        }
+    }
+}
+
+/// Build the cache-tier variant of [`sharding`]: the front-end merges
+/// Fig. 7's τCache classify/lookup/update arms with Fig. 5's routed
+/// dispatch — the shard call sits where τCache's function call to
+/// `Fun` sat. The back-ends are byte-identical to [`sharding`]'s, so
+/// diffing `sharding(spec)` against `sharding_cached(..same base..)`
+/// yields exactly one changed instance (the front-end): the planner
+/// inserts or removes the cache tier in a single-quiesce phase while
+/// every shard keeps serving.
+pub fn sharding_cached(spec: &CachedShardingSpec) -> Program {
+    let backends = spec.base.backend_names();
+    let backend_set: Vec<SetElem> = backends
+        .iter()
+        .map(|b| SetElem::Instance(b.clone()))
+        .collect();
+
+    let front = InstanceType::new(
+        "tFrontCache",
+        vec![JunctionDef::new(
+            "junction",
+            vec![p_timeout("t")],
+            vec![
+                Decl::prop_false("Work"),
+                Decl::prop_false("Cacheable"),
+                Decl::prop_false("Cached"),
+                Decl::prop_false("NewValue"),
+                Decl::data("n"),
+                Decl::data("m"),
+                Decl::idx("tgt", SetRef::Lit(backend_set)),
+            ],
+            seq([
+                retract_local("Cacheable"),
+                retract_local("Cached"),
+                retract_local("NewValue"),
+                // ➊ classify (Fig. 7 arm structure).
+                host_w(&spec.check_hook, ["Cacheable"]),
+                case(
+                    vec![
+                        // ➋ look up, then fall through.
+                        arm(
+                            Formula::prop("Cacheable"),
+                            host_w(&spec.lookup_hook, ["Cached"]),
+                            Terminator::Next,
+                        ),
+                        // ➌ on a miss (or uncacheable), route to a shard —
+                        // Fig. 5's dispatch in place of Fig. 7's `Fun` call.
+                        arm(
+                            Formula::prop("Cacheable").not().or(
+                                Formula::prop("Cacheable")
+                                    .and(Formula::prop("Cached").not()),
+                            ),
+                            seq([
+                                host_w(&spec.base.choose_hook, ["tgt"]),
+                                save("n"),
+                                otherwise(
+                                    scope(seq([
+                                        write("n", JRef::var("tgt")),
+                                        assert_at(JRef::var("tgt"), "Work"),
+                                        wait(["m"], Formula::prop("Work").not()),
+                                        restore("m"),
+                                        assert_local("NewValue"),
+                                    ])),
+                                    "t",
+                                    call("complain", vec![]),
+                                ),
+                            ]),
+                            Terminator::Next,
+                        ),
+                        // ➍ memoize a fresh value.
+                        arm(
+                            Formula::prop("Cacheable").and(Formula::prop("NewValue")),
+                            host(&spec.update_hook),
+                            Terminator::Break,
+                        ),
+                    ],
+                    Expr::Skip,
+                ),
+            ]),
+        )],
+    );
+
+    let back = back_type(&spec.base.handle_hook);
+
+    let mut builder = ProgramBuilder::new()
+        .ty(front)
+        .ty(back)
+        .instance(&spec.base.front, "tFrontCache")
+        .func(complain_func());
+    for b in &backends {
+        builder = builder.instance(b, "tBack");
+    }
+    let mut starts: Vec<Expr> = backends
+        .iter()
+        .map(|b| {
+            start(
+                b,
+                vec![
+                    Arg::Junction(JRef::qualified(&spec.base.front, "junction")),
+                    Arg::name("t"),
+                ],
+            )
+        })
+        .collect();
+    starts.push(start(&spec.base.front, vec![Arg::name("t")]));
     builder.main(vec![p_timeout("t")], par(starts)).build()
 }
 
@@ -235,5 +381,39 @@ mod tests {
             _ => None,
         });
         assert_eq!(idx_base, Some(2));
+    }
+
+    #[test]
+    fn cached_variant_compiles_with_cache_arms() {
+        let spec = CachedShardingSpec::default();
+        let cp = csaw_core::compile(sharding_cached(&spec), &LoadConfig::new()).unwrap();
+        assert_eq!(cp.instances.len(), 5);
+        let f = cp.instance("Fnt").unwrap().junction("junction").unwrap();
+        let mut arms = 0;
+        f.body.walk(&mut |e| {
+            if let Expr::Case { arms: a, .. } = e {
+                arms = a.len();
+            }
+        });
+        assert_eq!(arms, 3, "classify / route-on-miss / memoize");
+    }
+
+    #[test]
+    fn cache_insertion_diffs_as_front_end_only() {
+        // The planner's cache-tier transition: same back-end set, only
+        // the front-end changes type. One changed instance → a
+        // single-quiesce phase under max_concurrent_quiesce = 1.
+        let lc = LoadConfig::new();
+        let plain = csaw_core::compile(sharding(&ShardingSpec::default()), &lc).unwrap();
+        let cached =
+            csaw_core::compile(sharding_cached(&CachedShardingSpec::default()), &lc).unwrap();
+        let d = csaw_core::diff_programs(&plain, &cached);
+        assert!(d.added.is_empty() && d.removed.is_empty());
+        assert_eq!(d.changed.len(), 1);
+        assert_eq!(d.changed[0].name, "Fnt");
+        assert_eq!(
+            d.changed[0].type_change,
+            Some(("tFront".to_string(), "tFrontCache".to_string()))
+        );
     }
 }

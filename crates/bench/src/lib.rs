@@ -15,6 +15,7 @@
 //! | [`exp_curl`] | Figs. 25a/25b, 26a |
 //! | [`exp_loc`] | Table 2 |
 //! | [`ablations`] | DESIGN.md ablations (transports, fail-over designs, serializer depth, fan-out, fault tolerance) |
+//! | [`autoscale_runs`] | metrics-driven autoscaler: planner-driven reshard over a diurnal day |
 //! | [`chaos`] | chaos soak: fault-injected fail-over invariants |
 //! | [`conformance_runs`] | trace-conformance validation of the architecture catalogue |
 //! | [`reconfig_runs`] | live-reconfiguration downtime: four hot-swaps under traffic |
@@ -26,6 +27,7 @@
 //! `CSAW_EXP_SECONDS` environment variable.
 
 pub mod ablations;
+pub mod autoscale_runs;
 pub mod chaos;
 pub mod conformance_runs;
 pub mod exp_curl;

@@ -40,7 +40,7 @@ use csaw_core::names::JRef;
 use csaw_core::program::{CompiledProgram, InstanceType, JunctionDef, LoadConfig, Program};
 use csaw_core::value::Value;
 use csaw_runtime::runtime::Policy;
-use csaw_runtime::{ReconfigReport, ReconfigSpec, Runtime, RuntimeConfig};
+use csaw_runtime::{PhaseTimings, ReconfigReport, ReconfigSpec, Runtime, RuntimeConfig};
 use csaw_semantics::{check_reconfig_jsonl, denote_program, ConformanceOptions, DenoteConfig};
 use mini_redis::apps::{CacheApp, ServerApp, ShardFrontApp, ShardMode};
 use mini_redis::hash::shard_of;
@@ -348,6 +348,9 @@ pub struct TransitionOutcome {
     pub dropped_updates: u64,
     /// Wall time of the whole transition.
     pub total_us: u64,
+    /// Where the transition spent its time: the engine's per-phase
+    /// split (diff / quiesce / migrate / cut / resume).
+    pub timings: PhaseTimings,
     /// Plan shape: instances added.
     pub added: usize,
     /// Instances removed by the plan.
@@ -410,6 +413,9 @@ impl TransitionOutcome {
         r.note(&p("held_updates"), self.held_updates as f64);
         r.note(&p("dropped_updates"), self.dropped_updates as f64);
         r.note(&p("total_us"), self.total_us as f64);
+        for (phase, d) in self.timings.phases() {
+            r.note(&p(&format!("t_{phase}_us")), d.as_micros() as f64);
+        }
         r.note(&p("plan_added"), self.added as f64);
         r.note(&p("plan_removed"), self.removed as f64);
         r.note(&p("plan_changed"), self.changed as f64);
@@ -449,6 +455,7 @@ fn build_outcome(
         held_updates: run.report.held_updates,
         dropped_updates: run.report.dropped_updates,
         total_us: run.report.total.as_micros() as u64,
+        timings: run.report.timings,
         added: run.report.plan.added.len(),
         removed: run.report.plan.removed.len(),
         changed: run.report.plan.changed.len(),

@@ -29,6 +29,16 @@
 //!   waves over the sharded architecture under sustained traffic, each
 //!   wave re-homing the keyspace. Same oracles as `Reshard`, with the
 //!   conformance chain spanning every epoch.
+//! * [`Scenario::Planned`] — planner-driven multi-phase resharding:
+//!   a grow wave `sharding(N) → sharding(N+K)` and a shrink wave back
+//!   to N (true instance removal), each compiled into a phased `Plan`
+//!   under `max_concurrent_quiesce = 1` and executed through
+//!   `Runtime::reconfigure_plan`. Extra oracles on top of the sharded
+//!   ones: every wave's plan passes the semantics-side plan-validity
+//!   checker (`check_plan`), and no *executed* phase quiesces more
+//!   instances than the constraint allows; the conformance chain gets
+//!   one epoch per phase, so cross-epoch conformance is judged at
+//!   every phase boundary, not just at wave ends.
 //!
 //! Each scenario carries a deliberate *fence-off* bug mode
 //! ([`ScheduleSpec::buggy`], or the `fence-off-bug` cargo feature which
@@ -54,6 +64,7 @@ use csaw_arch::sharding::{sharding, ShardingSpec};
 use csaw_arch::watched::supervised_failover_groups;
 use csaw_core::expr::Arg;
 use csaw_core::names::JRef;
+use csaw_core::plan::{plan_break_before_make, plan_reconfiguration, PlanConstraints};
 use csaw_core::program::{CompiledProgram, LoadConfig};
 use csaw_core::value::Value;
 use csaw_kv::Update;
@@ -97,12 +108,20 @@ pub enum Scenario {
     Restore,
     /// K alternating grow/shrink resharding waves under traffic.
     Churn,
+    /// Planner-driven phased grow + shrink under a quiesce bound.
+    Planned,
 }
 
 impl Scenario {
     /// Every scenario, in sweep order.
-    pub fn all() -> [Scenario; 4] {
-        [Scenario::Failover, Scenario::Reshard, Scenario::Restore, Scenario::Churn]
+    pub fn all() -> [Scenario; 5] {
+        [
+            Scenario::Failover,
+            Scenario::Reshard,
+            Scenario::Restore,
+            Scenario::Churn,
+            Scenario::Planned,
+        ]
     }
 
     /// Stable CLI / report label.
@@ -112,6 +131,7 @@ impl Scenario {
             Scenario::Reshard => "reshard",
             Scenario::Restore => "restore",
             Scenario::Churn => "churn",
+            Scenario::Planned => "planned",
         }
     }
 
@@ -158,6 +178,9 @@ impl ScheduleSpec {
             Scenario::Reshard => (9000 + 1500 * shards, ms(900)),
             Scenario::Restore => (9000 + 2500 * shards * replicas, ms(900)),
             Scenario::Churn => (9000 + 3000 * replicas, ms(250 + 200 * (k - 1) + 450)),
+            // Two planner waves (grow at 300 ms, shrink at 600 ms),
+            // each an adds/changes/removals phase sequence.
+            Scenario::Planned => (9000 + 2500 * (shards + replicas), ms(900)),
         };
         ScheduleSpec {
             scenario,
@@ -289,6 +312,7 @@ fn wire(spec: &ScheduleSpec) -> Scene {
         Scenario::Failover => wire_failover(spec),
         Scenario::Reshard | Scenario::Churn => wire_sharded(spec),
         Scenario::Restore => wire_restore(spec),
+        Scenario::Planned => wire_planned(spec),
     }
 }
 
@@ -1139,6 +1163,446 @@ fn wire_sharded(spec: &ScheduleSpec) -> Scene {
                             "only {}/{waves_fired} reconfiguration waves landed",
                             applied.len()
                         )
+                    })
+                });
+            Verdict {
+                acked,
+                lost_acked,
+                stale_applied: false,
+                repair_ok,
+                fenced_sends,
+                held_at_end,
+                repairs,
+                conformance,
+                failure,
+                trace_jsonl: jsonl,
+            }
+        }) as Box<dyn Fn(&Runtime, &SimOutcome) -> Verdict>
+    };
+
+    Scene { exec, boot_instances, fresh, check }
+}
+
+// =====================================================================
+// Planner-driven phased resharding
+// =====================================================================
+
+/// Driver-shared state for the planned scenario.
+struct PlShared {
+    base_n: usize,
+    max_n: usize,
+    /// `(at, routing_n)` per scripted planner wave.
+    waves: Vec<(Duration, usize)>,
+    requests_q: Arc<Mutex<std::collections::VecDeque<Command>>>,
+    replies_q: Arc<Mutex<std::collections::VecDeque<Reply>>>,
+    reqs: Vec<ShardRequest>,
+    stores: Mutex<Vec<Arc<Mutex<Store>>>>,
+    cur_n: Mutex<usize>,
+    /// Every *installed* phase target, in cut order — the conformance
+    /// epoch chain judges the trace at every phase boundary.
+    applied: Mutex<Vec<CompiledProgram>>,
+    /// Per-wave summary lines (`wave -> N shards in P phases ok`).
+    wave_log: Mutex<Vec<String>>,
+    /// First plan-validity violation (`check_plan` red on a wave).
+    plan_bad: Mutex<Option<String>>,
+    /// First executed phase that quiesced more than the bound allows.
+    over_quiesce: Mutex<Option<String>>,
+    /// First post-wave re-homing violation (see [`ShardShared::homing`]).
+    homing: Mutex<Option<String>>,
+    waves_fired: AtomicUsize,
+    waves_landed: AtomicUsize,
+    programs: BTreeMap<usize, CompiledProgram>,
+}
+
+fn wire_planned(spec: &ScheduleSpec) -> Scene {
+    let base_n = spec.shards;
+    let grow_n = base_n + spec.replicas;
+    let max_n = grow_n;
+    // Grow to N+K mid-traffic, then shrink back to N with true
+    // instance removal — both as phased plans under the quiesce bound.
+    let waves: Vec<(Duration, usize)> = vec![(ms(300), grow_n), (ms(600), base_n)];
+    let constraints = PlanConstraints::max_quiesce(1);
+
+    let mut programs = BTreeMap::new();
+    for n in [base_n, grow_n] {
+        programs.insert(
+            n,
+            csaw_core::compile(
+                sharding(&ShardingSpec { n_backends: n, ..ShardingSpec::default() }),
+                &LoadConfig::new(),
+            )
+            .unwrap(),
+        );
+    }
+    let boot_instances: Vec<String> = {
+        let mut v: Vec<String> = (1..=base_n).map(|i| format!("Bck{i}")).collect();
+        v.push("Fnt".to_string());
+        v.sort();
+        v
+    };
+
+    // Same scripted cadence and quiet margins as the sharded
+    // scenarios: nothing is in flight while a wave's phases run, so
+    // the store-level oracles stay sound across every phase boundary.
+    let horizon_ms = spec.horizon.as_millis() as u64;
+    let mut reqs: Vec<ShardRequest> = Vec::new();
+    let mover = mover_key(base_n, grow_n);
+    let mut t = 20u64;
+    while t + 250 <= horizon_ms {
+        let quiet = waves.iter().any(|(w, _)| {
+            let w = w.as_millis() as u64;
+            t + 95 >= w && t <= w + 5
+        });
+        if !quiet {
+            let idx = reqs.len();
+            let key = if idx == 0 { mover.clone() } else { format!("k{idx}") };
+            reqs.push(ShardRequest {
+                key,
+                value: format!("v{idx}").into_bytes(),
+                at: ms(t),
+                acked: AtomicBool::new(false),
+            });
+        }
+        t += 40;
+    }
+
+    let shared = Arc::new(PlShared {
+        base_n,
+        max_n,
+        waves,
+        requests_q: Arc::new(Mutex::new(Default::default())),
+        replies_q: Arc::new(Mutex::new(Default::default())),
+        reqs,
+        stores: Mutex::new(Vec::new()),
+        cur_n: Mutex::new(base_n),
+        applied: Mutex::new(Vec::new()),
+        wave_log: Mutex::new(Vec::new()),
+        plan_bad: Mutex::new(None),
+        over_quiesce: Mutex::new(None),
+        homing: Mutex::new(None),
+        waves_fired: AtomicUsize::new(0),
+        waves_landed: AtomicUsize::new(0),
+        programs,
+    });
+
+    let mut exec = SimExecutor::new(SimConfig {
+        seed: spec.seed,
+        max_steps: spec.max_steps,
+        horizon: spec.horizon,
+        max_nested: 4,
+    });
+
+    for i in 0..shared.reqs.len() {
+        let sh = Arc::clone(&shared);
+        let at = shared.reqs[i].at;
+        exec.inject_at(at, &format!("request-{i}"), move |rt| {
+            let r = &sh.reqs[i];
+            {
+                let mut q = sh.requests_q.lock();
+                q.clear();
+                q.push_back(Command::Set(r.key.clone(), r.value.clone()));
+            }
+            let before = sh.replies_q.lock().len();
+            let deadline = rt.clock().now() + REQUEST_DEADLINE;
+            let _ = rt.invoke_deadline("Fnt", "junction", deadline);
+            if sh.replies_q.lock().len() > before {
+                r.acked.store(true, Ordering::SeqCst);
+            }
+        });
+    }
+
+    let fence = fence_enabled(spec);
+    for (w, (at, to_n)) in shared.waves.clone().into_iter().enumerate() {
+        let sh = Arc::clone(&shared);
+        let constraints = constraints.clone();
+        exec.inject_at(at, &format!("plan-wave-{}-to-{to_n}", w + 1), move |rt| {
+            let from_n = *sh.cur_n.lock();
+            if from_n == to_n {
+                return;
+            }
+            sh.waves_fired.fetch_add(1, Ordering::SeqCst);
+            let a = rt.current_program();
+            let b = &sh.programs[&to_n];
+
+            // The deliberate fence-off bug: a constraint-violating
+            // phase ordering (break-before-make, unbounded chunks)
+            // instead of the real planner. The plan-validity checker
+            // is the oracle that must catch it.
+            let plan = if fence {
+                match plan_reconfiguration(&a, b, &constraints) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        let mut bad = sh.plan_bad.lock();
+                        if bad.is_none() {
+                            *bad = Some(format!("wave {} unplannable: {e}", w + 1));
+                        }
+                        return;
+                    }
+                }
+            } else {
+                plan_break_before_make(&a, b, &constraints)
+            };
+
+            let verdict = csaw_semantics::check_plan(&a, b, &plan, &constraints);
+            if !verdict.is_valid() {
+                let mut bad = sh.plan_bad.lock();
+                if bad.is_none() {
+                    *bad = Some(format!(
+                        "wave {} plan invalid under max_concurrent_quiesce={}: {}",
+                        w + 1,
+                        constraints.max_concurrent_quiesce,
+                        verdict
+                    ));
+                }
+            }
+
+            // Execute even an invalid plan: break-before-make still
+            // converges to the right final architecture (nothing is in
+            // flight during the wave), so only the checker sees the
+            // hazard — exactly the bug class the oracle exists for.
+            let stores = sh.stores.lock().clone();
+            let (req_q, rep_q) = (Arc::clone(&sh.requests_q), Arc::clone(&sh.replies_q));
+            let report = rt.reconfigure_plan(&plan, |phase| {
+                let mut rs = ReconfigSpec::default();
+                for added in &phase.diff.added {
+                    let i: usize = added
+                        .strip_prefix("Bck")
+                        .and_then(|s| s.parse().ok())
+                        .expect("planned scenario only adds Bck shards");
+                    rs.apps.push((
+                        added.clone(),
+                        Box::new(ServerApp::with_store(Arc::clone(&stores[i - 1]))),
+                    ));
+                    rs.start.push((
+                        added.clone(),
+                        vec![(
+                            None,
+                            vec![
+                                Arg::Junction(JRef::qualified("Fnt", "junction")),
+                                Arg::Value(Value::Duration(FRONT_TIMEOUT)),
+                            ],
+                        )],
+                    ));
+                }
+                if phase.diff.changed.iter().any(|c| c.name == "Fnt") {
+                    let mut front = ShardFrontApp::new(ShardMode::ByKey, to_n);
+                    front.requests = Arc::clone(&req_q);
+                    front.replies = Arc::clone(&rep_q);
+                    rs.apps.push(("Fnt".to_string(), Box::new(front)));
+                    // Re-home the keyspace in the same phase that cuts
+                    // the routing over — the front is held, so no
+                    // request can race the redistribution.
+                    let mig = stores.clone();
+                    rs.migrate = Some(Box::new(move |ctx| {
+                        let (mut moved, mut bytes) = (0u64, 0u64);
+                        for idx in 0..mig.len() {
+                            let entries = mig[idx].lock().drain_entries();
+                            for (k, v) in entries {
+                                let home = shard_of(&k, to_n);
+                                if home != idx {
+                                    moved += 1;
+                                    bytes += v.len() as u64;
+                                }
+                                mig[home].lock().set(&k, v);
+                            }
+                        }
+                        ctx.note_moved(moved, bytes);
+                        Ok(())
+                    }));
+                }
+                rs
+            });
+
+            if report.max_phase_quiesce() > constraints.max_concurrent_quiesce {
+                let mut over = sh.over_quiesce.lock();
+                if over.is_none() {
+                    *over = Some(format!(
+                        "wave {} quiesced {} instances in one phase (bound {})",
+                        w + 1,
+                        report.max_phase_quiesce(),
+                        constraints.max_concurrent_quiesce
+                    ));
+                }
+            }
+
+            for target in report.installed_targets(&plan) {
+                sh.applied.lock().push(target.clone());
+            }
+            if report.ok() {
+                sh.waves_landed.fetch_add(1, Ordering::SeqCst);
+                *sh.cur_n.lock() = to_n;
+                sh.wave_log.lock().push(format!(
+                    "wave -> {to_n} shards in {} phases ok",
+                    report.phases.len()
+                ));
+                // Atomic post-wave snapshot: every durable scripted key
+                // sits at exactly its `shard_of(key, to_n)` home.
+                let mut viol = sh.homing.lock();
+                if viol.is_none() {
+                    'keys: for r in &sh.reqs {
+                        let homes: Vec<usize> = (0..sh.max_n)
+                            .filter(|i| stores[*i].lock().get(&r.key).is_some())
+                            .collect();
+                        if homes.is_empty() {
+                            continue;
+                        }
+                        let home = shard_of(&r.key, to_n);
+                        if homes.len() > 1 {
+                            *viol = Some(format!(
+                                "key {} double-homed after planned re-homing to \
+                                 {to_n} shards: stores {:?}",
+                                r.key,
+                                homes.iter().map(|i| i + 1).collect::<Vec<_>>()
+                            ));
+                            break 'keys;
+                        }
+                        if homes[0] != home {
+                            *viol = Some(format!(
+                                "key {} homed at store {} instead of {} after \
+                                 planned re-homing to {to_n} shards",
+                                r.key,
+                                homes[0] + 1,
+                                home + 1
+                            ));
+                            break 'keys;
+                        }
+                    }
+                }
+            } else {
+                sh.wave_log.lock().push(format!(
+                    "wave -> {to_n} shards FAILED at phase {:?}",
+                    report.error.as_ref().map(|(i, _)| i)
+                ));
+            }
+        });
+    }
+
+    let fresh = {
+        let sh = Arc::clone(&shared);
+        Box::new(move || {
+            sh.requests_q.lock().clear();
+            sh.replies_q.lock().clear();
+            for r in &sh.reqs {
+                r.acked.store(false, Ordering::SeqCst);
+            }
+            *sh.cur_n.lock() = sh.base_n;
+            sh.applied.lock().clear();
+            sh.wave_log.lock().clear();
+            *sh.plan_bad.lock() = None;
+            *sh.over_quiesce.lock() = None;
+            *sh.homing.lock() = None;
+            sh.waves_fired.store(0, Ordering::SeqCst);
+            sh.waves_landed.store(0, Ordering::SeqCst);
+
+            let rt = Runtime::new(
+                &sh.programs[&sh.base_n],
+                RuntimeConfig {
+                    default_link: LinkKind::Sim { latency: ms(1), bandwidth: 0 },
+                    clock: Clock::simulated(),
+                    ..RuntimeConfig::default()
+                },
+            );
+            rt.set_tracing(true);
+            let mut front = ShardFrontApp::new(ShardMode::ByKey, sh.base_n);
+            front.requests = Arc::clone(&sh.requests_q);
+            front.replies = Arc::clone(&sh.replies_q);
+            rt.bind_app("Fnt", Box::new(front));
+            let mut stores = Vec::new();
+            for i in 1..=sh.max_n {
+                let store = Arc::new(Mutex::new(Store::new()));
+                stores.push(Arc::clone(&store));
+                if i <= sh.base_n {
+                    rt.bind_app(&format!("Bck{i}"), Box::new(ServerApp::with_store(store)));
+                }
+            }
+            *sh.stores.lock() = stores;
+            rt.set_policy("Fnt", "junction", Policy::OnDemand);
+            rt.run_main(vec![Value::Duration(FRONT_TIMEOUT)]).unwrap();
+            // No link chaos, for the same FIFO reason as the sharded
+            // scenarios.
+            rt
+        }) as Box<dyn Fn() -> Runtime>
+    };
+
+    let check = {
+        let sh = Arc::clone(&shared);
+        Box::new(move |rt: &Runtime, out: &SimOutcome| -> Verdict {
+            let stores = sh.stores.lock();
+            let applied = sh.applied.lock();
+
+            // Plan-validity and quiesce-bound oracles take precedence:
+            // they are what this scenario exists to judge.
+            let mut failure: Option<String> = sh
+                .plan_bad
+                .lock()
+                .clone()
+                .or_else(|| sh.over_quiesce.lock().clone())
+                .or_else(|| sh.homing.lock().clone());
+
+            if failure.is_none() {
+                for r in &sh.reqs {
+                    let homes: Vec<usize> = (0..sh.max_n)
+                        .filter(|i| stores[*i].lock().get(&r.key).is_some())
+                        .collect();
+                    if homes.len() > 1 {
+                        failure = Some(format!(
+                            "key {} double-homed at horizon: stores {:?}",
+                            r.key,
+                            homes.iter().map(|i| i + 1).collect::<Vec<_>>()
+                        ));
+                        break;
+                    }
+                }
+            }
+
+            let ok_acks =
+                sh.replies_q.lock().iter().filter(|r| matches!(r, Reply::Ok)).count();
+            let durable = sh
+                .reqs
+                .iter()
+                .filter(|r| {
+                    (0..sh.max_n)
+                        .any(|i| stores[i].lock().get(&r.key).is_some_and(|v| v == r.value))
+                })
+                .count();
+            let lost_acked = ok_acks.saturating_sub(durable);
+            let acked =
+                sh.reqs.iter().filter(|r| r.acked.load(Ordering::SeqCst)).count();
+            let held_at_end = rt.held_instances().len();
+            let fenced_sends = rt.link_stats().fenced;
+            let jsonl = rt.trace_jsonl();
+            let dropped = rt.trace_dropped();
+
+            // One epoch per installed phase: conformance is judged at
+            // every phase boundary.
+            let mut chain: Vec<&CompiledProgram> = vec![&sh.programs[&sh.base_n]];
+            for target in applied.iter() {
+                chain.push(target);
+            }
+            let conformance = check_repair_chain(&jsonl, dropped, &chain, false);
+            let waves_fired = sh.waves_fired.load(Ordering::SeqCst);
+            let waves_landed = sh.waves_landed.load(Ordering::SeqCst);
+            let repair_ok = waves_landed == waves_fired;
+            let repairs = sh.wave_log.lock().clone();
+
+            let failure = failure
+                .or_else(|| {
+                    (lost_acked > 0).then(|| {
+                        format!(
+                            "lost {lost_acked} acked write(s): {ok_acks} OK acks, \
+                             {durable} durable keys"
+                        )
+                    })
+                })
+                .or_else(|| {
+                    (held_at_end > 0).then(|| format!("{held_at_end} instance(s) left held"))
+                })
+                .or_else(|| {
+                    (!conformance.ok).then(|| format!("conformance: {}", conformance.detail))
+                })
+                .or_else(|| {
+                    (!out.truncated && !repair_ok).then(|| {
+                        format!("only {waves_landed}/{waves_fired} planner waves landed")
                     })
                 });
             Verdict {

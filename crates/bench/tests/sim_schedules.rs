@@ -79,13 +79,14 @@ fn sweep_reconfigure_during_repair_stays_green() {
 #[test]
 fn sweep_new_scenarios_stay_green() {
     let base = env_seed(2000);
-    let scenarios = [Scenario::Reshard, Scenario::Restore, Scenario::Churn];
+    let scenarios =
+        [Scenario::Reshard, Scenario::Restore, Scenario::Churn, Scenario::Planned];
     let grid = [(1, 1), (2, 2), (3, 1), (1, 3), (4, 2), (2, 3)];
     let mut acked_total = 0usize;
     for i in 0..SWEEP {
         let seed = base + i;
-        let scenario = scenarios[(i % 3) as usize];
-        let (n, k) = grid[((i / 3) % grid.len() as u64) as usize];
+        let scenario = scenarios[(i % 4) as usize];
+        let (n, k) = grid[((i / 4) % grid.len() as u64) as usize];
         let out = run_schedule(&ScheduleSpec::new(scenario, n, k, seed));
         assert!(
             out.failure.is_none(),
@@ -127,6 +128,7 @@ fn same_seed_traces_are_byte_identical_per_scenario() {
         (Scenario::Reshard, 2, 1),
         (Scenario::Restore, 2, 2),
         (Scenario::Churn, 1, 2),
+        (Scenario::Planned, 2, 1),
     ] {
         let spec = ScheduleSpec::new(scenario, n, k, 17);
         let a = run_schedule(&spec);
@@ -155,6 +157,7 @@ fn every_scenario_catches_its_fence_off_bug() {
         (Scenario::Reshard, 1, 1, 1, "double-homed"),
         (Scenario::Restore, 1, 1, 1, "crash recovery never completed"),
         (Scenario::Churn, 1, 1, 1, "double-homed"),
+        (Scenario::Planned, 1, 1, 1, "plan invalid"),
     ] {
         let spec = ScheduleSpec::new(scenario, n, k, seed).with_fence_off();
         let out = run_schedule(&spec);
@@ -219,6 +222,7 @@ fn feature_gate_forces_every_bug_on() {
         (Scenario::Reshard, "double-homed"),
         (Scenario::Restore, "crash recovery never completed"),
         (Scenario::Churn, "double-homed"),
+        (Scenario::Planned, "plan invalid"),
     ] {
         let seed = if scenario == Scenario::Failover { 3 } else { 1 };
         let out = run_schedule(&ScheduleSpec::new(scenario, 1, 1, seed));

@@ -10,6 +10,8 @@
 //! shard-count change that alters a `For`-expanded fan-out shows up even
 //! when the source text of the type is unchanged.
 
+use std::collections::BTreeMap;
+
 use crate::program::{CompiledInstance, CompiledProgram, JunctionDef};
 
 /// How one junction of a retained instance changed.
@@ -93,6 +95,67 @@ impl ProgramDiff {
     pub fn footprint_len(&self) -> usize {
         self.added.len() + self.removed.len() + self.changed.len()
     }
+
+    /// Per-instance net effect of this diff alone — the single-diff
+    /// case of [`compose_diffs`], for comparing a full diff against a
+    /// composed phase sequence.
+    pub fn net_changes(&self) -> BTreeMap<String, NetChange> {
+        compose_diffs(&[self])
+    }
+}
+
+/// Net per-instance effect of a (sequence of) diff(s) — what happened
+/// to the instance overall, ignoring intermediate states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetChange {
+    /// Absent before, present after.
+    Added,
+    /// Present before, absent after.
+    Removed,
+    /// Present throughout, but its expanded shape differs.
+    Changed,
+}
+
+/// Compose a sequence of diffs applied in order into per-instance net
+/// effects. A planner splits one A→B diff into phased diffs; this folds
+/// the phases back so tests can assert they cover exactly the full diff
+/// (`compose_diffs(&phase_diffs) == full.net_changes()`). An instance
+/// added then removed mid-sequence folds to no net effect; removed then
+/// re-added folds to [`NetChange::Changed`].
+pub fn compose_diffs(diffs: &[&ProgramDiff]) -> BTreeMap<String, NetChange> {
+    let mut net: BTreeMap<String, NetChange> = BTreeMap::new();
+    for d in diffs {
+        for n in &d.added {
+            match net.get(n) {
+                Some(NetChange::Removed) => {
+                    net.insert(n.clone(), NetChange::Changed);
+                }
+                Some(_) => {}
+                None => {
+                    net.insert(n.clone(), NetChange::Added);
+                }
+            }
+        }
+        for n in &d.removed {
+            match net.get(n) {
+                Some(NetChange::Added) => {
+                    net.remove(n);
+                }
+                _ => {
+                    net.insert(n.clone(), NetChange::Removed);
+                }
+            }
+        }
+        for c in &d.changed {
+            match net.get(&c.name) {
+                Some(NetChange::Added) => {}
+                _ => {
+                    net.insert(c.name.clone(), NetChange::Changed);
+                }
+            }
+        }
+    }
+    net
 }
 
 fn diff_instance(a: &CompiledInstance, b: &CompiledInstance) -> InstanceDiff {
@@ -238,6 +301,37 @@ mod tests {
             .junctions
             .contains(&("fresh".to_string(), JunctionChange::Added)));
         assert!(!id.junctions.iter().any(|(n, _)| n == "c"));
+    }
+
+    #[test]
+    fn compose_folds_phase_diffs_to_net_effect() {
+        let a = compiled(vec![("f", "T", vec![j("c", Expr::Skip)]), ("old", "T", vec![])]);
+        let mid = compiled(vec![
+            ("f", "T", vec![j("c", Expr::Skip)]),
+            ("old", "T", vec![]),
+            ("new", "T", vec![]),
+        ]);
+        let b = compiled(vec![
+            ("f", "T", vec![j("c", Expr::Seq(vec![Expr::Skip, Expr::Return]))]),
+            ("new", "T", vec![]),
+        ]);
+        let d1 = diff_programs(&a, &mid);
+        let d2 = diff_programs(&mid, &b);
+        assert_eq!(compose_diffs(&[&d1, &d2]), diff_programs(&a, &b).net_changes());
+    }
+
+    #[test]
+    fn compose_cancels_add_then_remove() {
+        let a = compiled(vec![("f", "T", vec![])]);
+        let mid = compiled(vec![("f", "T", vec![]), ("tmp", "T", vec![])]);
+        let d1 = diff_programs(&a, &mid);
+        let d2 = diff_programs(&mid, &a);
+        assert!(compose_diffs(&[&d1, &d2]).is_empty());
+        // Removed then re-added folds to Changed (state was lost).
+        assert_eq!(
+            compose_diffs(&[&d2, &d1]).get("tmp"),
+            Some(&NetChange::Changed)
+        );
     }
 
     #[test]

@@ -35,17 +35,21 @@ pub mod expr;
 pub mod formula;
 pub mod macros;
 pub mod names;
+pub mod plan;
 pub mod pretty;
 pub mod program;
 pub mod validate;
 pub mod value;
 
 pub use decl::{Decl, Param, ParamKind};
-pub use diff::{diff_programs, InstanceDiff, JunctionChange, ProgramDiff};
+pub use diff::{compose_diffs, diff_programs, InstanceDiff, JunctionChange, NetChange, ProgramDiff};
 pub use error::{CoreError, CoreResult};
 pub use expr::{Arg, CaseArm, CaseGuard, Expr, ForOp, Terminator};
 pub use formula::Formula;
 pub use names::{Ident, JRef, NameRef, PropRef, SetElem, SetRef};
+pub use plan::{
+    plan_break_before_make, plan_reconfiguration, Plan, PlanConstraints, PlanError, PlanPhase,
+};
 pub use program::{
     CompiledInstance, CompiledProgram, FuncDef, InstanceType, JunctionDef, LoadConfig, MainDef,
     Program,

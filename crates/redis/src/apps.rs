@@ -132,12 +132,9 @@ impl InstanceApp for ServerApp {
 // Shard front-end
 // ---------------------------------------------------------------------
 
-/// The sharding front-end: `Choose()` routes the pending command.
-pub struct ShardFrontApp {
-    /// Incoming client requests.
-    pub requests: RequestQueue,
-    /// Outgoing replies.
-    pub replies: ReplyQueue,
+/// The routing half of a shard front-end, shared by [`ShardFrontApp`]
+/// and [`CachedShardFrontApp`].
+struct Router {
     mode: ShardMode,
     n_backends: usize,
     backend_prefix: String,
@@ -146,33 +143,26 @@ pub struct ShardFrontApp {
     /// shard re-homing repair the survivor set (`[Bck1, Bck3]`) is not
     /// expressible as prefix + contiguous index.
     backends: Option<Vec<String>>,
-    current: Option<Command>,
     /// "a custom table that maps keys to object sizes" (§5.2).
     size_table: HashMap<String, usize>,
 }
 
-impl ShardFrontApp {
-    /// Build a front-end for `n_backends` shards.
-    pub fn new(mode: ShardMode, n_backends: usize) -> ShardFrontApp {
-        ShardFrontApp {
-            requests: Arc::new(Mutex::new(VecDeque::new())),
-            replies: Arc::new(Mutex::new(VecDeque::new())),
+impl Router {
+    fn new(mode: ShardMode, n_backends: usize) -> Router {
+        Router {
             mode,
             n_backends,
             backend_prefix: "Bck".into(),
             backends: None,
-            current: None,
             size_table: HashMap::new(),
         }
     }
 
-    /// Build a front-end sharding over an explicit backend list (the
-    /// survivor set after a re-homing repair).
-    pub fn over(mode: ShardMode, backends: Vec<String>) -> ShardFrontApp {
-        ShardFrontApp {
+    fn over(mode: ShardMode, backends: Vec<String>) -> Router {
+        Router {
             n_backends: backends.len(),
             backends: Some(backends),
-            ..ShardFrontApp::new(mode, 0)
+            ..Router::new(mode, 0)
         }
     }
 
@@ -193,6 +183,45 @@ impl ShardFrontApp {
             }
         }
     }
+
+    fn target(&mut self, cmd: &Command) -> String {
+        let shard = self.route(cmd);
+        match &self.backends {
+            Some(names) => names[shard].clone(),
+            None => format!("{}{}", self.backend_prefix, shard + 1),
+        }
+    }
+}
+
+/// The sharding front-end: `Choose()` routes the pending command.
+pub struct ShardFrontApp {
+    /// Incoming client requests.
+    pub requests: RequestQueue,
+    /// Outgoing replies.
+    pub replies: ReplyQueue,
+    router: Router,
+    current: Option<Command>,
+}
+
+impl ShardFrontApp {
+    /// Build a front-end for `n_backends` shards.
+    pub fn new(mode: ShardMode, n_backends: usize) -> ShardFrontApp {
+        ShardFrontApp {
+            requests: Arc::new(Mutex::new(VecDeque::new())),
+            replies: Arc::new(Mutex::new(VecDeque::new())),
+            router: Router::new(mode, n_backends),
+            current: None,
+        }
+    }
+
+    /// Build a front-end sharding over an explicit backend list (the
+    /// survivor set after a re-homing repair).
+    pub fn over(mode: ShardMode, backends: Vec<String>) -> ShardFrontApp {
+        ShardFrontApp {
+            router: Router::over(mode, backends),
+            ..ShardFrontApp::new(mode, 0)
+        }
+    }
 }
 
 impl InstanceApp for ShardFrontApp {
@@ -203,12 +232,8 @@ impl InstanceApp for ShardFrontApp {
                 .lock()
                 .pop_front()
                 .ok_or("no pending request")?;
-            let shard = self.route(&cmd);
+            let target = self.router.target(&cmd);
             self.current = Some(cmd);
-            let target = match &self.backends {
-                Some(names) => names[shard].clone(),
-                None => format!("{}{}", self.backend_prefix, shard + 1),
-            };
             ctx.set_idx("tgt", &target)?;
         }
         Ok(())
@@ -231,6 +256,146 @@ impl InstanceApp for ShardFrontApp {
                 Ok(())
             }
             other => Err(format!("shard-front: unexpected restore({other})")),
+        }
+    }
+}
+
+/// The cache-fronted shard front-end (`csaw_arch::sharding::
+/// sharding_cached`): Fig. 7's memoizing cache merged into the Fig. 5
+/// router. Pure reads are served from the in-process cache when
+/// possible; misses and writes route to a shard, and fresh read
+/// replies are memoized on the way back. Writes invalidate.
+///
+/// This is the autoscaler's cache-tier target app: when the read
+/// fraction crosses the high watermark, the planner swaps the plain
+/// [`ShardFrontApp`] front-end for this one in a single-quiesce phase.
+pub struct CachedShardFrontApp {
+    /// Incoming client requests.
+    pub requests: RequestQueue,
+    /// Outgoing replies.
+    pub replies: ReplyQueue,
+    /// Cache hits.
+    pub hits: Arc<AtomicU64>,
+    /// Cache misses.
+    pub misses: Arc<AtomicU64>,
+    router: Router,
+    cache: HashMap<String, Reply>,
+    capacity: usize,
+    current: Option<Command>,
+    fresh: Option<Reply>,
+}
+
+impl CachedShardFrontApp {
+    /// Build for `n_backends` shards with a bounded cache.
+    pub fn new(mode: ShardMode, n_backends: usize, capacity: usize) -> CachedShardFrontApp {
+        CachedShardFrontApp {
+            requests: Arc::new(Mutex::new(VecDeque::new())),
+            replies: Arc::new(Mutex::new(VecDeque::new())),
+            hits: Arc::new(AtomicU64::new(0)),
+            misses: Arc::new(AtomicU64::new(0)),
+            router: Router::new(mode, n_backends),
+            cache: HashMap::new(),
+            capacity,
+            current: None,
+            fresh: None,
+        }
+    }
+
+    /// Build over an explicit backend list.
+    pub fn over(mode: ShardMode, backends: Vec<String>, capacity: usize) -> CachedShardFrontApp {
+        CachedShardFrontApp {
+            router: Router::over(mode, backends),
+            ..CachedShardFrontApp::new(mode, 0, capacity)
+        }
+    }
+}
+
+impl InstanceApp for CachedShardFrontApp {
+    fn host_call(&mut self, name: &str, ctx: &mut HostCtx<'_>) -> Result<(), String> {
+        match name {
+            "CheckCacheable" => {
+                let cmd = self
+                    .requests
+                    .lock()
+                    .pop_front()
+                    .ok_or("no pending request")?;
+                let cacheable = !cmd.is_write();
+                if cmd.is_write() {
+                    if let Some(k) = cmd.key() {
+                        self.cache.remove(k);
+                    }
+                }
+                self.current = Some(cmd);
+                self.fresh = None;
+                ctx.set_prop("Cacheable", cacheable)?;
+                Ok(())
+            }
+            "LookupCache" => {
+                let key = self
+                    .current
+                    .as_ref()
+                    .and_then(|c| c.key())
+                    .ok_or("no key to look up")?
+                    .to_string();
+                if let Some(reply) = self.cache.get(&key) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.replies.lock().push_back(reply.clone());
+                    ctx.set_prop("Cached", true)?;
+                } else {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    ctx.set_prop("Cached", false)?;
+                }
+                Ok(())
+            }
+            // The miss arm routes like the plain front-end — but the
+            // command was already pulled by `CheckCacheable`.
+            "Choose" => {
+                let cmd = self.current.clone().ok_or("no current command")?;
+                let target = self.router.target(&cmd);
+                ctx.set_idx("tgt", &target)?;
+                Ok(())
+            }
+            "UpdateCache" => {
+                if self.capacity == 0 {
+                    return Ok(());
+                }
+                let key = self
+                    .current
+                    .as_ref()
+                    .and_then(|c| c.key())
+                    .ok_or("no key to cache")?
+                    .to_string();
+                let reply = self.fresh.clone().ok_or("no fresh value")?;
+                if self.cache.len() >= self.capacity {
+                    if let Some(k) = self.cache.keys().next().cloned() {
+                        self.cache.remove(&k);
+                    }
+                }
+                self.cache.insert(key, reply);
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    fn save(&mut self, key: &str) -> Result<Value, String> {
+        match key {
+            "n" => Ok(Value::Bytes(
+                self.current.as_ref().ok_or("no current command")?.encode(),
+            )),
+            other => Err(format!("cached-shard-front: unexpected save({other})")),
+        }
+    }
+
+    fn restore(&mut self, key: &str, value: &Value) -> Result<(), String> {
+        match key {
+            "m" => {
+                let reply = Reply::decode(value.as_bytes().ok_or("expected bytes")?)?;
+                self.fresh = Some(reply.clone());
+                self.replies.lock().push_back(reply);
+                Ok(())
+            }
+            other => Err(format!("cached-shard-front: unexpected restore({other})")),
         }
     }
 }
@@ -615,6 +780,55 @@ mod tests {
             let mut ctx = HostCtx::new(&mut t, &writes, "Cache", "j");
             app.host_call("CheckCacheable", &mut ctx).unwrap();
             assert_eq!(ctx.prop("Cacheable"), Some(false));
+        }
+        assert!(app.cache.is_empty());
+    }
+
+    #[test]
+    fn cached_shard_front_protocol() {
+        let mut app = CachedShardFrontApp::new(ShardMode::ByKey, 4, 100);
+        let mut t = table();
+        let writes = vec!["Cacheable".into(), "Cached".into(), "tgt".to_string()];
+        let expected = format!("Bck{}", shard_of("k", 4) + 1);
+        // Miss: classify, look up (miss), route to a shard.
+        app.requests.lock().push_back(Command::Get("k".into()));
+        {
+            let mut ctx = HostCtx::new(&mut t, &writes, "Fnt", "junction");
+            app.host_call("CheckCacheable", &mut ctx).unwrap();
+            assert_eq!(ctx.prop("Cacheable"), Some(true));
+            app.host_call("LookupCache", &mut ctx).unwrap();
+            assert_eq!(ctx.prop("Cached"), Some(false));
+            app.host_call("Choose", &mut ctx).unwrap();
+            assert_eq!(ctx.idx("tgt"), Some(expected.as_str()));
+        }
+        // Shard reply comes back; memoize it.
+        app.restore("m", &Value::Bytes(Reply::Bulk(b"v".to_vec()).encode()))
+            .unwrap();
+        {
+            let mut ctx = HostCtx::new(&mut t, &writes, "Fnt", "junction");
+            app.host_call("UpdateCache", &mut ctx).unwrap();
+        }
+        // Hit: served locally, no routing needed.
+        app.requests.lock().push_back(Command::Get("k".into()));
+        {
+            let mut ctx = HostCtx::new(&mut t, &writes, "Fnt", "junction");
+            app.host_call("CheckCacheable", &mut ctx).unwrap();
+            app.host_call("LookupCache", &mut ctx).unwrap();
+            assert_eq!(ctx.prop("Cached"), Some(true));
+        }
+        assert_eq!(app.hits.load(Ordering::Relaxed), 1);
+        assert_eq!(app.misses.load(Ordering::Relaxed), 1);
+        assert_eq!(app.replies.lock().len(), 2);
+        // A write invalidates and routes (writes are never cacheable).
+        app.requests
+            .lock()
+            .push_back(Command::Set("k".into(), b"2".to_vec()));
+        {
+            let mut ctx = HostCtx::new(&mut t, &writes, "Fnt", "junction");
+            app.host_call("CheckCacheable", &mut ctx).unwrap();
+            assert_eq!(ctx.prop("Cacheable"), Some(false));
+            app.host_call("Choose", &mut ctx).unwrap();
+            assert_eq!(ctx.idx("tgt"), Some(expected.as_str()));
         }
         assert!(app.cache.is_empty());
     }

@@ -1,0 +1,548 @@
+//! Metrics-driven autoscaling: close the loop from the metrics
+//! registry back into planned reconfigurations.
+//!
+//! The supervisor reacts to *failures*; the autoscaler reacts to
+//! *load*. A monitor thread samples two gauges from the runtime's
+//! [`crate::trace::Metrics`] registry — the offered request rate and
+//! the read fraction — and derives a desired [`AutoscaleGoal`]: how
+//! many shards the backend set should have and whether a cache tier
+//! should sit in front of it. Goal changes are debounced through the
+//! supervisor's factored-out anti-flapping machinery
+//! ([`crate::supervisor::AntiFlap`]): a desired goal must persist
+//! `confirm_polls` consecutive samples before it fires, and after a
+//! transition the loop holds fire for `cooldown` — a noisy minute at
+//! the split watermark cannot saw the system back and forth.
+//!
+//! When a goal confirms, the loop asks the caller-supplied
+//! [`AutoscaleDriver`] for the compiled program realizing it, plans the
+//! transition under the configured [`PlanConstraints`] via
+//! `csaw_core::plan::plan_reconfiguration`, lets the driver *validate*
+//! the plan (the bench installs `csaw-semantics::check_plan` here —
+//! the runtime crate deliberately does not depend on the semantics
+//! crate), and executes it phase by phase through
+//! [`crate::Runtime::reconfigure_plan`]. Every installed phase target
+//! is recorded in cut order, so a trace spanning the autoscaler's
+//! lifetime checks as one epoch chain.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use csaw_core::plan::{plan_reconfiguration, Plan, PlanConstraints, PlanPhase};
+use csaw_core::program::CompiledProgram;
+
+use crate::planner::PlanReport;
+use crate::reconfig::ReconfigSpec;
+use crate::runtime::Runtime;
+use crate::supervisor::AntiFlap;
+
+/// What the autoscaler wants the architecture to look like.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AutoscaleGoal {
+    /// Number of backend shards.
+    pub shards: usize,
+    /// Whether a cache tier fronts the shards.
+    pub cache: bool,
+}
+
+/// Autoscaler tuning: which gauges to read, where the watermarks sit,
+/// and how aggressively to debounce.
+#[derive(Clone)]
+pub struct AutoscaleConfig {
+    /// Sampling period.
+    pub poll: Duration,
+    /// Gauge holding the offered request rate (requests/second).
+    pub rate_gauge: String,
+    /// Gauge holding the read fraction of the offered load (0..=1).
+    pub read_fraction_gauge: String,
+    /// Split when per-shard rate exceeds this (requests/second/shard).
+    pub split_above: f64,
+    /// Merge when per-shard rate falls below this. Keep well under
+    /// `split_above / 2`: after a 2× split the per-shard rate halves,
+    /// so a merge watermark above half the split watermark oscillates.
+    pub merge_below: f64,
+    /// Insert the cache tier when the read fraction reaches this.
+    pub cache_above: f64,
+    /// Remove the cache tier when the read fraction falls below this.
+    pub cache_below: f64,
+    /// Consecutive samples a changed goal must persist before a
+    /// transition fires (hysteresis).
+    pub confirm_polls: u32,
+    /// Hold-fire window after each transition (anti-flapping).
+    pub cooldown: Duration,
+    /// Smallest shard count the scaler will merge down to.
+    pub min_shards: usize,
+    /// Largest shard count the scaler will split up to.
+    pub max_shards: usize,
+    /// Constraints every planned transition must satisfy.
+    pub constraints: PlanConstraints,
+}
+
+impl Default for AutoscaleConfig {
+    fn default() -> AutoscaleConfig {
+        AutoscaleConfig {
+            poll: Duration::from_millis(50),
+            rate_gauge: "offered_rate".into(),
+            read_fraction_gauge: "read_fraction".into(),
+            split_above: 100_000.0,
+            merge_below: 30_000.0,
+            cache_above: 0.8,
+            cache_below: 0.5,
+            confirm_polls: 2,
+            cooldown: Duration::from_millis(500),
+            min_shards: 2,
+            max_shards: 8,
+            constraints: PlanConstraints::max_quiesce(1),
+        }
+    }
+}
+
+/// The application half of the autoscaler: how a goal becomes a
+/// program, how each plan phase gets its spec, and (optionally) an
+/// independent plan validator.
+pub trait AutoscaleDriver: Send + Sync {
+    /// The compiled program realizing `goal`.
+    fn program(&self, goal: &AutoscaleGoal) -> Result<CompiledProgram, String>;
+
+    /// The [`ReconfigSpec`] for one phase of the plan toward `goal`:
+    /// apps and starts for the phase's added instances, the migration
+    /// closure for the phase that re-homes application state.
+    fn phase_spec(&self, goal: &AutoscaleGoal, phase: &PlanPhase) -> ReconfigSpec;
+
+    /// Judge a plan before execution. The default accepts everything;
+    /// install `csaw-semantics::plan_check::check_plan` here to refuse
+    /// constraint-violating plans (the runtime crate does not depend on
+    /// the semantics crate, so the checker arrives by injection).
+    fn validate(
+        &self,
+        _from: &CompiledProgram,
+        _to: &CompiledProgram,
+        _plan: &Plan,
+    ) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// Why a confirmed goal did not execute.
+#[derive(Clone, Debug)]
+pub enum ScaleError {
+    /// The driver could not build a program for the goal.
+    Program(String),
+    /// The planner rejected the transition under the constraints.
+    Plan(String),
+    /// The driver's validator refused the plan.
+    Validation(String),
+    /// Plan execution stopped at a phase (index, failure description).
+    Execution(usize, String),
+}
+
+/// One autoscaler transition, fired or failed.
+#[derive(Clone, Debug)]
+pub struct ScaleRecord {
+    /// Monotonic id.
+    pub id: u64,
+    /// Goal before the transition.
+    pub from: AutoscaleGoal,
+    /// Goal the transition drove toward.
+    pub to: AutoscaleGoal,
+    /// The gauge readings that confirmed the goal (rate, read fraction).
+    pub observed: (f64, f64),
+    /// Number of phases the plan had.
+    pub phases: usize,
+    /// Largest per-phase quiesce set the execution used.
+    pub max_phase_quiesce: usize,
+    /// Per-phase execution report (pauses, timings, migration counts).
+    pub report: Option<PlanReport>,
+    /// Why the transition failed, if it did.
+    pub error: Option<ScaleError>,
+    /// When the transition fired.
+    pub at: Instant,
+}
+
+impl ScaleRecord {
+    /// Whether the transition completed cleanly.
+    pub fn ok(&self) -> bool {
+        self.error.is_none()
+    }
+
+    /// Short label for logs: `split`/`merge`/`cache_in`/`cache_out`.
+    pub fn kind(&self) -> &'static str {
+        if self.to.shards > self.from.shards {
+            "split"
+        } else if self.to.shards < self.from.shards {
+            "merge"
+        } else if self.to.cache && !self.from.cache {
+            "cache_in"
+        } else if !self.to.cache && self.from.cache {
+            "cache_out"
+        } else {
+            "noop"
+        }
+    }
+}
+
+/// Lifetime counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AutoscaleStats {
+    /// Gauge samples taken.
+    pub samples: u64,
+    /// Goal changes confirmed past hysteresis.
+    pub confirmed: u64,
+    /// Confirmed goals suppressed by the cooldown window.
+    pub suppressed: u64,
+    /// Transitions executed cleanly.
+    pub transitions: u64,
+    /// Transitions that failed (plan, validation or execution).
+    pub failed: u64,
+}
+
+#[derive(Default)]
+struct Shared {
+    stop: AtomicBool,
+    next_id: AtomicU64,
+    records: Mutex<Vec<ScaleRecord>>,
+    stats: Mutex<AutoscaleStats>,
+    /// Phase targets installed by clean transitions, in cut order.
+    programs: Mutex<Vec<CompiledProgram>>,
+    goal: Mutex<Option<AutoscaleGoal>>,
+}
+
+/// Handle to a running autoscaler (returned by
+/// [`Runtime::autoscale`]). Stop it explicitly or let runtime shutdown
+/// end the monitor thread.
+pub struct Autoscaler {
+    shared: Arc<Shared>,
+    clock: crate::clock::Clock,
+}
+
+impl Autoscaler {
+    /// Ask the monitor thread to exit after its current sample.
+    pub fn stop(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.clock.interrupt_sleepers();
+    }
+
+    /// Snapshot of every transition so far.
+    pub fn records(&self) -> Vec<ScaleRecord> {
+        self.shared.records.lock().clone()
+    }
+
+    /// Snapshot of the lifetime counters.
+    pub fn stats(&self) -> AutoscaleStats {
+        *self.shared.stats.lock()
+    }
+
+    /// The goal the system currently embodies.
+    pub fn goal(&self) -> Option<AutoscaleGoal> {
+        *self.shared.goal.lock()
+    }
+
+    /// Phase targets clean transitions installed, in cut order — with
+    /// the boot program, the epoch chain for cross-epoch conformance.
+    pub fn programs(&self) -> Vec<CompiledProgram> {
+        self.shared.programs.lock().clone()
+    }
+}
+
+impl Runtime {
+    /// Start the metrics-driven autoscaler: samples the configured
+    /// gauges every `config.poll`, debounces desired-goal changes, and
+    /// drives confirmed changes through planned, phased
+    /// reconfigurations. `initial` must describe the architecture the
+    /// runtime is currently serving.
+    ///
+    /// The monitor thread joins on [`Runtime::shutdown`]; use the
+    /// returned [`Autoscaler`] to stop earlier or to read records.
+    /// Under a simulated clock no thread is spawned and the autoscaler
+    /// never fires — the sim scenario family drives the planner
+    /// directly through [`Runtime::reconfigure_plan`] instead.
+    pub fn autoscale(
+        &self,
+        config: AutoscaleConfig,
+        initial: AutoscaleGoal,
+        driver: Arc<dyn AutoscaleDriver>,
+    ) -> Autoscaler {
+        let shared = Arc::new(Shared::default());
+        *shared.goal.lock() = Some(initial);
+        let clock = self.inner.clock().clone();
+        let core = AutoscaleCore {
+            rt: self.handle(),
+            config,
+            shared: Arc::clone(&shared),
+            driver,
+            flap: AntiFlap::new(0, Duration::ZERO), // rebuilt in run()
+        };
+        if !clock.is_simulated() {
+            let handle = std::thread::Builder::new()
+                .name("csaw-autoscaler".into())
+                .spawn(move || core.run())
+                .expect("spawn autoscaler monitor");
+            self.threads.lock().push(handle);
+        }
+        Autoscaler { shared, clock }
+    }
+}
+
+/// The goal the watermarks ask for under the observed load. Scale
+/// decisions are relative to the current goal: split doubles, merge
+/// halves (clamped), so repeated confirmation walks the shard count
+/// geometrically rather than jumping. The cache decision has a
+/// hysteresis band: between `cache_below` and `cache_above` the current
+/// state is kept.
+pub fn desired_goal(
+    config: &AutoscaleConfig,
+    cur: AutoscaleGoal,
+    rate: f64,
+    read_frac: f64,
+) -> AutoscaleGoal {
+    let per_shard = rate / cur.shards.max(1) as f64;
+    let shards = if per_shard > config.split_above && cur.shards < config.max_shards {
+        (cur.shards * 2).min(config.max_shards)
+    } else if per_shard < config.merge_below && cur.shards > config.min_shards {
+        (cur.shards / 2).max(config.min_shards)
+    } else {
+        cur.shards
+    };
+    let cache = if read_frac >= config.cache_above {
+        true
+    } else if read_frac <= config.cache_below {
+        false
+    } else {
+        cur.cache
+    };
+    AutoscaleGoal { shards, cache }
+}
+
+struct AutoscaleCore {
+    rt: Runtime,
+    config: AutoscaleConfig,
+    shared: Arc<Shared>,
+    driver: Arc<dyn AutoscaleDriver>,
+    flap: AntiFlap<AutoscaleGoal>,
+}
+
+impl AutoscaleCore {
+    fn stopped(&self) -> bool {
+        self.rt.inner.shutdown.load(Ordering::SeqCst)
+            || self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    fn run(mut self) {
+        self.flap = AntiFlap::new(self.config.confirm_polls, self.config.cooldown);
+        let clock = self.rt.inner.clock().clone();
+        let inner = Arc::clone(&self.rt.inner);
+        let shared = Arc::clone(&self.shared);
+        loop {
+            if self.stopped() {
+                break;
+            }
+            self.sample_once();
+            let deadline = clock.now() + self.config.poll;
+            if !clock.sleep_until_interruptible(deadline, &mut || {
+                inner.shutdown.load(Ordering::SeqCst) || shared.stop.load(Ordering::SeqCst)
+            }) {
+                break;
+            }
+        }
+    }
+
+    fn sample_once(&mut self) {
+        let clock = self.rt.inner.clock().clone();
+        let now = clock.now();
+        self.shared.stats.lock().samples += 1;
+        let metrics = self.rt.metrics();
+        let rate = metrics.gauge_value(&self.config.rate_gauge);
+        let read_frac = metrics.gauge_value(&self.config.read_fraction_gauge);
+        let Some(cur) = *self.shared.goal.lock() else { return };
+        let want = desired_goal(&self.config, cur, rate, read_frac);
+        let signal = (want != cur).then_some(want);
+        let Some(confirmed) = self.flap.observe("goal", signal, now) else {
+            return;
+        };
+        self.shared.stats.lock().confirmed += 1;
+        if self.flap.in_cooldown("goal", now) {
+            self.shared.stats.lock().suppressed += 1;
+            return;
+        }
+        self.execute(cur, confirmed.signal, (rate, read_frac), now);
+    }
+
+    fn execute(
+        &mut self,
+        from: AutoscaleGoal,
+        to: AutoscaleGoal,
+        observed: (f64, f64),
+        now: Instant,
+    ) {
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut record = ScaleRecord {
+            id,
+            from,
+            to,
+            observed,
+            phases: 0,
+            max_phase_quiesce: 0,
+            report: None,
+            error: None,
+            at: now,
+        };
+        let current = self.rt.current_program();
+        let fail = |record: &mut ScaleRecord, e: ScaleError| {
+            record.error = Some(e);
+        };
+        match self.driver.program(&to) {
+            Err(e) => fail(&mut record, ScaleError::Program(e)),
+            Ok(target) => {
+                match plan_reconfiguration(&current, &target, &self.config.constraints) {
+                    Err(e) => fail(&mut record, ScaleError::Plan(e.to_string())),
+                    Ok(plan) => {
+                        record.phases = plan.phases.len();
+                        if let Err(e) = self.driver.validate(&current, &target, &plan) {
+                            fail(&mut record, ScaleError::Validation(e));
+                        } else {
+                            self.rt.inner.record_event(
+                                "-",
+                                "-",
+                                "autoscale",
+                                format!(
+                                    "{}: {}→{} shards, cache {}→{} ({} phases)",
+                                    record.kind(),
+                                    from.shards,
+                                    to.shards,
+                                    from.cache,
+                                    to.cache,
+                                    plan.phases.len()
+                                ),
+                            );
+                            let driver = Arc::clone(&self.driver);
+                            let report = self
+                                .rt
+                                .reconfigure_plan(&plan, |phase| driver.phase_spec(&to, phase));
+                            record.max_phase_quiesce = report.max_phase_quiesce();
+                            if let Some((idx, f)) = &report.error {
+                                fail(
+                                    &mut record,
+                                    ScaleError::Execution(*idx, format!("{f:?}")),
+                                );
+                            } else {
+                                let mut programs = self.shared.programs.lock();
+                                for p in &plan.phases {
+                                    programs.push(p.target.clone());
+                                }
+                                *self.shared.goal.lock() = Some(to);
+                            }
+                            record.report = Some(report);
+                        }
+                    }
+                }
+            }
+        }
+        let ok = record.ok();
+        {
+            let mut stats = self.shared.stats.lock();
+            if ok {
+                stats.transitions += 1;
+            } else {
+                stats.failed += 1;
+            }
+        }
+        self.shared.records.lock().push(record);
+        // Cooldown starts whether or not the transition succeeded: a
+        // failing transition retried every poll would be its own storm.
+        self.flap.note_fired("goal", self.rt.inner.clock().now());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AutoscaleConfig {
+        AutoscaleConfig {
+            split_above: 100.0,
+            merge_below: 30.0,
+            cache_above: 0.8,
+            cache_below: 0.5,
+            min_shards: 2,
+            max_shards: 8,
+            ..AutoscaleConfig::default()
+        }
+    }
+
+    const G2: AutoscaleGoal = AutoscaleGoal { shards: 2, cache: false };
+
+    #[test]
+    fn split_doubles_and_clamps_at_max() {
+        let c = cfg();
+        // 2 shards at 150 r/s/shard → split to 4.
+        assert_eq!(desired_goal(&c, G2, 300.0, 0.0).shards, 4);
+        // Already at max: stays.
+        let g8 = AutoscaleGoal { shards: 8, cache: false };
+        assert_eq!(desired_goal(&c, g8, 10_000.0, 0.0).shards, 8);
+        // 6 shards doubling would exceed max → clamp to 8.
+        let g6 = AutoscaleGoal { shards: 6, cache: false };
+        assert_eq!(desired_goal(&c, g6, 1_000.0, 0.0).shards, 8);
+    }
+
+    #[test]
+    fn merge_halves_and_clamps_at_min() {
+        let c = cfg();
+        let g4 = AutoscaleGoal { shards: 4, cache: false };
+        // 4 shards at 20 r/s/shard → merge to 2.
+        assert_eq!(desired_goal(&c, g4, 80.0, 0.0).shards, 2);
+        // At min: stays even under zero load.
+        assert_eq!(desired_goal(&c, G2, 0.0, 0.0).shards, 2);
+    }
+
+    #[test]
+    fn watermark_band_keeps_current_shards() {
+        let c = cfg();
+        // 50 r/s/shard is between merge_below and split_above.
+        assert_eq!(desired_goal(&c, G2, 100.0, 0.0).shards, 2);
+    }
+
+    #[test]
+    fn split_then_observed_again_does_not_immediately_merge() {
+        // Anti-sawtooth: after a split at just over the watermark, the
+        // halved per-shard rate must not trip the merge watermark.
+        let c = cfg();
+        let rate = 2.0 * c.split_above + 1.0;
+        let after = desired_goal(&c, G2, rate, 0.0);
+        assert_eq!(after.shards, 4);
+        assert_eq!(desired_goal(&c, after, rate, 0.0).shards, 4);
+    }
+
+    #[test]
+    fn cache_hysteresis_band() {
+        let c = cfg();
+        let hot = AutoscaleGoal { shards: 2, cache: true };
+        assert!(desired_goal(&c, G2, 0.0, 0.9).cache, "above high watermark: insert");
+        assert!(desired_goal(&c, hot, 0.0, 0.6).cache, "inside band: keep cache");
+        assert!(!desired_goal(&c, G2, 0.0, 0.6).cache, "inside band: keep no-cache");
+        assert!(!desired_goal(&c, hot, 0.0, 0.4).cache, "below low watermark: remove");
+    }
+
+    #[test]
+    fn scale_record_kind_labels() {
+        let rec = |from: AutoscaleGoal, to: AutoscaleGoal| ScaleRecord {
+            id: 0,
+            from,
+            to,
+            observed: (0.0, 0.0),
+            phases: 0,
+            max_phase_quiesce: 0,
+            report: None,
+            error: None,
+            at: Instant::now(),
+        };
+        let g4 = AutoscaleGoal { shards: 4, cache: false };
+        let hot = AutoscaleGoal { shards: 2, cache: true };
+        assert_eq!(rec(G2, g4).kind(), "split");
+        assert_eq!(rec(g4, G2).kind(), "merge");
+        assert_eq!(rec(G2, hot).kind(), "cache_in");
+        assert_eq!(rec(hot, G2).kind(), "cache_out");
+        assert_eq!(rec(G2, G2).kind(), "noop");
+    }
+}

@@ -28,12 +28,14 @@
 //!   ([`runtime::Runtime::crash`]) for the availability experiments.
 
 pub mod app;
+pub mod autoscale;
 pub mod cell;
 pub mod clock;
 pub mod error;
 pub mod fault;
 pub mod health;
 pub mod interp;
+pub mod planner;
 pub mod reconfig;
 pub mod runtime;
 pub mod sim;
@@ -42,18 +44,23 @@ pub mod trace;
 pub mod transport;
 
 pub use app::{HostCtx, InstanceApp, NoopApp};
+pub use autoscale::{
+    Autoscaler, AutoscaleConfig, AutoscaleDriver, AutoscaleGoal, AutoscaleStats, ScaleError,
+    ScaleRecord,
+};
 pub use clock::{env_seed, Clock, SimHook};
 pub use error::{Failure, RtResult};
 pub use fault::{FaultPlan, FaultWindow, RetryPolicy};
 pub use health::HeartbeatConfig;
-pub use reconfig::{MigrationCtx, ReconfigReport, ReconfigSpec};
+pub use planner::{PhaseOutcome, PlanReport};
+pub use reconfig::{MigrationCtx, PhaseTimings, ReconfigReport, ReconfigSpec};
 pub use runtime::{InstanceStatus, Runtime, RuntimeConfig};
 pub use sim::{
     Artifact, DfsConfig, DfsStats, SimConfig, SimExecutor, SimOutcome, StepRecord,
 };
 pub use supervisor::{
-    FailureClass, RepairAction, RepairPolicy, RepairRecord, Supervisor, SupervisorConfig,
-    SupervisorStats,
+    AntiFlap, Confirmed, FailureClass, RepairAction, RepairPolicy, RepairRecord, Supervisor,
+    SupervisorConfig, SupervisorStats,
 };
-pub use trace::{LinkEv, Metrics, TraceEvent, TraceKind, Tracer};
+pub use trace::{FixedHistogram, Gauge, LinkEv, Metrics, TraceEvent, TraceKind, Tracer};
 pub use transport::{LinkKind, LinkStats, SendError};

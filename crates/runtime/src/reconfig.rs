@@ -114,6 +114,39 @@ impl MigrationCtx<'_> {
     }
 }
 
+/// Wall time spent in each phase of a reconfiguration — the split
+/// behind [`ReconfigReport::total`]. "Diff" is the structural plan,
+/// "quiesce" hold-install through activation drain, "migrate" the
+/// snapshot round-trip plus materializing target instances, "cut" the
+/// registry swap + scheduler respawn, and "resume" the app-level
+/// migration, rewires, starts and hold release.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Structural diff + plan trace.
+    pub diff: Duration,
+    /// Hold install → every affected activation lock acquired.
+    pub quiesce: Duration,
+    /// Table export/codec round-trip + target instance materialization.
+    pub migrate: Duration,
+    /// Retire + registry swap + program advance + scheduler spawn.
+    pub cut: Duration,
+    /// Migration closure, app binds, rewires, starts, hold release.
+    pub resume: Duration,
+}
+
+impl PhaseTimings {
+    /// The phases as `(name, duration)` pairs, in execution order.
+    pub fn phases(&self) -> [(&'static str, Duration); 5] {
+        [
+            ("diff", self.diff),
+            ("quiesce", self.quiesce),
+            ("migrate", self.migrate),
+            ("cut", self.cut),
+            ("resume", self.resume),
+        ]
+    }
+}
+
 /// What a reconfiguration did and what it cost.
 ///
 /// `migration_error` distinguishes a clean transition from one whose
@@ -145,6 +178,8 @@ pub struct ReconfigReport {
     /// but the application-level follow-up did not complete. `None`
     /// means a fully clean transition.
     pub migration_error: Option<Failure>,
+    /// Per-phase wall-time split of `total`.
+    pub timings: PhaseTimings,
     /// Wall time of the whole transition.
     pub total: Duration,
 }
@@ -276,6 +311,9 @@ impl Runtime {
             0,
             TraceKind::ReconfigPlan { footprint: plan.footprint_len() as u64 },
         );
+        let mut timings = PhaseTimings::default();
+        let t_diff = self.inner.clock().now();
+        timings.diff = t_diff.saturating_duration_since(started);
 
         // Phase 2: quiesce. Installing a hold and raising `holds_active`
         // diverts new deliveries to the slow path, which checks the hold
@@ -319,6 +357,8 @@ impl Runtime {
                 guards.push(jrt.cell.lock_activation());
             }
         }
+        let t_quiesce = self.inner.clock().now();
+        timings.quiesce = t_quiesce.saturating_duration_since(t_diff);
 
         // Phase 3: export + serialize every quiesced junction table. The
         // round trip through the codec is deliberate: the migrated state
@@ -430,6 +470,8 @@ impl Runtime {
             }
             fresh.push(new_inst);
         }
+        let t_migrate = self.inner.clock().now();
+        timings.migrate = t_migrate.saturating_duration_since(t_quiesce);
 
         // Phase 5: the cut. Old records retire (their schedulers exit),
         // the registry swaps under a brief write lock, and the stored
@@ -465,6 +507,8 @@ impl Runtime {
             }
             self.threads.lock().extend(new_threads);
         }
+        let t_cut = self.inner.clock().now();
+        timings.cut = t_cut.saturating_duration_since(t_migrate);
 
         // Phase 6: app-level migration and topology rewires, while the
         // affected instances are still held. The cut is committed at
@@ -499,6 +543,7 @@ impl Runtime {
         // the new cells.
         let (held_updates, dropped_updates, pauses) =
             self.release_holds(&quiesce, &pause_started);
+        timings.resume = self.inner.clock().now().saturating_duration_since(t_cut);
         self.inner
             .tracer
             .record("", "", 0, TraceKind::ReconfigDone { bytes: migrated_bytes });
@@ -524,6 +569,7 @@ impl Runtime {
             held_updates,
             dropped_updates,
             migration_error,
+            timings,
             total: self.inner.clock().now().saturating_duration_since(started),
         })
     }

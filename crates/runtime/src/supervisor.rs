@@ -342,11 +342,118 @@ impl Supervisor {
     }
 }
 
-/// A candidate anomaly accumulating confirmation polls.
-struct Pending {
-    class: FailureClass,
+/// A signal that persisted long enough to act on.
+#[derive(Clone, Debug)]
+pub struct Confirmed<S> {
+    /// The confirmed signal value.
+    pub signal: S,
+    /// When the signal (in any shape) was first observed — the honest
+    /// onset for MTTR-style accounting.
+    pub first_seen: Instant,
+}
+
+/// The supervisor's anti-flapping machinery, factored out so other
+/// control loops (the autoscaler) debounce with the *same* semantics:
+///
+/// * **Confirmation hysteresis** — a per-key signal must persist
+///   `confirm_polls` consecutive observations before
+///   [`AntiFlap::observe`] confirms it; one noisy sample never fires an
+///   action. A signal that changes shape mid-confirmation (slow →
+///   partition, scale-up → scale-down) restarts the count but keeps the
+///   original onset. A `None` observation clears the key.
+/// * **Cooldown** — [`AntiFlap::note_fired`] starts a per-key cooldown
+///   window; [`AntiFlap::in_cooldown`] tells the caller to hold fire.
+///   The supervisor *escalates* on recurrence-within-cooldown (ladder
+///   rungs), the autoscaler *suppresses* — both read the same clock.
+pub struct AntiFlap<S> {
+    confirm_polls: u32,
+    cooldown: Duration,
+    pending: HashMap<String, PendingSignal<S>>,
+    last_fired: HashMap<String, Instant>,
+}
+
+struct PendingSignal<S> {
+    signal: S,
     first_seen: Instant,
     polls: u32,
+}
+
+impl<S: PartialEq + Clone> AntiFlap<S> {
+    /// A debouncer requiring `confirm_polls` consecutive observations
+    /// and spacing fired actions by `cooldown` per key.
+    pub fn new(confirm_polls: u32, cooldown: Duration) -> AntiFlap<S> {
+        AntiFlap {
+            confirm_polls,
+            cooldown,
+            pending: HashMap::new(),
+            last_fired: HashMap::new(),
+        }
+    }
+
+    /// Observe `key`'s current signal (`None` = in-band: clears the
+    /// key). Returns the signal once it has persisted the configured
+    /// number of consecutive observations.
+    pub fn observe(&mut self, key: &str, signal: Option<S>, now: Instant) -> Option<Confirmed<S>> {
+        let confirm = self.confirm_polls;
+        self.observe_with(key, signal, now, confirm)
+    }
+
+    /// [`AntiFlap::observe`] with a per-call confirmation count (the
+    /// supervisor confirms authoritative crashes in one poll but
+    /// suspicion-based anomalies in `confirm_polls`).
+    pub fn observe_with(
+        &mut self,
+        key: &str,
+        signal: Option<S>,
+        now: Instant,
+        confirm: u32,
+    ) -> Option<Confirmed<S>> {
+        let Some(signal) = signal else {
+            self.pending.remove(key);
+            return None;
+        };
+        let p = self.pending.entry(key.to_string()).or_insert(PendingSignal {
+            signal: signal.clone(),
+            first_seen: now,
+            polls: 0,
+        });
+        if p.signal != signal {
+            // The signal changed shape: restart confirmation but keep
+            // the original onset.
+            p.signal = signal;
+            p.polls = 0;
+        }
+        p.polls += 1;
+        if p.polls >= confirm.max(1) {
+            let p = self.pending.remove(key).expect("pending entry");
+            Some(Confirmed { signal: p.signal, first_seen: p.first_seen })
+        } else {
+            None
+        }
+    }
+
+    /// Whether `key` fired within the last cooldown window.
+    pub fn in_cooldown(&self, key: &str, now: Instant) -> bool {
+        self.last_fired
+            .get(key)
+            .is_some_and(|t| now.saturating_duration_since(*t) < self.cooldown)
+    }
+
+    /// Record that an action fired for `key`, starting its cooldown.
+    pub fn note_fired(&mut self, key: &str, now: Instant) {
+        self.last_fired.insert(key.to_string(), now);
+    }
+
+    /// The configured cooldown window.
+    pub fn cooldown(&self) -> Duration {
+        self.cooldown
+    }
+
+    /// Keys mid-confirmation, with their poll counts and onsets (the
+    /// sim executor folds these into its state fingerprint).
+    pub fn pending_entries(&self) -> Vec<(&String, u32, Instant)> {
+        self.pending.iter().map(|(k, p)| (k, p.polls, p.first_seen)).collect()
+    }
 }
 
 /// Per-instance escalation-ladder position.
@@ -416,7 +523,7 @@ pub(crate) struct SupervisorCore {
     rt: Runtime,
     config: SupervisorConfig,
     shared: Arc<Shared>,
-    pending: HashMap<String, Pending>,
+    flap: AntiFlap<FailureClass>,
     ladders: HashMap<String, LadderState>,
     // Instances handed to a Reconfigure repair (or quarantined): the
     // new program already routes around them, so re-detecting their
@@ -429,11 +536,12 @@ pub(crate) struct SupervisorCore {
 impl SupervisorCore {
     fn new(rt: Runtime, config: SupervisorConfig, shared: Arc<Shared>) -> SupervisorCore {
         let next_poll = rt.inner.clock().now();
+        let flap = AntiFlap::new(config.confirm_polls, config.cooldown);
         SupervisorCore {
             rt,
             config,
             shared,
-            pending: HashMap::new(),
+            flap,
             ladders: HashMap::new(),
             written_off: HashSet::new(),
             next_poll,
@@ -463,10 +571,11 @@ impl SupervisorCore {
             .as_nanos() as u64;
         h(&rel.to_le_bytes());
         let mut pending: Vec<(&String, u32, u64)> = self
-            .pending
-            .iter()
-            .map(|(n, p)| {
-                (n, p.polls, p.first_seen.saturating_duration_since(origin).as_nanos() as u64)
+            .flap
+            .pending_entries()
+            .into_iter()
+            .map(|(n, polls, first_seen)| {
+                (n, polls, first_seen.saturating_duration_since(origin).as_nanos() as u64)
             })
             .collect();
         pending.sort();
@@ -531,7 +640,7 @@ impl SupervisorCore {
             }
         };
         self.next_poll = clock.now() + config.poll;
-        let pending = &mut self.pending;
+        let flap = &mut self.flap;
         let written_off = &mut self.written_off;
         let ladders = &mut self.ladders;
 
@@ -554,7 +663,7 @@ impl SupervisorCore {
         });
 
         // ---- detect ---------------------------------------------------
-        let mut confirmed: Vec<(String, Pending)> = Vec::new();
+        let mut confirmed: Vec<(String, Confirmed<FailureClass>)> = Vec::new();
         for inst in rt.inner.all_instances() {
             let name = inst.name.clone();
             if excluded.contains(&name) {
@@ -576,30 +685,15 @@ impl SupervisorCore {
                 // topology, NotStarted never entered it.
                 _ => None,
             };
-            let Some(class) = class else {
-                pending.remove(&name);
-                continue;
-            };
-            let p = pending.entry(name.clone()).or_insert(Pending {
-                class,
-                first_seen: clock.now(),
-                polls: 0,
-            });
-            if p.class != class {
-                // The anomaly changed shape (e.g. slow → partition as
-                // more observers time out): restart confirmation but
-                // keep the original onset for honest MTTR accounting.
-                p.class = class;
-                p.polls = 0;
-            }
-            p.polls += 1;
+            // Crashes confirm in one poll (the registry is
+            // authoritative); suspicion-based anomalies ride the full
+            // confirmation hysteresis.
             let confirm = match class {
-                FailureClass::Crash => 1,
+                Some(FailureClass::Crash) => 1,
                 _ => config.confirm_polls.max(1),
             };
-            if p.polls >= confirm {
-                let p = pending.remove(&name).expect("pending entry");
-                confirmed.push((name, p));
+            if let Some(c) = flap.observe_with(&name, class, clock.now(), confirm) {
+                confirmed.push((name, c));
             }
         }
 
@@ -611,9 +705,9 @@ impl SupervisorCore {
                 &name,
                 "-",
                 0,
-                TraceKind::RepairDetect { class: p.class.label().into(), id },
+                TraceKind::RepairDetect { class: p.signal.label().into(), id },
             );
-            let Some(ladder) = config.policy.ladders.get(&p.class) else {
+            let Some(ladder) = config.policy.ladders.get(&p.signal) else {
                 continue;
             };
             if ladder.is_empty() {
@@ -807,7 +901,7 @@ impl SupervisorCore {
             shared.records.lock().push(RepairRecord {
                 id,
                 instance: name.clone(),
-                class: p.class,
+                class: p.signal,
                 action: action.label(),
                 rung,
                 attempts,

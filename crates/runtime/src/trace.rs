@@ -1415,13 +1415,126 @@ impl Histogram {
     }
 }
 
-/// Named counters and histograms, renderable as a Prometheus-style
-/// text snapshot. Handles returned by [`Metrics::counter`] /
-/// [`Metrics::histogram`] are plain atomics — hot paths grab them once
-/// at construction time and never touch the registry lock again.
+/// A settable instantaneous value (Prometheus *gauge*): the current
+/// offered load, the live shard count, a cache's read fraction. Stored
+/// as `f64` bits in an atomic so readers never tear; `add` is a CAS
+/// loop, fine for low-rate writers (the autoscaler samples, it does
+/// not spin).
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    fn new() -> Gauge {
+        Gauge { bits: AtomicU64::new(0f64.to_bits()) }
+    }
+
+    /// Set the gauge to `v`.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Add `delta` (may be negative) to the gauge.
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self.bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A histogram over caller-chosen fixed bucket bounds (Prometheus
+/// *histogram* with explicit `le` edges), for quantities where log₂ µs
+/// buckets are the wrong shape — request rates, queue depths, phase
+/// pause budgets. Observations are `f64`; bucket `i` counts
+/// observations `<= bounds[i]`, with an implicit `+Inf` bucket at the
+/// end.
+pub struct FixedHistogram {
+    bounds: Vec<f64>,
+    /// One counter per bound plus the `+Inf` overflow bucket.
+    buckets: Vec<AtomicU64>,
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+impl FixedHistogram {
+    fn new(bounds: &[f64]) -> FixedHistogram {
+        let mut bounds = bounds.to_vec();
+        bounds.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        bounds.dedup();
+        let n = bounds.len();
+        FixedHistogram {
+            bounds,
+            buckets: (0..=n).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|b| v <= *b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The configured bucket bounds (sorted, deduplicated).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Named counters, gauges and histograms, renderable as a
+/// Prometheus-style text snapshot. Handles returned by
+/// [`Metrics::counter`] / [`Metrics::gauge`] / [`Metrics::histogram`] /
+/// [`Metrics::fixed_histogram`] are plain atomics — hot paths grab them
+/// once at construction time and never touch the registry lock again.
 pub struct Metrics {
     counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    fixed_histograms: Mutex<BTreeMap<String, Arc<FixedHistogram>>>,
 }
 
 impl Metrics {
@@ -1429,7 +1542,9 @@ impl Metrics {
     pub fn new() -> Metrics {
         Metrics {
             counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
+            fixed_histograms: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -1443,6 +1558,16 @@ impl Metrics {
         )
     }
 
+    /// Get or create a named gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        Arc::clone(
+            self.gauges
+                .lock()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
     /// Get or create a named histogram.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         Arc::clone(
@@ -1450,6 +1575,18 @@ impl Metrics {
                 .lock()
                 .entry(name.to_string())
                 .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Get or create a named fixed-bucket histogram. The bounds stick
+    /// at first creation; later callers get the existing histogram
+    /// regardless of the bounds they pass.
+    pub fn fixed_histogram(&self, name: &str, bounds: &[f64]) -> Arc<FixedHistogram> {
+        Arc::clone(
+            self.fixed_histograms
+                .lock()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(FixedHistogram::new(bounds))),
         )
     }
 
@@ -1461,14 +1598,41 @@ impl Metrics {
             .map_or(0, |c| c.load(Ordering::Relaxed))
     }
 
-    /// Render every counter and histogram in Prometheus text format.
-    /// Metric names get a `csaw_` prefix; histograms render cumulative
-    /// `_bucket{le="..."}` series plus `_sum` (in seconds) and `_count`.
+    /// Current value of a gauge (0.0 if never created).
+    pub fn gauge_value(&self, name: &str) -> f64 {
+        self.gauges.lock().get(name).map_or(0.0, |g| g.value())
+    }
+
+    /// Render every counter, gauge and histogram in Prometheus text
+    /// format. Metric names get a `csaw_` prefix; histograms render
+    /// cumulative `_bucket{le="..."}` series plus `_sum` (log₂-µs
+    /// histograms in seconds, fixed-bucket ones in their native unit)
+    /// and `_count`.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
         for (name, c) in self.counters.lock().iter() {
             out.push_str(&format!("# TYPE csaw_{name} counter\n"));
             out.push_str(&format!("csaw_{name} {}\n", c.load(Ordering::Relaxed)));
+        }
+        for (name, g) in self.gauges.lock().iter() {
+            out.push_str(&format!("# TYPE csaw_{name} gauge\n"));
+            out.push_str(&format!("csaw_{name} {}\n", g.value()));
+        }
+        for (name, h) in self.fixed_histograms.lock().iter() {
+            out.push_str(&format!("# TYPE csaw_{name} histogram\n"));
+            let mut cumulative = 0u64;
+            for (i, bound) in h.bounds.iter().enumerate() {
+                cumulative += h.buckets[i].load(Ordering::Relaxed);
+                out.push_str(&format!(
+                    "csaw_{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"
+                ));
+            }
+            out.push_str(&format!(
+                "csaw_{name}_bucket{{le=\"+Inf\"}} {}\n",
+                h.count()
+            ));
+            out.push_str(&format!("csaw_{name}_sum {}\n", h.sum()));
+            out.push_str(&format!("csaw_{name}_count {}\n", h.count()));
         }
         for (name, h) in self.histograms.lock().iter() {
             out.push_str(&format!("# TYPE csaw_{name} histogram\n"));
@@ -1638,5 +1802,55 @@ mod tests {
         assert!(text.contains("le=\"+Inf\"} 2"));
         assert_eq!(m.counter_value("link_send_total"), 3);
         assert_eq!(m.counter_value("missing"), 0);
+    }
+
+    #[test]
+    fn gauge_set_add_read() {
+        let m = Metrics::new();
+        let g = m.gauge("offered_rate");
+        assert_eq!(g.value(), 0.0);
+        g.set(125_000.0);
+        assert_eq!(g.value(), 125_000.0);
+        g.add(-25_000.0);
+        assert_eq!(g.value(), 100_000.0);
+        g.add(0.5);
+        assert_eq!(m.gauge_value("offered_rate"), 100_000.5);
+        assert_eq!(m.gauge_value("missing"), 0.0);
+        // The handle and the registry see the same atomic.
+        m.gauge("offered_rate").set(7.0);
+        assert_eq!(g.value(), 7.0);
+    }
+
+    #[test]
+    fn fixed_histogram_buckets_and_overflow() {
+        let m = Metrics::new();
+        // Unsorted + duplicate bounds normalize.
+        let h = m.fixed_histogram("queue_depth", &[10.0, 1.0, 10.0, 100.0]);
+        assert_eq!(h.bounds(), &[1.0, 10.0, 100.0]);
+        h.observe(0.5); // le=1
+        h.observe(1.0); // le=1 (inclusive)
+        h.observe(42.0); // le=100
+        h.observe(5000.0); // +Inf
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 5043.5).abs() < 1e-9);
+        let text = m.render_prometheus();
+        assert!(text.contains("# TYPE csaw_queue_depth histogram"));
+        assert!(text.contains("csaw_queue_depth_bucket{le=\"1\"} 2"));
+        assert!(text.contains("csaw_queue_depth_bucket{le=\"10\"} 2"));
+        assert!(text.contains("csaw_queue_depth_bucket{le=\"100\"} 3"));
+        assert!(text.contains("csaw_queue_depth_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("csaw_queue_depth_count 4"));
+        // Bounds stick at first creation.
+        let again = m.fixed_histogram("queue_depth", &[99.0]);
+        assert_eq!(again.bounds(), &[1.0, 10.0, 100.0]);
+    }
+
+    #[test]
+    fn gauges_render_as_prometheus_gauges() {
+        let m = Metrics::new();
+        m.gauge("live_shards").set(4.0);
+        let text = m.render_prometheus();
+        assert!(text.contains("# TYPE csaw_live_shards gauge"));
+        assert!(text.contains("csaw_live_shards 4"));
     }
 }

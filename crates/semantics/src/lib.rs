@@ -27,6 +27,7 @@
 pub mod conformance;
 pub mod denote;
 pub mod event;
+pub mod plan_check;
 pub mod topology;
 
 pub use conformance::{
@@ -35,5 +36,6 @@ pub use conformance::{
     ConformanceOptions, ConformanceReport, TraceRecord, Violation,
 };
 pub use denote::{denote_junction, denote_program, DenoteConfig, ProgramSemantics};
+pub use plan_check::{check_plan, PlanCheckReport, PlanViolation};
 pub use event::{Event, EventId, EventStructure, Label};
 pub use topology::{topology, Topology};
