@@ -17,10 +17,12 @@
 //! | [`failover`] | Figs. 10–14 (§7.3) | warm-replica fail-over, multi-stage |
 //! | [`watched`] | Figs. 16–17 (§7.4) | watchdog-arbitrated fail-over |
 //! | [`checkpoint`] | §10.1 | periodic checkpoint + crash recovery |
+//! | [`overload`] | §6 `otherwise[t]` | deadline-fronted storm groups for overload control |
 
 pub mod caching;
 pub mod checkpoint;
 pub mod failover;
+pub mod overload;
 pub mod parallel_sharding;
 pub mod sharding;
 pub mod snapshot;

@@ -1,0 +1,281 @@
+//! Deadline-fronted storm groups: the overload-control variant of the
+//! §7.4 watched fail-over architecture.
+//!
+//! The topology is [`supervised_failover_groups`]'s boot shape — per
+//! group a front `f{g}` engaging a preferred back-end `o{g}` and a
+//! spare `s{g}` in write-to-all mode — but each front's request
+//! pipeline runs under a *second* failure-handling composition
+//! `otherwise[d]` (§6): `d` is the request's end-to-end budget,
+//! attached at ingress. The interpreter keeps `otherwise` deadlines on
+//! a stack and stamps every `write`/`assert` send with the tightest
+//! enclosing one, so the budget rides each update onto the wire, where
+//! the transport's overload layer can shed the work the moment it can
+//! no longer make the deadline — at admission, at dispatch, or at
+//! dequeue — instead of burning saturated-link capacity on it.
+//!
+//! On expiry the handler is a bare `return`: the request is shed
+//! end-to-end (no reply restored, no acknowledgement), which is
+//! exactly the graceful-degradation contract — reject early, never
+//! wedge. The front junction deliberately has *no* `¬Reply` guard;
+//! instead each activation starts by retracting `Reply` locally, so a
+//! reply that lands *after* its request's budget expired is residue
+//! cleared by the next activation rather than a wedge that blocks the
+//! junction forever.
+//!
+//! Two families live here:
+//!
+//! * [`deadline_storm_groups`] — the watched fail-over topology with a
+//!   deadline-fronted request/reply front (closed-loop: one request in
+//!   flight per front).
+//! * [`storm_pipeline`] — a reply-less pump → two-sink fan-out
+//!   (open-loop: the pump never blocks, so offered load past
+//!   saturation piles up on the links and the transport's overload
+//!   machinery — bounded outboxes, deadline shedding, retry budgets —
+//!   is what keeps the system degrading gracefully).
+//!
+//! [`supervised_failover_groups`]: crate::watched::supervised_failover_groups
+
+use csaw_core::builder::*;
+use csaw_core::expr::{Arg, Expr, Terminator};
+use csaw_core::decl::Decl;
+use csaw_core::formula::Formula;
+use csaw_core::names::{JRef, NameRef, SetRef};
+use csaw_core::program::{InstanceType, JunctionDef, Program};
+
+use crate::watched::{
+    backend_type_named, group_spec, reply_func_named, run_backend_func, two_set, WatchedSpec,
+};
+
+/// The storm front type: [`watched`](crate::watched)'s write-to-all
+/// front with the whole request pipeline under `otherwise[d]`.
+///
+/// Junction parameters are `(t, d)`: `t` is the protocol's internal
+/// completion timeout (threaded into `RunBackend`/`reply` exactly as in
+/// the watched architecture) and `d` is the per-request ingress budget.
+/// `d` should be well under `t`, so the budget — not the protocol
+/// timeout — bounds every activation.
+fn storm_front_type(spec: &WatchedSpec, ty: &str) -> InstanceType {
+    let set = SetRef::Lit(two_set(spec));
+    let o = &spec.preferred;
+    let s = &spec.spare;
+    let pipeline = seq([
+        host(&spec.ingest_hook),
+        save("n"),
+        verify(
+            Formula::prop_at("Run", NameRef::lit(o.clone()))
+                .not()
+                .and(Formula::prop_at("Run", NameRef::lit(s.clone())).not())
+                .and(Formula::prop("Reply").not()),
+        ),
+        verify(Formula::prop("failover").and(Formula::prop("nofailover")).not()),
+        case(
+            vec![
+                arm(
+                    Formula::prop("failover").and(Formula::prop("nofailover").not()),
+                    call("RunBackend", vec![Arg::Junction(JRef::instance(s))]),
+                    Terminator::Break,
+                ),
+                arm(
+                    Formula::prop("failover").not().and(Formula::prop("nofailover")),
+                    call("RunBackend", vec![Arg::Junction(JRef::instance(o))]),
+                    Terminator::Break,
+                ),
+            ],
+            otherwise(
+                scope(par([
+                    call("RunBackend", vec![Arg::Junction(JRef::instance(o))]),
+                    call("RunBackend", vec![Arg::Junction(JRef::instance(s))]),
+                ])),
+                "t",
+                call("complain", vec![]),
+            ),
+        ),
+        wait(["m"], Formula::prop("Reply")),
+        retract_local("Reply"),
+        restore("m"),
+        host(&spec.egress_hook),
+    ]);
+    InstanceType::new(
+        ty,
+        vec![JunctionDef::new(
+            "junction",
+            vec![p_timeout("t"), p_timeout("d")],
+            vec![
+                Decl::prop_false("Reply"),
+                Decl::for_props("x", set, "Run", false),
+                Decl::prop_false("failover"),
+                Decl::prop_false("nofailover"),
+                Decl::data("n"),
+                Decl::data("m"),
+            ],
+            seq([
+                // Clear residue left by a budget-expired predecessor
+                // whose reply landed late (see module doc).
+                retract_local("Reply"),
+                otherwise(scope(pipeline), "d", Expr::Return),
+            ]),
+        )],
+    )
+}
+
+/// `n` independent storm groups `(f{g}, o{g}, s{g})` with
+/// deadline-fronted write-to-all fronts. `main` takes two timeout
+/// parameters: the protocol timeout `t` and the per-request ingress
+/// budget `d`, e.g. `run_main(vec![Duration(200ms), Duration(40ms)])`.
+pub fn deadline_storm_groups(n: usize) -> Program {
+    assert!(n >= 1);
+    let mut builder = ProgramBuilder::new().func(run_backend_func()).func(complain_func());
+    let mut backend_starts: Vec<Expr> = Vec::new();
+    let mut front_starts: Vec<Expr> = Vec::new();
+    for g in 1..=n {
+        let spec = group_spec(g);
+        let reply_fn = format!("reply{g}");
+        let (tf, to, ts) = (format!("tF{g}"), format!("tO{g}"), format!("tS{g}"));
+        builder = builder
+            .ty(storm_front_type(&spec, &tf))
+            .ty(backend_type_named(&spec, &to, &spec.preferred, &spec.spare, false, &reply_fn))
+            .ty(backend_type_named(&spec, &ts, &spec.spare, &spec.preferred, true, &reply_fn))
+            .instance(&spec.front, &tf)
+            .instance(&spec.preferred, &to)
+            .instance(&spec.spare, &ts)
+            .func(reply_func_named(&spec, &reply_fn));
+        backend_starts.push(start(&spec.preferred, vec![Arg::name("t")]));
+        backend_starts.push(start(&spec.spare, vec![Arg::name("t")]));
+        front_starts.push(start(&spec.front, vec![Arg::name("t"), Arg::name("d")]));
+    }
+    builder
+        .main(
+            vec![p_timeout("t"), p_timeout("d")],
+            seq([par(backend_starts), par(front_starts)]),
+        )
+        .build()
+}
+
+/// Instance names of storm-pipeline group `g`: `(pump, sink, aux)`.
+pub fn storm_names(g: usize) -> (String, String, String) {
+    (format!("p{g}"), format!("k{g}"), format!("x{g}"))
+}
+
+/// The pump type: an unguarded ingress junction that ships one unit of
+/// work to both sinks per activation, each sink's dispatch under its
+/// own `otherwise[d]` with a `skip` handler — *best-effort fan-out*.
+/// `save("n")` pulls the payload from the host app (which synthesizes
+/// or dequeues it); the `Run` asserts trigger the sinks' guarded
+/// consume activations. Any failure — a bounded outbox refusing
+/// admission, the transport shedding an update it can no longer
+/// deliver inside `d`, the budget expiring mid-dispatch — is absorbed
+/// *per sink*: `otherwise` catches failures as well as expiry (§6),
+/// and `skip` moves on to the next sink instead of returning, so one
+/// saturated route cannot short-circuit the other's dispatch (nor
+/// starve that route of the load the scenario means to put on it).
+fn pump_type(ty: &str, sink: &str, aux: &str) -> InstanceType {
+    let dispatch = |to: &str| {
+        otherwise(
+            scope(seq([
+                write("n", JRef::instance(to)),
+                assert_at(JRef::instance(to), "Run"),
+            ])),
+            "d",
+            Expr::Skip,
+        )
+    };
+    InstanceType::new(
+        ty,
+        vec![JunctionDef::new(
+            "junction",
+            vec![p_timeout("d")],
+            // `Run` is declared locally because `assert … @ sink`
+            // writes the asserting junction's copy too (§6).
+            vec![Decl::data("n"), Decl::prop_false("Run")],
+            seq([save("n"), dispatch(sink), dispatch(aux)]),
+        )],
+    )
+}
+
+/// The sink type: guarded on `Run`, each activation retracts the
+/// trigger and restores the freshest payload to the host app (which
+/// counts distinct units — the scenario's goodput meter). The retract
+/// runs first so a failed restore (payload shed while its trigger
+/// survived) can never wedge the junction.
+fn sink_type(ty: &str) -> InstanceType {
+    InstanceType::new(
+        ty,
+        vec![JunctionDef::new(
+            "junction",
+            vec![],
+            vec![
+                Decl::prop_false("Run"),
+                Decl::data("n"),
+                Decl::guard(Formula::prop("Run")),
+            ],
+            seq([retract_local("Run"), restore("n")]),
+        )],
+    )
+}
+
+/// `n` independent open-loop storm pipelines `(p{g}, k{g}, x{g})`:
+/// pump `p{g}` fans each unit out to preferred sink `k{g}` and aux
+/// sink `x{g}` (two saturable routes, and two live observers of the
+/// pump's heartbeats — enough for a 2-quorum failure detector). `main`
+/// takes one timeout parameter: the per-request ingress budget `d`.
+///
+/// Unlike [`deadline_storm_groups`] there is no reply path: the pump
+/// never blocks, so a driver can offer load well past saturation and
+/// the congestion forms *on the links*, where the transport's bounded
+/// queues, deadline shedding and retry budgets are the machinery under
+/// test.
+pub fn storm_pipeline(n: usize) -> Program {
+    assert!(n >= 1);
+    let mut builder = ProgramBuilder::new();
+    let mut sink_starts: Vec<Expr> = Vec::new();
+    let mut pump_starts: Vec<Expr> = Vec::new();
+    for g in 1..=n {
+        let (p, k, x) = storm_names(g);
+        let (tp, tk) = (format!("tP{g}"), format!("tK{g}"));
+        builder = builder
+            .ty(pump_type(&tp, &k, &x))
+            .ty(sink_type(&tk))
+            .instance(&p, &tp)
+            .instance(&k, &tk)
+            .instance(&x, &tk);
+        sink_starts.push(start(&k, vec![]));
+        sink_starts.push(start(&x, vec![]));
+        pump_starts.push(start(&p, vec![Arg::name("d")]));
+    }
+    builder
+        .main(vec![p_timeout("d")], seq([par(sink_starts), par(pump_starts)]))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csaw_core::program::LoadConfig;
+
+    #[test]
+    fn storm_groups_compile_with_ingress_budget_param() {
+        let cp = csaw_core::compile(deadline_storm_groups(2), &LoadConfig::new()).unwrap();
+        assert_eq!(cp.instances.len(), 6);
+        let f1 = cp.instance("f1").unwrap();
+        let j = f1.junction("junction").unwrap();
+        // No ¬Reply guard: a late reply must not wedge the front.
+        assert!(j.guard().is_none());
+        let rendered = {
+            let mut s = String::new();
+            csaw_core::pretty::print_junction("tF1", j, &mut s);
+            s
+        };
+        // The pipeline sits under the ingress budget `d`.
+        assert!(rendered.contains("otherwise[d]"), "{rendered}");
+    }
+
+    #[test]
+    fn storm_pipeline_compiles_with_guarded_sinks() {
+        let cp = csaw_core::compile(storm_pipeline(2), &LoadConfig::new()).unwrap();
+        assert_eq!(cp.instances.len(), 6);
+        let p1 = cp.instance("p1").unwrap();
+        assert!(p1.junction("junction").unwrap().guard().is_none());
+        let k1 = cp.instance("k1").unwrap();
+        assert!(k1.junction("junction").unwrap().guard().is_some());
+    }
+}

@@ -52,7 +52,7 @@ impl Default for WatchedSpec {
 }
 
 /// `RunBackend(n, t, tgt)` (Fig. 16).
-fn run_backend_func() -> FuncDef {
+pub(crate) fn run_backend_func() -> FuncDef {
     let tgt = NameRef::var("tgt");
     FuncDef::new(
         "RunBackend",
@@ -105,7 +105,7 @@ fn reply_func(spec: &WatchedSpec) -> FuncDef {
 /// [`reply_func`] under an explicit function name — required when one
 /// program hosts several watched groups, each replying to its own
 /// front-end (function names are program-global).
-fn reply_func_named(spec: &WatchedSpec, name: &str) -> FuncDef {
+pub(crate) fn reply_func_named(spec: &WatchedSpec, name: &str) -> FuncDef {
     let other = NameRef::var("other");
     FuncDef::new(
         name,
@@ -131,7 +131,7 @@ fn reply_func_named(spec: &WatchedSpec, name: &str) -> FuncDef {
     )
 }
 
-fn two_set(spec: &WatchedSpec) -> Vec<SetElem> {
+pub(crate) fn two_set(spec: &WatchedSpec) -> Vec<SetElem> {
     vec![
         SetElem::Instance(spec.preferred.clone()),
         SetElem::Instance(spec.spare.clone()),
@@ -274,7 +274,7 @@ fn backend_type(
 
 /// [`backend_type`] calling an explicit reply function (multi-group
 /// programs give each group its own, bound to that group's front).
-fn backend_type_named(
+pub(crate) fn backend_type_named(
     spec: &WatchedSpec,
     name: &str,
     me: &str,

@@ -410,7 +410,7 @@ fn main() {
                  csaw_sim grid [--scenario S|all] [--budget STEPS] [--max-shards N] \
                  [--max-replicas K] [--walk N] [--seed S] [--buggy]\n       \
                  csaw_sim demo-bug [--scenario S] [--shards N] [--replicas K] [--seed S]\n\
-                 scenarios: failover | reshard | restore | churn"
+                 scenarios: failover | reshard | restore | churn | planned | overload"
             );
             2
         }

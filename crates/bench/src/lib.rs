@@ -18,6 +18,7 @@
 //! | [`autoscale_runs`] | metrics-driven autoscaler: planner-driven reshard over a diurnal day |
 //! | [`chaos`] | chaos soak: fault-injected fail-over invariants |
 //! | [`conformance_runs`] | trace-conformance validation of the architecture catalogue |
+//! | [`overload`] | open-loop overload storm: offered load vs in-deadline goodput, shedding on/off |
 //! | [`reconfig_runs`] | live-reconfiguration downtime: four hot-swaps under traffic |
 //! | [`self_healing`] | supervisor MTTR: detect → plan → repair per failure class |
 //! | [`sim_runs`] | deterministic simulation: seeded schedule exploration with replayable failure artifacts |
@@ -34,6 +35,7 @@ pub mod exp_curl;
 pub mod exp_loc;
 pub mod exp_redis;
 pub mod exp_suricata;
+pub mod overload;
 pub mod reconfig_runs;
 pub mod report;
 pub mod self_healing;

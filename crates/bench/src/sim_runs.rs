@@ -39,6 +39,19 @@
 //!   instances than the constraint allows; the conformance chain gets
 //!   one epoch per phase, so cross-epoch conformance is judged at
 //!   every phase boundary, not just at wave ends.
+//! * [`Scenario::Overload`] — N open-loop storm pipelines
+//!   (`storm_pipeline(N)`: a never-blocking pump fanning units out to
+//!   two sinks over bandwidth-limited links) driven at ~2K× the
+//!   saturated routes' capacity, every request under a per-request
+//!   ingress budget (`otherwise[d]`, which the interpreter stamps onto
+//!   each send). The runtime's overload layer — bounded outboxes,
+//!   deadline shedding, retry budgets, and a control-plane priority
+//!   lane for heartbeats — must degrade gracefully. Oracles: a
+//!   per-group goodput floor at overload, *zero* false crash
+//!   classifications (nothing actually failed, so the supervisor must
+//!   stay quiet), post-storm probe units all land (no congestion
+//!   collapse), overload control actually engaged (sheds + queue-full
+//!   refusals non-vacuous), and shed-aware conformance.
 //!
 //! Each scenario carries a deliberate *fence-off* bug mode
 //! ([`ScheduleSpec::buggy`], or the `fence-off-bug` cargo feature which
@@ -46,7 +59,11 @@
 //! fencing (split-brain), the sharded scenarios copy instead of drain
 //! re-homed entries (double-homed keys), restore skips parking the
 //! checkpoint junction across the crash (a restart-time checkpoint of
-//! reset state races recovery). The oracle must catch every one.
+//! reset state races recovery), overload drops the control-plane
+//! priority lane (heartbeats are refused by the data plane's bounded
+//! outboxes on saturated routes, so the failure detector starves and
+//! the supervisor falsely repairs a healthy pump). The oracle must
+//! catch every one.
 //!
 //! A red schedule serializes to a JSON [`Artifact`] (pinned to the
 //! instance set it was recorded against); [`replay_schedule`]
@@ -60,6 +77,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use csaw_arch::checkpoint::{checkpoint_mesh, mesh_primary, mesh_store};
+use csaw_arch::overload::{storm_names, storm_pipeline};
 use csaw_arch::sharding::{sharding, ShardingSpec};
 use csaw_arch::watched::supervised_failover_groups;
 use csaw_core::expr::Arg;
@@ -72,8 +90,9 @@ use csaw_runtime::runtime::Policy;
 use csaw_runtime::supervisor::RepairAction;
 use csaw_runtime::{
     Artifact, Clock, DfsConfig, DfsStats, FailureClass, FaultPlan, HeartbeatConfig,
-    HostCtx, InstanceApp, LinkKind, ReconfigSpec, RepairPolicy, Runtime, RuntimeConfig,
-    SimConfig, SimExecutor, SimOutcome, StepRecord, Supervisor, SupervisorConfig,
+    HostCtx, InstanceApp, LinkKind, OverloadConfig, ReconfigSpec, RepairPolicy, RetryPolicy,
+    Runtime, RuntimeConfig, SimConfig, SimExecutor, SimOutcome, StepRecord, Supervisor,
+    SupervisorConfig,
 };
 use mini_redis::apps::{ServerApp, ShardFrontApp, ShardMode};
 use mini_redis::hash::shard_of;
@@ -110,17 +129,21 @@ pub enum Scenario {
     Churn,
     /// Planner-driven phased grow + shrink under a quiesce bound.
     Planned,
+    /// N open-loop storm pipelines at ~2K× saturation under ingress
+    /// budgets; graceful degradation + control-plane isolation.
+    Overload,
 }
 
 impl Scenario {
     /// Every scenario, in sweep order.
-    pub fn all() -> [Scenario; 5] {
+    pub fn all() -> [Scenario; 6] {
         [
             Scenario::Failover,
             Scenario::Reshard,
             Scenario::Restore,
             Scenario::Churn,
             Scenario::Planned,
+            Scenario::Overload,
         ]
     }
 
@@ -132,6 +155,7 @@ impl Scenario {
             Scenario::Restore => "restore",
             Scenario::Churn => "churn",
             Scenario::Planned => "planned",
+            Scenario::Overload => "overload",
         }
     }
 
@@ -181,6 +205,10 @@ impl ScheduleSpec {
             // Two planner waves (grow at 300 ms, shrink at 600 ms),
             // each an adds/changes/removals phase sequence.
             Scenario::Planned => (9000 + 2500 * (shards + replicas), ms(900)),
+            // A 400 ms storm at ~2K× saturation per group, then a
+            // post-storm probe window; the step budget scales with the
+            // offered load (N groups × K storm multiplier).
+            Scenario::Overload => (20_000 + 30_000 * shards * replicas, ms(600)),
         };
         ScheduleSpec {
             scenario,
@@ -313,6 +341,7 @@ fn wire(spec: &ScheduleSpec) -> Scene {
         Scenario::Reshard | Scenario::Churn => wire_sharded(spec),
         Scenario::Restore => wire_restore(spec),
         Scenario::Planned => wire_planned(spec),
+        Scenario::Overload => wire_overload(spec),
     }
 }
 
@@ -748,6 +777,372 @@ fn wire_failover(spec: &ScheduleSpec) -> Scene {
                 acked: sh.acked.load(Ordering::SeqCst),
                 lost_acked,
                 stale_applied,
+                repair_ok,
+                fenced_sends,
+                held_at_end,
+                repairs,
+                conformance,
+                failure,
+                trace_jsonl: jsonl,
+            }
+        }) as Box<dyn Fn(&Runtime, &SimOutcome) -> Verdict>
+    };
+
+    Scene { exec, boot_instances, fresh, check }
+}
+
+// =====================================================================
+// Overload scenario: open-loop storms under ingress budgets
+// =====================================================================
+
+/// Per-request ingress budget `d` (virtual): the `otherwise[d]`
+/// deadline the interpreter stamps onto every storm send. Sized so a
+/// shallow outbox queue is survivable but a deep one is not — both the
+/// admission gate and the arrival-prediction shed get exercised.
+const OV_BUDGET: Duration = Duration::from_millis(30);
+/// Storm window (virtual ms): units are offered in `[start, end)`.
+const OV_STORM_START_MS: u64 = 30;
+const OV_STORM_END_MS: u64 = 430;
+/// Saturated-route bandwidth (bytes/s). One unit is a payload + a
+/// `Run` trigger (~85 wire bytes ≈ 11 ms serialized), so the base
+/// inter-arrival of [`ov_spacing_us`] offers ~4× a route's capacity —
+/// dense enough that the bounded outboxes stay pinned full for the
+/// whole storm (a half-full queue would let fence-off heartbeats
+/// slip through and mask the priority lane's absence).
+const OV_BANDWIDTH: u64 = 8_000;
+
+/// Storm inter-arrival in µs for storm multiplier `k` (~4k× saturation).
+fn ov_spacing_us(k: u64) -> u64 {
+    (2_750 / k).max(250)
+}
+
+/// The pump's host side: synthesizes one unique unit per `save`.
+struct StormPump {
+    prefix: String,
+    next: usize,
+}
+
+impl InstanceApp for StormPump {
+    fn host_call(&mut self, _name: &str, _ctx: &mut HostCtx<'_>) -> Result<(), String> {
+        Ok(())
+    }
+    fn save(&mut self, _key: &str) -> Result<Value, String> {
+        self.next += 1;
+        Ok(Value::Bytes(format!("{}:{}", self.prefix, self.next).into_bytes()))
+    }
+    fn restore(&mut self, _key: &str, _value: &Value) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// A sink's host side: counts *distinct* restored units — the
+/// scenario's goodput meter. (An update can be restored twice when a
+/// shed payload's surviving trigger re-activates the junction on a
+/// stale datum; distinctness keeps the meter sound.)
+struct StormSink {
+    seen: std::collections::HashSet<Vec<u8>>,
+    count: Arc<AtomicUsize>,
+}
+
+impl InstanceApp for StormSink {
+    fn host_call(&mut self, _name: &str, _ctx: &mut HostCtx<'_>) -> Result<(), String> {
+        Ok(())
+    }
+    fn save(&mut self, key: &str) -> Result<Value, String> {
+        Err(format!("sink has nothing to save for `{key}`"))
+    }
+    fn restore(&mut self, _key: &str, value: &Value) -> Result<(), String> {
+        let unit = value.as_bytes().ok_or("unit payload must be bytes")?;
+        if self.seen.insert(unit.to_vec()) {
+            self.count.fetch_add(1, Ordering::SeqCst);
+        }
+        Ok(())
+    }
+}
+
+/// Driver-shared state for the overload scenario.
+struct OvShared {
+    n: usize,
+    /// Storm units offered per group (injections fired; probes excluded).
+    offered: Vec<Arc<AtomicUsize>>,
+    /// Distinct units landed at each group's preferred sink `k{g}`.
+    goodput: Vec<Arc<AtomicUsize>>,
+    /// `goodput` snapshot taken after the storm drained, before probes.
+    pre_probe: Mutex<Vec<usize>>,
+    /// Times the supervisor's repair ladder fired — must stay 0:
+    /// nothing in this scenario ever actually fails.
+    false_repairs: AtomicUsize,
+    sup: Mutex<Option<Supervisor>>,
+    boot: CompiledProgram,
+}
+
+fn wire_overload(spec: &ScheduleSpec) -> Scene {
+    let n = spec.shards;
+    let k = spec.replicas as u64;
+    let boot = csaw_core::compile(storm_pipeline(n), &LoadConfig::new()).unwrap();
+    let boot_instances: Vec<String> = {
+        let mut v: Vec<String> = (1..=n)
+            .flat_map(|g| {
+                let (p, kk, x) = storm_names(g);
+                [p, kk, x]
+            })
+            .collect();
+        v.sort();
+        v
+    };
+
+    let shared = Arc::new(OvShared {
+        n,
+        offered: (0..n).map(|_| Arc::new(AtomicUsize::new(0))).collect(),
+        goodput: (0..n).map(|_| Arc::new(AtomicUsize::new(0))).collect(),
+        pre_probe: Mutex::new(vec![0; n]),
+        false_repairs: AtomicUsize::new(0),
+        sup: Mutex::new(None),
+        boot,
+    });
+
+    let mut exec = SimExecutor::new(SimConfig {
+        seed: spec.seed,
+        max_steps: spec.max_steps,
+        horizon: spec.horizon,
+        max_nested: 8,
+    });
+
+    // The storm: open-loop — the pump never blocks, so each injection
+    // is one quick invoke regardless of how congested the links are,
+    // and the offered rate is set by the script, not by completions.
+    let spacing = ov_spacing_us(k);
+    let storm_count = (OV_STORM_END_MS - OV_STORM_START_MS) * 1000 / spacing;
+    for g in 1..=n {
+        for i in 0..storm_count {
+            let sh = Arc::clone(&shared);
+            let at = Duration::from_micros(
+                OV_STORM_START_MS * 1000 + i * spacing + 137 * (g as u64 - 1),
+            );
+            exec.inject_at(at, &format!("storm-{g}-{i}"), move |rt| {
+                sh.offered[g - 1].fetch_add(1, Ordering::SeqCst);
+                let deadline = rt.clock().now() + OV_BUDGET;
+                let _ = rt.invoke_deadline(&format!("p{g}"), "junction", deadline);
+            });
+        }
+    }
+
+    // Post-storm probes: the congestion-collapse oracle. Once the
+    // storm stops, the bounded queues must have drained — a fresh
+    // trickle of units must land comfortably inside the same budget.
+    {
+        let sh = Arc::clone(&shared);
+        exec.inject_at(ms(460), "probe-baseline", move |_rt| {
+            let mut pre = sh.pre_probe.lock();
+            for g in 1..=sh.n {
+                pre[g - 1] = sh.goodput[g - 1].load(Ordering::SeqCst);
+            }
+        });
+    }
+    for g in 1..=n {
+        for (j, at) in [470u64, 485, 500].into_iter().enumerate() {
+            exec.inject_at(
+                ms(at + 2 * (g as u64 - 1)),
+                &format!("probe-{g}-{j}"),
+                move |rt| {
+                    let deadline = rt.clock().now() + OV_BUDGET;
+                    let _ = rt.invoke_deadline(&format!("p{g}"), "junction", deadline);
+                },
+            );
+        }
+    }
+
+    let lane = fence_enabled(spec);
+    let fresh = {
+        let sh = Arc::clone(&shared);
+        Box::new(move || {
+            for c in sh.offered.iter().chain(sh.goodput.iter()) {
+                c.store(0, Ordering::SeqCst);
+            }
+            *sh.pre_probe.lock() = vec![0; sh.n];
+            sh.false_repairs.store(0, Ordering::SeqCst);
+            if let Some(old) = sh.sup.lock().take() {
+                old.stop();
+            }
+
+            let rt = Runtime::new(
+                &sh.boot,
+                RuntimeConfig {
+                    default_link: LinkKind::Sim { latency: ms(1), bandwidth: 0 },
+                    clock: Clock::simulated(),
+                    overload: OverloadConfig {
+                        // Must bind *before* the 30 ms budget's
+                        // admission prediction (~5 queued packets)
+                        // does, so saturated routes actually refuse
+                        // admission — that refusal is what the
+                        // priority lane shields heartbeats from.
+                        outbox_bound: 3,
+                        mailbox_bound: 64,
+                        // Budgets come from the DSL (`otherwise[d]`),
+                        // not a network-wide default.
+                        ingress_deadline: None,
+                        shed_expired: true,
+                        priority_lane: lane,
+                    },
+                    ..RuntimeConfig::default()
+                },
+            );
+            rt.set_tracing(true);
+            // Fail fast at a full outbox: one sub-millisecond retry,
+            // then surface `QueueFull` to the pump's `otherwise[d]`
+            // handler. Sized so a whole storm activation costs less
+            // virtual time than the injection spacing — the walk must
+            // come back up to top level between injections, or
+            // supervisor polls (top-level-only events) starve for the
+            // entire storm. The default wall-clock policy would burn
+            // ~100 virtual ms per refused send.
+            rt.set_retry_policy(RetryPolicy {
+                enabled: true,
+                max_retries: 1,
+                base: Duration::from_micros(100),
+                cap: Duration::from_micros(200),
+            });
+            for g in 1..=sh.n {
+                let (p, kk, x) = storm_names(g);
+                rt.bind_app(
+                    &p,
+                    Box::new(StormPump { prefix: format!("u{g}"), next: 0 }),
+                );
+                rt.bind_app(
+                    &kk,
+                    Box::new(StormSink {
+                        seen: Default::default(),
+                        count: Arc::clone(&sh.goodput[g - 1]),
+                    }),
+                );
+                // The aux sink receives the same fan-out but is not
+                // the goodput meter; it exists as the second saturated
+                // route and the second live observer of the pump.
+                rt.bind_app(
+                    &x,
+                    Box::new(StormSink {
+                        seen: Default::default(),
+                        count: Arc::new(AtomicUsize::new(0)),
+                    }),
+                );
+                rt.set_policy(&p, "junction", Policy::OnDemand);
+                rt.set_link(&p, &kk, LinkKind::Sim { latency: ms(1), bandwidth: OV_BANDWIDTH });
+                rt.set_link(&p, &x, LinkKind::Sim { latency: ms(1), bandwidth: OV_BANDWIDTH });
+            }
+            rt.run_main(vec![Value::Duration(OV_BUDGET)]).unwrap();
+            // Suspicion sizing: with the lane ON a beat is never
+            // refused, only queued behind ≤ outbox_bound data packets
+            // (≤ ~20 ms at this bandwidth), so the max inter-beat gap
+            // an observer sees is ~interval + queueing ≈ 40 ms — 60 ms
+            // cannot false-suspect. With the lane OFF, refused beats
+            // open storm-long gaps that blow way past it.
+            // One 60 ms window (`k_missed: 1` — the detector requires
+            // `suspicion × k_missed` of silence): three consecutive
+            // refused beats on a route open it.
+            rt.enable_heartbeats(HeartbeatConfig {
+                interval: ms(20),
+                suspicion: ms(60),
+                k_missed: 1,
+            });
+
+            // Any repair is a false one: the scenario never partitions,
+            // crashes, or stops anything. The ladder records the
+            // misclassification and "repairs" with the identity program.
+            let repair_shared = Arc::clone(&sh);
+            let repair = RepairAction::Reconfigure(Arc::new(move |_rt, _inst| {
+                repair_shared.false_repairs.fetch_add(1, Ordering::SeqCst);
+                (repair_shared.boot.clone(), ReconfigSpec::default())
+            }));
+            let sup = rt.supervise(SupervisorConfig {
+                poll: ms(10),
+                quorum: 2,
+                confirm_polls: 2,
+                verify_timeout: ms(200),
+                fence_on_reconfigure: true,
+                policy: RepairPolicy::new()
+                    .on(FailureClass::Partition, vec![repair.clone()])
+                    .on(FailureClass::Crash, vec![repair]),
+                ..SupervisorConfig::default()
+            });
+            *sh.sup.lock() = Some(sup);
+            rt
+        }) as Box<dyn Fn() -> Runtime>
+    };
+
+    let check = {
+        let sh = Arc::clone(&shared);
+        Box::new(move |rt: &Runtime, out: &SimOutcome| -> Verdict {
+            let goodput: Vec<usize> =
+                (1..=sh.n).map(|g| sh.goodput[g - 1].load(Ordering::SeqCst)).collect();
+            let offered: Vec<usize> =
+                (1..=sh.n).map(|g| sh.offered[g - 1].load(Ordering::SeqCst)).collect();
+            let acked: usize = goodput.iter().sum();
+            let stats = rt.link_stats();
+
+            let sup_guard = sh.sup.lock();
+            let sup = sup_guard.as_ref().expect("scene runtime has a supervisor");
+            let records = sup.records();
+            let repairs = repair_lines(&records);
+            // `Slow` (a single suspecting observer) carries no repair
+            // ladder; anything stronger on a healthy fleet is a false
+            // crash classification.
+            let false_class = sh.false_repairs.load(Ordering::SeqCst) > 0
+                || records.iter().any(|r| r.class != FailureClass::Slow);
+            let repair_ok = records.is_empty();
+            let fenced_sends = stats.fenced;
+            let held_at_end = rt.held_instances().len();
+            let jsonl = rt.trace_jsonl();
+            let dropped = rt.trace_dropped();
+            let programs = sup.programs();
+            let mut chain: Vec<&CompiledProgram> = vec![&sh.boot];
+            chain.extend(programs.iter());
+            let conformance = check_repair_chain(&jsonl, dropped, &chain, false);
+
+            // Strict fail-fast admission sheds *almost everything* at
+            // 4× offered: once the outbox pins at its bound, each
+            // drained slot is grabbed by the next unit's payload, so
+            // payload+trigger pairs complete only at the storm's edges
+            // (~0–1 units in-storm). The floor therefore rejects
+            // near-zero *totals* — a healthy run still banks the
+            // storm-edge pair plus the post-storm probes (observed
+            // 3–4), while congestion collapse (wedged queues, probes
+            // lost) lands 0–1. The quantitative goodput-vs-offered
+            // curves live in the open-loop bench, not here.
+            let floor = 2;
+            let worst =
+                goodput.iter().copied().enumerate().min_by_key(|(_, c)| *c).unwrap_or((0, 0));
+            let pre = sh.pre_probe.lock().clone();
+            let probes_ok =
+                (1..=sh.n).all(|g| goodput[g - 1].saturating_sub(pre[g - 1]) >= 2);
+            let engaged = stats.shed + stats.queue_full;
+
+            let failure = if false_class {
+                Some(format!(
+                    "false crash classification: supervisor repaired healthy instance(s) [{}]",
+                    repairs.join("; ")
+                ))
+            } else if !out.truncated && worst.1 < floor {
+                Some(format!(
+                    "goodput collapse: group {} landed {} unit(s) (< floor {floor}) of {} offered",
+                    worst.0 + 1,
+                    worst.1,
+                    offered.get(worst.0).copied().unwrap_or(0)
+                ))
+            } else if !out.truncated && !probes_ok {
+                Some("congestion collapse: post-storm probe units failed to land".to_string())
+            } else if !out.truncated && engaged == 0 {
+                Some("vacuous: the storm never engaged overload control".to_string())
+            } else if held_at_end > 0 {
+                Some(format!("{held_at_end} instance(s) left held"))
+            } else if !conformance.ok {
+                Some(format!("conformance: {}", conformance.detail))
+            } else {
+                None
+            };
+            Verdict {
+                acked,
+                lost_acked: 0,
+                stale_applied: false,
                 repair_ok,
                 fenced_sends,
                 held_at_end,

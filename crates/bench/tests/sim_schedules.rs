@@ -1,6 +1,7 @@
 //! Deterministic-simulation acceptance sweeps over the parametric
 //! scenario family (fail-over, live reshard under traffic, crash +
-//! checkpoint restore, repeated churn): blocks of consecutive seeds
+//! checkpoint restore, repeated churn, overload storms under ingress
+//! budgets): blocks of consecutive seeds
 //! must come out green — oracle clean, repairs verified, cross-epoch
 //! conformance pass, horizon reached within the step budget — and each
 //! scenario must deterministically catch its own deliberate fence-off
@@ -119,6 +120,53 @@ fn sweep_new_scenarios_stay_green() {
     );
 }
 
+/// The overload storm swept across seeds and grid cells: every
+/// schedule must stay green — meaning the supervisor never
+/// misclassified backpressure as failure (no repair records at all on
+/// the healthy fleet), the bounded queues engaged and shed without
+/// collapse, the post-storm probes landed, and the trace passed
+/// conformance with shed events present. `replicas` doubles as the
+/// storm multiplier, so the (1, 2) and (2, 2) cells run at ~8× a
+/// route's capacity.
+#[test]
+fn sweep_overload_storms_stay_green() {
+    let base = env_seed(3000);
+    let grid = [(1, 1), (2, 1), (1, 2), (2, 2)];
+    let mut acked_total = 0usize;
+    for i in 0..SWEEP {
+        let seed = base + i;
+        let (n, k) = grid[(i % grid.len() as u64) as usize];
+        let out = run_schedule(&ScheduleSpec::new(Scenario::Overload, n, k, seed));
+        assert!(
+            out.failure.is_none(),
+            "overload (n={n}, k={k}) seed {seed} went red: {:?} (CSAW_SEED={seed} reproduces)",
+            out.failure
+        );
+        assert!(
+            out.repair_ok,
+            "overload (n={n}, k={k}) seed {seed}: supervisor recorded anomalies on a \
+             healthy fleet: {:?}",
+            out.repairs
+        );
+        assert!(
+            out.conformance.ok,
+            "overload seed {seed}: conformance: {}",
+            out.conformance.detail
+        );
+        assert!(
+            !out.truncated,
+            "overload (n={n}, k={k}) seed {seed}: step budget exhausted before the horizon"
+        );
+        acked_total += out.acked;
+    }
+    // Strict admission sheds almost the whole storm; what must land is
+    // the storm-edge units plus every group's post-storm probes.
+    assert!(
+        acked_total >= (SWEEP as usize) * 3,
+        "sweep carried too little acked traffic: {acked_total} over {SWEEP} schedules"
+    );
+}
+
 /// Determinism contract for every scenario family: the same seed on a
 /// fresh runtime yields a byte-identical step list and a byte-identical
 /// trace, and replaying the recorded steps reproduces both.
@@ -129,6 +177,7 @@ fn same_seed_traces_are_byte_identical_per_scenario() {
         (Scenario::Restore, 2, 2),
         (Scenario::Churn, 1, 2),
         (Scenario::Planned, 2, 1),
+        (Scenario::Overload, 1, 1),
     ] {
         let spec = ScheduleSpec::new(scenario, n, k, 17);
         let a = run_schedule(&spec);
@@ -158,6 +207,7 @@ fn every_scenario_catches_its_fence_off_bug() {
         (Scenario::Restore, 1, 1, 1, "crash recovery never completed"),
         (Scenario::Churn, 1, 1, 1, "double-homed"),
         (Scenario::Planned, 1, 1, 1, "plan invalid"),
+        (Scenario::Overload, 1, 1, 1, "false crash classification"),
     ] {
         let spec = ScheduleSpec::new(scenario, n, k, seed).with_fence_off();
         let out = run_schedule(&spec);
@@ -223,6 +273,7 @@ fn feature_gate_forces_every_bug_on() {
         (Scenario::Restore, "crash recovery never completed"),
         (Scenario::Churn, "double-homed"),
         (Scenario::Planned, "plan invalid"),
+        (Scenario::Overload, "false crash classification"),
     ] {
         let seed = if scenario == Scenario::Failover { 3 } else { 1 };
         let out = run_schedule(&ScheduleSpec::new(scenario, 1, 1, seed));

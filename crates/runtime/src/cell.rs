@@ -63,6 +63,15 @@ impl Cell {
         self.table.lock()
     }
 
+    /// Mailbox depth (pending-update count) without blocking: `None`
+    /// when the table lock is held. The overload layer's mailbox probe
+    /// uses this — a blocking lock here could deadlock a junction
+    /// sending to itself while its own table is locked, and an
+    /// unobservable depth is treated as "not overloaded".
+    pub fn try_pending_len(&self) -> Option<usize> {
+        self.table.try_lock().map(|t| t.pending_len())
+    }
+
     /// Deliver a remote update and wake any waiter. Set `CSAW_TRACE=1`
     /// to log every delivery (debugging distributed coordination).
     pub fn deliver(&self, update: Update) {

@@ -345,6 +345,7 @@ impl<'rt> ExecCtx<'rt> {
                     &self.me().instance,
                     &target,
                     Update::data(key, value, self.me().qualified()),
+                    self.deadline(),
                 )?;
                 Ok(Flow::Ok)
             }
@@ -583,7 +584,7 @@ impl<'rt> ExecCtx<'rt> {
             } else {
                 Update::retract(key.clone(), self.me().qualified())
             };
-            if let Err(f) = self.rt.send(&self.me().instance, &target, update) {
+            if let Err(f) = self.rt.send(&self.me().instance, &target, update, self.deadline()) {
                 if let Some(old) = old {
                     let _ = self.cell().table().set_prop_local(&key, old);
                 }

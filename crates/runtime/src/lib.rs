@@ -35,6 +35,7 @@ pub mod error;
 pub mod fault;
 pub mod health;
 pub mod interp;
+pub mod overload;
 pub mod planner;
 pub mod reconfig;
 pub mod runtime;
@@ -52,6 +53,7 @@ pub use clock::{env_seed, Clock, SimHook};
 pub use error::{Failure, RtResult};
 pub use fault::{FaultPlan, FaultWindow, RetryPolicy};
 pub use health::HeartbeatConfig;
+pub use overload::{OverloadConfig, OverloadStats, RetryBudgetPolicy};
 pub use planner::{PhaseOutcome, PlanReport};
 pub use reconfig::{MigrationCtx, PhaseTimings, ReconfigReport, ReconfigSpec};
 pub use runtime::{InstanceStatus, Runtime, RuntimeConfig};

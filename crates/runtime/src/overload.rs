@@ -1,0 +1,158 @@
+//! Overload control: bounded queues, deadline budgets and retry
+//! budgets (graceful degradation under saturation).
+//!
+//! The runtime is closed-loop everywhere *except* under overload: a
+//! traffic storm grows mailboxes and transport outboxes without bound,
+//! amplifies loss into retry storms, and starves the heartbeats the
+//! supervisor depends on — the metastable path where saturation
+//! masquerades as crashes and repairs make it worse. This module holds
+//! the knobs that close that loop:
+//!
+//! * **Bounded queues + backpressure** ([`OverloadConfig::outbox_bound`],
+//!   [`OverloadConfig::mailbox_bound`]): a producer whose route outbox
+//!   or target mailbox is full sees a typed, retryable
+//!   [`SendError::QueueFull`](crate::transport::SendError::QueueFull)
+//!   instead of silent unbounded growth.
+//! * **Deadline propagation + shedding**
+//!   ([`OverloadConfig::ingress_deadline`],
+//!   [`OverloadConfig::shed_expired`]): every data-plane update can
+//!   carry an absolute deadline (attached at ingress or inherited from
+//!   the sending activation's `otherwise[t]` budget); expired work is
+//!   shed — at dispatch when the link's predicted arrival already
+//!   misses the deadline, and again at dequeue — with an explicit
+//!   `link_shed` trace event. A shed request is never acked, so the
+//!   conformance checker treats sheds as first-class non-deliveries.
+//! * **Retry budgets** ([`RetryBudgetPolicy`]): transport retries are
+//!   capped per route as a fraction of fresh sends (token bucket), so
+//!   loss under overload cannot turn into a retry storm.
+//! * **Control-plane isolation** ([`OverloadConfig::priority_lane`]):
+//!   heartbeat/supervisor/hold-release traffic bypasses the data-plane
+//!   bounds, so saturation cannot fake a crash and trip the escalation
+//!   ladder. Turning the lane off reproduces exactly that metastable
+//!   failure (see the `Overload` sim scenario's deliberate bug).
+//!
+//! All bounds default to *off* (zero / `None`), so an unconfigured
+//! runtime behaves exactly as before.
+
+use std::time::Duration;
+
+/// Overload-control knobs for a [`Network`](crate::transport::Network)
+/// (installed via `Runtime::set_overload` or
+/// `RuntimeConfig::overload`). The zero/`None` value of every bound
+/// means "unbounded", so `OverloadConfig::default()` is a no-op.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OverloadConfig {
+    /// Max scheduled deliveries in flight per directed route before the
+    /// sender sees `QueueFull` (0 = unbounded). Applies to data-plane
+    /// sends only while [`OverloadConfig::priority_lane`] is on.
+    pub outbox_bound: usize,
+    /// Max pending updates in a destination junction's mailbox before
+    /// the sender sees `QueueFull` (send side) or the delivery is shed
+    /// (receive side). 0 = unbounded.
+    pub mailbox_bound: usize,
+    /// Default deadline budget attached to data-plane sends that carry
+    /// none of their own (`None` = no ingress deadline).
+    pub ingress_deadline: Option<Duration>,
+    /// Shed expired work: refuse dispatch when the link's predicted
+    /// arrival misses the deadline, and drop expired packets at
+    /// dequeue. Off by default — deadlines are carried but not acted
+    /// on.
+    pub shed_expired: bool,
+    /// Control-plane priority lane: unsequenced probes (heartbeats,
+    /// supervisor traffic) bypass the outbox/mailbox bounds. Turning
+    /// this off subjects the control plane to data-plane backpressure —
+    /// the classic metastable bug where saturation looks like a crash.
+    pub priority_lane: bool,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            outbox_bound: 0,
+            mailbox_bound: 0,
+            ingress_deadline: None,
+            shed_expired: false,
+            priority_lane: true,
+        }
+    }
+}
+
+/// Per-route retry token bucket: each fresh (first-attempt) send earns
+/// `per_send_milli` millitokens, each retry costs 1000, and the bucket
+/// is clamped to `cap_milli`. A route out of tokens fails its retryable
+/// error through immediately (counted as `retries_suppressed`), so
+/// retries stay a bounded fraction of fresh traffic instead of
+/// amplifying loss into a storm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryBudgetPolicy {
+    /// Master switch (default on).
+    pub enabled: bool,
+    /// Tokens a fresh route starts with, in millitokens (1000 = one
+    /// retry). The burst allowance.
+    pub initial_milli: u64,
+    /// Millitokens earned per fresh send (1000 ⇒ at most one retry per
+    /// fresh send in steady state, i.e. ≤ 2× amplification).
+    pub per_send_milli: u64,
+    /// Bucket cap in millitokens.
+    pub cap_milli: u64,
+}
+
+impl Default for RetryBudgetPolicy {
+    fn default() -> Self {
+        // Generous: a 256-retry burst allowance and one earned retry
+        // per fresh send — invisible at test scale, a hard ceiling
+        // under a storm.
+        RetryBudgetPolicy {
+            enabled: true,
+            initial_milli: 256_000,
+            per_send_milli: 1000,
+            cap_milli: 1_024_000,
+        }
+    }
+}
+
+impl RetryBudgetPolicy {
+    /// A disabled budget (retries bounded only by
+    /// [`RetryPolicy::max_retries`](crate::fault::RetryPolicy)).
+    pub fn disabled() -> Self {
+        RetryBudgetPolicy { enabled: false, ..Default::default() }
+    }
+}
+
+/// Snapshot of the overload-layer counters (all monotonic).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OverloadStats {
+    /// Deliveries shed because their deadline expired (dispatch-time
+    /// prediction + dequeue-time check + mailbox-overflow sheds).
+    pub shed: u64,
+    /// Sends refused with `QueueFull` (outbox or mailbox bound).
+    pub queue_full: u64,
+    /// Sends refused with `DeadlineExpired` before dispatch.
+    pub deadline_expired: u64,
+    /// Retries suppressed by an exhausted retry budget.
+    pub retries_suppressed: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_inert() {
+        let c = OverloadConfig::default();
+        assert_eq!(c.outbox_bound, 0);
+        assert_eq!(c.mailbox_bound, 0);
+        assert!(c.ingress_deadline.is_none());
+        assert!(!c.shed_expired);
+        assert!(c.priority_lane);
+    }
+
+    #[test]
+    fn retry_budget_default_is_generous_but_finite() {
+        let b = RetryBudgetPolicy::default();
+        assert!(b.enabled);
+        assert!(b.initial_milli >= 1000);
+        assert!(b.cap_milli >= b.initial_milli);
+        assert!(!RetryBudgetPolicy::disabled().enabled);
+    }
+}

@@ -20,6 +20,7 @@ use crate::error::Failure;
 use crate::fault::{FaultPlan, RetryPolicy};
 use crate::health::{HeartbeatConfig, HeartbeatState, HB_JUNCTION};
 use crate::interp::ExecCtx;
+use crate::overload::{OverloadConfig, OverloadStats, RetryBudgetPolicy};
 use crate::trace::{Histogram, Metrics, TraceEvent, TraceKind, Tracer};
 use crate::transport::{DeliverBatchFn, DeliverFn, LinkKind, LinkStats, Network, SendError};
 
@@ -122,6 +123,10 @@ pub struct RuntimeConfig {
     /// simulation mode — no service threads are spawned, and a
     /// [`crate::sim::SimExecutor`] drives every step instead.
     pub clock: Clock,
+    /// Overload-control knobs (queue bounds, ingress deadline,
+    /// shedding, control-plane priority lane). Inert by default; also
+    /// settable live via [`Runtime::set_overload`].
+    pub overload: OverloadConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -132,6 +137,7 @@ impl Default for RuntimeConfig {
             max_wait: Duration::from_secs(30),
             invoke_timeout: Duration::from_secs(10),
             clock: Clock::wall(),
+            overload: OverloadConfig::default(),
         }
     }
 }
@@ -351,18 +357,22 @@ impl RuntimeInner {
         }
     }
 
-    /// Send an update to a junction, checking target liveness.
+    /// Send an update to a junction, checking target liveness. The
+    /// optional deadline is the sending activation's `otherwise[t]`
+    /// budget (or an explicit caller deadline): the overload layer
+    /// sheds the update once it expires, when shedding is enabled.
     pub(crate) fn send(
         &self,
         from_instance: &str,
         to: &JunctionId,
         update: Update,
+        deadline: Option<Instant>,
     ) -> Result<(), Failure> {
         if !self.is_live(&to.instance) {
             return Err(Failure::TargetDown { target: to.qualified() });
         }
         self.network
-            .send(from_instance, to, update)
+            .send_with_deadline(from_instance, to, update, deadline)
             .map_err(|e| match e {
                 SendError::TargetDown => Failure::TargetDown { target: to.qualified() },
                 SendError::Transport(m) => {
@@ -951,6 +961,19 @@ impl Runtime {
             clock.clone(),
         );
         network.set_default_link(config.default_link);
+        network.set_overload(config.overload);
+        // Mailbox probe for the overload layer's mailbox bound: depth
+        // of the target junction's pending-update queue. Registry read
+        // lock only; the table itself is try-locked (see
+        // `Cell::try_pending_len`), so the probe can never deadlock a
+        // self-send.
+        let reg4 = Arc::clone(&registry);
+        network.set_mailbox_probe(Arc::new(move |to: &JunctionId| {
+            let reg = reg4.read();
+            let inst = reg.get(&to.instance)?;
+            let jrt = inst.junction(&to.junction)?;
+            jrt.cell.try_pending_len()
+        }));
 
         let inner = Arc::new(RuntimeInner {
             instances: registry,
@@ -1046,6 +1069,51 @@ impl Runtime {
     /// Snapshot the network's reliability/fault counters.
     pub fn link_stats(&self) -> LinkStats {
         self.inner.network.stats()
+    }
+
+    /// Install (or replace) the overload-control configuration: queue
+    /// bounds, ingress deadline, expired-work shedding, and the
+    /// control-plane priority lane. Takes effect on the next send.
+    pub fn set_overload(&self, cfg: OverloadConfig) {
+        self.inner.network.set_overload(cfg);
+    }
+
+    /// The currently installed overload configuration.
+    pub fn overload_config(&self) -> OverloadConfig {
+        self.inner.network.overload_config()
+    }
+
+    /// Replace the per-route retry-budget token bucket
+    /// ([`RetryBudgetPolicy::disabled`] reverts to unbudgeted retries).
+    pub fn set_retry_budget(&self, budget: RetryBudgetPolicy) {
+        self.inner.network.set_retry_budget(budget);
+    }
+
+    /// Snapshot the overload-layer counters (sheds, queue-full refusals,
+    /// deadline expiries, suppressed retries).
+    pub fn overload_stats(&self) -> OverloadStats {
+        self.inner.network.overload_stats()
+    }
+
+    /// Refresh the overload gauges in the metrics registry:
+    /// `link_inflight` (scheduled deliveries not yet landed, summed
+    /// over routes) and `mailbox_depth` (deepest junction mailbox).
+    /// Cheap enough to call from a poll loop; the autoscaler's
+    /// watermark sampling is the intended caller.
+    pub fn refresh_overload_gauges(&self) {
+        self.inner.network.refresh_overload_gauges();
+        let mut deepest = 0usize;
+        {
+            let reg = self.inner.instances.read();
+            for inst in reg.values() {
+                for jrt in &inst.junctions {
+                    if let Some(len) = jrt.cell.try_pending_len() {
+                        deepest = deepest.max(len);
+                    }
+                }
+            }
+        }
+        self.inner.metrics.gauge("mailbox_depth").set(deepest as f64);
     }
 
     /// Observer-relative `S(ι)`: registry liveness narrowed by heartbeat

@@ -51,6 +51,8 @@
 //! | `link_partition`  | `to`, `seq` |
 //! | `link_dedup`      | `from`, `seq` |
 //! | `link_fenced`     | `from`, `seq` (fence epoch in the high bits) |
+//! | `link_shed`       | `to`, `seq` (overload layer shed expired/overflow work) |
+//! | `link_queue_full` | `to`, `seq` (send refused by a queue bound) |
 //! | `link_hb`         | `to` |
 //! | `crash` / `restart` | — |
 //! | `reconfig_plan`    | `n` (footprint size: instances to touch) |
@@ -141,6 +143,23 @@ pub enum TraceKind {
         /// Fenced sender instance.
         from: Arc<str>,
         /// Rejected sequence number (fence epoch in the high bits).
+        seq: u64,
+    },
+    /// The overload layer shed a delivery: its deadline expired (at
+    /// dispatch prediction or at dequeue) or the target mailbox
+    /// overflowed. A shed update is never applied and never acked.
+    LinkShed {
+        /// Target junction, `instance::junction`.
+        to: Arc<str>,
+        /// Per-link sequence number of the shed update.
+        seq: u64,
+    },
+    /// A send was refused by a queue bound (route outbox or target
+    /// mailbox full) — backpressure, retryable by the producer.
+    LinkQueueFull {
+        /// Target junction.
+        to: Arc<str>,
+        /// Per-link sequence number of the refused send.
         seq: u64,
     },
     /// A heartbeat ping was sent.
@@ -298,6 +317,8 @@ enum RawKind {
     LinkPartition { to: u32, seq: u64 },
     LinkDedup { from: u32, seq: u64 },
     LinkFenced { from: u32, seq: u64 },
+    LinkShed { to: u32, seq: u64 },
+    LinkQueueFull { to: u32, seq: u64 },
     LinkHeartbeat { to: u32 },
     Crash,
     Restart,
@@ -389,6 +410,21 @@ pub enum LinkEv<'a> {
         /// Fenced sender instance.
         from: &'a str,
         /// Rejected sequence number (fence epoch in the high bits).
+        seq: u64,
+    },
+    /// The overload layer shed a delivery (deadline expired or mailbox
+    /// overflow).
+    Shed {
+        /// Target junction.
+        to: &'a str,
+        /// Per-link sequence number of the shed update.
+        seq: u64,
+    },
+    /// A send was refused by a queue bound (backpressure).
+    QueueFull {
+        /// Target junction.
+        to: &'a str,
+        /// Per-link sequence number of the refused send.
         seq: u64,
     },
     /// A heartbeat ping was sent.
@@ -737,6 +773,12 @@ impl Tracer {
                 LinkEv::Fenced { from, seq } => {
                     RawKind::LinkFenced { from: t.sym_of_str(&mut hot.vals, from), seq }
                 }
+                LinkEv::Shed { to, seq } => {
+                    RawKind::LinkShed { to: t.sym_of_str(&mut hot.vals, to), seq }
+                }
+                LinkEv::QueueFull { to, seq } => {
+                    RawKind::LinkQueueFull { to: t.sym_of_str(&mut hot.vals, to), seq }
+                }
                 LinkEv::Heartbeat { to } => {
                     RawKind::LinkHeartbeat { to: t.sym_of_str(&mut hot.vals, to) }
                 }
@@ -783,6 +825,12 @@ impl Tracer {
                 }
                 LinkEv::Fenced { from, seq } => {
                     RawKind::LinkFenced { from: t.sym_of_str(&mut hot.vals, from), seq }
+                }
+                LinkEv::Shed { to, seq } => {
+                    RawKind::LinkShed { to: t.sym_of_str(&mut hot.vals, to), seq }
+                }
+                LinkEv::QueueFull { to, seq } => {
+                    RawKind::LinkQueueFull { to: t.sym_of_str(&mut hot.vals, to), seq }
                 }
                 LinkEv::Heartbeat { to } => {
                     RawKind::LinkHeartbeat { to: t.sym_of_str(&mut hot.vals, to) }
@@ -895,6 +943,12 @@ impl Tracer {
             }
             TraceKind::LinkFenced { from, seq } => {
                 RawKind::LinkFenced { from: self.sym_of_str(vals, &from), seq }
+            }
+            TraceKind::LinkShed { to, seq } => {
+                RawKind::LinkShed { to: self.sym_of_str(vals, &to), seq }
+            }
+            TraceKind::LinkQueueFull { to, seq } => {
+                RawKind::LinkQueueFull { to: self.sym_of_str(vals, &to), seq }
             }
             TraceKind::LinkHeartbeat { to } => {
                 RawKind::LinkHeartbeat { to: self.sym_of_str(vals, &to) }
@@ -1138,6 +1192,8 @@ fn resolve_kind(names: &[Arc<str>], kind: RawKind) -> TraceKind {
         RawKind::LinkPartition { to, seq } => TraceKind::LinkPartition { to: shared(to), seq },
         RawKind::LinkDedup { from, seq } => TraceKind::LinkDedup { from: shared(from), seq },
         RawKind::LinkFenced { from, seq } => TraceKind::LinkFenced { from: shared(from), seq },
+        RawKind::LinkShed { to, seq } => TraceKind::LinkShed { to: shared(to), seq },
+        RawKind::LinkQueueFull { to, seq } => TraceKind::LinkQueueFull { to: shared(to), seq },
         RawKind::LinkHeartbeat { to } => TraceKind::LinkHeartbeat { to: shared(to) },
         RawKind::Crash => TraceKind::Crash,
         RawKind::Restart => TraceKind::Restart,
@@ -1230,6 +1286,8 @@ pub fn to_json_line(e: &TraceEvent) -> String {
         TraceKind::LinkPartition { .. } => "link_partition",
         TraceKind::LinkDedup { .. } => "link_dedup",
         TraceKind::LinkFenced { .. } => "link_fenced",
+        TraceKind::LinkShed { .. } => "link_shed",
+        TraceKind::LinkQueueFull { .. } => "link_queue_full",
         TraceKind::LinkHeartbeat { .. } => "link_hb",
         TraceKind::Crash => "crash",
         TraceKind::Restart => "restart",
@@ -1322,7 +1380,9 @@ pub fn to_json_line(e: &TraceEvent) -> String {
         }
         TraceKind::LinkDrop { to, seq }
         | TraceKind::LinkDup { to, seq }
-        | TraceKind::LinkPartition { to, seq } => {
+        | TraceKind::LinkPartition { to, seq }
+        | TraceKind::LinkShed { to, seq }
+        | TraceKind::LinkQueueFull { to, seq } => {
             push_str_field(&mut s, "to", to);
             push_num_field(&mut s, "seq", *seq);
         }

@@ -35,7 +35,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -48,7 +48,8 @@ use rand::SeedableRng;
 use crate::cell::JunctionId;
 use crate::clock::Clock;
 use crate::fault::{FaultDecision, FaultPlan, LinkFaults, RetryPolicy};
-use crate::trace::{LinkEv, Metrics, Tracer};
+use crate::overload::{OverloadConfig, OverloadStats, RetryBudgetPolicy};
+use crate::trace::{Gauge, LinkEv, Metrics, Tracer};
 
 /// The kind of channel between a pair of instances.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -117,6 +118,12 @@ struct RouteSeq {
     counter: u64,
     /// Conversation generation (monotonic, never reset).
     gen: u64,
+    /// Retry-budget token bucket in millitokens (see
+    /// [`RetryBudgetPolicy`]): refilled on fresh stamps, drained 1000
+    /// per retry. `None` until the first stamp lazily seeds the
+    /// initial allowance. Lives under the seq lock the stamp path
+    /// already takes, so the refill costs no extra lock.
+    retry_tokens_milli: Option<u64>,
 }
 
 impl RouteState {
@@ -209,6 +216,10 @@ struct SimPacket {
     /// decrements the route's in-flight count after delivery, which is
     /// what lets the Direct-link fast path recover.
     fifo_link: Option<Arc<RouteState>>,
+    /// Absolute deadline carried by the update (None = no budget).
+    /// Checked at dequeue: a packet whose arrival already missed its
+    /// deadline is shed instead of delivered (when shedding is on).
+    deadline: Option<Instant>,
 }
 
 impl PartialEq for SimPacket {
@@ -247,11 +258,44 @@ struct FifoClock {
 /// The fence/dedup-wrapped delivery callbacks shared by the send path
 /// and the scheduler: `one` hands over a single update, `batch` a run
 /// of updates addressed to the same junction (amortizing the
-/// receiver's table lock).
+/// receiver's table lock). `shed` is the overload layer's dequeue-time
+/// deadline check plus its trace/counter sink.
 #[derive(Clone)]
 struct DeliveryFns {
     one: DeliverFn,
     batch: DeliverBatchFn,
+    shed: Arc<ShedSink>,
+}
+
+/// Dequeue-time shedding context handed to the scheduler: the shared
+/// overload state (config + counters) and the tracer for the explicit
+/// `link_shed` event.
+struct ShedSink {
+    state: Arc<OverloadState>,
+    tracer: Arc<Tracer>,
+}
+
+impl ShedSink {
+    /// Whether a due packet must be shed instead of delivered: it
+    /// carries a deadline its arrival already missed, and shedding is
+    /// on.
+    fn should_shed(&self, p: &SimPacket) -> bool {
+        p.deadline.is_some_and(|d| p.arrival > d) && self.state.shed_expired()
+    }
+
+    /// Record one dequeue-time shed (sender-attributed, like drops).
+    fn record(&self, p: &SimPacket) {
+        self.state.note_shed();
+        if self.tracer.is_enabled() {
+            let (fi, fj) = p.update.from.split_once("::").unwrap_or((p.update.from.as_str(), ""));
+            self.tracer.record_link_at(
+                fi,
+                fj,
+                0,
+                LinkEv::Shed { to: &p.to.qualified(), seq: p.update.seq },
+            );
+        }
+    }
 }
 
 /// Decrement a delivered packet's route in-flight count. Only after
@@ -291,12 +335,19 @@ fn deliver_run(
 /// packets bound for the same junction into batches. Packets were
 /// popped in (arrival, seq) order, so grouping consecutive runs
 /// preserves the global delivery order across destinations and the
-/// per-link FIFO order within each run.
+/// per-link FIFO order within each run. Packets whose deadline already
+/// expired are shed here — traced, counted, their in-flight slot
+/// released — instead of delivered (dequeue-time shedding).
 fn deliver_due(fns: &DeliveryFns, due: &mut Vec<SimPacket>) {
     let mut cur_to: Option<JunctionId> = None;
     let mut batch: Vec<Update> = Vec::new();
     let mut links: Vec<Option<Arc<RouteState>>> = Vec::new();
     for p in due.drain(..) {
+        if fns.shed.should_shed(&p) {
+            fns.shed.record(&p);
+            packet_delivered(p.fifo_link);
+            continue;
+        }
         if cur_to.as_ref() != Some(&p.to) {
             if let Some(to) = cur_to.take() {
                 deliver_run(fns, &to, &mut batch, &mut links);
@@ -407,13 +458,14 @@ impl SimScheduler {
         to: JunctionId,
         update: Update,
         fifo_link: Option<Arc<RouteState>>,
+        deadline: Option<Instant>,
     ) {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         {
             let mut state = self.state.lock();
             state
                 .queue
-                .push(Reverse(SimPacket { arrival, seq, to, update, fifo_link }));
+                .push(Reverse(SimPacket { arrival, seq, to, update, fifo_link, deadline }));
         }
         self.cond.notify_all();
     }
@@ -667,6 +719,163 @@ pub struct LinkStats {
     /// fence: traffic from a fenced-out instance carrying a stale
     /// fence epoch.
     pub fenced: u64,
+    /// Deliveries shed by the overload layer (deadline expiry at
+    /// dispatch/dequeue, or mailbox overflow at admission).
+    pub shed: u64,
+    /// Sends refused with [`SendError::QueueFull`] by a queue bound.
+    pub queue_full: u64,
+    /// Sends refused with [`SendError::DeadlineExpired`] before
+    /// dispatch.
+    pub deadline_expired: u64,
+    /// Retries suppressed by an exhausted per-route retry budget.
+    pub retries_suppressed: u64,
+}
+
+/// Callback resolving a destination junction to its current mailbox
+/// depth (pending undelivered updates). Installed by the runtime; used
+/// by the mailbox bound. Must not block: probes that cannot observe
+/// the mailbox (e.g. the table lock is held) return `None`.
+pub type MailboxProbe = Arc<dyn Fn(&JunctionId) -> Option<usize> + Send + Sync>;
+
+/// Shared overload-control state: the installed [`OverloadConfig`] and
+/// [`RetryBudgetPolicy`] flattened into atomics (the send hot path
+/// reads them with relaxed loads, no lock), the mailbox-depth probe,
+/// and the overload counters + metric handles. One `Arc` shared by the
+/// [`Network`], its [`DeliveryFilter`] and the scheduler's
+/// [`ShedSink`].
+struct OverloadState {
+    outbox_bound: AtomicUsize,
+    mailbox_bound: AtomicUsize,
+    /// Ingress deadline budget in nanoseconds (0 = none).
+    ingress_deadline_nanos: AtomicU64,
+    shed_expired: AtomicBool,
+    priority_lane: AtomicBool,
+    /// Retry budget, flattened (millitokens).
+    budget_enabled: AtomicBool,
+    budget_initial: AtomicU64,
+    budget_per_send: AtomicU64,
+    budget_cap: AtomicU64,
+    /// Mailbox-depth probe installed by the runtime.
+    probe: Mutex<Option<MailboxProbe>>,
+    /// Counters (mirrored into the metrics registry).
+    shed: AtomicU64,
+    queue_full: AtomicU64,
+    deadline_expired: AtomicU64,
+    retries_suppressed: AtomicU64,
+    m_shed: Arc<AtomicU64>,
+    m_queue_full: Arc<AtomicU64>,
+    m_deadline_expired: Arc<AtomicU64>,
+    m_retries_suppressed: Arc<AtomicU64>,
+}
+
+impl OverloadState {
+    fn new(metrics: &Metrics) -> Arc<OverloadState> {
+        let cfg = OverloadConfig::default();
+        let budget = RetryBudgetPolicy::default();
+        let state = OverloadState {
+            outbox_bound: AtomicUsize::new(cfg.outbox_bound),
+            mailbox_bound: AtomicUsize::new(cfg.mailbox_bound),
+            ingress_deadline_nanos: AtomicU64::new(0),
+            shed_expired: AtomicBool::new(cfg.shed_expired),
+            priority_lane: AtomicBool::new(cfg.priority_lane),
+            budget_enabled: AtomicBool::new(budget.enabled),
+            budget_initial: AtomicU64::new(budget.initial_milli),
+            budget_per_send: AtomicU64::new(budget.per_send_milli),
+            budget_cap: AtomicU64::new(budget.cap_milli),
+            probe: Mutex::new(None),
+            shed: AtomicU64::new(0),
+            queue_full: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            retries_suppressed: AtomicU64::new(0),
+            m_shed: metrics.counter("link_shed_total"),
+            m_queue_full: metrics.counter("link_queue_full_total"),
+            m_deadline_expired: metrics.counter("link_deadline_expired_total"),
+            m_retries_suppressed: metrics.counter("link_retries_suppressed_total"),
+        };
+        Arc::new(state)
+    }
+
+    fn set_config(&self, cfg: OverloadConfig) {
+        self.outbox_bound.store(cfg.outbox_bound, Ordering::Relaxed);
+        self.mailbox_bound.store(cfg.mailbox_bound, Ordering::Relaxed);
+        self.ingress_deadline_nanos.store(
+            cfg.ingress_deadline.map_or(0, |d| d.as_nanos() as u64),
+            Ordering::Relaxed,
+        );
+        self.shed_expired.store(cfg.shed_expired, Ordering::Relaxed);
+        self.priority_lane.store(cfg.priority_lane, Ordering::Relaxed);
+    }
+
+    fn config(&self) -> OverloadConfig {
+        let nanos = self.ingress_deadline_nanos.load(Ordering::Relaxed);
+        OverloadConfig {
+            outbox_bound: self.outbox_bound.load(Ordering::Relaxed),
+            mailbox_bound: self.mailbox_bound.load(Ordering::Relaxed),
+            ingress_deadline: (nanos > 0).then(|| Duration::from_nanos(nanos)),
+            shed_expired: self.shed_expired.load(Ordering::Relaxed),
+            priority_lane: self.priority_lane.load(Ordering::Relaxed),
+        }
+    }
+
+    fn set_budget(&self, b: RetryBudgetPolicy) {
+        self.budget_enabled.store(b.enabled, Ordering::Relaxed);
+        self.budget_initial.store(b.initial_milli, Ordering::Relaxed);
+        self.budget_per_send.store(b.per_send_milli, Ordering::Relaxed);
+        self.budget_cap.store(b.cap_milli, Ordering::Relaxed);
+    }
+
+    fn shed_expired(&self) -> bool {
+        self.shed_expired.load(Ordering::Relaxed)
+    }
+
+    /// Whether any send-side gate is installed (quick hot-path check:
+    /// all-zero state keeps the unconfigured send path unchanged).
+    fn gates_sends(&self) -> bool {
+        self.outbox_bound.load(Ordering::Relaxed) > 0
+            || self.mailbox_bound.load(Ordering::Relaxed) > 0
+    }
+
+    /// Current ingress deadline budget, if configured.
+    fn ingress_deadline(&self) -> Option<Duration> {
+        let nanos = self.ingress_deadline_nanos.load(Ordering::Relaxed);
+        (nanos > 0).then(|| Duration::from_nanos(nanos))
+    }
+
+    /// Probe the destination mailbox depth (None: no probe installed,
+    /// or the probe could not observe the mailbox).
+    fn mailbox_len(&self, to: &JunctionId) -> Option<usize> {
+        let probe = self.probe.lock().clone();
+        probe.and_then(|p| p(to))
+    }
+
+    fn note_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.m_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_queue_full(&self) {
+        self.queue_full.fetch_add(1, Ordering::Relaxed);
+        self.m_queue_full.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_deadline_expired(&self) {
+        self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+        self.m_deadline_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_retry_suppressed(&self) {
+        self.retries_suppressed.fetch_add(1, Ordering::Relaxed);
+        self.m_retries_suppressed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn stats(&self) -> OverloadStats {
+        OverloadStats {
+            shed: self.shed.load(Ordering::Relaxed),
+            queue_full: self.queue_full.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            retries_suppressed: self.retries_suppressed.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Supervisor fencing-token state, shared between the send path and the
@@ -709,6 +918,7 @@ struct DeliveryFilter {
     tracer: Arc<Tracer>,
     routes: Arc<Routes>,
     fence: Arc<FenceState>,
+    overload: Arc<OverloadState>,
     m_dedup: Arc<AtomicU64>,
     m_fenced: Arc<AtomicU64>,
 }
@@ -743,6 +953,25 @@ impl DeliveryFilter {
                 }
                 return false;
             }
+        }
+        // Mailbox bound: shed the delivery when the destination mailbox
+        // is over its depth bound. Deliberately *before* the dedup
+        // insert — a shed update is never marked seen, so a later retry
+        // of the same sequence number can still land (and once one copy
+        // applies, further copies dedup as usual).
+        let mbound = self.overload.mailbox_bound.load(Ordering::Relaxed);
+        if mbound > 0 && self.overload.mailbox_len(to).is_some_and(|len| len >= mbound) {
+            self.overload.note_shed();
+            if self.tracer.is_enabled() {
+                let (fi, fj) = u.from.split_once("::").unwrap_or((u.from.as_str(), ""));
+                self.tracer.record_link_at(
+                    fi,
+                    fj,
+                    0,
+                    LinkEv::Shed { to: &to.qualified(), seq: u.seq },
+                );
+            }
+            return false;
         }
         if self.dedup_enabled.load(Ordering::Relaxed) {
             let sender = u.sender_instance();
@@ -847,6 +1076,14 @@ pub struct Network {
     m_partition: Arc<AtomicU64>,
     m_fast: Arc<AtomicU64>,
     m_scheduled: Arc<AtomicU64>,
+    /// Overload-control state (bounds, deadlines, retry budget,
+    /// counters), shared with the delivery filter and the scheduler's
+    /// shed sink.
+    overload: Arc<OverloadState>,
+    /// `link_inflight` gauge: scheduled deliveries currently in flight
+    /// across all routes (refreshed by
+    /// [`Network::refresh_overload_gauges`]).
+    g_inflight: Arc<Gauge>,
 }
 
 /// Error sending a message, split into retryable link faults and fatal
@@ -866,6 +1103,14 @@ pub enum SendError {
     /// epoch is below the accepted floor. Fatal — retrying cannot help;
     /// only re-admission ([`Network::admit_instance`]) can.
     Fenced,
+    /// A queue bound refused the send (route outbox or destination
+    /// mailbox full). Retryable — backpressure: the queue drains as the
+    /// receiver makes progress.
+    QueueFull,
+    /// The update's deadline budget expired before (or during)
+    /// dispatch; the overload layer shed it. Fatal — retrying cannot
+    /// un-expire a deadline.
+    DeadlineExpired,
     /// The underlying transport failed (socket setup/write). Fatal.
     Transport(String),
 }
@@ -875,7 +1120,10 @@ impl SendError {
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            SendError::LinkDropped | SendError::PartitionedAway | SendError::Timeout
+            SendError::LinkDropped
+                | SendError::PartitionedAway
+                | SendError::Timeout
+                | SendError::QueueFull
         )
     }
 }
@@ -888,6 +1136,8 @@ impl std::fmt::Display for SendError {
             SendError::PartitionedAway => write!(f, "partitioned away"),
             SendError::Timeout => write!(f, "send timeout"),
             SendError::Fenced => write!(f, "fenced out (stale supervisor epoch)"),
+            SendError::QueueFull => write!(f, "queue full (overload backpressure)"),
+            SendError::DeadlineExpired => write!(f, "deadline expired (shed by overload control)"),
             SendError::Transport(m) => write!(f, "transport: {m}"),
         }
     }
@@ -933,12 +1183,14 @@ impl Network {
         let deduped = Arc::new(AtomicU64::new(0));
         let fence = Arc::new(FenceState::new());
         let routes = Routes::new();
+        let overload = OverloadState::new(metrics);
         let filter = Arc::new(DeliveryFilter {
             dedup_enabled: Arc::clone(&dedup_enabled),
             deduped: Arc::clone(&deduped),
             tracer: Arc::clone(&tracer),
             routes: Arc::clone(&routes),
             fence: Arc::clone(&fence),
+            overload: Arc::clone(&overload),
             m_dedup: metrics.counter("link_dedup_total"),
             m_fenced: metrics.counter("link_fenced_total"),
         });
@@ -981,6 +1233,10 @@ impl Network {
             sim.spawn(DeliveryFns {
                 one: Arc::clone(&deliver),
                 batch: Arc::clone(&deliver_batch),
+                shed: Arc::new(ShedSink {
+                    state: Arc::clone(&overload),
+                    tracer: Arc::clone(&tracer),
+                }),
             });
         }
         Network {
@@ -1011,6 +1267,8 @@ impl Network {
             m_partition: metrics.counter("link_partition_total"),
             m_fast: metrics.counter("link_direct_fast_total"),
             m_scheduled: metrics.counter("link_scheduled_total"),
+            overload,
+            g_inflight: metrics.gauge("link_inflight"),
             tracer,
             trace_ids: Mutex::new(Vec::new()),
         }
@@ -1141,7 +1399,50 @@ impl Network {
             deduped: self.deduped.load(Ordering::Relaxed),
             fast_path: self.fast_path.load(Ordering::Relaxed),
             fenced: self.fence.fenced.load(Ordering::Relaxed),
+            shed: self.overload.shed.load(Ordering::Relaxed),
+            queue_full: self.overload.queue_full.load(Ordering::Relaxed),
+            deadline_expired: self.overload.deadline_expired.load(Ordering::Relaxed),
+            retries_suppressed: self.overload.retries_suppressed.load(Ordering::Relaxed),
         }
+    }
+
+    /// Install the overload-control configuration (bounds, ingress
+    /// deadline, shedding, priority lane). Takes effect on the next
+    /// send; the default configuration is inert.
+    pub fn set_overload(&self, cfg: OverloadConfig) {
+        self.overload.set_config(cfg);
+    }
+
+    /// The currently installed overload configuration.
+    pub fn overload_config(&self) -> OverloadConfig {
+        self.overload.config()
+    }
+
+    /// Replace the per-route retry-budget policy (token bucket capping
+    /// retries as a fraction of fresh sends).
+    pub fn set_retry_budget(&self, budget: RetryBudgetPolicy) {
+        self.overload.set_budget(budget);
+    }
+
+    /// Snapshot the overload-layer counters.
+    pub fn overload_stats(&self) -> OverloadStats {
+        self.overload.stats()
+    }
+
+    /// Install the mailbox-depth probe the mailbox bound consults
+    /// (wired by the runtime, which owns the junction registry).
+    pub fn set_mailbox_probe(&self, probe: MailboxProbe) {
+        *self.overload.probe.lock() = Some(probe);
+    }
+
+    /// Refresh the `link_inflight` gauge from the routes' in-flight
+    /// counts (total scheduled deliveries not yet landed).
+    pub fn refresh_overload_gauges(&self) {
+        let total: u64 = {
+            let routes = self.routes.inner.lock();
+            routes.iter().map(|r| r.fifo.lock().inflight).sum()
+        };
+        self.g_inflight.set(total as f64);
     }
 
     /// Set the default link kind for unlisted instance pairs.
@@ -1204,12 +1505,28 @@ impl Network {
         &self,
         from_instance: &str,
         to: &JunctionId,
+        update: Update,
+    ) -> Result<(), SendError> {
+        self.send_with_deadline(from_instance, to, update, None)
+    }
+
+    /// [`send`](Network::send) with an explicit absolute deadline: the
+    /// overload layer sheds the update (at dispatch prediction or at
+    /// dequeue) once the deadline passes, provided shedding is enabled.
+    /// `None` falls back to the configured ingress deadline, if any.
+    pub fn send_with_deadline(
+        &self,
+        from_instance: &str,
+        to: &JunctionId,
         mut update: Update,
+        deadline: Option<Instant>,
     ) -> Result<(), SendError> {
         self.send_ops.fetch_add(1, Ordering::Relaxed);
+        let deadline = deadline
+            .or_else(|| self.overload.ingress_deadline().map(|b| self.clock.now() + b));
         let route = self.routes.get(from_instance, &to.instance);
         self.stamp_one(&route, &mut update)?;
-        self.send_stamped(&route, to, update)
+        self.send_stamped(&route, to, update, deadline)
     }
 
     /// Monotonic count of send operations attempted (any entry point,
@@ -1230,6 +1547,17 @@ impl Network {
             update.seq = (stamp << FENCE_EPOCH_SHIFT)
                 | ((s.gen & ROUTE_GEN_MASK) << ROUTE_GEN_SHIFT)
                 | s.counter;
+            // A fresh send earns retry-budget tokens (see
+            // `RetryBudgetPolicy`) — piggybacked on the seq lock we
+            // already hold, so the hot path takes no extra lock.
+            if self.overload.budget_enabled.load(Ordering::Relaxed) {
+                let cap = self.overload.budget_cap.load(Ordering::Relaxed);
+                let earn = self.overload.budget_per_send.load(Ordering::Relaxed);
+                let cur = s.retry_tokens_milli.unwrap_or_else(|| {
+                    self.overload.budget_initial.load(Ordering::Relaxed)
+                });
+                s.retry_tokens_milli = Some(cap.min(cur.saturating_add(earn)));
+            }
         }
         // Send-side fence: a fenced-out sender learns immediately (and
         // fatally — no retry can outwait a fence) that its writes are
@@ -1269,17 +1597,34 @@ impl Network {
         route: &Arc<RouteState>,
         to: &JunctionId,
         update: Update,
+        deadline: Option<Instant>,
     ) -> Result<(), SendError> {
         let mut update = update;
         let mut attempt = 0u32;
         let mut policy: Option<RetryPolicy> = None;
         loop {
-            match self.send_attempt(route, to, update) {
+            match self.send_attempt(route, to, update, deadline, true) {
                 Ok(()) => return Ok(()),
                 Err((e, back)) if e.is_retryable() => {
                     let p = policy.get_or_insert_with(|| self.retry_snapshot());
                     if !p.enabled || attempt >= p.max_retries {
                         return Err(e);
+                    }
+                    // Retry budget: each retry costs one token (1000
+                    // milli); an exhausted route fails the retryable
+                    // error straight through so loss under overload
+                    // cannot amplify into a retry storm.
+                    if self.overload.budget_enabled.load(Ordering::Relaxed) {
+                        let mut s = route.seq.lock();
+                        let cur = s.retry_tokens_milli.unwrap_or_else(|| {
+                            self.overload.budget_initial.load(Ordering::Relaxed)
+                        });
+                        if cur < 1000 {
+                            drop(s);
+                            self.overload.note_retry_suppressed();
+                            return Err(e);
+                        }
+                        s.retry_tokens_milli = Some(cur - 1000);
                     }
                     update = back;
                     attempt += 1;
@@ -1332,6 +1677,7 @@ impl Network {
             return Ok(0);
         }
         self.send_ops.fetch_add(1, Ordering::Relaxed);
+        let deadline = self.overload.ingress_deadline().map(|b| self.clock.now() + b);
         let route = self.routes.get(from_instance, &to.instance);
         let (stamp, floor) = self.fence.of(from_instance);
         {
@@ -1341,6 +1687,20 @@ impl Network {
                 u.seq = (stamp << FENCE_EPOCH_SHIFT)
                     | ((s.gen & ROUTE_GEN_MASK) << ROUTE_GEN_SHIFT)
                     | s.counter;
+            }
+            // One budget refill for the whole batch (each update is a
+            // fresh send), under the seq lock we already hold.
+            if self.overload.budget_enabled.load(Ordering::Relaxed) {
+                let cap = self.overload.budget_cap.load(Ordering::Relaxed);
+                let earn = self
+                    .overload
+                    .budget_per_send
+                    .load(Ordering::Relaxed)
+                    .saturating_mul(updates.len() as u64);
+                let cur = s.retry_tokens_milli.unwrap_or_else(|| {
+                    self.overload.budget_initial.load(Ordering::Relaxed)
+                });
+                s.retry_tokens_milli = Some(cap.min(cur.saturating_add(earn)));
             }
         }
         if stamp < floor && self.fence.enabled.load(Ordering::Relaxed) {
@@ -1361,9 +1721,14 @@ impl Network {
         let n = updates.len();
         let faulted = route.faults.lock().is_some();
         let kind = self.link_kind(&route);
+        // Active overload gates (queue bounds / deadline shedding)
+        // disable the batched fast paths so every update passes the
+        // per-send admission checks.
+        let gated = self.overload.gates_sends()
+            || (deadline.is_some() && self.overload.shed_expired());
         let direct_fast =
-            !faulted && matches!(kind, LinkKind::Direct) && self.link_idle(&route);
-        let tcp_fast = !faulted && matches!(kind, LinkKind::Tcp);
+            !faulted && !gated && matches!(kind, LinkKind::Direct) && self.link_idle(&route);
+        let tcp_fast = !faulted && !gated && matches!(kind, LinkKind::Tcp);
         if direct_fast || tcp_fast {
             let mut bytes = 0u64;
             for u in &updates {
@@ -1405,7 +1770,7 @@ impl Network {
         let mut delivered = 0usize;
         let mut first_err: Option<SendError> = None;
         for u in updates {
-            match self.send_stamped(&route, to, u) {
+            match self.send_stamped(&route, to, u, deadline) {
                 Ok(()) => delivered += 1,
                 Err(e) => {
                     if first_err.is_none() {
@@ -1430,7 +1795,11 @@ impl Network {
     ) -> Result<(), SendError> {
         self.send_ops.fetch_add(1, Ordering::Relaxed);
         let route = self.routes.get(from_instance, &to.instance);
-        self.send_attempt(&route, to, update).map_err(|(e, _)| e)
+        // Control lane: heartbeats/probes ride the priority lane (no
+        // queue bounds, no deadline) unless the lane is disabled, in
+        // which case they face the same data-plane gates as everything
+        // else — the deliberate metastable-failure configuration.
+        self.send_attempt(&route, to, update, None, false).map_err(|(e, _)| e)
     }
 
     /// Feed the transport's schedule-relevant mutable state to `h` for
@@ -1443,7 +1812,9 @@ impl Network {
     /// folded in: probabilistic plans degrade revisit-pruning fidelity,
     /// while windowed plans are a pure function of virtual time.
     pub(crate) fn sim_fingerprint(&self, origin: Instant, h: &mut dyn FnMut(&[u8])) {
-        let mut packets: Vec<(u64, u64, String, String, String, u64, String)> = {
+        // (arrival, seq, to, key, from, update seq, kind, deadline)
+        type PacketKey = (u64, u64, String, String, String, u64, String, u64);
+        let mut packets: Vec<PacketKey> = {
             let state = self.sim.state.lock();
             state
                 .queue
@@ -1457,19 +1828,23 @@ impl Network {
                         p.update.from.clone(),
                         p.update.seq,
                         format!("{:?}", p.update.kind),
+                        p.deadline.map_or(u64::MAX, |d| {
+                            d.saturating_duration_since(origin).as_nanos() as u64
+                        }),
                     )
                 })
                 .collect()
         };
         packets.sort_by_key(|a| (a.0, a.1));
         h(&(packets.len() as u64).to_le_bytes());
-        for (arr, _seq, to, key, from, useq, kind) in &packets {
+        for (arr, _seq, to, key, from, useq, kind, dl) in &packets {
             h(&arr.to_le_bytes());
             h(to.as_bytes());
             h(key.as_bytes());
             h(from.as_bytes());
             h(&useq.to_le_bytes());
             h(kind.as_bytes());
+            h(&dl.to_le_bytes());
         }
         let mut routes: Vec<Arc<RouteState>> = self.routes.inner.lock().clone();
         routes.sort_by(|a, b| (&a.from, &a.to).cmp(&(&b.from, &b.to)));
@@ -1480,6 +1855,7 @@ impl Network {
                 let s = r.seq.lock();
                 h(&s.counter.to_le_bytes());
                 h(&s.gen.to_le_bytes());
+                h(&s.retry_tokens_milli.map_or(u64::MAX, |t| t).to_le_bytes());
             }
             {
                 let f = r.fifo.lock();
@@ -1513,7 +1889,34 @@ impl Network {
         route: &Arc<RouteState>,
         to: &JunctionId,
         update: Update,
+        deadline: Option<Instant>,
+        data_plane: bool,
     ) -> Result<(), (SendError, Update)> {
+        // Admission: queue bounds apply to the data plane, and to the
+        // control plane too once the priority lane is switched off.
+        if (data_plane || !self.overload.priority_lane.load(Ordering::Relaxed))
+            && self.overload.gates_sends()
+        {
+            let obound = self.overload.outbox_bound.load(Ordering::Relaxed);
+            let outbox_full = obound > 0 && route.fifo.lock().inflight >= obound as u64;
+            let mbound = self.overload.mailbox_bound.load(Ordering::Relaxed);
+            let mailbox_full = !outbox_full
+                && mbound > 0
+                && self.overload.mailbox_len(to).is_some_and(|len| len >= mbound);
+            if outbox_full || mailbox_full {
+                self.overload.note_queue_full();
+                if self.tracer.is_enabled() {
+                    let (fi, fj, to_q) = self.route_trace_ids(&update, to);
+                    self.tracer.record_link(
+                        &fi,
+                        &fj,
+                        0,
+                        LinkEv::QueueFull { to: &to_q, seq: update.seq },
+                    );
+                }
+                return Err((SendError::QueueFull, update));
+            }
+        }
         let decision = {
             let mut faults = route.faults.lock();
             match faults.as_mut() {
@@ -1568,22 +1971,50 @@ impl Network {
                         LinkEv::Send { to: &to_q, key: &update.key, seq: update.seq, bytes: size },
                     );
                 }
-                if duplicate {
+                // Already expired at the sender: shed before spending
+                // link capacity. Placed after the `link_send` trace so
+                // conformance always sees a send preceding its shed.
+                if self.overload.shed_expired() {
+                    if let Some(d) = deadline {
+                        if self.clock.now() > d {
+                            self.overload.note_shed();
+                            self.overload.note_deadline_expired();
+                            if self.tracer.is_enabled() {
+                                let (fi, fj, to_q) = self.route_trace_ids(&update, to);
+                                self.tracer.record_link(
+                                    &fi,
+                                    &fj,
+                                    0,
+                                    LinkEv::Shed { to: &to_q, seq: update.seq },
+                                );
+                            }
+                            return Err((SendError::DeadlineExpired, update));
+                        }
+                    }
+                }
+                // The original dispatches first and alone decides the
+                // send's outcome; the duplicate copy is best-effort
+                // chaos. Were the copy dispatched first, a shed of the
+                // original would surface as an error with a live copy
+                // still in flight — and an app-level retry of that
+                // "failed" send would then double-apply.
+                let dup_copy = duplicate.then(|| update.clone());
+                self.dispatch(route, to, update, delay, !reorder, deadline)?;
+                if let Some(copy) = dup_copy {
                     self.dups.fetch_add(1, Ordering::Relaxed);
                     self.m_dup.fetch_add(1, Ordering::Relaxed);
                     if self.tracer.is_enabled() {
-                        let (fi, fj, to_q) = self.route_trace_ids(&update, to);
+                        let (fi, fj, to_q) = self.route_trace_ids(&copy, to);
                         self.tracer.record_link(
                             &fi,
                             &fj,
                             0,
-                            LinkEv::Dup { to: &to_q, seq: update.seq },
+                            LinkEv::Dup { to: &to_q, seq: copy.seq },
                         );
                     }
-                    // The duplicate copy is the only clone on this path.
-                    self.dispatch(route, to, update.clone(), delay, !reorder)?;
+                    let _ = self.dispatch(route, to, copy, delay, !reorder, deadline);
                 }
-                self.dispatch(route, to, update, delay, !reorder)
+                Ok(())
             }
         }
     }
@@ -1595,6 +2026,10 @@ impl Network {
         let fns = DeliveryFns {
             one: Arc::clone(&self.deliver),
             batch: Arc::clone(&self.deliver_batch),
+            shed: Arc::new(ShedSink {
+                state: Arc::clone(&self.overload),
+                tracer: Arc::clone(&self.tracer),
+            }),
         };
         self.sim.pump_due(self.clock.now(), &fns)
     }
@@ -1660,6 +2095,7 @@ impl Network {
         update: Update,
         extra_delay: Duration,
         fifo: bool,
+        deadline: Option<Instant>,
     ) -> Result<(), (SendError, Update)> {
         let size = wire_size(&update) as u64;
         match self.link_kind(route) {
@@ -1682,7 +2118,7 @@ impl Network {
                     fifo_link = Some(Arc::clone(route));
                 }
                 self.m_scheduled.fetch_add(1, Ordering::Relaxed);
-                self.sim.enqueue(arrival, to.clone(), update, fifo_link);
+                self.sim.enqueue(arrival, to.clone(), update, fifo_link, deadline);
                 Ok(())
             }
             LinkKind::Sim { latency, bandwidth } => {
@@ -1692,6 +2128,34 @@ impl Network {
                 } else {
                     Duration::from_secs_f64(size as f64 / bandwidth as f64)
                 };
+                // Early shed: if the link's backlog already guarantees
+                // the packet arrives past its deadline, refuse it
+                // *without* reserving bandwidth. This is what keeps the
+                // backlog bounded under a storm — doomed work never
+                // joins the queue, so admitted work stays timely.
+                if self.overload.shed_expired() {
+                    if let Some(d) = deadline {
+                        let predicted = {
+                            let clock = route.sim_clock.lock();
+                            let start = clock.next_free.map_or(now, |t| t.max(now));
+                            start + serialization + latency + extra_delay
+                        };
+                        if predicted > d {
+                            self.overload.note_shed();
+                            self.overload.note_deadline_expired();
+                            if self.tracer.is_enabled() {
+                                let (fi, fj, to_q) = self.route_trace_ids(&update, to);
+                                self.tracer.record_link(
+                                    &fi,
+                                    &fj,
+                                    0,
+                                    LinkEv::Shed { to: &to_q, seq: update.seq },
+                                );
+                            }
+                            return Err((SendError::DeadlineExpired, update));
+                        }
+                    }
+                }
                 let arrival = {
                     let mut clock = route.sim_clock.lock();
                     let start = clock.next_free.map_or(now, |t| t.max(now));
@@ -1706,7 +2170,7 @@ impl Network {
                     fifo_link = Some(Arc::clone(route));
                 }
                 self.m_scheduled.fetch_add(1, Ordering::Relaxed);
-                self.sim.enqueue(arrival, to.clone(), update, fifo_link);
+                self.sim.enqueue(arrival, to.clone(), update, fifo_link, deadline);
                 Ok(())
             }
             LinkKind::Tcp => {
@@ -2330,5 +2794,178 @@ mod tests {
         assert!(net.stats().retries > 0, "seed 3 at p=0.3 should force retries");
         drop(net);
         assert_eq!(rx.iter().count(), 50, "every send must still land exactly once");
+    }
+
+    #[test]
+    fn outbox_bound_refuses_with_queue_full() {
+        let (net, rx) = collecting_network();
+        net.set_retry_policy(RetryPolicy::disabled());
+        net.set_link(
+            "f",
+            "g",
+            LinkKind::Sim { latency: Duration::from_millis(200), bandwidth: 0 },
+        );
+        net.set_overload(OverloadConfig { outbox_bound: 2, ..Default::default() });
+        let to = JunctionId::new("g", "junction");
+        net.send("f", &to, Update::data("n", Value::Int(0), "f::j")).unwrap();
+        net.send("f", &to, Update::data("n", Value::Int(1), "f::j")).unwrap();
+        let err = net.send("f", &to, Update::data("n", Value::Int(2), "f::j")).unwrap_err();
+        assert!(matches!(err, SendError::QueueFull), "got {err}");
+        assert!(err.is_retryable(), "QueueFull is backpressure, not a fatal error");
+        assert_eq!(net.stats().queue_full, 1);
+        // The two admitted sends still land.
+        rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        rx.recv_timeout(Duration::from_secs(2)).unwrap();
+    }
+
+    #[test]
+    fn priority_lane_exempts_control_traffic_until_disabled() {
+        let (net, _rx) = collecting_network();
+        net.set_retry_policy(RetryPolicy::disabled());
+        net.set_link(
+            "f",
+            "g",
+            LinkKind::Sim { latency: Duration::from_millis(200), bandwidth: 0 },
+        );
+        net.set_overload(OverloadConfig { outbox_bound: 1, ..Default::default() });
+        let to = JunctionId::new("g", "junction");
+        net.send("f", &to, Update::data("n", Value::Int(0), "f::j")).unwrap();
+        // Data plane is full; a raw (heartbeat-style) send still goes.
+        net.send_raw("f", &to, Update::assert("hb", "f::j")).unwrap();
+        // Without the lane, control traffic faces the same bound — the
+        // metastable configuration the Overload scenario's bug proves.
+        net.set_overload(OverloadConfig {
+            outbox_bound: 1,
+            priority_lane: false,
+            ..Default::default()
+        });
+        let err = net.send_raw("f", &to, Update::assert("hb", "f::j")).unwrap_err();
+        assert!(matches!(err, SendError::QueueFull), "got {err}");
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_before_reserving_the_link() {
+        let (net, rx) = collecting_network();
+        net.set_retry_policy(RetryPolicy::disabled());
+        net.set_link(
+            "f",
+            "g",
+            LinkKind::Sim { latency: Duration::from_millis(100), bandwidth: 0 },
+        );
+        net.set_overload(OverloadConfig { shed_expired: true, ..Default::default() });
+        let to = JunctionId::new("g", "junction");
+        // A 1ms budget cannot survive a 100ms link: the dispatch
+        // predictor sheds it without queueing anything.
+        let err = net
+            .send_with_deadline(
+                "f",
+                &to,
+                Update::data("n", Value::Int(0), "f::j"),
+                Some(Instant::now() + Duration::from_millis(1)),
+            )
+            .unwrap_err();
+        assert!(matches!(err, SendError::DeadlineExpired), "got {err}");
+        assert!(!err.is_retryable(), "an expired deadline cannot be outwaited");
+        let s = net.stats();
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.deadline_expired, 1);
+        assert!(
+            rx.recv_timeout(Duration::from_millis(300)).is_err(),
+            "shed update must never be delivered"
+        );
+        // A comfortable budget passes untouched.
+        net.send_with_deadline(
+            "f",
+            &to,
+            Update::data("n", Value::Int(1), "f::j"),
+            Some(Instant::now() + Duration::from_secs(5)),
+        )
+        .unwrap();
+        rx.recv_timeout(Duration::from_secs(2)).unwrap();
+    }
+
+    #[test]
+    fn retry_budget_caps_retry_amplification() {
+        let (net, _rx) = collecting_network();
+        // Always-dropping link with a generous retry policy: without a
+        // budget each send would burn max_retries attempts.
+        net.set_fault_plan("f", "g", FaultPlan::none().with_drop(1.0).with_seed(7));
+        net.set_retry_policy(RetryPolicy {
+            enabled: true,
+            max_retries: 100,
+            base: Duration::from_micros(10),
+            cap: Duration::from_micros(50),
+        });
+        // Two retries of burst, nothing earned per send.
+        net.set_retry_budget(RetryBudgetPolicy {
+            enabled: true,
+            initial_milli: 2000,
+            per_send_milli: 0,
+            cap_milli: 2000,
+        });
+        let to = JunctionId::new("g", "junction");
+        let err = net.send("f", &to, Update::data("n", Value::Int(0), "f::j")).unwrap_err();
+        assert!(matches!(err, SendError::LinkDropped), "got {err}");
+        let s = net.stats();
+        assert_eq!(s.retries, 2, "budget must stop the retry loop at 2 tokens");
+        assert_eq!(s.retries_suppressed, 1);
+        // Disabled budget falls back to the policy bound.
+        net.set_retry_budget(RetryBudgetPolicy::disabled());
+        net.set_retry_policy(RetryPolicy {
+            enabled: true,
+            max_retries: 5,
+            base: Duration::from_micros(10),
+            cap: Duration::from_micros(50),
+        });
+        let _ = net.send("f", &to, Update::data("n", Value::Int(1), "f::j")).unwrap_err();
+        assert_eq!(net.stats().retries, 2 + 5);
+    }
+
+    #[test]
+    fn mailbox_bound_consults_probe_and_sheds_at_admit() {
+        let (net, _rx) = collecting_network();
+        net.set_retry_policy(RetryPolicy::disabled());
+        // Probe reports the target junction as saturated.
+        net.set_mailbox_probe(Arc::new(|to: &JunctionId| {
+            if to.junction == "busy" {
+                Some(100)
+            } else {
+                Some(0)
+            }
+        }));
+        net.set_overload(OverloadConfig { mailbox_bound: 8, ..Default::default() });
+        let busy = JunctionId::new("g", "busy");
+        let idle = JunctionId::new("g", "idle");
+        let err = net.send("f", &busy, Update::assert("Work", "f::j")).unwrap_err();
+        assert!(matches!(err, SendError::QueueFull), "got {err}");
+        net.send("f", &idle, Update::assert("Work", "f::j")).unwrap();
+        assert_eq!(net.stats().queue_full, 1);
+    }
+
+    #[test]
+    fn overload_metrics_register_in_prometheus_rendering() {
+        let (tx, _rx) = mpsc::channel();
+        let deliver: DeliverFn = Arc::new(move |to: &JunctionId, u: Update| {
+            tx.send((to.clone(), u)).ok();
+        });
+        let metrics = Arc::new(Metrics::new());
+        let net = Network::with_telemetry_batched(
+            deliver,
+            None,
+            Arc::new(Tracer::new()),
+            &metrics,
+            Clock::wall(),
+        );
+        net.refresh_overload_gauges();
+        let text = metrics.render_prometheus();
+        for name in [
+            "csaw_link_shed_total",
+            "csaw_link_queue_full_total",
+            "csaw_link_deadline_expired_total",
+            "csaw_link_retries_suppressed_total",
+            "csaw_link_inflight",
+        ] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
     }
 }

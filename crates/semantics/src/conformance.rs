@@ -340,7 +340,8 @@ impl Default for ConformanceOptions {
 pub struct Violation {
     /// Global sequence number of the offending record.
     pub gsn: u64,
-    /// Rule family: `causality`, `update-rule`, or `event-structure`.
+    /// Rule family: `causality`, `update-rule`, `event-structure`, or
+    /// `overload`.
     pub rule: &'static str,
     /// Human-readable diagnosis.
     pub detail: String,
@@ -364,6 +365,10 @@ pub struct ConformanceReport {
     /// Labels with no candidate event (informational, not violations:
     /// the denotation abstracts recursion depth and app behaviour).
     pub unmatched_labels: usize,
+    /// `link_shed` events seen (informational: overload-layer sheds are
+    /// first-class non-deliveries, not errors — a shed update is never
+    /// acked, so it cannot participate in a lost-acked violation).
+    pub sheds: usize,
 }
 
 impl ConformanceReport {
@@ -708,6 +713,38 @@ fn check_trace_with<'s>(
                                 ),
                             }),
                         }
+                    }
+                }
+            }
+        }
+
+        // Overload rule: a shed is a first-class non-delivery — it
+        // must refer to an update that was actually sent (its
+        // `link_send` precedes it), and it never counts as an apply.
+        // Sheds of sequenced updates only; seq 0 marks unsequenced
+        // control traffic, which the data-plane shed paths never touch.
+        if r.kind == "link_shed" {
+            report.sheds += 1;
+            if let (Some(to), Some(seq)) = (&r.to, r.seq) {
+                if seq != 0 && opts.require_send_for_apply {
+                    let triple =
+                        (r.instance.clone(), instance_of(to).to_string(), seq);
+                    match sends.get(&triple) {
+                        Some(&sg) if sg <= r.gsn => {}
+                        Some(&sg) => report.violations.push(Violation {
+                            gsn: r.gsn,
+                            rule: "overload",
+                            detail: format!(
+                                "shed of seq {seq} precedes its send (gsn {sg})"
+                            ),
+                        }),
+                        None => report.violations.push(Violation {
+                            gsn: r.gsn,
+                            rule: "overload",
+                            detail: format!(
+                                "shed of seq {seq} to {to} with no recorded send"
+                            ),
+                        }),
                     }
                 }
             }
@@ -1097,6 +1134,38 @@ mod tests {
         let report = check_trace(&recs, None, &ConformanceOptions::default());
         assert_eq!(report.violations.len(), 2, "{}", report.describe());
         assert!(report.violations.iter().all(|v| v.rule == "causality"));
+    }
+
+    #[test]
+    fn shed_after_send_is_first_class_and_unsent_shed_is_flagged() {
+        // A shed of a sent update is legal (and counted); it is not an
+        // apply, so the sent-but-shed update needs no apply either.
+        let valid = lines(&[
+            r#"{"gsn":1,"us":0,"i":"g","j":"y","ep":1,"k":"sched"}"#,
+            r#"{"gsn":2,"us":1,"i":"g","j":"y","ep":1,"k":"link_send","to":"f::x","key":"W","seq":1,"n":24}"#,
+            r#"{"gsn":3,"us":2,"i":"g","j":"y","ep":1,"k":"link_shed","to":"f::x","seq":1}"#,
+            r#"{"gsn":4,"us":3,"i":"g","j":"y","ep":1,"k":"unsched","ok":true}"#,
+        ]);
+        let report = check_trace(&valid, None, &ConformanceOptions::default());
+        assert!(report.ok(), "{}", report.describe());
+        assert_eq!(report.sheds, 1);
+
+        // A shed of an update with no recorded send is an overload-rule
+        // violation: the shed path must sit strictly after the send.
+        let invalid = lines(&[
+            r#"{"gsn":1,"us":0,"i":"g","j":"y","ep":1,"k":"sched"}"#,
+            r#"{"gsn":2,"us":1,"i":"g","j":"y","ep":1,"k":"link_shed","to":"f::x","seq":9}"#,
+            r#"{"gsn":3,"us":2,"i":"g","j":"y","ep":1,"k":"unsched","ok":true}"#,
+        ]);
+        let report = check_trace(&invalid, None, &ConformanceOptions::default());
+        assert_eq!(report.violations.len(), 1, "{}", report.describe());
+        assert_eq!(report.violations[0].rule, "overload");
+
+        // Unsequenced (seq 0) sheds are control-plane noise: ignored.
+        let control = lines(&[
+            r#"{"gsn":1,"us":0,"i":"g","j":"y","ep":1,"k":"link_shed","to":"f::x","seq":0}"#,
+        ]);
+        assert!(check_trace(&control, None, &ConformanceOptions::default()).ok());
     }
 
     #[test]
